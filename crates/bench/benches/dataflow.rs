@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the analytic dataflow simulator and the
+//! functional execution engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, NumericsMode, Workload};
+use pacq_fp16::WeightPrecision;
+use pacq_quant::synth::SynthGenerator;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    let runner = GemmRunner::new();
+    for shape in [
+        GemmShape::M16N16K16,
+        GemmShape::new(16, 1024, 1024),
+        GemmShape::new(16, 4096, 4096),
+        GemmShape::new(16, 4096, 11008),
+    ] {
+        for arch in [
+            Architecture::StandardDequant,
+            Architecture::PackedK,
+            Architecture::Pacq,
+        ] {
+            group.throughput(Throughput::Elements(shape.macs()));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{arch:?}"), shape.to_string()),
+                &shape,
+                |bencher, &shape| {
+                    let wl = Workload::new(shape, WeightPrecision::Int4);
+                    bencher.iter(|| black_box(runner.analyze(arch, wl)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_functional_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute");
+    let (m, n, k) = (8, 32, 128);
+    let mut gen = SynthGenerator::new(3);
+    let a = gen.llm_activations(m, k).to_f16();
+    let w = gen.llm_weights(k, n);
+    let runner = GemmRunner::new()
+        .with_group(GroupShape::along_k(32))
+        .with_numerics(NumericsMode::Wide);
+
+    let p_k = runner
+        .quantize_and_pack(&w, WeightPrecision::Int4, Architecture::PackedK)
+        .expect("packs");
+    let p_n = runner
+        .quantize_and_pack(&w, WeightPrecision::Int4, Architecture::Pacq)
+        .expect("packs");
+
+    group.throughput(Throughput::Elements((m * n * k) as u64));
+    group.bench_function("standard_dequant_m8n32k128", |bencher| {
+        bencher.iter(|| black_box(runner.execute(Architecture::StandardDequant, &a, &p_k)))
+    });
+    group.bench_function("packed_k_m8n32k128", |bencher| {
+        bencher.iter(|| black_box(runner.execute(Architecture::PackedK, &a, &p_k)))
+    });
+    group.bench_function("pacq_m8n32k128", |bencher| {
+        bencher.iter(|| black_box(runner.execute(Architecture::Pacq, &a, &p_n)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulation, bench_functional_execution
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the quantization and packing pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pacq_fp16::WeightPrecision;
+use pacq_quant::{synth::SynthGenerator, GroupShape, PackDim, PackedMatrix, RtnQuantizer};
+use std::hint::black_box;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtn_quantize");
+    let w = SynthGenerator::new(1).llm_weights(1024, 512);
+    group.throughput(Throughput::Elements((1024 * 512) as u64));
+    for shape in [GroupShape::G128, GroupShape::G32X4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.to_string()),
+            &shape,
+            |bencher, &shape| {
+                let q = RtnQuantizer::new(WeightPrecision::Int4, shape);
+                bencher.iter(|| black_box(q.quantize(&w)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack");
+    let w = SynthGenerator::new(2).llm_weights(1024, 512);
+    let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128).quantize(&w);
+    group.throughput(Throughput::Elements((1024 * 512) as u64));
+    for dim in [PackDim::K, PackDim::N] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("P(B_4)_{dim}")),
+            &dim,
+            |bencher, &dim| bencher.iter(|| black_box(PackedMatrix::pack(&q, dim).unwrap())),
+        );
+    }
+    group.bench_function("unpack_dequantize", |bencher| {
+        let p = PackedMatrix::pack(&q, PackDim::N).unwrap();
+        bencher.iter(|| black_box(p.unpack().dequantize()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantize, bench_pack);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks of the arithmetic datapaths: the software
+//! models themselves (how fast this simulator multiplies), complementing
+//! the modeled-hardware numbers of Figures 8/9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pacq_fp16::{
+    softfloat, BaselineDpUnit, Fp16, Fp16Multiplier, Int4, NumericsMode, PackedWord,
+    ParallelDpUnit, ParallelFpIntMultiplier, WeightPrecision,
+};
+use std::hint::black_box;
+
+fn operands(n: usize) -> Vec<(Fp16, Fp16)> {
+    (0..n)
+        .map(|i| {
+            let a = Fp16::from_bits((i as u16).wrapping_mul(24593).wrapping_add(7));
+            let b = Fp16::from_bits((i as u16).wrapping_mul(40961).wrapping_add(3));
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_multipliers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplier");
+    let ops = operands(1024);
+    group.throughput(Throughput::Elements(ops.len() as u64));
+
+    group.bench_function("softfloat_mul", |bencher| {
+        bencher.iter(|| {
+            let mut acc = 0u32;
+            for &(a, b) in &ops {
+                acc = acc.wrapping_add(softfloat::mul(a, b).to_bits() as u32);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("datapath_fp16_mul", |bencher| {
+        let unit = Fp16Multiplier::new();
+        bencher.iter(|| {
+            let mut acc = 0u32;
+            for &(a, b) in &ops {
+                acc = acc.wrapping_add(unit.product(a, b).to_bits() as u32);
+            }
+            black_box(acc)
+        })
+    });
+
+    // One parallel multiply yields 4 products.
+    group.throughput(Throughput::Elements(4 * ops.len() as u64));
+    group.bench_function("parallel_fp_int_mul_int4", |bencher| {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        let packed = PackedWord::pack_int4([
+            Int4::new(-8).unwrap(),
+            Int4::new(-1).unwrap(),
+            Int4::new(3).unwrap(),
+            Int4::new(7).unwrap(),
+        ]);
+        bencher.iter(|| {
+            let mut acc = 0u32;
+            for &(a, _) in &ops {
+                let t = unit.multiply(a, packed);
+                for p in t.products() {
+                    acc = acc.wrapping_add(p.to_bits() as u32);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_dp_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_unit");
+    let a: Vec<Fp16> = (0..64).map(|i| Fp16::from_f32((i % 13) as f32 * 0.25 - 1.5)).collect();
+    let b: Vec<Fp16> = (0..64).map(|i| Fp16::from_f32((i % 7) as f32 * 0.5 - 1.0)).collect();
+    let words: Vec<PackedWord> = (0..64)
+        .map(|i| {
+            PackedWord::pack_int4(core::array::from_fn(|l| {
+                Int4::new(((i + l) % 16) as i8 - 8).unwrap()
+            }))
+        })
+        .collect();
+
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("baseline_dp4_dot64", |bencher| {
+        let dp = BaselineDpUnit::new(4);
+        bencher.iter(|| {
+            let mut acc = 0f32;
+            for k0 in (0..64).step_by(4) {
+                acc = dp.dot_acc(acc, &a[k0..k0 + 4], &b[k0..k0 + 4]);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.throughput(Throughput::Elements(4 * 64));
+    for mode in [NumericsMode::PaperRounded, NumericsMode::Wide] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_dp4_dot64", format!("{mode:?}")),
+            &mode,
+            |bencher, &mode| {
+                let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).with_numerics(mode);
+                bencher.iter(|| black_box(dp.dot_packed(&a, &words)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multipliers, bench_dp_units);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Extended experiment: EDP and speedup vs batch size.
+//!
+//! The paper's intro argues multi-batch serving is compute-bound, which
+//! is where weight-only quantization stops helping and PacQ starts. This
+//! sweep shows the crossover: at small batch the standard flow drowns in
+//! dequantization overhead; at large batch that amortizes, and PacQ's
+//! remaining advantage is the 2× compute throughput + traffic savings.
+
+use pacq::{Architecture, GemmRunner, GemmShape, Workload};
+use pacq_bench::{banner, pct, times};
+use pacq_fp16::WeightPrecision;
+
+fn main() {
+    banner(
+        "Batch sweep (extension)",
+        "EDP reduction and speedup vs batch size (n4096 k4096, INT4)",
+        "dequant overhead dominates at small batch and amortizes at large batch",
+    );
+
+    let runner = GemmRunner::new();
+    println!(
+        "\n{:<8} {:>14} {:>14} {:>16} {:>16}",
+        "batch", "std dequant %", "speedup v std", "speedup v P(B)k", "EDP reduction"
+    );
+    for m in [16usize, 32, 64, 128, 256, 512] {
+        let wl = Workload::new(GemmShape::new(m, 4096, 4096), WeightPrecision::Int4);
+        let std = runner.analyze(Architecture::StandardDequant, wl);
+        let pk = runner.analyze(Architecture::PackedK, wl);
+        let pq = runner.analyze(Architecture::Pacq, wl);
+        let dequant_frac = std.stats.general_cycles as f64 / std.stats.total_cycles as f64;
+        println!(
+            "{:<8} {:>14} {:>14} {:>16} {:>16}",
+            m,
+            pct(dequant_frac),
+            times(pq.speedup_over(&std)),
+            times(pq.speedup_over(&pk)),
+            pct(1.0 - pq.edp_normalized_to(&std)),
+        );
+    }
+    println!(
+        "\nreading: the dequantization phase is ~50% of the standard flow's time\n\
+         at batch 16 and fades below 3% by batch 512; PacQ's speedup over the\n\
+         P(B)k baseline stays at ~2x (pure dataflow + parallel-multiplier gain),\n\
+         so the total EDP advantage narrows but persists at scale."
+    );
+}

@@ -1,0 +1,61 @@
+//! # pacq-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (run them with
+//! `cargo run -p pacq-bench --release --bin figN`), plus Criterion
+//! benches for the simulator and datapath kernels. This library hosts the
+//! small shared formatting helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, title: &str, paper: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{id}: {title}");
+    println!("paper reports: {paper}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn times(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a large count with thousands grouping.
+pub fn grouped(mut v: u64) -> String {
+    let mut parts = Vec::new();
+    loop {
+        if v < 1000 {
+            parts.push(v.to_string());
+            break;
+        }
+        parts.push(format!("{:03}", v % 1000));
+        v /= 1000;
+    }
+    parts.reverse();
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping() {
+        assert_eq!(grouped(0), "0");
+        assert_eq!(grouped(999), "999");
+        assert_eq!(grouped(1000), "1,000");
+        assert_eq!(grouped(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(times(1.994), "1.99x");
+        assert_eq!(pct(0.543), "54.3%");
+    }
+}

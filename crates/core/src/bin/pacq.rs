@@ -1,0 +1,20 @@
+//! `pacq` — command-line front end to the simulator. See
+//! [`pacq::cli::USAGE`] or run `pacq help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pacq::cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", pacq::cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

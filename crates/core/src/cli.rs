@@ -1,0 +1,467 @@
+//! The `pacq` command-line interface (library side, so it is testable).
+//!
+//! Hand-rolled argument parsing — the workspace deliberately keeps its
+//! dependency set to the numeric essentials (see DESIGN.md §8).
+
+use crate::report::{Comparison, GemmReport};
+use crate::runner::GemmRunner;
+use core::fmt::Write as _;
+use pacq_fp16::WeightPrecision;
+use pacq_quant::GroupShape;
+use pacq_simt::{Architecture, GemmShape, SmConfig, Workload};
+
+/// Usage text shown by `pacq help` and on errors.
+pub const USAGE: &str = "\
+pacq — PacQ hyper-asymmetric GEMM simulator (DAC 2025 reproduction)
+
+USAGE:
+  pacq analyze --shape mMnNkK [--arch std|packedk|pacq] [--precision int4|int2]
+               [--group g128|g256|g32x4|g64x4|gK] [--dup 1|2|4] [--width 4|8|16]
+               [--json]
+  pacq compare --shape mMnNkK [--precision int4|int2] [--group ...]
+  pacq sweep --param batch|dup|width --shape mMnNkK [--precision int4|int2]
+  pacq help
+
+EXAMPLES:
+  pacq analyze --shape m16n4096k4096 --arch pacq
+  pacq compare --shape m16n11008k4096 --precision int2
+  pacq sweep --param batch --shape m16n4096k4096";
+
+/// CLI error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Runs the CLI on pre-split arguments, returning the output text.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing any unknown command, missing or
+/// malformed option.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
+        Some("analyze") => analyze(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
+        Some(other) => Err(err(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Parsed common options.
+struct Options {
+    shape: GemmShape,
+    precision: WeightPrecision,
+    arch: Architecture,
+    group: GroupShape,
+    dup: usize,
+    width: usize,
+    json: bool,
+    param: Option<String>,
+}
+
+fn parse_options(args: &[String], require_shape: bool) -> Result<Options, CliError> {
+    let mut shape = None;
+    let mut precision = WeightPrecision::Int4;
+    let mut arch = Architecture::Pacq;
+    let mut group = GroupShape::G128;
+    let mut dup = 2usize;
+    let mut width = 4usize;
+    let mut json = false;
+    let mut param = None;
+
+    let mut it = args.iter().map(String::as_str).peekable();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&str, CliError> {
+            it.next().ok_or_else(|| err(format!("missing value for {name}")))
+        };
+        match flag {
+            "--shape" => shape = Some(parse_shape(value("--shape")?)?),
+            "--precision" => {
+                precision = match value("--precision")? {
+                    "int4" | "INT4" => WeightPrecision::Int4,
+                    "int2" | "INT2" => WeightPrecision::Int2,
+                    other => return Err(err(format!("unknown precision `{other}`"))),
+                }
+            }
+            "--arch" => {
+                arch = match value("--arch")? {
+                    "std" | "standard" | "dequant" => Architecture::StandardDequant,
+                    "packedk" | "packed-k" | "pbk" => Architecture::PackedK,
+                    "pacq" => Architecture::Pacq,
+                    other => return Err(err(format!("unknown architecture `{other}`"))),
+                }
+            }
+            "--group" => group = parse_group(value("--group")?)?,
+            "--dup" => {
+                dup = value("--dup")?
+                    .parse()
+                    .map_err(|_| err("--dup expects 1, 2 or 4"))?;
+                if !matches!(dup, 1 | 2 | 4) {
+                    return Err(err("--dup expects 1, 2 or 4"));
+                }
+            }
+            "--width" => {
+                width = value("--width")?
+                    .parse()
+                    .map_err(|_| err("--width expects 4, 8 or 16"))?;
+                if !matches!(width, 4 | 8 | 16) {
+                    return Err(err("--width expects 4, 8 or 16"));
+                }
+            }
+            "--json" => json = true,
+            "--param" => param = Some(value("--param")?.to_string()),
+            other => return Err(err(format!("unknown option `{other}`"))),
+        }
+    }
+
+    let shape = match (shape, require_shape) {
+        (Some(s), _) => s,
+        (None, false) => GemmShape::M16N16K16,
+        (None, true) => return Err(err("--shape is required (e.g. --shape m16n4096k4096)")),
+    };
+    Ok(Options { shape, precision, arch, group, dup, width, json, param })
+}
+
+/// Parses the paper's `mMnNkK` shape notation.
+pub fn parse_shape(text: &str) -> Result<GemmShape, CliError> {
+    let bad = || err(format!("malformed shape `{text}`; expected e.g. m16n4096k4096"));
+    let rest = text.strip_prefix('m').ok_or_else(bad)?;
+    let n_pos = rest.find('n').ok_or_else(bad)?;
+    let k_pos = rest.find('k').ok_or_else(bad)?;
+    if k_pos < n_pos {
+        return Err(bad());
+    }
+    let m: usize = rest[..n_pos].parse().map_err(|_| bad())?;
+    let n: usize = rest[n_pos + 1..k_pos].parse().map_err(|_| bad())?;
+    let k: usize = rest[k_pos + 1..].parse().map_err(|_| bad())?;
+    if m == 0 || n == 0 || k == 0 {
+        return Err(err("shape extents must be non-zero"));
+    }
+    if m % 16 != 0 || n % 16 != 0 || k % 16 != 0 {
+        return Err(err(format!(
+            "shape {text} is not 16-aligned (the simulator tiles in 16s)"
+        )));
+    }
+    Ok(GemmShape::new(m, n, k))
+}
+
+fn parse_group(text: &str) -> Result<GroupShape, CliError> {
+    match text {
+        "g128" => Ok(GroupShape::G128),
+        "g256" => Ok(GroupShape::G256),
+        "g32x4" | "g[32,4]" => Ok(GroupShape::G32X4),
+        "g64x4" | "g[64,4]" => Ok(GroupShape::G64X4),
+        other => {
+            let k: usize = other
+                .strip_prefix('g')
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(format!("unknown group `{other}`")))?;
+            if k == 0 {
+                return Err(err("group size must be non-zero"));
+            }
+            Ok(GroupShape::along_k(k))
+        }
+    }
+}
+
+fn runner_for(opts: &Options) -> GemmRunner {
+    let mut cfg = SmConfig::volta_like();
+    cfg.adder_tree_duplication = opts.dup;
+    cfg.dp_width = opts.width;
+    GemmRunner::new().with_config(cfg).with_group(opts.group)
+}
+
+fn analyze(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_options(args, true)?;
+    let runner = runner_for(&opts);
+    let report = runner.analyze(opts.arch, Workload::new(opts.shape, opts.precision));
+    if opts.json {
+        Ok(report_json(&report))
+    } else {
+        Ok(report_text(&report))
+    }
+}
+
+fn compare(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_options(args, true)?;
+    let runner = runner_for(&opts);
+    let wl = Workload::new(opts.shape, opts.precision);
+    let cmp = Comparison::new(vec![
+        runner.analyze(Architecture::StandardDequant, wl),
+        runner.analyze(Architecture::PackedK, wl),
+        runner.analyze(Architecture::Pacq, wl),
+    ]);
+    let mut out = String::new();
+    let _ = writeln!(out, "workload {wl}, group {}:", opts.group);
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>14} {:>10} {:>10} {:>12}",
+        "architecture", "cycles", "energy (uJ)", "speedup", "EDP(norm)", "RF accesses"
+    );
+    let edp = cmp.normalized_edp();
+    let speed = cmp.normalized_speedup();
+    for (i, r) in cmp.reports().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>14.2} {:>9.2}x {:>10.3} {:>12}",
+            r.arch.to_string(),
+            r.stats.total_cycles,
+            r.total_energy_pj() / 1e6,
+            speed[i],
+            edp[i],
+            r.stats.rf.total_accesses(),
+        );
+    }
+    Ok(out)
+}
+
+fn sweep(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_options(args, true)?;
+    let param = opts.param.as_deref().ok_or_else(|| err("--param is required for sweep"))?;
+    let mut out = String::new();
+    match param {
+        "batch" => {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>14} {:>14} {:>14}",
+                "batch", "PacQ cycles", "speedup v std", "EDP reduction"
+            );
+            for m in [16usize, 32, 64, 128, 256, 512] {
+                let shape = GemmShape::new(m, opts.shape.n, opts.shape.k);
+                let runner = runner_for(&opts);
+                let wl = Workload::new(shape, opts.precision);
+                let std = runner.analyze(Architecture::StandardDequant, wl);
+                let pq = runner.analyze(Architecture::Pacq, wl);
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>14} {:>13.2}x {:>13.1}%",
+                    m,
+                    pq.stats.total_cycles,
+                    pq.speedup_over(&std),
+                    100.0 * (1.0 - pq.edp_normalized_to(&std)),
+                );
+            }
+        }
+        "dup" => {
+            let _ = writeln!(out, "{:<6} {:>14} {:>16}", "dup", "PacQ cycles", "TC power (units)");
+            for dup in [1usize, 2, 4] {
+                let mut o = Options { dup, ..opts_clone(&opts) };
+                o.dup = dup;
+                let runner = runner_for(&o);
+                let r = runner.analyze(
+                    Architecture::Pacq,
+                    Workload::new(opts.shape, opts.precision),
+                );
+                let unit =
+                    pacq_energy::GemmUnit::ParallelDp { width: opts.width, duplication: dup };
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:>14} {:>16.2}",
+                    dup,
+                    r.stats.total_cycles,
+                    unit.power_units()
+                );
+            }
+        }
+        "width" => {
+            let _ = writeln!(out, "{:<8} {:>14} {:>14}", "width", "PacQ cycles", "P(B)k cycles");
+            for width in [4usize, 8, 16] {
+                let mut o = opts_clone(&opts);
+                o.width = width;
+                let runner = runner_for(&o);
+                let wl = Workload::new(opts.shape, opts.precision);
+                let pq = runner.analyze(Architecture::Pacq, wl);
+                let pk = runner.analyze(Architecture::PackedK, wl);
+                let _ = writeln!(
+                    out,
+                    "DP-{:<5} {:>14} {:>14}",
+                    width,
+                    pq.stats.total_cycles,
+                    pk.stats.total_cycles
+                );
+            }
+        }
+        other => return Err(err(format!("unknown sweep parameter `{other}`"))),
+    }
+    Ok(out)
+}
+
+fn opts_clone(o: &Options) -> Options {
+    Options {
+        shape: o.shape,
+        precision: o.precision,
+        arch: o.arch,
+        group: o.group,
+        dup: o.dup,
+        width: o.width,
+        json: o.json,
+        param: o.param.clone(),
+    }
+}
+
+fn report_text(r: &GemmReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "workload:        {}", r.workload);
+    let _ = writeln!(out, "architecture:    {}", r.arch);
+    let _ = writeln!(out, "total cycles:    {}", r.stats.total_cycles);
+    let _ = writeln!(out, "  tensor core:   {}", r.stats.tc_cycles);
+    let _ = writeln!(out, "  general core:  {}", r.stats.general_cycles);
+    let _ = writeln!(out, "latency:         {:.3} us", r.latency_s * 1e6);
+    let _ = writeln!(out, "energy:          {:.3} uJ", r.total_energy_pj() / 1e6);
+    let _ = writeln!(out, "  tensor core:   {:.3} uJ", r.energy.tc_pj / 1e6);
+    let _ = writeln!(out, "  register file: {:.3} uJ", r.energy.rf_pj / 1e6);
+    let _ = writeln!(out, "  L1:            {:.3} uJ", r.energy.l1_pj / 1e6);
+    let _ = writeln!(out, "  DRAM:          {:.3} uJ", r.energy.dram_pj / 1e6);
+    let _ = writeln!(out, "  general core:  {:.3} uJ", r.energy.general_pj / 1e6);
+    let _ = writeln!(out, "EDP:             {:.6} pJ*s", r.edp_pj_s);
+    let _ = writeln!(out, "RF accesses:     {}", r.stats.rf.total_accesses());
+    let _ = writeln!(out, "fetch instrs:    {}", r.stats.fetch_instructions);
+    let _ = writeln!(out, "buffer evicts:   {}", r.stats.buffer_evictions);
+    out
+}
+
+fn report_json(r: &GemmReport) -> String {
+    // Hand-rolled JSON keeps the dependency set minimal; all values are
+    // numbers or simple strings, so no escaping is needed.
+    format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"{}\",\n",
+            "  \"architecture\": \"{}\",\n",
+            "  \"total_cycles\": {},\n",
+            "  \"tc_cycles\": {},\n",
+            "  \"general_cycles\": {},\n",
+            "  \"latency_s\": {:e},\n",
+            "  \"energy_pj\": {:.3},\n",
+            "  \"energy_breakdown_pj\": {{\n",
+            "    \"tensor_core\": {:.3},\n",
+            "    \"register_file\": {:.3},\n",
+            "    \"l1\": {:.3},\n",
+            "    \"dram\": {:.3},\n",
+            "    \"buffers\": {:.3},\n",
+            "    \"general_core\": {:.3}\n",
+            "  }},\n",
+            "  \"edp_pj_s\": {:e},\n",
+            "  \"rf_accesses\": {},\n",
+            "  \"fetch_instructions\": {},\n",
+            "  \"buffer_evictions\": {}\n",
+            "}}\n"
+        ),
+        r.workload,
+        r.arch,
+        r.stats.total_cycles,
+        r.stats.tc_cycles,
+        r.stats.general_cycles,
+        r.latency_s,
+        r.total_energy_pj(),
+        r.energy.tc_pj,
+        r.energy.rf_pj,
+        r.energy.l1_pj,
+        r.energy.dram_pj,
+        r.energy.buffer_pj,
+        r.energy.general_pj,
+        r.edp_pj_s,
+        r.stats.rf.total_accesses(),
+        r.stats.fetch_instructions,
+        r.stats.buffer_evictions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_shape_accepts_paper_notation() {
+        let s = parse_shape("m16n4096k4096").expect("parses");
+        assert_eq!((s.m, s.n, s.k), (16, 4096, 4096));
+        assert!(parse_shape("m16k16n16").is_err()); // wrong order
+        assert!(parse_shape("16n16k16").is_err());
+        assert!(parse_shape("m15n16k16").is_err()); // misaligned
+        assert!(parse_shape("m0n16k16").is_err());
+    }
+
+    #[test]
+    fn parse_group_variants() {
+        assert_eq!(parse_group("g128").unwrap(), GroupShape::G128);
+        assert_eq!(parse_group("g32x4").unwrap(), GroupShape::G32X4);
+        assert_eq!(parse_group("g64").unwrap(), GroupShape::along_k(64));
+        assert!(parse_group("h128").is_err());
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&argv("help")).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn analyze_produces_report() {
+        let out = run(&argv("analyze --shape m16n256k256 --arch pacq")).expect("runs");
+        assert!(out.contains("PacQ"));
+        assert!(out.contains("total cycles"));
+        assert!(out.contains("EDP"));
+    }
+
+    #[test]
+    fn analyze_json_is_wellformed_enough() {
+        let out = run(&argv("analyze --shape m16n256k256 --json")).expect("runs");
+        assert!(out.trim_start().starts_with('{'));
+        assert!(out.trim_end().ends_with('}'));
+        assert!(out.contains("\"total_cycles\""));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn compare_lists_three_architectures() {
+        let out = run(&argv("compare --shape m16n256k256")).expect("runs");
+        assert!(out.contains("Standard"));
+        assert!(out.contains("P(B_x)_k"));
+        assert!(out.contains("PacQ"));
+    }
+
+    #[test]
+    fn sweep_batch_runs() {
+        let out = run(&argv("sweep --param batch --shape m16n256k256")).expect("runs");
+        assert!(out.contains("512"));
+        let out = run(&argv("sweep --param dup --shape m16n256k256")).expect("runs");
+        assert!(out.lines().count() >= 4);
+        let out = run(&argv("sweep --param width --shape m16n256k256")).expect("runs");
+        assert!(out.contains("DP-16"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&argv("analyze")).is_err()); // missing shape
+        assert!(run(&argv("analyze --shape m16n16k16 --precision int5")).is_err());
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&argv("sweep --shape m16n16k16")).is_err()); // missing param
+        assert!(run(&argv("analyze --shape m16n16k16 --dup 3")).is_err());
+    }
+
+    #[test]
+    fn options_affect_the_simulation() {
+        let d1 = run(&argv("analyze --shape m16n256k256 --dup 1")).unwrap();
+        let d4 = run(&argv("analyze --shape m16n256k256 --dup 4")).unwrap();
+        assert_ne!(d1, d4);
+        let int2 = run(&argv("analyze --shape m16n256k256 --precision int2")).unwrap();
+        assert!(int2.contains("INT2"));
+    }
+}

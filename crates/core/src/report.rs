@@ -1,0 +1,139 @@
+//! Reports produced by the GEMM runner.
+
+use pacq_simt::{Architecture, EnergyReport, GemmStats, Workload};
+
+/// Full analysis of one GEMM on one architecture: traffic, timing,
+/// energy, EDP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmReport {
+    /// The architecture simulated.
+    pub arch: Architecture,
+    /// The workload.
+    pub workload: Workload,
+    /// Raw simulator statistics.
+    pub stats: GemmStats,
+    /// Energy split in pJ.
+    pub energy: EnergyReport,
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Energy-delay product in pJ·s.
+    pub edp_pj_s: f64,
+}
+
+impl GemmReport {
+    /// Total energy in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy.total_pj()
+    }
+
+    /// Speedup of this report over another (other ÷ self, in cycles).
+    pub fn speedup_over(&self, other: &GemmReport) -> f64 {
+        other.stats.total_cycles as f64 / self.stats.total_cycles as f64
+    }
+
+    /// EDP of this report normalized to another (self ÷ other).
+    pub fn edp_normalized_to(&self, other: &GemmReport) -> f64 {
+        self.edp_pj_s / other.edp_pj_s
+    }
+
+    /// Register-file accesses normalized to another report.
+    pub fn rf_accesses_normalized_to(&self, other: &GemmReport) -> f64 {
+        self.stats.rf.total_accesses() as f64 / other.stats.rf.total_accesses() as f64
+    }
+}
+
+/// A side-by-side comparison of several architecture reports on the same
+/// workload, normalized to the first entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    reports: Vec<GemmReport>,
+}
+
+impl Comparison {
+    /// Builds a comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty or the workloads differ.
+    pub fn new(reports: Vec<GemmReport>) -> Self {
+        assert!(!reports.is_empty(), "comparison needs at least one report");
+        let wl = reports[0].workload;
+        assert!(
+            reports.iter().all(|r| r.workload == wl),
+            "comparison requires identical workloads"
+        );
+        Comparison { reports }
+    }
+
+    /// The underlying reports (baseline first).
+    pub fn reports(&self) -> &[GemmReport] {
+        &self.reports
+    }
+
+    /// Normalized EDP of every report (baseline = 1.0).
+    pub fn normalized_edp(&self) -> Vec<f64> {
+        self.reports.iter().map(|r| r.edp_normalized_to(&self.reports[0])).collect()
+    }
+
+    /// Normalized speedup of every report over the baseline.
+    pub fn normalized_speedup(&self) -> Vec<f64> {
+        self.reports.iter().map(|r| r.speedup_over(&self.reports[0])).collect()
+    }
+
+    /// Normalized RF accesses (baseline = 1.0).
+    pub fn normalized_rf_accesses(&self) -> Vec<f64> {
+        self.reports
+            .iter()
+            .map(|r| r.rf_accesses_normalized_to(&self.reports[0]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::GemmRunner;
+    use pacq_fp16::WeightPrecision;
+    use pacq_simt::GemmShape;
+
+    fn reports() -> Vec<GemmReport> {
+        let runner = GemmRunner::new();
+        let wl = Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4);
+        vec![
+            runner.analyze(Architecture::PackedK, wl),
+            runner.analyze(Architecture::Pacq, wl),
+        ]
+    }
+
+    #[test]
+    fn normalization_is_relative_to_first() {
+        let cmp = Comparison::new(reports());
+        let edp = cmp.normalized_edp();
+        assert_eq!(edp[0], 1.0);
+        assert!(edp[1] < 1.0, "PacQ EDP should improve: {}", edp[1]);
+        let speed = cmp.normalized_speedup();
+        assert_eq!(speed[0], 1.0);
+        assert!(speed[1] > 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical workloads")]
+    fn mismatched_workloads_rejected() {
+        let runner = GemmRunner::new();
+        let a = runner.analyze(
+            Architecture::Pacq,
+            Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4),
+        );
+        let b = runner.analyze(
+            Architecture::Pacq,
+            Workload::new(GemmShape::M16N16K16, WeightPrecision::Int2),
+        );
+        Comparison::new(vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one report")]
+    fn empty_comparison_rejected() {
+        Comparison::new(vec![]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Power breakdowns — the data behind Figure 9.
+//!
+//! For every unit the breakdown reports the fraction of fully-active power
+//! contributed by each (component, provenance) group, and in particular
+//! the total **reused fraction** (purple in the paper's pie charts).
+
+use crate::components::{Component, Provenance};
+use crate::units::GemmUnit;
+
+/// One slice of a unit's power pie.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownSlice {
+    /// The component class.
+    pub component: Component,
+    /// Reused-from-baseline or newly added.
+    pub provenance: Provenance,
+    /// Number of instances in this slice.
+    pub count: u32,
+    /// Power of the slice in normalized units.
+    pub power_units: f64,
+    /// Fraction of the unit's total power.
+    pub fraction: f64,
+}
+
+/// A unit's full power breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBreakdown {
+    unit: GemmUnit,
+    slices: Vec<BreakdownSlice>,
+    total_units: f64,
+}
+
+impl PowerBreakdown {
+    /// Computes the breakdown of a unit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pacq_energy::{GemmUnit, PowerBreakdown};
+    ///
+    /// let b = PowerBreakdown::of(GemmUnit::ParallelFpIntMul);
+    /// // Figure 9: ~73 % of the parallel FP-INT-16 MUL power is reused.
+    /// assert!((b.reused_fraction() - 0.73).abs() < 0.01);
+    /// ```
+    pub fn of(unit: GemmUnit) -> Self {
+        let bom = unit.bom();
+        let total_units: f64 = bom.iter().map(|e| e.energy_units()).sum();
+        let mut slices: Vec<BreakdownSlice> = bom
+            .iter()
+            .map(|e| BreakdownSlice {
+                component: e.component,
+                provenance: e.provenance,
+                count: e.count,
+                power_units: e.energy_units(),
+                fraction: e.energy_units() / total_units,
+            })
+            .collect();
+        // Merge duplicate (component, provenance) pairs for a clean pie.
+        slices.sort_by_key(|s| (s.component as u8 as u32, s.provenance as u8 as u32));
+        let mut merged: Vec<BreakdownSlice> = Vec::new();
+        for s in slices {
+            match merged.last_mut() {
+                Some(last)
+                    if last.component == s.component && last.provenance == s.provenance =>
+                {
+                    last.count += s.count;
+                    last.power_units += s.power_units;
+                    last.fraction += s.fraction;
+                }
+                _ => merged.push(s),
+            }
+        }
+        PowerBreakdown { unit, slices: merged, total_units }
+    }
+
+    /// The unit this breakdown describes.
+    pub fn unit(&self) -> GemmUnit {
+        self.unit
+    }
+
+    /// The slices, one per (component, provenance) group.
+    pub fn slices(&self) -> &[BreakdownSlice] {
+        &self.slices
+    }
+
+    /// Total power in normalized units.
+    pub fn total_units(&self) -> f64 {
+        self.total_units
+    }
+
+    /// The purple fraction of Figure 9: power in reused components.
+    pub fn reused_fraction(&self) -> f64 {
+        self.slices
+            .iter()
+            .filter(|s| s.provenance == Provenance::Reused)
+            .map(|s| s.fraction)
+            .sum()
+    }
+
+    /// The white fraction of Figure 9: power in newly added components.
+    pub fn new_fraction(&self) -> f64 {
+        1.0 - self.reused_fraction()
+    }
+}
+
+/// Figure 9's three pies plus the average reuse the paper quotes (69 %).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure9 {
+    /// "Parallel INT-11 MUL" pie.
+    pub parallel_int11: PowerBreakdown,
+    /// "Parallel FP-INT-16 MUL" pie.
+    pub parallel_fp_int: PowerBreakdown,
+    /// "Parallel FP-INT-16 DP-4" pie.
+    pub parallel_dp4: PowerBreakdown,
+}
+
+impl Figure9 {
+    /// Computes all three breakdowns.
+    pub fn compute() -> Self {
+        Figure9 {
+            parallel_int11: PowerBreakdown::of(GemmUnit::ParallelInt11Mul),
+            parallel_fp_int: PowerBreakdown::of(GemmUnit::ParallelFpIntMul),
+            parallel_dp4: PowerBreakdown::of(GemmUnit::PARALLEL_DP4),
+        }
+    }
+
+    /// Average reuse ratio across the three units (paper: 69 %).
+    pub fn average_reuse(&self) -> f64 {
+        (self.parallel_int11.reused_fraction()
+            + self.parallel_fp_int.reused_fraction()
+            + self.parallel_dp4.reused_fraction())
+            / 3.0
+    }
+}
+
+impl Default for Figure9 {
+    fn default() -> Self {
+        Self::compute()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for unit in [
+            GemmUnit::BaselineFp16Mul,
+            GemmUnit::ParallelInt11Mul,
+            GemmUnit::ParallelFpIntMul,
+            GemmUnit::PARALLEL_DP4,
+            GemmUnit::PacqTensorCore,
+        ] {
+            let b = PowerBreakdown::of(unit);
+            let sum: f64 = b.slices().iter().map(|s| s.fraction).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{unit:?}: fractions sum to {sum}");
+            assert!((b.reused_fraction() + b.new_fraction() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure9_reuse_ratios_match_paper() {
+        let f = Figure9::compute();
+        // "we successfully reuse nearly 75% of the original INT-11
+        // multiplier resources"
+        let r1 = f.parallel_int11.reused_fraction();
+        assert!((r1 - 0.75).abs() < 0.01, "parallel INT11 reuse = {r1}");
+        // "reusing ~73% of hardware resources from standard FP16
+        // multipliers"
+        let r2 = f.parallel_fp_int.reused_fraction();
+        assert!((r2 - 0.73).abs() < 0.01, "parallel FP-INT reuse = {r2}");
+        // "For the DP-4 unit, we achieve approximately 60% hardware
+        // resource reuse."
+        let r3 = f.parallel_dp4.reused_fraction();
+        assert!((0.54..0.63).contains(&r3), "parallel DP-4 reuse = {r3}");
+        // "our design maintains an average hardware resource reuse ratio
+        // of 69%"
+        let avg = f.average_reuse();
+        assert!((avg - 0.69).abs() < 0.02, "average reuse = {avg}");
+    }
+
+    #[test]
+    fn baseline_units_are_fully_reused() {
+        let b = PowerBreakdown::of(GemmUnit::BaselineFp16Mul);
+        assert!((b.reused_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_slices_have_no_duplicates() {
+        let b = PowerBreakdown::of(GemmUnit::PARALLEL_DP4);
+        let mut seen = std::collections::HashSet::new();
+        for s in b.slices() {
+            assert!(
+                seen.insert((format!("{}", s.component), s.provenance == Provenance::Reused)),
+                "duplicate slice for {}",
+                s.component
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Calibration record: which paper-reported number pins which constant.
+//!
+//! The paper's hardware numbers come from Synopsys DC synthesis (32 nm,
+//! 400 MHz) and CACTI 7.0 — neither of which is reproducible here, so the
+//! component library of [`crate::components`] is *fitted* to the paper's
+//! published ratios instead. This module documents the fit, exposes the
+//! headline derived quantities, and the test suite asserts they land
+//! inside tight bands around the paper's values.
+//!
+//! # The fitted system
+//!
+//! With energies in units of the baseline FP16 multiplier (≡ 1.0):
+//!
+//! | Anchor (paper) | Equation |
+//! |---|---|
+//! | Baseline FP16 MUL ≡ 1.0 | `10·e16 + e5 + en + er = 1` |
+//! | Fig. 8: 3.38× thr/W at 4× throughput (INT4) | `P(parallel MUL) = 4 / 3.38 = 1.1834` |
+//! | Fig. 8: 6.75× at 8× (INT2) | same unit, same power — consistent: `8/6.75 = 1.185` |
+//! | Fig. 9: 75 % reuse in parallel INT11 MUL | `10·β·e16 / (12·β·e16 + 4·e6) = 0.75` |
+//! | Fig. 9: 73 % reuse in parallel FP-INT MUL | `(10·β·e16 + e5 + en + er) / 1.1834 = 0.73` |
+//!
+//! Solution adopted (β is the reduced activity of the parallel array's
+//! adders — physically, 11×4-bit partial products toggle less than
+//! 11×11-bit ones):
+//!
+//! `e16 = 0.08246`, `β = 0.835`, `e6 = 0.02295`, `e5 = 0.045`,
+//! `en = 0.1004`, `er = 0.03`, `FP16 adder = 1.2`, `Σ-accumulator = 0.1`.
+//!
+//! The FP16 adder value (1.2× the multiplier) is fitted to Figure 11's
+//! ablation (duplication 2 gives ~1.33× over 1; 4 gives only ~1.1–1.2×
+//! over 2): FP16 adders are alignment/normalization dominated, so a value
+//! near the multiplier's is physically reasonable at this narrow width.
+
+use crate::units::GemmUnit;
+use pacq_fp16::WeightPrecision;
+
+/// Paper value: Figure 8 multiplier throughput/watt gain for INT4.
+pub const PAPER_MUL_GAIN_INT4: f64 = 3.38;
+/// Paper value: Figure 8 multiplier throughput/watt gain for INT2.
+pub const PAPER_MUL_GAIN_INT2: f64 = 6.75;
+/// Paper value: Figure 9 reuse ratio of the parallel INT11 multiplier.
+pub const PAPER_REUSE_INT11: f64 = 0.75;
+/// Paper value: Figure 9 reuse ratio of the parallel FP-INT multiplier.
+pub const PAPER_REUSE_FP_INT: f64 = 0.73;
+/// Paper value: Figure 9 average reuse ratio.
+pub const PAPER_REUSE_AVG: f64 = 0.69;
+
+/// Derived: multiplier throughput-per-watt gain of the parallel FP-INT
+/// unit over the baseline FP16 multiplier, for the given weight precision
+/// (Figure 8's first group of bars).
+///
+/// # Examples
+///
+/// ```
+/// use pacq_energy::calibration;
+/// use pacq_fp16::WeightPrecision;
+///
+/// let g = calibration::mul_throughput_per_watt_gain(WeightPrecision::Int4);
+/// assert!((g - 3.38).abs() < 0.02);
+/// ```
+pub fn mul_throughput_per_watt_gain(precision: WeightPrecision) -> f64 {
+    let base = GemmUnit::BaselineFp16Mul;
+    let par = GemmUnit::ParallelFpIntMul;
+    let thr_gain = par.products_per_cycle(Some(precision)) / base.products_per_cycle(None);
+    let power_ratio = par.power_units() / base.power_units();
+    thr_gain / power_ratio
+}
+
+/// Derived: DP-unit throughput-per-watt gain on the paper's `m2n4k4`
+/// DP workload (Figure 8's second group of bars).
+///
+/// Baseline: 8 outputs in 11 cycles. Parallel: 32 (64) outputs in 19 (35)
+/// cycles for INT4 (INT2).
+pub fn dp4_throughput_per_watt_gain(precision: WeightPrecision) -> f64 {
+    let (outputs, cycles) = match precision {
+        WeightPrecision::Int4 => (32.0, 19.0),
+        WeightPrecision::Int2 => (64.0, 35.0),
+    };
+    let thr_gain = (outputs / cycles) / (8.0 / 11.0);
+    let power_ratio =
+        GemmUnit::PARALLEL_DP4.power_units() / GemmUnit::BASELINE_DP4.power_units();
+    thr_gain / power_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_gain_matches_fig8() {
+        let g4 = mul_throughput_per_watt_gain(WeightPrecision::Int4);
+        assert!((g4 - PAPER_MUL_GAIN_INT4).abs() < 0.02, "INT4 gain = {g4}");
+        let g2 = mul_throughput_per_watt_gain(WeightPrecision::Int2);
+        assert!((g2 - PAPER_MUL_GAIN_INT2).abs() < 0.04, "INT2 gain = {g2}");
+    }
+
+    #[test]
+    fn dp4_gain_is_positive_and_ordered() {
+        // The paper's figure does not give exact DP-4 bars in the text; the
+        // shape constraint is: gains > 1, INT2 ≥ INT4, both smaller than
+        // the raw multiplier gains (the duplicated trees cost power).
+        let g4 = dp4_throughput_per_watt_gain(WeightPrecision::Int4);
+        let g2 = dp4_throughput_per_watt_gain(WeightPrecision::Int2);
+        assert!(g4 > 1.0, "DP-4 INT4 gain = {g4}");
+        assert!(g2 >= g4, "INT2 {g2} < INT4 {g4}");
+        assert!(g4 < mul_throughput_per_watt_gain(WeightPrecision::Int4));
+        assert!(g2 < mul_throughput_per_watt_gain(WeightPrecision::Int2));
+    }
+}

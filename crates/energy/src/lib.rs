@@ -1,0 +1,41 @@
+//! # pacq-energy — power, area and memory-energy models for PacQ
+//!
+//! Substitute for the paper's Synopsys Design Compiler (32 nm, 400 MHz)
+//! synthesis flow and CACTI 7.0 memory modeling:
+//!
+//! * [`components`] — leaf component library with calibrated per-op
+//!   energies and areas;
+//! * [`units`] — Table I unit compositions ([`GemmUnit`]) with bills of
+//!   materials, fully-active power and area;
+//! * [`breakdown`] — Figure 9 power breakdowns and reuse ratios;
+//! * [`sram`] — CACTI-like register-file / L1 / DRAM access energies;
+//! * [`calibration`] — the fit record tying every constant to the paper
+//!   ratio that pins it.
+//!
+//! ## Example
+//!
+//! ```
+//! use pacq_energy::{GemmUnit, PowerBreakdown};
+//!
+//! let baseline = GemmUnit::BaselineFp16Mul.power_units();
+//! let parallel = GemmUnit::ParallelFpIntMul.power_units();
+//! // Four lane products per cycle for ~18 % more power → Figure 8's 3.38×.
+//! assert!((4.0 / (parallel / baseline) - 3.38).abs() < 0.02);
+//!
+//! let reuse = PowerBreakdown::of(GemmUnit::ParallelFpIntMul).reused_fraction();
+//! assert!((reuse - 0.73).abs() < 0.01); // Figure 9
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod calibration;
+pub mod components;
+pub mod sram;
+pub mod units;
+
+pub use breakdown::{BreakdownSlice, Figure9, PowerBreakdown};
+pub use components::{BomEntry, Component, Provenance, ENERGY_UNIT_PJ};
+pub use sram::{MemoryKind, SramModel};
+pub use units::{GemmUnit, CLOCK_HZ};

@@ -1,0 +1,77 @@
+//! Property-based tests for the energy/area models.
+
+use pacq_energy::{GemmUnit, MemoryKind, PowerBreakdown, SramModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// SRAM access energy is monotone in capacity and linear in width.
+    #[test]
+    fn sram_energy_monotone(
+        cap_kb in 1u64..4096,
+        bits in prop::sample::select(vec![8u64, 16, 32, 64, 128]),
+    ) {
+        for kind in [MemoryKind::RegisterFile, MemoryKind::Cache] {
+            let small = SramModel::new(kind, cap_kb * 1024);
+            let big = SramModel::new(kind, (cap_kb + 1) * 1024);
+            prop_assert!(big.read_energy_pj(bits) > small.read_energy_pj(bits));
+            // Linear in width.
+            let e1 = small.read_energy_pj(bits);
+            let e2 = small.read_energy_pj(bits * 2);
+            prop_assert!((e2 - 2.0 * e1).abs() < 1e-9 * e2.max(1.0));
+            // Writes cost more than reads.
+            prop_assert!(small.write_energy_pj(bits) > small.read_energy_pj(bits));
+        }
+    }
+
+    /// Tagged caches always cost more than RF arrays of equal capacity.
+    #[test]
+    fn cache_overhead_holds(cap_kb in 1u64..512) {
+        let rf = SramModel::new(MemoryKind::RegisterFile, cap_kb * 1024);
+        let l1 = SramModel::new(MemoryKind::Cache, cap_kb * 1024);
+        prop_assert!(l1.read_energy_pj(16) > rf.read_energy_pj(16));
+    }
+
+    /// DP unit power grows strictly with duplication and width.
+    #[test]
+    fn dp_power_monotone(width in prop::sample::select(vec![4usize, 8, 16])) {
+        let mut last = 0.0;
+        for dup in [1usize, 2, 4] {
+            let p = GemmUnit::ParallelDp { width, duplication: dup }.power_units();
+            prop_assert!(p > last);
+            last = p;
+        }
+        if width < 16 {
+            let wide = GemmUnit::ParallelDp { width: width * 2, duplication: 1 }.power_units();
+            let narrow = GemmUnit::ParallelDp { width, duplication: 1 }.power_units();
+            prop_assert!(wide > narrow);
+        }
+    }
+
+    /// Breakdown fractions are a partition of unity for every unit.
+    #[test]
+    fn breakdown_partitions_unity(
+        unit in prop::sample::select(vec![
+            GemmUnit::BaselineInt11Mul,
+            GemmUnit::ParallelInt11Mul,
+            GemmUnit::BaselineFp16Mul,
+            GemmUnit::ParallelFpIntMul,
+            GemmUnit::BASELINE_DP4,
+            GemmUnit::PARALLEL_DP4,
+            GemmUnit::BaselineTensorCore,
+            GemmUnit::PacqTensorCore,
+        ]),
+    ) {
+        let b = PowerBreakdown::of(unit);
+        let sum: f64 = b.slices().iter().map(|s| s.fraction).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&b.reused_fraction()));
+        for s in b.slices() {
+            prop_assert!(s.fraction > 0.0);
+            prop_assert!(s.power_units > 0.0);
+        }
+        // Power and area must both be positive and finite.
+        prop_assert!(unit.power_units().is_finite() && unit.power_units() > 0.0);
+        prop_assert!(unit.area_um2().is_finite() && unit.area_um2() > 0.0);
+        prop_assert!(unit.power_watts() > 0.0);
+    }
+}

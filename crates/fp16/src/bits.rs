@@ -1,0 +1,474 @@
+//! The [`Fp16`] storage type: IEEE 754 binary16 implemented from scratch.
+//!
+//! PacQ's contribution is a bit-level hardware datapath, so this crate does
+//! not depend on an external half-precision library: every conversion and
+//! field accessor is spelled out so the datapath models in [`crate::mul`]
+//! and [`crate::parallel`] can be audited against the IEEE 754 layout shown
+//! in Figure 2 of the paper:
+//!
+//! ```text
+//!   [15]   [14:10]     [9:0]
+//!   sign   exponent    mantissa (10 stored bits, hidden bit = 1 when normal)
+//! ```
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// Width of the stored mantissa field in bits.
+pub const MANT_BITS: u32 = 10;
+/// Width of the exponent field in bits.
+pub const EXP_BITS: u32 = 5;
+/// Exponent bias (15 for binary16).
+pub const EXP_BIAS: i32 = 15;
+/// Maximum biased exponent value (all ones => inf/NaN).
+pub const EXP_MAX: u16 = (1 << EXP_BITS) - 1;
+/// Mask selecting the stored mantissa bits.
+pub const MANT_MASK: u16 = (1 << MANT_BITS) - 1;
+/// The implicit hidden bit position (bit 10 of the 11-bit significand).
+pub const HIDDEN_BIT: u16 = 1 << MANT_BITS;
+
+/// Classification of a binary16 value, mirroring [`core::num::FpCategory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fp16Class {
+    /// Positive or negative zero.
+    Zero,
+    /// Subnormal (biased exponent 0, non-zero mantissa).
+    Subnormal,
+    /// Normal number (hidden bit = 1).
+    Normal,
+    /// Positive or negative infinity.
+    Infinite,
+    /// Not a number.
+    Nan,
+}
+
+/// An IEEE 754 binary16 (half precision) value stored as its raw bit
+/// pattern.
+///
+/// `Fp16` is a plain 16-bit storage type: all arithmetic lives in
+/// [`crate::softfloat`] (the correctly-rounded reference) and in the
+/// hardware datapath models. Two `Fp16`s compare equal iff their bit
+/// patterns are equal (so `NaN == NaN` at this level and `+0 != -0`);
+/// use [`Fp16::total_cmp`] or convert [`Fp16::to_f32`] for numeric
+/// comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use pacq_fp16::Fp16;
+///
+/// let x = Fp16::from_f32(1.5);
+/// assert_eq!(x.to_bits(), 0x3E00);
+/// assert_eq!(x.to_f32(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp16(u16);
+
+impl Fp16 {
+    /// Positive zero.
+    pub const ZERO: Fp16 = Fp16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: Fp16 = Fp16(0x8000);
+    /// One.
+    pub const ONE: Fp16 = Fp16(0x3C00);
+    /// Negative one.
+    pub const NEG_ONE: Fp16 = Fp16(0xBC00);
+    /// Positive infinity.
+    pub const INFINITY: Fp16 = Fp16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Fp16 = Fp16(0xFC00);
+    /// A canonical quiet NaN.
+    pub const NAN: Fp16 = Fp16(0x7E00);
+    /// Largest finite value (65504).
+    pub const MAX: Fp16 = Fp16(0x7BFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: Fp16 = Fp16(0x0400);
+    /// Smallest positive subnormal value (2^-24).
+    pub const MIN_SUBNORMAL: Fp16 = Fp16(0x0001);
+
+    /// Creates a value from its raw IEEE 754 binary16 bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Fp16(bits)
+    }
+
+    /// Returns the raw IEEE 754 binary16 bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Sign bit: `true` for negative (including -0 and negative NaNs).
+    #[inline]
+    pub const fn sign(self) -> bool {
+        self.0 >> 15 != 0
+    }
+
+    /// The raw 5-bit biased exponent field.
+    #[inline]
+    pub const fn biased_exponent(self) -> u16 {
+        (self.0 >> MANT_BITS) & EXP_MAX
+    }
+
+    /// The raw 10-bit stored mantissa field (without the hidden bit).
+    #[inline]
+    pub const fn mantissa(self) -> u16 {
+        self.0 & MANT_MASK
+    }
+
+    /// The 11-bit significand including the hidden bit (0 for zero,
+    /// `mantissa` for subnormals, `0x400 | mantissa` for normals).
+    ///
+    /// This is the integer the hardware mantissa multiplier consumes
+    /// (right side of Figure 2 in the paper).
+    #[inline]
+    pub const fn significand(self) -> u16 {
+        if self.biased_exponent() == 0 {
+            self.mantissa()
+        } else {
+            HIDDEN_BIT | self.mantissa()
+        }
+    }
+
+    /// Unbiased exponent of the significand interpreted as `1.m` (normals)
+    /// or `0.m` scaled (subnormals share the minimum exponent).
+    #[inline]
+    pub const fn unbiased_exponent(self) -> i32 {
+        let e = self.biased_exponent() as i32;
+        if e == 0 {
+            1 - EXP_BIAS
+        } else {
+            e - EXP_BIAS
+        }
+    }
+
+    /// Classifies the value.
+    #[inline]
+    pub const fn classify(self) -> Fp16Class {
+        let e = self.biased_exponent();
+        let m = self.mantissa();
+        match (e, m) {
+            (0, 0) => Fp16Class::Zero,
+            (0, _) => Fp16Class::Subnormal,
+            (EXP_MAX, 0) => Fp16Class::Infinite,
+            (EXP_MAX, _) => Fp16Class::Nan,
+            _ => Fp16Class::Normal,
+        }
+    }
+
+    /// `true` if the value is NaN.
+    #[inline]
+    pub const fn is_nan(self) -> bool {
+        matches!(self.classify(), Fp16Class::Nan)
+    }
+
+    /// `true` if the value is +inf or -inf.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        matches!(self.classify(), Fp16Class::Infinite)
+    }
+
+    /// `true` if the value is neither infinite nor NaN.
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        self.biased_exponent() != EXP_MAX
+    }
+
+    /// `true` for +0 and -0.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 & 0x7FFF == 0
+    }
+
+    /// `true` for subnormal values.
+    #[inline]
+    pub const fn is_subnormal(self) -> bool {
+        matches!(self.classify(), Fp16Class::Subnormal)
+    }
+
+    /// `true` for normal values (hidden bit = 1).
+    #[inline]
+    pub const fn is_normal(self) -> bool {
+        matches!(self.classify(), Fp16Class::Normal)
+    }
+
+    /// Returns the value with the sign bit cleared.
+    #[inline]
+    pub const fn abs(self) -> Fp16 {
+        Fp16(self.0 & 0x7FFF)
+    }
+
+    /// Returns the value with the sign bit flipped.
+    #[inline]
+    pub const fn neg(self) -> Fp16 {
+        Fp16(self.0 ^ 0x8000)
+    }
+
+    /// Converts an `f32` to binary16 with round-to-nearest-even, the IEEE
+    /// 754 default. Overflow produces infinity; underflow produces
+    /// (possibly subnormal) small values, exactly as a hardware `F32 -> F16`
+    /// conversion unit would.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN. Preserve NaN-ness; quiet the payload's top bit so
+            // a signaling payload that would truncate to zero stays NaN.
+            return if mant == 0 {
+                Fp16(sign | 0x7C00)
+            } else {
+                Fp16(sign | 0x7E00 | ((mant >> 13) as u16 & 0x01FF))
+            };
+        }
+
+        // Unbiased exponent in f32 terms; subnormal f32 inputs are far below
+        // the f16 subnormal range and round to zero below.
+        let unbiased = exp - 127;
+        let half_exp = unbiased + EXP_BIAS;
+
+        if half_exp >= EXP_MAX as i32 {
+            // Overflow -> infinity.
+            return Fp16(sign | 0x7C00);
+        }
+
+        // 24-bit significand with hidden bit (0 for f32 subnormals).
+        let sig = if exp == 0 { mant } else { mant | 0x0080_0000 };
+
+        if half_exp <= 0 {
+            // Result is subnormal (or zero) in f16: shift the significand
+            // right by the deficit plus the normal 13-bit narrowing.
+            let shift = 14 - half_exp; // total right shift from bit 23 down
+            if shift > 24 {
+                return Fp16(sign); // rounds to zero even after RNE
+            }
+            let shift = shift as u32;
+            let kept = (sig >> shift) as u16;
+            let round_bit = (sig >> (shift - 1)) & 1;
+            let sticky = (sig & ((1 << (shift - 1)) - 1)) != 0;
+            let mut out = kept;
+            if round_bit == 1 && (sticky || (kept & 1) == 1) {
+                out += 1; // may carry into the normal range: that is correct
+            }
+            return Fp16(sign | out);
+        }
+
+        // Normal range: round 23-bit mantissa to 10 bits (RNE).
+        let kept = (mant >> 13) as u16;
+        let round_bit = (mant >> 12) & 1;
+        let sticky = (mant & 0x0FFF) != 0;
+        let mut out = ((half_exp as u16) << MANT_BITS) | kept;
+        if round_bit == 1 && (sticky || (kept & 1) == 1) {
+            out += 1; // mantissa carry bumps the exponent correctly
+        }
+        Fp16(sign | out)
+    }
+
+    /// Converts to `f32`. The conversion is exact: every binary16 value is
+    /// representable in binary32.
+    pub fn to_f32(self) -> f32 {
+        let sign = (self.0 as u32 & 0x8000) << 16;
+        let exp = self.biased_exponent() as u32;
+        let mant = self.mantissa() as u32;
+
+        let bits = if exp == 0 {
+            if mant == 0 {
+                sign
+            } else {
+                // Normalize the subnormal: value = mant × 2^-24 with the
+                // msb of `mant` at bit position p, i.e. 1.f × 2^(p-24).
+                let p = 31 - mant.leading_zeros(); // 0..=9
+                let exp = 127 - 24 + p;
+                let frac = (mant << (23 - p)) & 0x007F_FFFF;
+                sign | (exp << 23) | frac
+            }
+        } else if exp == EXP_MAX as u32 {
+            sign | 0x7F80_0000 | (mant << 13)
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Total ordering over bit patterns per IEEE 754 `totalOrder`:
+    /// `-NaN < -inf < ... < -0 < +0 < ... < +inf < +NaN`.
+    pub fn total_cmp(self, other: Fp16) -> Ordering {
+        // Map to a monotone signed key.
+        fn key(x: Fp16) -> i32 {
+            let b = x.to_bits() as i32;
+            if b & 0x8000 != 0 {
+                0x8000 - b
+            } else {
+                b + 0x8000
+            }
+        }
+        key(self).cmp(&key(other))
+    }
+
+    /// Iterator over every one of the 65 536 binary16 bit patterns.
+    ///
+    /// Exhaustive verification is cheap at this width, and the datapath
+    /// tests in this crate lean on that.
+    pub fn all_values() -> impl Iterator<Item = Fp16> {
+        (0u16..=u16::MAX).map(Fp16::from_bits)
+    }
+}
+
+impl From<f32> for Fp16 {
+    fn from(value: f32) -> Self {
+        Fp16::from_f32(value)
+    }
+}
+
+impl From<Fp16> for f32 {
+    fn from(value: Fp16) -> Self {
+        value.to_f32()
+    }
+}
+
+impl fmt::Display for Fp16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl fmt::LowerHex for Fp16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Fp16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Fp16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_bits() {
+        assert_eq!(Fp16::ZERO.to_bits(), 0x0000);
+        assert_eq!(Fp16::NEG_ZERO.to_bits(), 0x8000);
+        assert_eq!(Fp16::ONE.to_bits(), 0x3C00);
+        assert_eq!(Fp16::INFINITY.to_bits(), 0x7C00);
+        assert_eq!(Fp16::MAX.to_f32(), 65504.0);
+        assert_eq!(Fp16::MIN_POSITIVE.to_f32(), 2.0_f32.powi(-14));
+        assert_eq!(Fp16::MIN_SUBNORMAL.to_f32(), 2.0_f32.powi(-24));
+    }
+
+    #[test]
+    fn field_accessors_match_layout() {
+        // 1.5 = sign 0, exponent 15 (biased), mantissa 0b1000000000
+        let x = Fp16::from_bits(0x3E00);
+        assert!(!x.sign());
+        assert_eq!(x.biased_exponent(), 15);
+        assert_eq!(x.mantissa(), 0x200);
+        assert_eq!(x.significand(), 0x600);
+        assert_eq!(x.unbiased_exponent(), 0);
+    }
+
+    #[test]
+    fn classify_covers_all_cases() {
+        assert_eq!(Fp16::ZERO.classify(), Fp16Class::Zero);
+        assert_eq!(Fp16::NEG_ZERO.classify(), Fp16Class::Zero);
+        assert_eq!(Fp16::MIN_SUBNORMAL.classify(), Fp16Class::Subnormal);
+        assert_eq!(Fp16::ONE.classify(), Fp16Class::Normal);
+        assert_eq!(Fp16::INFINITY.classify(), Fp16Class::Infinite);
+        assert_eq!(Fp16::NAN.classify(), Fp16Class::Nan);
+    }
+
+    #[test]
+    fn roundtrip_f32_is_exact_for_all_values() {
+        for x in Fp16::all_values() {
+            let back = Fp16::from_f32(x.to_f32());
+            if x.is_nan() {
+                assert!(back.is_nan(), "NaN {:04x} lost NaN-ness", x.to_bits());
+            } else {
+                assert_eq!(back, x, "roundtrip failed for {:04x}", x.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_f32_rounds_to_nearest_even() {
+        // 2049 is exactly between 2048 and 2050 in f16; RNE picks 2048.
+        assert_eq!(Fp16::from_f32(2049.0).to_f32(), 2048.0);
+        // 2051 is between 2050 and 2052; RNE picks 2052 (even mantissa).
+        assert_eq!(Fp16::from_f32(2051.0).to_f32(), 2052.0);
+        // Just above the tie rounds up.
+        assert_eq!(Fp16::from_f32(2049.001).to_f32(), 2050.0);
+    }
+
+    #[test]
+    fn from_f32_overflow_and_underflow() {
+        assert_eq!(Fp16::from_f32(1.0e6), Fp16::INFINITY);
+        assert_eq!(Fp16::from_f32(-1.0e6), Fp16::NEG_INFINITY);
+        assert_eq!(Fp16::from_f32(65520.0), Fp16::INFINITY); // rounds past MAX
+        assert_eq!(Fp16::from_f32(65504.0), Fp16::MAX);
+        assert_eq!(Fp16::from_f32(1.0e-9), Fp16::ZERO);
+        assert_eq!(Fp16::from_f32(-1.0e-9), Fp16::NEG_ZERO);
+        // Largest f32 that rounds to the smallest subnormal.
+        let tiny = 2.0_f32.powi(-24);
+        assert_eq!(Fp16::from_f32(tiny), Fp16::MIN_SUBNORMAL);
+        // Halfway to the smallest subnormal rounds to zero (even).
+        assert_eq!(Fp16::from_f32(tiny / 2.0), Fp16::ZERO);
+    }
+
+    #[test]
+    fn from_f32_subnormal_range() {
+        for bits in 1u16..0x400 {
+            let x = Fp16::from_bits(bits);
+            assert!(x.is_subnormal());
+            assert_eq!(Fp16::from_f32(x.to_f32()), x);
+        }
+    }
+
+    #[test]
+    fn nan_propagates_through_conversion() {
+        assert!(Fp16::from_f32(f32::NAN).is_nan());
+        assert!(Fp16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn total_cmp_orders_all_values_monotonically() {
+        // Spot-check the documented ordering.
+        let order = [
+            Fp16::from_bits(0xFC01), // -NaN-ish (negative NaN)
+            Fp16::NEG_INFINITY,
+            Fp16::from_f32(-2.0),
+            Fp16::NEG_ZERO,
+            Fp16::ZERO,
+            Fp16::from_f32(2.0),
+            Fp16::INFINITY,
+            Fp16::NAN,
+        ];
+        for w in order.windows(2) {
+            assert_eq!(w[0].total_cmp(w[1]), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn significand_of_subnormal_has_no_hidden_bit() {
+        let x = Fp16::from_bits(0x0155);
+        assert_eq!(x.significand(), 0x155);
+        assert_eq!(x.unbiased_exponent(), -14);
+    }
+
+    #[test]
+    fn abs_and_neg() {
+        assert_eq!(Fp16::NEG_ONE.abs(), Fp16::ONE);
+        assert_eq!(Fp16::ONE.neg(), Fp16::NEG_ONE);
+        assert_eq!(Fp16::ZERO.neg(), Fp16::NEG_ZERO);
+    }
+}

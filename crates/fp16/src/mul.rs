@@ -1,0 +1,459 @@
+//! Structural model of the baseline FP16 multiplier (Figure 5(a)).
+//!
+//! The model mirrors the hardware decomposition the paper synthesizes:
+//!
+//! * sign: 1 XOR gate,
+//! * exponent: one 5-bit integer adder (`INT5 adder` in Table I),
+//! * mantissa: an 11×11-bit integer multiplier built as a shift-add array
+//!   of **10 parallel 16-bit adders** (`INT11 MUL` in Table I),
+//! * one normalization unit (1-bit shift when the product reaches `[2,4)`),
+//! * one rounding unit (round-to-nearest-even).
+//!
+//! [`Fp16Multiplier::multiply`] walks those stages explicitly and records
+//! the intermediate signals in a [`MulTrace`], so the datapath can be
+//! audited and its per-stage activity fed into the energy model. The
+//! result is bit-exact with [`crate::softfloat::mul`] (proved exhaustively
+//! in the test suite for full one-operand sweeps).
+
+use crate::bits::{Fp16, EXP_BIAS, EXP_MAX, MANT_BITS, MANT_MASK};
+
+/// Rounding implemented by the rounding units.
+///
+/// Round-to-nearest-even needs an incrementer plus tie detection;
+/// truncation is nearly free in hardware. The paper's units are RNE;
+/// the truncating variant is modeled as a design-space point (and the
+/// numerics study shows why it is a bad idea for PacQ: truncating the
+/// ~1032×-inflated biased products injects a *systematic* negative bias
+/// that the Eq. (1) recovery turns into signal-sized error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// IEEE 754 round-to-nearest, ties to even (the paper's units).
+    #[default]
+    NearestEven,
+    /// Round toward zero (drop the low bits) — cheaper hardware.
+    Truncate,
+}
+
+/// How the datapath treats subnormal inputs and outputs.
+///
+/// Real GPU multiply datapaths frequently flush subnormals; the IEEE mode
+/// adds a leading-zero normalizer in front of the array. Both are modeled
+/// so their cost difference can be studied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SubnormalMode {
+    /// Full IEEE 754 semantics (gradual underflow).
+    #[default]
+    Ieee,
+    /// Flush subnormal inputs and outputs to (sign-preserving) zero.
+    FlushToZero,
+}
+
+/// Intermediate signals of one multiplication through the datapath.
+///
+/// Field names follow Figure 5; everything is observable so tests and the
+/// energy model can count toggles per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulTrace {
+    /// XOR of the operand signs.
+    pub sign_out: bool,
+    /// Raw biased exponent sum before normalization/rounding adjustment.
+    pub exp_sum: i32,
+    /// The 11-bit significands fed to the integer multiplier array.
+    pub sig_a: u16,
+    /// Second multiplier operand.
+    pub sig_b: u16,
+    /// Exact 22-bit significand product out of the adder array.
+    pub raw_product: u32,
+    /// Number of partial products that were non-zero (adder array activity).
+    pub partial_products_used: u32,
+    /// Whether the 1-bit normalization shift fired (product in `[2,4)`).
+    pub normalized: bool,
+    /// Whether rounding incremented the mantissa.
+    pub round_up: bool,
+    /// The packed result.
+    pub result: Fp16,
+}
+
+/// Resource inventory of the baseline multiplier, matching Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplierResources {
+    /// 16-bit adders inside the mantissa multiplier array.
+    pub int16_adders: u32,
+    /// 6-bit adders (none in the baseline; used by the parallel unit).
+    pub int6_adders: u32,
+    /// 5-bit exponent adders.
+    pub int5_adders: u32,
+    /// Normalization units.
+    pub normalization_units: u32,
+    /// Rounding units.
+    pub rounding_units: u32,
+}
+
+/// Baseline IEEE 754 FP16 multiplier datapath (Figure 5(a); Table I row
+/// "FP16 MUL (baseline)").
+///
+/// # Examples
+///
+/// ```
+/// use pacq_fp16::{Fp16, Fp16Multiplier};
+///
+/// let unit = Fp16Multiplier::new();
+/// let trace = unit.multiply(Fp16::from_f32(1.5), Fp16::from_f32(2.0));
+/// assert_eq!(trace.result.to_f32(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fp16Multiplier {
+    subnormal_mode: SubnormalMode,
+    rounding: RoundingMode,
+}
+
+impl Fp16Multiplier {
+    /// Creates a multiplier with full IEEE semantics.
+    pub fn new() -> Self {
+        Fp16Multiplier { subnormal_mode: SubnormalMode::Ieee, rounding: RoundingMode::NearestEven }
+    }
+
+    /// Creates a multiplier with the given subnormal handling.
+    pub fn with_subnormal_mode(subnormal_mode: SubnormalMode) -> Self {
+        Fp16Multiplier { subnormal_mode, rounding: RoundingMode::NearestEven }
+    }
+
+    /// Replaces the rounding units (design-space study).
+    pub fn with_rounding(mut self, rounding: RoundingMode) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// The configured subnormal handling.
+    pub fn subnormal_mode(&self) -> SubnormalMode {
+        self.subnormal_mode
+    }
+
+    /// The configured rounding mode.
+    pub fn rounding(&self) -> RoundingMode {
+        self.rounding
+    }
+
+    /// Pipeline issue interval: one multiply per cycle.
+    pub const fn throughput_per_cycle(&self) -> u32 {
+        1
+    }
+
+    /// Resource inventory (Table I: "1 INT11 MUL [10 INT16 adders],
+    /// 1 INT5 adder, 1 normalization unit, 1 rounding unit").
+    pub const fn resources(&self) -> MultiplierResources {
+        MultiplierResources {
+            int16_adders: 10,
+            int6_adders: 0,
+            int5_adders: 1,
+            normalization_units: 1,
+            rounding_units: 1,
+        }
+    }
+
+    /// Runs one multiplication through the datapath.
+    pub fn multiply(&self, a: Fp16, b: Fp16) -> MulTrace {
+        let sign_out = a.sign() ^ b.sign();
+        let sign_bits = (sign_out as u16) << 15;
+
+        // Special handling in front of the array (hardware side-paths).
+        if let Some(result) = special_case(a, b, sign_bits, self.subnormal_mode) {
+            return MulTrace {
+                sign_out,
+                exp_sum: 0,
+                sig_a: 0,
+                sig_b: 0,
+                raw_product: 0,
+                partial_products_used: 0,
+                normalized: false,
+                round_up: false,
+                result,
+            };
+        }
+
+        // Operand conditioning: significand with hidden bit; subnormals get
+        // renormalized by the leading-zero shifter (IEEE mode only; FTZ
+        // inputs were already flushed by `special_case`).
+        let (sig_a, exp_a) = condition(a);
+        let (sig_b, exp_b) = condition(b);
+
+        // --- INT11 MUL: 11x11 shift-add array over 10 INT16 adders ----
+        // Partial product i = sig_a << i when bit i of sig_b is set; the 11
+        // partial products reduce through 10 two-input adders.
+        let mut raw_product: u32 = 0;
+        let mut partial_products_used = 0;
+        for bit in 0..=MANT_BITS {
+            if (sig_b >> bit) & 1 == 1 {
+                raw_product += (sig_a as u32) << bit;
+                partial_products_used += 1;
+            }
+        }
+        debug_assert_eq!(raw_product, sig_a as u32 * sig_b as u32);
+
+        // --- INT5 adder: exponent sum (biased domain) -------------------
+        let exp_sum = exp_a + exp_b;
+
+        // --- Normalization unit: product is in [1,4) -------------------
+        let mut exp = exp_sum;
+        let mut frac = raw_product;
+        let normalized = frac & (1 << 21) != 0;
+        if normalized {
+            frac = (frac >> 1) | (frac & 1); // keep sticky
+            exp += 1;
+        }
+
+        // --- Rounding unit ----------------------------------------------
+        let (result, round_up) =
+            round_pack(sign_out, exp, frac, self.subnormal_mode, self.rounding);
+
+        MulTrace {
+            sign_out,
+            exp_sum,
+            sig_a,
+            sig_b,
+            raw_product,
+            partial_products_used,
+            normalized,
+            round_up,
+            result,
+        }
+    }
+
+    /// Convenience wrapper returning just the product.
+    pub fn product(&self, a: Fp16, b: Fp16) -> Fp16 {
+        self.multiply(a, b).result
+    }
+}
+
+/// Special-value side paths (zeros, infinities, NaN, flushed subnormals).
+fn special_case(a: Fp16, b: Fp16, sign_bits: u16, mode: SubnormalMode) -> Option<Fp16> {
+    if a.is_nan() || b.is_nan() {
+        return Some(Fp16::NAN);
+    }
+    if a.is_infinite() || b.is_infinite() {
+        if a.is_zero() || b.is_zero() {
+            return Some(Fp16::NAN);
+        }
+        if mode == SubnormalMode::FlushToZero && (a.is_subnormal() || b.is_subnormal()) {
+            return Some(Fp16::NAN); // inf × (flushed 0)
+        }
+        return Some(Fp16::from_bits(sign_bits | Fp16::INFINITY.to_bits()));
+    }
+    let a_zeroish = a.is_zero() || (mode == SubnormalMode::FlushToZero && a.is_subnormal());
+    let b_zeroish = b.is_zero() || (mode == SubnormalMode::FlushToZero && b.is_subnormal());
+    if a_zeroish || b_zeroish {
+        return Some(Fp16::from_bits(sign_bits));
+    }
+    None
+}
+
+/// Produces the (normalized 11-bit significand, unbiased exponent) pair the
+/// array consumes. Subnormals pass through the leading-zero shifter.
+fn condition(x: Fp16) -> (u16, i32) {
+    let mut sig = x.significand();
+    let mut exp = x.unbiased_exponent();
+    while sig & (1 << MANT_BITS) == 0 {
+        sig <<= 1;
+        exp -= 1;
+    }
+    (sig, exp)
+}
+
+/// Round-to-nearest-even packing shared with the parallel unit.
+///
+/// `frac` is a 21/22-bit window with msb at bit 20 (value `[1,2) × 2^exp`).
+/// Returns the packed value and whether rounding incremented.
+pub(crate) fn round_pack(
+    sign: bool,
+    exp: i32,
+    frac: u32,
+    mode: SubnormalMode,
+    rounding: RoundingMode,
+) -> (Fp16, bool) {
+    let sign_bits = (sign as u16) << 15;
+    let biased = exp + EXP_BIAS;
+
+    if biased >= EXP_MAX as i32 {
+        return (Fp16::from_bits(sign_bits | Fp16::INFINITY.to_bits()), false);
+    }
+
+    if biased <= 0 {
+        let shift = (11 - biased) as u32;
+        if shift > 22 {
+            return (Fp16::from_bits(sign_bits), false);
+        }
+        let kept = (frac >> shift) as u16;
+        let round_bit = (frac >> (shift - 1)) & 1;
+        let sticky = frac & ((1 << (shift - 1)) - 1) != 0;
+        let mut out = kept;
+        let round_up = rounding == RoundingMode::NearestEven
+            && round_bit == 1
+            && (sticky || kept & 1 == 1);
+        if round_up {
+            out += 1;
+        }
+        if mode == SubnormalMode::FlushToZero {
+            // Round before classifying: a value just below 2^-14 rounds
+            // up INTO the normal range and must be kept; only genuinely
+            // subnormal results flush. (Found by the exhaustive RTL
+            // equivalence sweep — see pacq-rtl.)
+            return if out >= crate::bits::HIDDEN_BIT {
+                (Fp16::from_bits(sign_bits | out), round_up)
+            } else {
+                (Fp16::from_bits(sign_bits), false)
+            };
+        }
+        return (Fp16::from_bits(sign_bits | out), round_up);
+    }
+
+    let kept = (frac >> 10) as u16;
+    let round_bit = (frac >> 9) & 1;
+    let sticky = frac & 0x1FF != 0;
+    let mut sig = kept;
+    let mut biased = biased as u16;
+    let round_up = rounding == RoundingMode::NearestEven
+        && round_bit == 1
+        && (sticky || sig & 1 == 1);
+    if round_up {
+        sig += 1;
+        if sig == (1 << (MANT_BITS + 1)) {
+            sig >>= 1;
+            biased += 1;
+            if biased >= EXP_MAX {
+                return (Fp16::from_bits(sign_bits | Fp16::INFINITY.to_bits()), true);
+            }
+        }
+    }
+    (
+        Fp16::from_bits(sign_bits | (biased << MANT_BITS) | (sig & MANT_MASK)),
+        round_up,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softfloat;
+
+    fn same(x: Fp16, y: Fp16) -> bool {
+        (x.is_nan() && y.is_nan()) || x == y
+    }
+
+    #[test]
+    fn datapath_is_bit_exact_with_softfloat_on_operand_sweeps() {
+        let unit = Fp16Multiplier::new();
+        let fixed = [
+            0x0000, 0x8000, 0x0001, 0x03FF, 0x0400, 0x3C00, 0xBC00, 0x3555, 0x7BFF, 0x7C00,
+            0x7E00, 0x6400, 0x6408, 0x6417,
+        ];
+        for &f in &fixed {
+            let b = Fp16::from_bits(f);
+            for a in Fp16::all_values() {
+                let got = unit.product(a, b);
+                let want = softfloat::mul(a, b);
+                assert!(
+                    same(got, want),
+                    "datapath({:04x}, {:04x}) = {:04x}, softfloat {:04x}",
+                    a.to_bits(),
+                    f,
+                    got.to_bits(),
+                    want.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn datapath_matches_softfloat_on_random_pairs() {
+        let unit = Fp16Multiplier::new();
+        let mut a_bits = 0u16;
+        for _ in 0..30_000u32 {
+            a_bits = a_bits.wrapping_add(24_593);
+            let b_bits = a_bits.wrapping_mul(31).wrapping_add(17);
+            let a = Fp16::from_bits(a_bits);
+            let b = Fp16::from_bits(b_bits);
+            assert!(same(unit.product(a, b), softfloat::mul(a, b)));
+        }
+    }
+
+    #[test]
+    fn flush_to_zero_mode() {
+        let unit = Fp16Multiplier::with_subnormal_mode(SubnormalMode::FlushToZero);
+        // Subnormal input flushes.
+        let sub = Fp16::MIN_SUBNORMAL;
+        assert_eq!(unit.product(sub, Fp16::ONE), Fp16::ZERO);
+        assert_eq!(unit.product(sub.neg(), Fp16::ONE), Fp16::NEG_ZERO);
+        // Subnormal output flushes.
+        let got = unit.product(Fp16::MIN_POSITIVE, Fp16::from_f32(0.5));
+        assert_eq!(got, Fp16::ZERO);
+        // Normal results unaffected.
+        assert_eq!(unit.product(Fp16::from_f32(3.0), Fp16::from_f32(0.5)).to_f32(), 1.5);
+        // inf × subnormal = inf × 0 = NaN in FTZ.
+        assert!(unit.product(Fp16::INFINITY, sub).is_nan());
+    }
+
+    #[test]
+    fn trace_reports_partial_product_activity() {
+        let unit = Fp16Multiplier::new();
+        // 1.0 × 1.0: significand 0x400, exactly one partial product each.
+        let t = unit.multiply(Fp16::ONE, Fp16::ONE);
+        assert_eq!(t.partial_products_used, 1);
+        assert!(!t.normalized);
+        // 1.5 × 1.5 = 2.25: normalization fires.
+        let t = unit.multiply(Fp16::from_f32(1.5), Fp16::from_f32(1.5));
+        assert!(t.normalized);
+        assert_eq!(t.result.to_f32(), 2.25);
+    }
+
+    #[test]
+    fn resources_match_table_i() {
+        let r = Fp16Multiplier::new().resources();
+        assert_eq!(r.int16_adders, 10);
+        assert_eq!(r.int5_adders, 1);
+        assert_eq!(r.normalization_units, 1);
+        assert_eq!(r.rounding_units, 1);
+        assert_eq!(r.int6_adders, 0);
+    }
+
+    #[test]
+    fn truncating_rounding_never_exceeds_rne_magnitude() {
+        let rne = Fp16Multiplier::new();
+        let trunc = Fp16Multiplier::new().with_rounding(RoundingMode::Truncate);
+        let mut a_bits = 0u16;
+        for _ in 0..20_000u32 {
+            a_bits = a_bits.wrapping_add(24_593);
+            let b_bits = a_bits.wrapping_mul(19).wrapping_add(5);
+            let a = Fp16::from_bits(a_bits);
+            let b = Fp16::from_bits(b_bits);
+            let r = rne.product(a, b);
+            let t = trunc.product(a, b);
+            if r.is_nan() || t.is_nan() || r.is_infinite() {
+                continue;
+            }
+            // Truncation rounds toward zero: |t| <= |r| and within 1 ulp.
+            assert!(
+                t.abs().to_f32() <= r.abs().to_f32(),
+                "{a_bits:04x}x{b_bits:04x}: trunc {t} vs rne {r}"
+            );
+            // Subnormal results step in fixed 2^-24 increments.
+            let ulp = (r.abs().to_f32() * 2.0f32.powi(-10)).max(2.0f32.powi(-24));
+            assert!((t.to_f32() - r.to_f32()).abs() <= ulp * 1.01);
+        }
+    }
+
+    #[test]
+    fn truncation_is_exact_on_exact_products() {
+        let trunc = Fp16Multiplier::new().with_rounding(RoundingMode::Truncate);
+        // 1.5 x 2.0 = 3.0 needs no rounding; both modes agree.
+        assert_eq!(trunc.product(Fp16::from_f32(1.5), Fp16::from_f32(2.0)).to_f32(), 3.0);
+    }
+
+    #[test]
+    fn raw_product_is_exact_integer_multiply() {
+        let unit = Fp16Multiplier::new();
+        let a = Fp16::from_f32(1.2345);
+        let b = Fp16::from_f32(0.789);
+        let t = unit.multiply(a, b);
+        assert_eq!(t.raw_product, t.sig_a as u32 * t.sig_b as u32);
+    }
+}

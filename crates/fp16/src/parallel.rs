@@ -1,0 +1,505 @@
+//! The parallel FP-INT multiplier — PacQ's core arithmetic contribution
+//! (Figure 5(b)–(d)).
+//!
+//! # The trick
+//!
+//! Any integer `x ∈ [1024, 2048)` has FP16 exponent `0b11001` (biased 25)
+//! and mantissa `x - 1024` in its low 10 bits. A signed INT4 weight
+//! `B ∈ [-8, 7]` biased to `B + 8 + 1024 = B + 1032` therefore has:
+//!
+//! 1. a **constant exponent** `11001`, and
+//! 2. a mantissa of the form `0000_00yyyy` where `yyyy = B + 8`.
+//!
+//! So multiplying an FP16 activation `A` by four packed INT4 weights needs
+//! only four 11×4-bit integer multiplications instead of four 11×11-bit
+//! ones — cheap enough to do **all four in one cycle** while reusing the
+//! baseline multiplier's adder array (~73 % resource reuse). INT2 works the
+//! same way with offset `B + 2 + 1024 = B + 1026` and eight 11×2-bit lanes.
+//!
+//! The `+offset` bias is *not* an approximation: the surrounding dot
+//! product removes it algebraically, `Σ A·B = Σ A·(B+offset) − offset·Σ A`
+//! (the paper's Eq. (1); see [`crate::dp::SumAccumulator`]).
+//!
+//! # Normalization
+//!
+//! Section IV claims output normalization is unnecessary, but the mantissa
+//! product `1.m_A × (1024+y)/1024` reaches `[2, 2.03)` whenever `m_A` is
+//! near its maximum and `y > 0` (e.g. `0x7FF × 1039 > 2^21`), so a 1-bit
+//! normalization shift is required — and indeed Table I lists one
+//! normalization unit in the parallel FP-INT-16 MUL. This model implements
+//! it; [`ParallelMulTrace::normalized_lanes`] lets tests count how often it
+//! fires.
+//!
+//! Every lane's output is **bit-exact** with the correctly-rounded
+//! reference `softfloat::mul(A, Fp16(B + offset))`, verified exhaustively
+//! over all 2^16 activations × all weight codes in this crate's tests.
+
+use crate::bits::{Fp16, MANT_BITS};
+use crate::mul::{round_pack, MultiplierResources, RoundingMode, SubnormalMode};
+use crate::packed::{PackedWord, WeightPrecision};
+
+/// Maximum number of lanes (8 for INT2).
+pub const MAX_LANES: usize = 8;
+
+/// Per-lane intermediate signals (Figure 5(c)–(d)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneTrace {
+    /// The biased weight code `y` fed to the 11×w-bit multiplier.
+    pub weight_code: u8,
+    /// The intermediate product `i = sig_A × y` (≤ 15 bits).
+    pub intermediate: u32,
+    /// Result of the 6-bit assembly addition (Figure 5(d)).
+    pub assembly_sum: u32,
+    /// Whether the post-assembly 1-bit normalization fired.
+    pub normalized: bool,
+    /// Whether rounding incremented the mantissa.
+    pub round_up: bool,
+    /// The lane's FP16 product `A × (B + offset)`.
+    pub product: Fp16,
+}
+
+/// Trace of one parallel multiplication: one FP16 activation times all
+/// weights in a packed word, produced in a single cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelMulTrace {
+    /// Shared output sign (`sign(A) ⊕ 0`; the biased weights are positive).
+    pub sign_out: bool,
+    /// Shared unbiased output exponent before per-lane normalization
+    /// (`exp(A) + 10`).
+    pub exp_shared: i32,
+    /// The conditioned 11-bit activation significand.
+    pub sig_a: u16,
+    /// Per-lane signals; only the first [`Self::lanes`] entries are valid.
+    pub lane_traces: [LaneTrace; MAX_LANES],
+    /// Number of active lanes (4 for INT4, 8 for INT2).
+    pub lanes: usize,
+}
+
+impl ParallelMulTrace {
+    /// The valid per-lane traces.
+    pub fn lane_traces(&self) -> &[LaneTrace] {
+        &self.lane_traces[..self.lanes]
+    }
+
+    /// The FP16 products, lane 0 first.
+    pub fn products(&self) -> impl Iterator<Item = Fp16> + '_ {
+        self.lane_traces().iter().map(|l| l.product)
+    }
+
+    /// How many lanes needed the 1-bit normalization shift.
+    pub fn normalized_lanes(&self) -> usize {
+        self.lane_traces().iter().filter(|l| l.normalized).count()
+    }
+}
+
+/// The parallel FP-INT-16 multiplier unit (Table I row
+/// "Parallel FP-INT-16 MUL").
+///
+/// Multiplies one FP16 activation by 4 packed INT4 weights (or 8 packed
+/// INT2 weights) per cycle. Weights arrive as *biased* codes inside a
+/// [`PackedWord`]; outputs are `A × (B + offset)` and the offset is removed
+/// downstream per Eq. (1).
+///
+/// # Examples
+///
+/// ```
+/// use pacq_fp16::{Fp16, Int4, PackedWord, ParallelFpIntMultiplier, WeightPrecision};
+///
+/// let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+/// let weights = PackedWord::pack_int4([
+///     Int4::new(-8).unwrap(),
+///     Int4::new(-1).unwrap(),
+///     Int4::new(0).unwrap(),
+///     Int4::new(7).unwrap(),
+/// ]);
+/// let trace = unit.multiply(Fp16::from_f32(2.0), weights);
+/// // Lane 0: 2.0 × (-8 + 1032) = 2048.
+/// assert_eq!(trace.lane_traces()[0].product.to_f32(), 2048.0);
+/// // Lane 3: 2.0 × (7 + 1032) = 2078.
+/// assert_eq!(trace.lane_traces()[3].product.to_f32(), 2078.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelFpIntMultiplier {
+    precision: WeightPrecision,
+    subnormal_mode: SubnormalMode,
+    rounding: RoundingMode,
+}
+
+impl ParallelFpIntMultiplier {
+    /// Creates a unit for the given weight precision with IEEE subnormal
+    /// handling.
+    pub fn new(precision: WeightPrecision) -> Self {
+        ParallelFpIntMultiplier {
+            precision,
+            subnormal_mode: SubnormalMode::Ieee,
+            rounding: RoundingMode::NearestEven,
+        }
+    }
+
+    /// Creates a unit with explicit subnormal handling.
+    pub fn with_subnormal_mode(precision: WeightPrecision, subnormal_mode: SubnormalMode) -> Self {
+        ParallelFpIntMultiplier {
+            precision,
+            subnormal_mode,
+            rounding: RoundingMode::NearestEven,
+        }
+    }
+
+    /// Replaces the four rounding units (design-space study; see
+    /// [`RoundingMode`]).
+    pub fn with_rounding(mut self, rounding: RoundingMode) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// The weight precision this unit is configured for.
+    pub fn precision(&self) -> WeightPrecision {
+        self.precision
+    }
+
+    /// Products produced per cycle (4 for INT4, 8 for INT2) — the paper's
+    /// headline throughput of Figure 8.
+    pub fn throughput_per_cycle(&self) -> u32 {
+        self.precision.lanes() as u32
+    }
+
+    /// Resource inventory (Table I: "1 parallel INT11 MUL [12 INT16 adders,
+    /// 4 INT6 adders], 1 INT5 adder, 1 normalization unit, 4 rounding
+    /// units").
+    pub const fn resources(&self) -> MultiplierResources {
+        MultiplierResources {
+            int16_adders: 12,
+            int6_adders: 4,
+            int5_adders: 1,
+            normalization_units: 1,
+            rounding_units: 4,
+        }
+    }
+
+    /// Multiplies activation `a` by every weight in `packed`, producing all
+    /// lane products for this cycle.
+    ///
+    /// Outputs are `a × (B_lane + offset)` where
+    /// `offset = precision.fp_offset()`; each is bit-identical to the
+    /// correctly-rounded FP16 product of those two values.
+    pub fn multiply(&self, a: Fp16, packed: PackedWord) -> ParallelMulTrace {
+        let lanes = self.precision.lanes();
+        let mut trace = ParallelMulTrace {
+            sign_out: a.sign(),
+            exp_shared: 0,
+            sig_a: 0,
+            lane_traces: [LaneTrace::default(); MAX_LANES],
+            lanes,
+        };
+
+        // Activation-side special values short-circuit every lane: the
+        // biased weight is always a positive finite number in [1024, 2048),
+        // so the product's class is decided by A alone.
+        if a.is_nan() {
+            for lane in 0..lanes {
+                trace.lane_traces[lane].weight_code = packed.biased_lane(self.precision, lane);
+                trace.lane_traces[lane].product = Fp16::NAN;
+            }
+            return trace;
+        }
+        if a.is_infinite() {
+            let inf = Fp16::from_bits(((a.sign() as u16) << 15) | Fp16::INFINITY.to_bits());
+            for lane in 0..lanes {
+                trace.lane_traces[lane].weight_code = packed.biased_lane(self.precision, lane);
+                trace.lane_traces[lane].product = inf;
+            }
+            return trace;
+        }
+        let flush = self.subnormal_mode == SubnormalMode::FlushToZero && a.is_subnormal();
+        if a.is_zero() || flush {
+            let zero = Fp16::from_bits((a.sign() as u16) << 15);
+            for lane in 0..lanes {
+                trace.lane_traces[lane].weight_code = packed.biased_lane(self.precision, lane);
+                trace.lane_traces[lane].product = zero;
+            }
+            return trace;
+        }
+
+        // Condition A: 11-bit significand with the hidden bit set
+        // (subnormal activations pass through the leading-zero shifter in
+        // IEEE mode).
+        let mut sig_a = a.significand();
+        let mut exp_a = a.unbiased_exponent();
+        while sig_a & (1 << MANT_BITS) == 0 {
+            sig_a <<= 1;
+            exp_a -= 1;
+        }
+
+        // Observation ①: the biased weight's exponent is constant 0b11001
+        // (unbiased +10), so a single INT5 adder produces the shared
+        // output exponent for all lanes.
+        let exp_shared = exp_a + 10;
+        trace.sig_a = sig_a;
+        trace.exp_shared = exp_shared;
+
+        for lane in 0..lanes {
+            let y = packed.biased_lane(self.precision, lane);
+
+            // --- parallel INT11 MUL: 11×w-bit product ------------------
+            // Shift-add over the weight code's bits; across 4 INT4 lanes
+            // this is at most 4 partial products each, reduced by the 12
+            // INT16 adders of Table I.
+            let mut intermediate: u32 = 0;
+            for bit in 0..self.precision.bits() {
+                if (y >> bit) & 1 == 1 {
+                    intermediate += (sig_a as u32) << bit;
+                }
+            }
+            debug_assert_eq!(intermediate, sig_a as u32 * y as u32);
+
+            // --- Figure 5(d) assembly -----------------------------------
+            // Full product = sig_a × (1024 + y) = (sig_a << 10) + i.
+            // Structurally: i[9:0] passes through; i[14:10] (the top MSBs
+            // of i) add to sig_a[5:0] in an INT6 adder; the carry ripples
+            // into sig_a[10:6].
+            let i_low = intermediate & 0x3FF;
+            let i_high = intermediate >> 10; // ≤ 5 bits
+            let a_low6 = (sig_a as u32) & 0x3F;
+            let assembly_sum = a_low6 + i_high; // INT6 adder (+carry out)
+            let a_high5 = (sig_a as u32) >> 6;
+            let raw = ((a_high5 << 16) + (assembly_sum << 10)) | i_low;
+            debug_assert_eq!(raw, ((sig_a as u32) << 10) + intermediate);
+
+            // --- shared normalization unit ------------------------------
+            let normalized = raw & (1 << 21) != 0;
+            let (mut frac, mut exp) = (raw, exp_shared);
+            if normalized {
+                frac = (frac >> 1) | (frac & 1);
+                exp += 1;
+            }
+
+            // --- per-lane rounding unit (4 of them in Table I) ----------
+            let (product, round_up) =
+                round_pack(trace.sign_out, exp, frac, self.subnormal_mode, self.rounding);
+
+            trace.lane_traces[lane] = LaneTrace {
+                weight_code: y,
+                intermediate,
+                assembly_sum,
+                normalized,
+                round_up,
+                product,
+            };
+        }
+        trace
+    }
+
+    /// The FP16 value of a biased weight code (`code + 1024`), i.e. what
+    /// the lane product is mathematically multiplied by.
+    ///
+    /// Exact: `1024 + code < 2048` always fits the 11-bit significand.
+    pub fn biased_weight_value(&self, code: u8) -> Fp16 {
+        debug_assert!((code as usize) < (1 << self.precision.bits()));
+        Fp16::from_f32(1024.0 + code as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::{Int2, Int4};
+    use crate::softfloat;
+
+    fn same(x: Fp16, y: Fp16) -> bool {
+        (x.is_nan() && y.is_nan()) || x == y
+    }
+
+    /// The headline exhaustive proof: every lane product is bit-identical
+    /// to the correctly-rounded FP16 multiply by (B + 1032), for ALL 2^16
+    /// activations × all 16 INT4 codes.
+    #[test]
+    fn int4_bit_exact_exhaustive() {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        // One packed word covering codes {0,5,10,15}, another {1..}, etc.,
+        // so four sweeps cover all 16 codes.
+        let words: [[i8; 4]; 4] = [
+            [-8, -3, 2, 7],
+            [-7, -2, 3, 6],
+            [-6, -1, 4, 5],
+            [-5, -4, 0, 1],
+        ];
+        for w in words {
+            let packed = PackedWord::pack_int4(w.map(|v| Int4::new(v).unwrap()));
+            let refs: Vec<Fp16> =
+                w.iter().map(|&v| Fp16::from_f32(v as f32 + 1032.0)).collect();
+            for a in Fp16::all_values() {
+                let trace = unit.multiply(a, packed);
+                for (lane, want_b) in refs.iter().enumerate() {
+                    let got = trace.lane_traces()[lane].product;
+                    let want = softfloat::mul(a, *want_b);
+                    assert!(
+                        same(got, want),
+                        "A={:04x} B={} lane{lane}: got {:04x}, want {:04x}",
+                        a.to_bits(),
+                        w[lane],
+                        got.to_bits(),
+                        want.to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same proof for INT2: all 2^16 activations × all 4 codes.
+    #[test]
+    fn int2_bit_exact_exhaustive() {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int2);
+        let w: [i8; 8] = [-2, -1, 0, 1, -2, -1, 0, 1];
+        let packed = PackedWord::pack_int2(w.map(|v| Int2::new(v).unwrap()));
+        let refs: Vec<Fp16> = w.iter().map(|&v| Fp16::from_f32(v as f32 + 1026.0)).collect();
+        for a in Fp16::all_values() {
+            let trace = unit.multiply(a, packed);
+            for (lane, want_b) in refs.iter().enumerate() {
+                let got = trace.lane_traces()[lane].product;
+                let want = softfloat::mul(a, *want_b);
+                assert!(
+                    same(got, want),
+                    "A={:04x} B={} lane{lane}: got {:04x}, want {:04x}",
+                    a.to_bits(),
+                    w[lane],
+                    got.to_bits(),
+                    want.to_bits()
+                );
+            }
+        }
+    }
+
+    /// The paper's §IV prose says normalization is unnecessary; Table I
+    /// includes a normalization unit. This test settles it: the shift DOES
+    /// fire (for large mantissas × non-zero codes), so Table I is right.
+    #[test]
+    fn normalization_fires_and_is_required() {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        let packed = PackedWord::pack_int4([Int4::MAX; 4]); // code 15
+        let mut fired = 0usize;
+        for a in Fp16::all_values() {
+            if !a.is_normal() {
+                continue;
+            }
+            fired += unit.multiply(a, packed).normalized_lanes();
+        }
+        assert!(
+            fired > 0,
+            "normalization never fired; the paper's 'unnecessary' claim would hold"
+        );
+        // With code 15 the product ≥ 2 iff sig_a × 1039 ≥ 2^21, i.e.
+        // sig_a ≥ 2018.47 → sig_a ∈ [2019, 2047]: 29 of 1024 mantissas.
+        let normals = Fp16::all_values().filter(|a| a.is_normal()).count();
+        assert_eq!(fired % 4, 0);
+        assert_eq!(fired / 4, normals * 29 / 1024);
+    }
+
+    #[test]
+    fn shared_exponent_is_activation_exponent_plus_ten() {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        let packed = PackedWord::pack_int4([Int4::new(0).unwrap(); 4]);
+        let a = Fp16::from_f32(2.0); // unbiased exponent 1
+        let t = unit.multiply(a, packed);
+        assert_eq!(t.exp_shared, 11);
+    }
+
+    #[test]
+    fn activation_specials_propagate_to_all_lanes() {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        let packed = PackedWord::pack_int4([Int4::new(-3).unwrap(); 4]);
+
+        for p in unit.multiply(Fp16::NAN, packed).products() {
+            assert!(p.is_nan());
+        }
+        for p in unit.multiply(Fp16::NEG_INFINITY, packed).products() {
+            assert_eq!(p, Fp16::NEG_INFINITY);
+        }
+        for p in unit.multiply(Fp16::NEG_ZERO, packed).products() {
+            assert_eq!(p, Fp16::NEG_ZERO);
+        }
+    }
+
+    #[test]
+    fn subnormal_activation_ieee_vs_ftz() {
+        let packed = PackedWord::pack_int4([Int4::MAX; 4]);
+        let sub = Fp16::MIN_SUBNORMAL;
+
+        let ieee = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        let want = softfloat::mul(sub, Fp16::from_f32(1039.0));
+        assert_eq!(ieee.multiply(sub, packed).lane_traces()[0].product, want);
+        assert!(!want.is_zero());
+
+        let ftz = ParallelFpIntMultiplier::with_subnormal_mode(
+            WeightPrecision::Int4,
+            SubnormalMode::FlushToZero,
+        );
+        assert_eq!(ftz.multiply(sub, packed).lane_traces()[0].product, Fp16::ZERO);
+    }
+
+    #[test]
+    fn sign_is_shared_across_lanes() {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        // Mixed-sign weights become positive after biasing, so only A's
+        // sign matters — the key simplification of Figure 5(b).
+        let packed = PackedWord::pack_int4([
+            Int4::new(-8).unwrap(),
+            Int4::new(7).unwrap(),
+            Int4::new(-1).unwrap(),
+            Int4::new(1).unwrap(),
+        ]);
+        let t = unit.multiply(Fp16::from_f32(-3.5), packed);
+        assert!(t.sign_out);
+        for p in t.products() {
+            assert!(p.sign());
+        }
+    }
+
+    #[test]
+    fn throughput_matches_lane_count() {
+        assert_eq!(ParallelFpIntMultiplier::new(WeightPrecision::Int4).throughput_per_cycle(), 4);
+        assert_eq!(ParallelFpIntMultiplier::new(WeightPrecision::Int2).throughput_per_cycle(), 8);
+    }
+
+    #[test]
+    fn resources_match_table_i() {
+        let r = ParallelFpIntMultiplier::new(WeightPrecision::Int4).resources();
+        assert_eq!(r.int16_adders, 12);
+        assert_eq!(r.int6_adders, 4);
+        assert_eq!(r.int5_adders, 1);
+        assert_eq!(r.normalization_units, 1);
+        assert_eq!(r.rounding_units, 4);
+    }
+
+    #[test]
+    fn truncating_rounding_units_bias_products_toward_zero() {
+        use crate::mul::RoundingMode;
+        let rne = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        let trunc = rne.with_rounding(RoundingMode::Truncate);
+        let packed = PackedWord::pack_int4([Int4::new(3).unwrap(); 4]);
+        let mut strictly_lower = 0usize;
+        for a in Fp16::all_values().filter(|a| a.is_normal() && !a.sign()) {
+            let r = rne.multiply(a, packed).lane_traces()[0].product;
+            let t = trunc.multiply(a, packed).lane_traces()[0].product;
+            if r.is_infinite() {
+                continue;
+            }
+            assert!(t.to_f32() <= r.to_f32());
+            if t != r {
+                strictly_lower += 1;
+            }
+        }
+        // The bias is systematic, not incidental: many products shrink.
+        assert!(strictly_lower > 1000, "only {strictly_lower} products differ");
+    }
+
+    #[test]
+    fn biased_weight_value_is_exact() {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        for code in 0u8..16 {
+            let v = unit.biased_weight_value(code);
+            assert_eq!(v.to_f32(), 1024.0 + code as f32);
+            assert_eq!(v.biased_exponent(), 25); // 0b11001, observation ①
+            assert_eq!(v.mantissa(), code as u16); // observation ②
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Correctly-rounded reference arithmetic for [`Fp16`].
+//!
+//! These routines are the *specification* the hardware datapath models in
+//! [`crate::mul`] and [`crate::parallel`] are tested against. They are
+//! written as textbook bit-level soft-float (normalize → operate → round to
+//! nearest even) with full subnormal, infinity and NaN handling.
+//!
+//! They are themselves cross-validated against `f32` arithmetic: by
+//! Figueroa's double-rounding theorem, evaluating a binary16 `+`/`×` in
+//! binary32 and converting back is correctly rounded because
+//! `24 ≥ 2·11 + 2`, so `Fp16::from_f32(a.to_f32() * b.to_f32())` is a
+//! second, independent oracle (see the exhaustive tests at the bottom).
+
+use crate::bits::{Fp16, EXP_BIAS, EXP_MAX, HIDDEN_BIT, MANT_BITS, MANT_MASK};
+
+/// Correctly-rounded (round-to-nearest-even) binary16 multiplication.
+///
+/// # Examples
+///
+/// ```
+/// use pacq_fp16::{softfloat, Fp16};
+///
+/// let p = softfloat::mul(Fp16::from_f32(1.5), Fp16::from_f32(-2.0));
+/// assert_eq!(p.to_f32(), -3.0);
+/// ```
+pub fn mul(a: Fp16, b: Fp16) -> Fp16 {
+    let sign = a.sign() ^ b.sign();
+    let sign_bits = (sign as u16) << 15;
+
+    // Specials.
+    if a.is_nan() || b.is_nan() {
+        return Fp16::NAN;
+    }
+    if a.is_infinite() || b.is_infinite() {
+        if a.is_zero() || b.is_zero() {
+            return Fp16::NAN; // 0 × inf
+        }
+        return Fp16::from_bits(sign_bits | Fp16::INFINITY.to_bits());
+    }
+    if a.is_zero() || b.is_zero() {
+        return Fp16::from_bits(sign_bits);
+    }
+
+    // Normalize operands into (11-bit significand with bit 10 set, exponent).
+    let (sig_a, exp_a) = normalize(a);
+    let (sig_b, exp_b) = normalize(b);
+
+    // Exact 22-bit product of two 11-bit significands, value in [2^20, 2^22).
+    let prod = (sig_a as u32) * (sig_b as u32);
+
+    // Interpret significands as 1.m (scale 2^-10 each): the product scale is
+    // 2^-20, so the product's integer msb is bit 20 (value in [1,4)).
+    let mut exp = exp_a + exp_b;
+    let mut frac = prod;
+    if frac & (1 << 21) != 0 {
+        // Product in [2,4): one-bit normalization shift (sticky preserved).
+        frac = (frac >> 1) | (frac & 1);
+        exp += 1;
+    }
+    // `frac` now has its msb at bit 20; bits [20:10] are the 11-bit result
+    // significand, bits [9:0] are round/sticky material.
+    round_pack(sign, exp, frac)
+}
+
+/// Correctly-rounded (round-to-nearest-even) binary16 addition.
+///
+/// # Examples
+///
+/// ```
+/// use pacq_fp16::{softfloat, Fp16};
+///
+/// let s = softfloat::add(Fp16::from_f32(1.0), Fp16::from_f32(2.0));
+/// assert_eq!(s.to_f32(), 3.0);
+/// ```
+pub fn add(a: Fp16, b: Fp16) -> Fp16 {
+    // Specials.
+    if a.is_nan() || b.is_nan() {
+        return Fp16::NAN;
+    }
+    match (a.is_infinite(), b.is_infinite()) {
+        (true, true) => {
+            return if a.sign() == b.sign() { a } else { Fp16::NAN };
+        }
+        (true, false) => return a,
+        (false, true) => return b,
+        _ => {}
+    }
+    if a.is_zero() && b.is_zero() {
+        // +0 + -0 = +0 under RNE; -0 + -0 = -0.
+        return if a.sign() && b.sign() {
+            Fp16::NEG_ZERO
+        } else {
+            Fp16::ZERO
+        };
+    }
+    if a.is_zero() {
+        return b;
+    }
+    if b.is_zero() {
+        return a;
+    }
+
+    // Fixed-point path: significand << GUARD, exponent aligned to the larger.
+    const GUARD: u32 = 3;
+    let (sig_a, exp_a) = normalize_or_subnormal(a);
+    let (sig_b, exp_b) = normalize_or_subnormal(b);
+
+    let (mut hi_sig, hi_exp, hi_sign, lo_sig, lo_exp, lo_sign) = if (exp_a, sig_a) >= (exp_b, sig_b)
+    {
+        (sig_a, exp_a, a.sign(), sig_b, exp_b, b.sign())
+    } else {
+        (sig_b, exp_b, b.sign(), sig_a, exp_a, a.sign())
+    };
+
+    hi_sig <<= GUARD;
+    let shift = (hi_exp - lo_exp) as u32;
+    let lo_aligned = if shift >= 32 {
+        u32::from(lo_sig != 0) // pure sticky
+    } else {
+        let shifted = ((lo_sig as u64) << GUARD) >> shift;
+        let sticky = ((lo_sig as u64) << GUARD) & ((1u64 << shift) - 1) != 0;
+        shifted as u32 | u32::from(sticky)
+    };
+
+    let (sum, sign) = if hi_sign == lo_sign {
+        (hi_sig as u32 + lo_aligned, hi_sign)
+    } else {
+        let diff = (hi_sig as u32).wrapping_sub(lo_aligned);
+        if diff == 0 {
+            return Fp16::ZERO; // exact cancellation -> +0 under RNE
+        }
+        (diff, hi_sign)
+    };
+
+    // `sum` represents value = sum × 2^(exp − 10 − GUARD). Rebase so the
+    // msb sits at bit 20 and value = frac × 2^(exp − 20), the window
+    // `round_pack` expects. The msb is at most bit 14 (11-bit significand
+    // + 3 guard bits + 1 carry), so this is always an exact left shift.
+    let msb = 31 - sum.leading_zeros(); // sum != 0 here
+    let exp = hi_exp + msb as i32 - (MANT_BITS + GUARD) as i32;
+    let frac = sum << (20 - msb);
+    round_pack(sign, exp, frac)
+}
+
+/// Binary16 subtraction: `a - b` as `add(a, -b)`.
+pub fn sub(a: Fp16, b: Fp16) -> Fp16 {
+    add(a, b.neg())
+}
+
+/// A dot product computed as sequential binary16 multiply-then-add, the
+/// arithmetic a scalar FP16 pipeline performs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_fp16(a: &[Fp16], b: &[Fp16]) -> Fp16 {
+    assert_eq!(a.len(), b.len(), "dot product operands must match in length");
+    let mut acc = Fp16::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = add(acc, mul(x, y));
+    }
+    acc
+}
+
+/// A dot product with binary32 accumulation (products still correctly
+/// rounded to binary16 first), matching tensor-core style mixed-precision
+/// accumulate.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_fp32_acc(a: &[Fp16], b: &[Fp16]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product operands must match in length");
+    let mut acc = 0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += mul(x, y).to_f32();
+    }
+    acc
+}
+
+/// Normalizes a non-zero finite value to an 11-bit significand with the
+/// msb (hidden bit position) set, returning `(significand, exponent)` such
+/// that the value is `± significand × 2^(exponent - 10)`.
+fn normalize(x: Fp16) -> (u16, i32) {
+    debug_assert!(x.is_finite() && !x.is_zero());
+    let mut sig = x.significand();
+    let mut exp = x.unbiased_exponent();
+    // Subnormals: shift until the hidden-bit position is occupied.
+    while sig & HIDDEN_BIT == 0 {
+        sig <<= 1;
+        exp -= 1;
+    }
+    (sig, exp)
+}
+
+/// Like [`normalize`] but used by the adder.
+fn normalize_or_subnormal(x: Fp16) -> (u16, i32) {
+    normalize(x)
+}
+
+/// Packs `(sign, exponent, frac)` where `frac` is a 21-bit window with the
+/// msb at bit 20 (value in [1,2) × 2^exponent) and bits [9:0] acting as
+/// round/sticky material, applying RNE and the overflow/underflow rules.
+fn round_pack(sign: bool, exp: i32, frac: u32) -> Fp16 {
+    let sign_bits = (sign as u16) << 15;
+    let biased = exp + EXP_BIAS;
+
+    if biased >= EXP_MAX as i32 {
+        return Fp16::from_bits(sign_bits | Fp16::INFINITY.to_bits());
+    }
+
+    if biased <= 0 {
+        // Subnormal result: shift right by the exponent deficit + the 10-bit
+        // narrowing, with sticky.
+        let shift = (11 - biased) as u32; // >= 12
+        if shift > 21 {
+            // Even the hidden bit falls below the rounding point.
+            // shift == 22 can still round up to MIN_SUBNORMAL when frac is
+            // large enough; handle via the generic path below with full
+            // sticky collapse.
+            if shift >= 22 + 1 {
+                return Fp16::from_bits(sign_bits);
+            }
+        }
+        let shift = shift.min(22);
+        let kept = (frac >> shift) as u16;
+        let round_bit = (frac >> (shift - 1)) & 1;
+        let sticky = frac & ((1 << (shift - 1)) - 1) != 0;
+        let mut out = kept;
+        if round_bit == 1 && (sticky || kept & 1 == 1) {
+            out += 1; // carry into MIN_POSITIVE is the correct behaviour
+        }
+        return Fp16::from_bits(sign_bits | out);
+    }
+
+    // Normal: keep bits [20:10], round on bit 9, sticky below.
+    let kept = (frac >> 10) as u16; // 11 bits, msb = hidden
+    let round_bit = (frac >> 9) & 1;
+    let sticky = frac & 0x1FF != 0;
+    let mut sig = kept;
+    let mut biased = biased as u16;
+    if round_bit == 1 && (sticky || sig & 1 == 1) {
+        sig += 1;
+        if sig == (1 << (MANT_BITS + 1)) {
+            sig >>= 1;
+            biased += 1;
+            if biased >= EXP_MAX {
+                return Fp16::from_bits(sign_bits | Fp16::INFINITY.to_bits());
+            }
+        }
+    }
+    Fp16::from_bits(sign_bits | (biased << MANT_BITS) | (sig & MANT_MASK))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The f32 oracle: correctly rounded by the double-rounding theorem.
+    fn mul_oracle(a: Fp16, b: Fp16) -> Fp16 {
+        Fp16::from_f32(a.to_f32() * b.to_f32())
+    }
+
+    fn add_oracle(a: Fp16, b: Fp16) -> Fp16 {
+        Fp16::from_f32(a.to_f32() + b.to_f32())
+    }
+
+    fn same(x: Fp16, y: Fp16) -> bool {
+        (x.is_nan() && y.is_nan()) || x == y
+    }
+
+    #[test]
+    fn mul_matches_f32_oracle_on_dense_sample() {
+        // Stride through all pairs coprime to 2^16 for broad coverage.
+        let mut a_bits = 0u16;
+        for i in 0..20_000u32 {
+            a_bits = a_bits.wrapping_add(24_593);
+            let mut b_bits = a_bits.wrapping_mul(7);
+            for _ in 0..16 {
+                b_bits = b_bits.wrapping_add(40_961);
+                let a = Fp16::from_bits(a_bits);
+                let b = Fp16::from_bits(b_bits);
+                let got = mul(a, b);
+                let want = mul_oracle(a, b);
+                assert!(
+                    same(got, want),
+                    "mul({:04x}, {:04x}) = {:04x}, oracle {:04x} (iter {i})",
+                    a_bits,
+                    b_bits,
+                    got.to_bits(),
+                    want.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_f32_oracle_on_dense_sample() {
+        let mut a_bits = 0u16;
+        for i in 0..20_000u32 {
+            a_bits = a_bits.wrapping_add(28_657);
+            let mut b_bits = a_bits.wrapping_mul(13);
+            for _ in 0..16 {
+                b_bits = b_bits.wrapping_add(52_363);
+                let a = Fp16::from_bits(a_bits);
+                let b = Fp16::from_bits(b_bits);
+                let got = add(a, b);
+                let want = add_oracle(a, b);
+                assert!(
+                    same(got, want),
+                    "add({:04x}, {:04x}) = {:04x}, oracle {:04x} (iter {i})",
+                    a_bits,
+                    b_bits,
+                    got.to_bits(),
+                    want.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_exhaustive_against_oracle_for_one_operand_sweep() {
+        // Fix a handful of interesting multiplicands and sweep ALL 65536
+        // values of the other operand (this is the regime the parallel
+        // FP-INT unit lives in: one full-range activation, few weights).
+        let fixed = [
+            0x0000, 0x8000, 0x0001, 0x03FF, 0x0400, 0x3C00, 0x3BFF, 0x7BFF, 0x7C00, 0x7E01,
+            0x6400, // 1024.0
+            0x6408, // 1032.0
+            0x6417, // 1047.0 = 1032 + 15
+        ];
+        for &f in &fixed {
+            let b = Fp16::from_bits(f);
+            for a in Fp16::all_values() {
+                let got = mul(a, b);
+                let want = mul_oracle(a, b);
+                assert!(
+                    same(got, want),
+                    "mul({:04x}, {:04x}) = {:04x}, oracle {:04x}",
+                    a.to_bits(),
+                    f,
+                    got.to_bits(),
+                    want.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_exhaustive_against_oracle_for_one_operand_sweep() {
+        let fixed = [
+            0x0000, 0x8000, 0x0001, 0x8001, 0x03FF, 0x0400, 0x3C00, 0xBC00, 0x7BFF, 0xFBFF,
+            0x7C00, 0xFC00, 0x7E01,
+        ];
+        for &f in &fixed {
+            let b = Fp16::from_bits(f);
+            for a in Fp16::all_values() {
+                let got = add(a, b);
+                let want = add_oracle(a, b);
+                assert!(
+                    same(got, want),
+                    "add({:04x}, {:04x}) = {:04x}, oracle {:04x}",
+                    a.to_bits(),
+                    f,
+                    got.to_bits(),
+                    want.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_special_cases() {
+        assert!(mul(Fp16::ZERO, Fp16::INFINITY).is_nan());
+        assert!(mul(Fp16::NAN, Fp16::ONE).is_nan());
+        assert_eq!(mul(Fp16::INFINITY, Fp16::NEG_ONE), Fp16::NEG_INFINITY);
+        assert_eq!(mul(Fp16::NEG_ZERO, Fp16::ONE), Fp16::NEG_ZERO);
+        assert_eq!(mul(Fp16::NEG_ZERO, Fp16::NEG_ONE), Fp16::ZERO);
+    }
+
+    #[test]
+    fn add_special_cases() {
+        assert!(add(Fp16::INFINITY, Fp16::NEG_INFINITY).is_nan());
+        assert_eq!(add(Fp16::INFINITY, Fp16::MAX), Fp16::INFINITY);
+        assert_eq!(add(Fp16::NEG_ZERO, Fp16::ZERO), Fp16::ZERO);
+        assert_eq!(add(Fp16::NEG_ZERO, Fp16::NEG_ZERO), Fp16::NEG_ZERO);
+        // Exact cancellation yields +0 under round-to-nearest.
+        assert_eq!(add(Fp16::ONE, Fp16::NEG_ONE), Fp16::ZERO);
+    }
+
+    #[test]
+    fn mul_subnormal_results() {
+        // MIN_POSITIVE * 0.5 lands exactly on a subnormal.
+        let got = mul(Fp16::MIN_POSITIVE, Fp16::from_f32(0.5));
+        assert_eq!(got.to_f32(), 2.0_f32.powi(-15));
+        assert!(got.is_subnormal());
+        // Underflow to zero.
+        let got = mul(Fp16::MIN_SUBNORMAL, Fp16::MIN_SUBNORMAL);
+        assert_eq!(got, Fp16::ZERO);
+    }
+
+    #[test]
+    fn mul_overflow_saturates_to_infinity() {
+        assert_eq!(mul(Fp16::MAX, Fp16::from_f32(2.0)), Fp16::INFINITY);
+        assert_eq!(mul(Fp16::MAX.neg(), Fp16::from_f32(2.0)), Fp16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dot_products_agree_with_manual_sequence() {
+        let a: Vec<Fp16> = [1.0f32, 2.0, 3.0, 4.0].iter().map(|&v| Fp16::from_f32(v)).collect();
+        let b: Vec<Fp16> = [0.5f32, -1.0, 2.0, 0.25].iter().map(|&v| Fp16::from_f32(v)).collect();
+        let d = dot_fp16(&a, &b);
+        assert_eq!(d.to_f32(), 0.5 - 2.0 + 6.0 + 1.0);
+        let d32 = dot_fp32_acc(&a, &b);
+        assert_eq!(d32, 5.5);
+    }
+}

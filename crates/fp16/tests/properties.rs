@@ -1,0 +1,230 @@
+//! Property-based tests for the FP16 arithmetic and the PacQ datapaths.
+
+use pacq_fp16::{
+    softfloat, BaselineDpUnit, Fp16, Fp16Multiplier, Int2, Int4, NumericsMode, PackedWord,
+    ParallelDpUnit, ParallelFpIntMultiplier, SubnormalMode, WeightPrecision,
+};
+use proptest::prelude::*;
+
+fn same(x: Fp16, y: Fp16) -> bool {
+    (x.is_nan() && y.is_nan()) || x == y
+}
+
+/// Arbitrary finite, non-NaN fp16 in a friendly numeric range.
+fn small_fp16() -> impl Strategy<Value = Fp16> {
+    (-100.0f32..100.0).prop_map(Fp16::from_f32)
+}
+
+/// Activations small enough that the biased products A × (B + 1032) AND
+/// their 4-wide FP16 tree sums stay finite (4 × |A| × 1039 < 65504, so
+/// |A| ≲ 15) — a genuine range constraint of the PaperRounded PacQ
+/// datapath documented in EXPERIMENTS.md.
+fn act_fp16() -> impl Strategy<Value = Fp16> {
+    (-10.0f32..10.0).prop_map(Fp16::from_f32)
+}
+
+fn any_fp16() -> impl Strategy<Value = Fp16> {
+    any::<u16>().prop_map(Fp16::from_bits)
+}
+
+fn any_int4() -> impl Strategy<Value = Int4> {
+    (-8i8..=7).prop_map(|v| Int4::new(v).expect("in range"))
+}
+
+fn any_int2() -> impl Strategy<Value = Int2> {
+    (-2i8..=1).prop_map(|v| Int2::new(v).expect("in range"))
+}
+
+proptest! {
+    /// softfloat multiplication agrees with the f32 oracle on arbitrary
+    /// bit patterns (the oracle is correctly rounded by the 2p+2 theorem).
+    #[test]
+    fn softfloat_mul_matches_oracle(a in any_fp16(), b in any_fp16()) {
+        let got = softfloat::mul(a, b);
+        let want = Fp16::from_f32(a.to_f32() * b.to_f32());
+        prop_assert!(same(got, want), "{:04x} × {:04x}: got {:04x} want {:04x}",
+            a.to_bits(), b.to_bits(), got.to_bits(), want.to_bits());
+    }
+
+    /// softfloat addition agrees with the f32 oracle.
+    #[test]
+    fn softfloat_add_matches_oracle(a in any_fp16(), b in any_fp16()) {
+        let got = softfloat::add(a, b);
+        let want = Fp16::from_f32(a.to_f32() + b.to_f32());
+        prop_assert!(same(got, want), "{:04x} + {:04x}: got {:04x} want {:04x}",
+            a.to_bits(), b.to_bits(), got.to_bits(), want.to_bits());
+    }
+
+    /// Multiplication is commutative.
+    #[test]
+    fn softfloat_mul_commutes(a in any_fp16(), b in any_fp16()) {
+        prop_assert!(same(softfloat::mul(a, b), softfloat::mul(b, a)));
+    }
+
+    /// Addition is commutative.
+    #[test]
+    fn softfloat_add_commutes(a in any_fp16(), b in any_fp16()) {
+        prop_assert!(same(softfloat::add(a, b), softfloat::add(b, a)));
+    }
+
+    /// Multiplying by one is the identity for finite values.
+    #[test]
+    fn mul_by_one_is_identity(a in any_fp16()) {
+        prop_assume!(!a.is_nan());
+        prop_assert_eq!(softfloat::mul(a, Fp16::ONE), a);
+    }
+
+    /// x + (-x) is exactly +0 for finite x.
+    #[test]
+    fn add_inverse_cancels(a in any_fp16()) {
+        prop_assume!(a.is_finite());
+        prop_assert_eq!(softfloat::add(a, a.neg()), Fp16::ZERO);
+    }
+
+    /// The baseline multiplier datapath equals the softfloat reference.
+    #[test]
+    fn datapath_mul_equals_softfloat(a in any_fp16(), b in any_fp16()) {
+        let unit = Fp16Multiplier::new();
+        prop_assert!(same(unit.product(a, b), softfloat::mul(a, b)));
+    }
+
+    /// FTZ datapath equals IEEE whenever no subnormals are involved.
+    #[test]
+    fn ftz_equals_ieee_away_from_subnormals(a in any_fp16(), b in any_fp16()) {
+        let ieee = Fp16Multiplier::new();
+        let ftz = Fp16Multiplier::with_subnormal_mode(SubnormalMode::FlushToZero);
+        let want = ieee.product(a, b);
+        prop_assume!(!a.is_subnormal() && !b.is_subnormal() && !want.is_subnormal());
+        prop_assert!(same(ftz.product(a, b), want));
+    }
+
+    /// Parallel FP-INT lane products are bit-exact with the reference
+    /// multiply by (B + 1032), for arbitrary activations and weights.
+    #[test]
+    fn parallel_int4_lane_exactness(
+        a in any_fp16(),
+        w in prop::array::uniform4(any_int4()),
+    ) {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);
+        let packed = PackedWord::pack_int4(w);
+        let trace = unit.multiply(a, packed);
+        for (lane, &wi) in w.iter().enumerate() {
+            let want = softfloat::mul(a, Fp16::from_f32(wi.value() as f32 + 1032.0));
+            let got = trace.lane_traces()[lane].product;
+            prop_assert!(same(got, want),
+                "A={:04x} B={}: got {:04x} want {:04x}",
+                a.to_bits(), wi.value(), got.to_bits(), want.to_bits());
+        }
+    }
+
+    /// Same for INT2 with offset 1026.
+    #[test]
+    fn parallel_int2_lane_exactness(
+        a in any_fp16(),
+        w in prop::array::uniform8(any_int2()),
+    ) {
+        let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int2);
+        let packed = PackedWord::pack_int2(w);
+        let trace = unit.multiply(a, packed);
+        for (lane, &wi) in w.iter().enumerate() {
+            let want = softfloat::mul(a, Fp16::from_f32(wi.value() as f32 + 1026.0));
+            let got = trace.lane_traces()[lane].product;
+            prop_assert!(same(got, want));
+        }
+    }
+
+    /// Packed words round-trip through pack/unpack.
+    #[test]
+    fn packed_word_roundtrip_int4(w in prop::array::uniform4(any_int4())) {
+        prop_assert_eq!(PackedWord::pack_int4(w).unpack_int4(), w);
+    }
+
+    /// Packed INT2 words round-trip.
+    #[test]
+    fn packed_word_roundtrip_int2(w in prop::array::uniform8(any_int2())) {
+        prop_assert_eq!(PackedWord::pack_int2(w).unpack_int2(), w);
+    }
+
+    /// Eq. (1) recovery in Wide mode matches a direct f32 dot product to
+    /// tight tolerance (products are exact; only Σ rounding differs).
+    #[test]
+    fn eq1_recovery_is_accurate_in_wide_mode(
+        a in prop::collection::vec(act_fp16(), 8),
+        w in prop::collection::vec(prop::array::uniform4(any_int4()), 8),
+    ) {
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4)
+            .with_numerics(NumericsMode::Wide);
+        let words: Vec<PackedWord> = w.iter().map(|&x| PackedWord::pack_int4(x)).collect();
+        let res = dp.dot_packed(&a, &words);
+        let rec = res.recover();
+        for lane in 0..4 {
+            let want: f64 = a.iter().zip(&w)
+                .map(|(&x, wk)| x.to_f32() as f64 * wk[lane].value() as f64)
+                .sum();
+            let scale = a.iter().map(|x| x.to_f32().abs() as f64).sum::<f64>().max(1.0);
+            prop_assert!(((rec[lane] as f64) - want).abs() <= 1e-2 * scale,
+                "lane {lane}: got {} want {want}", rec[lane]);
+        }
+    }
+
+    /// The PaperRounded error is bounded: each term's rounding error is at
+    /// most 0.5 ulp of the biased product ≈ 2^(e_A − 1), so the recovered
+    /// dot product deviates by at most Σ 0.5·2^(e_Ak)·(k-dependent slack).
+    #[test]
+    fn eq1_paper_rounded_error_is_bounded(
+        a in prop::collection::vec(act_fp16(), 8),
+        w in prop::collection::vec(prop::array::uniform4(any_int4()), 8),
+    ) {
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4);
+        let words: Vec<PackedWord> = w.iter().map(|&x| PackedWord::pack_int4(x)).collect();
+        let res = dp.dot_packed(&a, &words);
+        let rec = res.recover();
+        for lane in 0..4 {
+            let want: f64 = a.iter().zip(&w)
+                .map(|(&x, wk)| x.to_f32() as f64 * wk[lane].value() as f64)
+                .sum();
+            // Budget: per-term product rounding (0.5 ulp of ~2048·|a|,
+            // i.e. ≤ 0.5·|a|) plus FP16 tree-add rounding at magnitudes up
+            // to 4·1039·max|a| (≤ 2·max|a| per add, 3 adds per batch).
+            let sum_abs: f64 = a.iter().map(|x| x.to_f32().abs() as f64).sum();
+            let max_abs: f64 = a.iter()
+                .map(|x| x.to_f32().abs() as f64)
+                .fold(0.0, f64::max);
+            let budget: f64 = 0.5 * sum_abs + 6.0 * max_abs * (a.len() as f64 / 4.0) + 1.0;
+            prop_assert!(((rec[lane] as f64) - want).abs() <= budget,
+                "lane {lane}: got {} want {want} budget {budget}", rec[lane]);
+        }
+    }
+
+    /// Baseline DP dot product matches an f32 reference within FP16
+    /// accumulation tolerance.
+    #[test]
+    fn baseline_dp_close_to_reference(
+        a in prop::array::uniform4(small_fp16()),
+        b in prop::array::uniform4(small_fp16()),
+    ) {
+        let dp = BaselineDpUnit::new(4);
+        let got = dp.dot_acc(0.0, &a, &b);
+        let want: f64 = a.iter().zip(&b)
+            .map(|(&x, &y)| x.to_f32() as f64 * y.to_f32() as f64).sum();
+        prop_assume!(want.abs() < 60000.0);
+        let scale = a.iter().zip(&b)
+            .map(|(&x, &y)| (x.to_f32() * y.to_f32()).abs() as f64)
+            .sum::<f64>().max(1.0);
+        prop_assert!(((got as f64) - want).abs() <= 2e-3 * scale);
+    }
+
+    /// Timing model monotonicity: more batches never take fewer cycles,
+    /// and higher duplication never increases cycles.
+    #[test]
+    fn timing_monotone(batches in 1u64..1000) {
+        for prec in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            let d1 = ParallelDpUnit::new(4, 1, prec);
+            let d2 = ParallelDpUnit::new(4, 2, prec);
+            let d4 = ParallelDpUnit::new(4, 4, prec);
+            prop_assert!(d1.cycles_for_batches(batches) >= d2.cycles_for_batches(batches));
+            prop_assert!(d2.cycles_for_batches(batches) >= d4.cycles_for_batches(batches));
+            prop_assert!(d2.cycles_for_batches(batches + 1) > d2.cycles_for_batches(batches));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Activation-aware weight scaling (AWQ-style), an optional front-end to
+//! the RTN quantizer.
+//!
+//! Weight-only PTQ error is dominated by the few weight channels that
+//! multiply *salient* (large-magnitude) activations — the phenomenon the
+//! paper's introduction cites as AWQ (its ref. 10). Scaling weight row `k` up by
+//! `s_k = mean|A_k|^α` (and the activations down by the same factor,
+//! folded into the previous operator at deployment) shrinks the relative
+//! quantization error exactly where it matters. The transformed GEMM is
+//! mathematically identical: `A × W = (A ⊘ s) × (s ⊙ W)`.
+//!
+//! This composes with every PacQ packing/dataflow unchanged — the scaled
+//! weights are just another matrix for [`RtnQuantizer`].
+
+use crate::groups::GroupShape;
+use crate::matrix::MatrixF32;
+use crate::rtn::{QuantizedMatrix, RtnQuantizer};
+use pacq_fp16::WeightPrecision;
+
+/// Result of an AWQ scale search.
+#[derive(Debug, Clone)]
+pub struct AwqResult {
+    /// The chosen exponent α.
+    pub alpha: f64,
+    /// Per-input-channel (k) scale factors applied to the weights.
+    pub channel_scales: Vec<f32>,
+    /// The quantized, scaled weights.
+    pub quantized: QuantizedMatrix,
+    /// Output-domain relative error of the chosen configuration.
+    pub output_rel_err: f64,
+}
+
+impl AwqResult {
+    /// Applies the inverse scales to an activation matrix `[m, k]` —
+    /// what the preceding operator absorbs at deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activation width does not match the scale count.
+    pub fn scale_activations(&self, activations: &MatrixF32) -> MatrixF32 {
+        assert_eq!(
+            activations.cols(),
+            self.channel_scales.len(),
+            "activation width must match the scaled channels"
+        );
+        MatrixF32::from_fn(activations.rows(), activations.cols(), |m, k| {
+            activations.get(m, k) / self.channel_scales[k]
+        })
+    }
+}
+
+/// AWQ-style scale search over a grid of exponents.
+///
+/// # Examples
+///
+/// ```
+/// use pacq_quant::{awq::AwqScaler, GroupShape, synth::SynthGenerator};
+/// use pacq_fp16::WeightPrecision;
+///
+/// let mut g = SynthGenerator::new(1);
+/// let w = g.llm_weights(128, 32);
+/// let a = g.llm_activations(8, 128);
+/// let res = AwqScaler::new().search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32));
+/// // α = 0 reproduces plain RTN, so the search can never be worse.
+/// assert!(res.alpha >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AwqScaler {
+    alpha_grid: Vec<f64>,
+}
+
+impl AwqScaler {
+    /// A scaler with the standard α grid `{0, 0.125, …, 1.0}` (α = 0 is
+    /// plain RTN, so the search is never worse than the baseline).
+    pub fn new() -> Self {
+        AwqScaler { alpha_grid: (0..=8).map(|i| i as f64 / 8.0).collect() }
+    }
+
+    /// A scaler with a custom α grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty.
+    pub fn with_grid(alpha_grid: Vec<f64>) -> Self {
+        assert!(!alpha_grid.is_empty(), "alpha grid must be non-empty");
+        AwqScaler { alpha_grid }
+    }
+
+    /// Searches the α grid for the scale vector minimizing the output
+    /// error of `activations × dequant(quantize(s ⊙ weights))` against
+    /// the full-precision product.
+    pub fn search(
+        &self,
+        weights: &MatrixF32,
+        activations: &MatrixF32,
+        precision: WeightPrecision,
+        group: GroupShape,
+    ) -> AwqResult {
+        assert_eq!(
+            activations.cols(),
+            weights.rows(),
+            "activation width must equal weight k-extent"
+        );
+        let k = weights.rows();
+
+        // Mean |A| per input channel.
+        let mut mag = vec![0f64; k];
+        for m in 0..activations.rows() {
+            for (kk, mg) in mag.iter_mut().enumerate() {
+                *mg += activations.get(m, kk).abs() as f64;
+            }
+        }
+        let rows = activations.rows().max(1) as f64;
+        for mg in &mut mag {
+            *mg = (*mg / rows).max(1e-8);
+        }
+
+        let reference = activations.matmul(weights);
+        let ref_norm = reference.frobenius_norm().max(1e-30);
+
+        let mut best: Option<AwqResult> = None;
+        for &alpha in &self.alpha_grid {
+            let scales: Vec<f32> = mag.iter().map(|&m| (m.powf(alpha)) as f32).collect();
+            let scaled = MatrixF32::from_fn(k, weights.cols(), |kk, n| {
+                weights.get(kk, n) * scales[kk]
+            });
+            let quantized = RtnQuantizer::new(precision, group).quantize(&scaled);
+            let deq = quantized.dequantize();
+            // Effective weight seen by the original activations.
+            let effective = MatrixF32::from_fn(k, weights.cols(), |kk, n| {
+                deq.get(kk, n) / scales[kk]
+            });
+            let out = activations.matmul(&effective);
+            let diff = MatrixF32::from_fn(out.rows(), out.cols(), |r, c| {
+                out.get(r, c) - reference.get(r, c)
+            });
+            let err = diff.frobenius_norm() / ref_norm;
+            if best.as_ref().is_none_or(|b| err < b.output_rel_err) {
+                best = Some(AwqResult {
+                    alpha,
+                    channel_scales: scales,
+                    quantized,
+                    output_rel_err: err,
+                });
+            }
+        }
+        best.expect("non-empty grid")
+    }
+}
+
+impl Default for AwqScaler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_rtn;
+    use crate::synth::SynthGenerator;
+
+    /// Outlier-heavy activations: AWQ scaling must beat plain RTN on
+    /// output error.
+    #[test]
+    fn awq_beats_plain_rtn_with_salient_activations() {
+        let mut g = SynthGenerator::new(77);
+        let w = g.llm_weights(256, 64);
+        // Activations with strong per-channel structure: a few channels
+        // carry 20× magnitude (the salient-channel phenomenon).
+        let base = g.llm_activations(16, 256);
+        let a = MatrixF32::from_fn(16, 256, |m, k| {
+            let boost = if k % 37 == 0 { 20.0 } else { 1.0 };
+            base.get(m, k) * boost
+        });
+
+        let plain = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128);
+        let awq = AwqScaler::new().search(&w, &a, WeightPrecision::Int4, GroupShape::G128);
+        assert!(
+            awq.output_rel_err < plain.output_rel_err,
+            "AWQ {} !< RTN {}",
+            awq.output_rel_err,
+            plain.output_rel_err
+        );
+        assert!(awq.alpha > 0.0, "expected a non-trivial alpha");
+    }
+
+    /// α = 0 reproduces plain RTN exactly, so the search is never worse.
+    #[test]
+    fn awq_never_worse_than_rtn() {
+        let mut g = SynthGenerator::new(78);
+        let w = g.llm_weights(128, 32);
+        let a = g.llm_activations(8, 128);
+        let plain = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32));
+        let awq =
+            AwqScaler::new().search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32));
+        assert!(awq.output_rel_err <= plain.output_rel_err * 1.0001);
+    }
+
+    /// The scaled-activation × scaled-weight product equals the original
+    /// GEMM up to quantization error.
+    #[test]
+    fn transform_is_mathematically_neutral() {
+        let mut g = SynthGenerator::new(79);
+        let w = g.llm_weights(64, 16);
+        let a = g.llm_activations(4, 64);
+        let res = AwqScaler::with_grid(vec![0.5]).search(
+            &w,
+            &a,
+            WeightPrecision::Int4,
+            GroupShape::along_k(32),
+        );
+        let a_scaled = res.scale_activations(&a);
+        let out = a_scaled.matmul(&res.quantized.dequantize());
+        let reference = a.matmul(&w);
+        let diff = MatrixF32::from_fn(out.rows(), out.cols(), |r, c| {
+            out.get(r, c) - reference.get(r, c)
+        });
+        let rel = diff.frobenius_norm() / reference.frobenius_norm().max(1e-30);
+        assert!(rel < 0.2, "rel err {rel}");
+        assert!((rel - res.output_rel_err).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha grid must be non-empty")]
+    fn empty_grid_rejected() {
+        AwqScaler::with_grid(vec![]);
+    }
+}

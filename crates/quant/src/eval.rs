@@ -1,0 +1,133 @@
+//! Quantization quality metrics.
+//!
+//! Table II reports WikiText-2/C4 perplexity on Llama2-7B; this module
+//! provides the substituted metrics (see DESIGN.md §4): weight-domain
+//! error (MSE, SQNR) and GEMM output perturbation, plus helpers shared by
+//! the perplexity-proxy model in [`crate::lm`].
+
+use crate::groups::GroupShape;
+use crate::matrix::MatrixF32;
+use crate::rtn::RtnQuantizer;
+use pacq_fp16::WeightPrecision;
+
+/// Weight-domain and output-domain error of one quantization configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantError {
+    /// Mean squared weight error.
+    pub weight_mse: f64,
+    /// Signal-to-quantization-noise ratio in dB (weight domain).
+    pub weight_sqnr_db: f64,
+    /// Relative Frobenius error of `A × W_q` vs `A × W` (output domain).
+    pub output_rel_err: f64,
+}
+
+/// Evaluates RTN quantization error for one precision/group configuration
+/// on the given weights, probing output error with the given activations.
+///
+/// # Examples
+///
+/// ```
+/// use pacq_quant::{evaluate_rtn, GroupShape, synth::SynthGenerator};
+/// use pacq_fp16::WeightPrecision;
+///
+/// let mut g = SynthGenerator::new(1);
+/// let w = g.llm_weights(256, 64);
+/// let a = g.llm_activations(8, 256);
+/// let e = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128);
+/// assert!(e.weight_sqnr_db > 10.0); // INT4 RTN keeps usable SQNR
+/// ```
+pub fn evaluate_rtn(
+    weights: &MatrixF32,
+    activations: &MatrixF32,
+    precision: WeightPrecision,
+    group: GroupShape,
+) -> QuantError {
+    let q = RtnQuantizer::new(precision, group).quantize(weights);
+    let deq = q.dequantize();
+
+    let weight_mse = weights.mse(&deq);
+    let signal: f64 = weights
+        .as_slice()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        / weights.as_slice().len().max(1) as f64;
+    let weight_sqnr_db = if weight_mse > 0.0 {
+        10.0 * (signal / weight_mse).log10()
+    } else {
+        f64::INFINITY
+    };
+
+    let ref_out = activations.matmul(weights);
+    let q_out = activations.matmul(&deq);
+    let diff = MatrixF32::from_fn(ref_out.rows(), ref_out.cols(), |r, c| {
+        ref_out.get(r, c) - q_out.get(r, c)
+    });
+    let denom = ref_out.frobenius_norm().max(1e-30);
+    let output_rel_err = diff.frobenius_norm() / denom;
+
+    QuantError { weight_mse, weight_sqnr_db, output_rel_err }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthGenerator;
+
+    fn setup() -> (MatrixF32, MatrixF32) {
+        let mut g = SynthGenerator::new(11);
+        (g.llm_weights(256, 64), g.llm_activations(8, 256))
+    }
+
+    #[test]
+    fn int4_beats_int2() {
+        let (w, a) = setup();
+        let e4 = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128);
+        let e2 = evaluate_rtn(&w, &a, WeightPrecision::Int2, GroupShape::G128);
+        assert!(e4.weight_mse < e2.weight_mse);
+        assert!(e4.weight_sqnr_db > e2.weight_sqnr_db);
+        assert!(e4.output_rel_err < e2.output_rel_err);
+    }
+
+    #[test]
+    fn smaller_groups_are_at_least_as_good() {
+        let (w, a) = setup();
+        let e64 = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(64));
+        let e256 = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(256));
+        assert!(e64.weight_mse <= e256.weight_mse * 1.05);
+    }
+
+    #[test]
+    fn table2_equivalence_equal_volume_groups() {
+        // The heart of Table II: g128 ≈ g[32,4] and g256 ≈ g[64,4].
+        let (w, a) = setup();
+        for (g1, g2) in [
+            (GroupShape::G128, GroupShape::G32X4),
+            (GroupShape::G256, GroupShape::G64X4),
+        ] {
+            let e1 = evaluate_rtn(&w, &a, WeightPrecision::Int4, g1);
+            let e2 = evaluate_rtn(&w, &a, WeightPrecision::Int4, g2);
+            let ratio = e1.weight_mse / e2.weight_mse;
+            assert!(
+                (0.7..1.4).contains(&ratio),
+                "{g1} vs {g2}: MSE ratio {ratio}"
+            );
+            assert!(
+                (e1.output_rel_err - e2.output_rel_err).abs()
+                    < 0.3 * e1.output_rel_err.max(1e-9),
+                "{g1} vs {g2}: output err {} vs {}",
+                e1.output_rel_err,
+                e2.output_rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_are_finite_and_positive() {
+        let (w, a) = setup();
+        let e = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128);
+        assert!(e.weight_mse > 0.0 && e.weight_mse.is_finite());
+        assert!(e.weight_sqnr_db.is_finite());
+        assert!(e.output_rel_err > 0.0 && e.output_rel_err < 1.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! GPTQ: Hessian-aware error-compensated quantization (Frantar et al.,
+//! cited by the paper (refs. 2 and 3) — the algorithm behind AutoGPTQ, one of
+//! the `P(B_x)_k`-packing frameworks §III discusses).
+//!
+//! RTN rounds each weight independently; GPTQ rounds the weights of each
+//! input row in sequence and *compensates* the incurred error by updating
+//! the not-yet-quantized rows, weighted by the inverse Hessian
+//! `H = Σ x xᵀ` of the layer inputs. The result is a drop-in
+//! [`QuantizedMatrix`] — same codes, scales and packing as RTN, so it
+//! flows through every PacQ dataflow unchanged.
+//!
+//! The implementation follows the standard column-sequential formulation
+//! with Cholesky-factored inverse Hessian and diagonal damping.
+
+use crate::groups::GroupShape;
+use crate::matrix::MatrixF32;
+use crate::rtn::QuantizedMatrix;
+use core::fmt;
+use pacq_fp16::WeightPrecision;
+
+/// Error returned when the calibration Hessian cannot be factorized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorizeHessianError {
+    pivot: usize,
+}
+
+impl fmt::Display for FactorizeHessianError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calibration Hessian is not positive definite at pivot {} (add more \
+             calibration samples or increase damping)",
+            self.pivot
+        )
+    }
+}
+
+impl std::error::Error for FactorizeHessianError {}
+
+/// GPTQ quantizer configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pacq_quant::{gptq::GptqQuantizer, GroupShape, synth::SynthGenerator};
+/// use pacq_fp16::WeightPrecision;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = SynthGenerator::new(5);
+/// let w = g.llm_weights(64, 16);
+/// let calib = g.llm_activations(32, 64);
+/// let q = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+///     .quantize(&w, &calib)?;
+/// assert_eq!(q.k(), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GptqQuantizer {
+    precision: WeightPrecision,
+    group: GroupShape,
+    damping: f64,
+}
+
+impl GptqQuantizer {
+    /// Creates a GPTQ quantizer with 1 % diagonal damping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` spans more than one output column (GPTQ's
+    /// row-sequential update assumes k-only groups, like the reference
+    /// implementation).
+    pub fn new(precision: WeightPrecision, group: GroupShape) -> Self {
+        assert!(
+            !group.is_two_dimensional(),
+            "GPTQ supports k-only quantization groups"
+        );
+        GptqQuantizer { precision, group, damping: 0.01 }
+    }
+
+    /// Overrides the relative diagonal damping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `damping` is not positive.
+    pub fn with_damping(mut self, damping: f64) -> Self {
+        assert!(damping > 0.0, "damping must be positive");
+        self.damping = damping;
+        self
+    }
+
+    /// Quantizes `weights` (`[k, n]`) using `calibration` activations
+    /// (`[m, k]`) to build the Hessian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeHessianError`] when the damped Hessian is not
+    /// positive definite (degenerate calibration data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration width does not equal the weight
+    /// k-extent.
+    pub fn quantize(
+        &self,
+        weights: &MatrixF32,
+        calibration: &MatrixF32,
+    ) -> Result<QuantizedMatrix, FactorizeHessianError> {
+        let (k, n) = (weights.rows(), weights.cols());
+        assert_eq!(
+            calibration.cols(),
+            k,
+            "calibration width must equal the weight k-extent"
+        );
+
+        // H = Σ x xᵀ with relative diagonal damping.
+        let mut h = vec![0f64; k * k];
+        for m in 0..calibration.rows() {
+            let row = calibration.row(m);
+            for i in 0..k {
+                let xi = row[i] as f64;
+                for j in i..k {
+                    h[i * k + j] += xi * row[j] as f64;
+                }
+            }
+        }
+        for i in 0..k {
+            for j in 0..i {
+                h[i * k + j] = h[j * k + i];
+            }
+        }
+        let mean_diag = (0..k).map(|i| h[i * k + i]).sum::<f64>() / k as f64;
+        let damp = self.damping * mean_diag.max(1e-12);
+        for i in 0..k {
+            h[i * k + i] += damp;
+        }
+
+        // Inverse Hessian via Cholesky, then the upper Cholesky factor of
+        // the inverse (the standard GPTQ working matrix).
+        let chol = cholesky_lower(&h, k).ok_or(FactorizeHessianError { pivot: 0 })?;
+        let hinv = cholesky_inverse(&chol, k);
+        let u = upper_cholesky(&hinv, k).ok_or(FactorizeHessianError { pivot: 0 })?;
+
+        // Working copy of the weights, updated in place.
+        let mut w: Vec<f64> = weights.as_slice().iter().map(|&v| v as f64).collect();
+        let mut codes = vec![0i8; k * n];
+        let mut scales = vec![0f32; self.group.group_count(k, n)];
+
+        let q_pos = self.precision.max_value() as f64;
+        let q_min = self.precision.min_value() as f64;
+        let g_k = self.group.k_size;
+
+        for i in 0..k {
+            // New k-group: freeze scales from the *updated* weights of the
+            // group (GPTQ's per-group scale refresh).
+            if i % g_k == 0 {
+                let hi = (i + g_k).min(k);
+                for col in 0..n {
+                    let mut max_abs = 0f64;
+                    for r in i..hi {
+                        max_abs = max_abs.max(w[r * n + col].abs());
+                    }
+                    let g = self.group.group_of(i, col, n);
+                    scales[g] = if max_abs > 0.0 { (max_abs / q_pos) as f32 } else { 1.0 };
+                }
+            }
+
+            let d = u[i * k + i];
+            for col in 0..n {
+                let g = self.group.group_of(i, col, n);
+                let s = scales[g] as f64;
+                let q = (w[i * n + col] / s).round().clamp(q_min, q_pos);
+                codes[i * n + col] = q as i8;
+                let err = (w[i * n + col] - q * s) / d;
+                // Compensate the not-yet-quantized rows.
+                for j in i + 1..k {
+                    w[j * n + col] -= err * u[i * k + j];
+                }
+            }
+        }
+
+        let zero_points = vec![self.precision.bias() as u8; scales.len()];
+        Ok(QuantizedMatrix::from_parts(
+            self.precision,
+            self.group,
+            k,
+            n,
+            codes,
+            scales,
+            zero_points,
+        ))
+    }
+}
+
+/// Lower Cholesky factor of a symmetric positive-definite matrix
+/// (row-major `k × k`). Returns `None` if not positive definite.
+fn cholesky_lower(a: &[f64], k: usize) -> Option<Vec<f64>> {
+    let mut l = vec![0f64; k * k];
+    for i in 0..k {
+        for j in 0..=i {
+            let mut sum = a[i * k + j];
+            for t in 0..j {
+                sum -= l[i * k + t] * l[j * k + t];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * k + j] = sum.sqrt();
+            } else {
+                l[i * k + j] = sum / l[j * k + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Inverse of `L Lᵀ` given the lower factor `L` (i.e. `A⁻¹`).
+fn cholesky_inverse(l: &[f64], k: usize) -> Vec<f64> {
+    // Invert L (lower triangular) by forward substitution, then
+    // A⁻¹ = L⁻ᵀ L⁻¹.
+    let mut linv = vec![0f64; k * k];
+    for i in 0..k {
+        linv[i * k + i] = 1.0 / l[i * k + i];
+        for j in 0..i {
+            let mut sum = 0f64;
+            for t in j..i {
+                sum -= l[i * k + t] * linv[t * k + j];
+            }
+            linv[i * k + j] = sum / l[i * k + i];
+        }
+    }
+    let mut inv = vec![0f64; k * k];
+    for i in 0..k {
+        for j in 0..k {
+            let mut sum = 0f64;
+            for t in i.max(j)..k {
+                sum += linv[t * k + i] * linv[t * k + j];
+            }
+            inv[i * k + j] = sum;
+        }
+    }
+    inv
+}
+
+/// Upper Cholesky factor `U` with `A = Uᵀ U` (what GPTQ iterates over).
+fn upper_cholesky(a: &[f64], k: usize) -> Option<Vec<f64>> {
+    // Compute via the lower factor of the reversed matrix, or directly:
+    // u[i][j] for j >= i.
+    let mut u = vec![0f64; k * k];
+    for i in 0..k {
+        for j in i..k {
+            let mut sum = a[i * k + j];
+            for t in 0..i {
+                sum -= u[t * k + i] * u[t * k + j];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                u[i * k + j] = sum.sqrt();
+            } else {
+                u[i * k + j] = sum / u[i * k + i];
+            }
+        }
+    }
+    Some(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtn::RtnQuantizer;
+    use crate::synth::SynthGenerator;
+
+    fn output_err(w: &MatrixF32, deq: &MatrixF32, a: &MatrixF32) -> f64 {
+        let r = a.matmul(w);
+        let q = a.matmul(deq);
+        let d = MatrixF32::from_fn(r.rows(), r.cols(), |i, j| r.get(i, j) - q.get(i, j));
+        d.frobenius_norm() / r.frobenius_norm().max(1e-30)
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        // A = M Mᵀ + I is SPD.
+        let k = 8;
+        let mut a = vec![0f64; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                let mut sum = if i == j { 1.0 } else { 0.0 };
+                for t in 0..k {
+                    let mi = ((i * 7 + t * 3) % 11) as f64 / 11.0;
+                    let mj = ((j * 7 + t * 3) % 11) as f64 / 11.0;
+                    sum += mi * mj;
+                }
+                a[i * k + j] = sum;
+            }
+        }
+        let l = cholesky_lower(&a, k).expect("SPD");
+        // L Lᵀ = A.
+        for i in 0..k {
+            for j in 0..k {
+                let mut sum = 0f64;
+                for t in 0..k {
+                    sum += l[i * k + t] * l[j * k + t];
+                }
+                assert!((sum - a[i * k + j]).abs() < 1e-9);
+            }
+        }
+        // A · A⁻¹ = I.
+        let inv = cholesky_inverse(&l, k);
+        for i in 0..k {
+            for j in 0..k {
+                let mut sum = 0f64;
+                for t in 0..k {
+                    sum += a[i * k + t] * inv[t * k + j];
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((sum - want).abs() < 1e-8, "({i},{j}): {sum}");
+            }
+        }
+        // Uᵀ U = A⁻¹.
+        let u = upper_cholesky(&inv, k).expect("SPD");
+        for i in 0..k {
+            for j in 0..k {
+                let mut sum = 0f64;
+                for t in 0..k {
+                    sum += u[t * k + i] * u[t * k + j];
+                }
+                assert!((sum - inv[i * k + j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn gptq_beats_rtn_on_correlated_inputs() {
+        let mut g = SynthGenerator::new(41);
+        let w = g.llm_weights(64, 32);
+        // Correlated calibration data (shared low-rank structure), the
+        // regime where Hessian-aware compensation pays off.
+        let basis = g.llm_activations(4, 64);
+        let coeff = g.uniform(64, 4, 1.0);
+        let calib = MatrixF32::from_fn(64, 64, |m, kk| {
+            (0..4).map(|t| coeff.get(m, t) * basis.get(t, kk)).sum::<f32>()
+                + 0.05 * ((m * 31 + kk * 17) % 13) as f32 / 13.0
+        });
+
+        let group = GroupShape::along_k(32);
+        let rtn = RtnQuantizer::new(WeightPrecision::Int4, group).quantize(&w);
+        let gptq = GptqQuantizer::new(WeightPrecision::Int4, group)
+            .quantize(&w, &calib)
+            .expect("factorizes");
+
+        let e_rtn = output_err(&w, &rtn.dequantize(), &calib);
+        let e_gptq = output_err(&w, &gptq.dequantize(), &calib);
+        assert!(
+            e_gptq < e_rtn,
+            "GPTQ {e_gptq} should beat RTN {e_rtn} on calibration inputs"
+        );
+    }
+
+    #[test]
+    fn gptq_improves_on_held_out_data_too() {
+        let mut g = SynthGenerator::new(42);
+        let w = g.llm_weights(64, 16);
+        let calib = g.llm_activations(128, 64);
+        let held_out = g.llm_activations(32, 64);
+
+        let group = GroupShape::along_k(64);
+        let rtn = RtnQuantizer::new(WeightPrecision::Int4, group).quantize(&w);
+        let gptq =
+            GptqQuantizer::new(WeightPrecision::Int4, group).quantize(&w, &calib).expect("ok");
+
+        let e_rtn = output_err(&w, &rtn.dequantize(), &held_out);
+        let e_gptq = output_err(&w, &gptq.dequantize(), &held_out);
+        // With i.i.d. synthetic held-out data (no structure shared with the
+        // calibration set beyond the distribution) GPTQ has nothing to
+        // exploit, so parity-within-noise is the expectation here.
+        assert!(e_gptq < e_rtn * 1.2, "GPTQ {e_gptq} vs RTN {e_rtn}");
+    }
+
+    #[test]
+    fn gptq_codes_are_packable() {
+        use crate::pack::{PackDim, PackedMatrix};
+        let mut g = SynthGenerator::new(43);
+        let w = g.llm_weights(32, 16);
+        let calib = g.llm_activations(64, 32);
+        let q = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+            .quantize(&w, &calib)
+            .expect("ok");
+        let p = PackedMatrix::pack(&q, PackDim::N).expect("packs");
+        assert_eq!(p.unpack().codes(), q.codes());
+    }
+
+    #[test]
+    fn gptq_int2_runs() {
+        let mut g = SynthGenerator::new(44);
+        let w = g.llm_weights(32, 8);
+        let calib = g.llm_activations(64, 32);
+        let q = GptqQuantizer::new(WeightPrecision::Int2, GroupShape::along_k(16))
+            .quantize(&w, &calib)
+            .expect("ok");
+        assert!(q.codes().iter().all(|&c| (-2..=1).contains(&c)));
+    }
+
+    #[test]
+    #[should_panic(expected = "k-only quantization groups")]
+    fn two_dimensional_groups_rejected() {
+        GptqQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping must be positive")]
+    fn non_positive_damping_rejected() {
+        GptqQuantizer::new(WeightPrecision::Int4, GroupShape::G128).with_damping(0.0);
+    }
+}

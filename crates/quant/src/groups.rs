@@ -1,0 +1,168 @@
+//! Quantization group geometry.
+//!
+//! Standard weight-only PTQ defines groups along the input-feature (k)
+//! dimension only (e.g. `g128`). Section V of the paper proposes spanning
+//! groups across **both** `[n, k]` dimensions (e.g. `g[32,4]` = 32 steps
+//! along k × 4 along n, same 128-element volume) so that PacQ's n-packed
+//! dataflow fetches one scale per packed word group instead of one per
+//! lane — Table II shows the change is quality-neutral.
+
+use core::fmt;
+
+/// Shape of one quantization group over the `[k, n]` weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupShape {
+    /// Group extent along the input-feature dimension (k).
+    pub k_size: usize,
+    /// Group extent along the output-feature dimension (n).
+    pub n_size: usize,
+}
+
+impl GroupShape {
+    /// The conventional `g128` (128 along k, 1 along n).
+    pub const G128: GroupShape = GroupShape { k_size: 128, n_size: 1 };
+    /// The conventional `g256`.
+    pub const G256: GroupShape = GroupShape { k_size: 256, n_size: 1 };
+    /// The paper's 2-D `g[32,4]`: 32 along k × 4 along n (volume 128).
+    pub const G32X4: GroupShape = GroupShape { k_size: 32, n_size: 4 };
+    /// The paper's 2-D `g[64,4]`: 64 along k × 4 along n (volume 256).
+    pub const G64X4: GroupShape = GroupShape { k_size: 64, n_size: 4 };
+
+    /// Creates a group shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn new(k_size: usize, n_size: usize) -> Self {
+        assert!(k_size > 0 && n_size > 0, "group extents must be non-zero");
+        GroupShape { k_size, n_size }
+    }
+
+    /// A 1-D group along k (the conventional layout).
+    pub fn along_k(k_size: usize) -> Self {
+        GroupShape::new(k_size, 1)
+    }
+
+    /// Number of weights per group.
+    pub fn volume(&self) -> usize {
+        self.k_size * self.n_size
+    }
+
+    /// `true` when the group spans more than one output column — the
+    /// paper's PacQ-friendly layout.
+    pub fn is_two_dimensional(&self) -> bool {
+        self.n_size > 1
+    }
+
+    /// The group index of weight `(k, n)`.
+    pub fn group_of(&self, k: usize, n: usize, n_total: usize) -> usize {
+        let groups_per_row = n_total.div_ceil(self.n_size);
+        (k / self.k_size) * groups_per_row + n / self.n_size
+    }
+
+    /// Number of groups covering a `[k_total, n_total]` matrix.
+    pub fn group_count(&self, k_total: usize, n_total: usize) -> usize {
+        k_total.div_ceil(self.k_size) * n_total.div_ceil(self.n_size)
+    }
+
+    /// Number of scale-fetch events the general core performs while
+    /// consuming the matrix tile by tile: for every `tile_k × lanes`
+    /// weight tile (the octet compute granularity of Figure 3), it fetches
+    /// one scale per distinct group the tile touches, with no inter-tile
+    /// caching.
+    ///
+    /// This is the quantity the `g[n,k]` layout reduces for PacQ
+    /// (Figure 6, step ③): with `n_size ≥ lanes` all lanes of a packed
+    /// word share a single scale, so a 4×4 tile needs 1 fetch instead
+    /// of 4.
+    pub fn scale_fetches_for_tiled_walk(
+        &self,
+        k_total: usize,
+        n_total: usize,
+        lanes: usize,
+        tile_k: usize,
+    ) -> usize {
+        assert!(lanes > 0 && tile_k > 0, "tile extents must be non-zero");
+        let words_per_row = n_total.div_ceil(lanes);
+        let k_tiles = k_total.div_ceil(tile_k);
+        let mut fetches = 0usize;
+        for kt in 0..k_tiles {
+            let k_lo = kt * tile_k;
+            let k_hi = ((kt + 1) * tile_k).min(k_total);
+            let kg_lo = k_lo / self.k_size;
+            let kg_hi = (k_hi - 1) / self.k_size;
+            for w in 0..words_per_row {
+                let n_lo = w * lanes;
+                let n_hi = ((w + 1) * lanes).min(n_total);
+                let g_lo = n_lo / self.n_size;
+                let g_hi = (n_hi - 1) / self.n_size;
+                fetches += (kg_hi - kg_lo + 1) * (g_hi - g_lo + 1);
+            }
+        }
+        fetches
+    }
+}
+
+impl fmt::Display for GroupShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.n_size == 1 {
+            write!(f, "g{}", self.k_size)
+        } else {
+            write!(f, "g[{},{}]", self.k_size, self.n_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_shapes_have_expected_volumes() {
+        assert_eq!(GroupShape::G128.volume(), 128);
+        assert_eq!(GroupShape::G32X4.volume(), 128);
+        assert_eq!(GroupShape::G256.volume(), 256);
+        assert_eq!(GroupShape::G64X4.volume(), 256);
+        assert!(!GroupShape::G128.is_two_dimensional());
+        assert!(GroupShape::G32X4.is_two_dimensional());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(GroupShape::G128.to_string(), "g128");
+        assert_eq!(GroupShape::G32X4.to_string(), "g[32,4]");
+    }
+
+    #[test]
+    fn group_indexing_covers_matrix() {
+        let g = GroupShape::G32X4;
+        let (k_total, n_total) = (64, 16);
+        assert_eq!(g.group_count(k_total, n_total), 2 * 4);
+        assert_eq!(g.group_of(0, 0, n_total), 0);
+        assert_eq!(g.group_of(0, 4, n_total), 1);
+        assert_eq!(g.group_of(32, 0, n_total), 4);
+        assert_eq!(g.group_of(63, 15, n_total), 7);
+    }
+
+    #[test]
+    fn two_dimensional_groups_need_fewer_scale_fetches() {
+        // The motivation for g[n,k] (Figure 6 ③): a 4×4 octet tile under
+        // g128 straddles 4 single-column groups (4 scale fetches); under
+        // g[32,4] it lies inside one group (1 fetch) — a 4× reduction.
+        let (k_total, n_total, lanes, tile_k) = (4096, 64, 4, 4);
+        let f_1d = GroupShape::G128.scale_fetches_for_tiled_walk(k_total, n_total, lanes, tile_k);
+        let f_2d = GroupShape::G32X4.scale_fetches_for_tiled_walk(k_total, n_total, lanes, tile_k);
+        assert_eq!(f_1d, f_2d * 4, "expected a 4x reduction: 1-D {f_1d}, 2-D {f_2d}");
+
+        // Same for the g256 / g[64,4] pair.
+        let f_1d = GroupShape::G256.scale_fetches_for_tiled_walk(k_total, n_total, lanes, tile_k);
+        let f_2d = GroupShape::G64X4.scale_fetches_for_tiled_walk(k_total, n_total, lanes, tile_k);
+        assert_eq!(f_1d, f_2d * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "group extents must be non-zero")]
+    fn zero_extent_rejected() {
+        GroupShape::new(0, 4);
+    }
+}

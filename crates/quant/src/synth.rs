@@ -1,0 +1,177 @@
+//! Synthetic LLM-like data generation.
+//!
+//! The paper evaluates Table II on Llama2-7B weights with WikiText-2/C4
+//! perplexity; neither the weights nor the datasets are available here, so
+//! this module generates weight matrices and activations whose statistics
+//! match what the quantization literature reports for transformer layers:
+//!
+//! * weights: near-Gaussian, centered, with per-output-channel scale
+//!   variation and a small fraction of heavy-tailed outliers;
+//! * activations: Gaussian bulk with rare large-magnitude outliers
+//!   (the phenomenon that motivates weight-only quantization in the first
+//!   place — §I of the paper).
+//!
+//! All generators are deterministic given a seed.
+
+use crate::matrix::MatrixF32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statistics knobs for synthetic transformer weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightStats {
+    /// Base standard deviation of the Gaussian bulk.
+    pub sigma: f64,
+    /// Relative spread of per-output-channel scales (log-normal-ish).
+    pub channel_spread: f64,
+    /// Fraction of heavy-tailed outlier weights.
+    pub outlier_fraction: f64,
+    /// Outlier magnitude multiplier.
+    pub outlier_scale: f64,
+}
+
+impl Default for WeightStats {
+    fn default() -> Self {
+        // σ ≈ 0.02 matches initialization-scale transformer FFN weights.
+        WeightStats {
+            sigma: 0.02,
+            channel_spread: 0.3,
+            outlier_fraction: 0.001,
+            outlier_scale: 8.0,
+        }
+    }
+}
+
+/// Deterministic synthetic data generator.
+///
+/// # Examples
+///
+/// ```
+/// use pacq_quant::synth::SynthGenerator;
+///
+/// let mut g = SynthGenerator::new(42);
+/// let w = g.llm_weights(128, 64);
+/// assert_eq!((w.rows(), w.cols()), (128, 64));
+/// // Deterministic: same seed, same data.
+/// let w2 = SynthGenerator::new(42).llm_weights(128, 64);
+/// assert_eq!(w.as_slice(), w2.as_slice());
+/// ```
+#[derive(Debug)]
+pub struct SynthGenerator {
+    rng: StdRng,
+    stats: WeightStats,
+}
+
+impl SynthGenerator {
+    /// Creates a generator with default transformer statistics.
+    pub fn new(seed: u64) -> Self {
+        SynthGenerator { rng: StdRng::seed_from_u64(seed), stats: WeightStats::default() }
+    }
+
+    /// Creates a generator with custom weight statistics.
+    pub fn with_stats(seed: u64, stats: WeightStats) -> Self {
+        SynthGenerator { rng: StdRng::seed_from_u64(seed), stats }
+    }
+
+    /// Standard normal via Box–Muller.
+    fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.random_range(1e-12..1.0);
+        let u2: f64 = self.rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+    }
+
+    /// A `[k, n]` transformer-like weight matrix.
+    pub fn llm_weights(&mut self, k: usize, n: usize) -> MatrixF32 {
+        let stats = self.stats;
+        // Per-output-channel scale variation.
+        let channel_scale: Vec<f64> = (0..n)
+            .map(|_| (self.normal() * stats.channel_spread).exp())
+            .collect();
+        let mut data = Vec::with_capacity(k * n);
+        for _ in 0..k {
+            for scale in channel_scale.iter().take(n) {
+                let mut v = self.normal() * stats.sigma * scale;
+                if self.rng.random_range(0.0..1.0) < stats.outlier_fraction {
+                    v *= stats.outlier_scale;
+                }
+                data.push(v as f32);
+            }
+        }
+        MatrixF32::from_vec(k, n, data)
+    }
+
+    /// A `[m, k]` activation matrix with rare salient outliers (the LLM
+    /// activation phenomenon of §I). Magnitudes sit in the range where the
+    /// PacQ biased datapath stays within FP16 (see pacq-fp16's
+    /// EXPERIMENTS notes).
+    pub fn llm_activations(&mut self, m: usize, k: usize) -> MatrixF32 {
+        let mut data = Vec::with_capacity(m * k);
+        for _ in 0..m * k {
+            let mut v = self.normal() * 0.5;
+            if self.rng.random_range(0.0..1.0) < 0.002 {
+                v *= 12.0; // salient channel outlier
+            }
+            data.push(v as f32);
+        }
+        MatrixF32::from_vec(m, k, data)
+    }
+
+    /// A uniform random matrix in `[-bound, bound]`.
+    pub fn uniform(&mut self, rows: usize, cols: usize, bound: f32) -> MatrixF32 {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(self.rng.random_range(-bound..bound));
+        }
+        MatrixF32::from_vec(rows, cols, data)
+    }
+
+    /// A random token sequence in `[0, vocab)`.
+    pub fn tokens(&mut self, len: usize, vocab: usize) -> Vec<usize> {
+        (0..len).map(|_| self.rng.random_range(0..vocab)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_centered_and_small() {
+        let w = SynthGenerator::new(7).llm_weights(256, 128);
+        let mean: f64 =
+            w.as_slice().iter().map(|&v| v as f64).sum::<f64>() / w.as_slice().len() as f64;
+        let std: f64 = (w.as_slice().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+            / w.as_slice().len() as f64)
+            .sqrt();
+        assert!(mean.abs() < 0.005, "mean = {mean}");
+        assert!((0.005..0.2).contains(&std), "std = {std}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthGenerator::new(1).llm_weights(16, 16);
+        let b = SynthGenerator::new(2).llm_weights(16, 16);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn activations_have_outliers() {
+        let a = SynthGenerator::new(3).llm_activations(64, 1024);
+        let max = a.as_slice().iter().fold(0f32, |m, &v| m.max(v.abs()));
+        assert!(max > 2.0, "expected salient outliers, max = {max}");
+        assert!(max < 60.0, "activations must stay in the biased-FP16 range");
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let u = SynthGenerator::new(4).uniform(32, 32, 0.5);
+        assert!(u.as_slice().iter().all(|&v| v.abs() <= 0.5));
+    }
+
+    #[test]
+    fn tokens_in_vocab() {
+        let t = SynthGenerator::new(5).tokens(1000, 256);
+        assert!(t.iter().all(|&x| x < 256));
+        assert_eq!(t.len(), 1000);
+    }
+}

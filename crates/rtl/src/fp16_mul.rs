@@ -1,0 +1,305 @@
+//! Gate-level baseline FP16 multiplier (flush-to-zero), the full
+//! Figure 5(a) datapath as a netlist.
+//!
+//! Bit-exact with the behavioral
+//! [`pacq_fp16::Fp16Multiplier`] in [`SubnormalMode::FlushToZero`]
+//! (hardware multipliers commonly flush; the IEEE gradual-underflow path
+//! would add a leading-zero counter and barrel shifter in front of the
+//! array). Proved by sweep tests against the behavioral model.
+//!
+//! [`SubnormalMode::FlushToZero`]: pacq_fp16::SubnormalMode
+
+use crate::adder::{incrementer, ripple_adder, sub_constant};
+use crate::multiplier::int11_multiplier;
+use crate::netlist::{Bus, Netlist, NodeId};
+
+/// Handle to the built multiplier: input and output buses.
+#[derive(Debug, Clone)]
+pub struct Fp16MulCircuit {
+    /// The netlist.
+    pub netlist: Netlist,
+    a: Bus,
+    b: Bus,
+    out: Bus,
+}
+
+impl Fp16MulCircuit {
+    /// Builds the circuit.
+    pub fn build() -> Self {
+        let mut n = Netlist::new();
+        let a = n.input_bus(16);
+        let b = n.input_bus(16);
+        let out = fp16_multiplier(&mut n, &a, &b);
+        Fp16MulCircuit { netlist: n, a, b, out }
+    }
+
+    /// Multiplies two FP16 bit patterns through the netlist.
+    pub fn multiply(&mut self, a: u16, b: u16) -> u16 {
+        let mut inputs = Vec::with_capacity(32);
+        for i in 0..16 {
+            inputs.push((a >> i) & 1 == 1);
+        }
+        for i in 0..16 {
+            inputs.push((b >> i) & 1 == 1);
+        }
+        self.netlist.simulate(&inputs);
+        self.netlist.read_bus(&self.out) as u16
+    }
+
+    /// The input buses (for external wiring/inspection).
+    pub fn inputs(&self) -> (&[NodeId], &[NodeId]) {
+        (&self.a, &self.b)
+    }
+}
+
+/// Field decode helper: returns (sign, exp bus [5], mantissa bus [10]).
+fn decode(nl: &Netlist, x: &[NodeId]) -> (NodeId, Bus, Bus) {
+    let _ = nl;
+    (x[15], x[10..15].to_vec(), x[..10].to_vec())
+}
+
+/// Class signals: (is_zeroish, is_inf, is_nan). FTZ treats exp==0 as zero.
+fn classify(n: &mut Netlist, exp: &[NodeId], man: &[NodeId]) -> (NodeId, NodeId, NodeId) {
+    let exp_any = n.or_reduce(exp);
+    let exp_all = n.and_reduce(exp);
+    let man_any = n.or_reduce(man);
+    let zeroish = n.not(exp_any);
+    let man_none = n.not(man_any);
+    let inf = n.and(exp_all, man_none);
+    let nan = n.and(exp_all, man_any);
+    (zeroish, inf, nan)
+}
+
+/// Builds the complete FTZ FP16 multiplier; returns the 16-bit output bus.
+///
+/// # Panics
+///
+/// Panics unless both inputs are 16-bit buses.
+pub fn fp16_multiplier(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Bus {
+    assert_eq!(a.len(), 16, "a must be 16 bits");
+    assert_eq!(b.len(), 16, "b must be 16 bits");
+
+    let (sa, ea, ma) = decode(n, a);
+    let (sb, eb, mb) = decode(n, b);
+    let (a_zero, a_inf, a_nan) = classify(n, &ea, &ma);
+    let (b_zero, b_inf, b_nan) = classify(n, &eb, &mb);
+
+    // Sign: one XOR gate.
+    let sign = n.xor(sa, sb);
+
+    // Significands with hidden bit (exp != 0; FTZ zeros are masked later).
+    let ha = n.or_reduce(&ea);
+    let hb = n.or_reduce(&eb);
+    let mut sig_a = ma.clone();
+    sig_a.push(ha);
+    let mut sig_b = mb.clone();
+    sig_b.push(hb);
+
+    // --- INT11 MUL -----------------------------------------------------
+    let product = int11_multiplier(n, &sig_a, &sig_b); // 22 bits
+
+    // --- normalization (1-bit) ------------------------------------------
+    let norm = product[21];
+    // kept[i] = norm ? product[11+i] : product[10+i], i in 0..11
+    let kept: Bus = (0..11)
+        .map(|i| n.mux(norm, product[10 + i], product[11 + i]))
+        .collect();
+    let round_bit = n.mux(norm, product[9], product[10]);
+    let sticky_lo = n.or_reduce(&product[..9]);
+    let sticky_hi = n.or(sticky_lo, product[9]);
+    let sticky = n.mux(norm, sticky_lo, sticky_hi);
+
+    // --- rounding unit (RNE) --------------------------------------------
+    let tie_or_up = n.or(sticky, kept[0]);
+    let round_up = n.and(round_bit, tie_or_up);
+    let (mantissa, round_carry) = incrementer(n, &kept, round_up);
+
+    // --- INT5 exponent adder + adjustments -------------------------------
+    // X = ea + eb + norm in 7 bits; biased0 = X − 15 classifies the
+    // result BEFORE rounding (the round position depends on it); the
+    // normal-path round carry then bumps the exponent.
+    let zero = n.constant(false);
+    let ea7: Bus = ea.iter().copied().chain([zero, zero]).collect();
+    let eb7: Bus = eb.iter().copied().chain([zero, zero]).collect();
+    let (x0, _) = ripple_adder(n, &ea7, &eb7, norm);
+    let (biased0, no_underflow) = sub_constant(n, &x0, 15); // X >= 15
+    let biased_any = n.or_reduce(&biased0);
+    let positive = n.and(no_underflow, biased_any); // biased0 >= 1
+    let underflow = n.not(positive);
+
+    // Normal-path exponent: biased0 + round_carry.
+    let (biased, _) = incrementer(n, &biased0, round_carry);
+
+    // Boundary case biased0 == 0: IEEE rounds one position higher
+    // (denormalized), and a product just below 2^-14 can round up INTO
+    // the normal range — FTZ keeps that MIN_POSITIVE result. That needs
+    // all 11 kept bits set and the denormalized round-up to fire.
+    let at_boundary = {
+        let b_none = n.not(biased_any);
+        n.and(no_underflow, b_none)
+    };
+    let kept_all_ones = n.and_reduce(&kept);
+    let sticky_b = n.or(round_bit, sticky);
+    let up_b = {
+        // round bit at the boundary is kept[0]; tie breaks on kept[1].
+        let t = n.or(sticky_b, kept[1]);
+        n.and(kept[0], t)
+    };
+    let rounds_to_min_positive = {
+        let r = n.and(kept_all_ones, up_b);
+        n.and(at_boundary, r)
+    };
+    // Overflow when biased >= 31: bit6 | bit5 | (bits 0..5 all ones).
+    let low_all = n.and_reduce(&biased[..5]);
+    let hi_or = n.or(biased[5], biased[6]);
+    let ge31 = n.or(hi_or, low_all);
+    let overflow = n.and(ge31, positive);
+
+    // --- special-case resolution ------------------------------------------
+    let az_bz = n.or(a_zero, b_zero);
+    let ai_bi = n.or(a_inf, b_inf);
+    let zero_times_inf = n.and(az_bz, ai_bi);
+    let nan_in = n.or(a_nan, b_nan);
+    let nan_out = n.or(nan_in, zero_times_inf);
+    let not_nan = n.not(nan_out);
+    let inf_in = n.and(ai_bi, not_nan);
+    let zero_in = n.and(az_bz, not_nan);
+    let not_special = {
+        let s = n.or(nan_out, inf_in);
+        let s = n.or(s, zero_in);
+        n.not(s)
+    };
+    let inf_out = {
+        let ovf = n.and(overflow, not_special);
+        n.or(inf_in, ovf)
+    };
+    let zero_out = {
+        let keeps = n.not(rounds_to_min_positive);
+        let unf = n.and(underflow, keeps);
+        let unf = n.and(unf, not_special);
+        n.or(zero_in, unf)
+    };
+    let min_pos_out = n.and(rounds_to_min_positive, not_special);
+
+    // --- output assembly ----------------------------------------------
+    // Normal result: {sign, biased[4:0], mantissa[9:0]}.
+    let mut result: Bus = mantissa[..10].to_vec();
+    result.extend_from_slice(&biased[..5]);
+    result.push(sign);
+
+    // The boundary round-up forces {sign, MIN_POSITIVE}.
+    let min_pos_bits = n.constant_bus(0x0400, 15);
+    let with_min = n.mux_bus(min_pos_out, &result[..15], &min_pos_bits);
+
+    // zero_out forces {sign, 0, 0}.
+    let zero_bits = n.constant_bus(0x0000, 15);
+    let mut with_zero = n.mux_bus(zero_out, &with_min, &zero_bits);
+    with_zero.push(sign);
+
+    // inf_out forces {sign, 0x7C00}.
+    let inf_bits = n.constant_bus(0x7C00, 15);
+    let mut with_inf = n.mux_bus(inf_out, &with_zero[..15], &inf_bits);
+    with_inf.push(sign);
+
+    // nan forces canonical 0x7E00 (positive quiet NaN).
+    let nan_bits = n.constant_bus(0x7E00, 16);
+    n.mux_bus(nan_out, &with_inf, &nan_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacq_fp16::{Fp16, Fp16Multiplier, SubnormalMode};
+
+    fn behavioral(a: u16, b: u16) -> u16 {
+        Fp16Multiplier::with_subnormal_mode(SubnormalMode::FlushToZero)
+            .product(Fp16::from_bits(a), Fp16::from_bits(b))
+            .to_bits()
+    }
+
+    fn same(x: u16, y: u16) -> bool {
+        let fx = Fp16::from_bits(x);
+        let fy = Fp16::from_bits(y);
+        (fx.is_nan() && fy.is_nan()) || x == y
+    }
+
+    #[test]
+    fn matches_behavioral_on_full_sweep_of_one_operand() {
+        let mut c = Fp16MulCircuit::build();
+        // Every A value (stride 1) × a small set of interesting B values.
+        for &b in &[0x3C00u16, 0xBC00, 0x3555, 0x7BFF, 0x0000, 0x7C00, 0x6417] {
+            for a_hi in 0u16..=255 {
+                let a = a_hi << 8 | (a_hi.wrapping_mul(37) & 0xFF);
+                let got = c.multiply(a, b);
+                let want = behavioral(a, b);
+                assert!(same(got, want), "{a:04x} × {b:04x}: rtl {got:04x} behav {want:04x}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_behavioral_on_random_pairs() {
+        let mut c = Fp16MulCircuit::build();
+        let mut x: u64 = 0xACE1;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (x & 0xFFFF) as u16;
+            let b = ((x >> 16) & 0xFFFF) as u16;
+            let got = c.multiply(a, b);
+            let want = behavioral(a, b);
+            assert!(same(got, want), "{a:04x} × {b:04x}: rtl {got:04x} behav {want:04x}");
+        }
+    }
+
+    /// Full 2^16 × selected-operand equivalence (run with
+    /// `cargo test -p pacq-rtl --release -- --ignored`).
+    #[test]
+    #[ignore = "exhaustive; run in release"]
+    fn matches_behavioral_exhaustive() {
+        let mut c = Fp16MulCircuit::build();
+        for &b in &[0x3C00u16, 0x3555, 0x7BFF, 0x0400, 0x6417, 0xBC01] {
+            for a in 0u16..=u16::MAX {
+                let got = c.multiply(a, b);
+                let want = behavioral(a, b);
+                assert!(same(got, want), "{a:04x} × {b:04x}: rtl {got:04x} behav {want:04x}");
+            }
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        let mut c = Fp16MulCircuit::build();
+        // 0 × inf = NaN
+        assert!(Fp16::from_bits(c.multiply(0x0000, 0x7C00)).is_nan());
+        // inf × -1 = -inf
+        assert_eq!(c.multiply(0x7C00, 0xBC00), 0xFC00);
+        // subnormal flushes to zero
+        assert_eq!(c.multiply(0x0001, 0x3C00), 0x0000);
+        assert_eq!(c.multiply(0x8001, 0x3C00), 0x8000);
+        // overflow saturates to inf
+        assert_eq!(c.multiply(0x7BFF, 0x4000), 0x7C00);
+        // underflow flushes
+        assert_eq!(c.multiply(0x0400, 0x3800), 0x0000); // 2^-14 × 0.5
+    }
+
+    #[test]
+    fn rounding_ties_to_even() {
+        let mut c = Fp16MulCircuit::build();
+        // 1.5 × 1.5 = 2.25 exact.
+        assert_eq!(Fp16::from_bits(c.multiply(0x3E00, 0x3E00)).to_f32(), 2.25);
+        // (1 + 2^-10) × (1 + 2^-10) = 1 + 2^-9 + 2^-20: RNE keeps 1 + 2^-9.
+        let got = c.multiply(0x3C01, 0x3C01);
+        assert_eq!(got, 0x3C02);
+    }
+
+    #[test]
+    fn gate_inventory_is_plausible() {
+        let c = Fp16MulCircuit::build();
+        let counts = c.netlist.gate_counts();
+        // 11×11 array alone: 121 AND + 10 × 11-bit adders (~2 XOR each/bit).
+        assert!(counts.and > 200, "{counts}");
+        assert!(counts.xor > 200, "{counts}");
+        assert!(counts.total() < 3000, "{counts}");
+        assert!(c.netlist.area_ge() > 500.0);
+    }
+}

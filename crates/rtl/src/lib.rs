@@ -1,0 +1,105 @@
+//! # pacq-rtl — gate-level netlist models of the PacQ arithmetic units
+//!
+//! The paper's hardware numbers come from RTL synthesis; this crate
+//! carries an actual gate-level description of the Table I units:
+//!
+//! * [`netlist`] — a minimal combinational netlist with topological
+//!   simulation, gate counting and toggle (switching-activity) counting;
+//! * [`adder`] — full adders, ripple-carry adders, incrementers;
+//! * [`multiplier`] — the 11×11 shift-add array (10 adders, as Table I
+//!   counts) and the Figure 5(c) four-lane 11×4 parallel array
+//!   (12 + 4 adders) with the Figure 5(d) assembly;
+//! * [`fp16_mul`] — the complete baseline FP16 multiplier;
+//! * [`parallel_mul`] — the complete parallel FP-INT multiplier.
+//!
+//! Every circuit is proved bit-exact against the behavioral models of
+//! `pacq-fp16` (flush-to-zero subnormal handling, as hardware
+//! multipliers commonly implement), and the gate counts provide an
+//! independent cross-check of the calibrated cost model in
+//! `pacq-energy` (see `tests::area_cross_check`).
+//!
+//! ## Example
+//!
+//! ```
+//! use pacq_rtl::Fp16MulCircuit;
+//! use pacq_fp16::Fp16;
+//!
+//! let mut circuit = Fp16MulCircuit::build();
+//! let out = circuit.multiply(
+//!     Fp16::from_f32(1.5).to_bits(),
+//!     Fp16::from_f32(-2.0).to_bits(),
+//! );
+//! assert_eq!(Fp16::from_bits(out).to_f32(), -3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod fp16_mul;
+pub mod multiplier;
+pub mod netlist;
+pub mod parallel_mul;
+pub mod vcd;
+
+pub use fp16_mul::Fp16MulCircuit;
+pub use netlist::{Bus, Gate, GateCounts, Netlist, NodeId};
+pub use parallel_mul::ParallelFpIntCircuit;
+pub use vcd::VcdRecorder;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The gate-level area ratio of the parallel FP-INT multiplier over
+    /// the baseline FP16 multiplier, computed from actual netlists,
+    /// cross-checks the calibrated area model of `pacq-energy`
+    /// (812 → 1152 µm², ratio ≈ 1.42).
+    #[test]
+    fn area_cross_check() {
+        let base = Fp16MulCircuit::build();
+        let par = ParallelFpIntCircuit::build();
+        let rtl_ratio = par.netlist.area_ge() / base.netlist.area_ge();
+
+        let model_ratio = pacq_energy::GemmUnit::ParallelFpIntMul.area_um2()
+            / pacq_energy::GemmUnit::BaselineFp16Mul.area_um2();
+
+        assert!(
+            (rtl_ratio - model_ratio).abs() / model_ratio < 0.35,
+            "gate-level ratio {rtl_ratio:.3} vs calibrated model {model_ratio:.3}"
+        );
+        // And in absolute terms the parallel unit must cost more silicon
+        // but far less than 4 separate multipliers.
+        assert!(rtl_ratio > 1.05, "ratio {rtl_ratio}");
+        assert!(rtl_ratio < 2.5, "ratio {rtl_ratio}");
+    }
+
+    /// Toggle counting gives a dynamic-power proxy: the parallel unit's
+    /// switching per produced product is LOWER than the baseline's
+    /// (it shares the activation operand across four products) — the
+    /// physical root of Figure 8's throughput/watt win.
+    #[test]
+    fn switching_energy_per_product_favors_parallel() {
+        let mut base = Fp16MulCircuit::build();
+        let mut par = ParallelFpIntCircuit::build();
+
+        let mut x: u64 = 0x5EED;
+        let mut step = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x
+        };
+        for _ in 0..400 {
+            let r = step();
+            let a = (r & 0xFFFF) as u16;
+            let w = ((r >> 16) & 0xFFFF) as u16;
+            base.multiply(a, w);
+            par.multiply(a, w);
+        }
+        let base_tpp = base.netlist.toggles_per_simulation(); // 1 product/sim
+        let par_tpp = par.netlist.toggles_per_simulation() / 4.0; // 4 products/sim
+        assert!(
+            par_tpp < base_tpp,
+            "parallel {par_tpp:.1} toggles/product !< baseline {base_tpp:.1}"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Gate-level parallel FP-INT multiplier (INT4 configuration): the full
+//! Figure 5(b)–(d) datapath as a netlist, bit-exact with the behavioral
+//! [`pacq_fp16::ParallelFpIntMultiplier`] under flush-to-zero.
+//!
+//! One 16-bit activation and one packed word enter; four FP16 biased
+//! products `A × (B_lane + 1032)` leave. The shared sign (1 XOR), shared
+//! exponent (one INT5-class adder) and the four narrow product lanes are
+//! exactly the sharing that makes the unit cheap (Figure 9).
+
+use crate::adder::{add_constant, incrementer};
+use crate::multiplier::parallel_int11_multiplier;
+use crate::netlist::{Bus, Netlist, NodeId};
+
+/// Handle to the built parallel multiplier.
+#[derive(Debug, Clone)]
+pub struct ParallelFpIntCircuit {
+    /// The netlist.
+    pub netlist: Netlist,
+    outs: Vec<Bus>,
+}
+
+impl ParallelFpIntCircuit {
+    /// Builds the INT4 (4-lane) circuit.
+    pub fn build() -> Self {
+        Self::build_with_lanes(4)
+    }
+
+    /// Builds the INT2 (8-lane) circuit.
+    pub fn build_int2() -> Self {
+        Self::build_with_lanes(8)
+    }
+
+    fn build_with_lanes(lanes: usize) -> Self {
+        let mut n = Netlist::new();
+        let a = n.input_bus(16);
+        let packed = n.input_bus(16);
+        let outs = parallel_fp_int_multiplier_lanes(&mut n, &a, &packed, lanes);
+        ParallelFpIntCircuit { netlist: n, outs }
+    }
+
+    /// Number of weight lanes (4 for INT4, 8 for INT2).
+    pub fn lanes(&self) -> usize {
+        self.outs.len()
+    }
+
+    /// Multiplies one FP16 activation by the four packed INT4 biased
+    /// codes, returning the four FP16 product bit patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when built for INT2; use [`Self::multiply_all`].
+    pub fn multiply(&mut self, a: u16, packed: u16) -> [u16; 4] {
+        assert_eq!(self.lanes(), 4, "multiply() is the INT4 entry point");
+        let all = self.multiply_all(a, packed);
+        core::array::from_fn(|l| all[l])
+    }
+
+    /// Multiplies one FP16 activation by every packed biased code,
+    /// returning one FP16 product per lane.
+    pub fn multiply_all(&mut self, a: u16, packed: u16) -> Vec<u16> {
+        let mut inputs = Vec::with_capacity(32);
+        for i in 0..16 {
+            inputs.push((a >> i) & 1 == 1);
+        }
+        for i in 0..16 {
+            inputs.push((packed >> i) & 1 == 1);
+        }
+        self.netlist.simulate(&inputs);
+        self.outs.iter().map(|o| self.netlist.read_bus(o) as u16).collect()
+    }
+}
+
+/// Builds the INT4 parallel FP-INT multiplier; returns the four output
+/// buses.
+///
+/// # Panics
+///
+/// Panics unless both inputs are 16-bit buses.
+pub fn parallel_fp_int_multiplier(n: &mut Netlist, a: &[NodeId], packed: &[NodeId]) -> [Bus; 4] {
+    let outs = parallel_fp_int_multiplier_lanes(n, a, packed, 4);
+    core::array::from_fn(|l| outs[l].clone())
+}
+
+/// Builds the parallel FP-INT multiplier for 4 (INT4) or 8 (INT2) lanes;
+/// returns one output bus per lane.
+///
+/// For INT2 the weight nibble is 2 bits and the biased value is
+/// `1024 + code` with `code ∈ [0, 3]` (offset 1026 after the `+2` bias).
+///
+/// # Panics
+///
+/// Panics unless both inputs are 16-bit buses and `lanes` is 4 or 8.
+pub fn parallel_fp_int_multiplier_lanes(
+    n: &mut Netlist,
+    a: &[NodeId],
+    packed: &[NodeId],
+    lanes: usize,
+) -> Vec<Bus> {
+    assert_eq!(a.len(), 16, "a must be 16 bits");
+    assert_eq!(packed.len(), 16, "packed word must be 16 bits");
+    assert!(matches!(lanes, 4 | 8), "lanes must be 4 (INT4) or 8 (INT2)");
+    let code_bits = 16 / lanes;
+
+    let sign = a[15];
+    let ea: Bus = a[10..15].to_vec();
+    let ma: Bus = a[..10].to_vec();
+
+    // Activation class (FTZ: exp==0 is zero).
+    let exp_any = n.or_reduce(&ea);
+    let exp_all = n.and_reduce(&ea);
+    let man_any = n.or_reduce(&ma);
+    let a_zero = n.not(exp_any);
+    let man_none = n.not(man_any);
+    let a_inf = n.and(exp_all, man_none);
+    let a_nan = n.and(exp_all, man_any);
+
+    // 11-bit significand.
+    let mut sig_a = ma.clone();
+    sig_a.push(exp_any);
+
+    // --- parallel INT11 MUL + Figure 5(d) assembly ----------------------
+    // (2-bit INT2 nibbles are zero-extended to the 4-bit lane datapath;
+    // the arithmetic is identical with the top partial products gated.)
+    let zero_pad = n.constant(false);
+    let nibbles: Vec<Bus> = (0..lanes)
+        .map(|l| {
+            let mut nib: Bus = packed[code_bits * l..code_bits * (l + 1)].to_vec();
+            while nib.len() < 4 {
+                nib.push(zero_pad);
+            }
+            nib
+        })
+        .collect();
+    let raws: Vec<Bus> = if lanes == 4 {
+        let arr: [Bus; 4] = core::array::from_fn(|l| nibbles[l].clone());
+        parallel_int11_multiplier(n, &sig_a, &arr).to_vec()
+    } else {
+        let lo: [Bus; 4] = core::array::from_fn(|l| nibbles[l].clone());
+        let hi: [Bus; 4] = core::array::from_fn(|l| nibbles[4 + l].clone());
+        let mut v = parallel_int11_multiplier(n, &sig_a, &lo).to_vec();
+        v.extend(parallel_int11_multiplier(n, &sig_a, &hi));
+        v
+    };
+
+    // --- shared INT5 exponent adder: biased base = ea + 10 --------------
+    let zero = n.constant(false);
+    let ea7: Bus = ea.iter().copied().chain([zero, zero]).collect();
+    let (base_exp, _) = add_constant(n, &ea7, 10);
+
+    (0..lanes).map(|lane| {
+        let product = &raws[lane];
+
+        // Per-lane 1-bit normalization.
+        let norm = product[21];
+        let kept: Bus = (0..11)
+            .map(|i| n.mux(norm, product[10 + i], product[11 + i]))
+            .collect();
+        let round_bit = n.mux(norm, product[9], product[10]);
+        let sticky_lo = n.or_reduce(&product[..9]);
+        let sticky_hi = n.or(sticky_lo, product[9]);
+        let sticky = n.mux(norm, sticky_lo, sticky_hi);
+
+        // Per-lane rounding unit (RNE).
+        let tie_or_up = n.or(sticky, kept[0]);
+        let round_up = n.and(round_bit, tie_or_up);
+        let (mantissa, round_carry) = incrementer(n, &kept, round_up);
+
+        // Exponent: base + norm + round_carry; overflow at >= 31.
+        let (x0, _) = incrementer(n, &base_exp, norm);
+        let (biased, _) = incrementer(n, &x0, round_carry);
+        let low_all = n.and_reduce(&biased[..5]);
+        let hi_or = n.or(biased[5], biased[6]);
+        let overflow = n.or(hi_or, low_all);
+
+        // Normal result {sign, biased[4:0], mantissa[9:0]}.
+        let mut result: Bus = mantissa[..10].to_vec();
+        result.extend_from_slice(&biased[..5]);
+
+        // Overflow or inf input → {sign, 0x7C00}; zero input → {sign, 0};
+        // NaN input → canonical NaN.
+        let inf_sel = n.or(overflow, a_inf);
+        let inf_bits = n.constant_bus(0x7C00, 15);
+        let with_inf = n.mux_bus(inf_sel, &result, &inf_bits);
+        let zero_bits = n.constant_bus(0x0000, 15);
+        let mut with_zero = n.mux_bus(a_zero, &with_inf, &zero_bits);
+        with_zero.push(sign);
+        let nan_bits = n.constant_bus(0x7E00, 16);
+        n.mux_bus(a_nan, &with_zero, &nan_bits)
+    }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacq_fp16::{
+        Fp16, PackedWord, ParallelFpIntMultiplier, SubnormalMode, WeightPrecision,
+    };
+
+    fn behavioral(a: u16, packed: u16) -> [u16; 4] {
+        let unit = ParallelFpIntMultiplier::with_subnormal_mode(
+            WeightPrecision::Int4,
+            SubnormalMode::FlushToZero,
+        );
+        let t = unit.multiply(Fp16::from_bits(a), PackedWord::from_bits(packed));
+        core::array::from_fn(|l| t.lane_traces()[l].product.to_bits())
+    }
+
+    fn same(x: u16, y: u16) -> bool {
+        let fx = Fp16::from_bits(x);
+        let fy = Fp16::from_bits(y);
+        (fx.is_nan() && fy.is_nan()) || x == y
+    }
+
+    #[test]
+    fn matches_behavioral_full_activation_sweep() {
+        let mut c = ParallelFpIntCircuit::build();
+        // Stride through activations × a few packed words covering all 16
+        // codes.
+        for &packed in &[0x7530u16, 0xFA86, 0x0000, 0xFFFF, 0x8421] {
+            for step in 0u16..=2047 {
+                let a = step.wrapping_mul(31).wrapping_add(7);
+                let got = c.multiply(a, packed);
+                let want = behavioral(a, packed);
+                for l in 0..4 {
+                    assert!(
+                        same(got[l], want[l]),
+                        "A={a:04x} packed={packed:04x} lane {l}: rtl {:04x} behav {:04x}",
+                        got[l],
+                        want[l]
+                    );
+                }
+            }
+        }
+    }
+
+    /// All 2^16 activations × packed words covering all 16 codes (run
+    /// with `cargo test -p pacq-rtl --release -- --ignored`).
+    #[test]
+    #[ignore = "exhaustive; run in release"]
+    fn matches_behavioral_exhaustive() {
+        let mut c = ParallelFpIntCircuit::build();
+        for &packed in &[0x3210u16, 0x7654, 0xBA98, 0xFEDC] {
+            for a in 0u16..=u16::MAX {
+                let got = c.multiply(a, packed);
+                let want = behavioral(a, packed);
+                for l in 0..4 {
+                    assert!(same(got[l], want[l]),
+                        "A={a:04x} packed={packed:04x} lane {l}");
+                }
+            }
+        }
+    }
+
+    /// INT2: eight lanes against the behavioral model, sweeping
+    /// activations and packed words covering all 4 codes.
+    #[test]
+    fn int2_matches_behavioral_sweep() {
+        let mut c = ParallelFpIntCircuit::build_int2();
+        assert_eq!(c.lanes(), 8);
+        let unit = ParallelFpIntMultiplier::with_subnormal_mode(
+            WeightPrecision::Int2,
+            SubnormalMode::FlushToZero,
+        );
+        for &packed in &[0x1B1Bu16, 0xE4E4, 0x0000, 0xFFFF] {
+            for step in 0u16..=2047 {
+                let a = step.wrapping_mul(29).wrapping_add(3);
+                let got = c.multiply_all(a, packed);
+                let t = unit.multiply(Fp16::from_bits(a), PackedWord::from_bits(packed));
+                for (l, lt) in t.lane_traces().iter().enumerate() {
+                    assert!(
+                        same(got[l], lt.product.to_bits()),
+                        "A={a:04x} packed={packed:04x} lane {l}: rtl {:04x} behav {:04x}",
+                        got[l],
+                        lt.product.to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specials_propagate() {
+        let mut c = ParallelFpIntCircuit::build();
+        let packed = 0x7530;
+        for p in c.multiply(0x7E00, packed) {
+            assert!(Fp16::from_bits(p).is_nan());
+        }
+        for p in c.multiply(0xFC00, packed) {
+            assert_eq!(p, 0xFC00);
+        }
+        for p in c.multiply(0x8000, packed) {
+            assert_eq!(p, 0x8000);
+        }
+        // Subnormal activation flushes.
+        for p in c.multiply(0x0001, packed) {
+            assert_eq!(p, 0x0000);
+        }
+    }
+
+    #[test]
+    fn lane_products_are_biased_multiples() {
+        let mut c = ParallelFpIntCircuit::build();
+        // A = 2.0, codes {0,5,10,15} → products 2×(1024+code).
+        let packed = 0xFA50; // nibbles 0,5,10,15
+        let got = c.multiply(Fp16::from_f32(2.0).to_bits(), packed);
+        for (l, &code) in [0u32, 5, 10, 15].iter().enumerate() {
+            assert_eq!(
+                Fp16::from_bits(got[l]).to_f32(),
+                2.0 * (1024.0 + code as f32),
+                "lane {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn shares_hardware_with_the_baseline_shape() {
+        // The parallel unit's gate count must be well below 4 baseline
+        // multipliers (the whole point of the reuse story).
+        let base = crate::Fp16MulCircuit::build();
+        let par = ParallelFpIntCircuit::build();
+        let ratio = par.netlist.gate_counts().total() as f64
+            / base.netlist.gate_counts().total() as f64;
+        assert!(ratio < 2.5, "parallel/baseline gates = {ratio}");
+    }
+}

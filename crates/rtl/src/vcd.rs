@@ -1,0 +1,215 @@
+//! VCD (Value Change Dump) export: record bus waveforms from netlist
+//! simulations and write them in the IEEE 1364 VCD format readable by
+//! GTKWave and other EDA waveform viewers.
+//!
+//! The recorder samples named buses after each [`crate::Netlist`]
+//! simulation step, storing only changes — exactly the VCD model.
+//!
+//! # Examples
+//!
+//! ```
+//! use pacq_rtl::{Fp16MulCircuit, VcdRecorder};
+//!
+//! let mut circuit = Fp16MulCircuit::build();
+//! let (a_bus, b_bus) = {
+//!     let (a, b) = circuit.inputs();
+//!     (a.to_vec(), b.to_vec())
+//! };
+//! let mut vcd = VcdRecorder::new("pacq_fp16_mul");
+//! vcd.watch("a", &a_bus);
+//! vcd.watch("b", &b_bus);
+//! circuit.multiply(0x3C00, 0x4000);
+//! vcd.sample(&circuit.netlist);
+//! circuit.multiply(0x3E00, 0x3E00);
+//! vcd.sample(&circuit.netlist);
+//! let text = vcd.render();
+//! assert!(text.contains("$var wire 16 ! a $end"));
+//! ```
+
+use crate::netlist::{Netlist, NodeId};
+use core::fmt::Write as _;
+
+/// One watched bus.
+#[derive(Debug, Clone)]
+struct Signal {
+    name: String,
+    nodes: Vec<NodeId>,
+    /// VCD identifier code (printable ASCII).
+    code: String,
+    /// Sampled values per timestep (None = unchanged).
+    history: Vec<Option<u64>>,
+    last: Option<u64>,
+}
+
+/// Records bus waveforms across simulations and renders VCD text.
+#[derive(Debug, Clone)]
+pub struct VcdRecorder {
+    module: String,
+    signals: Vec<Signal>,
+    steps: u64,
+}
+
+impl VcdRecorder {
+    /// Creates a recorder for a module scope name.
+    pub fn new(module: impl Into<String>) -> Self {
+        VcdRecorder { module: module.into(), signals: Vec::new(), steps: 0 }
+    }
+
+    /// Registers a bus to watch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after sampling started or the bus is empty.
+    pub fn watch(&mut self, name: impl Into<String>, nodes: &[NodeId]) {
+        assert_eq!(self.steps, 0, "watch() must precede sampling");
+        assert!(!nodes.is_empty(), "cannot watch an empty bus");
+        let index = self.signals.len();
+        self.signals.push(Signal {
+            name: name.into(),
+            nodes: nodes.to_vec(),
+            code: id_code(index),
+            history: Vec::new(),
+            last: None,
+        });
+    }
+
+    /// Samples every watched bus from the netlist's current state.
+    pub fn sample(&mut self, netlist: &Netlist) {
+        for s in &mut self.signals {
+            let v = netlist.read_bus(&s.nodes);
+            if s.last == Some(v) {
+                s.history.push(None);
+            } else {
+                s.history.push(Some(v));
+                s.last = Some(v);
+            }
+        }
+        self.steps += 1;
+    }
+
+    /// Number of sampled timesteps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Renders the VCD document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$comment pacq-rtl waveform dump $end");
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for s in &self.signals {
+            let _ = writeln!(out, "$var wire {} {} {} $end", s.nodes.len(), s.code, s.name);
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        for t in 0..self.steps {
+            let mut changes = String::new();
+            for s in &self.signals {
+                if let Some(Some(v)) = s.history.get(t as usize) {
+                    if s.nodes.len() == 1 {
+                        let _ = writeln!(changes, "{}{}", v & 1, s.code);
+                    } else {
+                        let _ = writeln!(changes, "b{:b} {}", v, s.code);
+                    }
+                }
+            }
+            if !changes.is_empty() || t == 0 {
+                let _ = writeln!(out, "#{t}");
+                out.push_str(&changes);
+            }
+        }
+        let _ = writeln!(out, "#{}", self.steps);
+        out
+    }
+}
+
+/// VCD identifier codes: printable ASCII 33..=126, multi-char as needed.
+fn id_code(mut index: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push((33 + (index % 94)) as u8 as char);
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fp16MulCircuit;
+
+    #[test]
+    fn records_and_renders_changes_only() {
+        let mut c = Fp16MulCircuit::build();
+        let (a_bus, b_bus) = {
+            let (a, b) = c.inputs();
+            (a.to_vec(), b.to_vec())
+        };
+        let mut vcd = VcdRecorder::new("dut");
+        vcd.watch("a", &a_bus);
+        vcd.watch("b", &b_bus);
+
+        c.multiply(0x3C00, 0x4000);
+        vcd.sample(&c.netlist);
+        c.multiply(0x3C00, 0x4000); // identical: no change records
+        vcd.sample(&c.netlist);
+        c.multiply(0x3E00, 0x3E00);
+        vcd.sample(&c.netlist);
+
+        let text = vcd.render();
+        assert!(text.contains("$scope module dut $end"));
+        assert!(text.contains("$var wire 16 ! a $end"));
+        assert!(text.contains("$var wire 16 \" b $end"));
+        // Initial values at #0.
+        assert!(text.contains("b11110000000000 !"), "{text}");
+        // Timestep 1 has no change block; timestep 2 does.
+        assert!(!text.contains("#1\nb"), "{text}");
+        assert!(text.contains("#2"), "{text}");
+        assert_eq!(vcd.steps(), 3);
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let c = id_code(i);
+            assert!(c.chars().all(|ch| (33..=126).contains(&(ch as u32))));
+            assert!(seen.insert(c), "duplicate code at {i}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+
+    #[test]
+    #[should_panic(expected = "watch() must precede sampling")]
+    fn late_watch_rejected() {
+        let mut c = Fp16MulCircuit::build();
+        let mut vcd = VcdRecorder::new("dut");
+        let (a, _) = c.inputs();
+        let bus = a.to_vec();
+        vcd.watch("a", &bus);
+        c.multiply(1, 2);
+        vcd.sample(&c.netlist);
+        vcd.watch("late", &bus);
+    }
+
+    #[test]
+    fn single_bit_signals_use_scalar_format() {
+        let mut c = Fp16MulCircuit::build();
+        let (a, _) = c.inputs();
+        let sign = vec![a[15]];
+        let mut vcd = VcdRecorder::new("dut");
+        vcd.watch("sign_a", &sign);
+        c.multiply(0x8000, 0x3C00);
+        vcd.sample(&c.netlist);
+        let text = vcd.render();
+        assert!(text.contains("$var wire 1 ! sign_a $end"));
+        assert!(text.contains("\n1!"), "{text}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Energy accounting: turns [`GemmStats`] into picojoules and EDP.
+//!
+//! Composes the `pacq-energy` component/unit/SRAM models with the traffic
+//! and cycle counts produced by the dataflow engines — the machinery
+//! behind Figure 10's normalized EDP comparison.
+
+use crate::config::{Architecture, SmConfig};
+use crate::stats::GemmStats;
+use pacq_energy::{Component, GemmUnit, SramModel, ENERGY_UNIT_PJ};
+
+/// Energy model for one simulated machine.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    rf: SramModel,
+    l1: SramModel,
+    dram: SramModel,
+    buffer: SramModel,
+    clock_hz: f64,
+}
+
+/// Energy split of one GEMM run, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Tensor-core datapath energy.
+    pub tc_pj: f64,
+    /// Register-file access energy.
+    pub rf_pj: f64,
+    /// L1 access energy.
+    pub l1_pj: f64,
+    /// DRAM access energy.
+    pub dram_pj: f64,
+    /// Operand-buffer energy.
+    pub buffer_pj: f64,
+    /// General-core energy (unpack, dequant, fixup, scaling).
+    pub general_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.tc_pj + self.rf_pj + self.l1_pj + self.dram_pj + self.buffer_pj + self.general_pj
+    }
+}
+
+impl EnergyModel {
+    /// Builds the model for a machine configuration.
+    pub fn new(config: &SmConfig) -> Self {
+        EnergyModel {
+            rf: SramModel::new(
+                pacq_energy::MemoryKind::RegisterFile,
+                config.register_file_bytes,
+            ),
+            l1: SramModel::new(pacq_energy::MemoryKind::Cache, config.l1_bytes),
+            dram: SramModel::dram(),
+            buffer: SramModel::volta_operand_buffer(),
+            clock_hz: config.clock_hz,
+        }
+    }
+
+    /// The tensor-core unit active on this architecture.
+    pub fn tensor_core_unit(arch: Architecture, config: &SmConfig) -> GemmUnit {
+        match arch {
+            Architecture::StandardDequant | Architecture::PackedK => {
+                GemmUnit::BaselineDp { width: config.dp_width }
+            }
+            Architecture::Pacq => GemmUnit::ParallelDp {
+                width: config.dp_width,
+                duplication: config.adder_tree_duplication,
+            },
+        }
+    }
+
+    /// Energy of one simulated GEMM.
+    pub fn energy(
+        &self,
+        arch: Architecture,
+        config: &SmConfig,
+        stats: &GemmStats,
+    ) -> EnergyReport {
+        // Tensor cores: the per-warp DP units are busy `tc_cycles`, and
+        // the SM keeps `concurrent_warps × dp_units_per_warp` units
+        // occupied.
+        let dp_unit = Self::tensor_core_unit(arch, config);
+        let dp_units_active = (config.concurrent_warps()
+            * config.octets_per_warp()
+            * config.dp_units_per_octet()) as f64;
+        let tc_pj = dp_unit.energy_per_cycle_pj() * stats.tc_cycles as f64 * dp_units_active;
+
+        // Memories: element accesses are 16-bit; level traffic is counted
+        // in bits.
+        let rf_pj = self.rf.read_energy_pj(stats.rf.a_bits + stats.rf.b_bits)
+            + self.rf.write_energy_pj(stats.rf.c_bits / 2)
+            + self.rf.read_energy_pj(stats.rf.c_bits / 2);
+        let l1_pj = self.l1.read_energy_pj(stats.l1.read_bits)
+            + self.l1.write_energy_pj(stats.l1.write_bits);
+        let dram_pj = self.dram.read_energy_pj(stats.dram.read_bits)
+            + self.dram.write_energy_pj(stats.dram.write_bits);
+        let buffer_pj = self.buffer.write_energy_pj(stats.buffer_fills * 128);
+
+        // General core.
+        let ops = &stats.ops;
+        let general_units = ops.unpack_ops as f64 * Component::UnpackShifter.energy_units()
+            + ops.dequant_ops as f64 * Component::DequantMultiplier.energy_units()
+            + ops.inline_converts as f64 * Component::UnpackShifter.energy_units()
+            + ops.offset_fixups as f64 * Component::OffsetFixup.energy_units()
+            + ops.scale_applies as f64 * Component::ScaleApply.energy_units()
+            + ops.scale_fetches as f64 * 0.2; // scalar fetch + broadcast
+        let general_pj = general_units * ENERGY_UNIT_PJ;
+
+        EnergyReport { tc_pj, rf_pj, l1_pj, dram_pj, buffer_pj, general_pj }
+    }
+
+    /// Energy-delay product in pJ·s.
+    pub fn edp(&self, report: &EnergyReport, stats: &GemmStats) -> f64 {
+        report.total_pj() * stats.latency_s(self.clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GemmShape, Workload};
+    use crate::dataflow::simulate;
+    use pacq_fp16::WeightPrecision;
+    use pacq_quant::GroupShape;
+
+    fn edp_of(arch: Architecture, shape: GemmShape, precision: WeightPrecision) -> f64 {
+        let cfg = SmConfig::volta_like();
+        let stats = simulate(arch, Workload::new(shape, precision), &cfg, GroupShape::G128);
+        let model = EnergyModel::new(&cfg);
+        let report = model.energy(arch, &cfg, &stats);
+        model.edp(&report, &stats)
+    }
+
+    #[test]
+    fn energy_components_are_positive() {
+        let cfg = SmConfig::volta_like();
+        let stats = simulate(
+            Architecture::Pacq,
+            Workload::new(GemmShape::new(16, 256, 256), WeightPrecision::Int4),
+            &cfg,
+            GroupShape::G128,
+        );
+        let r = EnergyModel::new(&cfg).energy(Architecture::Pacq, &cfg, &stats);
+        assert!(r.tc_pj > 0.0);
+        assert!(r.rf_pj > 0.0);
+        assert!(r.l1_pj > 0.0);
+        assert!(r.dram_pj > 0.0);
+        assert!(r.general_pj > 0.0);
+        assert!(r.total_pj() > r.tc_pj);
+    }
+
+    #[test]
+    fn pacq_beats_baselines_on_edp_for_llm_shapes() {
+        // Figure 10's ordering: PacQ < P(B)k < Standard for the Llama2
+        // FFN shape at batch 16.
+        let shape = GemmShape::new(16, 1024, 1024); // scaled-down FFN
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            let std = edp_of(Architecture::StandardDequant, shape, precision);
+            let pk = edp_of(Architecture::PackedK, shape, precision);
+            let pq = edp_of(Architecture::Pacq, shape, precision);
+            assert!(pq < pk, "{precision}: PacQ {pq} !< PackedK {pk}");
+            assert!(pq < std, "{precision}: PacQ {pq} !< Standard {std}");
+        }
+        // At INT4 the packed baseline still beats dequantization; at INT2
+        // its A-refetch pathology escalates to the L1 (§III) and can cost
+        // more than dequantizing — which is exactly the paper's
+        // motivation for fixing the packing direction.
+        let std = edp_of(Architecture::StandardDequant, shape, WeightPrecision::Int4);
+        let pk = edp_of(Architecture::PackedK, shape, WeightPrecision::Int4);
+        assert!(pk < std, "INT4: PackedK {pk} !< Standard {std}");
+    }
+
+    #[test]
+    fn edp_reduction_matches_fig10_band() {
+        // Paper: up to 81.4 % EDP reduction at m16n4096k4096.
+        let shape = GemmShape::new(16, 4096, 4096);
+        let best = [WeightPrecision::Int4, WeightPrecision::Int2]
+            .iter()
+            .map(|&p| {
+                1.0 - edp_of(Architecture::Pacq, shape, p)
+                    / edp_of(Architecture::StandardDequant, shape, p)
+            })
+            .fold(0.0f64, f64::max);
+        assert!(
+            (0.75..0.88).contains(&best),
+            "best EDP reduction = {best}, paper reports 0.814"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Access and timing statistics collected by the dataflow engines.
+
+use core::ops::{Add, AddAssign};
+
+/// Per-operand register-file traffic (element-granularity reads from the
+/// register file into the tensor-core operand buffers, plus partial-sum
+/// writebacks). These are the counts Figure 7(a) compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RfTraffic {
+    /// Activation (A) element reads.
+    pub a_reads: u64,
+    /// Weight (B) reads — packed words count as one read each.
+    pub b_reads: u64,
+    /// Partial-sum (C) reads.
+    pub c_reads: u64,
+    /// Partial-sum / output (C) writes.
+    pub c_writes: u64,
+    /// Bits moved by A reads.
+    pub a_bits: u64,
+    /// Bits moved by B reads.
+    pub b_bits: u64,
+    /// Bits moved by C accesses.
+    pub c_bits: u64,
+}
+
+impl RfTraffic {
+    /// Total access count (the Figure 7(a) metric).
+    pub fn total_accesses(&self) -> u64 {
+        self.a_reads + self.b_reads + self.c_reads + self.c_writes
+    }
+
+    /// Total bits moved.
+    pub fn total_bits(&self) -> u64 {
+        self.a_bits + self.b_bits + self.c_bits
+    }
+}
+
+impl Add for RfTraffic {
+    type Output = RfTraffic;
+    fn add(self, rhs: RfTraffic) -> RfTraffic {
+        RfTraffic {
+            a_reads: self.a_reads + rhs.a_reads,
+            b_reads: self.b_reads + rhs.b_reads,
+            c_reads: self.c_reads + rhs.c_reads,
+            c_writes: self.c_writes + rhs.c_writes,
+            a_bits: self.a_bits + rhs.a_bits,
+            b_bits: self.b_bits + rhs.b_bits,
+            c_bits: self.c_bits + rhs.c_bits,
+        }
+    }
+}
+
+impl AddAssign for RfTraffic {
+    fn add_assign(&mut self, rhs: RfTraffic) {
+        *self = *self + rhs;
+    }
+}
+
+/// Traffic at one memory level in (accesses, bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelTraffic {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Bits read.
+    pub read_bits: u64,
+    /// Bits written.
+    pub write_bits: u64,
+}
+
+impl Add for LevelTraffic {
+    type Output = LevelTraffic;
+    fn add(self, rhs: LevelTraffic) -> LevelTraffic {
+        LevelTraffic {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            read_bits: self.read_bits + rhs.read_bits,
+            write_bits: self.write_bits + rhs.write_bits,
+        }
+    }
+}
+
+impl AddAssign for LevelTraffic {
+    fn add_assign(&mut self, rhs: LevelTraffic) {
+        *self = *self + rhs;
+    }
+}
+
+/// General-core (non-tensor-core) operation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GeneralCoreOps {
+    /// Weight unpack operations (StandardDequant).
+    pub unpack_ops: u64,
+    /// Weight dequantization multiplies (StandardDequant).
+    pub dequant_ops: u64,
+    /// Inline INT→FP16 conversions inside the tensor core (PackedK).
+    pub inline_converts: u64,
+    /// Eq. (1) `− offset·ΣA` fixups (PacQ; Figure 6 ①–②).
+    pub offset_fixups: u64,
+    /// Quantization-scale applications (Figure 6 ③).
+    pub scale_applies: u64,
+    /// Quantization-scale fetch events (what `g[n,k]` groups reduce).
+    pub scale_fetches: u64,
+}
+
+impl Add for GeneralCoreOps {
+    type Output = GeneralCoreOps;
+    fn add(self, rhs: GeneralCoreOps) -> GeneralCoreOps {
+        GeneralCoreOps {
+            unpack_ops: self.unpack_ops + rhs.unpack_ops,
+            dequant_ops: self.dequant_ops + rhs.dequant_ops,
+            inline_converts: self.inline_converts + rhs.inline_converts,
+            offset_fixups: self.offset_fixups + rhs.offset_fixups,
+            scale_applies: self.scale_applies + rhs.scale_applies,
+            scale_fetches: self.scale_fetches + rhs.scale_fetches,
+        }
+    }
+}
+
+impl AddAssign for GeneralCoreOps {
+    fn add_assign(&mut self, rhs: GeneralCoreOps) {
+        *self = *self + rhs;
+    }
+}
+
+/// Full statistics of one simulated GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GemmStats {
+    /// Register-file traffic (Figure 7(a)).
+    pub rf: RfTraffic,
+    /// L1 traffic.
+    pub l1: LevelTraffic,
+    /// DRAM traffic.
+    pub dram: LevelTraffic,
+    /// Operand-buffer fills.
+    pub buffer_fills: u64,
+    /// Operand-buffer evictions forced before reuse was exhausted
+    /// (the Figure 4(b) pathology of k-packing).
+    pub buffer_evictions: u64,
+    /// Operand fetch instructions issued (Figure 4(a) counts these).
+    pub fetch_instructions: u64,
+    /// Cycles the tensor cores are busy.
+    pub tc_cycles: u64,
+    /// Cycles the general core spends on unpack/dequant/fixup work that
+    /// does not overlap the tensor cores.
+    pub general_cycles: u64,
+    /// End-to-end cycles.
+    pub total_cycles: u64,
+    /// General-core operation counts.
+    pub ops: GeneralCoreOps,
+}
+
+impl GemmStats {
+    /// End-to-end latency in seconds at the given clock.
+    pub fn latency_s(&self, clock_hz: f64) -> f64 {
+        self.total_cycles as f64 / clock_hz
+    }
+}
+
+impl Add for GemmStats {
+    type Output = GemmStats;
+    fn add(self, rhs: GemmStats) -> GemmStats {
+        GemmStats {
+            rf: self.rf + rhs.rf,
+            l1: self.l1 + rhs.l1,
+            dram: self.dram + rhs.dram,
+            buffer_fills: self.buffer_fills + rhs.buffer_fills,
+            buffer_evictions: self.buffer_evictions + rhs.buffer_evictions,
+            fetch_instructions: self.fetch_instructions + rhs.fetch_instructions,
+            tc_cycles: self.tc_cycles + rhs.tc_cycles,
+            general_cycles: self.general_cycles + rhs.general_cycles,
+            total_cycles: self.total_cycles + rhs.total_cycles,
+            ops: self.ops + rhs.ops,
+        }
+    }
+}
+
+impl AddAssign for GemmStats {
+    fn add_assign(&mut self, rhs: GemmStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_totals() {
+        let t = RfTraffic {
+            a_reads: 10,
+            b_reads: 5,
+            c_reads: 3,
+            c_writes: 2,
+            a_bits: 160,
+            b_bits: 80,
+            c_bits: 80,
+        };
+        assert_eq!(t.total_accesses(), 20);
+        assert_eq!(t.total_bits(), 320);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let mut a = GemmStats::default();
+        a.rf.a_reads = 1;
+        a.tc_cycles = 10;
+        let mut b = GemmStats::default();
+        b.rf.a_reads = 2;
+        b.tc_cycles = 5;
+        let c = a + b;
+        assert_eq!(c.rf.a_reads, 3);
+        assert_eq!(c.tc_cycles, 15);
+        a += b;
+        assert_eq!(a.rf.a_reads, 3);
+    }
+
+    #[test]
+    fn latency_uses_clock() {
+        let s = GemmStats { total_cycles: 400, ..Default::default() };
+        assert!((s.latency_s(400.0e6) - 1e-6).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,95 @@
+//! Dataflow design-space explorer: sweep packing direction, weight
+//! precision, adder-tree duplication and DP width, and print the cost
+//! surface — the §III/§V design-space exploration as a tool.
+//!
+//! Run with: `cargo run --release --example dataflow_explorer`
+
+use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, SmConfig, Workload};
+use pacq_fp16::WeightPrecision;
+
+fn main() {
+    let shape = GemmShape::new(16, 1024, 1024);
+
+    println!("== packing direction × precision ({shape}) ==");
+    println!(
+        "{:<30} {:>12} {:>12} {:>14} {:>12}",
+        "configuration", "cycles", "RF accesses", "fetch instrs", "evictions"
+    );
+    let runner = GemmRunner::new();
+    for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+        for arch in [
+            Architecture::StandardDequant,
+            Architecture::PackedK,
+            Architecture::Pacq,
+        ] {
+            let r = runner.analyze(arch, Workload::new(shape, precision));
+            println!(
+                "{:<30} {:>12} {:>12} {:>14} {:>12}",
+                format!("{arch} / {precision}"),
+                r.stats.total_cycles,
+                r.stats.rf.total_accesses(),
+                r.stats.fetch_instructions,
+                r.stats.buffer_evictions,
+            );
+        }
+    }
+
+    println!("\n== adder-tree duplication (PacQ, INT4, {shape}) ==");
+    println!(
+        "{:<14} {:>12} {:>16} {:>18}",
+        "duplication", "cycles", "TC power (units)", "thr/watt (norm)"
+    );
+    let mut base_tpw = None;
+    for dup in [1usize, 2, 4] {
+        let mut cfg = SmConfig::volta_like();
+        cfg.adder_tree_duplication = dup;
+        let runner = GemmRunner::new().with_config(cfg);
+        let r = runner.analyze(Architecture::Pacq, Workload::new(shape, WeightPrecision::Int4));
+        let unit = pacq_energy::GemmUnit::ParallelDp { width: 4, duplication: dup };
+        let tpw = 1.0 / (r.stats.total_cycles as f64 * unit.power_units());
+        let base = *base_tpw.get_or_insert(tpw);
+        println!(
+            "{:<14} {:>12} {:>16.2} {:>17.2}x",
+            dup,
+            r.stats.total_cycles,
+            unit.power_units(),
+            tpw / base
+        );
+    }
+
+    println!("\n== DP unit width (PacQ vs baseline, INT4, {shape}) ==");
+    println!("{:<10} {:>14} {:>14} {:>10}", "width", "baseline cyc", "PacQ cyc", "ratio");
+    for width in [4usize, 8, 16] {
+        let mut cfg = SmConfig::volta_like();
+        cfg.dp_width = width;
+        let runner = GemmRunner::new().with_config(cfg);
+        let wl = Workload::new(shape, WeightPrecision::Int4);
+        let base = runner.analyze(Architecture::PackedK, wl);
+        let pacq = runner.analyze(Architecture::Pacq, wl);
+        println!(
+            "DP-{:<8} {:>14} {:>14} {:>9.2}x",
+            width,
+            base.stats.total_cycles,
+            pacq.stats.total_cycles,
+            base.stats.total_cycles as f64 / pacq.stats.total_cycles as f64
+        );
+    }
+
+    println!("\n== quantization group geometry (PacQ INT4, scale fetches) ==");
+    println!("{:<12} {:>16} {:>18}", "group", "scale fetches", "fixup segments");
+    for group in [
+        GroupShape::G128,
+        GroupShape::G32X4,
+        GroupShape::G256,
+        GroupShape::G64X4,
+    ] {
+        let runner = GemmRunner::new().with_group(group);
+        let r = runner.analyze(Architecture::Pacq, Workload::new(shape, WeightPrecision::Int4));
+        println!(
+            "{:<12} {:>16} {:>18}",
+            group.to_string(),
+            r.stats.ops.scale_fetches,
+            r.stats.ops.offset_fixups
+        );
+    }
+}

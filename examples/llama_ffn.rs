@@ -1,0 +1,70 @@
+//! Llama2-7B decoder-block sweep: simulate every GEMM layer of one
+//! decoder block at several batch sizes on all three architectures —
+//! the scenario the paper's introduction motivates (multi-batch LLM
+//! serving is compute-bound, so weight-only quantization alone does not
+//! speed it up; PacQ does).
+//!
+//! Run with: `cargo run --release --example llama_ffn`
+
+use pacq::llama::llama2_7b_layers;
+use pacq::{Architecture, GemmRunner, Workload};
+use pacq_fp16::WeightPrecision;
+
+fn main() {
+    let runner = GemmRunner::new();
+    let precision = WeightPrecision::Int4;
+
+    for batch in [16, 64, 256] {
+        println!("=== Llama2-7B decoder block, batch {batch}, {precision} weights ===");
+        println!(
+            "{:<16} {:<18} {:>9} {:>9} {:>9} {:>11}",
+            "layer", "shape", "std", "P(B)k", "PacQ", "EDP vs std"
+        );
+
+        let mut totals = [0u64; 3];
+        let mut total_edp = [0f64; 3];
+        for layer in llama2_7b_layers(batch) {
+            let wl = Workload::new(layer.shape, precision);
+            let std = runner.analyze(Architecture::StandardDequant, wl);
+            let pk = runner.analyze(Architecture::PackedK, wl);
+            let pq = runner.analyze(Architecture::Pacq, wl);
+            println!(
+                "{:<16} {:<18} {:>9} {:>9} {:>9} {:>10.1}%",
+                layer.name,
+                layer.shape.to_string(),
+                kcycles(std.stats.total_cycles),
+                kcycles(pk.stats.total_cycles),
+                kcycles(pq.stats.total_cycles),
+                100.0 * (1.0 - pq.edp_normalized_to(&std)),
+            );
+            for (t, r) in totals.iter_mut().zip([&std, &pk, &pq]) {
+                *t += r.stats.total_cycles;
+            }
+            for (t, r) in total_edp.iter_mut().zip([&std, &pk, &pq]) {
+                *t += r.edp_pj_s;
+            }
+        }
+        println!(
+            "{:<16} {:<18} {:>9} {:>9} {:>9} {:>10.1}%",
+            "TOTAL",
+            "",
+            kcycles(totals[0]),
+            kcycles(totals[1]),
+            kcycles(totals[2]),
+            100.0 * (1.0 - total_edp[2] / total_edp[0]),
+        );
+        println!(
+            "block speedup: PacQ {:.2}x over standard, {:.2}x over P(B)k\n",
+            totals[0] as f64 / totals[2] as f64,
+            totals[1] as f64 / totals[2] as f64,
+        );
+    }
+}
+
+fn kcycles(c: u64) -> String {
+    if c >= 1_000_000 {
+        format!("{:.1}M", c as f64 / 1e6)
+    } else {
+        format!("{:.1}k", c as f64 / 1e3)
+    }
+}

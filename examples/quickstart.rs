@@ -1,0 +1,74 @@
+//! Quickstart: quantize a weight matrix, pack it for PacQ, run the GEMM
+//! functionally through the bit-accurate datapath, and compare the three
+//! architectures' cost on the same workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pacq::{Architecture, Comparison, GemmRunner, GemmShape, GroupShape, NumericsMode, Workload};
+use pacq_fp16::WeightPrecision;
+use pacq_quant::synth::SynthGenerator;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Make an LLM-like weight matrix and some activations.
+    // ------------------------------------------------------------------
+    let mut generator = SynthGenerator::new(42);
+    let weights = generator.llm_weights(256, 64); // B: [k=256, n=64]
+    let activations = generator.llm_activations(16, 256).to_f16(); // A: [m=16, k]
+
+    // ------------------------------------------------------------------
+    // 2. Quantize to INT4 and pack along n (the PacQ format P(B_4)_n).
+    // ------------------------------------------------------------------
+    let runner = GemmRunner::new()
+        .with_group(GroupShape::G128)
+        .with_numerics(NumericsMode::Wide);
+    let packed = runner
+        .quantize_and_pack(&weights, WeightPrecision::Int4, Architecture::Pacq)
+        .expect("shape is lane-aligned");
+    println!(
+        "packed {} weights into {} INT16 words ({} bits incl. scales)",
+        packed.k() * packed.n(),
+        packed.total_words(),
+        packed.storage_bits()
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Execute the GEMM through the modeled PacQ datapath.
+    // ------------------------------------------------------------------
+    let c = runner.execute(Architecture::Pacq, &activations, &packed);
+    let reference = pacq_simt::reference(&activations, &packed);
+    let mut max_err = 0f32;
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            max_err = max_err.max((c.get(i, j) - reference.get(i, j)).abs());
+        }
+    }
+    println!("functional GEMM max abs deviation from oracle: {max_err:.6}");
+
+    // ------------------------------------------------------------------
+    // 4. Compare cost on a Llama2-scale workload.
+    // ------------------------------------------------------------------
+    let wl = Workload::new(GemmShape::new(16, 4096, 4096), WeightPrecision::Int4);
+    let cmp = Comparison::new(vec![
+        runner.analyze(Architecture::StandardDequant, wl),
+        runner.analyze(Architecture::PackedK, wl),
+        runner.analyze(Architecture::Pacq, wl),
+    ]);
+    println!("\nworkload {wl}:");
+    println!(
+        "{:<28} {:>12} {:>14} {:>10} {:>10}",
+        "architecture", "cycles", "energy (uJ)", "EDP(norm)", "speedup"
+    );
+    let edp = cmp.normalized_edp();
+    let speed = cmp.normalized_speedup();
+    for (i, r) in cmp.reports().iter().enumerate() {
+        println!(
+            "{:<28} {:>12} {:>14.2} {:>10.3} {:>9.2}x",
+            r.arch.to_string(),
+            r.stats.total_cycles,
+            r.total_energy_pj() / 1e6,
+            edp[i],
+            speed[i]
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! LLM serving simulation: a full Llama2-7B forward pass (all 32 decoder
+//! blocks) under a mixed prefill + decode serving schedule, comparing the
+//! three architectures end to end — the multi-batch serving scenario the
+//! paper's introduction argues is the real deployment regime (Orca [22]).
+//!
+//! Run with: `cargo run --release --example serving_sim`
+
+use pacq::llama::llama2_7b_layers;
+use pacq::{Architecture, GemmRunner, Workload};
+use pacq_fp16::WeightPrecision;
+
+/// One serving phase: how many tokens are in flight per model pass.
+struct Phase {
+    name: &'static str,
+    tokens_in_flight: usize,
+    passes: usize,
+}
+
+fn main() {
+    const LAYERS: usize = 32; // Llama2-7B decoder blocks
+
+    // A serving mix: one 512-token prefill, then batched decode steps
+    // (16 concurrent sequences, 128 steps) — batch sizes rounded to the
+    // warp-tile granularity.
+    let schedule = [
+        Phase { name: "prefill (512 tok)", tokens_in_flight: 512, passes: 1 },
+        Phase { name: "decode (batch 16)", tokens_in_flight: 16, passes: 128 },
+    ];
+
+    let runner = GemmRunner::new();
+    let precision = WeightPrecision::Int4;
+
+    println!("Llama2-7B x{LAYERS} blocks, {precision} weights, serving schedule:");
+    for phase in &schedule {
+        println!("  {} x{} passes", phase.name, phase.passes);
+    }
+
+    let mut totals: [(f64, f64); 3] = [(0.0, 0.0); 3]; // (seconds, joules)
+    let arches = [
+        Architecture::StandardDequant,
+        Architecture::PackedK,
+        Architecture::Pacq,
+    ];
+
+    println!(
+        "\n{:<20} {:<28} {:>12} {:>14}",
+        "phase", "architecture", "time (ms)", "energy (mJ)"
+    );
+    for phase in &schedule {
+        for (slot, &arch) in arches.iter().enumerate() {
+            let mut secs = 0f64;
+            let mut joules = 0f64;
+            for layer in llama2_7b_layers(phase.tokens_in_flight) {
+                let r = runner.analyze(arch, Workload::new(layer.shape, precision));
+                secs += r.latency_s * (phase.passes * LAYERS) as f64;
+                joules += r.total_energy_pj() * 1e-12 * (phase.passes * LAYERS) as f64;
+            }
+            totals[slot].0 += secs;
+            totals[slot].1 += joules;
+            println!(
+                "{:<20} {:<28} {:>12.2} {:>14.2}",
+                phase.name,
+                arch.to_string(),
+                secs * 1e3,
+                joules * 1e3
+            );
+        }
+    }
+
+    println!("\n-- end-to-end schedule totals (per SM at 400 MHz) --");
+    println!(
+        "{:<28} {:>12} {:>14} {:>12} {:>12}",
+        "architecture", "time (ms)", "energy (mJ)", "speedup", "EDP (norm)"
+    );
+    let base_edp = totals[0].0 * totals[0].1;
+    for (slot, &arch) in arches.iter().enumerate() {
+        let (secs, joules) = totals[slot];
+        println!(
+            "{:<28} {:>12.2} {:>14.2} {:>11.2}x {:>12.3}",
+            arch.to_string(),
+            secs * 1e3,
+            joules * 1e3,
+            totals[0].0 / secs,
+            (secs * joules) / base_edp
+        );
+    }
+    println!(
+        "\n(relative numbers are the meaningful ones: one simulated SM serves the\n\
+         whole model here, so absolute times are not wall-clock predictions.)"
+    );
+}

@@ -1,0 +1,136 @@
+//! Cross-crate property-based tests: invariants that must hold across
+//! the quantization / packing / simulation / execution boundary.
+
+use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, NumericsMode, Workload};
+use pacq_fp16::WeightPrecision;
+use pacq_quant::{MatrixF32, PackDim, PackedMatrix, RtnQuantizer};
+use proptest::prelude::*;
+
+fn small_weights() -> impl Strategy<Value = MatrixF32> {
+    // 32×16 matrices with bounded values; shapes divide every lane count.
+    prop::collection::vec(-1.0f32..1.0, 32 * 16)
+        .prop_map(|v| MatrixF32::from_vec(32, 16, v))
+}
+
+fn any_precision() -> impl Strategy<Value = WeightPrecision> {
+    prop_oneof![Just(WeightPrecision::Int4), Just(WeightPrecision::Int2)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantize → pack → unpack → dequantize is the identity on the
+    /// quantized values, along both packing directions.
+    #[test]
+    fn pack_roundtrip_preserves_quantized_values(
+        w in small_weights(),
+        precision in any_precision(),
+    ) {
+        let q = RtnQuantizer::new(precision, GroupShape::along_k(16)).quantize(&w);
+        for dim in [PackDim::K, PackDim::N] {
+            let p = PackedMatrix::pack(&q, dim).expect("aligned");
+            let unpacked = p.unpack();
+            prop_assert_eq!(unpacked.codes(), q.codes());
+            prop_assert_eq!(unpacked.dequantize(), q.dequantize());
+        }
+    }
+
+    /// RTN error is bounded by half a scale step everywhere.
+    #[test]
+    fn rtn_error_bound(w in small_weights(), precision in any_precision()) {
+        let q = RtnQuantizer::new(precision, GroupShape::along_k(16)).quantize(&w);
+        let deq = q.dequantize();
+        for k in 0..w.rows() {
+            for n in 0..w.cols() {
+                let err = (w.get(k, n) - deq.get(k, n)).abs();
+                prop_assert!(err <= 0.5 * q.scale(k, n) + 1e-6);
+            }
+        }
+    }
+
+    /// All three functional flows agree with the dequantized oracle.
+    #[test]
+    fn flows_agree_with_oracle(
+        w in small_weights(),
+        a_vals in prop::collection::vec(-2.0f32..2.0, 4 * 32),
+    ) {
+        let a = MatrixF32::from_vec(4, 32, a_vals).to_f16();
+        let runner = GemmRunner::new()
+            .with_group(GroupShape::along_k(16))
+            .with_numerics(NumericsMode::Wide);
+        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(16)).quantize(&w);
+        let p_k = PackedMatrix::pack(&q, PackDim::K).expect("aligned");
+        let p_n = PackedMatrix::pack(&q, PackDim::N).expect("aligned");
+        let oracle = pacq_simt::reference(&a, &p_n);
+        let denom = oracle.frobenius_norm().max(1.0);
+
+        for (arch, p) in [
+            (Architecture::StandardDequant, &p_k),
+            (Architecture::PackedK, &p_k),
+            (Architecture::Pacq, &p_n),
+        ] {
+            let got = runner.execute(arch, &a, p);
+            let d = MatrixF32::from_fn(got.rows(), got.cols(), |r, c| {
+                got.get(r, c) - oracle.get(r, c)
+            });
+            prop_assert!(
+                d.frobenius_norm() / denom < 1e-2,
+                "{arch}: rel err {}", d.frobenius_norm() / denom
+            );
+        }
+    }
+
+    /// Simulator counts scale linearly in n (same per-tile structure).
+    #[test]
+    fn stats_scale_linearly_in_n(scale in 1usize..6, precision in any_precision()) {
+        let runner = GemmRunner::new();
+        let base = runner.analyze(
+            Architecture::Pacq,
+            Workload::new(GemmShape::new(16, 64, 128), precision),
+        );
+        let big = runner.analyze(
+            Architecture::Pacq,
+            Workload::new(GemmShape::new(16, 64 * scale, 128), precision),
+        );
+        let s = scale as u64;
+        prop_assert_eq!(big.stats.rf.a_reads, base.stats.rf.a_reads * s);
+        prop_assert_eq!(big.stats.rf.b_reads, base.stats.rf.b_reads * s);
+        prop_assert_eq!(big.stats.fetch_instructions, base.stats.fetch_instructions * s);
+    }
+
+    /// PacQ never loses to PackedK in cycles, RF accesses, or EDP, at any
+    /// aligned shape.
+    #[test]
+    fn pacq_dominates_packed_k(
+        mi in 1usize..4,
+        ni in 1usize..8,
+        ki in 1usize..8,
+        precision in any_precision(),
+    ) {
+        let shape = GemmShape::new(mi * 16, ni * 16, ki * 16);
+        let runner = GemmRunner::new().with_group(GroupShape::along_k(16 * ki));
+        let wl = Workload::new(shape, precision);
+        let base = runner.analyze(Architecture::PackedK, wl);
+        let pacq = runner.analyze(Architecture::Pacq, wl);
+        prop_assert!(pacq.stats.total_cycles <= base.stats.total_cycles);
+        prop_assert!(pacq.stats.rf.total_accesses() < base.stats.rf.total_accesses());
+        prop_assert!(pacq.edp_pj_s < base.edp_pj_s);
+    }
+
+    /// Energy is monotone: strictly more traffic or cycles never costs
+    /// less energy (checked along the k axis).
+    #[test]
+    fn energy_monotone_in_k(ki in 1usize..8, precision in any_precision()) {
+        let runner = GemmRunner::new();
+        let small = runner.analyze(
+            Architecture::Pacq,
+            Workload::new(GemmShape::new(16, 64, 16 * ki), precision),
+        );
+        let big = runner.analyze(
+            Architecture::Pacq,
+            Workload::new(GemmShape::new(16, 64, 16 * (ki + 1)), precision),
+        );
+        prop_assert!(big.total_energy_pj() > small.total_energy_pj());
+        prop_assert!(big.stats.total_cycles >= small.stats.total_cycles);
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration tests spanning every crate: quantize → pack →
+//! simulate → execute → price.
+
+use pacq::{
+    Architecture, Comparison, GemmRunner, GemmShape, GroupShape, NumericsMode, Workload,
+};
+use pacq_fp16::WeightPrecision;
+use pacq_quant::synth::SynthGenerator;
+use pacq_quant::MatrixF32;
+
+fn rel_err(got: &MatrixF32, want: &MatrixF32) -> f64 {
+    let d = MatrixF32::from_fn(got.rows(), got.cols(), |r, c| got.get(r, c) - want.get(r, c));
+    d.frobenius_norm() / want.frobenius_norm().max(1e-12)
+}
+
+#[test]
+fn full_pipeline_int4() {
+    let mut gen = SynthGenerator::new(100);
+    let weights = gen.llm_weights(128, 32);
+    let a = gen.llm_activations(8, 128).to_f16();
+
+    let runner = GemmRunner::new()
+        .with_group(GroupShape::along_k(32))
+        .with_numerics(NumericsMode::Wide);
+
+    // Quantize + pack for each flow.
+    let p_n = runner
+        .quantize_and_pack(&weights, WeightPrecision::Int4, Architecture::Pacq)
+        .expect("packs along n");
+    let p_k = runner
+        .quantize_and_pack(&weights, WeightPrecision::Int4, Architecture::PackedK)
+        .expect("packs along k");
+
+    // Functional execution agrees with the oracle on every flow.
+    let oracle = pacq_simt::reference(&a, &p_n);
+    let std = runner.execute(Architecture::StandardDequant, &a, &p_k);
+    let pk = runner.execute(Architecture::PackedK, &a, &p_k);
+    let pq = runner.execute(Architecture::Pacq, &a, &p_n);
+    assert!(rel_err(&std, &oracle) < 5e-3, "std: {}", rel_err(&std, &oracle));
+    assert!(rel_err(&pk, &oracle) < 5e-3, "pk: {}", rel_err(&pk, &oracle));
+    assert!(rel_err(&pq, &oracle) < 5e-3, "pq: {}", rel_err(&pq, &oracle));
+}
+
+#[test]
+fn pipeline_int2() {
+    let mut gen = SynthGenerator::new(200);
+    let weights = gen.llm_weights(64, 32);
+    let a = gen.llm_activations(4, 64).to_f16();
+
+    let runner = GemmRunner::new()
+        .with_group(GroupShape::along_k(32))
+        .with_numerics(NumericsMode::Wide);
+    let p_n = runner
+        .quantize_and_pack(&weights, WeightPrecision::Int2, Architecture::Pacq)
+        .expect("packs along n");
+    let oracle = pacq_simt::reference(&a, &p_n);
+    let pq = runner.execute(Architecture::Pacq, &a, &p_n);
+    assert!(rel_err(&pq, &oracle) < 5e-3, "int2 pacq: {}", rel_err(&pq, &oracle));
+}
+
+#[test]
+fn analysis_pipeline_all_architectures_all_precisions() {
+    let runner = GemmRunner::new();
+    for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+        for shape in [
+            GemmShape::M16N16K16,
+            GemmShape::new(32, 256, 512),
+            GemmShape::new(16, 4096, 4096),
+        ] {
+            let wl = Workload::new(shape, precision);
+            let reports: Vec<_> = [
+                Architecture::StandardDequant,
+                Architecture::PackedK,
+                Architecture::Pacq,
+            ]
+            .iter()
+            .map(|&arch| runner.analyze(arch, wl))
+            .collect();
+            for r in &reports {
+                assert!(r.stats.total_cycles > 0, "{wl} {:?}: zero cycles", r.arch);
+                assert!(r.total_energy_pj() > 0.0);
+                assert!(r.edp_pj_s > 0.0);
+                assert!(
+                    r.stats.total_cycles >= r.stats.tc_cycles,
+                    "total < tc cycles on {:?}",
+                    r.arch
+                );
+            }
+            let cmp = Comparison::new(reports);
+            let edp = cmp.normalized_edp();
+            assert!(edp[2] < edp[0], "{wl}: PacQ EDP {} !< std {}", edp[2], edp[0]);
+        }
+    }
+}
+
+#[test]
+fn two_dimensional_groups_reduce_scale_fetches_end_to_end() {
+    let wl = Workload::new(GemmShape::new(16, 4096, 4096), WeightPrecision::Int4);
+    let g1 = GemmRunner::new().with_group(GroupShape::G128).analyze(Architecture::Pacq, wl);
+    let g2 = GemmRunner::new().with_group(GroupShape::G32X4).analyze(Architecture::Pacq, wl);
+    assert_eq!(
+        g1.stats.ops.scale_fetches,
+        4 * g2.stats.ops.scale_fetches,
+        "g[32,4] should cut scale fetches 4x"
+    );
+}
+
+#[test]
+fn weight_storage_shrinks_as_advertised() {
+    // Figure 1 motivation: Llama2-70B needs 131.6 GB at FP16 but 35.8 GB
+    // at INT4 — weight storage shrinks ~3.7-4x (scales add back a little).
+    let mut gen = SynthGenerator::new(9);
+    let w = gen.llm_weights(1024, 256);
+    let runner = GemmRunner::new();
+    let packed = runner
+        .quantize_and_pack(&w, WeightPrecision::Int4, Architecture::Pacq)
+        .expect("packs");
+    let fp16_bits = (1024 * 256 * 16) as f64;
+    let ratio = fp16_bits / packed.storage_bits() as f64;
+    assert!((3.5..4.0).contains(&ratio), "compression ratio = {ratio}");
+}

@@ -1,0 +1,175 @@
+//! The acceptance suite: every headline number the paper reports, with
+//! the band our reproduction is expected to land in. `EXPERIMENTS.md`
+//! records the measured values these tests pin.
+
+use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, SmConfig, Workload};
+use pacq_energy::{calibration, Figure9, GemmUnit};
+use pacq_fp16::{BaselineDpUnit, ParallelDpUnit, WeightPrecision};
+use pacq_mixgemm::pacq_advantage_over_mixgemm;
+use pacq_quant::lm::TinyLm;
+
+/// §IV + Figure 8: the parallel multiplier computes 4 (8) products per
+/// cycle at 3.38× (6.75×) better throughput/watt.
+#[test]
+fn fig8_multiplier_throughput_per_watt() {
+    let g4 = calibration::mul_throughput_per_watt_gain(WeightPrecision::Int4);
+    assert!((g4 - 3.38).abs() < 0.02, "INT4: {g4} (paper 3.38)");
+    let g2 = calibration::mul_throughput_per_watt_gain(WeightPrecision::Int2);
+    assert!((g2 - 6.75).abs() < 0.04, "INT2: {g2} (paper 6.75)");
+}
+
+/// Figure 8's cycle anchors for the DP-4 units on m2n4k4.
+#[test]
+fn fig8_dp4_cycle_anchors() {
+    assert_eq!(BaselineDpUnit::new(4).cycles_for_outputs(8), 11);
+    assert_eq!(ParallelDpUnit::new(4, 2, WeightPrecision::Int4).cycles_for_batches(8), 19);
+    assert_eq!(ParallelDpUnit::new(4, 2, WeightPrecision::Int2).cycles_for_batches(8), 35);
+}
+
+/// Figure 9: resource reuse ratios.
+#[test]
+fn fig9_reuse_ratios() {
+    let f = Figure9::compute();
+    assert!((f.parallel_int11.reused_fraction() - 0.75).abs() < 0.01);
+    assert!((f.parallel_fp_int.reused_fraction() - 0.73).abs() < 0.01);
+    let dp4 = f.parallel_dp4.reused_fraction();
+    assert!((0.54..0.63).contains(&dp4), "DP-4 reuse = {dp4} (paper ~0.60)");
+    assert!((f.average_reuse() - 0.69).abs() < 0.02, "avg = {}", f.average_reuse());
+}
+
+/// Figure 7(b): average speedup 1.99× over P(B_x)_k on m16n16k16.
+#[test]
+fn fig7b_speedup() {
+    let runner = GemmRunner::new().with_group(GroupShape::along_k(16));
+    let mut speedups = Vec::new();
+    for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+        let wl = Workload::new(GemmShape::M16N16K16, precision);
+        let base = runner.analyze(Architecture::PackedK, wl);
+        let pacq = runner.analyze(Architecture::Pacq, wl);
+        speedups.push(base.stats.total_cycles as f64 / pacq.stats.total_cycles as f64);
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    assert!((1.85..2.05).contains(&avg), "average speedup = {avg} (paper 1.99)");
+}
+
+/// Figure 7(a): PacQ cuts register-file accesses substantially.
+///
+/// Paper reports up to 54.3 %; our more idealized simulator credits PacQ
+/// with larger savings (~70–80 %) — same direction and ordering, see
+/// EXPERIMENTS.md for the discussion.
+#[test]
+fn fig7a_rf_access_reduction() {
+    let runner = GemmRunner::new().with_group(GroupShape::along_k(16));
+    let mut last = 0.0;
+    for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+        let wl = Workload::new(GemmShape::M16N16K16, precision);
+        let base = runner.analyze(Architecture::PackedK, wl);
+        let pacq = runner.analyze(Architecture::Pacq, wl);
+        let reduction =
+            1.0 - pacq.stats.rf.total_accesses() as f64 / base.stats.rf.total_accesses() as f64;
+        assert!(
+            (0.50..0.90).contains(&reduction),
+            "{precision}: reduction = {reduction}"
+        );
+        assert!(reduction > last, "reduction should grow with asymmetry");
+        last = reduction;
+    }
+}
+
+/// Figure 10: up to 81.4 % EDP reduction at m16n4096k4096.
+#[test]
+fn fig10_edp_reduction() {
+    let runner = GemmRunner::new();
+    let shape = GemmShape::new(16, 4096, 4096);
+    let best = [WeightPrecision::Int4, WeightPrecision::Int2]
+        .iter()
+        .map(|&p| {
+            let wl = Workload::new(shape, p);
+            let std = runner.analyze(Architecture::StandardDequant, wl);
+            let pacq = runner.analyze(Architecture::Pacq, wl);
+            1.0 - pacq.edp_pj_s / std.edp_pj_s
+        })
+        .fold(0.0f64, f64::max);
+    assert!((0.75..0.88).contains(&best), "best EDP reduction = {best} (paper 0.814)");
+}
+
+/// Figure 11: duplication 2 is the knee of the ablation.
+#[test]
+fn fig11_duplication_knee() {
+    for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+        let tpw = |dup: usize| {
+            let mut cfg = SmConfig::volta_like();
+            cfg.adder_tree_duplication = dup;
+            let runner = GemmRunner::new().with_config(cfg).with_group(GroupShape::along_k(16));
+            let r = runner.analyze(
+                Architecture::Pacq,
+                Workload::new(GemmShape::M16N16K16, precision),
+            );
+            let power = GemmUnit::ParallelDp { width: 4, duplication: dup }.power_units();
+            1.0 / (r.stats.total_cycles as f64 * power)
+        };
+        let (t1, t2, t4) = (tpw(1), tpw(2), tpw(4));
+        let step2 = t2 / t1;
+        let step4 = t4 / t2;
+        // Paper: 1.33 (1.38) then 1.11 (1.18).
+        assert!((1.20..1.45).contains(&step2), "{precision}: dup2 gain = {step2}");
+        assert!((1.05..1.30).contains(&step4), "{precision}: dup4 gain = {step4}");
+        assert!(step2 > step4, "duplication 2 must be the knee");
+    }
+}
+
+/// Figure 12(a): PacQ's advantage holds at every DP width.
+#[test]
+fn fig12a_dp_width_orthogonality() {
+    for width in [4usize, 8, 16] {
+        let mut cfg = SmConfig::volta_like();
+        cfg.dp_width = width;
+        let runner = GemmRunner::new().with_config(cfg).with_group(GroupShape::along_k(16));
+        let wl = Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4);
+        let base = runner.analyze(Architecture::PackedK, wl);
+        let pacq = runner.analyze(Architecture::Pacq, wl);
+        let speedup = base.stats.total_cycles as f64 / pacq.stats.total_cycles as f64;
+        assert!(speedup > 1.5, "DP-{width}: speedup = {speedup}");
+    }
+}
+
+/// Figure 12(b): 4.12× (INT4) and 3.75× (INT2) over Mix-GEMM.
+#[test]
+fn fig12b_mixgemm_advantage() {
+    let a4 = pacq_advantage_over_mixgemm(WeightPrecision::Int4);
+    assert!((a4 - 4.12).abs() < 0.1, "INT4: {a4} (paper 4.12)");
+    let a2 = pacq_advantage_over_mixgemm(WeightPrecision::Int2);
+    assert!((a2 - 3.75).abs() < 0.1, "INT2: {a2} (paper 3.75)");
+}
+
+/// Table II: equal-volume [n,k] groups are iso-quality with k-only groups
+/// (perplexity proxy; see DESIGN.md §4 for the substitution).
+#[test]
+fn table2_iso_perplexity() {
+    // On a miniature model the per-draw quantization noise is comparable
+    // to the degradation itself, so (like Table II's ±0.01 ppl deltas) the
+    // claim is statistical: the SIGNED difference between a k-only group
+    // and its equal-volume [n,k] twin averages to ~zero across model
+    // draws, while quantization itself consistently degrades vs fp16.
+    let seeds = [1u64, 2, 3, 4, 5];
+    for (g1, g2) in [
+        (GroupShape::G128, GroupShape::G32X4),
+        (GroupShape::G256, GroupShape::G64X4),
+    ] {
+        let mut mean_diff = 0.0;
+        for &seed in &seeds {
+            let lm = TinyLm::new(seed, 64, 128, 256);
+            let tokens = lm.sample(0, 500, 11);
+            let base = lm.perplexity(&tokens);
+            let p1 = lm.quantize_ffn(WeightPrecision::Int4, g1).perplexity(&tokens);
+            let p2 = lm.quantize_ffn(WeightPrecision::Int4, g2).perplexity(&tokens);
+            assert!(p1 >= base * 0.99, "{g1} seed {seed}: {p1} vs base {base}");
+            assert!(p2 >= base * 0.99, "{g2} seed {seed}: {p2} vs base {base}");
+            mean_diff += (p1 - p2) / base / seeds.len() as f64;
+        }
+        assert!(
+            mean_diff.abs() < 0.06,
+            "{g1} vs {g2}: mean signed ppl diff {mean_diff} — not iso-quality"
+        );
+    }
+}
