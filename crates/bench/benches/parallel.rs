@@ -1,0 +1,110 @@
+//! Criterion benchmarks of the parallel execution layer: the same
+//! workload at `jobs = 1` vs `jobs = host`, for both the functional
+//! GEMM flows and the analytic sweep fan-out.
+//!
+//! Shapes are Llama2-7B-derived. The functional GEMMs run a scaled-down
+//! k/n so a sample finishes in milliseconds while still spanning many
+//! parallel bands; the analytic sweep covers the full decoder block at
+//! paper scale (it is model-based, not data-based, so it is cheap).
+//!
+//! On a multi-core host the `jobs=host` rows should show ≥2× the
+//! throughput of `jobs=1` at 4+ threads. The comparison is *reported*,
+//! not asserted — single-core CI containers run both configurations at
+//! the same speed, and the bit-identity of the results is what the
+//! equivalence suite (`crates/simt/tests/parallel_equivalence.rs`)
+//! guarantees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pacq::llama::{analyze_block, Model};
+use pacq::{Architecture, GemmRunner, GroupShape, NumericsMode};
+use pacq_fp16::WeightPrecision;
+use pacq_quant::synth::SynthGenerator;
+use std::hint::black_box;
+
+/// Reconfigures the global pool (the shim allows it; see DESIGN.md §8).
+fn set_jobs(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("shim pool reconfigures");
+}
+
+fn host_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Functional execution at a Llama-7B-derived shape (m16, attention
+/// projection column slice): m16 n256 k4096 keeps a sample around
+/// milliseconds while the row/column tiling still exercises many bands.
+fn bench_execute_jobs(c: &mut Criterion) {
+    let (m, n, k) = (16, 256, 4096);
+    let mut gen = SynthGenerator::new(7);
+    let a = gen.llm_activations(m, k).to_f16();
+    let w = gen.llm_weights(k, n);
+    let runner = GemmRunner::new()
+        .with_group(GroupShape::along_k(128))
+        .with_numerics(NumericsMode::Wide);
+    let p_n = runner
+        .quantize_and_pack(&w, WeightPrecision::Int4, Architecture::Pacq)
+        .expect("packs");
+    let p_k = runner
+        .quantize_and_pack(&w, WeightPrecision::Int4, Architecture::PackedK)
+        .expect("packs");
+
+    let mut group = c.benchmark_group("execute_jobs_m16n256k4096");
+    group.throughput(Throughput::Elements((m * n * k) as u64));
+    for jobs in [1, host_jobs()] {
+        set_jobs(jobs);
+        group.bench_with_input(BenchmarkId::new("pacq", jobs), &jobs, |bencher, _| {
+            bencher.iter(|| black_box(runner.execute(Architecture::Pacq, &a, &p_n)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("standard_dequant", jobs),
+            &jobs,
+            |bencher, _| {
+                bencher.iter(|| black_box(runner.execute(Architecture::StandardDequant, &a, &p_k)))
+            },
+        );
+    }
+    set_jobs(0);
+    group.finish();
+}
+
+/// Analytic sweep fan-out over the full Llama2-7B decoder block at
+/// paper scale (batch 16, all three architectures per layer).
+fn bench_sweep_jobs(c: &mut Criterion) {
+    let runner = GemmRunner::new();
+    let arches = [
+        Architecture::StandardDequant,
+        Architecture::PackedK,
+        Architecture::Pacq,
+    ];
+    let mut group = c.benchmark_group("sweep_jobs_llama7b_block");
+    // One "element" per analyzed (layer, architecture) point.
+    group.throughput(Throughput::Elements(
+        (Model::Llama2_7b.layers(16).len() * arches.len()) as u64,
+    ));
+    for jobs in [1, host_jobs()] {
+        set_jobs(jobs);
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |bencher, _| {
+            bencher.iter(|| {
+                black_box(analyze_block(
+                    &runner,
+                    Model::Llama2_7b,
+                    16,
+                    WeightPrecision::Int4,
+                    &arches,
+                ))
+            })
+        });
+    }
+    set_jobs(0);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_execute_jobs, bench_sweep_jobs
+}
+criterion_main!(benches);

@@ -71,8 +71,12 @@ fn bench_multipliers(c: &mut Criterion) {
 
 fn bench_dp_units(c: &mut Criterion) {
     let mut group = c.benchmark_group("dp_unit");
-    let a: Vec<Fp16> = (0..64).map(|i| Fp16::from_f32((i % 13) as f32 * 0.25 - 1.5)).collect();
-    let b: Vec<Fp16> = (0..64).map(|i| Fp16::from_f32((i % 7) as f32 * 0.5 - 1.0)).collect();
+    let a: Vec<Fp16> = (0..64)
+        .map(|i| Fp16::from_f32((i % 13) as f32 * 0.25 - 1.5))
+        .collect();
+    let b: Vec<Fp16> = (0..64)
+        .map(|i| Fp16::from_f32((i % 7) as f32 * 0.5 - 1.0))
+        .collect();
     let words: Vec<PackedWord> = (0..64)
         .map(|i| {
             PackedWord::pack_int4(core::array::from_fn(|l| {

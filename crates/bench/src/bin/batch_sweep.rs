@@ -7,10 +7,11 @@
 //! remaining advantage is the 2× compute throughput + traffic savings.
 
 use pacq::{Architecture, GemmRunner, GemmShape, Workload};
-use pacq_bench::{banner, pct, times};
+use pacq_bench::{banner, init_jobs, pct, times};
 use pacq_fp16::WeightPrecision;
 
 fn main() {
+    init_jobs();
     banner(
         "Batch sweep (extension)",
         "EDP reduction and speedup vs batch size (n4096 k4096, INT4)",
@@ -22,19 +23,28 @@ fn main() {
         "\n{:<8} {:>14} {:>14} {:>16} {:>16}",
         "batch", "std dequant %", "speedup v std", "speedup v P(B)k", "EDP reduction"
     );
-    for m in [16usize, 32, 64, 128, 256, 512] {
-        let wl = Workload::new(GemmShape::new(m, 4096, 4096), WeightPrecision::Int4);
-        let std = runner.analyze(Architecture::StandardDequant, wl);
-        let pk = runner.analyze(Architecture::PackedK, wl);
-        let pq = runner.analyze(Architecture::Pacq, wl);
+    let batches = [16usize, 32, 64, 128, 256, 512];
+    let points: Vec<(Architecture, Workload)> = batches
+        .iter()
+        .flat_map(|&m| {
+            let wl = Workload::new(GemmShape::new(m, 4096, 4096), WeightPrecision::Int4);
+            [
+                (Architecture::StandardDequant, wl),
+                (Architecture::PackedK, wl),
+                (Architecture::Pacq, wl),
+            ]
+        })
+        .collect();
+    for (i, triple) in runner.analyze_sweep(&points).chunks(3).enumerate() {
+        let (std, pk, pq) = (&triple[0], &triple[1], &triple[2]);
         let dequant_frac = std.stats.general_cycles as f64 / std.stats.total_cycles as f64;
         println!(
             "{:<8} {:>14} {:>14} {:>16} {:>16}",
-            m,
+            batches[i],
             pct(dequant_frac),
-            times(pq.speedup_over(&std)),
-            times(pq.speedup_over(&pk)),
-            pct(1.0 - pq.edp_normalized_to(&std)),
+            times(pq.speedup_over(std)),
+            times(pq.speedup_over(pk)),
+            pct(1.0 - pq.edp_normalized_to(std)),
         );
     }
     println!(

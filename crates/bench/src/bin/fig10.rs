@@ -3,10 +3,11 @@
 //! on Llama2-7B layer shapes at batch 16.
 
 use pacq::{Architecture, Comparison, GemmRunner, GemmShape, Workload};
-use pacq_bench::{banner, pct};
+use pacq_bench::{banner, init_jobs, pct};
 use pacq_fp16::WeightPrecision;
 
 fn main() {
+    init_jobs();
     banner(
         "Figure 10",
         "normalized EDP: Standard vs P(B_x)_k vs PacQ (Llama2-7B shapes, batch 16)",
@@ -15,10 +16,10 @@ fn main() {
 
     let runner = GemmRunner::new();
     let shapes = [
-        GemmShape::new(16, 4096, 4096),   // attention projection / paper headline
-        GemmShape::new(16, 11008, 4096),  // FFN up projection
-        GemmShape::new(16, 4096, 11008),  // FFN down projection
-        GemmShape::new(16, 12288, 4096),  // fused QKV
+        GemmShape::new(16, 4096, 4096), // attention projection / paper headline
+        GemmShape::new(16, 11008, 4096), // FFN up projection
+        GemmShape::new(16, 4096, 11008), // FFN down projection
+        GemmShape::new(16, 12288, 4096), // fused QKV
     ];
 
     println!(
@@ -27,13 +28,31 @@ fn main() {
     );
     let mut best = 0f64;
     let mut best_name = String::new();
+    // All shape × precision × architecture points fan out at once; the
+    // ordered sweep result is then consumed three reports at a time.
+    let points: Vec<(Architecture, Workload)> = shapes
+        .iter()
+        .flat_map(|&shape| {
+            [WeightPrecision::Int4, WeightPrecision::Int2]
+                .into_iter()
+                .flat_map(move |p| {
+                    let wl = Workload::new(shape, p);
+                    [
+                        (Architecture::StandardDequant, wl),
+                        (Architecture::PackedK, wl),
+                        (Architecture::Pacq, wl),
+                    ]
+                })
+        })
+        .collect();
+    let mut reports = runner.analyze_sweep(&points).into_iter();
     for shape in shapes {
         for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
             let wl = Workload::new(shape, precision);
             let cmp = Comparison::new(vec![
-                runner.analyze(Architecture::StandardDequant, wl),
-                runner.analyze(Architecture::PackedK, wl),
-                runner.analyze(Architecture::Pacq, wl),
+                reports.next().expect("report"),
+                reports.next().expect("report"),
+                reports.next().expect("report"),
             ]);
             let edp = cmp.normalized_edp();
             let reduction = 1.0 - edp[2];

@@ -29,7 +29,11 @@ fn main() {
                 .with_config(cfg)
                 .with_group(GroupShape::along_k(16));
             let r = runner.analyze(Architecture::Pacq, Workload::new(shape, precision));
-            let power = GemmUnit::ParallelDp { width: 4, duplication: dup }.power_units();
+            let power = GemmUnit::ParallelDp {
+                width: 4,
+                duplication: dup,
+            }
+            .power_units();
             let tpw = shape.macs() as f64 / r.stats.total_cycles as f64 / power;
             let base = *first.get_or_insert(tpw);
             let step = prev.map_or(1.0, |p| tpw / p);

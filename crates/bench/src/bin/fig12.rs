@@ -35,7 +35,11 @@ fn main() {
         let base = runner.analyze(Architecture::PackedK, wl);
         let pacq = runner.analyze(Architecture::Pacq, wl);
         let base_p = GemmUnit::BaselineDp { width }.power_units();
-        let pacq_p = GemmUnit::ParallelDp { width, duplication: 2 }.power_units();
+        let pacq_p = GemmUnit::ParallelDp {
+            width,
+            duplication: 2,
+        }
+        .power_units();
         let base_tpw = shape.macs() as f64 / base.stats.total_cycles as f64 / base_p;
         let pacq_tpw = shape.macs() as f64 / pacq.stats.total_cycles as f64 / pacq_p;
         println!(

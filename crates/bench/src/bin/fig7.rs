@@ -3,10 +3,11 @@
 //! along k, on the `m16n16k16` workload.
 
 use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, Workload};
-use pacq_bench::{banner, pct, times};
+use pacq_bench::{banner, init_jobs, pct, times};
 use pacq_fp16::WeightPrecision;
 
 fn main() {
+    init_jobs();
     banner(
         "Figure 7",
         "register-file accesses and speedup, PacQ vs P(B_x)_k (m16n16k16)",
@@ -23,10 +24,20 @@ fn main() {
     );
     let mut reductions = Vec::new();
     let mut speedups = Vec::new();
-    for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
-        let wl = Workload::new(shape, precision);
-        let base = runner.analyze(Architecture::PackedK, wl);
-        let pacq = runner.analyze(Architecture::Pacq, wl);
+    let points: Vec<(Architecture, Workload)> = [WeightPrecision::Int4, WeightPrecision::Int2]
+        .iter()
+        .flat_map(|&p| {
+            let wl = Workload::new(shape, p);
+            [(Architecture::PackedK, wl), (Architecture::Pacq, wl)]
+        })
+        .collect();
+    let reports = runner.analyze_sweep(&points);
+    for (i, precision) in [WeightPrecision::Int4, WeightPrecision::Int2]
+        .into_iter()
+        .enumerate()
+    {
+        let base = &reports[2 * i];
+        let pacq = &reports[2 * i + 1];
         let base_rf = base.stats.rf.total_accesses();
         let pacq_rf = pacq.stats.rf.total_accesses();
         let speedup = base.stats.total_cycles as f64 / pacq.stats.total_cycles as f64;

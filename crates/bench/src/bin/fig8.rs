@@ -36,9 +36,7 @@ fn main() {
             times(gain)
         );
     }
-    println!(
-        "paper: 3.38x (INT4), 6.75x (INT2); measured above from the calibrated unit model"
-    );
+    println!("paper: 3.38x (INT4), 6.75x (INT2); measured above from the calibrated unit model");
 
     println!("\n-- DP-4 level (workload m2n4k4) --");
     println!(

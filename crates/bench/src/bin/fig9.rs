@@ -27,13 +27,20 @@ fn main() {
 
 fn print_breakdown(name: &str, b: &PowerBreakdown) {
     println!("\n-- {name} --");
-    println!("{:<38} {:>6} {:>8} {:>10} {:>9}", "component", "count", "prov", "power", "share");
+    println!(
+        "{:<38} {:>6} {:>8} {:>10} {:>9}",
+        "component", "count", "prov", "power", "share"
+    );
     for s in b.slices() {
         println!(
             "{:<38} {:>6} {:>8} {:>10.4} {:>9}",
             s.component.to_string(),
             s.count,
-            if s.provenance == Provenance::Reused { "reused" } else { "new" },
+            if s.provenance == Provenance::Reused {
+                "reused"
+            } else {
+                "new"
+            },
             s.power_units,
             pct(s.fraction)
         );

@@ -2,12 +2,13 @@
 //! decoder-block GEMMs through the three architectures, at batch 16
 //! (Figure 10 generalized beyond Llama2-7B).
 
-use pacq::llama::Model;
-use pacq::{Architecture, GemmRunner, Workload};
-use pacq_bench::{banner, pct, times};
+use pacq::llama::{analyze_block, Model};
+use pacq::{Architecture, GemmRunner};
+use pacq_bench::{banner, init_jobs, pct, times};
 use pacq_fp16::WeightPrecision;
 
 fn main() {
+    init_jobs();
     banner(
         "Model zoo (extension)",
         "per-block totals across models (batch 16)",
@@ -19,21 +20,18 @@ fn main() {
         "\n{:<12} {:<8} {:>14} {:>14} {:>14} {:>12} {:>14}",
         "model", "weights", "std cycles", "P(B)k cycles", "PacQ cycles", "speedup", "EDP reduction"
     );
+    let arches = [
+        Architecture::StandardDequant,
+        Architecture::PackedK,
+        Architecture::Pacq,
+    ];
     for model in Model::ALL {
         for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
             let mut cycles = [0u64; 3];
             let mut edp = [0f64; 3];
-            for layer in model.layers(16) {
-                let wl = Workload::new(layer.shape, precision);
-                for (i, arch) in [
-                    Architecture::StandardDequant,
-                    Architecture::PackedK,
-                    Architecture::Pacq,
-                ]
-                .into_iter()
-                .enumerate()
-                {
-                    let r = runner.analyze(arch, wl);
+            // One parallel sweep per block: layers × architectures.
+            for (_, reports) in analyze_block(&runner, model, 16, precision, &arches) {
+                for (i, r) in reports.iter().enumerate() {
                     cycles[i] += r.stats.total_cycles;
                     edp[i] += r.edp_pj_s;
                 }
@@ -50,9 +48,7 @@ fn main() {
             );
         }
     }
-    println!(
-        "\nweight storage at INT4 (GEMM weights only, packed incl. nothing else):"
-    );
+    println!("\nweight storage at INT4 (GEMM weights only, packed incl. nothing else):");
     for model in Model::ALL {
         let fp16_gb = model.gemm_weights() as f64 * 2.0 / 1e9;
         let int4_gb = model.gemm_weights() as f64 * 0.5 / 1e9;

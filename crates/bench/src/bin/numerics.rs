@@ -9,14 +9,14 @@
 
 use pacq::{Architecture, GemmRunner, GroupShape, NumericsMode};
 use pacq_bench::banner;
-use pacq_fp16::{
-    Fp16, Int4, PackedWord, ParallelDpUnit, RoundingMode, WeightPrecision,
-};
+use pacq_fp16::{Fp16, Int4, PackedWord, ParallelDpUnit, RoundingMode, WeightPrecision};
 use pacq_quant::synth::SynthGenerator;
 use pacq_quant::MatrixF32;
 
 fn rel_err(got: &MatrixF32, want: &MatrixF32) -> f64 {
-    let d = MatrixF32::from_fn(got.rows(), got.cols(), |r, c| got.get(r, c) - want.get(r, c));
+    let d = MatrixF32::from_fn(got.rows(), got.cols(), |r, c| {
+        got.get(r, c) - want.get(r, c)
+    });
     d.frobenius_norm() / want.frobenius_norm().max(1e-30)
 }
 
@@ -37,8 +37,7 @@ fn main() {
                 let mut g = SynthGenerator::new(1000 + k as u64);
                 let w = g.llm_weights(k, 32);
                 let base_a = g.llm_activations(8, k);
-                let a = MatrixF32::from_fn(8, k, |m, kk| base_a.get(m, kk) * act_scale)
-                    .to_f16();
+                let a = MatrixF32::from_fn(8, k, |m, kk| base_a.get(m, kk) * act_scale).to_f16();
 
                 let group = GroupShape::along_k(64.min(k));
                 let mk = |mode| GemmRunner::new().with_group(group).with_numerics(mode);
@@ -51,10 +50,8 @@ fn main() {
                     .expect("packs");
                 let oracle = pacq_simt::reference(&a, &p_n);
 
-                let std =
-                    mk(NumericsMode::Wide).execute(Architecture::StandardDequant, &a, &p_k);
-                let rounded =
-                    mk(NumericsMode::PaperRounded).execute(Architecture::Pacq, &a, &p_n);
+                let std = mk(NumericsMode::Wide).execute(Architecture::StandardDequant, &a, &p_k);
+                let rounded = mk(NumericsMode::PaperRounded).execute(Architecture::Pacq, &a, &p_n);
                 let wide = mk(NumericsMode::Wide).execute(Architecture::Pacq, &a, &p_n);
 
                 println!(
@@ -85,7 +82,10 @@ fn main() {
 /// way RNE's symmetric error does.
 fn rounding_unit_study() {
     println!("\n-- rounding-unit design point: RNE vs truncate (k=128 dot, INT4) --");
-    println!("{:<12} {:>16} {:>16}", "mode", "mean |err|", "mean signed err");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "mode", "mean |err|", "mean signed err"
+    );
     let k = 128;
     let a: Vec<Fp16> = (0..k)
         .map(|i| Fp16::from_f32(((i * 37 + 11) % 64) as f32 / 16.0 - 2.0))
@@ -107,7 +107,10 @@ fn rounding_unit_study() {
                 .sum()
         })
         .collect();
-    for (name, mode) in [("RNE", RoundingMode::NearestEven), ("truncate", RoundingMode::Truncate)] {
+    for (name, mode) in [
+        ("RNE", RoundingMode::NearestEven),
+        ("truncate", RoundingMode::Truncate),
+    ] {
         let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).with_rounding(mode);
         let rec = dp.dot_packed(&a, &words).recover();
         let mut abs = 0f64;

@@ -18,14 +18,30 @@ fn main() {
     let mut base = Fp16MulCircuit::build();
     let mut par = ParallelFpIntCircuit::build();
 
-    println!("\n{:<26} {:>12} {:>12} {:>10} {:>10} {:>10}", "unit", "gates", "area (GE)", "AND", "XOR", "MUX");
+    println!(
+        "\n{:<26} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "unit", "gates", "area (GE)", "AND", "XOR", "MUX"
+    );
     for (name, counts, area) in [
-        ("FP16 MUL (baseline)", base.netlist.gate_counts(), base.netlist.area_ge()),
-        ("Parallel FP-INT-16 MUL", par.netlist.gate_counts(), par.netlist.area_ge()),
+        (
+            "FP16 MUL (baseline)",
+            base.netlist.gate_counts(),
+            base.netlist.area_ge(),
+        ),
+        (
+            "Parallel FP-INT-16 MUL",
+            par.netlist.gate_counts(),
+            par.netlist.area_ge(),
+        ),
     ] {
         println!(
             "{:<26} {:>12} {:>12.1} {:>10} {:>10} {:>10}",
-            name, counts.total(), area, counts.and, counts.xor, counts.mux
+            name,
+            counts.total(),
+            area,
+            counts.and,
+            counts.xor,
+            counts.mux
         );
     }
 
@@ -36,7 +52,9 @@ fn main() {
     // Switching-activity study over a shared random operand stream.
     let mut x: u64 = 0x5EED;
     for _ in 0..2000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = (x & 0xFFFF) as u16;
         let w = ((x >> 16) & 0xFFFF) as u16;
         base.multiply(a, w);
@@ -46,7 +64,10 @@ fn main() {
     let par_tpp = par.netlist.toggles_per_simulation() / 4.0;
     println!("\nswitching activity (toggles per produced FP16 product):");
     println!("  baseline FP16 MUL:       {base_tpp:>8.1}");
-    println!("  parallel FP-INT (INT4):  {par_tpp:>8.1}  ({:.2}x less)", base_tpp / par_tpp);
+    println!(
+        "  parallel FP-INT (INT4):  {par_tpp:>8.1}  ({:.2}x less)",
+        base_tpp / par_tpp
+    );
     println!("\nreading: the parallel unit moves less logic per product (narrow 11x4");
     println!("lanes, shared sign/exponent), which is the physical root of Figure 8's");
     println!("throughput-per-watt advantage — reproduced here from gate-level toggles");

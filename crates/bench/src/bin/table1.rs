@@ -14,10 +14,17 @@ fn main() {
     );
 
     let count = |unit: GemmUnit, c: Component| -> u32 {
-        unit.bom().iter().filter(|e| e.component == c).map(|e| e.count).sum()
+        unit.bom()
+            .iter()
+            .filter(|e| e.component == c)
+            .map(|e| e.count)
+            .sum()
     };
 
-    println!("\nINT11 MUL (baseline):      {} INT16 adders", count(GemmUnit::BaselineInt11Mul, Component::Int16Adder));
+    println!(
+        "\nINT11 MUL (baseline):      {} INT16 adders",
+        count(GemmUnit::BaselineInt11Mul, Component::Int16Adder)
+    );
     println!(
         "Parallel INT11 MUL:        {} INT16 adders, {} INT6 adders",
         count(GemmUnit::ParallelInt11Mul, Component::Int16AdderParallel),
@@ -59,7 +66,10 @@ fn main() {
     println!("clock: {} MHz (synthesis point)", cfg.clock_hz / 1e6);
 
     println!("\n-- derived unit costs (calibrated model) --");
-    println!("{:<28} {:>16} {:>12}", "unit", "power (units)", "area (um^2)");
+    println!(
+        "{:<28} {:>16} {:>12}",
+        "unit", "power (units)", "area (um^2)"
+    );
     for unit in [
         GemmUnit::BaselineInt11Mul,
         GemmUnit::ParallelInt11Mul,

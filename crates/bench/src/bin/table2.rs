@@ -7,13 +7,14 @@
 //! property of the RTN group quantizer itself, exercised identically.
 
 use pacq::GroupShape;
-use pacq_bench::banner;
+use pacq_bench::{banner, init_jobs};
 use pacq_fp16::WeightPrecision;
+use pacq_quant::evaluate_rtn;
 use pacq_quant::lm::TinyLm;
 use pacq_quant::synth::SynthGenerator;
-use pacq_quant::evaluate_rtn;
 
 fn main() {
+    init_jobs();
     banner(
         "Table II",
         "RTN PTQ quality: k-only vs [n,k] quantization groups (W4A16)",

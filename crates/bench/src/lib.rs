@@ -8,6 +8,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Applies the shared `--jobs N` / `PACQ_JOBS` knob for a figure/table
+/// binary: reads the process arguments, installs the worker count, and
+/// returns the effective value. Sweep results are bit-identical at any
+/// setting — the knob only changes wall-clock time.
+pub fn init_jobs() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pacq::par::take_jobs_flag(&args) {
+        Ok((_, jobs)) => pacq::par::configure_jobs(jobs),
+        Err(e) => {
+            eprintln!("warning: {e}; using the default worker count");
+            pacq::par::configure_jobs(None)
+        }
+    }
+}
+
 /// Prints a figure/table banner.
 pub fn banner(id: &str, title: &str, paper: &str) {
     println!("{}", "=".repeat(78));

@@ -3,12 +3,14 @@
 //! Hand-rolled argument parsing — the workspace deliberately keeps its
 //! dependency set to the numeric essentials (see DESIGN.md §8).
 
+use crate::par;
 use crate::report::{Comparison, GemmReport};
 use crate::runner::GemmRunner;
 use core::fmt::Write as _;
 use pacq_fp16::WeightPrecision;
 use pacq_quant::GroupShape;
 use pacq_simt::{Architecture, GemmShape, SmConfig, Workload};
+use rayon::prelude::*;
 
 /// Usage text shown by `pacq help` and on errors.
 pub const USAGE: &str = "\
@@ -21,6 +23,10 @@ USAGE:
   pacq compare --shape mMnNkK [--precision int4|int2] [--group ...]
   pacq sweep --param batch|dup|width --shape mMnNkK [--precision int4|int2]
   pacq help
+
+Every command also accepts --jobs N (worker threads for sweeps and
+functional execution; defaults to the PACQ_JOBS environment variable,
+then the host parallelism). Results are bit-identical at any job count.
 
 EXAMPLES:
   pacq analyze --shape m16n4096k4096 --arch pacq
@@ -50,6 +56,13 @@ fn err(msg: impl Into<String>) -> CliError {
 /// Returns a [`CliError`] describing any unknown command, missing or
 /// malformed option.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (args, jobs) = par::take_jobs_flag(args).map_err(err)?;
+    // Only touch the global pool when the user asked for a count — a
+    // plain invocation must not clobber a programmatically configured
+    // pool (and concurrent unit tests share the process-wide setting).
+    if jobs.is_some() || std::env::var(par::JOBS_ENV).is_ok() {
+        par::configure_jobs(jobs);
+    }
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         None | Some("help") | Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
@@ -85,7 +98,8 @@ fn parse_options(args: &[String], require_shape: bool) -> Result<Options, CliErr
     let mut it = args.iter().map(String::as_str).peekable();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&str, CliError> {
-            it.next().ok_or_else(|| err(format!("missing value for {name}")))
+            it.next()
+                .ok_or_else(|| err(format!("missing value for {name}")))
         };
         match flag {
             "--shape" => shape = Some(parse_shape(value("--shape")?)?),
@@ -132,12 +146,25 @@ fn parse_options(args: &[String], require_shape: bool) -> Result<Options, CliErr
         (None, false) => GemmShape::M16N16K16,
         (None, true) => return Err(err("--shape is required (e.g. --shape m16n4096k4096)")),
     };
-    Ok(Options { shape, precision, arch, group, dup, width, json, param })
+    Ok(Options {
+        shape,
+        precision,
+        arch,
+        group,
+        dup,
+        width,
+        json,
+        param,
+    })
 }
 
 /// Parses the paper's `mMnNkK` shape notation.
 pub fn parse_shape(text: &str) -> Result<GemmShape, CliError> {
-    let bad = || err(format!("malformed shape `{text}`; expected e.g. m16n4096k4096"));
+    let bad = || {
+        err(format!(
+            "malformed shape `{text}`; expected e.g. m16n4096k4096"
+        ))
+    };
     let rest = text.strip_prefix('m').ok_or_else(bad)?;
     let n_pos = rest.find('n').ok_or_else(bad)?;
     let k_pos = rest.find('k').ok_or_else(bad)?;
@@ -150,7 +177,7 @@ pub fn parse_shape(text: &str) -> Result<GemmShape, CliError> {
     if m == 0 || n == 0 || k == 0 {
         return Err(err("shape extents must be non-zero"));
     }
-    if m % 16 != 0 || n % 16 != 0 || k % 16 != 0 {
+    if !m.is_multiple_of(16) || !n.is_multiple_of(16) || !k.is_multiple_of(16) {
         return Err(err(format!(
             "shape {text} is not 16-aligned (the simulator tiles in 16s)"
         )));
@@ -230,69 +257,99 @@ fn compare(args: &[String]) -> Result<String, CliError> {
 
 fn sweep(args: &[String]) -> Result<String, CliError> {
     let opts = parse_options(args, true)?;
-    let param = opts.param.as_deref().ok_or_else(|| err("--param is required for sweep"))?;
+    let param = opts
+        .param
+        .as_deref()
+        .ok_or_else(|| err("--param is required for sweep"))?;
     let mut out = String::new();
     match param {
+        // Each arm renders its sweep points into rows on the worker pool
+        // (ordered collect), so the printed table is identical at any
+        // `--jobs` setting.
         "batch" => {
             let _ = writeln!(
                 out,
                 "{:<8} {:>14} {:>14} {:>14}",
                 "batch", "PacQ cycles", "speedup v std", "EDP reduction"
             );
-            for m in [16usize, 32, 64, 128, 256, 512] {
-                let shape = GemmShape::new(m, opts.shape.n, opts.shape.k);
-                let runner = runner_for(&opts);
-                let wl = Workload::new(shape, opts.precision);
-                let std = runner.analyze(Architecture::StandardDequant, wl);
-                let pq = runner.analyze(Architecture::Pacq, wl);
+            let runner = runner_for(&opts);
+            let points: Vec<(Architecture, Workload)> = [16usize, 32, 64, 128, 256, 512]
+                .iter()
+                .flat_map(|&m| {
+                    let wl = Workload::new(
+                        GemmShape::new(m, opts.shape.n, opts.shape.k),
+                        opts.precision,
+                    );
+                    [
+                        (Architecture::StandardDequant, wl),
+                        (Architecture::Pacq, wl),
+                    ]
+                })
+                .collect();
+            for pair in runner.analyze_sweep(&points).chunks(2) {
+                let (std, pq) = (&pair[0], &pair[1]);
                 let _ = writeln!(
                     out,
                     "{:<8} {:>14} {:>13.2}x {:>13.1}%",
-                    m,
+                    pq.workload.shape.m,
                     pq.stats.total_cycles,
-                    pq.speedup_over(&std),
-                    100.0 * (1.0 - pq.edp_normalized_to(&std)),
+                    pq.speedup_over(std),
+                    100.0 * (1.0 - pq.edp_normalized_to(std)),
                 );
             }
         }
         "dup" => {
-            let _ = writeln!(out, "{:<6} {:>14} {:>16}", "dup", "PacQ cycles", "TC power (units)");
-            for dup in [1usize, 2, 4] {
-                let mut o = Options { dup, ..opts_clone(&opts) };
-                o.dup = dup;
-                let runner = runner_for(&o);
-                let r = runner.analyze(
-                    Architecture::Pacq,
-                    Workload::new(opts.shape, opts.precision),
-                );
-                let unit =
-                    pacq_energy::GemmUnit::ParallelDp { width: opts.width, duplication: dup };
-                let _ = writeln!(
-                    out,
-                    "{:<6} {:>14} {:>16.2}",
-                    dup,
-                    r.stats.total_cycles,
-                    unit.power_units()
-                );
-            }
+            let _ = writeln!(
+                out,
+                "{:<6} {:>14} {:>16}",
+                "dup", "PacQ cycles", "TC power (units)"
+            );
+            let rows: Vec<String> = vec![1usize, 2, 4]
+                .into_par_iter()
+                .map(|dup| {
+                    let mut o = opts_clone(&opts);
+                    o.dup = dup;
+                    let runner = runner_for(&o);
+                    let r = runner.analyze(
+                        Architecture::Pacq,
+                        Workload::new(opts.shape, opts.precision),
+                    );
+                    let unit = pacq_energy::GemmUnit::ParallelDp {
+                        width: opts.width,
+                        duplication: dup,
+                    };
+                    format!(
+                        "{:<6} {:>14} {:>16.2}\n",
+                        dup,
+                        r.stats.total_cycles,
+                        unit.power_units()
+                    )
+                })
+                .collect();
+            out.extend(rows);
         }
         "width" => {
-            let _ = writeln!(out, "{:<8} {:>14} {:>14}", "width", "PacQ cycles", "P(B)k cycles");
-            for width in [4usize, 8, 16] {
-                let mut o = opts_clone(&opts);
-                o.width = width;
-                let runner = runner_for(&o);
-                let wl = Workload::new(opts.shape, opts.precision);
-                let pq = runner.analyze(Architecture::Pacq, wl);
-                let pk = runner.analyze(Architecture::PackedK, wl);
-                let _ = writeln!(
-                    out,
-                    "DP-{:<5} {:>14} {:>14}",
-                    width,
-                    pq.stats.total_cycles,
-                    pk.stats.total_cycles
-                );
-            }
+            let _ = writeln!(
+                out,
+                "{:<8} {:>14} {:>14}",
+                "width", "PacQ cycles", "P(B)k cycles"
+            );
+            let rows: Vec<String> = vec![4usize, 8, 16]
+                .into_par_iter()
+                .map(|width| {
+                    let mut o = opts_clone(&opts);
+                    o.width = width;
+                    let runner = runner_for(&o);
+                    let wl = Workload::new(opts.shape, opts.precision);
+                    let pq = runner.analyze(Architecture::Pacq, wl);
+                    let pk = runner.analyze(Architecture::PackedK, wl);
+                    format!(
+                        "DP-{:<5} {:>14} {:>14}\n",
+                        width, pq.stats.total_cycles, pk.stats.total_cycles
+                    )
+                })
+                .collect();
+            out.extend(rows);
         }
         other => return Err(err(format!("unknown sweep parameter `{other}`"))),
     }
@@ -445,6 +502,17 @@ mod tests {
         assert!(out.lines().count() >= 4);
         let out = run(&argv("sweep --param width --shape m16n256k256")).expect("runs");
         assert!(out.contains("DP-16"));
+    }
+
+    #[test]
+    fn jobs_flag_is_accepted_everywhere() {
+        let _guard = crate::par::test_lock();
+        let out = run(&argv("sweep --param width --shape m16n256k256 --jobs 2")).expect("runs");
+        assert!(out.contains("DP-16"));
+        let serial = run(&argv("sweep --param width --shape m16n256k256 --jobs 1")).expect("runs");
+        assert_eq!(out, serial, "sweep output must not depend on the job count");
+        crate::par::configure_jobs(Some(0));
+        assert!(run(&argv("analyze --shape m16n16k16 --jobs many")).is_err());
     }
 
     #[test]

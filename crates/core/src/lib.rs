@@ -49,6 +49,7 @@
 
 pub mod cli;
 pub mod llama;
+pub mod par;
 pub mod report;
 pub mod roofline;
 pub mod runner;
@@ -57,9 +58,7 @@ pub use report::{Comparison, GemmReport};
 pub use runner::GemmRunner;
 
 // Re-export the vocabulary types so `pacq` alone is enough for most uses.
-pub use pacq_fp16::{
-    AccPrecision, Fp16, Int2, Int4, NumericsMode, PackedWord, WeightPrecision,
-};
+pub use pacq_fp16::{AccPrecision, Fp16, Int2, Int4, NumericsMode, PackedWord, WeightPrecision};
 pub use pacq_quant::{
     GroupShape, MatrixF16, MatrixF32, PackDim, PackedMatrix, QuantScheme, QuantizedMatrix,
     RtnQuantizer,

@@ -38,17 +38,41 @@ pub const LLAMA2_7B_INTERMEDIATE: usize = 11008;
 /// assert!(layers.iter().any(|l| l.shape.to_string() == "m16n4096k4096"));
 /// ```
 pub fn llama2_7b_layers(m: usize) -> Vec<LlamaLayer> {
-    assert!(m % 16 == 0, "batch must be a multiple of 16, got {m}");
+    assert!(
+        m.is_multiple_of(16),
+        "batch must be a multiple of 16, got {m}"
+    );
     let h = LLAMA2_7B_HIDDEN;
     let i = LLAMA2_7B_INTERMEDIATE;
     vec![
-        LlamaLayer { name: "attn.q_proj", shape: GemmShape::new(m, h, h) },
-        LlamaLayer { name: "attn.k_proj", shape: GemmShape::new(m, h, h) },
-        LlamaLayer { name: "attn.v_proj", shape: GemmShape::new(m, h, h) },
-        LlamaLayer { name: "attn.o_proj", shape: GemmShape::new(m, h, h) },
-        LlamaLayer { name: "mlp.gate_proj", shape: GemmShape::new(m, i, h) },
-        LlamaLayer { name: "mlp.up_proj", shape: GemmShape::new(m, i, h) },
-        LlamaLayer { name: "mlp.down_proj", shape: GemmShape::new(m, h, i) },
+        LlamaLayer {
+            name: "attn.q_proj",
+            shape: GemmShape::new(m, h, h),
+        },
+        LlamaLayer {
+            name: "attn.k_proj",
+            shape: GemmShape::new(m, h, h),
+        },
+        LlamaLayer {
+            name: "attn.v_proj",
+            shape: GemmShape::new(m, h, h),
+        },
+        LlamaLayer {
+            name: "attn.o_proj",
+            shape: GemmShape::new(m, h, h),
+        },
+        LlamaLayer {
+            name: "mlp.gate_proj",
+            shape: GemmShape::new(m, i, h),
+        },
+        LlamaLayer {
+            name: "mlp.up_proj",
+            shape: GemmShape::new(m, i, h),
+        },
+        LlamaLayer {
+            name: "mlp.down_proj",
+            shape: GemmShape::new(m, h, i),
+        },
     ]
 }
 
@@ -72,8 +96,12 @@ pub enum Model {
 
 impl Model {
     /// Every catalogued model.
-    pub const ALL: [Model; 4] =
-        [Model::Llama2_7b, Model::Llama2_13b, Model::Llama2_70b, Model::Opt6_7b];
+    pub const ALL: [Model; 4] = [
+        Model::Llama2_7b,
+        Model::Llama2_13b,
+        Model::Llama2_70b,
+        Model::Opt6_7b,
+    ];
 
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
@@ -101,7 +129,10 @@ impl Model {
     ///
     /// Panics if `m` is not a multiple of 16.
     pub fn layers(&self, m: usize) -> Vec<LlamaLayer> {
-        assert!(m % 16 == 0, "batch must be a multiple of 16, got {m}");
+        assert!(
+            m.is_multiple_of(16),
+            "batch must be a multiple of 16, got {m}"
+        );
         match self {
             Model::Llama2_7b => llama2_7b_layers(m),
             Model::Llama2_13b => gqa_layers(m, 5120, 13824, 5120),
@@ -111,12 +142,30 @@ impl Model {
                 let h = 4096;
                 let f = 16384;
                 vec![
-                    LlamaLayer { name: "attn.q_proj", shape: GemmShape::new(m, h, h) },
-                    LlamaLayer { name: "attn.k_proj", shape: GemmShape::new(m, h, h) },
-                    LlamaLayer { name: "attn.v_proj", shape: GemmShape::new(m, h, h) },
-                    LlamaLayer { name: "attn.out_proj", shape: GemmShape::new(m, h, h) },
-                    LlamaLayer { name: "fc1", shape: GemmShape::new(m, f, h) },
-                    LlamaLayer { name: "fc2", shape: GemmShape::new(m, h, f) },
+                    LlamaLayer {
+                        name: "attn.q_proj",
+                        shape: GemmShape::new(m, h, h),
+                    },
+                    LlamaLayer {
+                        name: "attn.k_proj",
+                        shape: GemmShape::new(m, h, h),
+                    },
+                    LlamaLayer {
+                        name: "attn.v_proj",
+                        shape: GemmShape::new(m, h, h),
+                    },
+                    LlamaLayer {
+                        name: "attn.out_proj",
+                        shape: GemmShape::new(m, h, h),
+                    },
+                    LlamaLayer {
+                        name: "fc1",
+                        shape: GemmShape::new(m, f, h),
+                    },
+                    LlamaLayer {
+                        name: "fc2",
+                        shape: GemmShape::new(m, h, f),
+                    },
                 ]
             }
         }
@@ -132,15 +181,73 @@ impl Model {
     }
 }
 
+/// Analyzes one decoder block of `model` on every architecture in
+/// `arches`, fanning the `layers × arches` sweep points out across the
+/// worker pool. Returns `(layer, per-arch reports)` pairs in catalog
+/// order.
+///
+/// # Panics
+///
+/// Panics if `m` is not a multiple of 16.
+pub fn analyze_block(
+    runner: &crate::runner::GemmRunner,
+    model: Model,
+    m: usize,
+    precision: pacq_fp16::WeightPrecision,
+    arches: &[pacq_simt::Architecture],
+) -> Vec<(LlamaLayer, Vec<crate::report::GemmReport>)> {
+    let layers = model.layers(m);
+    let points: Vec<_> = layers
+        .iter()
+        .flat_map(|l| {
+            arches
+                .iter()
+                .map(|&a| (a, pacq_simt::Workload::new(l.shape, precision)))
+        })
+        .collect();
+    let mut reports = runner.analyze_sweep(&points).into_iter();
+    layers
+        .into_iter()
+        .map(|l| {
+            let per_arch = arches
+                .iter()
+                .map(|_| reports.next().expect("report"))
+                .collect();
+            (l, per_arch)
+        })
+        .collect()
+}
+
 fn gqa_layers(m: usize, h: usize, inter: usize, kv: usize) -> Vec<LlamaLayer> {
     vec![
-        LlamaLayer { name: "attn.q_proj", shape: GemmShape::new(m, h, h) },
-        LlamaLayer { name: "attn.k_proj", shape: GemmShape::new(m, kv, h) },
-        LlamaLayer { name: "attn.v_proj", shape: GemmShape::new(m, kv, h) },
-        LlamaLayer { name: "attn.o_proj", shape: GemmShape::new(m, h, h) },
-        LlamaLayer { name: "mlp.gate_proj", shape: GemmShape::new(m, inter, h) },
-        LlamaLayer { name: "mlp.up_proj", shape: GemmShape::new(m, inter, h) },
-        LlamaLayer { name: "mlp.down_proj", shape: GemmShape::new(m, h, inter) },
+        LlamaLayer {
+            name: "attn.q_proj",
+            shape: GemmShape::new(m, h, h),
+        },
+        LlamaLayer {
+            name: "attn.k_proj",
+            shape: GemmShape::new(m, kv, h),
+        },
+        LlamaLayer {
+            name: "attn.v_proj",
+            shape: GemmShape::new(m, kv, h),
+        },
+        LlamaLayer {
+            name: "attn.o_proj",
+            shape: GemmShape::new(m, h, h),
+        },
+        LlamaLayer {
+            name: "mlp.gate_proj",
+            shape: GemmShape::new(m, inter, h),
+        },
+        LlamaLayer {
+            name: "mlp.up_proj",
+            shape: GemmShape::new(m, inter, h),
+        },
+        LlamaLayer {
+            name: "mlp.down_proj",
+            shape: GemmShape::new(m, h, inter),
+        },
     ]
 }
 
@@ -160,7 +267,10 @@ mod tests {
     #[test]
     fn ffn_down_uses_intermediate_k() {
         let layers = llama2_7b_layers(32);
-        let down = layers.iter().find(|l| l.name == "mlp.down_proj").expect("exists");
+        let down = layers
+            .iter()
+            .find(|l| l.name == "mlp.down_proj")
+            .expect("exists");
         assert_eq!(down.shape.k, 11008);
         assert_eq!(down.shape.n, 4096);
         assert_eq!(down.shape.m, 32);
@@ -195,9 +305,34 @@ mod tests {
     }
 
     #[test]
+    fn analyze_block_pairs_layers_with_reports() {
+        use pacq_simt::Architecture;
+        let runner = crate::runner::GemmRunner::new();
+        let arches = [Architecture::StandardDequant, Architecture::Pacq];
+        let rows = analyze_block(
+            &runner,
+            Model::Llama2_7b,
+            16,
+            pacq_fp16::WeightPrecision::Int4,
+            &arches,
+        );
+        assert_eq!(rows.len(), 7);
+        for (layer, reports) in &rows {
+            assert_eq!(reports.len(), 2);
+            for (r, arch) in reports.iter().zip(arches) {
+                assert_eq!(r.arch, arch);
+                assert_eq!(r.workload.shape, layer.shape);
+            }
+        }
+    }
+
+    #[test]
     fn gqa_shrinks_kv_projections() {
         let layers = Model::Llama2_70b.layers(16);
-        let k = layers.iter().find(|l| l.name == "attn.k_proj").expect("exists");
+        let k = layers
+            .iter()
+            .find(|l| l.name == "attn.k_proj")
+            .expect("exists");
         assert_eq!(k.shape.n, 1024);
     }
 }

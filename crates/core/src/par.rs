@@ -1,0 +1,100 @@
+//! The `--jobs` knob: one place that turns a CLI flag or the
+//! `PACQ_JOBS` environment variable into the global worker count every
+//! parallel sweep and execution path fans out to.
+//!
+//! All parallel decompositions in the workspace distribute independent
+//! output rows, columns or sweep points and keep per-element arithmetic
+//! order unchanged, so the job count only affects wall-clock time —
+//! results are bit-identical at any setting (DESIGN.md §9).
+
+use rayon::ThreadPoolBuilder;
+
+/// Environment variable consulted when no explicit job count is given.
+pub const JOBS_ENV: &str = "PACQ_JOBS";
+
+/// Installs the global worker count and returns the effective value.
+///
+/// Precedence: an explicit `jobs` argument (from `--jobs N`), then the
+/// [`JOBS_ENV`] environment variable, then the host parallelism.
+/// `Some(0)` restores the host default.
+pub fn configure_jobs(jobs: Option<usize>) -> usize {
+    let n = jobs.or_else(jobs_from_env).unwrap_or(0);
+    let _ = ThreadPoolBuilder::new().num_threads(n).build_global();
+    rayon::current_num_threads()
+}
+
+fn jobs_from_env() -> Option<usize> {
+    std::env::var(JOBS_ENV).ok()?.trim().parse().ok()
+}
+
+/// Splits `--jobs N` / `--jobs=N` out of an argument list, returning the
+/// remaining arguments and the parsed count. Shared by the CLI and the
+/// figure/table binaries so every entry point spells the knob the same
+/// way.
+///
+/// # Errors
+///
+/// Returns a message when the value is missing or not a number.
+pub fn take_jobs_flag(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut jobs = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            let v = it.next().ok_or("missing value for --jobs")?;
+            jobs = Some(
+                v.parse()
+                    .map_err(|_| format!("invalid --jobs value `{v}`"))?,
+            );
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            jobs = Some(
+                v.parse()
+                    .map_err(|_| format!("invalid --jobs value `{v}`"))?,
+            );
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, jobs))
+}
+
+/// Serializes tests that mutate the process-wide worker count.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn explicit_jobs_win() {
+        let _guard = test_lock();
+        assert_eq!(configure_jobs(Some(3)), 3);
+        assert_eq!(rayon::current_num_threads(), 3);
+        // 0 restores the host default.
+        configure_jobs(Some(0));
+        assert!(rayon::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn jobs_flag_is_extracted() {
+        let (rest, jobs) = take_jobs_flag(&argv("--shape m16n16k16 --jobs 4")).unwrap();
+        assert_eq!(jobs, Some(4));
+        assert_eq!(rest, argv("--shape m16n16k16"));
+        let (rest, jobs) = take_jobs_flag(&argv("--jobs=2 sweep")).unwrap();
+        assert_eq!(jobs, Some(2));
+        assert_eq!(rest, argv("sweep"));
+        let (_, jobs) = take_jobs_flag(&argv("compare")).unwrap();
+        assert_eq!(jobs, None);
+        assert!(take_jobs_flag(&argv("--jobs")).is_err());
+        assert!(take_jobs_flag(&argv("--jobs many")).is_err());
+    }
+}

@@ -72,12 +72,18 @@ impl Comparison {
 
     /// Normalized EDP of every report (baseline = 1.0).
     pub fn normalized_edp(&self) -> Vec<f64> {
-        self.reports.iter().map(|r| r.edp_normalized_to(&self.reports[0])).collect()
+        self.reports
+            .iter()
+            .map(|r| r.edp_normalized_to(&self.reports[0]))
+            .collect()
     }
 
     /// Normalized speedup of every report over the baseline.
     pub fn normalized_speedup(&self) -> Vec<f64> {
-        self.reports.iter().map(|r| r.speedup_over(&self.reports[0])).collect()
+        self.reports
+            .iter()
+            .map(|r| r.speedup_over(&self.reports[0]))
+            .collect()
     }
 
     /// Normalized RF accesses (baseline = 1.0).

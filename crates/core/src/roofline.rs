@@ -85,9 +85,19 @@ pub fn analyze_with_weight_bits(
 
     let intensity = macs as f64 / dram_bytes.max(1) as f64;
     let ridge = config.baseline_macs_per_cycle() / DRAM_BYTES_PER_CYCLE;
-    let bound = if intensity < ridge { Bound::MemoryBound } else { Bound::ComputeBound };
+    let bound = if intensity < ridge {
+        Bound::MemoryBound
+    } else {
+        Bound::ComputeBound
+    };
 
-    BoundAnalysis { intensity, ridge, bound, dram_bytes, macs }
+    BoundAnalysis {
+        intensity,
+        ridge,
+        bound,
+        dram_bytes,
+        macs,
+    }
 }
 
 /// Classifies a packed-weight workload (see [`analyze_with_weight_bits`]).
@@ -125,11 +135,20 @@ mod tests {
         // turns the memory-bound decode GEMM compute-bound, at which
         // point only PacQ-style compute savings help further.
         let decode = GemmShape::new(16, 4096, 4096);
-        assert_eq!(analyze_with_weight_bits(decode, 16, &cfg()).bound, Bound::MemoryBound);
-        assert_eq!(analyze_with_weight_bits(decode, 4, &cfg()).bound, Bound::ComputeBound);
+        assert_eq!(
+            analyze_with_weight_bits(decode, 16, &cfg()).bound,
+            Bound::MemoryBound
+        );
+        assert_eq!(
+            analyze_with_weight_bits(decode, 4, &cfg()).bound,
+            Bound::ComputeBound
+        );
         // A huge prefill is compute-bound regardless.
         let prefill = GemmShape::new(4096, 4096, 4096);
-        assert_eq!(analyze_with_weight_bits(prefill, 16, &cfg()).bound, Bound::ComputeBound);
+        assert_eq!(
+            analyze_with_weight_bits(prefill, 16, &cfg()).bound,
+            Bound::ComputeBound
+        );
     }
 
     #[test]
@@ -142,8 +161,11 @@ mod tests {
         assert!(int2.intensity > int4.intensity);
         // With m ≪ n,k the B traffic dominates: intensity ≈ m·16/wbits.
         let expected = 16.0 * 16.0 / 4.0 / 2.0; // m·16 bits / wbits / 8
-        assert!((int4.intensity - expected).abs() / expected < 0.1,
-            "intensity {} vs expected {expected}", int4.intensity);
+        assert!(
+            (int4.intensity - expected).abs() / expected < 0.1,
+            "intensity {} vs expected {expected}",
+            int4.intensity
+        );
     }
 
     #[test]

@@ -5,9 +5,8 @@
 use crate::report::GemmReport;
 use pacq_fp16::{NumericsMode, WeightPrecision};
 use pacq_quant::{GroupShape, MatrixF16, MatrixF32, PackDim, PackedMatrix, RtnQuantizer};
-use pacq_simt::{
-    execute, simulate, Architecture, EnergyModel, SmConfig, Workload,
-};
+use pacq_simt::{execute, simulate, Architecture, EnergyModel, SmConfig, Workload};
+use rayon::prelude::*;
 
 /// End-to-end runner with a fixed machine configuration, quantization
 /// group geometry and numerics mode.
@@ -86,6 +85,18 @@ impl GemmRunner {
         }
     }
 
+    /// Analyzes every `(architecture, workload)` sweep point on the
+    /// worker pool, returning reports in input order (the analysis is
+    /// deterministic per point, so the sweep result does not depend on
+    /// the job count).
+    pub fn analyze_sweep(&self, points: &[(Architecture, Workload)]) -> Vec<GemmReport> {
+        points
+            .to_vec()
+            .into_par_iter()
+            .map(|(arch, wl)| self.analyze(arch, wl))
+            .collect()
+    }
+
     /// Quantizes FP32 weights with this runner's group geometry and packs
     /// them in the direction `arch` requires (`P(B_x)_n` for PacQ,
     /// `P(B_x)_k` otherwise).
@@ -111,12 +122,7 @@ impl GemmRunner {
     /// Functionally executes a GEMM through the modeled datapath.
     ///
     /// See [`pacq_simt::execute`] for the panic conditions.
-    pub fn execute(
-        &self,
-        arch: Architecture,
-        a: &MatrixF16,
-        packed: &PackedMatrix,
-    ) -> MatrixF32 {
+    pub fn execute(&self, arch: Architecture, a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
         execute(arch, a, packed, self.numerics)
     }
 }
@@ -184,6 +190,10 @@ mod tests {
             d.frobenius_norm() / y.frobenius_norm().max(1e-12)
         };
         assert!(err(&pq, &pk) < 5e-3, "PacQ vs PackedK: {}", err(&pq, &pk));
-        assert!(err(&pq, &std) < 5e-3, "PacQ vs Standard: {}", err(&pq, &std));
+        assert!(
+            err(&pq, &std) < 5e-3,
+            "PacQ vs Standard: {}",
+            err(&pq, &std)
+        );
     }
 }

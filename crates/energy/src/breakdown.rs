@@ -60,9 +60,7 @@ impl PowerBreakdown {
         let mut merged: Vec<BreakdownSlice> = Vec::new();
         for s in slices {
             match merged.last_mut() {
-                Some(last)
-                    if last.component == s.component && last.provenance == s.provenance =>
-                {
+                Some(last) if last.component == s.component && last.provenance == s.provenance => {
                     last.count += s.count;
                     last.power_units += s.power_units;
                     last.fraction += s.fraction;
@@ -70,7 +68,11 @@ impl PowerBreakdown {
                 _ => merged.push(s),
             }
         }
-        PowerBreakdown { unit, slices: merged, total_units }
+        PowerBreakdown {
+            unit,
+            slices: merged,
+            total_units,
+        }
     }
 
     /// The unit this breakdown describes.
@@ -192,7 +194,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for s in b.slices() {
             assert!(
-                seen.insert((format!("{}", s.component), s.provenance == Provenance::Reused)),
+                seen.insert((
+                    format!("{}", s.component),
+                    s.provenance == Provenance::Reused
+                )),
                 "duplicate slice for {}",
                 s.component
             );

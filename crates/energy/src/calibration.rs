@@ -77,8 +77,7 @@ pub fn dp4_throughput_per_watt_gain(precision: WeightPrecision) -> f64 {
         WeightPrecision::Int2 => (64.0, 35.0),
     };
     let thr_gain = (outputs / cycles) / (8.0 / 11.0);
-    let power_ratio =
-        GemmUnit::PARALLEL_DP4.power_units() / GemmUnit::BASELINE_DP4.power_units();
+    let power_ratio = GemmUnit::PARALLEL_DP4.power_units() / GemmUnit::BASELINE_DP4.power_units();
     thr_gain / power_ratio
 }
 

@@ -173,7 +173,11 @@ pub struct BomEntry {
 impl BomEntry {
     /// Creates an entry.
     pub const fn new(component: Component, count: u32, provenance: Provenance) -> Self {
-        BomEntry { component, count, provenance }
+        BomEntry {
+            component,
+            count,
+            provenance,
+        }
     }
 
     /// Total energy of these instances per fully-active cycle, in units.

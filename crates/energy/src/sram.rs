@@ -81,7 +81,10 @@ impl SramModel {
     pub fn new(kind: MemoryKind, capacity_bytes: u64) -> Self {
         let energy_per_word16_pj = match kind {
             MemoryKind::RegisterFile => {
-                assert!(capacity_bytes > 0, "register file capacity must be non-zero");
+                assert!(
+                    capacity_bytes > 0,
+                    "register file capacity must be non-zero"
+                );
                 RF_BASE_PJ_PER_KB_SQRT * (capacity_bytes as f64 / 1024.0).sqrt()
             }
             MemoryKind::Cache => {
@@ -91,7 +94,11 @@ impl SramModel {
             MemoryKind::OperandBuffer => OPERAND_BUFFER_PJ_PER_WORD16,
             MemoryKind::Dram => DRAM_PJ_PER_WORD16,
         };
-        SramModel { kind, capacity_bytes, energy_per_word16_pj }
+        SramModel {
+            kind,
+            capacity_bytes,
+            energy_per_word16_pj,
+        }
     }
 
     /// The Volta-like 256 KB per-SM register file of Table I.
@@ -171,9 +178,7 @@ mod tests {
         let big = SramModel::new(MemoryKind::RegisterFile, 256 * 1024);
         assert!(big.read_energy_pj(16) > small.read_energy_pj(16));
         // Square-root law: 4× capacity → 2× energy.
-        assert!(
-            (big.read_energy_pj(16) / small.read_energy_pj(16) - 2.0).abs() < 1e-9
-        );
+        assert!((big.read_energy_pj(16) / small.read_energy_pj(16) - 2.0).abs() < 1e-9);
     }
 
     #[test]

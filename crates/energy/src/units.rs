@@ -47,7 +47,10 @@ pub enum GemmUnit {
 
 impl GemmUnit {
     /// The paper's default parallel DP-4 (width 4, duplication 2).
-    pub const PARALLEL_DP4: GemmUnit = GemmUnit::ParallelDp { width: 4, duplication: 2 };
+    pub const PARALLEL_DP4: GemmUnit = GemmUnit::ParallelDp {
+        width: 4,
+        duplication: 2,
+    };
     /// The paper's baseline DP-4.
     pub const BASELINE_DP4: GemmUnit = GemmUnit::BaselineDp { width: 4 };
 
@@ -148,7 +151,10 @@ impl GemmUnit {
 }
 
 fn validate_width(width: usize) {
-    assert!(matches!(width, 4 | 8 | 16), "DP width must be 4, 8 or 16, got {width}");
+    assert!(
+        matches!(width, 4 | 8 | 16),
+        "DP width must be 4, 8 or 16, got {width}"
+    );
 }
 
 /// Multiplies every count in a BOM by `factor`.
@@ -180,12 +186,22 @@ mod tests {
     #[test]
     fn table_i_adder_counts() {
         let count = |unit: GemmUnit, c: Component| -> u32 {
-            unit.bom().iter().filter(|e| e.component == c).map(|e| e.count).sum()
+            unit.bom()
+                .iter()
+                .filter(|e| e.component == c)
+                .map(|e| e.count)
+                .sum()
         };
         assert_eq!(count(GemmUnit::BaselineInt11Mul, Component::Int16Adder), 10);
-        assert_eq!(count(GemmUnit::ParallelInt11Mul, Component::Int16AdderParallel), 12);
+        assert_eq!(
+            count(GemmUnit::ParallelInt11Mul, Component::Int16AdderParallel),
+            12
+        );
         assert_eq!(count(GemmUnit::ParallelInt11Mul, Component::Int6Adder), 4);
-        assert_eq!(count(GemmUnit::ParallelFpIntMul, Component::RoundingUnit), 4);
+        assert_eq!(
+            count(GemmUnit::ParallelFpIntMul, Component::RoundingUnit),
+            4
+        );
         assert_eq!(count(GemmUnit::BASELINE_DP4, Component::Fp16Adder), 4);
         assert_eq!(count(GemmUnit::PARALLEL_DP4, Component::Fp16Adder), 8);
         assert_eq!(count(GemmUnit::PacqTensorCore, Component::Fp16Adder), 32);
@@ -193,9 +209,21 @@ mod tests {
 
     #[test]
     fn duplication_scales_adders_only() {
-        let base = GemmUnit::ParallelDp { width: 4, duplication: 1 }.power_units();
-        let d2 = GemmUnit::ParallelDp { width: 4, duplication: 2 }.power_units();
-        let d4 = GemmUnit::ParallelDp { width: 4, duplication: 4 }.power_units();
+        let base = GemmUnit::ParallelDp {
+            width: 4,
+            duplication: 1,
+        }
+        .power_units();
+        let d2 = GemmUnit::ParallelDp {
+            width: 4,
+            duplication: 2,
+        }
+        .power_units();
+        let d4 = GemmUnit::ParallelDp {
+            width: 4,
+            duplication: 4,
+        }
+        .power_units();
         let adder = Component::Fp16Adder.energy_units();
         assert!((d2 - base - 4.0 * adder).abs() < 1e-9);
         assert!((d4 - d2 - 8.0 * adder).abs() < 1e-9);

@@ -208,6 +208,7 @@ impl Fp16 {
     /// 754 default. Overflow produces infinity; underflow produces
     /// (possibly subnormal) small values, exactly as a hardware `F32 -> F16`
     /// conversion unit would.
+    #[inline]
     pub fn from_f32(value: f32) -> Self {
         let bits = value.to_bits();
         let sign = ((bits >> 16) & 0x8000) as u16;
@@ -268,6 +269,7 @@ impl Fp16 {
 
     /// Converts to `f32`. The conversion is exact: every binary16 value is
     /// representable in binary32.
+    #[inline]
     pub fn to_f32(self) -> f32 {
         let sign = (self.0 as u32 & 0x8000) << 16;
         let exp = self.biased_exponent() as u32;
@@ -294,8 +296,10 @@ impl Fp16 {
 
     /// Total ordering over bit patterns per IEEE 754 `totalOrder`:
     /// `-NaN < -inf < ... < -0 < +0 < ... < +inf < +NaN`.
+    #[inline]
     pub fn total_cmp(self, other: Fp16) -> Ordering {
         // Map to a monotone signed key.
+        #[inline]
         fn key(x: Fp16) -> i32 {
             let b = x.to_bits() as i32;
             if b & 0x8000 != 0 {

@@ -105,6 +105,10 @@ impl SumAccumulator {
     }
 }
 
+/// Largest supported DP width; sizes the stack scratch buffers of the
+/// allocation-free dot-product paths.
+const MAX_WIDTH: usize = 16;
+
 /// Supported dot-product widths (Figure 12(a) studies DP-8 and DP-16).
 fn validate_width(width: usize) {
     assert!(
@@ -149,7 +153,11 @@ impl BaselineDpUnit {
     /// Panics if `width` is not 4, 8 or 16.
     pub fn new(width: usize) -> Self {
         validate_width(width);
-        BaselineDpUnit { width, acc: AccPrecision::Fp32, mul: Fp16Multiplier::new() }
+        BaselineDpUnit {
+            width,
+            acc: AccPrecision::Fp32,
+            mul: Fp16Multiplier::new(),
+        }
     }
 
     /// Sets the accumulator precision.
@@ -205,13 +213,13 @@ impl BaselineDpUnit {
     pub fn dot_acc(&self, c: f32, a: &[Fp16], b: &[Fp16]) -> f32 {
         assert_eq!(a.len(), self.width, "a operand width mismatch");
         assert_eq!(b.len(), self.width, "b operand width mismatch");
-        let products: Vec<Fp16> =
-            a.iter().zip(b).map(|(&x, &y)| self.mul.product(x, y)).collect();
-        let tree = reduce_tree_fp16(&products);
+        let mut products = [Fp16::ZERO; MAX_WIDTH];
+        for (slot, (&x, &y)) in products.iter_mut().zip(a.iter().zip(b)) {
+            *slot = self.mul.product(x, y);
+        }
+        let tree = reduce_tree_in_place(&mut products[..self.width]);
         match self.acc {
-            AccPrecision::Fp16 => {
-                softfloat::add(Fp16::from_f32(c), tree).to_f32()
-            }
+            AccPrecision::Fp16 => softfloat::add(Fp16::from_f32(c), tree).to_f32(),
             AccPrecision::Fp32 => c + tree.to_f32(),
         }
     }
@@ -387,53 +395,88 @@ impl ParallelDpUnit {
     /// Panics if `a` and `b` lengths differ or are not a multiple of the
     /// unit width.
     pub fn dot_packed(&self, a: &[Fp16], b: &[PackedWord]) -> PackedDotResult {
+        let mut lane_sums = [0f32; MAX_LANES];
+        let sum_a = self.dot_packed_into(a, b, &mut lane_sums);
+        PackedDotResult {
+            lane_sums: lane_sums[..self.precision.lanes()].to_vec(),
+            sum_a,
+            offset: self.precision.fp_offset(),
+        }
+    }
+
+    /// Allocation-free core of [`Self::dot_packed`]: accumulates the
+    /// biased per-lane sums into `lane_sums` (only the first
+    /// `precision.lanes()` entries are written) and returns `Σ A`.
+    ///
+    /// This is the functional GEMM hot path — all scratch lives in fixed
+    /// stack buffers and the per-lane products come from the value-only
+    /// multiplier entry point, so no heap allocation happens per call.
+    /// Results are bit-identical to [`Self::dot_packed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` lengths differ or are not a multiple of the
+    /// unit width.
+    pub fn dot_packed_into(
+        &self,
+        a: &[Fp16],
+        b: &[PackedWord],
+        lane_sums: &mut [f32; MAX_LANES],
+    ) -> f64 {
         assert_eq!(a.len(), b.len(), "operand k-lengths must match");
         assert!(
-            a.len() % self.width == 0,
+            a.len().is_multiple_of(self.width),
             "k-length {} not a multiple of DP width {}",
             a.len(),
             self.width
         );
         let lanes = self.precision.lanes();
-        let mut lane_sums = vec![0f32; lanes];
-        let mut lane_sums_fp16 = vec![Fp16::ZERO; lanes];
+        lane_sums[..lanes].fill(0f32);
+        let mut lane_sums_fp16 = [Fp16::ZERO; MAX_LANES];
         let mut sum_acc = SumAccumulator::new();
+        let mut products = [[Fp16::ZERO; MAX_LANES]; MAX_WIDTH];
+        let mut wide = [[0f32; MAX_LANES]; MAX_WIDTH];
+        let mut col = [Fp16::ZERO; MAX_WIDTH];
 
         for (chunk_a, chunk_b) in a.chunks(self.width).zip(b.chunks(self.width)) {
             // One batch: each multiplier takes one k-step.
-            let mut products = vec![[Fp16::ZERO; MAX_LANES]; self.width];
-            let mut wide = vec![[0f32; MAX_LANES]; self.width];
             for (k, (&ak, &bk)) in chunk_a.iter().zip(chunk_b).enumerate() {
                 sum_acc.add(ak);
-                let t = self.mul.multiply(ak, bk);
-                for (lane, lt) in t.lane_traces().iter().enumerate() {
-                    products[k][lane] = lt.product;
-                    // The exact biased product fits f32 (22-bit significand):
-                    // 1024 + code = B + offset.
-                    wide[k][lane] = ak.to_f32() * (1024.0 + lt.weight_code as f32);
+                match self.numerics {
+                    NumericsMode::PaperRounded => {
+                        self.mul.multiply_into(ak, bk, &mut products[k]);
+                    }
+                    NumericsMode::Wide => {
+                        let af = ak.to_f32();
+                        for (lane, w) in wide[k][..lanes].iter_mut().enumerate() {
+                            // The exact biased product fits f32 (22-bit
+                            // significand): 1024 + code = B + offset.
+                            let code = bk.biased_lane(self.precision, lane);
+                            *w = af * (1024.0 + code as f32);
+                        }
+                    }
                 }
             }
             // Per-lane tree reduction + accumulate.
             for lane in 0..lanes {
                 match self.numerics {
                     NumericsMode::PaperRounded => {
-                        let col: Vec<Fp16> =
-                            (0..self.width).map(|k| products[k][lane]).collect();
+                        for (k, c) in col[..self.width].iter_mut().enumerate() {
+                            *c = products[k][lane];
+                        }
+                        let tree = reduce_tree_in_place(&mut col[..self.width]);
                         match self.acc {
                             AccPrecision::Fp16 => {
-                                let tree = reduce_tree_fp16(&col);
-                                lane_sums_fp16[lane] =
-                                    softfloat::add(lane_sums_fp16[lane], tree);
+                                lane_sums_fp16[lane] = softfloat::add(lane_sums_fp16[lane], tree);
                             }
                             AccPrecision::Fp32 => {
-                                let tree = reduce_tree_fp16(&col);
                                 lane_sums[lane] += tree.to_f32();
                             }
                         }
                     }
                     NumericsMode::Wide => {
-                        for k in 0..self.width {
-                            lane_sums[lane] += wide[k][lane];
+                        for row in wide[..self.width].iter() {
+                            lane_sums[lane] += row[lane];
                         }
                     }
                 }
@@ -441,20 +484,44 @@ impl ParallelDpUnit {
         }
 
         if self.numerics == NumericsMode::PaperRounded && self.acc == AccPrecision::Fp16 {
-            for (dst, src) in lane_sums.iter_mut().zip(&lane_sums_fp16) {
+            for (dst, src) in lane_sums[..lanes].iter_mut().zip(&lane_sums_fp16) {
                 *dst = src.to_f32();
             }
         }
-
-        PackedDotResult {
-            lane_sums,
-            sum_a: sum_acc.total(),
-            offset: self.precision.fp_offset(),
-        }
+        sum_acc.total()
     }
 }
 
-/// Pairwise FP16 tree reduction (hardware adder-tree order).
+/// Pairwise FP16 tree reduction (hardware adder-tree order), compacting
+/// each level into the front of `values` — no allocation. Pairing order
+/// is identical to [`reduce_tree_fp16`]: adjacent pairs, odd element
+/// carried to the next level.
+fn reduce_tree_in_place(values: &mut [Fp16]) -> Fp16 {
+    let mut n = values.len();
+    if n == 0 {
+        return Fp16::ZERO;
+    }
+    while n > 1 {
+        let mut write = 0;
+        let mut read = 0;
+        while read + 1 < n {
+            values[write] = softfloat::add(values[read], values[read + 1]);
+            write += 1;
+            read += 2;
+        }
+        if read < n {
+            values[write] = values[read];
+            write += 1;
+        }
+        n = write;
+    }
+    values[0]
+}
+
+/// Pairwise FP16 tree reduction (hardware adder-tree order) — the
+/// allocating reference implementation the in-place variant is tested
+/// against.
+#[cfg(test)]
 fn reduce_tree_fp16(values: &[Fp16]) -> Fp16 {
     match values.len() {
         0 => Fp16::ZERO,
@@ -502,10 +569,22 @@ mod tests {
 
     #[test]
     fn duplication_changes_issue_interval() {
-        assert_eq!(ParallelDpUnit::new(4, 1, WeightPrecision::Int4).issue_interval(), 4);
-        assert_eq!(ParallelDpUnit::new(4, 2, WeightPrecision::Int4).issue_interval(), 2);
-        assert_eq!(ParallelDpUnit::new(4, 4, WeightPrecision::Int4).issue_interval(), 1);
-        assert_eq!(ParallelDpUnit::new(4, 4, WeightPrecision::Int2).issue_interval(), 2);
+        assert_eq!(
+            ParallelDpUnit::new(4, 1, WeightPrecision::Int4).issue_interval(),
+            4
+        );
+        assert_eq!(
+            ParallelDpUnit::new(4, 2, WeightPrecision::Int4).issue_interval(),
+            2
+        );
+        assert_eq!(
+            ParallelDpUnit::new(4, 4, WeightPrecision::Int4).issue_interval(),
+            1
+        );
+        assert_eq!(
+            ParallelDpUnit::new(4, 4, WeightPrecision::Int2).issue_interval(),
+            2
+        );
     }
 
     #[test]
@@ -533,8 +612,14 @@ mod tests {
     #[test]
     fn baseline_dot_matches_reference() {
         let dp = BaselineDpUnit::new(4);
-        let a: Vec<Fp16> = [1.0f32, -2.0, 0.5, 4.0].iter().map(|&v| Fp16::from_f32(v)).collect();
-        let b: Vec<Fp16> = [3.0f32, 1.0, -8.0, 0.25].iter().map(|&v| Fp16::from_f32(v)).collect();
+        let a: Vec<Fp16> = [1.0f32, -2.0, 0.5, 4.0]
+            .iter()
+            .map(|&v| Fp16::from_f32(v))
+            .collect();
+        let b: Vec<Fp16> = [3.0f32, 1.0, -8.0, 0.25]
+            .iter()
+            .map(|&v| Fp16::from_f32(v))
+            .collect();
         let got = dp.dot_acc(0.0, &a, &b);
         assert_eq!(got, 3.0 - 2.0 - 4.0 + 1.0);
     }
@@ -544,19 +629,20 @@ mod tests {
         // With wide products the Eq.(1) recovery is exact for integer-ish
         // activations.
         let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).with_numerics(NumericsMode::Wide);
-        let a: Vec<Fp16> = [1.0f32, 2.0, -1.5, 0.5].iter().map(|&v| Fp16::from_f32(v)).collect();
+        let a: Vec<Fp16> = [1.0f32, 2.0, -1.5, 0.5]
+            .iter()
+            .map(|&v| Fp16::from_f32(v))
+            .collect();
         let cols: [[i8; 4]; 4] = [
-            [1, -3, 5, 7],   // lane 0's weights along k
-            [0, 2, -8, 4],   // lane 1
+            [1, -3, 5, 7], // lane 0's weights along k
+            [0, 2, -8, 4], // lane 1
             [-1, -1, -1, -1],
             [7, 7, 7, 7],
         ];
         // Packed words are per-k: word k contains lane j = cols[j][k].
         let words: Vec<PackedWord> = (0..4)
             .map(|k| {
-                PackedWord::pack_int4(core::array::from_fn(|j| {
-                    Int4::new(cols[j][k]).unwrap()
-                }))
+                PackedWord::pack_int4(core::array::from_fn(|j| Int4::new(cols[j][k]).unwrap()))
             })
             .collect();
         let res = dp.dot_packed(&a, &words);
@@ -589,7 +675,10 @@ mod tests {
         let rec = res.recover();
         let want: f32 = 4.0 * (1.0 + 2.0f32.powi(-10));
         // The recovered value is close but NOT exact.
-        assert!((rec[0] - want).abs() > 1e-3, "expected visible rounding error");
+        assert!(
+            (rec[0] - want).abs() > 1e-3,
+            "expected visible rounding error"
+        );
         assert!((rec[0] - want).abs() < 0.5, "error should stay bounded");
 
         // The wide mode recovers exactly.
@@ -612,9 +701,68 @@ mod tests {
 
     #[test]
     fn tree_reduction_handles_odd_lengths() {
-        let vals: Vec<Fp16> = [1.0f32, 2.0, 3.0].iter().map(|&v| Fp16::from_f32(v)).collect();
+        let vals: Vec<Fp16> = [1.0f32, 2.0, 3.0]
+            .iter()
+            .map(|&v| Fp16::from_f32(v))
+            .collect();
         assert_eq!(reduce_tree_fp16(&vals).to_f32(), 6.0);
         assert_eq!(reduce_tree_fp16(&[]).to_f32(), 0.0);
+        assert_eq!(reduce_tree_in_place(&mut []).to_f32(), 0.0);
+    }
+
+    /// The in-place reduction must pair elements exactly like the
+    /// recursive reference at every length (FP16 addition is non-
+    /// associative, so order IS the contract).
+    #[test]
+    fn in_place_tree_matches_recursive_reference() {
+        // Values chosen so any reordering changes rounding: mix of large
+        // and tiny magnitudes with alternating signs.
+        let raw = [
+            1024.0f32, 0.0625, -768.5, 3.0, 0.00097656, -1024.0, 55.0, -0.3333, 9.5, -2.25, 4096.0,
+            0.1, -0.004, 17.0, -17.0, 0.5,
+        ];
+        for len in 0..=raw.len() {
+            let vals: Vec<Fp16> = raw[..len].iter().map(|&v| Fp16::from_f32(v)).collect();
+            let want = reduce_tree_fp16(&vals);
+            let mut buf = vals.clone();
+            let got = reduce_tree_in_place(&mut buf);
+            assert_eq!(got.to_bits(), want.to_bits(), "len {len}");
+        }
+    }
+
+    /// The allocation-free packed-dot core and the Vec-returning wrapper
+    /// agree bit-for-bit in every mode combination.
+    #[test]
+    fn dot_packed_into_matches_dot_packed() {
+        let a: Vec<Fp16> = [1.5f32, -0.25, 3.0, 0.125, -2.0, 7.5, -0.5, 1.0]
+            .iter()
+            .map(|&v| Fp16::from_f32(v))
+            .collect();
+        let words: Vec<PackedWord> = (0..8)
+            .map(|k| {
+                PackedWord::pack_int4(core::array::from_fn(|j| {
+                    Int4::new(((k * 3 + j * 5) % 16) as i8 - 8).unwrap()
+                }))
+            })
+            .collect();
+        for numerics in [NumericsMode::PaperRounded, NumericsMode::Wide] {
+            for acc in [AccPrecision::Fp32, AccPrecision::Fp16] {
+                let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4)
+                    .with_numerics(numerics)
+                    .with_acc_precision(acc);
+                let full = dp.dot_packed(&a, &words);
+                let mut sums = [0f32; MAX_LANES];
+                let sum_a = dp.dot_packed_into(&a, &words, &mut sums);
+                assert_eq!(sum_a, full.sum_a);
+                for (lane, &s) in full.lane_sums.iter().enumerate() {
+                    assert_eq!(
+                        s.to_bits(),
+                        sums[lane].to_bits(),
+                        "{numerics:?}/{acc:?} lane {lane}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,4 +54,4 @@ pub use dp::{
 };
 pub use mul::{Fp16Multiplier, MulTrace, MultiplierResources, RoundingMode, SubnormalMode};
 pub use packed::{Int2, Int4, PackedWord, WeightPrecision, WeightRangeError};
-pub use parallel::{LaneTrace, ParallelFpIntMultiplier, ParallelMulTrace};
+pub use parallel::{LaneTrace, ParallelFpIntMultiplier, ParallelMulTrace, MAX_LANES};

@@ -110,12 +110,18 @@ pub struct Fp16Multiplier {
 impl Fp16Multiplier {
     /// Creates a multiplier with full IEEE semantics.
     pub fn new() -> Self {
-        Fp16Multiplier { subnormal_mode: SubnormalMode::Ieee, rounding: RoundingMode::NearestEven }
+        Fp16Multiplier {
+            subnormal_mode: SubnormalMode::Ieee,
+            rounding: RoundingMode::NearestEven,
+        }
     }
 
     /// Creates a multiplier with the given subnormal handling.
     pub fn with_subnormal_mode(subnormal_mode: SubnormalMode) -> Self {
-        Fp16Multiplier { subnormal_mode, rounding: RoundingMode::NearestEven }
+        Fp16Multiplier {
+            subnormal_mode,
+            rounding: RoundingMode::NearestEven,
+        }
     }
 
     /// Replaces the rounding units (design-space study).
@@ -286,9 +292,8 @@ pub(crate) fn round_pack(
         let round_bit = (frac >> (shift - 1)) & 1;
         let sticky = frac & ((1 << (shift - 1)) - 1) != 0;
         let mut out = kept;
-        let round_up = rounding == RoundingMode::NearestEven
-            && round_bit == 1
-            && (sticky || kept & 1 == 1);
+        let round_up =
+            rounding == RoundingMode::NearestEven && round_bit == 1 && (sticky || kept & 1 == 1);
         if round_up {
             out += 1;
         }
@@ -311,9 +316,8 @@ pub(crate) fn round_pack(
     let sticky = frac & 0x1FF != 0;
     let mut sig = kept;
     let mut biased = biased as u16;
-    let round_up = rounding == RoundingMode::NearestEven
-        && round_bit == 1
-        && (sticky || sig & 1 == 1);
+    let round_up =
+        rounding == RoundingMode::NearestEven && round_bit == 1 && (sticky || sig & 1 == 1);
     if round_up {
         sig += 1;
         if sig == (1 << (MANT_BITS + 1)) {
@@ -343,8 +347,8 @@ mod tests {
     fn datapath_is_bit_exact_with_softfloat_on_operand_sweeps() {
         let unit = Fp16Multiplier::new();
         let fixed = [
-            0x0000, 0x8000, 0x0001, 0x03FF, 0x0400, 0x3C00, 0xBC00, 0x3555, 0x7BFF, 0x7C00,
-            0x7E00, 0x6400, 0x6408, 0x6417,
+            0x0000, 0x8000, 0x0001, 0x03FF, 0x0400, 0x3C00, 0xBC00, 0x3555, 0x7BFF, 0x7C00, 0x7E00,
+            0x6400, 0x6408, 0x6417,
         ];
         for &f in &fixed {
             let b = Fp16::from_bits(f);
@@ -387,7 +391,11 @@ mod tests {
         let got = unit.product(Fp16::MIN_POSITIVE, Fp16::from_f32(0.5));
         assert_eq!(got, Fp16::ZERO);
         // Normal results unaffected.
-        assert_eq!(unit.product(Fp16::from_f32(3.0), Fp16::from_f32(0.5)).to_f32(), 1.5);
+        assert_eq!(
+            unit.product(Fp16::from_f32(3.0), Fp16::from_f32(0.5))
+                .to_f32(),
+            1.5
+        );
         // inf × subnormal = inf × 0 = NaN in FTZ.
         assert!(unit.product(Fp16::INFINITY, sub).is_nan());
     }
@@ -445,7 +453,12 @@ mod tests {
     fn truncation_is_exact_on_exact_products() {
         let trunc = Fp16Multiplier::new().with_rounding(RoundingMode::Truncate);
         // 1.5 x 2.0 = 3.0 needs no rounding; both modes agree.
-        assert_eq!(trunc.product(Fp16::from_f32(1.5), Fp16::from_f32(2.0)).to_f32(), 3.0);
+        assert_eq!(
+            trunc
+                .product(Fp16::from_f32(1.5), Fp16::from_f32(2.0))
+                .to_f32(),
+            3.0
+        );
     }
 
     #[test]

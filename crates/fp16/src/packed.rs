@@ -339,7 +339,10 @@ impl PackedWord {
     ///
     /// Panics if `lane >= precision.lanes()`.
     pub fn biased_lane(self, precision: WeightPrecision, lane: usize) -> u8 {
-        assert!(lane < precision.lanes(), "lane {lane} out of range for {precision}");
+        assert!(
+            lane < precision.lanes(),
+            "lane {lane} out of range for {precision}"
+        );
         match precision {
             WeightPrecision::Int4 => ((self.0 >> (4 * lane)) & 0xF) as u8,
             WeightPrecision::Int2 => ((self.0 >> (2 * lane)) & 0x3) as u8,

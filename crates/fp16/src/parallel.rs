@@ -176,6 +176,91 @@ impl ParallelFpIntMultiplier {
         }
     }
 
+    /// One lane of the datapath: the 11×w-bit shift-add multiply, the
+    /// Figure 5(d) assembly, the shared normalization and the rounding
+    /// unit. Returns `(intermediate, assembly_sum, normalized, round_up,
+    /// product)` so both the tracing and the value-only entry points walk
+    /// the exact same gates.
+    #[inline]
+    fn lane_datapath(
+        &self,
+        sign_out: bool,
+        exp_shared: i32,
+        sig_a: u16,
+        y: u8,
+    ) -> (u32, u32, bool, bool, Fp16) {
+        // --- parallel INT11 MUL: 11×w-bit product ----------------------
+        // Shift-add over the weight code's bits; across 4 INT4 lanes this
+        // is at most 4 partial products each, reduced by the 12 INT16
+        // adders of Table I.
+        let mut intermediate: u32 = 0;
+        for bit in 0..self.precision.bits() {
+            if (y >> bit) & 1 == 1 {
+                intermediate += (sig_a as u32) << bit;
+            }
+        }
+        debug_assert_eq!(intermediate, sig_a as u32 * y as u32);
+
+        // --- Figure 5(d) assembly --------------------------------------
+        // Full product = sig_a × (1024 + y) = (sig_a << 10) + i.
+        // Structurally: i[9:0] passes through; i[14:10] (the top MSBs of
+        // i) add to sig_a[5:0] in an INT6 adder; the carry ripples into
+        // sig_a[10:6].
+        let i_low = intermediate & 0x3FF;
+        let i_high = intermediate >> 10; // ≤ 5 bits
+        let a_low6 = (sig_a as u32) & 0x3F;
+        let assembly_sum = a_low6 + i_high; // INT6 adder (+carry out)
+        let a_high5 = (sig_a as u32) >> 6;
+        let raw = ((a_high5 << 16) + (assembly_sum << 10)) | i_low;
+        debug_assert_eq!(raw, ((sig_a as u32) << 10) + intermediate);
+
+        // --- shared normalization unit ---------------------------------
+        let normalized = raw & (1 << 21) != 0;
+        let (mut frac, mut exp) = (raw, exp_shared);
+        if normalized {
+            frac = (frac >> 1) | (frac & 1);
+            exp += 1;
+        }
+
+        // --- per-lane rounding unit (4 of them in Table I) -------------
+        let (product, round_up) =
+            round_pack(sign_out, exp, frac, self.subnormal_mode, self.rounding);
+        (intermediate, assembly_sum, normalized, round_up, product)
+    }
+
+    /// If the activation is a special value (NaN, ±inf, ±0, or a flushed
+    /// subnormal), the per-lane product it forces; the biased weights are
+    /// always positive finite, so A's class alone decides.
+    #[inline]
+    fn special_product(&self, a: Fp16) -> Option<Fp16> {
+        if a.is_nan() {
+            return Some(Fp16::NAN);
+        }
+        if a.is_infinite() {
+            return Some(Fp16::from_bits(
+                ((a.sign() as u16) << 15) | Fp16::INFINITY.to_bits(),
+            ));
+        }
+        let flush = self.subnormal_mode == SubnormalMode::FlushToZero && a.is_subnormal();
+        if a.is_zero() || flush {
+            return Some(Fp16::from_bits((a.sign() as u16) << 15));
+        }
+        None
+    }
+
+    /// Conditions the activation: 11-bit significand with the hidden bit
+    /// set plus the shared output exponent (`exp(A) + 10`, observation ①).
+    #[inline]
+    fn condition_activation(a: Fp16) -> (u16, i32) {
+        let mut sig_a = a.significand();
+        let mut exp_a = a.unbiased_exponent();
+        while sig_a & (1 << MANT_BITS) == 0 {
+            sig_a <<= 1;
+            exp_a -= 1;
+        }
+        (sig_a, exp_a + 10)
+    }
+
     /// Multiplies activation `a` by every weight in `packed`, producing all
     /// lane products for this cycle.
     ///
@@ -192,91 +277,26 @@ impl ParallelFpIntMultiplier {
             lanes,
         };
 
-        // Activation-side special values short-circuit every lane: the
-        // biased weight is always a positive finite number in [1024, 2048),
-        // so the product's class is decided by A alone.
-        if a.is_nan() {
+        // Activation-side special values short-circuit every lane.
+        if let Some(product) = self.special_product(a) {
             for lane in 0..lanes {
                 trace.lane_traces[lane].weight_code = packed.biased_lane(self.precision, lane);
-                trace.lane_traces[lane].product = Fp16::NAN;
-            }
-            return trace;
-        }
-        if a.is_infinite() {
-            let inf = Fp16::from_bits(((a.sign() as u16) << 15) | Fp16::INFINITY.to_bits());
-            for lane in 0..lanes {
-                trace.lane_traces[lane].weight_code = packed.biased_lane(self.precision, lane);
-                trace.lane_traces[lane].product = inf;
-            }
-            return trace;
-        }
-        let flush = self.subnormal_mode == SubnormalMode::FlushToZero && a.is_subnormal();
-        if a.is_zero() || flush {
-            let zero = Fp16::from_bits((a.sign() as u16) << 15);
-            for lane in 0..lanes {
-                trace.lane_traces[lane].weight_code = packed.biased_lane(self.precision, lane);
-                trace.lane_traces[lane].product = zero;
+                trace.lane_traces[lane].product = product;
             }
             return trace;
         }
 
-        // Condition A: 11-bit significand with the hidden bit set
-        // (subnormal activations pass through the leading-zero shifter in
-        // IEEE mode).
-        let mut sig_a = a.significand();
-        let mut exp_a = a.unbiased_exponent();
-        while sig_a & (1 << MANT_BITS) == 0 {
-            sig_a <<= 1;
-            exp_a -= 1;
-        }
-
-        // Observation ①: the biased weight's exponent is constant 0b11001
-        // (unbiased +10), so a single INT5 adder produces the shared
-        // output exponent for all lanes.
-        let exp_shared = exp_a + 10;
+        // Condition A (subnormal activations pass through the
+        // leading-zero shifter in IEEE mode); a single INT5 adder produces
+        // the shared output exponent for all lanes.
+        let (sig_a, exp_shared) = Self::condition_activation(a);
         trace.sig_a = sig_a;
         trace.exp_shared = exp_shared;
 
         for lane in 0..lanes {
             let y = packed.biased_lane(self.precision, lane);
-
-            // --- parallel INT11 MUL: 11×w-bit product ------------------
-            // Shift-add over the weight code's bits; across 4 INT4 lanes
-            // this is at most 4 partial products each, reduced by the 12
-            // INT16 adders of Table I.
-            let mut intermediate: u32 = 0;
-            for bit in 0..self.precision.bits() {
-                if (y >> bit) & 1 == 1 {
-                    intermediate += (sig_a as u32) << bit;
-                }
-            }
-            debug_assert_eq!(intermediate, sig_a as u32 * y as u32);
-
-            // --- Figure 5(d) assembly -----------------------------------
-            // Full product = sig_a × (1024 + y) = (sig_a << 10) + i.
-            // Structurally: i[9:0] passes through; i[14:10] (the top MSBs
-            // of i) add to sig_a[5:0] in an INT6 adder; the carry ripples
-            // into sig_a[10:6].
-            let i_low = intermediate & 0x3FF;
-            let i_high = intermediate >> 10; // ≤ 5 bits
-            let a_low6 = (sig_a as u32) & 0x3F;
-            let assembly_sum = a_low6 + i_high; // INT6 adder (+carry out)
-            let a_high5 = (sig_a as u32) >> 6;
-            let raw = ((a_high5 << 16) + (assembly_sum << 10)) | i_low;
-            debug_assert_eq!(raw, ((sig_a as u32) << 10) + intermediate);
-
-            // --- shared normalization unit ------------------------------
-            let normalized = raw & (1 << 21) != 0;
-            let (mut frac, mut exp) = (raw, exp_shared);
-            if normalized {
-                frac = (frac >> 1) | (frac & 1);
-                exp += 1;
-            }
-
-            // --- per-lane rounding unit (4 of them in Table I) ----------
-            let (product, round_up) =
-                round_pack(trace.sign_out, exp, frac, self.subnormal_mode, self.rounding);
-
+            let (intermediate, assembly_sum, normalized, round_up, product) =
+                self.lane_datapath(trace.sign_out, exp_shared, sig_a, y);
             trace.lane_traces[lane] = LaneTrace {
                 weight_code: y,
                 intermediate,
@@ -287,6 +307,29 @@ impl ParallelFpIntMultiplier {
             };
         }
         trace
+    }
+
+    /// Value-only fast path: writes the per-lane FP16 products of
+    /// `a × packed` into `out` without assembling a [`ParallelMulTrace`].
+    ///
+    /// Walks the identical datapath as [`Self::multiply`] (the two share
+    /// every gate-level step), so products are bit-identical; only the
+    /// per-lane bookkeeping is skipped. This is what the functional GEMM
+    /// hot loop calls — the tracing entry point remains for tests, the
+    /// pipeline model and the energy counters.
+    #[inline]
+    pub fn multiply_into(&self, a: Fp16, packed: PackedWord, out: &mut [Fp16; MAX_LANES]) {
+        let lanes = self.precision.lanes();
+        if let Some(product) = self.special_product(a) {
+            out[..lanes].fill(product);
+            return;
+        }
+        let (sig_a, exp_shared) = Self::condition_activation(a);
+        let sign_out = a.sign();
+        for (lane, slot) in out[..lanes].iter_mut().enumerate() {
+            let y = packed.biased_lane(self.precision, lane);
+            *slot = self.lane_datapath(sign_out, exp_shared, sig_a, y).4;
+        }
     }
 
     /// The FP16 value of a biased weight code (`code + 1024`), i.e. what
@@ -325,8 +368,10 @@ mod tests {
         ];
         for w in words {
             let packed = PackedWord::pack_int4(w.map(|v| Int4::new(v).unwrap()));
-            let refs: Vec<Fp16> =
-                w.iter().map(|&v| Fp16::from_f32(v as f32 + 1032.0)).collect();
+            let refs: Vec<Fp16> = w
+                .iter()
+                .map(|&v| Fp16::from_f32(v as f32 + 1032.0))
+                .collect();
             for a in Fp16::all_values() {
                 let trace = unit.multiply(a, packed);
                 for (lane, want_b) in refs.iter().enumerate() {
@@ -351,7 +396,10 @@ mod tests {
         let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int2);
         let w: [i8; 8] = [-2, -1, 0, 1, -2, -1, 0, 1];
         let packed = PackedWord::pack_int2(w.map(|v| Int2::new(v).unwrap()));
-        let refs: Vec<Fp16> = w.iter().map(|&v| Fp16::from_f32(v as f32 + 1026.0)).collect();
+        let refs: Vec<Fp16> = w
+            .iter()
+            .map(|&v| Fp16::from_f32(v as f32 + 1026.0))
+            .collect();
         for a in Fp16::all_values() {
             let trace = unit.multiply(a, packed);
             for (lane, want_b) in refs.iter().enumerate() {
@@ -433,7 +481,10 @@ mod tests {
             WeightPrecision::Int4,
             SubnormalMode::FlushToZero,
         );
-        assert_eq!(ftz.multiply(sub, packed).lane_traces()[0].product, Fp16::ZERO);
+        assert_eq!(
+            ftz.multiply(sub, packed).lane_traces()[0].product,
+            Fp16::ZERO
+        );
     }
 
     #[test]
@@ -456,8 +507,14 @@ mod tests {
 
     #[test]
     fn throughput_matches_lane_count() {
-        assert_eq!(ParallelFpIntMultiplier::new(WeightPrecision::Int4).throughput_per_cycle(), 4);
-        assert_eq!(ParallelFpIntMultiplier::new(WeightPrecision::Int2).throughput_per_cycle(), 8);
+        assert_eq!(
+            ParallelFpIntMultiplier::new(WeightPrecision::Int4).throughput_per_cycle(),
+            4
+        );
+        assert_eq!(
+            ParallelFpIntMultiplier::new(WeightPrecision::Int2).throughput_per_cycle(),
+            8
+        );
     }
 
     #[test]
@@ -489,7 +546,46 @@ mod tests {
             }
         }
         // The bias is systematic, not incidental: many products shrink.
-        assert!(strictly_lower > 1000, "only {strictly_lower} products differ");
+        assert!(
+            strictly_lower > 1000,
+            "only {strictly_lower} products differ"
+        );
+    }
+
+    /// The value-only fast path and the tracing path share the datapath;
+    /// prove it stays that way over every activation (both precisions,
+    /// both subnormal modes, mixed codes).
+    #[test]
+    fn multiply_into_bit_identical_to_trace_path() {
+        let words = [
+            (
+                WeightPrecision::Int4,
+                PackedWord::pack_int4([-8, -1, 3, 7].map(|v| Int4::new(v).unwrap())),
+            ),
+            (
+                WeightPrecision::Int2,
+                PackedWord::pack_int2([-2, -1, 0, 1, 1, 0, -1, -2].map(|v| Int2::new(v).unwrap())),
+            ),
+        ];
+        for (precision, packed) in words {
+            for mode in [SubnormalMode::Ieee, SubnormalMode::FlushToZero] {
+                let unit = ParallelFpIntMultiplier::with_subnormal_mode(precision, mode);
+                for a in Fp16::all_values() {
+                    let trace = unit.multiply(a, packed);
+                    let mut fast = [Fp16::ZERO; MAX_LANES];
+                    unit.multiply_into(a, packed, &mut fast);
+                    for (lane, lt) in trace.lane_traces().iter().enumerate() {
+                        assert!(
+                            same(lt.product, fast[lane]),
+                            "A={:04x} {precision} lane{lane}: trace {:04x} fast {:04x}",
+                            a.to_bits(),
+                            lt.product.to_bits(),
+                            fast[lane].to_bits()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

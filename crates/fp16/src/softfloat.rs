@@ -154,7 +154,11 @@ pub fn sub(a: Fp16, b: Fp16) -> Fp16 {
 ///
 /// Panics if the slices have different lengths.
 pub fn dot_fp16(a: &[Fp16], b: &[Fp16]) -> Fp16 {
-    assert_eq!(a.len(), b.len(), "dot product operands must match in length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot product operands must match in length"
+    );
     let mut acc = Fp16::ZERO;
     for (&x, &y) in a.iter().zip(b) {
         acc = add(acc, mul(x, y));
@@ -170,7 +174,11 @@ pub fn dot_fp16(a: &[Fp16], b: &[Fp16]) -> Fp16 {
 ///
 /// Panics if the slices have different lengths.
 pub fn dot_fp32_acc(a: &[Fp16], b: &[Fp16]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot product operands must match in length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot product operands must match in length"
+    );
     let mut acc = 0f32;
     for (&x, &y) in a.iter().zip(b) {
         acc += mul(x, y).to_f32();
@@ -218,7 +226,7 @@ fn round_pack(sign: bool, exp: i32, frac: u32) -> Fp16 {
             // shift == 22 can still round up to MIN_SUBNORMAL when frac is
             // large enough; handle via the generic path below with full
             // sticky collapse.
-            if shift >= 22 + 1 {
+            if shift > 22 {
                 return Fp16::from_bits(sign_bits);
             }
         }
@@ -349,8 +357,8 @@ mod tests {
     #[test]
     fn add_exhaustive_against_oracle_for_one_operand_sweep() {
         let fixed = [
-            0x0000, 0x8000, 0x0001, 0x8001, 0x03FF, 0x0400, 0x3C00, 0xBC00, 0x7BFF, 0xFBFF,
-            0x7C00, 0xFC00, 0x7E01,
+            0x0000, 0x8000, 0x0001, 0x8001, 0x03FF, 0x0400, 0x3C00, 0xBC00, 0x7BFF, 0xFBFF, 0x7C00,
+            0xFC00, 0x7E01,
         ];
         for &f in &fixed {
             let b = Fp16::from_bits(f);
@@ -402,13 +410,22 @@ mod tests {
     #[test]
     fn mul_overflow_saturates_to_infinity() {
         assert_eq!(mul(Fp16::MAX, Fp16::from_f32(2.0)), Fp16::INFINITY);
-        assert_eq!(mul(Fp16::MAX.neg(), Fp16::from_f32(2.0)), Fp16::NEG_INFINITY);
+        assert_eq!(
+            mul(Fp16::MAX.neg(), Fp16::from_f32(2.0)),
+            Fp16::NEG_INFINITY
+        );
     }
 
     #[test]
     fn dot_products_agree_with_manual_sequence() {
-        let a: Vec<Fp16> = [1.0f32, 2.0, 3.0, 4.0].iter().map(|&v| Fp16::from_f32(v)).collect();
-        let b: Vec<Fp16> = [0.5f32, -1.0, 2.0, 0.25].iter().map(|&v| Fp16::from_f32(v)).collect();
+        let a: Vec<Fp16> = [1.0f32, 2.0, 3.0, 4.0]
+            .iter()
+            .map(|&v| Fp16::from_f32(v))
+            .collect();
+        let b: Vec<Fp16> = [0.5f32, -1.0, 2.0, 0.25]
+            .iter()
+            .map(|&v| Fp16::from_f32(v))
+            .collect();
         let d = dot_fp16(&a, &b);
         assert_eq!(d.to_f32(), 0.5 - 2.0 + 6.0 + 1.0);
         let d32 = dot_fp32_acc(&a, &b);

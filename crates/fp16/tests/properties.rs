@@ -228,3 +228,42 @@ proptest! {
         }
     }
 }
+
+/// Historic `baseline_dp_close_to_reference` failure, promoted from the
+/// retired `.proptest-regressions` file (the hermetic proptest shim does
+/// not read regression files, so the case is pinned here explicitly).
+/// Two products of magnitude ≈110k individually overflow FP16's ±65504
+/// range before they can cancel, so the baseline DP tree sums
+/// `+inf + (-inf)` and returns NaN even though the true dot product
+/// (≈ −17834) is representable. This is the overflow hazard that forced
+/// `small_fp16` down to ±100 — with that bound, 4-wide products top out
+/// at 4 × 10⁴ and stay finite.
+#[test]
+fn baseline_dp_historic_overflow_case() {
+    let a = [56363u16, 0, 57274, 0].map(Fp16::from_bits);
+    let b = [24221u16, 0, 55810, 0].map(Fp16::from_bits);
+    let dp = BaselineDpUnit::new(4);
+    let got = dp.dot_acc(0.0, &a, &b);
+    let want: f64 = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| x.to_f32() as f64 * y.to_f32() as f64)
+        .sum();
+    // The exact answer fits comfortably in FP16...
+    assert!(
+        want.abs() < 60000.0,
+        "true dot product is representable (want = {want})"
+    );
+    // ...but the intermediate products do not, and the baseline unit has
+    // no wide accumulator to save them.
+    let max_product = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| (x.to_f32() * y.to_f32()).abs() as f64)
+        .fold(0.0, f64::max);
+    assert!(max_product > 65504.0, "intermediate product overflows FP16");
+    assert!(
+        got.is_nan(),
+        "expected NaN from inf + (-inf) in the FP16 tree, got {got}"
+    );
+}

@@ -49,7 +49,10 @@ impl MixGemmModel {
         // Solved from: pacq_mac_units × 4.12 = fixed + 4·plane and
         // pacq_mac_units × 3.75 = fixed + 2·plane, with pacq_mac_units =
         // ParallelDp(4,2) power / 8 MACs-per-cycle ≈ 1.804.
-        MixGemmModel { fixed_fp_units: 6.11, plane_units: 0.331 }
+        MixGemmModel {
+            fixed_fp_units: 6.11,
+            plane_units: 0.331,
+        }
     }
 
     /// Energy per MAC in normalized units for the given weight precision.
@@ -101,11 +104,7 @@ pub fn pacq_advantage_over_mixgemm(precision: WeightPrecision) -> f64 {
 /// # Panics
 ///
 /// Panics if slice lengths differ or a code is out of range.
-pub fn binary_segmentation_dot(
-    a: &[Fp16],
-    codes: &[i8],
-    precision: WeightPrecision,
-) -> f64 {
+pub fn binary_segmentation_dot(a: &[Fp16], codes: &[i8], precision: WeightPrecision) -> f64 {
     assert_eq!(a.len(), codes.len(), "operand lengths must match");
     let bias = precision.bias();
     let bits = precision.bits();
@@ -166,11 +165,10 @@ mod tests {
 
     #[test]
     fn segmentation_dot_is_exact() {
-        let a: Vec<Fp16> =
-            [0.5f32, -1.25, 3.0, 0.125, 2.0, -0.75, 1.5, -2.5]
-                .iter()
-                .map(|&v| Fp16::from_f32(v))
-                .collect();
+        let a: Vec<Fp16> = [0.5f32, -1.25, 3.0, 0.125, 2.0, -0.75, 1.5, -2.5]
+            .iter()
+            .map(|&v| Fp16::from_f32(v))
+            .collect();
         let codes: Vec<i8> = vec![-8, -3, 0, 1, 7, 5, -1, 2];
         let got = binary_segmentation_dot(&a, &codes, WeightPrecision::Int4);
         let want: f64 = a
@@ -183,7 +181,9 @@ mod tests {
 
     #[test]
     fn segmentation_dot_int2() {
-        let a: Vec<Fp16> = (0..16).map(|i| Fp16::from_f32(i as f32 * 0.25 - 2.0)).collect();
+        let a: Vec<Fp16> = (0..16)
+            .map(|i| Fp16::from_f32(i as f32 * 0.25 - 2.0))
+            .collect();
         let codes: Vec<i8> = (0..16).map(|i| (i % 4) as i8 - 2).collect();
         let got = binary_segmentation_dot(&a, &codes, WeightPrecision::Int2);
         let want: f64 = a

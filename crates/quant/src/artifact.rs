@@ -136,9 +136,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PackedMatrix, DecodeArtifactError> {
     let mut codes = vec![0i8; k * n];
     let bits = precision.bits() as usize;
     for w in 0..word_count {
-        let raw = u16::from_le_bytes(
-            r.take(2)?.try_into().expect("2-byte slice"),
-        );
+        let raw = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice"));
         for lane in 0..lanes {
             let code = ((raw >> (bits * lane)) as i32 & ((1 << bits) - 1)) - precision.bias();
             // Word w covers either k-run or n-run lanes.
@@ -179,7 +177,10 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, len: usize) -> Result<&'a [u8], DecodeArtifactError> {
-        let end = self.pos.checked_add(len).ok_or(DecodeArtifactError::Truncated)?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(DecodeArtifactError::Truncated)?;
         if end > self.bytes.len() {
             return Err(DecodeArtifactError::Truncated);
         }
@@ -193,7 +194,9 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, DecodeArtifactError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
     }
 }
 
@@ -250,7 +253,10 @@ mod tests {
         // First scale starts after header + words.
         let scale_off = 24 + p.total_words() * 2;
         bytes[scale_off..scale_off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
-        assert_eq!(from_bytes(&bytes), Err(DecodeArtifactError::BadField("scale")));
+        assert_eq!(
+            from_bytes(&bytes),
+            Err(DecodeArtifactError::BadField("scale"))
+        );
     }
 
     #[test]
@@ -263,7 +269,7 @@ mod tests {
                 *b = (x >> 32) as u8;
             }
             let _ = from_bytes(&buf); // must not panic
-            // And with a valid-looking prefix.
+                                      // And with a valid-looking prefix.
             if len >= 5 {
                 buf[..4].copy_from_slice(b"PACQ");
                 buf[4] = 1;

@@ -16,6 +16,7 @@ use crate::groups::GroupShape;
 use crate::matrix::MatrixF32;
 use crate::rtn::{QuantizedMatrix, RtnQuantizer};
 use pacq_fp16::WeightPrecision;
+use rayon::prelude::*;
 
 /// Result of an AWQ scale search.
 #[derive(Debug, Clone)]
@@ -73,7 +74,9 @@ impl AwqScaler {
     /// A scaler with the standard α grid `{0, 0.125, …, 1.0}` (α = 0 is
     /// plain RTN, so the search is never worse than the baseline).
     pub fn new() -> Self {
-        AwqScaler { alpha_grid: (0..=8).map(|i| i as f64 / 8.0).collect() }
+        AwqScaler {
+            alpha_grid: (0..=8).map(|i| i as f64 / 8.0).collect(),
+        }
     }
 
     /// A scaler with a custom α grid.
@@ -118,30 +121,43 @@ impl AwqScaler {
         let reference = activations.matmul(weights);
         let ref_norm = reference.frobenius_norm().max(1e-30);
 
-        let mut best: Option<AwqResult> = None;
-        for &alpha in &self.alpha_grid {
-            let scales: Vec<f32> = mag.iter().map(|&m| (m.powf(alpha)) as f32).collect();
-            let scaled = MatrixF32::from_fn(k, weights.cols(), |kk, n| {
-                weights.get(kk, n) * scales[kk]
-            });
-            let quantized = RtnQuantizer::new(precision, group).quantize(&scaled);
-            let deq = quantized.dequantize();
-            // Effective weight seen by the original activations.
-            let effective = MatrixF32::from_fn(k, weights.cols(), |kk, n| {
-                deq.get(kk, n) / scales[kk]
-            });
-            let out = activations.matmul(&effective);
-            let diff = MatrixF32::from_fn(out.rows(), out.cols(), |r, c| {
-                out.get(r, c) - reference.get(r, c)
-            });
-            let err = diff.frobenius_norm() / ref_norm;
-            if best.as_ref().is_none_or(|b| err < b.output_rel_err) {
-                best = Some(AwqResult {
+        // Grid points are independent; evaluate them on the pool. The
+        // winner is picked afterwards in grid order with the same strict
+        // `<`, so ties resolve to the earliest α exactly like the serial
+        // scan did.
+        let candidates: Vec<AwqResult> = self
+            .alpha_grid
+            .clone()
+            .into_par_iter()
+            .map(|alpha| {
+                let scales: Vec<f32> = mag.iter().map(|&m| (m.powf(alpha)) as f32).collect();
+                let scaled =
+                    MatrixF32::from_fn(k, weights.cols(), |kk, n| weights.get(kk, n) * scales[kk]);
+                let quantized = RtnQuantizer::new(precision, group).quantize(&scaled);
+                let deq = quantized.dequantize();
+                // Effective weight seen by the original activations.
+                let effective =
+                    MatrixF32::from_fn(k, weights.cols(), |kk, n| deq.get(kk, n) / scales[kk]);
+                let out = activations.matmul(&effective);
+                let diff = MatrixF32::from_fn(out.rows(), out.cols(), |r, c| {
+                    out.get(r, c) - reference.get(r, c)
+                });
+                let err = diff.frobenius_norm() / ref_norm;
+                AwqResult {
                     alpha,
                     channel_scales: scales,
                     quantized,
                     output_rel_err: err,
-                });
+                }
+            })
+            .collect();
+        let mut best: Option<AwqResult> = None;
+        for cand in candidates {
+            if best
+                .as_ref()
+                .is_none_or(|b| cand.output_rel_err < b.output_rel_err)
+            {
+                best = Some(cand);
             }
         }
         best.expect("non-empty grid")
@@ -192,8 +208,7 @@ mod tests {
         let w = g.llm_weights(128, 32);
         let a = g.llm_activations(8, 128);
         let plain = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32));
-        let awq =
-            AwqScaler::new().search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32));
+        let awq = AwqScaler::new().search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32));
         assert!(awq.output_rel_err <= plain.output_rel_err * 1.0001);
     }
 

@@ -66,7 +66,11 @@ pub fn evaluate_rtn(
     let denom = ref_out.frobenius_norm().max(1e-30);
     let output_rel_err = diff.frobenius_norm() / denom;
 
-    QuantError { weight_mse, weight_sqnr_db, output_rel_err }
+    QuantError {
+        weight_mse,
+        weight_sqnr_db,
+        output_rel_err,
+    }
 }
 
 #[cfg(test)]
@@ -113,8 +117,7 @@ mod tests {
                 "{g1} vs {g2}: MSE ratio {ratio}"
             );
             assert!(
-                (e1.output_rel_err - e2.output_rel_err).abs()
-                    < 0.3 * e1.output_rel_err.max(1e-9),
+                (e1.output_rel_err - e2.output_rel_err).abs() < 0.3 * e1.output_rel_err.max(1e-9),
                 "{g1} vs {g2}: output err {} vs {}",
                 e1.output_rel_err,
                 e2.output_rel_err

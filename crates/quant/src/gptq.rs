@@ -17,6 +17,7 @@ use crate::matrix::MatrixF32;
 use crate::rtn::QuantizedMatrix;
 use core::fmt;
 use pacq_fp16::WeightPrecision;
+use rayon::prelude::*;
 
 /// Error returned when the calibration Hessian cannot be factorized.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,7 +76,11 @@ impl GptqQuantizer {
             !group.is_two_dimensional(),
             "GPTQ supports k-only quantization groups"
         );
-        GptqQuantizer { precision, group, damping: 0.01 }
+        GptqQuantizer {
+            precision,
+            group,
+            damping: 0.01,
+        }
     }
 
     /// Overrides the relative diagonal damping.
@@ -113,16 +118,20 @@ impl GptqQuantizer {
             "calibration width must equal the weight k-extent"
         );
 
-        // H = Σ x xᵀ with relative diagonal damping.
+        // H = Σ x xᵀ with relative diagonal damping. Hessian rows are
+        // independent, so they fan out; each element keeps the sample
+        // order `m` ascending and stays bit-identical to a serial build.
         let mut h = vec![0f64; k * k];
-        for m in 0..calibration.rows() {
-            let row = calibration.row(m);
-            for i in 0..k {
-                let xi = row[i] as f64;
-                for j in i..k {
-                    h[i * k + j] += xi * row[j] as f64;
+        if k > 0 {
+            h.par_chunks_mut(k).enumerate().for_each(|(i, hrow)| {
+                for m in 0..calibration.rows() {
+                    let row = calibration.row(m);
+                    let xi = row[i] as f64;
+                    for j in i..k {
+                        hrow[j] += xi * row[j] as f64;
+                    }
                 }
-            }
+            });
         }
         for i in 0..k {
             for j in 0..i {
@@ -141,41 +150,60 @@ impl GptqQuantizer {
         let hinv = cholesky_inverse(&chol, k);
         let u = upper_cholesky(&hinv, k).ok_or(FactorizeHessianError { pivot: 0 })?;
 
-        // Working copy of the weights, updated in place.
-        let mut w: Vec<f64> = weights.as_slice().iter().map(|&v| v as f64).collect();
-        let mut codes = vec![0i8; k * n];
-        let mut scales = vec![0f32; self.group.group_count(k, n)];
-
         let q_pos = self.precision.max_value() as f64;
         let q_min = self.precision.min_value() as f64;
         let g_k = self.group.k_size;
 
-        for i in 0..k {
-            // New k-group: freeze scales from the *updated* weights of the
-            // group (GPTQ's per-group scale refresh).
-            if i % g_k == 0 {
-                let hi = (i + g_k).min(k);
-                for col in 0..n {
-                    let mut max_abs = 0f64;
-                    for r in i..hi {
-                        max_abs = max_abs.max(w[r * n + col].abs());
+        // The row-sequential sweep touches each output column
+        // independently (k-only groups: every scale, code and error
+        // update involves a single column), so the columns fan out
+        // across the pool. Each task replays exactly the per-column
+        // arithmetic of the serial interleaved loop, in the same order —
+        // the result is bit-identical at any thread count.
+        let per_col: Vec<(Vec<i8>, Vec<f32>)> = (0..n)
+            .into_par_iter()
+            .map(|col| {
+                let mut w: Vec<f64> = (0..k).map(|r| weights.get(r, col) as f64).collect();
+                let mut col_codes = vec![0i8; k];
+                let mut col_scales = vec![0f32; k.div_ceil(g_k)];
+                for i in 0..k {
+                    // New k-group: freeze the scale from the *updated*
+                    // weights of the group (GPTQ's per-group refresh).
+                    if i % g_k == 0 {
+                        let hi = (i + g_k).min(k);
+                        let mut max_abs = 0f64;
+                        for wr in &w[i..hi] {
+                            max_abs = max_abs.max(wr.abs());
+                        }
+                        col_scales[i / g_k] = if max_abs > 0.0 {
+                            (max_abs / q_pos) as f32
+                        } else {
+                            1.0
+                        };
                     }
-                    let g = self.group.group_of(i, col, n);
-                    scales[g] = if max_abs > 0.0 { (max_abs / q_pos) as f32 } else { 1.0 };
-                }
-            }
 
-            let d = u[i * k + i];
-            for col in 0..n {
-                let g = self.group.group_of(i, col, n);
-                let s = scales[g] as f64;
-                let q = (w[i * n + col] / s).round().clamp(q_min, q_pos);
-                codes[i * n + col] = q as i8;
-                let err = (w[i * n + col] - q * s) / d;
-                // Compensate the not-yet-quantized rows.
-                for j in i + 1..k {
-                    w[j * n + col] -= err * u[i * k + j];
+                    let d = u[i * k + i];
+                    let s = col_scales[i / g_k] as f64;
+                    let q = (w[i] / s).round().clamp(q_min, q_pos);
+                    col_codes[i] = q as i8;
+                    let err = (w[i] - q * s) / d;
+                    // Compensate the not-yet-quantized rows.
+                    for j in i + 1..k {
+                        w[j] -= err * u[i * k + j];
+                    }
                 }
+                (col_codes, col_scales)
+            })
+            .collect();
+
+        let mut codes = vec![0i8; k * n];
+        let mut scales = vec![0f32; self.group.group_count(k, n)];
+        for (col, (col_codes, col_scales)) in per_col.iter().enumerate() {
+            for i in 0..k {
+                codes[i * n + col] = col_codes[i];
+            }
+            for (kg, &s) in col_scales.iter().enumerate() {
+                scales[self.group.group_of(kg * g_k, col, n)] = s;
             }
         }
 
@@ -341,7 +369,9 @@ mod tests {
         let basis = g.llm_activations(4, 64);
         let coeff = g.uniform(64, 4, 1.0);
         let calib = MatrixF32::from_fn(64, 64, |m, kk| {
-            (0..4).map(|t| coeff.get(m, t) * basis.get(t, kk)).sum::<f32>()
+            (0..4)
+                .map(|t| coeff.get(m, t) * basis.get(t, kk))
+                .sum::<f32>()
                 + 0.05 * ((m * 31 + kk * 17) % 13) as f32 / 13.0
         });
 
@@ -368,8 +398,9 @@ mod tests {
 
         let group = GroupShape::along_k(64);
         let rtn = RtnQuantizer::new(WeightPrecision::Int4, group).quantize(&w);
-        let gptq =
-            GptqQuantizer::new(WeightPrecision::Int4, group).quantize(&w, &calib).expect("ok");
+        let gptq = GptqQuantizer::new(WeightPrecision::Int4, group)
+            .quantize(&w, &calib)
+            .expect("ok");
 
         let e_rtn = output_err(&w, &rtn.dequantize(), &held_out);
         let e_gptq = output_err(&w, &gptq.dequantize(), &held_out);

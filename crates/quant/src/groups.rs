@@ -20,13 +20,25 @@ pub struct GroupShape {
 
 impl GroupShape {
     /// The conventional `g128` (128 along k, 1 along n).
-    pub const G128: GroupShape = GroupShape { k_size: 128, n_size: 1 };
+    pub const G128: GroupShape = GroupShape {
+        k_size: 128,
+        n_size: 1,
+    };
     /// The conventional `g256`.
-    pub const G256: GroupShape = GroupShape { k_size: 256, n_size: 1 };
+    pub const G256: GroupShape = GroupShape {
+        k_size: 256,
+        n_size: 1,
+    };
     /// The paper's 2-D `g[32,4]`: 32 along k × 4 along n (volume 128).
-    pub const G32X4: GroupShape = GroupShape { k_size: 32, n_size: 4 };
+    pub const G32X4: GroupShape = GroupShape {
+        k_size: 32,
+        n_size: 4,
+    };
     /// The paper's 2-D `g[64,4]`: 64 along k × 4 along n (volume 256).
-    pub const G64X4: GroupShape = GroupShape { k_size: 64, n_size: 4 };
+    pub const G64X4: GroupShape = GroupShape {
+        k_size: 64,
+        n_size: 4,
+    };
 
     /// Creates a group shape.
     ///
@@ -152,7 +164,11 @@ mod tests {
         let (k_total, n_total, lanes, tile_k) = (4096, 64, 4, 4);
         let f_1d = GroupShape::G128.scale_fetches_for_tiled_walk(k_total, n_total, lanes, tile_k);
         let f_2d = GroupShape::G32X4.scale_fetches_for_tiled_walk(k_total, n_total, lanes, tile_k);
-        assert_eq!(f_1d, f_2d * 4, "expected a 4x reduction: 1-D {f_1d}, 2-D {f_2d}");
+        assert_eq!(
+            f_1d,
+            f_2d * 4,
+            "expected a 4x reduction: 1-D {f_1d}, 2-D {f_2d}"
+        );
 
         // Same for the g256 / g[64,4] pair.
         let f_1d = GroupShape::G256.scale_fetches_for_tiled_walk(k_total, n_total, lanes, tile_k);

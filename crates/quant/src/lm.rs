@@ -62,7 +62,14 @@ impl TinyLm {
         // distribution (σ≈0.02 would vanish under the residual).
         rescale(&mut w1, 12.0);
         rescale(&mut w2, 12.0);
-        TinyLm { vocab, d, h, embed, w1, w2 }
+        TinyLm {
+            vocab,
+            d,
+            h,
+            embed,
+            w1,
+            w2,
+        }
     }
 
     /// Vocabulary size.
@@ -102,8 +109,8 @@ impl TinyLm {
         let mut hidden = vec![0f64; self.h];
         for (j, hj) in hidden.iter_mut().enumerate() {
             let mut acc = 0f64;
-            for i in 0..self.d {
-                acc += x[i] as f64 * self.w1.get(i, j) as f64;
+            for (i, &xi) in x.iter().enumerate() {
+                acc += xi as f64 * self.w1.get(i, j) as f64;
             }
             *hj = gelu(acc);
         }
@@ -117,7 +124,9 @@ impl TinyLm {
             *yi = acc;
         }
         // RMS norm keeps logits in a stable range.
-        let rms = (y.iter().map(|v| v * v).sum::<f64>() / self.d as f64).sqrt().max(1e-9);
+        let rms = (y.iter().map(|v| v * v).sum::<f64>() / self.d as f64)
+            .sqrt()
+            .max(1e-9);
         for v in &mut y {
             *v /= rms;
         }

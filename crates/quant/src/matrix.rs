@@ -17,7 +17,11 @@ pub struct MatrixF32 {
 impl MatrixF32 {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        MatrixF32 { rows, cols, data: vec![0.0; rows * cols] }
+        MatrixF32 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from row-major data.
@@ -58,7 +62,10 @@ impl MatrixF32 {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -69,8 +76,18 @@ impl MatrixF32 {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col] = value;
+    }
+
+    /// The underlying row-major slice, mutable. Row `i` occupies
+    /// `[i * cols, (i + 1) * cols)` — chunking by `cols` yields rows,
+    /// which is how the execution engines fan work out across threads.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
     }
 
     /// The underlying row-major slice.
@@ -89,7 +106,11 @@ impl MatrixF32 {
         MatrixF32 {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| Fp16::from_f32(v).to_f32()).collect(),
+            data: self
+                .data
+                .iter()
+                .map(|&v| Fp16::from_f32(v).to_f32())
+                .collect(),
         }
     }
 
@@ -105,27 +126,41 @@ impl MatrixF32 {
     /// Reference GEMM `self × rhs` in f64 accumulation (the functional
     /// oracle for every dataflow engine).
     ///
+    /// Output rows are independent, so they are fanned out across the
+    /// rayon pool; the k-loop stays sequential per element, making the
+    /// result bit-identical at any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &MatrixF32) -> MatrixF32 {
+        use rayon::prelude::*;
         assert_eq!(self.cols, rhs.rows, "inner dimensions must match");
-        let mut out = MatrixF32::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for j in 0..rhs.cols {
-                let mut acc = 0f64;
-                for k in 0..self.cols {
-                    acc += self.get(i, k) as f64 * rhs.get(k, j) as f64;
-                }
-                out.set(i, j, acc as f32);
-            }
+        let n = rhs.cols;
+        let mut out = MatrixF32::zeros(self.rows, n);
+        if self.rows == 0 || n == 0 {
+            return out;
         }
+        out.data.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            let lhs = self.row(i);
+            for (j, cell) in row.iter_mut().enumerate() {
+                let mut acc = 0f64;
+                for (t, &l) in lhs.iter().enumerate() {
+                    acc += l as f64 * rhs.get(t, j) as f64;
+                }
+                *cell = acc as f32;
+            }
+        });
         out
     }
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Mean squared difference with another matrix of the same shape.
@@ -134,7 +169,11 @@ impl MatrixF32 {
     ///
     /// Panics if shapes differ.
     pub fn mse(&self, other: &MatrixF32) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         if self.data.is_empty() {
             return 0.0;
         }
@@ -177,7 +216,11 @@ pub struct MatrixF16 {
 impl MatrixF16 {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        MatrixF16 { rows, cols, data: vec![Fp16::ZERO; rows * cols] }
+        MatrixF16 {
+            rows,
+            cols,
+            data: vec![Fp16::ZERO; rows * cols],
+        }
     }
 
     /// Creates from row-major FP16 data.
@@ -207,7 +250,10 @@ impl MatrixF16 {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> Fp16 {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -218,7 +264,10 @@ impl MatrixF16 {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: Fp16) {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 

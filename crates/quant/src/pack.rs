@@ -98,13 +98,21 @@ impl PackedMatrix {
         let (word_rows, word_cols) = match pack_dim {
             PackDim::K => {
                 if k % lanes != 0 {
-                    return Err(PackShapeError { dim: pack_dim, extent: k, lanes });
+                    return Err(PackShapeError {
+                        dim: pack_dim,
+                        extent: k,
+                        lanes,
+                    });
                 }
                 (k / lanes, n)
             }
             PackDim::N => {
                 if n % lanes != 0 {
-                    return Err(PackShapeError { dim: pack_dim, extent: n, lanes });
+                    return Err(PackShapeError {
+                        dim: pack_dim,
+                        extent: n,
+                        lanes,
+                    });
                 }
                 (k, n / lanes)
             }

@@ -18,6 +18,7 @@ use crate::groups::GroupShape;
 use crate::matrix::MatrixF32;
 use core::fmt;
 use pacq_fp16::WeightPrecision;
+use rayon::prelude::*;
 
 /// Scale/zero-point scheme of the RTN quantizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -55,12 +56,20 @@ pub struct RtnQuantizer {
 impl RtnQuantizer {
     /// Creates a symmetric quantizer (the paper's configuration).
     pub fn new(precision: WeightPrecision, group: GroupShape) -> Self {
-        RtnQuantizer { precision, group, scheme: QuantScheme::Symmetric }
+        RtnQuantizer {
+            precision,
+            group,
+            scheme: QuantScheme::Symmetric,
+        }
     }
 
     /// Creates an asymmetric (zero-point) quantizer.
     pub fn asymmetric(precision: WeightPrecision, group: GroupShape) -> Self {
-        RtnQuantizer { precision, group, scheme: QuantScheme::Asymmetric }
+        RtnQuantizer {
+            precision,
+            group,
+            scheme: QuantScheme::Asymmetric,
+        }
     }
 
     /// The target weight precision.
@@ -91,15 +100,36 @@ impl RtnQuantizer {
         let bias = self.precision.bias();
         let levels = (1i32 << self.precision.bits()) - 1; // 2^b − 1
 
-        // Pass 1: per-group range.
+        // Pass 1: per-group range. Row bands compute partial ranges in
+        // parallel; min/max merging is exact, so the merged range is
+        // identical at any thread count.
+        let band = k_total.div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let bands: Vec<(usize, usize)> = (0..k_total)
+            .step_by(band)
+            .map(|s| (s, (s + band).min(k_total)))
+            .collect();
+        let partials: Vec<(Vec<f32>, Vec<f32>)> = bands
+            .into_par_iter()
+            .map(|(start, end)| {
+                let mut lo = vec![f32::INFINITY; group_count];
+                let mut hi = vec![f32::NEG_INFINITY; group_count];
+                for k in start..end {
+                    for n in 0..n_total {
+                        let g = self.group.group_of(k, n, n_total);
+                        let w = weights.get(k, n);
+                        lo[g] = lo[g].min(w);
+                        hi[g] = hi[g].max(w);
+                    }
+                }
+                (lo, hi)
+            })
+            .collect();
         let mut lo = vec![f32::INFINITY; group_count];
         let mut hi = vec![f32::NEG_INFINITY; group_count];
-        for k in 0..k_total {
-            for n in 0..n_total {
-                let g = self.group.group_of(k, n, n_total);
-                let w = weights.get(k, n);
-                lo[g] = lo[g].min(w);
-                hi[g] = hi[g].max(w);
+        for (plo, phi) in &partials {
+            for g in 0..group_count {
+                lo[g] = lo[g].min(plo[g]);
+                hi[g] = hi[g].max(phi[g]);
             }
         }
         let (scales, zero_points): (Vec<f32>, Vec<u8>) = match self.scheme {
@@ -133,15 +163,21 @@ impl RtnQuantizer {
         };
 
         // Pass 2: round-to-nearest codes (stored signed; the hardware
-        // consumes `signed + bias` as the unsigned biased code).
+        // consumes `signed + bias` as the unsigned biased code). Every
+        // code depends only on its own weight, so rows fan out freely.
         let mut codes = vec![0i8; k_total * n_total];
-        for k in 0..k_total {
-            for n in 0..n_total {
-                let g = self.group.group_of(k, n, n_total);
-                let q = (weights.get(k, n) / scales[g]).round()
-                    + (zero_points[g] as i32 - bias) as f32;
-                codes[k * n_total + n] = q.clamp(q_min, q_pos) as i8;
-            }
+        if n_total > 0 {
+            codes
+                .par_chunks_mut(n_total)
+                .enumerate()
+                .for_each(|(k, row)| {
+                    for (n, c) in row.iter_mut().enumerate() {
+                        let g = self.group.group_of(k, n, n_total);
+                        let q = (weights.get(k, n) / scales[g]).round()
+                            + (zero_points[g] as i32 - bias) as f32;
+                        *c = q.clamp(q_min, q_pos) as i8;
+                    }
+                });
         }
 
         QuantizedMatrix {
@@ -189,15 +225,31 @@ impl QuantizedMatrix {
         zero_points: Vec<u8>,
     ) -> Self {
         assert_eq!(codes.len(), k * n, "codes length mismatch");
-        assert_eq!(scales.len(), group.group_count(k, n), "scales length mismatch");
-        assert_eq!(zero_points.len(), scales.len(), "zero points length mismatch");
+        assert_eq!(
+            scales.len(),
+            group.group_count(k, n),
+            "scales length mismatch"
+        );
+        assert_eq!(
+            zero_points.len(),
+            scales.len(),
+            "zero points length mismatch"
+        );
         assert!(
             codes
                 .iter()
                 .all(|&c| c >= precision.min_value() && c <= precision.max_value()),
             "code out of range for {precision}"
         );
-        QuantizedMatrix { precision, group, k, n, codes, scales, zero_points }
+        QuantizedMatrix {
+            precision,
+            group,
+            k,
+            n,
+            codes,
+            scales,
+            zero_points,
+        }
     }
 
     /// The weight precision.
@@ -388,9 +440,11 @@ mod tests {
 
     #[test]
     fn symmetric_zero_points_equal_bias() {
-        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&ramp(64, 8));
+        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+            .quantize(&ramp(64, 8));
         assert!(q.zero_points().iter().all(|&z| z == 8));
-        let q2 = RtnQuantizer::new(WeightPrecision::Int2, GroupShape::along_k(32)).quantize(&ramp(64, 8));
+        let q2 = RtnQuantizer::new(WeightPrecision::Int2, GroupShape::along_k(32))
+            .quantize(&ramp(64, 8));
         assert!(q2.zero_points().iter().all(|&z| z == 2));
     }
 

@@ -65,12 +65,18 @@ pub struct SynthGenerator {
 impl SynthGenerator {
     /// Creates a generator with default transformer statistics.
     pub fn new(seed: u64) -> Self {
-        SynthGenerator { rng: StdRng::seed_from_u64(seed), stats: WeightStats::default() }
+        SynthGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            stats: WeightStats::default(),
+        }
     }
 
     /// Creates a generator with custom weight statistics.
     pub fn with_stats(seed: u64, stats: WeightStats) -> Self {
-        SynthGenerator { rng: StdRng::seed_from_u64(seed), stats }
+        SynthGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            stats,
+        }
     }
 
     /// Standard normal via Box–Muller.
@@ -140,7 +146,11 @@ mod tests {
         let w = SynthGenerator::new(7).llm_weights(256, 128);
         let mean: f64 =
             w.as_slice().iter().map(|&v| v as f64).sum::<f64>() / w.as_slice().len() as f64;
-        let std: f64 = (w.as_slice().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+        let std: f64 = (w
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
             / w.as_slice().len() as f64)
             .sqrt();
         assert!(mean.abs() < 0.005, "mean = {mean}");

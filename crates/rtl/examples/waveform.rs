@@ -13,11 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut netlist_probe = pacq_rtl::Netlist::new();
     let a_bus = netlist_probe.input_bus(16);
     let packed_bus = netlist_probe.input_bus(16);
-    let outs = pacq_rtl::parallel_mul::parallel_fp_int_multiplier(
-        &mut netlist_probe,
-        &a_bus,
-        &packed_bus,
-    );
+    let outs =
+        pacq_rtl::parallel_mul::parallel_fp_int_multiplier(&mut netlist_probe, &a_bus, &packed_bus);
 
     let mut vcd = VcdRecorder::new("parallel_fp_int_mul");
     vcd.watch("a", &a_bus);

@@ -56,7 +56,11 @@ pub fn incrementer(n: &mut Netlist, a: &[NodeId], inc: NodeId) -> (Bus, NodeId) 
 /// (1 when `a >= value`).
 pub fn sub_constant(n: &mut Netlist, a: &[NodeId], value: u64) -> (Bus, NodeId) {
     let width = a.len();
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let k = n.constant_bus((!value) & mask, width);
     let one = n.constant(true);
     ripple_adder(n, a, &k, one)
@@ -98,7 +102,9 @@ mod tests {
         let (sum, cout) = ripple_adder(&mut n, &a, &b, zero);
         let mut x: u64 = 0x1234;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let va = x & 0xFFFF;
             let vb = (x >> 16) & 0xFFFF;
             let mut inputs = Vec::new();

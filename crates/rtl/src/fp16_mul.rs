@@ -30,7 +30,12 @@ impl Fp16MulCircuit {
         let a = n.input_bus(16);
         let b = n.input_bus(16);
         let out = fp16_multiplier(&mut n, &a, &b);
-        Fp16MulCircuit { netlist: n, a, b, out }
+        Fp16MulCircuit {
+            netlist: n,
+            a,
+            b,
+            out,
+        }
     }
 
     /// Multiplies two FP16 bit patterns through the netlist.
@@ -232,7 +237,10 @@ mod tests {
                 let a = a_hi << 8 | (a_hi.wrapping_mul(37) & 0xFF);
                 let got = c.multiply(a, b);
                 let want = behavioral(a, b);
-                assert!(same(got, want), "{a:04x} × {b:04x}: rtl {got:04x} behav {want:04x}");
+                assert!(
+                    same(got, want),
+                    "{a:04x} × {b:04x}: rtl {got:04x} behav {want:04x}"
+                );
             }
         }
     }
@@ -242,12 +250,17 @@ mod tests {
         let mut c = Fp16MulCircuit::build();
         let mut x: u64 = 0xACE1;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (x & 0xFFFF) as u16;
             let b = ((x >> 16) & 0xFFFF) as u16;
             let got = c.multiply(a, b);
             let want = behavioral(a, b);
-            assert!(same(got, want), "{a:04x} × {b:04x}: rtl {got:04x} behav {want:04x}");
+            assert!(
+                same(got, want),
+                "{a:04x} × {b:04x}: rtl {got:04x} behav {want:04x}"
+            );
         }
     }
 
@@ -261,7 +274,10 @@ mod tests {
             for a in 0u16..=u16::MAX {
                 let got = c.multiply(a, b);
                 let want = behavioral(a, b);
-                assert!(same(got, want), "{a:04x} × {b:04x}: rtl {got:04x} behav {want:04x}");
+                assert!(
+                    same(got, want),
+                    "{a:04x} × {b:04x}: rtl {got:04x} behav {want:04x}"
+                );
             }
         }
     }

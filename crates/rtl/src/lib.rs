@@ -85,7 +85,9 @@ mod tests {
 
         let mut x: u64 = 0x5EED;
         let mut step = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x
         };
         for _ in 0..400 {

@@ -19,7 +19,10 @@ use crate::netlist::{Bus, Netlist, NodeId};
 ///
 /// Panics if either operand is empty.
 pub fn shift_add_multiplier(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Bus {
-    assert!(!a.is_empty() && !b.is_empty(), "multiplier operands must be non-empty");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "multiplier operands must be non-empty"
+    );
     let wa = a.len();
     let zero = n.constant(false);
 
@@ -146,7 +149,9 @@ mod tests {
         let p = int11_multiplier(&mut n, &a, &b);
         let mut x: u64 = 0xBEEF;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let va = x & 0x7FF;
             let vb = (x >> 11) & 0x7FF;
             let mut inputs = bits(va, 11);
@@ -162,7 +167,13 @@ mod tests {
         let a = n.input_bus(11);
         let b = n.input_bus(11);
         let p = int11_multiplier(&mut n, &a, &b);
-        for (va, vb) in [(0, 0), (0x7FF, 0x7FF), (0x400, 0x400), (1, 0x7FF), (0x7FF, 1)] {
+        for (va, vb) in [
+            (0, 0),
+            (0x7FF, 0x7FF),
+            (0x400, 0x400),
+            (1, 0x7FF),
+            (0x7FF, 1),
+        ] {
             let mut inputs = bits(va, 11);
             inputs.extend(bits(vb, 11));
             n.simulate(&inputs);

@@ -149,7 +149,9 @@ impl Netlist {
 
     /// Adds a constant bus holding `value` (LSB first).
     pub fn constant_bus(&mut self, value: u64, width: usize) -> Bus {
-        (0..width).map(|i| self.constant((value >> i) & 1 == 1)).collect()
+        (0..width)
+            .map(|i| self.constant((value >> i) & 1 == 1))
+            .collect()
     }
 
     /// NOT gate.
@@ -184,7 +186,10 @@ impl Netlist {
     /// Panics if the bus widths differ.
     pub fn mux_bus(&mut self, sel: NodeId, lo: &[NodeId], hi: &[NodeId]) -> Bus {
         assert_eq!(lo.len(), hi.len(), "mux bus width mismatch");
-        lo.iter().zip(hi).map(|(&l, &h)| self.mux(sel, l, h)).collect()
+        lo.iter()
+            .zip(hi)
+            .map(|(&l, &h)| self.mux(sel, l, h))
+            .collect()
     }
 
     /// Reduction OR over a bus (returns constant 0 for an empty bus).

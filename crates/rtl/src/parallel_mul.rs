@@ -66,7 +66,10 @@ impl ParallelFpIntCircuit {
             inputs.push((packed >> i) & 1 == 1);
         }
         self.netlist.simulate(&inputs);
-        self.outs.iter().map(|o| self.netlist.read_bus(o) as u16).collect()
+        self.outs
+            .iter()
+            .map(|o| self.netlist.read_bus(o) as u16)
+            .collect()
     }
 }
 
@@ -147,54 +150,54 @@ pub fn parallel_fp_int_multiplier_lanes(
     let ea7: Bus = ea.iter().copied().chain([zero, zero]).collect();
     let (base_exp, _) = add_constant(n, &ea7, 10);
 
-    (0..lanes).map(|lane| {
-        let product = &raws[lane];
+    (0..lanes)
+        .map(|lane| {
+            let product = &raws[lane];
 
-        // Per-lane 1-bit normalization.
-        let norm = product[21];
-        let kept: Bus = (0..11)
-            .map(|i| n.mux(norm, product[10 + i], product[11 + i]))
-            .collect();
-        let round_bit = n.mux(norm, product[9], product[10]);
-        let sticky_lo = n.or_reduce(&product[..9]);
-        let sticky_hi = n.or(sticky_lo, product[9]);
-        let sticky = n.mux(norm, sticky_lo, sticky_hi);
+            // Per-lane 1-bit normalization.
+            let norm = product[21];
+            let kept: Bus = (0..11)
+                .map(|i| n.mux(norm, product[10 + i], product[11 + i]))
+                .collect();
+            let round_bit = n.mux(norm, product[9], product[10]);
+            let sticky_lo = n.or_reduce(&product[..9]);
+            let sticky_hi = n.or(sticky_lo, product[9]);
+            let sticky = n.mux(norm, sticky_lo, sticky_hi);
 
-        // Per-lane rounding unit (RNE).
-        let tie_or_up = n.or(sticky, kept[0]);
-        let round_up = n.and(round_bit, tie_or_up);
-        let (mantissa, round_carry) = incrementer(n, &kept, round_up);
+            // Per-lane rounding unit (RNE).
+            let tie_or_up = n.or(sticky, kept[0]);
+            let round_up = n.and(round_bit, tie_or_up);
+            let (mantissa, round_carry) = incrementer(n, &kept, round_up);
 
-        // Exponent: base + norm + round_carry; overflow at >= 31.
-        let (x0, _) = incrementer(n, &base_exp, norm);
-        let (biased, _) = incrementer(n, &x0, round_carry);
-        let low_all = n.and_reduce(&biased[..5]);
-        let hi_or = n.or(biased[5], biased[6]);
-        let overflow = n.or(hi_or, low_all);
+            // Exponent: base + norm + round_carry; overflow at >= 31.
+            let (x0, _) = incrementer(n, &base_exp, norm);
+            let (biased, _) = incrementer(n, &x0, round_carry);
+            let low_all = n.and_reduce(&biased[..5]);
+            let hi_or = n.or(biased[5], biased[6]);
+            let overflow = n.or(hi_or, low_all);
 
-        // Normal result {sign, biased[4:0], mantissa[9:0]}.
-        let mut result: Bus = mantissa[..10].to_vec();
-        result.extend_from_slice(&biased[..5]);
+            // Normal result {sign, biased[4:0], mantissa[9:0]}.
+            let mut result: Bus = mantissa[..10].to_vec();
+            result.extend_from_slice(&biased[..5]);
 
-        // Overflow or inf input → {sign, 0x7C00}; zero input → {sign, 0};
-        // NaN input → canonical NaN.
-        let inf_sel = n.or(overflow, a_inf);
-        let inf_bits = n.constant_bus(0x7C00, 15);
-        let with_inf = n.mux_bus(inf_sel, &result, &inf_bits);
-        let zero_bits = n.constant_bus(0x0000, 15);
-        let mut with_zero = n.mux_bus(a_zero, &with_inf, &zero_bits);
-        with_zero.push(sign);
-        let nan_bits = n.constant_bus(0x7E00, 16);
-        n.mux_bus(a_nan, &with_zero, &nan_bits)
-    }).collect()
+            // Overflow or inf input → {sign, 0x7C00}; zero input → {sign, 0};
+            // NaN input → canonical NaN.
+            let inf_sel = n.or(overflow, a_inf);
+            let inf_bits = n.constant_bus(0x7C00, 15);
+            let with_inf = n.mux_bus(inf_sel, &result, &inf_bits);
+            let zero_bits = n.constant_bus(0x0000, 15);
+            let mut with_zero = n.mux_bus(a_zero, &with_inf, &zero_bits);
+            with_zero.push(sign);
+            let nan_bits = n.constant_bus(0x7E00, 16);
+            n.mux_bus(a_nan, &with_zero, &nan_bits)
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pacq_fp16::{
-        Fp16, PackedWord, ParallelFpIntMultiplier, SubnormalMode, WeightPrecision,
-    };
+    use pacq_fp16::{Fp16, PackedWord, ParallelFpIntMultiplier, SubnormalMode, WeightPrecision};
 
     fn behavioral(a: u16, packed: u16) -> [u16; 4] {
         let unit = ParallelFpIntMultiplier::with_subnormal_mode(
@@ -244,8 +247,10 @@ mod tests {
                 let got = c.multiply(a, packed);
                 let want = behavioral(a, packed);
                 for l in 0..4 {
-                    assert!(same(got[l], want[l]),
-                        "A={a:04x} packed={packed:04x} lane {l}");
+                    assert!(
+                        same(got[l], want[l]),
+                        "A={a:04x} packed={packed:04x} lane {l}"
+                    );
                 }
             }
         }
@@ -318,8 +323,8 @@ mod tests {
         // multipliers (the whole point of the reuse story).
         let base = crate::Fp16MulCircuit::build();
         let par = ParallelFpIntCircuit::build();
-        let ratio = par.netlist.gate_counts().total() as f64
-            / base.netlist.gate_counts().total() as f64;
+        let ratio =
+            par.netlist.gate_counts().total() as f64 / base.netlist.gate_counts().total() as f64;
         assert!(ratio < 2.5, "parallel/baseline gates = {ratio}");
     }
 }

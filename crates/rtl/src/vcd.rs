@@ -52,7 +52,11 @@ pub struct VcdRecorder {
 impl VcdRecorder {
     /// Creates a recorder for a module scope name.
     pub fn new(module: impl Into<String>) -> Self {
-        VcdRecorder { module: module.into(), signals: Vec::new(), steps: 0 }
+        VcdRecorder {
+            module: module.into(),
+            signals: Vec::new(),
+            steps: 0,
+        }
     }
 
     /// Registers a bus to watch.
@@ -99,7 +103,13 @@ impl VcdRecorder {
         let _ = writeln!(out, "$timescale 1ns $end");
         let _ = writeln!(out, "$scope module {} $end", self.module);
         for s in &self.signals {
-            let _ = writeln!(out, "$var wire {} {} {} $end", s.nodes.len(), s.code, s.name);
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                s.nodes.len(),
+                s.code,
+                s.name
+            );
         }
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");

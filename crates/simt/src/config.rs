@@ -156,7 +156,11 @@ impl GemmShape {
     }
 
     /// The Figure 7 unit workload.
-    pub const M16N16K16: GemmShape = GemmShape { m: 16, n: 16, k: 16 };
+    pub const M16N16K16: GemmShape = GemmShape {
+        m: 16,
+        n: 16,
+        k: 16,
+    };
 
     /// Total multiply-accumulates.
     pub fn macs(&self) -> u64 {
@@ -171,7 +175,7 @@ impl GemmShape {
     /// `true` when every extent is 16-aligned (the engines assume this,
     /// like the paper's workloads).
     pub fn is_tile_aligned(&self) -> bool {
-        self.m % 16 == 0 && self.n % 16 == 0 && self.k % 16 == 0
+        self.m.is_multiple_of(16) && self.n.is_multiple_of(16) && self.k.is_multiple_of(16)
     }
 }
 

@@ -16,8 +16,8 @@
 
 use crate::config::{Architecture, GemmShape, SmConfig, Workload};
 use crate::stats::{GemmStats, GeneralCoreOps, RfTraffic};
-use pacq_quant::GroupShape;
 use pacq_fp16::WeightPrecision;
+use pacq_quant::GroupShape;
 
 /// Octet geometry constants of Figure 3.
 const OCTET_M: u64 = 8;
@@ -58,21 +58,22 @@ pub fn simulate(
     let warp_tiles = shape.warp_tiles();
     let octets = warp_tiles * 4;
 
-    let mut stats = GemmStats::default();
-
     // --- register-file traffic: octet counts × octet instances ---------
-    stats.rf = RfTraffic {
-        a_reads: per_octet.rf.a_reads * octets,
-        b_reads: per_octet.rf.b_reads * octets,
-        c_reads: per_octet.rf.c_reads * octets,
-        c_writes: per_octet.rf.c_writes * octets,
-        a_bits: per_octet.rf.a_bits * octets,
-        b_bits: per_octet.rf.b_bits * octets,
-        c_bits: per_octet.rf.c_bits * octets,
+    let mut stats = GemmStats {
+        rf: RfTraffic {
+            a_reads: per_octet.rf.a_reads * octets,
+            b_reads: per_octet.rf.b_reads * octets,
+            c_reads: per_octet.rf.c_reads * octets,
+            c_writes: per_octet.rf.c_writes * octets,
+            a_bits: per_octet.rf.a_bits * octets,
+            b_bits: per_octet.rf.b_bits * octets,
+            c_bits: per_octet.rf.c_bits * octets,
+        },
+        buffer_fills: per_octet.buffer_fills * octets,
+        buffer_evictions: per_octet.buffer_evictions * octets,
+        fetch_instructions: per_octet.fetch_instructions * octets,
+        ..GemmStats::default()
     };
-    stats.buffer_fills = per_octet.buffer_fills * octets;
-    stats.buffer_evictions = per_octet.buffer_evictions * octets;
-    stats.fetch_instructions = per_octet.fetch_instructions * octets;
 
     // --- memory hierarchy traffic --------------------------------------
     let (m, n, k) = (shape.m as u64, shape.n as u64, shape.k as u64);
@@ -155,8 +156,7 @@ pub fn simulate(
             // Fixup + scaling stream behind the tensor cores (Figure 6);
             // they only lengthen the run if they out-pace the TCs.
             let epilogue_rate = 32.0; // fixups per SM cycle
-            stats.general_cycles =
-                (stats.ops.offset_fixups as f64 / epilogue_rate).ceil() as u64;
+            stats.general_cycles = (stats.ops.offset_fixups as f64 / epilogue_rate).ceil() as u64;
             stats.total_cycles = stats.tc_cycles.max(stats.general_cycles) + EPILOGUE_TAIL;
         }
     }
@@ -374,12 +374,8 @@ fn general_core_ops(
                 offset_fixups: m * n * k_segments,
                 scale_applies: m * n * k_segments,
                 scale_fetches: (m / 16).max(1)
-                    * group.scale_fetches_for_tiled_walk(
-                        shape.k,
-                        shape.n,
-                        precision.lanes(),
-                        4,
-                    ) as u64,
+                    * group.scale_fetches_for_tiled_walk(shape.k, shape.n, precision.lanes(), 4)
+                        as u64,
                 ..Default::default()
             }
         }

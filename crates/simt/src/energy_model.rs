@@ -60,9 +60,9 @@ impl EnergyModel {
     /// The tensor-core unit active on this architecture.
     pub fn tensor_core_unit(arch: Architecture, config: &SmConfig) -> GemmUnit {
         match arch {
-            Architecture::StandardDequant | Architecture::PackedK => {
-                GemmUnit::BaselineDp { width: config.dp_width }
-            }
+            Architecture::StandardDequant | Architecture::PackedK => GemmUnit::BaselineDp {
+                width: config.dp_width,
+            },
             Architecture::Pacq => GemmUnit::ParallelDp {
                 width: config.dp_width,
                 duplication: config.adder_tree_duplication,
@@ -71,12 +71,7 @@ impl EnergyModel {
     }
 
     /// Energy of one simulated GEMM.
-    pub fn energy(
-        &self,
-        arch: Architecture,
-        config: &SmConfig,
-        stats: &GemmStats,
-    ) -> EnergyReport {
+    pub fn energy(&self, arch: Architecture, config: &SmConfig, stats: &GemmStats) -> EnergyReport {
         // Tensor cores: the per-warp DP units are busy `tc_cycles`, and
         // the SM keeps `concurrent_warps × dp_units_per_warp` units
         // occupied.
@@ -107,7 +102,14 @@ impl EnergyModel {
             + ops.scale_fetches as f64 * 0.2; // scalar fetch + broadcast
         let general_pj = general_units * ENERGY_UNIT_PJ;
 
-        EnergyReport { tc_pj, rf_pj, l1_pj, dram_pj, buffer_pj, general_pj }
+        EnergyReport {
+            tc_pj,
+            rf_pj,
+            l1_pj,
+            dram_pj,
+            buffer_pj,
+            general_pj,
+        }
     }
 
     /// Energy-delay product in pJ·s.
@@ -126,7 +128,12 @@ mod tests {
 
     fn edp_of(arch: Architecture, shape: GemmShape, precision: WeightPrecision) -> f64 {
         let cfg = SmConfig::volta_like();
-        let stats = simulate(arch, Workload::new(shape, precision), &cfg, GroupShape::G128);
+        let stats = simulate(
+            arch,
+            Workload::new(shape, precision),
+            &cfg,
+            GroupShape::G128,
+        );
         let model = EnergyModel::new(&cfg);
         let report = model.energy(arch, &cfg, &stats);
         model.edp(&report, &stats)

@@ -6,11 +6,22 @@
 //! PacQ's biased arithmetic can be compared against the dequantization
 //! baseline (see the numerics finding in EXPERIMENTS.md).
 
+//! # Parallel tiling
+//!
+//! All three flows (and the [`reference`] oracle) walk the output in
+//! cache-blocked `(m, n)` tiles: bands of up to [`ROW_TILE`] rows are
+//! fanned out across the rayon pool with `par_chunks_mut`, and inside a
+//! band the columns are visited in [`COL_TILE`] blocks so the per-column
+//! gather buffers stay hot while every row of the band reuses them.
+//! Only whole output rows are distributed and the k-accumulation order
+//! per element is untouched, so the result is bit-identical at any
+//! thread count (`jobs = 1` and `jobs = N` agree to the last bit; see
+//! the equivalence suite in `tests/parallel_equivalence.rs`).
+
 use crate::config::Architecture;
-use pacq_fp16::{
-    BaselineDpUnit, Fp16, NumericsMode, PackedWord, ParallelDpUnit,
-};
+use pacq_fp16::{BaselineDpUnit, Fp16, NumericsMode, PackedWord, ParallelDpUnit, MAX_LANES};
 use pacq_quant::{MatrixF16, MatrixF32, PackDim, PackedMatrix};
+use rayon::prelude::*;
 
 /// Executes a GEMM functionally on the given architecture.
 ///
@@ -63,6 +74,19 @@ pub fn reference(a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
 
 const DP_WIDTH: usize = 4;
 
+/// Upper bound on rows per parallel band (the m-extent of a tile).
+const ROW_TILE: usize = 8;
+
+/// Columns per tile pass inside a band (the n-extent of a tile).
+const COL_TILE: usize = 64;
+
+/// Rows per band: small enough to spread `m` over the pool, capped at
+/// [`ROW_TILE`] so a band's activation rows stay cache-resident.
+fn band_rows(m: usize) -> usize {
+    m.div_ceil(rayon::current_num_threads().max(1))
+        .clamp(1, ROW_TILE)
+}
+
 /// StandardDequant: weights dequantized to FP16 storage, then a plain
 /// FP16 GEMM on the baseline DP units with f32 accumulation.
 fn run_standard(a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
@@ -72,20 +96,36 @@ fn run_standard(a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
     assert_eq!(k % DP_WIDTH, 0, "k must be a multiple of the DP width");
 
     let mut out = MatrixF32::zeros(m, n);
-    let mut bcol = vec![Fp16::ZERO; DP_WIDTH];
-    for i in 0..m {
-        let arow = a.row(i);
-        for j in 0..n {
-            let mut acc = 0f32;
-            for k0 in (0..k).step_by(DP_WIDTH) {
-                for (t, b) in bcol.iter_mut().enumerate() {
-                    *b = deq.get(k0 + t, j);
-                }
-                acc = dp.dot_acc(acc, &arow[k0..k0 + DP_WIDTH], &bcol);
-            }
-            out.set(i, j, acc);
-        }
+    if m == 0 || n == 0 {
+        return out;
     }
+    let band = band_rows(m);
+    out.as_mut_slice()
+        .par_chunks_mut(n * band)
+        .enumerate()
+        .for_each(|(c, chunk)| {
+            let i0 = c * band;
+            let rows = chunk.len() / n;
+            // Per-tile scratch: one dequantized B column, gathered once and
+            // then streamed by every row of the band.
+            let mut bcol = vec![Fp16::ZERO; k];
+            for j0 in (0..n).step_by(COL_TILE) {
+                for j in j0..(j0 + COL_TILE).min(n) {
+                    for (t, b) in bcol.iter_mut().enumerate() {
+                        *b = deq.get(t, j);
+                    }
+                    for r in 0..rows {
+                        let arow = a.row(i0 + r);
+                        let mut acc = 0f32;
+                        for k0 in (0..k).step_by(DP_WIDTH) {
+                            acc =
+                                dp.dot_acc(acc, &arow[k0..k0 + DP_WIDTH], &bcol[k0..k0 + DP_WIDTH]);
+                        }
+                        chunk[r * n + j] = acc;
+                    }
+                }
+            }
+        });
     out
 }
 
@@ -96,33 +136,61 @@ fn run_packed_k(a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
     let dp = BaselineDpUnit::new(DP_WIDTH);
     let (m, n, k) = (a.rows(), packed.n(), packed.k());
     let seg = packed.group().k_size.min(k);
-    assert_eq!(seg % DP_WIDTH, 0, "group k-extent must align to the DP width");
+    assert_eq!(
+        seg % DP_WIDTH,
+        0,
+        "group k-extent must align to the DP width"
+    );
     assert_eq!(k % seg, 0, "k must be a multiple of the group k-extent");
+    let bias = packed.precision().bias();
 
     let mut out = MatrixF32::zeros(m, n);
-    let mut bcol = vec![Fp16::ZERO; DP_WIDTH];
-    for i in 0..m {
-        let arow = a.row(i);
-        for j in 0..n {
-            let mut acc = 0f64;
-            for s0 in (0..k).step_by(seg) {
-                let mut seg_acc = 0f32;
-                let z = packed.zero_point(s0, j) as i32;
-                let bias = packed.precision().bias();
-                for k0 in (s0..s0 + seg).step_by(DP_WIDTH) {
-                    for (t, b) in bcol.iter_mut().enumerate() {
-                        // Inline conversion: the zero-point-corrected
-                        // small integer (q − z) is exact in FP16.
-                        let q = packed.code(k0 + t, j) as i32 + bias;
-                        *b = Fp16::from_f32((q - z) as f32);
-                    }
-                    seg_acc = dp.dot_acc(seg_acc, &arow[k0..k0 + DP_WIDTH], &bcol);
-                }
-                acc += seg_acc as f64 * packed.scale(s0, j) as f64;
-            }
-            out.set(i, j, acc as f32);
-        }
+    if m == 0 || n == 0 {
+        return out;
     }
+    let band = band_rows(m);
+    out.as_mut_slice()
+        .par_chunks_mut(n * band)
+        .enumerate()
+        .for_each(|(c, chunk)| {
+            let i0 = c * band;
+            let rows = chunk.len() / n;
+            // Per-tile scratch: the zero-point-corrected column (exact in
+            // FP16) and its per-segment scales, gathered once per column and
+            // reused by every row of the band.
+            let mut bcol = vec![Fp16::ZERO; k];
+            let mut scales = vec![0f32; k / seg];
+            for j0 in (0..n).step_by(COL_TILE) {
+                for j in j0..(j0 + COL_TILE).min(n) {
+                    for (s, s0) in (0..k).step_by(seg).enumerate() {
+                        let z = packed.zero_point(s0, j) as i32;
+                        scales[s] = packed.scale(s0, j);
+                        for (t, b) in bcol[s0..s0 + seg].iter_mut().enumerate() {
+                            // Inline conversion: the zero-point-corrected
+                            // small integer (q − z) is exact in FP16.
+                            let q = packed.code(s0 + t, j) as i32 + bias;
+                            *b = Fp16::from_f32((q - z) as f32);
+                        }
+                    }
+                    for r in 0..rows {
+                        let arow = a.row(i0 + r);
+                        let mut acc = 0f64;
+                        for (s, s0) in (0..k).step_by(seg).enumerate() {
+                            let mut seg_acc = 0f32;
+                            for k0 in (s0..s0 + seg).step_by(DP_WIDTH) {
+                                seg_acc = dp.dot_acc(
+                                    seg_acc,
+                                    &arow[k0..k0 + DP_WIDTH],
+                                    &bcol[k0..k0 + DP_WIDTH],
+                                );
+                            }
+                            acc += seg_acc as f64 * scales[s] as f64;
+                        }
+                        chunk[r * n + j] = acc as f32;
+                    }
+                }
+            }
+        });
     out
 }
 
@@ -136,39 +204,62 @@ fn run_pacq(a: &MatrixF16, packed: &PackedMatrix, numerics: NumericsMode) -> Mat
     let dp = ParallelDpUnit::new(DP_WIDTH, 2, precision).with_numerics(numerics);
     let (m, n, k) = (a.rows(), packed.n(), packed.k());
     let seg = packed.group().k_size.min(k);
-    assert_eq!(seg % DP_WIDTH, 0, "group k-extent must align to the DP width");
+    assert_eq!(
+        seg % DP_WIDTH,
+        0,
+        "group k-extent must align to the DP width"
+    );
     assert_eq!(k % seg, 0, "k must be a multiple of the group k-extent");
+    let bias = precision.bias();
+    let offset = precision.fp_offset();
 
     let mut out = MatrixF32::zeros(m, n);
-    let mut words = vec![PackedWord::default(); seg];
-    let mut scales = vec![0f32; lanes];
-    for i in 0..m {
-        let arow = a.row(i);
-        for wc in 0..packed.word_cols() {
-            let n0 = wc * lanes;
-            for s0 in (0..k).step_by(seg) {
-                for (t, w) in words.iter_mut().enumerate() {
-                    *w = packed.word(s0 + t, wc);
-                }
-                for (lane, s) in scales.iter_mut().enumerate() {
-                    *s = packed.scale(s0, n0 + lane);
-                }
-                let res = dp.dot_packed(&arow[s0..s0 + seg], &words);
-                // Eq. (1) recovery gives Σ A·(q − bias); asymmetric zero
-                // points shift by (bias − z)·Σ A — absorbed by the same
-                // Σ A accumulator at zero extra hardware.
-                let bias = precision.bias();
-                let recovered = res.recover();
-                for (lane, r) in recovered.into_iter().enumerate() {
-                    let z = packed.zero_point(s0, n0 + lane) as i32;
-                    let v = (r as f64 + (bias - z) as f64 * res.sum_a) as f32
-                        * scales[lane];
-                    let cur = out.get(i, n0 + lane);
-                    out.set(i, n0 + lane, cur + v);
+    if m == 0 || n == 0 {
+        return out;
+    }
+    let band = band_rows(m);
+    out.as_mut_slice()
+        .par_chunks_mut(n * band)
+        .enumerate()
+        .for_each(|(c, chunk)| {
+            let i0 = c * band;
+            let rows = chunk.len() / n;
+            // Per-tile scratch: one word column's segment of packed words,
+            // scales and zero points, gathered once and reused by every row
+            // of the band; `lane_sums` is the allocation-free result buffer
+            // of the value-only DP entry point.
+            let mut words = vec![PackedWord::default(); seg];
+            let mut scales = vec![0f32; lanes];
+            let mut zps = vec![0i32; lanes];
+            let mut lane_sums = [0f32; MAX_LANES];
+            for wc in 0..packed.word_cols() {
+                let n0 = wc * lanes;
+                for s0 in (0..k).step_by(seg) {
+                    for (t, w) in words.iter_mut().enumerate() {
+                        *w = packed.word(s0 + t, wc);
+                    }
+                    for lane in 0..lanes {
+                        scales[lane] = packed.scale(s0, n0 + lane);
+                        zps[lane] = packed.zero_point(s0, n0 + lane) as i32;
+                    }
+                    for r in 0..rows {
+                        let arow = a.row(i0 + r);
+                        let sum_a = dp.dot_packed_into(&arow[s0..s0 + seg], &words, &mut lane_sums);
+                        // Eq. (1) recovery gives Σ A·(q − bias); asymmetric
+                        // zero points shift by (bias − z)·Σ A — absorbed by
+                        // the same Σ A accumulator at zero extra hardware.
+                        // The f32 cast between the two steps mirrors
+                        // `PackedDotResult::recover` bit for bit.
+                        for lane in 0..lanes {
+                            let rec = (lane_sums[lane] as f64 - offset as f64 * sum_a) as f32;
+                            let v = (rec as f64 + (bias - zps[lane]) as f64 * sum_a) as f32
+                                * scales[lane];
+                            chunk[r * n + n0 + lane] += v;
+                        }
+                    }
                 }
             }
-        }
-    }
+        });
     out
 }
 
@@ -202,15 +293,34 @@ mod tests {
 
     #[test]
     fn standard_flow_matches_reference() {
-        let (a, p) = setup(4, 16, 64, WeightPrecision::Int4, GroupShape::along_k(32), PackDim::N);
-        let got = execute(Architecture::StandardDequant, &a, &p, NumericsMode::PaperRounded);
+        let (a, p) = setup(
+            4,
+            16,
+            64,
+            WeightPrecision::Int4,
+            GroupShape::along_k(32),
+            PackDim::N,
+        );
+        let got = execute(
+            Architecture::StandardDequant,
+            &a,
+            &p,
+            NumericsMode::PaperRounded,
+        );
         let want = reference(&a, &p);
         assert!(rel_err(&got, &want) < 2e-3);
     }
 
     #[test]
     fn packed_k_flow_matches_reference() {
-        let (a, p) = setup(4, 16, 64, WeightPrecision::Int4, GroupShape::along_k(32), PackDim::K);
+        let (a, p) = setup(
+            4,
+            16,
+            64,
+            WeightPrecision::Int4,
+            GroupShape::along_k(32),
+            PackDim::K,
+        );
         let got = execute(Architecture::PackedK, &a, &p, NumericsMode::PaperRounded);
         let want = reference(&a, &p);
         assert!(rel_err(&got, &want) < 2e-3);
@@ -231,7 +341,14 @@ mod tests {
     fn pacq_paper_rounded_shows_measurable_error() {
         // The reproduction's numerics finding: rounding the biased
         // products to FP16 leaves visible error after Eq. (1) recovery.
-        let (a, p) = setup(4, 16, 64, WeightPrecision::Int4, GroupShape::along_k(32), PackDim::N);
+        let (a, p) = setup(
+            4,
+            16,
+            64,
+            WeightPrecision::Int4,
+            GroupShape::along_k(32),
+            PackDim::N,
+        );
         let rounded = execute(Architecture::Pacq, &a, &p, NumericsMode::PaperRounded);
         let want = reference(&a, &p);
         let e = rel_err(&rounded, &want);
@@ -249,8 +366,8 @@ mod tests {
         let w = pacq_quant::MatrixF32::from_fn(64, 16, |k, n| {
             0.2 + ((k * 5 + n * 3) % 17) as f32 / 40.0
         });
-        let q = RtnQuantizer::asymmetric(WeightPrecision::Int4, GroupShape::along_k(32))
-            .quantize(&w);
+        let q =
+            RtnQuantizer::asymmetric(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w);
         let p = PackedMatrix::pack(&q, PackDim::N).expect("packs");
         let got = execute(Architecture::Pacq, &a, &p, NumericsMode::Wide);
         let want = reference(&a, &p);
@@ -265,7 +382,14 @@ mod tests {
 
     #[test]
     fn pacq_2d_groups_execute_correctly() {
-        let (a, p) = setup(4, 16, 64, WeightPrecision::Int4, GroupShape::new(32, 4), PackDim::N);
+        let (a, p) = setup(
+            4,
+            16,
+            64,
+            WeightPrecision::Int4,
+            GroupShape::new(32, 4),
+            PackDim::N,
+        );
         let got = execute(Architecture::Pacq, &a, &p, NumericsMode::Wide);
         let want = reference(&a, &p);
         assert!(rel_err(&got, &want) < 2e-3);
@@ -274,14 +398,28 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires P(B_x)_n")]
     fn pacq_rejects_k_packing() {
-        let (a, p) = setup(4, 16, 64, WeightPrecision::Int4, GroupShape::along_k(32), PackDim::K);
+        let (a, p) = setup(
+            4,
+            16,
+            64,
+            WeightPrecision::Int4,
+            GroupShape::along_k(32),
+            PackDim::K,
+        );
         execute(Architecture::Pacq, &a, &p, NumericsMode::Wide);
     }
 
     #[test]
     #[should_panic(expected = "requires P(B_x)_k")]
     fn packed_k_rejects_n_packing() {
-        let (a, p) = setup(4, 16, 64, WeightPrecision::Int4, GroupShape::along_k(32), PackDim::N);
+        let (a, p) = setup(
+            4,
+            16,
+            64,
+            WeightPrecision::Int4,
+            GroupShape::along_k(32),
+            PackDim::N,
+        );
         execute(Architecture::PackedK, &a, &p, NumericsMode::Wide);
     }
 }

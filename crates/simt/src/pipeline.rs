@@ -12,7 +12,6 @@ use crate::config::{Architecture, SmConfig};
 use crate::stats::RfTraffic;
 use pacq_fp16::WeightPrecision;
 
-
 /// What one fetch instruction moves from the register file into an
 /// operand buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,7 +88,10 @@ impl OctetPipeline {
     /// baseline flows are compute-bound, matching the paper's speedups —
     /// see DESIGN.md).
     pub fn new() -> Self {
-        OctetPipeline { fetch_ports: 3, pipeline_tail: 3 }
+        OctetPipeline {
+            fetch_ports: 3,
+            pipeline_tail: 3,
+        }
     }
 
     /// Overrides the fetch-port count (for stall studies).
@@ -245,7 +247,7 @@ pub fn octet_schedule(
                             }
                         }
                         if _m == 0 {
-                            let words = 4 * w / lanes.max(1).min(16);
+                            let words = 4 * w / lanes.clamp(1, 16);
                             fetches.push(FetchKind::BTile {
                                 reads: words.max(1),
                                 bits: words.max(1) * 16,
@@ -273,7 +275,10 @@ pub fn octet_schedule(
                         let fetches = vec![
                             FetchKind::ATile { elements: 2 * w },
                             FetchKind::ATile { elements: 2 * w },
-                            FetchKind::BTile { reads: w, bits: w * 16 },
+                            FetchKind::BTile {
+                                reads: w,
+                                bits: w * 16,
+                            },
                         ];
                         steps.push(ScheduleStep {
                             fetches,
@@ -429,7 +434,12 @@ mod tests {
                 assert_eq!(t.rf.a_reads * 4, a.rf.a_reads, "{arch:?} DP-{width}: A");
                 assert_eq!(t.rf.b_reads * 4, a.rf.b_reads, "{arch:?} DP-{width}: B");
                 let diff = t.cycles.abs_diff(a.tc_cycles);
-                assert!(diff <= 8, "{arch:?} DP-{width}: {} vs {}", t.cycles, a.tc_cycles);
+                assert!(
+                    diff <= 8,
+                    "{arch:?} DP-{width}: {} vs {}",
+                    t.cycles,
+                    a.tc_cycles
+                );
             }
         }
     }
@@ -438,9 +448,15 @@ mod tests {
     #[test]
     fn only_packed_k_evicts() {
         for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
-            assert_eq!(event_trace(Architecture::StandardDequant, precision).buffer_evictions, 0);
+            assert_eq!(
+                event_trace(Architecture::StandardDequant, precision).buffer_evictions,
+                0
+            );
             assert!(event_trace(Architecture::PackedK, precision).buffer_evictions > 0);
-            assert_eq!(event_trace(Architecture::Pacq, precision).buffer_evictions, 0);
+            assert_eq!(
+                event_trace(Architecture::Pacq, precision).buffer_evictions,
+                0
+            );
         }
     }
 }

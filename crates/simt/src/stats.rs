@@ -218,7 +218,10 @@ mod tests {
 
     #[test]
     fn latency_uses_clock() {
-        let s = GemmStats { total_cycles: 400, ..Default::default() };
+        let s = GemmStats {
+            total_cycles: 400,
+            ..Default::default()
+        };
         assert!((s.latency_s(400.0e6) - 1e-6).abs() < 1e-18);
     }
 }

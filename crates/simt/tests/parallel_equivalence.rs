@@ -1,0 +1,213 @@
+//! Bit-identity of every parallelized path under different job counts.
+//!
+//! The parallel execution layer promises that fanning work out over the
+//! rayon pool never changes a single output bit (DESIGN.md §9): only
+//! whole output rows / columns / sweep points are distributed, and the
+//! per-element accumulation order is untouched. This suite pins that
+//! contract for the three functional GEMM flows, the f64 oracle, and
+//! the RTN / GPTQ / AWQ quantizers by running each computation at
+//! `jobs = 1` and `jobs = 4` and comparing raw f32 bit patterns.
+//!
+//! The job count is process-global, so every test serializes on a
+//! shared lock before touching the pool and restores the host default
+//! afterwards.
+
+use pacq_fp16::{NumericsMode, WeightPrecision};
+use pacq_quant::{
+    awq::AwqScaler, gptq::GptqQuantizer, synth::SynthGenerator, GroupShape, MatrixF32, PackDim,
+    PackedMatrix, QuantizedMatrix, RtnQuantizer,
+};
+use pacq_simt::{execute, reference, Architecture};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes pool reconfiguration across the test binary's threads.
+fn pool_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Restores the host-default pool even if a comparison panics.
+struct PoolGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        set_jobs(0);
+    }
+}
+
+fn set_jobs(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("the shim pool reconfigures freely");
+}
+
+/// Runs `f` at `jobs = 1` and `jobs = 4` and returns both results.
+fn at_1_and_4<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = PoolGuard { _lock: pool_lock() };
+    set_jobs(1);
+    let serial = f();
+    set_jobs(4);
+    let parallel = f();
+    (serial, parallel)
+}
+
+/// Asserts two f32 matrices agree to the last bit.
+fn assert_bits_eq(serial: &MatrixF32, parallel: &MatrixF32, what: &str) {
+    assert_eq!(serial.rows(), parallel.rows(), "{what}: row mismatch");
+    assert_eq!(serial.cols(), parallel.cols(), "{what}: col mismatch");
+    for r in 0..serial.rows() {
+        for c in 0..serial.cols() {
+            let (s, p) = (serial.get(r, c), parallel.get(r, c));
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "{what}: ({r},{c}) diverges: jobs=1 {s} vs jobs=4 {p}"
+            );
+        }
+    }
+}
+
+/// Asserts two quantization artifacts agree exactly (codes, raw scale
+/// bits, zero points).
+fn assert_artifacts_eq(serial: &QuantizedMatrix, parallel: &QuantizedMatrix, what: &str) {
+    assert_eq!(serial.codes(), parallel.codes(), "{what}: codes diverge");
+    let sb: Vec<u32> = serial.scales().iter().map(|s| s.to_bits()).collect();
+    let pb: Vec<u32> = parallel.scales().iter().map(|s| s.to_bits()).collect();
+    assert_eq!(sb, pb, "{what}: scale bits diverge");
+    assert_eq!(
+        serial.zero_points(),
+        parallel.zero_points(),
+        "{what}: zero points diverge"
+    );
+}
+
+// m = 5 deliberately avoids the band size dividing the row count, so
+// the last parallel band is ragged.
+const M: usize = 5;
+const N: usize = 16;
+const K: usize = 64;
+
+fn pack_for(arch: Architecture) -> PackDim {
+    match arch {
+        Architecture::PackedK => PackDim::K,
+        _ => PackDim::N,
+    }
+}
+
+#[test]
+fn execute_is_bit_identical_across_job_counts() {
+    for arch in [
+        Architecture::StandardDequant,
+        Architecture::PackedK,
+        Architecture::Pacq,
+    ] {
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            for numerics in [NumericsMode::PaperRounded, NumericsMode::Wide] {
+                let mut g = SynthGenerator::new(77);
+                let a = g.llm_activations(M, K).to_f16();
+                let w = g.llm_weights(K, N);
+                let q = RtnQuantizer::new(precision, GroupShape::along_k(32)).quantize(&w);
+                let p = PackedMatrix::pack(&q, pack_for(arch)).expect("packs");
+                let (serial, parallel) = at_1_and_4(|| execute(arch, &a, &p, numerics));
+                assert_bits_eq(
+                    &serial,
+                    &parallel,
+                    &format!("execute({arch:?}, {precision}, {numerics:?})"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reference_oracle_is_bit_identical_across_job_counts() {
+    let mut g = SynthGenerator::new(78);
+    let a = g.llm_activations(M, K).to_f16();
+    let w = g.llm_weights(K, N);
+    let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w);
+    let p = PackedMatrix::pack(&q, PackDim::N).expect("packs");
+    let (serial, parallel) = at_1_and_4(|| reference(&a, &p));
+    assert_bits_eq(&serial, &parallel, "reference");
+}
+
+#[test]
+fn matmul_is_bit_identical_across_job_counts() {
+    let mut g = SynthGenerator::new(79);
+    let lhs = g.llm_activations(M, K);
+    let rhs = g.llm_weights(K, N);
+    let (serial, parallel) = at_1_and_4(|| lhs.matmul(&rhs));
+    assert_bits_eq(&serial, &parallel, "matmul");
+}
+
+#[test]
+fn rtn_artifacts_are_bit_identical_across_job_counts() {
+    let mut g = SynthGenerator::new(80);
+    let w = g.llm_weights(K, N);
+    for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+        for (name, quantizer) in [
+            (
+                "symmetric",
+                RtnQuantizer::new(precision, GroupShape::along_k(32)),
+            ),
+            (
+                "asymmetric",
+                RtnQuantizer::asymmetric(precision, GroupShape::along_k(32)),
+            ),
+        ] {
+            let (serial, parallel) = at_1_and_4(|| quantizer.quantize(&w));
+            assert_artifacts_eq(&serial, &parallel, &format!("rtn/{name}/{precision}"));
+        }
+    }
+}
+
+#[test]
+fn gptq_artifacts_are_bit_identical_across_job_counts() {
+    let mut g = SynthGenerator::new(81);
+    let w = g.llm_weights(K, N);
+    let calibration = g.llm_activations(8, K);
+    let quantizer = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32));
+    let (serial, parallel) = at_1_and_4(|| {
+        quantizer
+            .quantize(&w, &calibration)
+            .expect("well-conditioned synthetic Hessian")
+    });
+    assert_artifacts_eq(&serial, &parallel, "gptq");
+}
+
+#[test]
+fn awq_search_is_bit_identical_across_job_counts() {
+    let mut g = SynthGenerator::new(82);
+    let w = g.llm_weights(K, N);
+    let activations = g.llm_activations(8, K);
+    let scaler = AwqScaler::new();
+    let (serial, parallel) = at_1_and_4(|| {
+        scaler.search(
+            &w,
+            &activations,
+            WeightPrecision::Int4,
+            GroupShape::along_k(32),
+        )
+    });
+    assert_eq!(
+        serial.alpha.to_bits(),
+        parallel.alpha.to_bits(),
+        "awq: chosen α diverges"
+    );
+    assert_eq!(
+        serial.output_rel_err.to_bits(),
+        parallel.output_rel_err.to_bits(),
+        "awq: output error diverges"
+    );
+    let sb: Vec<u32> = serial.channel_scales.iter().map(|s| s.to_bits()).collect();
+    let pb: Vec<u32> = parallel
+        .channel_scales
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+    assert_eq!(sb, pb, "awq: channel scale bits diverge");
+    assert_artifacts_eq(&serial.quantized, &parallel.quantized, "awq/quantized");
+}

@@ -14,7 +14,10 @@ fn arb_step() -> impl Strategy<Value = ScheduleStep> {
         prop::collection::vec(
             prop_oneof![
                 (1u64..16).prop_map(|e| FetchKind::ATile { elements: e }),
-                (1u64..8).prop_map(|r| FetchKind::BTile { reads: r, bits: r * 16 }),
+                (1u64..8).prop_map(|r| FetchKind::BTile {
+                    reads: r,
+                    bits: r * 16
+                }),
                 (1u64..16).prop_map(|e| FetchKind::CWrite { elements: e }),
             ],
             0..6,

@@ -44,8 +44,14 @@ fn main() {
         let mut cfg = SmConfig::volta_like();
         cfg.adder_tree_duplication = dup;
         let runner = GemmRunner::new().with_config(cfg);
-        let r = runner.analyze(Architecture::Pacq, Workload::new(shape, WeightPrecision::Int4));
-        let unit = pacq_energy::GemmUnit::ParallelDp { width: 4, duplication: dup };
+        let r = runner.analyze(
+            Architecture::Pacq,
+            Workload::new(shape, WeightPrecision::Int4),
+        );
+        let unit = pacq_energy::GemmUnit::ParallelDp {
+            width: 4,
+            duplication: dup,
+        };
         let tpw = 1.0 / (r.stats.total_cycles as f64 * unit.power_units());
         let base = *base_tpw.get_or_insert(tpw);
         println!(
@@ -58,7 +64,10 @@ fn main() {
     }
 
     println!("\n== DP unit width (PacQ vs baseline, INT4, {shape}) ==");
-    println!("{:<10} {:>14} {:>14} {:>10}", "width", "baseline cyc", "PacQ cyc", "ratio");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "width", "baseline cyc", "PacQ cyc", "ratio"
+    );
     for width in [4usize, 8, 16] {
         let mut cfg = SmConfig::volta_like();
         cfg.dp_width = width;
@@ -76,7 +85,10 @@ fn main() {
     }
 
     println!("\n== quantization group geometry (PacQ INT4, scale fetches) ==");
-    println!("{:<12} {:>16} {:>18}", "group", "scale fetches", "fixup segments");
+    println!(
+        "{:<12} {:>16} {:>18}",
+        "group", "scale fetches", "fixup segments"
+    );
     for group in [
         GroupShape::G128,
         GroupShape::G32X4,
@@ -84,7 +96,10 @@ fn main() {
         GroupShape::G64X4,
     ] {
         let runner = GemmRunner::new().with_group(group);
-        let r = runner.analyze(Architecture::Pacq, Workload::new(shape, WeightPrecision::Int4));
+        let r = runner.analyze(
+            Architecture::Pacq,
+            Workload::new(shape, WeightPrecision::Int4),
+        );
         println!(
             "{:<12} {:>16} {:>18}",
             group.to_string(),

@@ -8,10 +8,10 @@
 use pacq::{GroupShape, PackDim, PackedMatrix, RtnQuantizer};
 use pacq_fp16::{Fp16, WeightPrecision};
 use pacq_quant::awq::AwqScaler;
+use pacq_quant::evaluate_rtn;
 use pacq_quant::gptq::GptqQuantizer;
 use pacq_quant::lm::TinyLm;
 use pacq_quant::synth::SynthGenerator;
-use pacq_quant::evaluate_rtn;
 
 fn main() {
     let mut generator = SynthGenerator::new(7);
@@ -26,7 +26,12 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>16}",
         "group", "weight MSE", "SQNR (dB)", "output rel err"
     );
-    for group in [GroupShape::G128, GroupShape::G32X4, GroupShape::G256, GroupShape::G64X4] {
+    for group in [
+        GroupShape::G128,
+        GroupShape::G32X4,
+        GroupShape::G256,
+        GroupShape::G64X4,
+    ] {
         let e = evaluate_rtn(&weights, &activations, WeightPrecision::Int4, group);
         println!(
             "{:<10} {:>12.3e} {:>12.2} {:>16.4}",
@@ -59,15 +64,27 @@ fn main() {
         };
         let group = GroupShape::along_k(128);
         let rtn = RtnQuantizer::new(WeightPrecision::Int4, group).quantize(&w);
-        println!("  RTN (symmetric):        {:.5}", out_err(&rtn.dequantize()));
+        println!(
+            "  RTN (symmetric):        {:.5}",
+            out_err(&rtn.dequantize())
+        );
         let asym = RtnQuantizer::asymmetric(WeightPrecision::Int4, group).quantize(&w);
-        println!("  RTN (asymmetric):       {:.5}", out_err(&asym.dequantize()));
+        println!(
+            "  RTN (asymmetric):       {:.5}",
+            out_err(&asym.dequantize())
+        );
         let gptq = GptqQuantizer::new(WeightPrecision::Int4, group)
             .quantize(&w, &acts)
             .expect("factorizes");
-        println!("  GPTQ (Hessian-aware):   {:.5}", out_err(&gptq.dequantize()));
+        println!(
+            "  GPTQ (Hessian-aware):   {:.5}",
+            out_err(&gptq.dequantize())
+        );
         let awq = AwqScaler::new().search(&w, &acts, WeightPrecision::Int4, group);
-        println!("  AWQ (activation-aware): {:.5} (alpha = {})", awq.output_rel_err, awq.alpha);
+        println!(
+            "  AWQ (activation-aware): {:.5} (alpha = {})",
+            awq.output_rel_err, awq.alpha
+        );
     }
 
     // ------------------------------------------------------------------
@@ -78,7 +95,12 @@ fn main() {
     let tokens = lm.sample(0, 600, 99);
     println!("{:<22} {:>10}", "model", "ppl");
     println!("{:<22} {:>10.3}", "fp16 baseline", lm.perplexity(&tokens));
-    for group in [GroupShape::G128, GroupShape::G32X4, GroupShape::G256, GroupShape::G64X4] {
+    for group in [
+        GroupShape::G128,
+        GroupShape::G32X4,
+        GroupShape::G256,
+        GroupShape::G64X4,
+    ] {
         let q = lm.quantize_ffn(WeightPrecision::Int4, group);
         println!(
             "{:<22} {:>10.3}",

@@ -23,8 +23,16 @@ fn main() {
     // (16 concurrent sequences, 128 steps) — batch sizes rounded to the
     // warp-tile granularity.
     let schedule = [
-        Phase { name: "prefill (512 tok)", tokens_in_flight: 512, passes: 1 },
-        Phase { name: "decode (batch 16)", tokens_in_flight: 16, passes: 128 },
+        Phase {
+            name: "prefill (512 tok)",
+            tokens_in_flight: 512,
+            passes: 1,
+        },
+        Phase {
+            name: "decode (batch 16)",
+            tokens_in_flight: 16,
+            passes: 128,
+        },
     ];
 
     let runner = GemmRunner::new();

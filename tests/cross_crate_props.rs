@@ -8,8 +8,7 @@ use proptest::prelude::*;
 
 fn small_weights() -> impl Strategy<Value = MatrixF32> {
     // 32×16 matrices with bounded values; shapes divide every lane count.
-    prop::collection::vec(-1.0f32..1.0, 32 * 16)
-        .prop_map(|v| MatrixF32::from_vec(32, 16, v))
+    prop::collection::vec(-1.0f32..1.0, 32 * 16).prop_map(|v| MatrixF32::from_vec(32, 16, v))
 }
 
 fn any_precision() -> impl Strategy<Value = WeightPrecision> {

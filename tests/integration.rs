@@ -1,15 +1,15 @@
 //! End-to-end integration tests spanning every crate: quantize → pack →
 //! simulate → execute → price.
 
-use pacq::{
-    Architecture, Comparison, GemmRunner, GemmShape, GroupShape, NumericsMode, Workload,
-};
+use pacq::{Architecture, Comparison, GemmRunner, GemmShape, GroupShape, NumericsMode, Workload};
 use pacq_fp16::WeightPrecision;
 use pacq_quant::synth::SynthGenerator;
 use pacq_quant::MatrixF32;
 
 fn rel_err(got: &MatrixF32, want: &MatrixF32) -> f64 {
-    let d = MatrixF32::from_fn(got.rows(), got.cols(), |r, c| got.get(r, c) - want.get(r, c));
+    let d = MatrixF32::from_fn(got.rows(), got.cols(), |r, c| {
+        got.get(r, c) - want.get(r, c)
+    });
     d.frobenius_norm() / want.frobenius_norm().max(1e-12)
 }
 
@@ -36,9 +36,21 @@ fn full_pipeline_int4() {
     let std = runner.execute(Architecture::StandardDequant, &a, &p_k);
     let pk = runner.execute(Architecture::PackedK, &a, &p_k);
     let pq = runner.execute(Architecture::Pacq, &a, &p_n);
-    assert!(rel_err(&std, &oracle) < 5e-3, "std: {}", rel_err(&std, &oracle));
-    assert!(rel_err(&pk, &oracle) < 5e-3, "pk: {}", rel_err(&pk, &oracle));
-    assert!(rel_err(&pq, &oracle) < 5e-3, "pq: {}", rel_err(&pq, &oracle));
+    assert!(
+        rel_err(&std, &oracle) < 5e-3,
+        "std: {}",
+        rel_err(&std, &oracle)
+    );
+    assert!(
+        rel_err(&pk, &oracle) < 5e-3,
+        "pk: {}",
+        rel_err(&pk, &oracle)
+    );
+    assert!(
+        rel_err(&pq, &oracle) < 5e-3,
+        "pq: {}",
+        rel_err(&pq, &oracle)
+    );
 }
 
 #[test]
@@ -55,7 +67,11 @@ fn pipeline_int2() {
         .expect("packs along n");
     let oracle = pacq_simt::reference(&a, &p_n);
     let pq = runner.execute(Architecture::Pacq, &a, &p_n);
-    assert!(rel_err(&pq, &oracle) < 5e-3, "int2 pacq: {}", rel_err(&pq, &oracle));
+    assert!(
+        rel_err(&pq, &oracle) < 5e-3,
+        "int2 pacq: {}",
+        rel_err(&pq, &oracle)
+    );
 }
 
 #[test]
@@ -88,7 +104,12 @@ fn analysis_pipeline_all_architectures_all_precisions() {
             }
             let cmp = Comparison::new(reports);
             let edp = cmp.normalized_edp();
-            assert!(edp[2] < edp[0], "{wl}: PacQ EDP {} !< std {}", edp[2], edp[0]);
+            assert!(
+                edp[2] < edp[0],
+                "{wl}: PacQ EDP {} !< std {}",
+                edp[2],
+                edp[0]
+            );
         }
     }
 }
@@ -96,8 +117,12 @@ fn analysis_pipeline_all_architectures_all_precisions() {
 #[test]
 fn two_dimensional_groups_reduce_scale_fetches_end_to_end() {
     let wl = Workload::new(GemmShape::new(16, 4096, 4096), WeightPrecision::Int4);
-    let g1 = GemmRunner::new().with_group(GroupShape::G128).analyze(Architecture::Pacq, wl);
-    let g2 = GemmRunner::new().with_group(GroupShape::G32X4).analyze(Architecture::Pacq, wl);
+    let g1 = GemmRunner::new()
+        .with_group(GroupShape::G128)
+        .analyze(Architecture::Pacq, wl);
+    let g2 = GemmRunner::new()
+        .with_group(GroupShape::G32X4)
+        .analyze(Architecture::Pacq, wl);
     assert_eq!(
         g1.stats.ops.scale_fetches,
         4 * g2.stats.ops.scale_fetches,
