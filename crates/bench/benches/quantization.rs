@@ -25,7 +25,9 @@ fn bench_quantize(c: &mut Criterion) {
 fn bench_pack(c: &mut Criterion) {
     let mut group = c.benchmark_group("pack");
     let w = SynthGenerator::new(2).llm_weights(1024, 512);
-    let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128).quantize(&w);
+    let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128)
+        .quantize(&w)
+        .unwrap();
     group.throughput(Throughput::Elements((1024 * 512) as u64));
     for dim in [PackDim::K, PackDim::N] {
         group.bench_with_input(

@@ -87,7 +87,7 @@ fn bench_dp_units(c: &mut Criterion) {
 
     group.throughput(Throughput::Elements(64));
     group.bench_function("baseline_dp4_dot64", |bencher| {
-        let dp = BaselineDpUnit::new(4);
+        let dp = BaselineDpUnit::new(4).unwrap();
         bencher.iter(|| {
             let mut acc = 0f32;
             for k0 in (0..64).step_by(4) {
@@ -103,7 +103,9 @@ fn bench_dp_units(c: &mut Criterion) {
             BenchmarkId::new("parallel_dp4_dot64", format!("{mode:?}")),
             &mode,
             |bencher, &mode| {
-                let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).with_numerics(mode);
+                let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4)
+                    .unwrap()
+                    .with_numerics(mode);
                 bencher.iter(|| black_box(dp.dot_packed(&a, &words)))
             },
         );

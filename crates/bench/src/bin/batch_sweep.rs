@@ -10,8 +10,12 @@ use pacq::{Architecture, GemmRunner, GemmShape, Workload};
 use pacq_bench::{banner, init_jobs, pct, times};
 use pacq_fp16::WeightPrecision;
 
-fn main() {
-    init_jobs();
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
+    init_jobs()?;
     banner(
         "Batch sweep (extension)",
         "EDP reduction and speedup vs batch size (n4096 k4096, INT4)",
@@ -35,7 +39,7 @@ fn main() {
             ]
         })
         .collect();
-    for (i, triple) in runner.analyze_sweep(&points).chunks(3).enumerate() {
+    for (i, triple) in runner.analyze_sweep(&points)?.chunks(3).enumerate() {
         let (std, pk, pq) = (&triple[0], &triple[1], &triple[2]);
         let dequant_frac = std.stats.general_cycles as f64 / std.stats.total_cycles as f64;
         println!(
@@ -53,4 +57,5 @@ fn main() {
          P(B)k baseline stays at ~2x (pure dataflow + parallel-multiplier gain),\n\
          so the total EDP advantage narrows but persists at scale."
     );
+    Ok(())
 }

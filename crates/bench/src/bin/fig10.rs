@@ -6,8 +6,12 @@ use pacq::{Architecture, Comparison, GemmRunner, GemmShape, Workload};
 use pacq_bench::{banner, init_jobs, pct};
 use pacq_fp16::WeightPrecision;
 
-fn main() {
-    init_jobs();
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
+    init_jobs()?;
     banner(
         "Figure 10",
         "normalized EDP: Standard vs P(B_x)_k vs PacQ (Llama2-7B shapes, batch 16)",
@@ -45,7 +49,7 @@ fn main() {
                 })
         })
         .collect();
-    let mut reports = runner.analyze_sweep(&points).into_iter();
+    let mut reports = runner.analyze_sweep(&points)?.into_iter();
     for shape in shapes {
         for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
             let wl = Workload::new(shape, precision);
@@ -76,4 +80,5 @@ fn main() {
         pct(best),
         best_name
     );
+    Ok(())
 }

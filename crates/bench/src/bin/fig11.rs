@@ -6,7 +6,11 @@ use pacq_bench::{banner, times};
 use pacq_energy::GemmUnit;
 use pacq_fp16::WeightPrecision;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
     banner(
         "Figure 11",
         "adder-tree duplication ablation (PacQ DP-4, m16n16k16)",
@@ -28,7 +32,7 @@ fn main() {
             let runner = GemmRunner::new()
                 .with_config(cfg)
                 .with_group(GroupShape::along_k(16));
-            let r = runner.analyze(Architecture::Pacq, Workload::new(shape, precision));
+            let r = runner.analyze(Architecture::Pacq, Workload::new(shape, precision))?;
             let power = GemmUnit::ParallelDp {
                 width: 4,
                 duplication: dup,
@@ -52,4 +56,5 @@ fn main() {
         "\nshape check: duplication 2 is the knee — the dup-4 step gain is \
          much smaller than the dup-2 step gain (paper: 1.33/1.38 then 1.11/1.18)."
     );
+    Ok(())
 }

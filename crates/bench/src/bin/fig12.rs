@@ -8,7 +8,11 @@ use pacq_energy::GemmUnit;
 use pacq_fp16::WeightPrecision;
 use pacq_mixgemm::{pacq_advantage_over_mixgemm, MixGemmModel};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
     banner(
         "Figure 12",
         "(a) DP unit size study; (b) PacQ vs Mix-GEMM (m16n16k16, thr/watt)",
@@ -32,8 +36,8 @@ fn main() {
             .with_config(cfg)
             .with_group(GroupShape::G128);
         let wl = Workload::new(shape, WeightPrecision::Int4);
-        let base = runner.analyze(Architecture::PackedK, wl);
-        let pacq = runner.analyze(Architecture::Pacq, wl);
+        let base = runner.analyze(Architecture::PackedK, wl)?;
+        let pacq = runner.analyze(Architecture::Pacq, wl)?;
         let base_p = GemmUnit::BaselineDp { width }.power_units();
         let pacq_p = GemmUnit::ParallelDp {
             width,
@@ -70,4 +74,5 @@ fn main() {
     }
     println!("paper: 4.12x (INT4), 3.75x (INT2); binary segmentation pays a fixed");
     println!("FP16-side cost per element, so fewer weight bits barely help it.");
+    Ok(())
 }

@@ -6,8 +6,12 @@ use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, Workload};
 use pacq_bench::{banner, init_jobs, pct, times};
 use pacq_fp16::WeightPrecision;
 
-fn main() {
-    init_jobs();
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
+    init_jobs()?;
     banner(
         "Figure 7",
         "register-file accesses and speedup, PacQ vs P(B_x)_k (m16n16k16)",
@@ -31,7 +35,7 @@ fn main() {
             [(Architecture::PackedK, wl), (Architecture::Pacq, wl)]
         })
         .collect();
-    let reports = runner.analyze_sweep(&points);
+    let reports = runner.analyze_sweep(&points)?;
     for (i, precision) in [WeightPrecision::Int4, WeightPrecision::Int2]
         .into_iter()
         .enumerate()
@@ -74,4 +78,5 @@ fn main() {
         times(speedups[1]),
         times(speedups.iter().sum::<f64>() / speedups.len() as f64)
     );
+    Ok(())
 }

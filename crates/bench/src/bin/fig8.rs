@@ -6,7 +6,11 @@ use pacq_bench::{banner, times};
 use pacq_energy::{calibration, GemmUnit};
 use pacq_fp16::{BaselineDpUnit, ParallelDpUnit, WeightPrecision};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
     banner(
         "Figure 8",
         "throughput/watt of the parallel FP-INT units vs FP16 baselines",
@@ -43,7 +47,7 @@ fn main() {
         "{:<26} {:>10} {:>10} {:>14} {:>12}",
         "unit", "outputs", "cycles", "power (units)", "thr/watt"
     );
-    let bdp = BaselineDpUnit::new(4);
+    let bdp = BaselineDpUnit::new(4)?;
     let base_cycles = bdp.cycles_for_outputs(8);
     let base_power = GemmUnit::BASELINE_DP4.power_units();
     let base_tpw = 8.0 / base_cycles as f64 / base_power;
@@ -56,7 +60,7 @@ fn main() {
         times(1.0)
     );
     for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
-        let pdp = ParallelDpUnit::new(4, 2, precision);
+        let pdp = ParallelDpUnit::new(4, 2, precision)?;
         // m2n4k4: 2 m rows × 4 packed word-columns = 8 batches, each
         // producing `lanes` outputs.
         let batches = 8;
@@ -76,4 +80,5 @@ fn main() {
     println!(
         "paper cycle anchors: baseline 8 outputs in 11 cycles; parallel 32 in 19 (INT4), 64 in 35 (INT2)"
     );
+    Ok(())
 }

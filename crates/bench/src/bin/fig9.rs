@@ -4,7 +4,11 @@
 use pacq_bench::{banner, pct};
 use pacq_energy::{Figure9, PowerBreakdown, Provenance};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
     banner(
         "Figure 9",
         "power breakdown of the parallel units (reused vs new)",
@@ -23,6 +27,7 @@ fn main() {
         "\naverage reuse ratio: {}   (paper: 69%)",
         pct(fig.average_reuse())
     );
+    Ok(())
 }
 
 fn print_breakdown(name: &str, b: &PowerBreakdown) {

@@ -7,8 +7,12 @@ use pacq::{Architecture, GemmRunner};
 use pacq_bench::{banner, init_jobs, pct, times};
 use pacq_fp16::WeightPrecision;
 
-fn main() {
-    init_jobs();
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
+    init_jobs()?;
     banner(
         "Model zoo (extension)",
         "per-block totals across models (batch 16)",
@@ -30,7 +34,7 @@ fn main() {
             let mut cycles = [0u64; 3];
             let mut edp = [0f64; 3];
             // One parallel sweep per block: layers × architectures.
-            for (_, reports) in analyze_block(&runner, model, 16, precision, &arches) {
+            for (_, reports) in analyze_block(&runner, model, 16, precision, &arches)? {
                 for (i, r) in reports.iter().enumerate() {
                     cycles[i] += r.stats.total_cycles;
                     edp[i] += r.edp_pj_s;
@@ -60,4 +64,5 @@ fn main() {
         );
     }
     println!("(paper quotes Llama2-70B: 131.6 GB fp16 vs 35.8 GB int4 incl. embeddings)");
+    Ok(())
 }

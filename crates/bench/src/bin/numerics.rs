@@ -20,7 +20,11 @@ fn rel_err(got: &MatrixF32, want: &MatrixF32) -> f64 {
     d.frobenius_norm() / want.frobenius_norm().max(1e-30)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
     banner(
         "Numerics study (extension)",
         "GEMM error of the PacQ datapath: rounded biased products vs wide products",
@@ -42,17 +46,20 @@ fn main() {
                 let group = GroupShape::along_k(64.min(k));
                 let mk = |mode| GemmRunner::new().with_group(group).with_numerics(mode);
 
-                let p_n = mk(NumericsMode::Wide)
-                    .quantize_and_pack(&w, precision, Architecture::Pacq)
-                    .expect("packs");
-                let p_k = mk(NumericsMode::Wide)
-                    .quantize_and_pack(&w, precision, Architecture::PackedK)
-                    .expect("packs");
+                let p_n =
+                    mk(NumericsMode::Wide).quantize_and_pack(&w, precision, Architecture::Pacq)?;
+                let p_k = mk(NumericsMode::Wide).quantize_and_pack(
+                    &w,
+                    precision,
+                    Architecture::PackedK,
+                )?;
                 let oracle = pacq_simt::reference(&a, &p_n);
 
-                let std = mk(NumericsMode::Wide).execute(Architecture::StandardDequant, &a, &p_k);
-                let rounded = mk(NumericsMode::PaperRounded).execute(Architecture::Pacq, &a, &p_n);
-                let wide = mk(NumericsMode::Wide).execute(Architecture::Pacq, &a, &p_n);
+                let std =
+                    mk(NumericsMode::Wide).execute(Architecture::StandardDequant, &a, &p_k)?;
+                let rounded =
+                    mk(NumericsMode::PaperRounded).execute(Architecture::Pacq, &a, &p_n)?;
+                let wide = mk(NumericsMode::Wide).execute(Architecture::Pacq, &a, &p_n)?;
 
                 println!(
                     "{:<8} {:>6} {:<10} {:>16.3e} {:>16.3e} {:>16.3e}",
@@ -66,7 +73,7 @@ fn main() {
             }
         }
     }
-    rounding_unit_study();
+    rounding_unit_study()?;
 
     println!(
         "\nreading: the rounded-product datapath carries orders of magnitude more\n\
@@ -75,12 +82,13 @@ fn main() {
          the true Σ A·B lives. Exactness requires the 22-bit products to reach\n\
          the accumulator unrounded (NumericsMode::Wide)."
     );
+    Ok(())
 }
 
 /// RNE vs truncating rounding units on a k=128 packed dot product: the
 /// truncation bias is systematic, so it does not average out over k the
 /// way RNE's symmetric error does.
-fn rounding_unit_study() {
+fn rounding_unit_study() -> pacq::PacqResult<()> {
     println!("\n-- rounding-unit design point: RNE vs truncate (k=128 dot, INT4) --");
     println!(
         "{:<12} {:>16} {:>16}",
@@ -111,7 +119,7 @@ fn rounding_unit_study() {
         ("RNE", RoundingMode::NearestEven),
         ("truncate", RoundingMode::Truncate),
     ] {
-        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).with_rounding(mode);
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4)?.with_rounding(mode);
         let rec = dp.dot_packed(&a, &words).recover();
         let mut abs = 0f64;
         let mut signed = 0f64;
@@ -122,4 +130,5 @@ fn rounding_unit_study() {
         }
         println!("{name:<12} {abs:>16.4} {signed:>16.4}");
     }
+    Ok(())
 }

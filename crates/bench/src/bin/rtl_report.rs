@@ -8,7 +8,11 @@ use pacq_bench::banner;
 use pacq_energy::GemmUnit;
 use pacq_rtl::{Fp16MulCircuit, ParallelFpIntCircuit};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
     banner(
         "RTL report (extension)",
         "gate-level netlists of the Table I multipliers",
@@ -72,4 +76,5 @@ fn main() {
     println!("lanes, shared sign/exponent), which is the physical root of Figure 8's");
     println!("throughput-per-watt advantage — reproduced here from gate-level toggles");
     println!("rather than the calibrated constants.");
+    Ok(())
 }

@@ -6,7 +6,11 @@ use pacq_bench::banner;
 use pacq_energy::{Component, GemmUnit};
 use pacq_simt::SmConfig;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
     banner(
         "Table I",
         "configuration of PacQ and the baselines",
@@ -87,4 +91,5 @@ fn main() {
             unit.area_um2()
         );
     }
+    Ok(())
 }

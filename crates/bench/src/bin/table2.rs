@@ -13,8 +13,12 @@ use pacq_quant::evaluate_rtn;
 use pacq_quant::lm::TinyLm;
 use pacq_quant::synth::SynthGenerator;
 
-fn main() {
-    init_jobs();
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
+    init_jobs()?;
     banner(
         "Table II",
         "RTN PTQ quality: k-only vs [n,k] quantization groups (W4A16)",
@@ -40,7 +44,7 @@ fn main() {
     let w = g.llm_weights(1024, 512);
     let a = g.llm_activations(16, 1024);
     for (name, group) in groups {
-        let e = evaluate_rtn(&w, &a, WeightPrecision::Int4, group);
+        let e = evaluate_rtn(&w, &a, WeightPrecision::Int4, group)?;
         println!(
             "{:<10} {:>14.4e} {:>12.2} {:>16.5}",
             name, e.weight_mse, e.weight_sqnr_db, e.output_rel_err
@@ -62,7 +66,7 @@ fn main() {
         let base = lm.perplexity(&tokens);
         let mut row = format!("{corpus:<12} {base:>10.3}");
         for (_, group) in groups {
-            let q = lm.quantize_ffn(WeightPrecision::Int4, group);
+            let q = lm.quantize_ffn(WeightPrecision::Int4, group)?;
             row.push_str(&format!(" {:>10.3}", q.perplexity(&tokens)));
         }
         println!("{row}");
@@ -72,4 +76,5 @@ fn main() {
          and each [n,k] column is statistically indistinguishable from its\n\
          equal-volume k-only column (g128 ≈ g[32,4], g256 ≈ g[64,4])."
     );
+    Ok(())
 }

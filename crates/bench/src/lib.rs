@@ -12,13 +12,26 @@
 /// binary: reads the process arguments, installs the worker count, and
 /// returns the effective value. Sweep results are bit-identical at any
 /// setting — the knob only changes wall-clock time.
-pub fn init_jobs() -> usize {
+///
+/// A malformed or zero worker count is a usage error ([`pacq::PacqError`] with
+/// exit code 2), not a silently-ignored warning: a typo'd `--jobs` must
+/// not quietly run a multi-hour sweep on the wrong pool size.
+pub fn init_jobs() -> pacq::PacqResult<usize> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match pacq::par::take_jobs_flag(&args) {
-        Ok((_, jobs)) => pacq::par::configure_jobs(jobs),
+    let (_, jobs) = pacq::par::take_jobs_flag(&args)?;
+    let env_jobs = pacq::par::validated_env_jobs()?;
+    Ok(pacq::par::configure_jobs(jobs.or(env_jobs)))
+}
+
+/// Maps a figure/table body onto the process exit status: `Ok` exits 0,
+/// `Err` prints the one-line diagnostic to stderr and exits with the
+/// error-class code (DESIGN.md §10) — never a backtrace.
+pub fn exit(result: pacq::PacqResult<()>) -> std::process::ExitCode {
+    match result {
+        Ok(()) => std::process::ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("warning: {e}; using the default worker count");
-            pacq::par::configure_jobs(None)
+            eprintln!("error: {e}");
+            std::process::ExitCode::from(e.exit_code())
         }
     }
 }

@@ -11,10 +11,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            // One diagnostic line, never a backtrace; the exit code
+            // encodes the error class (see DESIGN.md §10).
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", pacq::cli::USAGE);
-            ExitCode::FAILURE
+            if e.is_usage() {
+                eprintln!();
+                eprintln!("{}", pacq::cli::USAGE);
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -7,6 +7,7 @@ use crate::par;
 use crate::report::{Comparison, GemmReport};
 use crate::runner::GemmRunner;
 use core::fmt::Write as _;
+use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::WeightPrecision;
 use pacq_quant::GroupShape;
 use pacq_simt::{Architecture, GemmShape, SmConfig, Workload};
@@ -33,35 +34,24 @@ EXAMPLES:
   pacq compare --shape m16n11008k4096 --precision int2
   pacq sweep --param batch --shape m16n4096k4096";
 
-/// CLI error.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(String);
-
-impl core::fmt::Display for CliError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(&self.0)
-    }
-}
-
-impl std::error::Error for CliError {}
-
-fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+fn err(msg: impl Into<String>) -> PacqError {
+    PacqError::usage(msg)
 }
 
 /// Runs the CLI on pre-split arguments, returning the output text.
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] describing any unknown command, missing or
-/// malformed option.
-pub fn run(args: &[String]) -> Result<String, CliError> {
-    let (args, jobs) = par::take_jobs_flag(args).map_err(err)?;
+/// Returns [`PacqError::Usage`] for any unknown command, missing or
+/// malformed option, and propagates typed simulator errors.
+pub fn run(args: &[String]) -> PacqResult<String> {
+    let (args, jobs) = par::take_jobs_flag(args)?;
+    let env_jobs = par::validated_env_jobs()?;
     // Only touch the global pool when the user asked for a count — a
     // plain invocation must not clobber a programmatically configured
     // pool (and concurrent unit tests share the process-wide setting).
-    if jobs.is_some() || std::env::var(par::JOBS_ENV).is_ok() {
-        par::configure_jobs(jobs);
+    if jobs.is_some() || env_jobs.is_some() {
+        par::configure_jobs(jobs.or(env_jobs));
     }
     let mut it = args.iter().map(String::as_str);
     match it.next() {
@@ -85,7 +75,7 @@ struct Options {
     param: Option<String>,
 }
 
-fn parse_options(args: &[String], require_shape: bool) -> Result<Options, CliError> {
+fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
     let mut shape = None;
     let mut precision = WeightPrecision::Int4;
     let mut arch = Architecture::Pacq;
@@ -97,7 +87,7 @@ fn parse_options(args: &[String], require_shape: bool) -> Result<Options, CliErr
 
     let mut it = args.iter().map(String::as_str).peekable();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Result<&str, CliError> {
+        let mut value = |name: &str| -> PacqResult<&str> {
             it.next()
                 .ok_or_else(|| err(format!("missing value for {name}")))
         };
@@ -159,7 +149,12 @@ fn parse_options(args: &[String], require_shape: bool) -> Result<Options, CliErr
 }
 
 /// Parses the paper's `mMnNkK` shape notation.
-pub fn parse_shape(text: &str) -> Result<GemmShape, CliError> {
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] for malformed, zero or 16-misaligned
+/// extents.
+pub fn parse_shape(text: &str) -> PacqResult<GemmShape> {
     let bad = || {
         err(format!(
             "malformed shape `{text}`; expected e.g. m16n4096k4096"
@@ -182,10 +177,10 @@ pub fn parse_shape(text: &str) -> Result<GemmShape, CliError> {
             "shape {text} is not 16-aligned (the simulator tiles in 16s)"
         )));
     }
-    Ok(GemmShape::new(m, n, k))
+    GemmShape::try_new(m, n, k)
 }
 
-fn parse_group(text: &str) -> Result<GroupShape, CliError> {
+fn parse_group(text: &str) -> PacqResult<GroupShape> {
     match text {
         "g128" => Ok(GroupShape::G128),
         "g256" => Ok(GroupShape::G256),
@@ -211,10 +206,10 @@ fn runner_for(opts: &Options) -> GemmRunner {
     GemmRunner::new().with_config(cfg).with_group(opts.group)
 }
 
-fn analyze(args: &[String]) -> Result<String, CliError> {
+fn analyze(args: &[String]) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
     let runner = runner_for(&opts);
-    let report = runner.analyze(opts.arch, Workload::new(opts.shape, opts.precision));
+    let report = runner.analyze(opts.arch, Workload::new(opts.shape, opts.precision))?;
     if opts.json {
         Ok(report_json(&report))
     } else {
@@ -222,14 +217,14 @@ fn analyze(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-fn compare(args: &[String]) -> Result<String, CliError> {
+fn compare(args: &[String]) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
     let runner = runner_for(&opts);
     let wl = Workload::new(opts.shape, opts.precision);
     let cmp = Comparison::new(vec![
-        runner.analyze(Architecture::StandardDequant, wl),
-        runner.analyze(Architecture::PackedK, wl),
-        runner.analyze(Architecture::Pacq, wl),
+        runner.analyze(Architecture::StandardDequant, wl)?,
+        runner.analyze(Architecture::PackedK, wl)?,
+        runner.analyze(Architecture::Pacq, wl)?,
     ]);
     let mut out = String::new();
     let _ = writeln!(out, "workload {wl}, group {}:", opts.group);
@@ -255,7 +250,7 @@ fn compare(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn sweep(args: &[String]) -> Result<String, CliError> {
+fn sweep(args: &[String]) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
     let param = opts
         .param
@@ -286,8 +281,11 @@ fn sweep(args: &[String]) -> Result<String, CliError> {
                     ]
                 })
                 .collect();
-            for pair in runner.analyze_sweep(&points).chunks(2) {
-                let (std, pq) = (&pair[0], &pair[1]);
+            for pair in runner.analyze_sweep(&points)?.chunks(2) {
+                let [std, pq] = pair else {
+                    // chunks(2) over an even point list always yields pairs.
+                    continue;
+                };
                 let _ = writeln!(
                     out,
                     "{:<8} {:>14} {:>13.2}x {:>13.1}%",
@@ -304,7 +302,7 @@ fn sweep(args: &[String]) -> Result<String, CliError> {
                 "{:<6} {:>14} {:>16}",
                 "dup", "PacQ cycles", "TC power (units)"
             );
-            let rows: Vec<String> = vec![1usize, 2, 4]
+            let rows: Vec<PacqResult<String>> = vec![1usize, 2, 4]
                 .into_par_iter()
                 .map(|dup| {
                     let mut o = opts_clone(&opts);
@@ -313,20 +311,22 @@ fn sweep(args: &[String]) -> Result<String, CliError> {
                     let r = runner.analyze(
                         Architecture::Pacq,
                         Workload::new(opts.shape, opts.precision),
-                    );
+                    )?;
                     let unit = pacq_energy::GemmUnit::ParallelDp {
                         width: opts.width,
                         duplication: dup,
                     };
-                    format!(
+                    Ok(format!(
                         "{:<6} {:>14} {:>16.2}\n",
                         dup,
                         r.stats.total_cycles,
                         unit.power_units()
-                    )
+                    ))
                 })
                 .collect();
-            out.extend(rows);
+            for row in rows {
+                out.push_str(&row?);
+            }
         }
         "width" => {
             let _ = writeln!(
@@ -334,22 +334,24 @@ fn sweep(args: &[String]) -> Result<String, CliError> {
                 "{:<8} {:>14} {:>14}",
                 "width", "PacQ cycles", "P(B)k cycles"
             );
-            let rows: Vec<String> = vec![4usize, 8, 16]
+            let rows: Vec<PacqResult<String>> = vec![4usize, 8, 16]
                 .into_par_iter()
                 .map(|width| {
                     let mut o = opts_clone(&opts);
                     o.width = width;
                     let runner = runner_for(&o);
                     let wl = Workload::new(opts.shape, opts.precision);
-                    let pq = runner.analyze(Architecture::Pacq, wl);
-                    let pk = runner.analyze(Architecture::PackedK, wl);
-                    format!(
+                    let pq = runner.analyze(Architecture::Pacq, wl)?;
+                    let pk = runner.analyze(Architecture::PackedK, wl)?;
+                    Ok(format!(
                         "DP-{:<5} {:>14} {:>14}\n",
                         width, pq.stats.total_cycles, pk.stats.total_cycles
-                    )
+                    ))
                 })
                 .collect();
-            out.extend(rows);
+            for row in rows {
+                out.push_str(&row?);
+            }
         }
         other => return Err(err(format!("unknown sweep parameter `{other}`"))),
     }
@@ -513,6 +515,30 @@ mod tests {
         assert_eq!(out, serial, "sweep output must not depend on the job count");
         crate::par::configure_jobs(Some(0));
         assert!(run(&argv("analyze --shape m16n16k16 --jobs many")).is_err());
+    }
+
+    #[test]
+    fn zero_jobs_rejected_with_usage_error() {
+        let _guard = crate::par::test_lock();
+        for cmd in [
+            "analyze --shape m16n16k16 --jobs 0",
+            "compare --shape m16n16k16 --jobs=0",
+            "sweep --param batch --shape m16n16k16 --jobs 0",
+        ] {
+            let err = run(&argv(cmd)).unwrap_err();
+            assert!(err.is_usage(), "{cmd}: {err}");
+            assert_eq!(err.exit_code(), 2, "{cmd}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_env_rejected() {
+        let _guard = crate::par::test_lock();
+        std::env::set_var(crate::par::JOBS_ENV, "0");
+        let err = run(&argv("analyze --shape m16n16k16")).unwrap_err();
+        std::env::remove_var(crate::par::JOBS_ENV);
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("PACQ_JOBS"), "{err}");
     }
 
     #[test]

@@ -31,21 +31,28 @@
 //! use pacq::{Architecture, Comparison, GemmRunner, GemmShape, Workload};
 //! use pacq_fp16::WeightPrecision;
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Simulate a Llama2-7B attention projection at batch 16 on all three
 //! // architectures and compare.
 //! let runner = GemmRunner::new();
 //! let wl = Workload::new(GemmShape::new(16, 4096, 4096), WeightPrecision::Int4);
 //! let cmp = Comparison::new(vec![
-//!     runner.analyze(Architecture::StandardDequant, wl),
-//!     runner.analyze(Architecture::PackedK, wl),
-//!     runner.analyze(Architecture::Pacq, wl),
+//!     runner.analyze(Architecture::StandardDequant, wl)?,
+//!     runner.analyze(Architecture::PackedK, wl)?,
+//!     runner.analyze(Architecture::Pacq, wl)?,
 //! ]);
 //! let edp = cmp.normalized_edp();
 //! assert!(edp[2] < 0.35, "PacQ cuts EDP by >65%: {}", edp[2]);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod cli;
 pub mod llama;
@@ -56,6 +63,9 @@ pub mod runner;
 
 pub use report::{Comparison, GemmReport};
 pub use runner::GemmRunner;
+
+// The workspace-wide typed error layer (DESIGN.md §10).
+pub use pacq_error::{ArtifactError, PacqError, PacqResult};
 
 // Re-export the vocabulary types so `pacq` alone is enough for most uses.
 pub use pacq_fp16::{AccPrecision, Fp16, Int2, Int4, NumericsMode, PackedWord, WeightPrecision};

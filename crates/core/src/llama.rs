@@ -186,6 +186,10 @@ impl Model {
 /// worker pool. Returns `(layer, per-arch reports)` pairs in catalog
 /// order.
 ///
+/// # Errors
+///
+/// Propagates the first sweep point's simulator error.
+///
 /// # Panics
 ///
 /// Panics if `m` is not a multiple of 16.
@@ -195,7 +199,7 @@ pub fn analyze_block(
     m: usize,
     precision: pacq_fp16::WeightPrecision,
     arches: &[pacq_simt::Architecture],
-) -> Vec<(LlamaLayer, Vec<crate::report::GemmReport>)> {
+) -> pacq_error::PacqResult<Vec<(LlamaLayer, Vec<crate::report::GemmReport>)>> {
     let layers = model.layers(m);
     let points: Vec<_> = layers
         .iter()
@@ -205,17 +209,12 @@ pub fn analyze_block(
                 .map(|&a| (a, pacq_simt::Workload::new(l.shape, precision)))
         })
         .collect();
-    let mut reports = runner.analyze_sweep(&points).into_iter();
-    layers
+    let reports = runner.analyze_sweep(&points)?;
+    Ok(layers
         .into_iter()
-        .map(|l| {
-            let per_arch = arches
-                .iter()
-                .map(|_| reports.next().expect("report"))
-                .collect();
-            (l, per_arch)
-        })
-        .collect()
+        .zip(reports.chunks(arches.len().max(1)))
+        .map(|(l, per_arch)| (l, per_arch.to_vec()))
+        .collect())
 }
 
 fn gqa_layers(m: usize, h: usize, inter: usize, kv: usize) -> Vec<LlamaLayer> {
@@ -315,7 +314,8 @@ mod tests {
             16,
             pacq_fp16::WeightPrecision::Int4,
             &arches,
-        );
+        )
+        .unwrap();
         assert_eq!(rows.len(), 7);
         for (layer, reports) in &rows {
             assert_eq!(reports.len(), 2);

@@ -7,6 +7,7 @@
 //! order unchanged, so the job count only affects wall-clock time —
 //! results are bit-identical at any setting (DESIGN.md §9).
 
+use pacq_error::{PacqError, PacqResult};
 use rayon::ThreadPoolBuilder;
 
 /// Environment variable consulted when no explicit job count is given.
@@ -16,15 +17,39 @@ pub const JOBS_ENV: &str = "PACQ_JOBS";
 ///
 /// Precedence: an explicit `jobs` argument (from `--jobs N`), then the
 /// [`JOBS_ENV`] environment variable, then the host parallelism.
-/// `Some(0)` restores the host default.
+/// `Some(0)` restores the host default (a programmatic escape hatch; the
+/// CLI layer rejects a *user-supplied* zero via [`take_jobs_flag`] /
+/// [`validated_env_jobs`] before it ever reaches here).
 pub fn configure_jobs(jobs: Option<usize>) -> usize {
-    let n = jobs.or_else(jobs_from_env).unwrap_or(0);
+    let n = jobs
+        .or_else(|| validated_env_jobs().ok().flatten())
+        .unwrap_or(0);
     let _ = ThreadPoolBuilder::new().num_threads(n).build_global();
     rayon::current_num_threads()
 }
 
-fn jobs_from_env() -> Option<usize> {
-    std::env::var(JOBS_ENV).ok()?.trim().parse().ok()
+/// Reads and validates the [`JOBS_ENV`] environment variable.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] when the variable is set but is not a
+/// positive integer (zero included — a zero worker count is meaningless
+/// as user input; omit the variable for the host default).
+pub fn validated_env_jobs() -> PacqResult<Option<usize>> {
+    let Ok(raw) = std::env::var(JOBS_ENV) else {
+        return Ok(None);
+    };
+    let n: usize = raw.trim().parse().map_err(|_| {
+        PacqError::usage(format!(
+            "{JOBS_ENV} must be a positive integer, got `{raw}`"
+        ))
+    })?;
+    if n == 0 {
+        return Err(PacqError::usage(format!(
+            "{JOBS_ENV} must be at least 1 (unset it for the host default)"
+        )));
+    }
+    Ok(Some(n))
 }
 
 /// Splits `--jobs N` / `--jobs=N` out of an argument list, returning the
@@ -34,28 +59,37 @@ fn jobs_from_env() -> Option<usize> {
 ///
 /// # Errors
 ///
-/// Returns a message when the value is missing or not a number.
-pub fn take_jobs_flag(args: &[String]) -> Result<(Vec<String>, Option<usize>), String> {
+/// Returns [`PacqError::Usage`] when the value is missing, not a number,
+/// or zero.
+pub fn take_jobs_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<usize>)> {
     let mut rest = Vec::with_capacity(args.len());
     let mut jobs = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--jobs" {
-            let v = it.next().ok_or("missing value for --jobs")?;
-            jobs = Some(
-                v.parse()
-                    .map_err(|_| format!("invalid --jobs value `{v}`"))?,
-            );
+            let v = it
+                .next()
+                .ok_or_else(|| PacqError::usage("missing value for --jobs"))?;
+            jobs = Some(parse_jobs(v)?);
         } else if let Some(v) = arg.strip_prefix("--jobs=") {
-            jobs = Some(
-                v.parse()
-                    .map_err(|_| format!("invalid --jobs value `{v}`"))?,
-            );
+            jobs = Some(parse_jobs(v)?);
         } else {
             rest.push(arg.clone());
         }
     }
     Ok((rest, jobs))
+}
+
+fn parse_jobs(v: &str) -> PacqResult<usize> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| PacqError::usage(format!("invalid --jobs value `{v}`")))?;
+    if n == 0 {
+        return Err(PacqError::usage(
+            "--jobs must be at least 1 (omit the flag for the host default)",
+        ));
+    }
+    Ok(n)
 }
 
 /// Serializes tests that mutate the process-wide worker count.
@@ -96,5 +130,14 @@ mod tests {
         assert_eq!(jobs, None);
         assert!(take_jobs_flag(&argv("--jobs")).is_err());
         assert!(take_jobs_flag(&argv("--jobs many")).is_err());
+    }
+
+    #[test]
+    fn zero_jobs_is_a_usage_error() {
+        for argv in [argv("--jobs 0"), argv("--jobs=0")] {
+            let err = take_jobs_flag(&argv).unwrap_err();
+            assert!(err.is_usage(), "{err}");
+            assert!(err.to_string().contains("at least 1"), "{err}");
+        }
     }
 }

@@ -106,8 +106,8 @@ mod tests {
         let runner = GemmRunner::new();
         let wl = Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4);
         vec![
-            runner.analyze(Architecture::PackedK, wl),
-            runner.analyze(Architecture::Pacq, wl),
+            runner.analyze(Architecture::PackedK, wl).unwrap(),
+            runner.analyze(Architecture::Pacq, wl).unwrap(),
         ]
     }
 
@@ -126,14 +126,18 @@ mod tests {
     #[should_panic(expected = "identical workloads")]
     fn mismatched_workloads_rejected() {
         let runner = GemmRunner::new();
-        let a = runner.analyze(
-            Architecture::Pacq,
-            Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4),
-        );
-        let b = runner.analyze(
-            Architecture::Pacq,
-            Workload::new(GemmShape::M16N16K16, WeightPrecision::Int2),
-        );
+        let a = runner
+            .analyze(
+                Architecture::Pacq,
+                Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4),
+            )
+            .unwrap();
+        let b = runner
+            .analyze(
+                Architecture::Pacq,
+                Workload::new(GemmShape::M16N16K16, WeightPrecision::Int2),
+            )
+            .unwrap();
         Comparison::new(vec![a, b]);
     }
 

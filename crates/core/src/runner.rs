@@ -3,6 +3,7 @@
 //! three architectures.
 
 use crate::report::GemmReport;
+use pacq_error::PacqResult;
 use pacq_fp16::{NumericsMode, WeightPrecision};
 use pacq_quant::{GroupShape, MatrixF16, MatrixF32, PackDim, PackedMatrix, RtnQuantizer};
 use pacq_simt::{execute, simulate, Architecture, EnergyModel, SmConfig, Workload};
@@ -17,11 +18,14 @@ use rayon::prelude::*;
 /// use pacq::{Architecture, GemmRunner, GemmShape, Workload};
 /// use pacq_fp16::WeightPrecision;
 ///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let runner = GemmRunner::new();
 /// let wl = Workload::new(GemmShape::new(16, 256, 256), WeightPrecision::Int4);
-/// let base = runner.analyze(Architecture::StandardDequant, wl);
-/// let pacq = runner.analyze(Architecture::Pacq, wl);
+/// let base = runner.analyze(Architecture::StandardDequant, wl)?;
+/// let pacq = runner.analyze(Architecture::Pacq, wl)?;
 /// assert!(pacq.edp_pj_s < base.edp_pj_s);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct GemmRunner {
@@ -70,30 +74,44 @@ impl GemmRunner {
     }
 
     /// Analytically simulates `workload` on `arch` and prices it.
-    pub fn analyze(&self, arch: Architecture, workload: Workload) -> GemmReport {
-        let stats = simulate(arch, workload, &self.config, self.group);
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`pacq_simt::simulate`]'s shape/config errors.
+    pub fn analyze(&self, arch: Architecture, workload: Workload) -> PacqResult<GemmReport> {
+        let stats = simulate(arch, workload, &self.config, self.group)?;
         let model = EnergyModel::new(&self.config);
         let energy = model.energy(arch, &self.config, &stats);
         let edp_pj_s = model.edp(&energy, &stats);
-        GemmReport {
+        Ok(GemmReport {
             arch,
             workload,
             stats,
             energy,
             latency_s: stats.latency_s(self.config.clock_hz),
             edp_pj_s,
-        }
+        })
     }
 
     /// Analyzes every `(architecture, workload)` sweep point on the
     /// worker pool, returning reports in input order (the analysis is
     /// deterministic per point, so the sweep result does not depend on
     /// the job count).
-    pub fn analyze_sweep(&self, points: &[(Architecture, Workload)]) -> Vec<GemmReport> {
+    ///
+    /// # Errors
+    ///
+    /// Returns the first point's error in input order; no partial sweep
+    /// is returned.
+    pub fn analyze_sweep(
+        &self,
+        points: &[(Architecture, Workload)],
+    ) -> PacqResult<Vec<GemmReport>> {
         points
             .to_vec()
             .into_par_iter()
             .map(|(arch, wl)| self.analyze(arch, wl))
+            .collect::<Vec<PacqResult<GemmReport>>>()
+            .into_iter()
             .collect()
     }
 
@@ -103,15 +121,15 @@ impl GemmRunner {
     ///
     /// # Errors
     ///
-    /// Returns the packing error when the matrix extent is misaligned
-    /// with the lane count.
+    /// Propagates the quantizer's degenerate-input errors and the packing
+    /// error when the matrix extent is misaligned with the lane count.
     pub fn quantize_and_pack(
         &self,
         weights: &MatrixF32,
         precision: WeightPrecision,
         arch: Architecture,
-    ) -> Result<PackedMatrix, pacq_quant::PackShapeError> {
-        let q = RtnQuantizer::new(precision, self.group).quantize(weights);
+    ) -> PacqResult<PackedMatrix> {
+        let q = RtnQuantizer::new(precision, self.group).quantize(weights)?;
         let dim = match arch {
             Architecture::Pacq => PackDim::N,
             Architecture::PackedK | Architecture::StandardDequant => PackDim::K,
@@ -121,8 +139,15 @@ impl GemmRunner {
 
     /// Functionally executes a GEMM through the modeled datapath.
     ///
-    /// See [`pacq_simt::execute`] for the panic conditions.
-    pub fn execute(&self, arch: Architecture, a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
+    /// # Errors
+    ///
+    /// See [`pacq_simt::execute`] for the error conditions.
+    pub fn execute(
+        &self,
+        arch: Architecture,
+        a: &MatrixF16,
+        packed: &PackedMatrix,
+    ) -> PacqResult<MatrixF32> {
         execute(arch, a, packed, self.numerics)
     }
 }
@@ -143,7 +168,7 @@ mod tests {
     fn analyze_produces_consistent_reports() {
         let runner = GemmRunner::new();
         let wl = Workload::new(GemmShape::new(16, 512, 512), WeightPrecision::Int4);
-        let r = runner.analyze(Architecture::Pacq, wl);
+        let r = runner.analyze(Architecture::Pacq, wl).unwrap();
         assert_eq!(r.arch, Architecture::Pacq);
         assert!(r.latency_s > 0.0);
         assert!((r.edp_pj_s - r.total_energy_pj() * r.latency_s).abs() < 1e-9 * r.edp_pj_s);
@@ -181,9 +206,11 @@ mod tests {
             .quantize_and_pack(&w, WeightPrecision::Int4, Architecture::PackedK)
             .expect("packs");
 
-        let std = runner.execute(Architecture::StandardDequant, &a, &p_k);
-        let pk = runner.execute(Architecture::PackedK, &a, &p_k);
-        let pq = runner.execute(Architecture::Pacq, &a, &p_n);
+        let std = runner
+            .execute(Architecture::StandardDequant, &a, &p_k)
+            .unwrap();
+        let pk = runner.execute(Architecture::PackedK, &a, &p_k).unwrap();
+        let pq = runner.execute(Architecture::Pacq, &a, &p_n).unwrap();
 
         let err = |x: &MatrixF32, y: &MatrixF32| {
             let d = MatrixF32::from_fn(x.rows(), x.cols(), |r, c| x.get(r, c) - y.get(r, c));

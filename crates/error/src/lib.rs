@@ -1,0 +1,288 @@
+//! # pacq-error — the workspace-wide typed error layer
+//!
+//! Every public fallible API in the pacq workspace returns
+//! [`Result<T, PacqError>`](PacqResult) instead of panicking. The
+//! hierarchy is deliberately small: one enum whose variants map 1:1
+//! onto the classes of malformed input a long-running serving stack
+//! must survive, plus [`ArtifactError`] for the on-disk artifact
+//! decoder. The CLI maps each class to a distinct nonzero exit code
+//! via [`PacqError::exit_code`]:
+//!
+//! | exit code | class | variants |
+//! |---|---|---|
+//! | 2 | usage / argv | [`PacqError::Usage`] |
+//! | 3 | shape contract | [`PacqError::ZeroDim`], [`PacqError::ShapeMismatch`], [`PacqError::Misaligned`] |
+//! | 4 | numeric domain | [`PacqError::InvalidInput`], [`PacqError::NonFinite`], [`PacqError::EmptySearchSpace`], [`PacqError::NotPositiveDefinite`] |
+//! | 5 | artifact decode | [`PacqError::Artifact`] |
+//!
+//! The no-panic contract is enforced statically — the library crates
+//! deny `clippy::unwrap_used` / `expect_used` / `panic` outside tests —
+//! and dynamically by the `tests/fault_injection.rs` proptest suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+use std::fmt;
+
+/// Shorthand for `Result<T, PacqError>` used across the workspace.
+pub type PacqResult<T> = Result<T, PacqError>;
+
+/// A failure while decoding a serialized quantization artifact.
+///
+/// Produced by `pacq_quant::artifact::from_bytes`; every truncation or
+/// bit-flip of a valid artifact decodes to one of these, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The leading magic bytes are not `PACQ`.
+    BadMagic,
+    /// The format version byte is not one this build understands.
+    BadVersion(u8),
+    /// A header or payload field holds an out-of-contract value.
+    BadField(&'static str),
+    /// The byte stream ended before the encoded length was reached.
+    Truncated,
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => write!(f, "bad magic (expected `PACQ`)"),
+            ArtifactError::BadVersion(v) => write!(f, "unsupported artifact version {v}"),
+            ArtifactError::BadField(field) => write!(f, "invalid field `{field}`"),
+            ArtifactError::Truncated => write!(f, "truncated artifact"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// The unified error type of the pacq workspace.
+///
+/// Variants are grouped into four classes — usage, shape contract,
+/// numeric domain, artifact decode — each with its own CLI exit code
+/// (see [`PacqError::exit_code`]). `context` fields name the API that
+/// rejected the input so a one-line diagnostic is self-locating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PacqError {
+    /// Malformed command line: unknown flag, bad flag value, missing
+    /// argument. The CLI prints usage after this one.
+    Usage {
+        /// What was wrong with the invocation.
+        message: String,
+    },
+    /// A dimension that must be positive was zero.
+    ZeroDim {
+        /// The API and dimension that rejected the input.
+        context: &'static str,
+    },
+    /// Two extents that must agree did not.
+    ShapeMismatch {
+        /// The API and pair of extents being reconciled.
+        context: &'static str,
+        /// The extent on the left-hand side of the contract.
+        left: usize,
+        /// The extent on the right-hand side of the contract.
+        right: usize,
+    },
+    /// An extent violated an alignment/divisibility requirement.
+    Misaligned {
+        /// The API and extent that rejected the input.
+        context: &'static str,
+        /// The offending extent.
+        extent: usize,
+        /// The required divisor.
+        multiple: usize,
+    },
+    /// A parameter was outside its documented domain (wrong pack
+    /// dimension, unsupported width, non-positive damping, ...).
+    InvalidInput {
+        /// The API that rejected the input.
+        context: &'static str,
+        /// What the domain is and what was received.
+        message: String,
+    },
+    /// An input that must be finite contained NaN or ±Inf.
+    NonFinite {
+        /// The API and operand that rejected the input.
+        context: &'static str,
+    },
+    /// A search was asked to pick a best element from an empty space
+    /// (e.g. an empty AWQ alpha grid).
+    EmptySearchSpace {
+        /// The search that had nothing to search.
+        context: &'static str,
+    },
+    /// Cholesky factorization hit a non-positive pivot: the (damped)
+    /// GPTQ Hessian is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the first pivot whose square went non-positive.
+        pivot: usize,
+    },
+    /// A serialized artifact failed to decode.
+    Artifact(
+        /// The decoder-level cause.
+        ArtifactError,
+    ),
+}
+
+impl PacqError {
+    /// Convenience constructor for [`PacqError::Usage`].
+    pub fn usage(message: impl Into<String>) -> Self {
+        PacqError::Usage {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`PacqError::InvalidInput`].
+    pub fn invalid_input(context: &'static str, message: impl Into<String>) -> Self {
+        PacqError::InvalidInput {
+            context,
+            message: message.into(),
+        }
+    }
+
+    /// The process exit code the CLI uses for this error class.
+    ///
+    /// Distinct nonzero codes per class so scripted callers can tell a
+    /// typo (2) from a bad model shape (3), a numeric-domain violation
+    /// (4) or a corrupt artifact (5) without parsing stderr.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            PacqError::Usage { .. } => 2,
+            PacqError::ZeroDim { .. }
+            | PacqError::ShapeMismatch { .. }
+            | PacqError::Misaligned { .. } => 3,
+            PacqError::InvalidInput { .. }
+            | PacqError::NonFinite { .. }
+            | PacqError::EmptySearchSpace { .. }
+            | PacqError::NotPositiveDefinite { .. } => 4,
+            PacqError::Artifact(_) => 5,
+        }
+    }
+
+    /// True for errors that should be followed by a usage blurb.
+    pub fn is_usage(&self) -> bool {
+        matches!(self, PacqError::Usage { .. })
+    }
+}
+
+impl fmt::Display for PacqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacqError::Usage { message } => write!(f, "{message}"),
+            PacqError::ZeroDim { context } => {
+                write!(f, "{context}: dimension must be non-zero")
+            }
+            PacqError::ShapeMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "{context}: extents disagree ({left} vs {right})"),
+            PacqError::Misaligned {
+                context,
+                extent,
+                multiple,
+            } => write!(
+                f,
+                "{context}: extent {extent} is not a multiple of {multiple}"
+            ),
+            PacqError::InvalidInput { context, message } => write!(f, "{context}: {message}"),
+            PacqError::NonFinite { context } => {
+                write!(f, "{context}: input contains NaN or infinite values")
+            }
+            PacqError::EmptySearchSpace { context } => {
+                write!(f, "{context}: search space is empty")
+            }
+            PacqError::NotPositiveDefinite { pivot } => write!(
+                f,
+                "Hessian is not positive definite (pivot {pivot} went non-positive); \
+                 increase damping or provide more calibration rows"
+            ),
+            PacqError::Artifact(e) => write!(f, "artifact decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PacqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PacqError::Artifact(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for PacqError {
+    fn from(e: ArtifactError) -> Self {
+        PacqError::Artifact(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let usage = PacqError::usage("bad flag");
+        let zero = PacqError::ZeroDim { context: "t" };
+        let mismatch = PacqError::ShapeMismatch {
+            context: "t",
+            left: 1,
+            right: 2,
+        };
+        let misaligned = PacqError::Misaligned {
+            context: "t",
+            extent: 7,
+            multiple: 16,
+        };
+        let domain = PacqError::invalid_input("t", "bad");
+        let artifact = PacqError::from(ArtifactError::BadMagic);
+        assert_eq!(usage.exit_code(), 2);
+        assert_eq!(zero.exit_code(), 3);
+        assert_eq!(mismatch.exit_code(), 3);
+        assert_eq!(misaligned.exit_code(), 3);
+        assert_eq!(domain.exit_code(), 4);
+        assert_eq!(artifact.exit_code(), 5);
+        assert!(usage.is_usage());
+        assert!(!artifact.is_usage());
+    }
+
+    #[test]
+    fn displays_are_one_line() {
+        let errors = [
+            PacqError::usage("unknown flag `--frobnicate`"),
+            PacqError::ZeroDim { context: "rtn" },
+            PacqError::NonFinite { context: "awq" },
+            PacqError::EmptySearchSpace { context: "awq" },
+            PacqError::NotPositiveDefinite { pivot: 3 },
+            PacqError::Artifact(ArtifactError::BadVersion(9)),
+            PacqError::Artifact(ArtifactError::Truncated),
+            PacqError::Artifact(ArtifactError::BadField("pack_dim")),
+        ];
+        for e in errors {
+            let line = e.to_string();
+            assert!(!line.is_empty());
+            assert!(!line.contains('\n'), "multi-line Display: {line:?}");
+        }
+    }
+
+    #[test]
+    fn error_source_chains_to_artifact_cause() {
+        use std::error::Error as _;
+        let e = PacqError::from(ArtifactError::Truncated);
+        assert!(e.source().is_some());
+        assert!(PacqError::usage("x").source().is_none());
+    }
+
+    #[test]
+    fn pivot_is_preserved() {
+        let e = PacqError::NotPositiveDefinite { pivot: 42 };
+        assert!(e.to_string().contains("pivot 42"));
+    }
+}

@@ -11,6 +11,7 @@ use crate::mul::{Fp16Multiplier, RoundingMode};
 use crate::packed::{PackedWord, WeightPrecision};
 use crate::parallel::{ParallelFpIntMultiplier, MAX_LANES};
 use crate::softfloat;
+use pacq_error::{PacqError, PacqResult};
 
 /// Precision of the running dot-product accumulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -110,11 +111,15 @@ impl SumAccumulator {
 const MAX_WIDTH: usize = 16;
 
 /// Supported dot-product widths (Figure 12(a) studies DP-8 and DP-16).
-fn validate_width(width: usize) {
-    assert!(
-        matches!(width, 4 | 8 | 16),
-        "DP unit width must be 4, 8 or 16, got {width}"
-    );
+fn validate_width(width: usize) -> PacqResult<()> {
+    if matches!(width, 4 | 8 | 16) {
+        Ok(())
+    } else {
+        Err(PacqError::invalid_input(
+            "DP unit",
+            format!("width must be 4, 8 or 16, got {width}"),
+        ))
+    }
 }
 
 /// Tree depth of a `width`-input reduction.
@@ -135,7 +140,7 @@ fn tree_levels(width: usize) -> u32 {
 /// ```
 /// use pacq_fp16::{BaselineDpUnit, Fp16};
 ///
-/// let dp = BaselineDpUnit::new(4);
+/// let dp = BaselineDpUnit::new(4).unwrap();
 /// assert_eq!(dp.cycles_for_outputs(8), 11); // paper, Figure 8 discussion
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,16 +153,14 @@ pub struct BaselineDpUnit {
 impl BaselineDpUnit {
     /// Creates a baseline unit of the given width with FP32 accumulation.
     ///
-    /// # Panics
-    ///
-    /// Panics if `width` is not 4, 8 or 16.
-    pub fn new(width: usize) -> Self {
-        validate_width(width);
-        BaselineDpUnit {
+    /// Returns an error if `width` is not 4, 8 or 16.
+    pub fn new(width: usize) -> PacqResult<Self> {
+        validate_width(width)?;
+        Ok(BaselineDpUnit {
             width,
             acc: AccPrecision::Fp32,
             mul: Fp16Multiplier::new(),
-        }
+        })
     }
 
     /// Sets the accumulator precision.
@@ -272,10 +275,10 @@ impl PackedDotResult {
 /// ```
 /// use pacq_fp16::{ParallelDpUnit, WeightPrecision};
 ///
-/// let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4);
+/// let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).unwrap();
 /// assert_eq!(dp.cycles_for_batches(8), 19); // 32 outputs, Figure 8
 ///
-/// let dp2 = ParallelDpUnit::new(4, 2, WeightPrecision::Int2);
+/// let dp2 = ParallelDpUnit::new(4, 2, WeightPrecision::Int2).unwrap();
 /// assert_eq!(dp2.cycles_for_batches(8), 35); // 64 outputs, Figure 8
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -294,23 +297,24 @@ impl ParallelDpUnit {
     /// `duplication` is the adder-tree duplication level of Figure 11
     /// (1, 2 or 4; the paper's design point is 2).
     ///
-    /// # Panics
-    ///
-    /// Panics if `width` is not 4/8/16 or `duplication` not 1/2/4.
-    pub fn new(width: usize, duplication: usize, precision: WeightPrecision) -> Self {
-        validate_width(width);
-        assert!(
-            matches!(duplication, 1 | 2 | 4),
-            "adder tree duplication must be 1, 2 or 4, got {duplication}"
-        );
-        ParallelDpUnit {
+    /// Returns an error if `width` is not 4/8/16 or `duplication` not
+    /// 1/2/4.
+    pub fn new(width: usize, duplication: usize, precision: WeightPrecision) -> PacqResult<Self> {
+        validate_width(width)?;
+        if !matches!(duplication, 1 | 2 | 4) {
+            return Err(PacqError::invalid_input(
+                "DP unit",
+                format!("adder tree duplication must be 1, 2 or 4, got {duplication}"),
+            ));
+        }
+        Ok(ParallelDpUnit {
             width,
             duplication,
             precision,
             acc: AccPrecision::Fp32,
             numerics: NumericsMode::PaperRounded,
             mul: ParallelFpIntMultiplier::new(precision),
-        }
+        })
     }
 
     /// Sets the accumulator precision.
@@ -548,7 +552,7 @@ mod tests {
 
     #[test]
     fn baseline_dp4_timing_matches_paper() {
-        let dp = BaselineDpUnit::new(4);
+        let dp = BaselineDpUnit::new(4).unwrap();
         assert_eq!(dp.pipeline_depth(), 4);
         assert_eq!(dp.cycles_for_outputs(8), 11);
         assert_eq!(dp.cycles_for_outputs(0), 0);
@@ -558,11 +562,11 @@ mod tests {
     #[test]
     fn parallel_dp4_timing_matches_paper() {
         // INT4 / dup 2: 8 batches (32 outputs) in 19 cycles.
-        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4);
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).unwrap();
         assert_eq!(dp.issue_interval(), 2);
         assert_eq!(dp.cycles_for_batches(8), 19);
         // INT2 / dup 2: 8 batches (64 outputs) in 35 cycles.
-        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int2);
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int2).unwrap();
         assert_eq!(dp.issue_interval(), 4);
         assert_eq!(dp.cycles_for_batches(8), 35);
     }
@@ -570,19 +574,27 @@ mod tests {
     #[test]
     fn duplication_changes_issue_interval() {
         assert_eq!(
-            ParallelDpUnit::new(4, 1, WeightPrecision::Int4).issue_interval(),
+            ParallelDpUnit::new(4, 1, WeightPrecision::Int4)
+                .unwrap()
+                .issue_interval(),
             4
         );
         assert_eq!(
-            ParallelDpUnit::new(4, 2, WeightPrecision::Int4).issue_interval(),
+            ParallelDpUnit::new(4, 2, WeightPrecision::Int4)
+                .unwrap()
+                .issue_interval(),
             2
         );
         assert_eq!(
-            ParallelDpUnit::new(4, 4, WeightPrecision::Int4).issue_interval(),
+            ParallelDpUnit::new(4, 4, WeightPrecision::Int4)
+                .unwrap()
+                .issue_interval(),
             1
         );
         assert_eq!(
-            ParallelDpUnit::new(4, 4, WeightPrecision::Int2).issue_interval(),
+            ParallelDpUnit::new(4, 4, WeightPrecision::Int2)
+                .unwrap()
+                .issue_interval(),
             2
         );
     }
@@ -591,19 +603,21 @@ mod tests {
     fn inner_product_16_values_in_2_cycles() {
         // Paper: "accumulation of the inner product of 16 values in 2
         // cycles for INT4 (or 32 values in 4 cycles for INT2)".
-        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4);
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).unwrap();
         assert_eq!(dp.issue_interval(), 2); // one batch = 16 products
-        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int2);
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int2).unwrap();
         assert_eq!(dp.issue_interval(), 4); // one batch = 32 products
     }
 
     #[test]
     fn resources_match_table_i() {
-        let base = BaselineDpUnit::new(4).resources();
+        let base = BaselineDpUnit::new(4).unwrap().resources();
         assert_eq!(base.fp16_multipliers, 4);
         assert_eq!(base.fp16_adders, 4);
 
-        let par = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).resources();
+        let par = ParallelDpUnit::new(4, 2, WeightPrecision::Int4)
+            .unwrap()
+            .resources();
         assert_eq!(par.parallel_multipliers, 4);
         assert_eq!(par.fp16_adders, 8);
         assert_eq!(par.sum_accumulators, 1);
@@ -611,7 +625,7 @@ mod tests {
 
     #[test]
     fn baseline_dot_matches_reference() {
-        let dp = BaselineDpUnit::new(4);
+        let dp = BaselineDpUnit::new(4).unwrap();
         let a: Vec<Fp16> = [1.0f32, -2.0, 0.5, 4.0]
             .iter()
             .map(|&v| Fp16::from_f32(v))
@@ -628,7 +642,9 @@ mod tests {
     fn packed_dot_recovers_true_dot_products_wide() {
         // With wide products the Eq.(1) recovery is exact for integer-ish
         // activations.
-        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).with_numerics(NumericsMode::Wide);
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4)
+            .unwrap()
+            .with_numerics(NumericsMode::Wide);
         let a: Vec<Fp16> = [1.0f32, 2.0, -1.5, 0.5]
             .iter()
             .map(|&v| Fp16::from_f32(v))
@@ -666,7 +682,7 @@ mod tests {
         // A single term: A = 1+2^-10, B = 1. The biased product 1034.009…
         // rounds to 1034, so recovery yields 1034 − 1032·A ≈ 0.992 instead
         // of 1.00098 — the numerics finding documented in EXPERIMENTS.md.
-        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4);
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).unwrap();
         let a = vec![Fp16::from_f32(1.0 + 2.0f32.powi(-10)); 4];
         let mut weights = [Int4::new(0).unwrap(); 4];
         weights[0] = Int4::new(1).unwrap();
@@ -748,6 +764,7 @@ mod tests {
         for numerics in [NumericsMode::PaperRounded, NumericsMode::Wide] {
             for acc in [AccPrecision::Fp32, AccPrecision::Fp16] {
                 let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4)
+                    .unwrap()
                     .with_numerics(numerics)
                     .with_acc_precision(acc);
                 let full = dp.dot_packed(&a, &words);
@@ -766,14 +783,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "width must be 4, 8 or 16")]
     fn invalid_width_rejected() {
-        BaselineDpUnit::new(5);
+        let err = BaselineDpUnit::new(5).unwrap_err();
+        assert!(err.to_string().contains("width must be 4, 8 or 16"));
+        assert!(ParallelDpUnit::new(0, 2, WeightPrecision::Int4).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "duplication must be 1, 2 or 4")]
     fn invalid_duplication_rejected() {
-        ParallelDpUnit::new(4, 3, WeightPrecision::Int4);
+        let err = ParallelDpUnit::new(4, 3, WeightPrecision::Int4).unwrap_err();
+        assert!(err.to_string().contains("duplication must be 1, 2 or 4"));
     }
 }

@@ -39,6 +39,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The no-panic contract (DESIGN.md §10): library code returns
+// `Result<_, PacqError>`; only tests may unwrap.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 mod bits;
 pub mod dp;

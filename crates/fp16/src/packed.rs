@@ -8,6 +8,8 @@
 
 use core::fmt;
 
+use pacq_error::{PacqError, PacqResult};
+
 /// Weight precision of a hyper-asymmetric GEMM (the activation side is
 /// always FP16 in this work).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,15 +128,25 @@ impl Int4 {
         (self.0 + 8) as u8
     }
 
-    /// Reconstructs from the biased code.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `code > 15`.
+    /// Reconstructs from the biased code, rejecting codes above 15.
     #[inline]
-    pub fn from_biased_code(code: u8) -> Self {
-        assert!(code <= 15, "INT4 biased code out of range: {code}");
-        Int4(code as i8 - 8)
+    pub fn from_biased_code(code: u8) -> PacqResult<Self> {
+        if code > 15 {
+            return Err(PacqError::invalid_input(
+                "Int4::from_biased_code",
+                format!("biased code {code} out of range [0, 15]"),
+            ));
+        }
+        Ok(Int4(code as i8 - 8))
+    }
+
+    /// Reconstructs from the low 4 bits of `code`, ignoring the rest.
+    ///
+    /// Infallible companion of [`Int4::from_biased_code`] for callers
+    /// that have already masked the lane out of a [`PackedWord`].
+    #[inline]
+    pub const fn from_masked_code(code: u8) -> Self {
+        Int4((code & 0xF) as i8 - 8)
     }
 
     /// Iterator over all 16 representable values.
@@ -209,15 +221,25 @@ impl Int2 {
         (self.0 + 2) as u8
     }
 
-    /// Reconstructs from the biased code.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `code > 3`.
+    /// Reconstructs from the biased code, rejecting codes above 3.
     #[inline]
-    pub fn from_biased_code(code: u8) -> Self {
-        assert!(code <= 3, "INT2 biased code out of range: {code}");
-        Int2(code as i8 - 2)
+    pub fn from_biased_code(code: u8) -> PacqResult<Self> {
+        if code > 3 {
+            return Err(PacqError::invalid_input(
+                "Int2::from_biased_code",
+                format!("biased code {code} out of range [0, 3]"),
+            ));
+        }
+        Ok(Int2(code as i8 - 2))
+    }
+
+    /// Reconstructs from the low 2 bits of `code`, ignoring the rest.
+    ///
+    /// Infallible companion of [`Int2::from_biased_code`] for callers
+    /// that have already masked the lane out of a [`PackedWord`].
+    #[inline]
+    pub const fn from_masked_code(code: u8) -> Self {
+        Int2((code & 0x3) as i8 - 2)
     }
 
     /// Iterator over all 4 representable values.
@@ -316,7 +338,7 @@ impl PackedWord {
 
     /// Unpacks four INT4 weights.
     pub fn unpack_int4(self) -> [Int4; 4] {
-        core::array::from_fn(|lane| Int4::from_biased_code(((self.0 >> (4 * lane)) & 0xF) as u8))
+        core::array::from_fn(|lane| Int4::from_masked_code(((self.0 >> (4 * lane)) & 0xF) as u8))
     }
 
     /// Packs eight INT2 weights (lane 0 in the low 2 bits).
@@ -330,7 +352,7 @@ impl PackedWord {
 
     /// Unpacks eight INT2 weights.
     pub fn unpack_int2(self) -> [Int2; 8] {
-        core::array::from_fn(|lane| Int2::from_biased_code(((self.0 >> (2 * lane)) & 0x3) as u8))
+        core::array::from_fn(|lane| Int2::from_masked_code(((self.0 >> (2 * lane)) & 0x3) as u8))
     }
 
     /// The biased code in `lane` for the given precision.
@@ -383,7 +405,8 @@ mod tests {
     #[test]
     fn int4_roundtrip_all_values() {
         for w in Int4::all_values() {
-            assert_eq!(Int4::from_biased_code(w.biased_code()), w);
+            assert_eq!(Int4::from_biased_code(w.biased_code()), Ok(w));
+            assert_eq!(Int4::from_masked_code(w.biased_code()), w);
             assert_eq!(Int4::new(w.value()), Some(w));
         }
         assert_eq!(Int4::new(8), None);
@@ -395,7 +418,8 @@ mod tests {
     #[test]
     fn int2_roundtrip_all_values() {
         for w in Int2::all_values() {
-            assert_eq!(Int2::from_biased_code(w.biased_code()), w);
+            assert_eq!(Int2::from_biased_code(w.biased_code()), Ok(w));
+            assert_eq!(Int2::from_masked_code(w.biased_code()), w);
             assert_eq!(Int2::new(w.value()), Some(w));
         }
         assert_eq!(Int2::new(2), None);
@@ -439,6 +463,16 @@ mod tests {
     #[should_panic(expected = "lane 4 out of range")]
     fn lane_bounds_checked() {
         PackedWord::from_bits(0).biased_lane(WeightPrecision::Int4, 4);
+    }
+
+    #[test]
+    fn out_of_range_biased_codes_are_rejected_not_panicking() {
+        for code in 16u8..=u8::MAX {
+            assert!(Int4::from_biased_code(code).is_err(), "code {code}");
+        }
+        for code in 4u8..=u8::MAX {
+            assert!(Int2::from_biased_code(code).is_err(), "code {code}");
+        }
     }
 
     #[test]

@@ -153,6 +153,7 @@ proptest! {
         w in prop::collection::vec(prop::array::uniform4(any_int4()), 8),
     ) {
         let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4)
+            .unwrap()
             .with_numerics(NumericsMode::Wide);
         let words: Vec<PackedWord> = w.iter().map(|&x| PackedWord::pack_int4(x)).collect();
         let res = dp.dot_packed(&a, &words);
@@ -175,7 +176,7 @@ proptest! {
         a in prop::collection::vec(act_fp16(), 8),
         w in prop::collection::vec(prop::array::uniform4(any_int4()), 8),
     ) {
-        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4);
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).unwrap();
         let words: Vec<PackedWord> = w.iter().map(|&x| PackedWord::pack_int4(x)).collect();
         let res = dp.dot_packed(&a, &words);
         let rec = res.recover();
@@ -203,7 +204,7 @@ proptest! {
         a in prop::array::uniform4(small_fp16()),
         b in prop::array::uniform4(small_fp16()),
     ) {
-        let dp = BaselineDpUnit::new(4);
+        let dp = BaselineDpUnit::new(4).unwrap();
         let got = dp.dot_acc(0.0, &a, &b);
         let want: f64 = a.iter().zip(&b)
             .map(|(&x, &y)| x.to_f32() as f64 * y.to_f32() as f64).sum();
@@ -219,9 +220,9 @@ proptest! {
     #[test]
     fn timing_monotone(batches in 1u64..1000) {
         for prec in [WeightPrecision::Int4, WeightPrecision::Int2] {
-            let d1 = ParallelDpUnit::new(4, 1, prec);
-            let d2 = ParallelDpUnit::new(4, 2, prec);
-            let d4 = ParallelDpUnit::new(4, 4, prec);
+            let d1 = ParallelDpUnit::new(4, 1, prec).unwrap();
+            let d2 = ParallelDpUnit::new(4, 2, prec).unwrap();
+            let d4 = ParallelDpUnit::new(4, 4, prec).unwrap();
             prop_assert!(d1.cycles_for_batches(batches) >= d2.cycles_for_batches(batches));
             prop_assert!(d2.cycles_for_batches(batches) >= d4.cycles_for_batches(batches));
             prop_assert!(d2.cycles_for_batches(batches + 1) > d2.cycles_for_batches(batches));
@@ -242,7 +243,7 @@ proptest! {
 fn baseline_dp_historic_overflow_case() {
     let a = [56363u16, 0, 57274, 0].map(Fp16::from_bits);
     let b = [24221u16, 0, 55810, 0].map(Fp16::from_bits);
-    let dp = BaselineDpUnit::new(4);
+    let dp = BaselineDpUnit::new(4).unwrap();
     let got = dp.dot_acc(0.0, &a, &b);
     let want: f64 = a
         .iter()

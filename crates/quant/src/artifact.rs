@@ -24,37 +24,11 @@
 use crate::groups::GroupShape;
 use crate::pack::{PackDim, PackedMatrix};
 use crate::rtn::QuantizedMatrix;
-use core::fmt;
+use pacq_error::{ArtifactError, PacqResult};
 use pacq_fp16::WeightPrecision;
 
 const MAGIC: &[u8; 4] = b"PACQ";
 const VERSION: u8 = 1;
-
-/// Error decoding a packed-weight artifact.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DecodeArtifactError {
-    /// The buffer does not start with the `PACQ` magic.
-    BadMagic,
-    /// Unsupported container version.
-    BadVersion(u8),
-    /// A field held an invalid value.
-    BadField(&'static str),
-    /// The buffer ended before the declared payload.
-    Truncated,
-}
-
-impl fmt::Display for DecodeArtifactError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DecodeArtifactError::BadMagic => f.write_str("not a PACQ artifact (bad magic)"),
-            DecodeArtifactError::BadVersion(v) => write!(f, "unsupported artifact version {v}"),
-            DecodeArtifactError::BadField(name) => write!(f, "invalid field `{name}`"),
-            DecodeArtifactError::Truncated => f.write_str("artifact truncated"),
-        }
-    }
-}
-
-impl std::error::Error for DecodeArtifactError {}
 
 /// Serializes a packed matrix into the `PACQ` container.
 pub fn to_bytes(packed: &PackedMatrix) -> Vec<u8> {
@@ -88,46 +62,46 @@ pub fn to_bytes(packed: &PackedMatrix) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`DecodeArtifactError`] on any malformed input; decoding never
-/// panics on untrusted bytes.
-pub fn from_bytes(bytes: &[u8]) -> Result<PackedMatrix, DecodeArtifactError> {
+/// Returns [`PacqError::Artifact`](pacq_error::PacqError::Artifact) on
+/// any malformed input; decoding never panics on untrusted bytes.
+pub fn from_bytes(bytes: &[u8]) -> PacqResult<PackedMatrix> {
     let mut r = Reader { bytes, pos: 0 };
     if r.take(4)? != MAGIC {
-        return Err(DecodeArtifactError::BadMagic);
+        return Err(ArtifactError::BadMagic.into());
     }
     let version = r.u8()?;
     if version != VERSION {
-        return Err(DecodeArtifactError::BadVersion(version));
+        return Err(ArtifactError::BadVersion(version).into());
     }
     let precision = match r.u8()? {
         4 => WeightPrecision::Int4,
         2 => WeightPrecision::Int2,
-        _ => return Err(DecodeArtifactError::BadField("precision")),
+        _ => return Err(ArtifactError::BadField("precision").into()),
     };
     let dim = match r.u8()? {
         0 => PackDim::K,
         1 => PackDim::N,
-        _ => return Err(DecodeArtifactError::BadField("pack_dim")),
+        _ => return Err(ArtifactError::BadField("pack_dim").into()),
     };
     let _pad = r.u8()?;
     let g_k = r.u32()? as usize;
     let g_n = r.u32()? as usize;
     if g_k == 0 || g_n == 0 {
-        return Err(DecodeArtifactError::BadField("group"));
+        return Err(ArtifactError::BadField("group").into());
     }
-    let group = GroupShape::new(g_k, g_n);
+    let group = GroupShape::try_new(g_k, g_n)?;
     let k = r.u32()? as usize;
     let n = r.u32()? as usize;
     let lanes = precision.lanes();
     if k == 0 || n == 0 || k.checked_mul(n).is_none_or(|e| e > 1 << 30) {
-        return Err(DecodeArtifactError::BadField("shape"));
+        return Err(ArtifactError::BadField("shape").into());
     }
     let along = match dim {
         PackDim::K => k,
         PackDim::N => n,
     };
     if along % lanes != 0 {
-        return Err(DecodeArtifactError::BadField("shape/lane alignment"));
+        return Err(ArtifactError::BadField("shape/lane alignment").into());
     }
 
     // Rebuild codes by unpacking words, then reconstruct through the
@@ -136,7 +110,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PackedMatrix, DecodeArtifactError> {
     let mut codes = vec![0i8; k * n];
     let bits = precision.bits() as usize;
     for w in 0..word_count {
-        let raw = u16::from_le_bytes(r.take(2)?.try_into().expect("2-byte slice"));
+        let raw = r.u16()?;
         for lane in 0..lanes {
             let code = ((raw >> (bits * lane)) as i32 & ((1 << bits) - 1)) - precision.bias();
             // Word w covers either k-run or n-run lanes.
@@ -150,9 +124,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PackedMatrix, DecodeArtifactError> {
     let groups = group.group_count(k, n);
     let mut scales = Vec::with_capacity(groups);
     for _ in 0..groups {
-        let s = f32::from_le_bytes(r.take(4)?.try_into().expect("4-byte slice"));
+        let s = r.f32()?;
         if !s.is_finite() || s <= 0.0 {
-            return Err(DecodeArtifactError::BadField("scale"));
+            return Err(ArtifactError::BadField("scale").into());
         }
         scales.push(s);
     }
@@ -161,13 +135,15 @@ pub fn from_bytes(bytes: &[u8]) -> Result<PackedMatrix, DecodeArtifactError> {
     for _ in 0..groups {
         let z = r.u8()?;
         if z as u32 > max_zp {
-            return Err(DecodeArtifactError::BadField("zero point"));
+            return Err(ArtifactError::BadField("zero point").into());
         }
         zero_points.push(z);
     }
 
-    let q = QuantizedMatrix::from_parts(precision, group, k, n, codes, scales, zero_points);
-    Ok(PackedMatrix::pack(&q, dim).expect("alignment validated above"))
+    let q = QuantizedMatrix::from_parts(precision, group, k, n, codes, scales, zero_points)?;
+    // Alignment was validated above, so packing cannot fail; propagate
+    // rather than unwrap to keep the no-panic contract airtight.
+    PackedMatrix::pack(&q, dim)
 }
 
 struct Reader<'a> {
@@ -176,27 +152,33 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, len: usize) -> Result<&'a [u8], DecodeArtifactError> {
-        let end = self
-            .pos
-            .checked_add(len)
-            .ok_or(DecodeArtifactError::Truncated)?;
+    fn take(&mut self, len: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self.pos.checked_add(len).ok_or(ArtifactError::Truncated)?;
         if end > self.bytes.len() {
-            return Err(DecodeArtifactError::Truncated);
+            return Err(ArtifactError::Truncated);
         }
         let s = &self.bytes[self.pos..end];
         self.pos = end;
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeArtifactError> {
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeArtifactError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4-byte slice"),
-        ))
+    fn u16(&mut self) -> Result<u16, ArtifactError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, ArtifactError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 }
 
@@ -206,9 +188,13 @@ mod tests {
     use crate::rtn::RtnQuantizer;
     use crate::synth::SynthGenerator;
 
+    use pacq_error::PacqError;
+
     fn sample(precision: WeightPrecision, dim: PackDim) -> PackedMatrix {
         let w = SynthGenerator::new(55).llm_weights(64, 32);
-        let q = RtnQuantizer::asymmetric(precision, GroupShape::new(32, 4)).quantize(&w);
+        let q = RtnQuantizer::asymmetric(precision, GroupShape::new(32, 4))
+            .quantize(&w)
+            .expect("quantizes");
         PackedMatrix::pack(&q, dim).expect("aligned")
     }
 
@@ -229,10 +215,16 @@ mod tests {
         let p = sample(WeightPrecision::Int4, PackDim::N);
         let mut bytes = to_bytes(&p);
         bytes[0] = b'X';
-        assert_eq!(from_bytes(&bytes), Err(DecodeArtifactError::BadMagic));
+        assert_eq!(
+            from_bytes(&bytes),
+            Err(PacqError::Artifact(ArtifactError::BadMagic))
+        );
         let mut bytes = to_bytes(&p);
         bytes[4] = 9;
-        assert_eq!(from_bytes(&bytes), Err(DecodeArtifactError::BadVersion(9)));
+        assert_eq!(
+            from_bytes(&bytes),
+            Err(PacqError::Artifact(ArtifactError::BadVersion(9)))
+        );
     }
 
     #[test]
@@ -255,7 +247,7 @@ mod tests {
         bytes[scale_off..scale_off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
         assert_eq!(
             from_bytes(&bytes),
-            Err(DecodeArtifactError::BadField("scale"))
+            Err(PacqError::Artifact(ArtifactError::BadField("scale")))
         );
     }
 

@@ -15,6 +15,7 @@
 use crate::groups::GroupShape;
 use crate::matrix::MatrixF32;
 use crate::rtn::{QuantizedMatrix, RtnQuantizer};
+use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::WeightPrecision;
 use rayon::prelude::*;
 
@@ -61,7 +62,9 @@ impl AwqResult {
 /// let mut g = SynthGenerator::new(1);
 /// let w = g.llm_weights(128, 32);
 /// let a = g.llm_activations(8, 128);
-/// let res = AwqScaler::new().search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32));
+/// let res = AwqScaler::new()
+///     .search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32))
+///     .unwrap();
 /// // α = 0 reproduces plain RTN, so the search can never be worse.
 /// assert!(res.alpha >= 0.0);
 /// ```
@@ -81,29 +84,54 @@ impl AwqScaler {
 
     /// A scaler with a custom α grid.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the grid is empty.
-    pub fn with_grid(alpha_grid: Vec<f64>) -> Self {
-        assert!(!alpha_grid.is_empty(), "alpha grid must be non-empty");
-        AwqScaler { alpha_grid }
+    /// Returns [`PacqError::EmptySearchSpace`] for an empty grid (a
+    /// search over nothing has no winner) and [`PacqError::NonFinite`]
+    /// if any exponent is NaN or infinite.
+    pub fn with_grid(alpha_grid: Vec<f64>) -> PacqResult<Self> {
+        if alpha_grid.is_empty() {
+            return Err(PacqError::EmptySearchSpace {
+                context: "AwqScaler::with_grid",
+            });
+        }
+        if !alpha_grid.iter().all(|a| a.is_finite()) {
+            return Err(PacqError::NonFinite {
+                context: "AwqScaler::with_grid",
+            });
+        }
+        Ok(AwqScaler { alpha_grid })
     }
 
     /// Searches the α grid for the scale vector minimizing the output
     /// error of `activations × dequant(quantize(s ⊙ weights))` against
     /// the full-precision product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::ShapeMismatch`] when the activation width
+    /// does not equal the weight k-extent, [`PacqError::NonFinite`] for
+    /// non-finite activations, and propagates quantizer errors (zero
+    /// shapes, non-finite weights) from the underlying RTN pass.
     pub fn search(
         &self,
         weights: &MatrixF32,
         activations: &MatrixF32,
         precision: WeightPrecision,
         group: GroupShape,
-    ) -> AwqResult {
-        assert_eq!(
-            activations.cols(),
-            weights.rows(),
-            "activation width must equal weight k-extent"
-        );
+    ) -> PacqResult<AwqResult> {
+        if activations.cols() != weights.rows() {
+            return Err(PacqError::ShapeMismatch {
+                context: "AwqScaler::search (activation width vs weight k-extent)",
+                left: activations.cols(),
+                right: weights.rows(),
+            });
+        }
+        if !activations.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(PacqError::NonFinite {
+                context: "AwqScaler::search (activations)",
+            });
+        }
         let k = weights.rows();
 
         // Mean |A| per input channel.
@@ -123,9 +151,9 @@ impl AwqScaler {
 
         // Grid points are independent; evaluate them on the pool. The
         // winner is picked afterwards in grid order with the same strict
-        // `<`, so ties resolve to the earliest α exactly like the serial
-        // scan did.
-        let candidates: Vec<AwqResult> = self
+        // ordering, so ties resolve to the earliest α exactly like the
+        // serial scan did.
+        let candidates: Vec<PacqResult<AwqResult>> = self
             .alpha_grid
             .clone()
             .into_par_iter()
@@ -133,7 +161,7 @@ impl AwqScaler {
                 let scales: Vec<f32> = mag.iter().map(|&m| (m.powf(alpha)) as f32).collect();
                 let scaled =
                     MatrixF32::from_fn(k, weights.cols(), |kk, n| weights.get(kk, n) * scales[kk]);
-                let quantized = RtnQuantizer::new(precision, group).quantize(&scaled);
+                let quantized = RtnQuantizer::new(precision, group).quantize(&scaled)?;
                 let deq = quantized.dequantize();
                 // Effective weight seen by the original activations.
                 let effective =
@@ -143,24 +171,35 @@ impl AwqScaler {
                     out.get(r, c) - reference.get(r, c)
                 });
                 let err = diff.frobenius_norm() / ref_norm;
-                AwqResult {
+                Ok(AwqResult {
                     alpha,
                     channel_scales: scales,
                     quantized,
                     output_rel_err: err,
-                }
+                })
             })
             .collect();
         let mut best: Option<AwqResult> = None;
         for cand in candidates {
-            if best
-                .as_ref()
-                .is_none_or(|b| cand.output_rel_err < b.output_rel_err)
-            {
+            let cand = cand?;
+            // NaN-aware total ordering: a NaN error never beats a finite
+            // one, and a finite error always beats a NaN incumbent, so the
+            // winner does not depend on the order candidates are compared.
+            let wins = match &best {
+                None => true,
+                Some(b) => match (cand.output_rel_err.is_nan(), b.output_rel_err.is_nan()) {
+                    (true, _) => false,
+                    (false, true) => true,
+                    (false, false) => cand.output_rel_err < b.output_rel_err,
+                },
+            };
+            if wins {
                 best = Some(cand);
             }
         }
-        best.expect("non-empty grid")
+        best.ok_or(PacqError::EmptySearchSpace {
+            context: "AwqScaler::search",
+        })
     }
 }
 
@@ -190,8 +229,10 @@ mod tests {
             base.get(m, k) * boost
         });
 
-        let plain = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128);
-        let awq = AwqScaler::new().search(&w, &a, WeightPrecision::Int4, GroupShape::G128);
+        let plain = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128).unwrap();
+        let awq = AwqScaler::new()
+            .search(&w, &a, WeightPrecision::Int4, GroupShape::G128)
+            .unwrap();
         assert!(
             awq.output_rel_err < plain.output_rel_err,
             "AWQ {} !< RTN {}",
@@ -207,8 +248,10 @@ mod tests {
         let mut g = SynthGenerator::new(78);
         let w = g.llm_weights(128, 32);
         let a = g.llm_activations(8, 128);
-        let plain = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32));
-        let awq = AwqScaler::new().search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32));
+        let plain = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32)).unwrap();
+        let awq = AwqScaler::new()
+            .search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32))
+            .unwrap();
         assert!(awq.output_rel_err <= plain.output_rel_err * 1.0001);
     }
 
@@ -219,12 +262,10 @@ mod tests {
         let mut g = SynthGenerator::new(79);
         let w = g.llm_weights(64, 16);
         let a = g.llm_activations(4, 64);
-        let res = AwqScaler::with_grid(vec![0.5]).search(
-            &w,
-            &a,
-            WeightPrecision::Int4,
-            GroupShape::along_k(32),
-        );
+        let res = AwqScaler::with_grid(vec![0.5])
+            .unwrap()
+            .search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32))
+            .unwrap();
         let a_scaled = res.scale_activations(&a);
         let out = a_scaled.matmul(&res.quantized.dequantize());
         let reference = a.matmul(&w);
@@ -237,8 +278,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "alpha grid must be non-empty")]
-    fn empty_grid_rejected() {
-        AwqScaler::with_grid(vec![]);
+    fn empty_grid_is_a_typed_error_not_a_panic() {
+        use pacq_error::PacqError;
+        assert!(matches!(
+            AwqScaler::with_grid(vec![]),
+            Err(PacqError::EmptySearchSpace { .. })
+        ));
+        assert!(matches!(
+            AwqScaler::with_grid(vec![0.5, f64::NAN]),
+            Err(PacqError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_activation_width_is_a_typed_error() {
+        use pacq_error::PacqError;
+        let mut g = SynthGenerator::new(80);
+        let w = g.llm_weights(64, 16);
+        let a = g.llm_activations(4, 32); // 32 != 64
+        let err = AwqScaler::new()
+            .search(&w, &a, WeightPrecision::Int4, GroupShape::along_k(32))
+            .unwrap_err();
+        assert!(matches!(err, PacqError::ShapeMismatch { .. }));
+    }
+
+    /// A NaN candidate error must never beat a finite one, regardless of
+    /// comparison order — the historical `<` scan let NaN win or lose
+    /// depending on where it appeared in the grid.
+    #[test]
+    fn nan_candidates_order_last() {
+        let mut g = SynthGenerator::new(81);
+        let w = g.llm_weights(64, 16);
+        let a = g.llm_activations(4, 64);
+        // An extreme α overflows the channel scales to ±inf, which makes
+        // the scaled weights non-finite and the candidate an Err — so the
+        // search surfaces the failure instead of silently crowning NaN.
+        let res = AwqScaler::with_grid(vec![0.0, 4000.0]).unwrap().search(
+            &w,
+            &a,
+            WeightPrecision::Int4,
+            GroupShape::along_k(32),
+        );
+        match res {
+            // Either the bad candidate errored out (non-finite weights)...
+            Err(e) => assert!(matches!(e, pacq_error::PacqError::NonFinite { .. })),
+            // ...or it produced a NaN error and must have lost to α = 0.
+            Ok(r) => {
+                assert_eq!(r.alpha, 0.0);
+                assert!(r.output_rel_err.is_finite());
+            }
+        }
     }
 }

@@ -8,6 +8,7 @@
 use crate::groups::GroupShape;
 use crate::matrix::MatrixF32;
 use crate::rtn::RtnQuantizer;
+use pacq_error::PacqResult;
 use pacq_fp16::WeightPrecision;
 
 /// Weight-domain and output-domain error of one quantization configuration.
@@ -33,7 +34,7 @@ pub struct QuantError {
 /// let mut g = SynthGenerator::new(1);
 /// let w = g.llm_weights(256, 64);
 /// let a = g.llm_activations(8, 256);
-/// let e = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128);
+/// let e = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128).unwrap();
 /// assert!(e.weight_sqnr_db > 10.0); // INT4 RTN keeps usable SQNR
 /// ```
 pub fn evaluate_rtn(
@@ -41,8 +42,8 @@ pub fn evaluate_rtn(
     activations: &MatrixF32,
     precision: WeightPrecision,
     group: GroupShape,
-) -> QuantError {
-    let q = RtnQuantizer::new(precision, group).quantize(weights);
+) -> PacqResult<QuantError> {
+    let q = RtnQuantizer::new(precision, group).quantize(weights)?;
     let deq = q.dequantize();
 
     let weight_mse = weights.mse(&deq);
@@ -66,11 +67,11 @@ pub fn evaluate_rtn(
     let denom = ref_out.frobenius_norm().max(1e-30);
     let output_rel_err = diff.frobenius_norm() / denom;
 
-    QuantError {
+    Ok(QuantError {
         weight_mse,
         weight_sqnr_db,
         output_rel_err,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -86,8 +87,8 @@ mod tests {
     #[test]
     fn int4_beats_int2() {
         let (w, a) = setup();
-        let e4 = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128);
-        let e2 = evaluate_rtn(&w, &a, WeightPrecision::Int2, GroupShape::G128);
+        let e4 = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128).unwrap();
+        let e2 = evaluate_rtn(&w, &a, WeightPrecision::Int2, GroupShape::G128).unwrap();
         assert!(e4.weight_mse < e2.weight_mse);
         assert!(e4.weight_sqnr_db > e2.weight_sqnr_db);
         assert!(e4.output_rel_err < e2.output_rel_err);
@@ -96,8 +97,8 @@ mod tests {
     #[test]
     fn smaller_groups_are_at_least_as_good() {
         let (w, a) = setup();
-        let e64 = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(64));
-        let e256 = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(256));
+        let e64 = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(64)).unwrap();
+        let e256 = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::along_k(256)).unwrap();
         assert!(e64.weight_mse <= e256.weight_mse * 1.05);
     }
 
@@ -109,8 +110,8 @@ mod tests {
             (GroupShape::G128, GroupShape::G32X4),
             (GroupShape::G256, GroupShape::G64X4),
         ] {
-            let e1 = evaluate_rtn(&w, &a, WeightPrecision::Int4, g1);
-            let e2 = evaluate_rtn(&w, &a, WeightPrecision::Int4, g2);
+            let e1 = evaluate_rtn(&w, &a, WeightPrecision::Int4, g1).unwrap();
+            let e2 = evaluate_rtn(&w, &a, WeightPrecision::Int4, g2).unwrap();
             let ratio = e1.weight_mse / e2.weight_mse;
             assert!(
                 (0.7..1.4).contains(&ratio),
@@ -128,7 +129,7 @@ mod tests {
     #[test]
     fn metrics_are_finite_and_positive() {
         let (w, a) = setup();
-        let e = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128);
+        let e = evaluate_rtn(&w, &a, WeightPrecision::Int4, GroupShape::G128).unwrap();
         assert!(e.weight_mse > 0.0 && e.weight_mse.is_finite());
         assert!(e.weight_sqnr_db.is_finite());
         assert!(e.output_rel_err > 0.0 && e.output_rel_err < 1.0);

@@ -15,28 +15,9 @@
 use crate::groups::GroupShape;
 use crate::matrix::MatrixF32;
 use crate::rtn::QuantizedMatrix;
-use core::fmt;
+use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::WeightPrecision;
 use rayon::prelude::*;
-
-/// Error returned when the calibration Hessian cannot be factorized.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FactorizeHessianError {
-    pivot: usize,
-}
-
-impl fmt::Display for FactorizeHessianError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "calibration Hessian is not positive definite at pivot {} (add more \
-             calibration samples or increase damping)",
-            self.pivot
-        )
-    }
-}
-
-impl std::error::Error for FactorizeHessianError {}
 
 /// GPTQ quantizer configuration.
 ///
@@ -50,7 +31,7 @@ impl std::error::Error for FactorizeHessianError {}
 /// let mut g = SynthGenerator::new(5);
 /// let w = g.llm_weights(64, 16);
 /// let calib = g.llm_activations(32, 64);
-/// let q = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+/// let q = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))?
 ///     .quantize(&w, &calib)?;
 /// assert_eq!(q.k(), 64);
 /// # Ok(())
@@ -66,32 +47,40 @@ pub struct GptqQuantizer {
 impl GptqQuantizer {
     /// Creates a GPTQ quantizer with 1 % diagonal damping.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `group` spans more than one output column (GPTQ's
-    /// row-sequential update assumes k-only groups, like the reference
-    /// implementation).
-    pub fn new(precision: WeightPrecision, group: GroupShape) -> Self {
-        assert!(
-            !group.is_two_dimensional(),
-            "GPTQ supports k-only quantization groups"
-        );
-        GptqQuantizer {
+    /// Returns [`PacqError::InvalidInput`] if `group` spans more than
+    /// one output column (GPTQ's row-sequential update assumes k-only
+    /// groups, like the reference implementation).
+    pub fn new(precision: WeightPrecision, group: GroupShape) -> PacqResult<Self> {
+        if group.is_two_dimensional() {
+            return Err(PacqError::invalid_input(
+                "GptqQuantizer::new",
+                format!("GPTQ supports k-only quantization groups, got {group}"),
+            ));
+        }
+        Ok(GptqQuantizer {
             precision,
             group,
             damping: 0.01,
-        }
+        })
     }
 
     /// Overrides the relative diagonal damping.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `damping` is not positive.
-    pub fn with_damping(mut self, damping: f64) -> Self {
-        assert!(damping > 0.0, "damping must be positive");
+    /// Returns [`PacqError::InvalidInput`] if `damping` is not a
+    /// positive finite number.
+    pub fn with_damping(mut self, damping: f64) -> PacqResult<Self> {
+        if damping <= 0.0 || !damping.is_finite() {
+            return Err(PacqError::invalid_input(
+                "GptqQuantizer::with_damping",
+                format!("damping must be positive and finite, got {damping}"),
+            ));
+        }
         self.damping = damping;
-        self
+        Ok(self)
     }
 
     /// Quantizes `weights` (`[k, n]`) using `calibration` activations
@@ -99,24 +88,40 @@ impl GptqQuantizer {
     ///
     /// # Errors
     ///
-    /// Returns [`FactorizeHessianError`] when the damped Hessian is not
-    /// positive definite (degenerate calibration data).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the calibration width does not equal the weight
-    /// k-extent.
+    /// Returns [`PacqError::ShapeMismatch`] when the calibration width
+    /// does not equal the weight k-extent, [`PacqError::ZeroDim`] for an
+    /// empty weight matrix, [`PacqError::NonFinite`] for NaN/Inf in
+    /// either operand, and [`PacqError::NotPositiveDefinite`] — carrying
+    /// the index of the failing Cholesky pivot — when the damped Hessian
+    /// cannot be factorized (degenerate calibration data).
     pub fn quantize(
         &self,
         weights: &MatrixF32,
         calibration: &MatrixF32,
-    ) -> Result<QuantizedMatrix, FactorizeHessianError> {
+    ) -> PacqResult<QuantizedMatrix> {
         let (k, n) = (weights.rows(), weights.cols());
-        assert_eq!(
-            calibration.cols(),
-            k,
-            "calibration width must equal the weight k-extent"
-        );
+        if k == 0 || n == 0 {
+            return Err(PacqError::ZeroDim {
+                context: "GptqQuantizer::quantize",
+            });
+        }
+        if calibration.cols() != k {
+            return Err(PacqError::ShapeMismatch {
+                context: "GptqQuantizer::quantize (calibration width vs weight k-extent)",
+                left: calibration.cols(),
+                right: k,
+            });
+        }
+        if !weights.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(PacqError::NonFinite {
+                context: "GptqQuantizer::quantize (weights)",
+            });
+        }
+        if !calibration.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(PacqError::NonFinite {
+                context: "GptqQuantizer::quantize (calibration)",
+            });
+        }
 
         // H = Σ x xᵀ with relative diagonal damping. Hessian rows are
         // independent, so they fan out; each element keeps the sample
@@ -145,10 +150,14 @@ impl GptqQuantizer {
         }
 
         // Inverse Hessian via Cholesky, then the upper Cholesky factor of
-        // the inverse (the standard GPTQ working matrix).
-        let chol = cholesky_lower(&h, k).ok_or(FactorizeHessianError { pivot: 0 })?;
+        // the inverse (the standard GPTQ working matrix). Each factorizer
+        // reports the index of the pivot that went non-positive so the
+        // diagnostic points at the offending calibration direction.
+        let chol =
+            cholesky_lower(&h, k).map_err(|pivot| PacqError::NotPositiveDefinite { pivot })?;
         let hinv = cholesky_inverse(&chol, k);
-        let u = upper_cholesky(&hinv, k).ok_or(FactorizeHessianError { pivot: 0 })?;
+        let u =
+            upper_cholesky(&hinv, k).map_err(|pivot| PacqError::NotPositiveDefinite { pivot })?;
 
         let q_pos = self.precision.max_value() as f64;
         let q_min = self.precision.min_value() as f64;
@@ -208,21 +217,15 @@ impl GptqQuantizer {
         }
 
         let zero_points = vec![self.precision.bias() as u8; scales.len()];
-        Ok(QuantizedMatrix::from_parts(
-            self.precision,
-            self.group,
-            k,
-            n,
-            codes,
-            scales,
-            zero_points,
-        ))
+        QuantizedMatrix::from_parts(self.precision, self.group, k, n, codes, scales, zero_points)
     }
 }
 
 /// Lower Cholesky factor of a symmetric positive-definite matrix
-/// (row-major `k × k`). Returns `None` if not positive definite.
-fn cholesky_lower(a: &[f64], k: usize) -> Option<Vec<f64>> {
+/// (row-major `k × k`). Returns `Err(i)` with the index of the first
+/// pivot whose square went non-positive (or NaN) when the matrix is not
+/// positive definite.
+fn cholesky_lower(a: &[f64], k: usize) -> Result<Vec<f64>, usize> {
     let mut l = vec![0f64; k * k];
     for i in 0..k {
         for j in 0..=i {
@@ -231,8 +234,10 @@ fn cholesky_lower(a: &[f64], k: usize) -> Option<Vec<f64>> {
                 sum -= l[i * k + t] * l[j * k + t];
             }
             if i == j {
-                if sum <= 0.0 {
-                    return None;
+                // NaN pivots are rejected too (not just non-positive
+                // ones) so they never flow into sqrt().
+                if sum <= 0.0 || sum.is_nan() {
+                    return Err(i);
                 }
                 l[i * k + j] = sum.sqrt();
             } else {
@@ -240,7 +245,7 @@ fn cholesky_lower(a: &[f64], k: usize) -> Option<Vec<f64>> {
             }
         }
     }
-    Some(l)
+    Ok(l)
 }
 
 /// Inverse of `L Lᵀ` given the lower factor `L` (i.e. `A⁻¹`).
@@ -272,7 +277,9 @@ fn cholesky_inverse(l: &[f64], k: usize) -> Vec<f64> {
 }
 
 /// Upper Cholesky factor `U` with `A = Uᵀ U` (what GPTQ iterates over).
-fn upper_cholesky(a: &[f64], k: usize) -> Option<Vec<f64>> {
+/// Returns `Err(i)` with the first failing pivot index, like
+/// [`cholesky_lower`].
+fn upper_cholesky(a: &[f64], k: usize) -> Result<Vec<f64>, usize> {
     // Compute via the lower factor of the reversed matrix, or directly:
     // u[i][j] for j >= i.
     let mut u = vec![0f64; k * k];
@@ -283,8 +290,8 @@ fn upper_cholesky(a: &[f64], k: usize) -> Option<Vec<f64>> {
                 sum -= u[t * k + i] * u[t * k + j];
             }
             if i == j {
-                if sum <= 0.0 {
-                    return None;
+                if sum <= 0.0 || sum.is_nan() {
+                    return Err(i);
                 }
                 u[i * k + j] = sum.sqrt();
             } else {
@@ -292,7 +299,7 @@ fn upper_cholesky(a: &[f64], k: usize) -> Option<Vec<f64>> {
             }
         }
     }
-    Some(u)
+    Ok(u)
 }
 
 #[cfg(test)]
@@ -376,8 +383,11 @@ mod tests {
         });
 
         let group = GroupShape::along_k(32);
-        let rtn = RtnQuantizer::new(WeightPrecision::Int4, group).quantize(&w);
+        let rtn = RtnQuantizer::new(WeightPrecision::Int4, group)
+            .quantize(&w)
+            .unwrap();
         let gptq = GptqQuantizer::new(WeightPrecision::Int4, group)
+            .unwrap()
             .quantize(&w, &calib)
             .expect("factorizes");
 
@@ -397,8 +407,11 @@ mod tests {
         let held_out = g.llm_activations(32, 64);
 
         let group = GroupShape::along_k(64);
-        let rtn = RtnQuantizer::new(WeightPrecision::Int4, group).quantize(&w);
+        let rtn = RtnQuantizer::new(WeightPrecision::Int4, group)
+            .quantize(&w)
+            .unwrap();
         let gptq = GptqQuantizer::new(WeightPrecision::Int4, group)
+            .unwrap()
             .quantize(&w, &calib)
             .expect("ok");
 
@@ -417,6 +430,7 @@ mod tests {
         let w = g.llm_weights(32, 16);
         let calib = g.llm_activations(64, 32);
         let q = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+            .unwrap()
             .quantize(&w, &calib)
             .expect("ok");
         let p = PackedMatrix::pack(&q, PackDim::N).expect("packs");
@@ -429,20 +443,88 @@ mod tests {
         let w = g.llm_weights(32, 8);
         let calib = g.llm_activations(64, 32);
         let q = GptqQuantizer::new(WeightPrecision::Int2, GroupShape::along_k(16))
+            .unwrap()
             .quantize(&w, &calib)
             .expect("ok");
         assert!(q.codes().iter().all(|&c| (-2..=1).contains(&c)));
     }
 
     #[test]
-    #[should_panic(expected = "k-only quantization groups")]
-    fn two_dimensional_groups_rejected() {
-        GptqQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4);
+    fn configuration_errors_are_typed_not_panics() {
+        let err = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4).unwrap_err();
+        assert!(matches!(err, PacqError::InvalidInput { .. }));
+        assert!(err.to_string().contains("k-only"));
+
+        let q = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::G128).unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(q.with_damping(bad).is_err(), "damping {bad} accepted");
+        }
+        assert!(q.with_damping(0.02).is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "damping must be positive")]
-    fn non_positive_damping_rejected() {
-        GptqQuantizer::new(WeightPrecision::Int4, GroupShape::G128).with_damping(0.0);
+    fn degenerate_inputs_yield_typed_errors() {
+        let q = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).unwrap();
+        let w = MatrixF32::from_fn(32, 8, |r, c| (r + c) as f32);
+        // Mismatched calibration width.
+        let narrow = MatrixF32::from_fn(4, 16, |_, _| 1.0);
+        assert!(matches!(
+            q.quantize(&w, &narrow),
+            Err(PacqError::ShapeMismatch { .. })
+        ));
+        // Empty weights.
+        let empty = MatrixF32::from_fn(0, 0, |_, _| 0.0);
+        assert!(matches!(
+            q.quantize(&empty, &narrow),
+            Err(PacqError::ZeroDim { .. })
+        ));
+        // Non-finite weights and calibration.
+        let nan_w = MatrixF32::from_fn(32, 8, |r, c| if r == c { f32::NAN } else { 1.0 });
+        let calib = MatrixF32::from_fn(4, 32, |_, _| 1.0);
+        assert!(matches!(
+            q.quantize(&nan_w, &calib),
+            Err(PacqError::NonFinite { .. })
+        ));
+        let inf_calib = MatrixF32::from_fn(4, 32, |m, _| if m == 0 { f32::INFINITY } else { 1.0 });
+        assert!(matches!(
+            q.quantize(&w, &inf_calib),
+            Err(PacqError::NonFinite { .. })
+        ));
+    }
+
+    /// Rank-deficient Hessian with negligible damping: the error must
+    /// carry the index of the pivot that actually failed, not pivot 0.
+    ///
+    /// Calibration rows [1,0,1] and [0,1,0] give H = [[1,0,1],[0,1,0],
+    /// [1,0,1]] exactly in f64; damping 1e-30 is absorbed by `1.0 + ε`,
+    /// so the Cholesky sweep succeeds at pivots 0 and 1 and hits an
+    /// exact zero at pivot 2 (1 − 1² − 0² = 0).
+    #[test]
+    fn rank_deficient_hessian_reports_failing_pivot() {
+        let q = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(3))
+            .unwrap()
+            .with_damping(1e-30)
+            .unwrap();
+        let w = MatrixF32::from_fn(3, 4, |r, c| (r as f32 + 1.0) * 0.1 + c as f32 * 0.01);
+        let calib = MatrixF32::from_fn(2, 3, |m, kk| match (m, kk) {
+            (0, 0) | (0, 2) | (1, 1) => 1.0,
+            _ => 0.0,
+        });
+        let err = q.quantize(&w, &calib).unwrap_err();
+        assert_eq!(err, PacqError::NotPositiveDefinite { pivot: 2 });
+        assert!(err.to_string().contains("pivot 2"));
+    }
+
+    /// The factorizer itself reports the failing pivot index directly.
+    #[test]
+    fn cholesky_reports_first_failing_pivot() {
+        // [[1,1],[1,1]] is PSD but singular: pivot 0 passes (1 > 0),
+        // pivot 1 fails (1 − 1² = 0).
+        let a = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(cholesky_lower(&a, 2), Err(1));
+        assert_eq!(upper_cholesky(&a, 2), Err(1));
+        // A NaN on the diagonal fails at its own pivot, not downstream.
+        let a = [1.0, 0.0, 0.0, f64::NAN];
+        assert_eq!(cholesky_lower(&a, 2), Err(1));
     }
 }

@@ -9,6 +9,8 @@
 
 use core::fmt;
 
+use pacq_error::{PacqError, PacqResult};
+
 /// Shape of one quantization group over the `[k, n]` weight matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GroupShape {
@@ -44,10 +46,22 @@ impl GroupShape {
     ///
     /// # Panics
     ///
-    /// Panics if either extent is zero.
+    /// Panics if either extent is zero. Intended for literal shapes in
+    /// code; use [`GroupShape::try_new`] for untrusted input.
     pub fn new(k_size: usize, n_size: usize) -> Self {
         assert!(k_size > 0 && n_size > 0, "group extents must be non-zero");
         GroupShape { k_size, n_size }
+    }
+
+    /// Creates a group shape from untrusted extents, rejecting zeros
+    /// with a typed error instead of panicking.
+    pub fn try_new(k_size: usize, n_size: usize) -> PacqResult<Self> {
+        if k_size == 0 || n_size == 0 {
+            return Err(PacqError::ZeroDim {
+                context: "GroupShape::try_new",
+            });
+        }
+        Ok(GroupShape { k_size, n_size })
     }
 
     /// A 1-D group along k (the conventional layout).
@@ -180,5 +194,18 @@ mod tests {
     #[should_panic(expected = "group extents must be non-zero")]
     fn zero_extent_rejected() {
         GroupShape::new(0, 4);
+    }
+
+    #[test]
+    fn try_new_returns_typed_error_for_zero_extents() {
+        assert!(matches!(
+            GroupShape::try_new(0, 4),
+            Err(PacqError::ZeroDim { .. })
+        ));
+        assert!(matches!(
+            GroupShape::try_new(4, 0),
+            Err(PacqError::ZeroDim { .. })
+        ));
+        assert_eq!(GroupShape::try_new(32, 4).unwrap(), GroupShape::G32X4);
     }
 }

@@ -24,7 +24,7 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let weights = SynthGenerator::new(0).llm_weights(256, 64);
 //! let quant = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4)
-//!     .quantize(&weights);
+//!     .quantize(&weights)?;
 //! let packed = PackedMatrix::pack(&quant, PackDim::N)?; // P(B_4)_n
 //! assert_eq!(packed.total_words(), 256 * 64 / 4);
 //! # Ok(())
@@ -33,6 +33,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The no-panic contract (DESIGN.md §10): library code returns
+// `Result<_, PacqError>`; only tests may unwrap.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod artifact;
 pub mod awq;
@@ -45,9 +51,10 @@ pub mod pack;
 pub mod rtn;
 pub mod synth;
 
-pub use artifact::{from_bytes, to_bytes, DecodeArtifactError};
+pub use artifact::{from_bytes, to_bytes};
 pub use eval::{evaluate_rtn, QuantError};
 pub use groups::GroupShape;
 pub use matrix::{MatrixF16, MatrixF32};
-pub use pack::{PackDim, PackShapeError, PackedMatrix};
+pub use pack::{PackDim, PackedMatrix};
+pub use pacq_error::{ArtifactError, PacqError, PacqResult};
 pub use rtn::{QuantScheme, QuantizedMatrix, RtnQuantizer};

@@ -88,17 +88,27 @@ impl TinyLm {
     }
 
     /// Returns a copy with RTN-quantized (and dequantized) FFN weights.
-    pub fn quantize_ffn(&self, precision: WeightPrecision, group: GroupShape) -> TinyLm {
-        let q1 = RtnQuantizer::new(precision, group).quantize(&self.w1);
-        let q2 = RtnQuantizer::new(precision, group).quantize(&self.w2);
-        TinyLm {
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer errors (the model's own weights are always
+    /// finite and non-empty, so this only fails for degenerate custom
+    /// dimensions).
+    pub fn quantize_ffn(
+        &self,
+        precision: WeightPrecision,
+        group: GroupShape,
+    ) -> pacq_error::PacqResult<TinyLm> {
+        let q1 = RtnQuantizer::new(precision, group).quantize(&self.w1)?;
+        let q2 = RtnQuantizer::new(precision, group).quantize(&self.w2)?;
+        Ok(TinyLm {
             vocab: self.vocab,
             d: self.d,
             h: self.h,
             embed: self.embed.clone(),
             w1: q1.dequantize(),
             w2: q2.dequantize(),
-        }
+        })
     }
 
     /// Next-token logits for token `t`.
@@ -226,6 +236,7 @@ mod tests {
         let base = lm.perplexity(&tokens);
         let q4 = lm
             .quantize_ffn(WeightPrecision::Int4, GroupShape::G128)
+            .unwrap()
             .perplexity(&tokens);
         // Same ordering as Table II: quantized ≥ fp16, within a few %.
         assert!(q4 >= base * 0.999, "q4 {q4} < base {base}");
@@ -239,9 +250,11 @@ mod tests {
         let tokens = lm.sample(0, 400, 99);
         let p128 = lm
             .quantize_ffn(WeightPrecision::Int4, GroupShape::G128)
+            .unwrap()
             .perplexity(&tokens);
         let p32x4 = lm
             .quantize_ffn(WeightPrecision::Int4, GroupShape::G32X4)
+            .unwrap()
             .perplexity(&tokens);
         let rel = (p128 - p32x4).abs() / p128;
         assert!(rel < 0.05, "g128 {p128} vs g[32,4] {p32x4}: {rel}");

@@ -10,6 +10,7 @@
 use crate::groups::GroupShape;
 use crate::rtn::QuantizedMatrix;
 use core::fmt;
+use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::{PackedWord, WeightPrecision};
 
 /// The dimension along which weights are packed (the `y` of `P(B_x)_y`).
@@ -30,27 +31,6 @@ impl fmt::Display for PackDim {
     }
 }
 
-/// Error returned when a matrix cannot be packed along the requested
-/// dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PackShapeError {
-    dim: PackDim,
-    extent: usize,
-    lanes: usize,
-}
-
-impl fmt::Display for PackShapeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}-dimension extent {} is not a multiple of the packing width {}",
-            self.dim, self.extent, self.lanes
-        )
-    }
-}
-
-impl std::error::Error for PackShapeError {}
-
 /// A quantized weight matrix in packed deployable form: packed biased
 /// codes plus the group scales needed for dequantization.
 ///
@@ -62,7 +42,7 @@ impl std::error::Error for PackShapeError {}
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let w = MatrixF32::from_fn(64, 16, |k, n| (k as f32 - n as f32) / 64.0);
-/// let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w);
+/// let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w)?;
 /// let packed = PackedMatrix::pack(&q, PackDim::N)?;
 /// assert_eq!(packed.word_cols(), 4); // 16 columns / 4 lanes
 /// assert_eq!(packed.unpack().codes(), q.codes());
@@ -88,9 +68,9 @@ impl PackedMatrix {
     ///
     /// # Errors
     ///
-    /// Returns [`PackShapeError`] when the extent along `pack_dim` is not
-    /// a multiple of the lane count (4 for INT4, 8 for INT2).
-    pub fn pack(q: &QuantizedMatrix, pack_dim: PackDim) -> Result<Self, PackShapeError> {
+    /// Returns [`PacqError::Misaligned`] when the extent along `pack_dim`
+    /// is not a multiple of the lane count (4 for INT4, 8 for INT2).
+    pub fn pack(q: &QuantizedMatrix, pack_dim: PackDim) -> PacqResult<Self> {
         let precision = q.precision();
         let lanes = precision.lanes();
         let (k, n) = (q.k(), q.n());
@@ -98,20 +78,20 @@ impl PackedMatrix {
         let (word_rows, word_cols) = match pack_dim {
             PackDim::K => {
                 if k % lanes != 0 {
-                    return Err(PackShapeError {
-                        dim: pack_dim,
+                    return Err(PacqError::Misaligned {
+                        context: "PackedMatrix::pack (k-dimension)",
                         extent: k,
-                        lanes,
+                        multiple: lanes,
                     });
                 }
                 (k / lanes, n)
             }
             PackDim::N => {
                 if n % lanes != 0 {
-                    return Err(PackShapeError {
-                        dim: pack_dim,
+                    return Err(PacqError::Misaligned {
+                        context: "PackedMatrix::pack (n-dimension)",
                         extent: n,
-                        lanes,
+                        multiple: lanes,
                     });
                 }
                 (k, n / lanes)
@@ -240,7 +220,9 @@ impl PackedMatrix {
                 codes[k * self.n + n] = self.code(k, n);
             }
         }
-        QuantizedMatrix::from_parts(
+        // Codes read back through lane masks are in range by construction,
+        // and the scale/zero-point vectors were validated at pack time.
+        QuantizedMatrix::from_parts_trusted(
             self.precision,
             self.group,
             self.k,
@@ -279,7 +261,9 @@ mod tests {
 
     fn quantized(k: usize, n: usize, precision: WeightPrecision) -> QuantizedMatrix {
         let w = MatrixF32::from_fn(k, n, |r, c| ((r * 13 + c * 7) % 29) as f32 / 14.0 - 1.0);
-        RtnQuantizer::new(precision, GroupShape::along_k(k.min(32))).quantize(&w)
+        RtnQuantizer::new(precision, GroupShape::along_k(k.min(32)))
+            .quantize(&w)
+            .unwrap()
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::groups::GroupShape;
 use crate::matrix::MatrixF32;
 use core::fmt;
+use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::WeightPrecision;
 use rayon::prelude::*;
 
@@ -42,7 +43,7 @@ pub enum QuantScheme {
 /// use pacq_fp16::WeightPrecision;
 ///
 /// let w = MatrixF32::from_fn(128, 8, |k, n| ((k * 7 + n) % 13) as f32 / 13.0 - 0.5);
-/// let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128).quantize(&w);
+/// let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128).quantize(&w).unwrap();
 /// let deq = q.dequantize();
 /// assert!(w.mse(&deq) < 0.01);
 /// ```
@@ -92,8 +93,24 @@ impl RtnQuantizer {
     /// Symmetric: scale per group is `max|w| / q_max`, zero point at the
     /// precision bias. Asymmetric: scale is `(max − min) / (2^b − 1)`
     /// with a per-group zero point. Codes are round-to-nearest, clamped.
-    pub fn quantize(&self, weights: &MatrixF32) -> QuantizedMatrix {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::ZeroDim`] for an empty weight matrix and
+    /// [`PacqError::NonFinite`] when any weight is NaN or infinite (a
+    /// NaN weight would otherwise poison the group range silently).
+    pub fn quantize(&self, weights: &MatrixF32) -> PacqResult<QuantizedMatrix> {
         let (k_total, n_total) = (weights.rows(), weights.cols());
+        if k_total == 0 || n_total == 0 {
+            return Err(PacqError::ZeroDim {
+                context: "RtnQuantizer::quantize",
+            });
+        }
+        if !weights.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(PacqError::NonFinite {
+                context: "RtnQuantizer::quantize",
+            });
+        }
         let group_count = self.group.group_count(k_total, n_total);
         let q_pos = self.precision.max_value() as f32;
         let q_min = self.precision.min_value() as f32;
@@ -180,7 +197,7 @@ impl RtnQuantizer {
                 });
         }
 
-        QuantizedMatrix {
+        Ok(QuantizedMatrix {
             precision: self.precision,
             group: self.group,
             k: k_total,
@@ -188,7 +205,7 @@ impl RtnQuantizer {
             codes,
             scales,
             zero_points,
-        }
+        })
     }
 }
 
@@ -211,10 +228,11 @@ impl QuantizedMatrix {
     /// Reassembles a quantized matrix from raw parts (the inverse of
     /// packing; see `pacq_quant::PackedMatrix::unpack`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `codes.len() != k * n`, if `scales` does not match the
-    /// group count, or if any code is out of range for `precision`.
+    /// Returns a typed error if `codes.len() != k * n`, if `scales` or
+    /// `zero_points` do not match the group count, or if any code is out
+    /// of range for `precision`.
     pub fn from_parts(
         precision: WeightPrecision,
         group: GroupShape,
@@ -223,24 +241,63 @@ impl QuantizedMatrix {
         codes: Vec<i8>,
         scales: Vec<f32>,
         zero_points: Vec<u8>,
+    ) -> PacqResult<Self> {
+        if codes.len() != k * n {
+            return Err(PacqError::ShapeMismatch {
+                context: "QuantizedMatrix::from_parts (codes length)",
+                left: codes.len(),
+                right: k * n,
+            });
+        }
+        if scales.len() != group.group_count(k, n) {
+            return Err(PacqError::ShapeMismatch {
+                context: "QuantizedMatrix::from_parts (scales length)",
+                left: scales.len(),
+                right: group.group_count(k, n),
+            });
+        }
+        if zero_points.len() != scales.len() {
+            return Err(PacqError::ShapeMismatch {
+                context: "QuantizedMatrix::from_parts (zero points length)",
+                left: zero_points.len(),
+                right: scales.len(),
+            });
+        }
+        if !codes
+            .iter()
+            .all(|&c| c >= precision.min_value() && c <= precision.max_value())
+        {
+            return Err(PacqError::invalid_input(
+                "QuantizedMatrix::from_parts",
+                format!("code out of range for {precision}"),
+            ));
+        }
+        Ok(QuantizedMatrix {
+            precision,
+            group,
+            k,
+            n,
+            codes,
+            scales,
+            zero_points,
+        })
+    }
+
+    /// Crate-internal infallible constructor for parts produced by code
+    /// that upholds the invariants by construction (e.g. unpacking a
+    /// [`crate::PackedMatrix`], whose lane masks guarantee code ranges).
+    pub(crate) fn from_parts_trusted(
+        precision: WeightPrecision,
+        group: GroupShape,
+        k: usize,
+        n: usize,
+        codes: Vec<i8>,
+        scales: Vec<f32>,
+        zero_points: Vec<u8>,
     ) -> Self {
-        assert_eq!(codes.len(), k * n, "codes length mismatch");
-        assert_eq!(
-            scales.len(),
-            group.group_count(k, n),
-            "scales length mismatch"
-        );
-        assert_eq!(
-            zero_points.len(),
-            scales.len(),
-            "zero points length mismatch"
-        );
-        assert!(
-            codes
-                .iter()
-                .all(|&c| c >= precision.min_value() && c <= precision.max_value()),
-            "code out of range for {precision}"
-        );
+        debug_assert_eq!(codes.len(), k * n);
+        debug_assert_eq!(scales.len(), group.group_count(k, n));
+        debug_assert_eq!(zero_points.len(), scales.len());
         QuantizedMatrix {
             precision,
             group,
@@ -357,7 +414,9 @@ mod tests {
     #[test]
     fn codes_stay_in_range() {
         for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
-            let q = RtnQuantizer::new(precision, GroupShape::along_k(32)).quantize(&ramp(64, 8));
+            let q = RtnQuantizer::new(precision, GroupShape::along_k(32))
+                .quantize(&ramp(64, 8))
+                .unwrap();
             for &c in q.codes() {
                 assert!(c >= precision.min_value() && c <= precision.max_value());
             }
@@ -367,7 +426,9 @@ mod tests {
     #[test]
     fn dequantized_error_is_bounded_by_half_scale() {
         let w = ramp(128, 16);
-        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128).quantize(&w);
+        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128)
+            .quantize(&w)
+            .unwrap();
         let deq = q.dequantize();
         for k in 0..w.rows() {
             for n in 0..w.cols() {
@@ -382,14 +443,18 @@ mod tests {
     fn exact_grid_weights_quantize_losslessly() {
         // Weights already on the INT4 grid survive RTN exactly.
         let w = MatrixF32::from_fn(32, 4, |k, n| ((k + n) % 15) as f32 - 7.0);
-        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w);
+        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+            .quantize(&w)
+            .unwrap();
         assert!(w.mse(&q.dequantize()) < 1e-12);
     }
 
     #[test]
     fn zero_group_gets_unit_scale() {
         let w = MatrixF32::zeros(32, 4);
-        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w);
+        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+            .quantize(&w)
+            .unwrap();
         for &s in q.scales() {
             assert_eq!(s, 1.0);
         }
@@ -399,9 +464,13 @@ mod tests {
     #[test]
     fn group_count_matches_shape() {
         let w = ramp(128, 16);
-        let q128 = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128).quantize(&w);
+        let q128 = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128)
+            .quantize(&w)
+            .unwrap();
         assert_eq!(q128.scales().len(), 16); // 1 k-group × 16 columns
-        let q2d = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4).quantize(&w);
+        let q2d = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4)
+            .quantize(&w)
+            .unwrap();
         assert_eq!(q2d.scales().len(), 4 * 4);
     }
 
@@ -411,11 +480,15 @@ mod tests {
         // similar sub-distributions, so RTN error matches closely.
         let w = ramp(256, 64);
         let e1 = {
-            let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128).quantize(&w);
+            let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128)
+                .quantize(&w)
+                .unwrap();
             w.mse(&q.dequantize())
         };
         let e2 = {
-            let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4).quantize(&w);
+            let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4)
+                .quantize(&w)
+                .unwrap();
             w.mse(&q.dequantize())
         };
         let ratio = e1 / e2;
@@ -427,9 +500,12 @@ mod tests {
         // A strictly positive weight distribution wastes half the
         // symmetric range; the zero point recovers it.
         let w = MatrixF32::from_fn(64, 8, |k, n| 0.5 + ((k * 7 + n) % 32) as f32 / 64.0);
-        let sym = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w);
-        let asym =
-            RtnQuantizer::asymmetric(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w);
+        let sym = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+            .quantize(&w)
+            .unwrap();
+        let asym = RtnQuantizer::asymmetric(WeightPrecision::Int4, GroupShape::along_k(32))
+            .quantize(&w)
+            .unwrap();
         let e_sym = w.mse(&sym.dequantize());
         let e_asym = w.mse(&asym.dequantize());
         assert!(
@@ -441,17 +517,21 @@ mod tests {
     #[test]
     fn symmetric_zero_points_equal_bias() {
         let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
-            .quantize(&ramp(64, 8));
+            .quantize(&ramp(64, 8))
+            .unwrap();
         assert!(q.zero_points().iter().all(|&z| z == 8));
         let q2 = RtnQuantizer::new(WeightPrecision::Int2, GroupShape::along_k(32))
-            .quantize(&ramp(64, 8));
+            .quantize(&ramp(64, 8))
+            .unwrap();
         assert!(q2.zero_points().iter().all(|&z| z == 2));
     }
 
     #[test]
     fn asymmetric_error_bound_holds() {
         let w = ramp(128, 16);
-        let q = RtnQuantizer::asymmetric(WeightPrecision::Int4, GroupShape::G128).quantize(&w);
+        let q = RtnQuantizer::asymmetric(WeightPrecision::Int4, GroupShape::G128)
+            .quantize(&w)
+            .unwrap();
         let deq = q.dequantize();
         for k in 0..w.rows() {
             for n in 0..w.cols() {
@@ -464,13 +544,61 @@ mod tests {
     #[test]
     fn asymmetric_zero_points_in_code_range() {
         let q = RtnQuantizer::asymmetric(WeightPrecision::Int4, GroupShape::along_k(32))
-            .quantize(&ramp(64, 8));
+            .quantize(&ramp(64, 8))
+            .unwrap();
         assert!(q.zero_points().iter().all(|&z| z <= 15));
     }
 
     #[test]
+    fn degenerate_inputs_yield_typed_errors() {
+        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128);
+        assert!(matches!(
+            q.quantize(&MatrixF32::zeros(0, 8)),
+            Err(PacqError::ZeroDim { .. })
+        ));
+        assert!(matches!(
+            q.quantize(&MatrixF32::zeros(8, 0)),
+            Err(PacqError::ZeroDim { .. })
+        ));
+        let nan = MatrixF32::from_fn(16, 4, |k, n| if k == 3 && n == 1 { f32::NAN } else { 0.5 });
+        assert!(matches!(q.quantize(&nan), Err(PacqError::NonFinite { .. })));
+        let inf = MatrixF32::from_fn(16, 4, |k, _| if k == 0 { f32::INFINITY } else { 0.5 });
+        assert!(matches!(q.quantize(&inf), Err(PacqError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn from_parts_validates_every_contract() {
+        let g = GroupShape::along_k(32);
+        let p = WeightPrecision::Int4;
+        let ok = QuantizedMatrix::from_parts(p, g, 32, 2, vec![0; 64], vec![1.0; 2], vec![8; 2]);
+        assert!(ok.is_ok());
+        // Wrong codes length.
+        assert!(matches!(
+            QuantizedMatrix::from_parts(p, g, 32, 2, vec![0; 63], vec![1.0; 2], vec![8; 2]),
+            Err(PacqError::ShapeMismatch { .. })
+        ));
+        // Wrong scales length.
+        assert!(matches!(
+            QuantizedMatrix::from_parts(p, g, 32, 2, vec![0; 64], vec![1.0; 3], vec![8; 3]),
+            Err(PacqError::ShapeMismatch { .. })
+        ));
+        // Wrong zero-points length.
+        assert!(matches!(
+            QuantizedMatrix::from_parts(p, g, 32, 2, vec![0; 64], vec![1.0; 2], vec![8; 1]),
+            Err(PacqError::ShapeMismatch { .. })
+        ));
+        // Out-of-range code.
+        assert!(matches!(
+            QuantizedMatrix::from_parts(p, g, 32, 2, vec![99; 64], vec![1.0; 2], vec![8; 2]),
+            Err(PacqError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
     fn storage_footprint() {
-        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128).quantize(&ramp(128, 8));
+        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G128)
+            .quantize(&ramp(128, 8))
+            .unwrap();
         assert_eq!(q.code_bits(), 128 * 8 * 4);
         assert_eq!(q.scale_bits(), 8 * 16);
     }

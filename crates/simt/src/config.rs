@@ -1,6 +1,7 @@
 //! Machine configuration: the Volta-like streaming multiprocessor of
 //! Table I.
 
+use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::WeightPrecision;
 
 /// Architecture variant under simulation.
@@ -90,13 +91,64 @@ impl SmConfig {
 
     /// Enables the DRAM-bandwidth roofline floor at `bytes_per_cycle`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bytes_per_cycle` is not positive.
-    pub fn with_dram_bound(mut self, bytes_per_cycle: f64) -> Self {
-        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+    /// Returns [`PacqError::InvalidInput`] if `bytes_per_cycle` is not
+    /// positive (NaN included).
+    pub fn with_dram_bound(mut self, bytes_per_cycle: f64) -> PacqResult<Self> {
+        if bytes_per_cycle <= 0.0 || bytes_per_cycle.is_nan() {
+            return Err(PacqError::invalid_input(
+                "SmConfig::with_dram_bound",
+                format!("bandwidth must be positive, got {bytes_per_cycle}"),
+            ));
+        }
         self.dram_bytes_per_cycle = bytes_per_cycle;
-        self
+        Ok(self)
+    }
+
+    /// Validates the configuration against the datapath's documented
+    /// domains — called by the dataflow engines before simulating so a
+    /// hand-built config cannot divide by zero mid-walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::InvalidInput`] naming the offending field.
+    pub fn validate(&self) -> PacqResult<()> {
+        if !matches!(self.dp_width, 4 | 8 | 16) {
+            return Err(PacqError::invalid_input(
+                "SmConfig",
+                format!("dp_width must be 4, 8 or 16, got {}", self.dp_width),
+            ));
+        }
+        if !matches!(self.adder_tree_duplication, 1 | 2 | 4) {
+            return Err(PacqError::invalid_input(
+                "SmConfig",
+                format!(
+                    "adder_tree_duplication must be 1, 2 or 4, got {}",
+                    self.adder_tree_duplication
+                ),
+            ));
+        }
+        if self.tensor_cores == 0 || self.dp_units_per_tc == 0 {
+            return Err(PacqError::invalid_input(
+                "SmConfig",
+                format!(
+                    "tensor_cores ({}) and dp_units_per_tc ({}) must be non-zero",
+                    self.tensor_cores, self.dp_units_per_tc
+                ),
+            ));
+        }
+        // NaN must fail too, so compare against the accepting range.
+        if self.dequant_weights_per_cycle <= 0.0 || self.dequant_weights_per_cycle.is_nan() {
+            return Err(PacqError::invalid_input(
+                "SmConfig",
+                format!(
+                    "dequant_weights_per_cycle must be positive, got {}",
+                    self.dequant_weights_per_cycle
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// Octets per warp (Figure 3(b)).
@@ -149,10 +201,22 @@ impl GemmShape {
     ///
     /// # Panics
     ///
-    /// Panics if any extent is zero.
+    /// Panics if any extent is zero. Intended for literal shapes in
+    /// code; use [`GemmShape::try_new`] for untrusted input.
     pub fn new(m: usize, n: usize, k: usize) -> Self {
         assert!(m > 0 && n > 0 && k > 0, "GEMM extents must be non-zero");
         GemmShape { m, n, k }
+    }
+
+    /// Creates a shape from untrusted extents, rejecting zeros with a
+    /// typed error instead of panicking.
+    pub fn try_new(m: usize, n: usize, k: usize) -> PacqResult<Self> {
+        if m == 0 || n == 0 || k == 0 {
+            return Err(PacqError::ZeroDim {
+                context: "GemmShape::try_new",
+            });
+        }
+        Ok(GemmShape { m, n, k })
     }
 
     /// The Figure 7 unit workload.

@@ -16,6 +16,7 @@
 
 use crate::config::{Architecture, GemmShape, SmConfig, Workload};
 use crate::stats::{GemmStats, GeneralCoreOps, RfTraffic};
+use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::WeightPrecision;
 use pacq_quant::GroupShape;
 
@@ -33,20 +34,30 @@ const TILE_N: u64 = 4;
 /// scale fetches and Eq. (1) fixup segments the general core performs;
 /// irrelevant counts are zero for the flows that do not use it).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the shape is not 16-aligned (the paper's workloads all are).
+/// Returns [`PacqError::Misaligned`] if the shape is not 16-aligned (the
+/// paper's workloads all are), and [`PacqError::InvalidInput`] if the
+/// [`SmConfig`] fails [`SmConfig::validate`].
 pub fn simulate(
     arch: Architecture,
     workload: Workload,
     config: &SmConfig,
     group: GroupShape,
-) -> GemmStats {
+) -> PacqResult<GemmStats> {
     let shape = workload.shape;
-    assert!(
-        shape.is_tile_aligned(),
-        "dataflow engines require 16-aligned shapes, got {shape}"
-    );
+    if !shape.is_tile_aligned() {
+        let extent = [shape.m, shape.n, shape.k]
+            .into_iter()
+            .find(|e| !e.is_multiple_of(16))
+            .unwrap_or(shape.m);
+        return Err(PacqError::Misaligned {
+            context: "simt::simulate (GEMM shape)",
+            extent,
+            multiple: 16,
+        });
+    }
+    config.validate()?;
     let precision = workload.precision;
 
     let per_octet = match arch {
@@ -173,7 +184,7 @@ pub fn simulate(
         stats.total_cycles = stats.total_cycles.max(dram_floor);
     }
 
-    stats
+    Ok(stats)
 }
 
 /// Pipeline fill/drain tail per warp tile (multiply + tree + accumulate).
@@ -397,6 +408,7 @@ mod tests {
             &volta(),
             GroupShape::along_k(16),
         )
+        .unwrap()
     }
 
     #[test]
@@ -475,13 +487,15 @@ mod tests {
             Workload::new(GemmShape::new(16, 64, 64), WeightPrecision::Int4),
             &volta(),
             GroupShape::along_k(64),
-        );
+        )
+        .unwrap();
         let big = simulate(
             Architecture::Pacq,
             Workload::new(GemmShape::new(16, 128, 64), WeightPrecision::Int4),
             &volta(),
             GroupShape::along_k(64),
-        );
+        )
+        .unwrap();
         assert_eq!(big.rf.a_reads, 2 * small.rf.a_reads);
         assert_eq!(big.rf.b_reads, 2 * small.rf.b_reads);
         assert_eq!(big.dram.write_bits, 2 * small.dram.write_bits);
@@ -493,11 +507,11 @@ mod tests {
         let wl = Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4);
         let g = GroupShape::along_k(16);
         cfg.adder_tree_duplication = 1;
-        let d1 = simulate(Architecture::Pacq, wl, &cfg, g).tc_cycles;
+        let d1 = simulate(Architecture::Pacq, wl, &cfg, g).unwrap().tc_cycles;
         cfg.adder_tree_duplication = 2;
-        let d2 = simulate(Architecture::Pacq, wl, &cfg, g).tc_cycles;
+        let d2 = simulate(Architecture::Pacq, wl, &cfg, g).unwrap().tc_cycles;
         cfg.adder_tree_duplication = 4;
-        let d4 = simulate(Architecture::Pacq, wl, &cfg, g).tc_cycles;
+        let d4 = simulate(Architecture::Pacq, wl, &cfg, g).unwrap().tc_cycles;
         assert!(d1 > d2 && d2 > d4, "cycles {d1} > {d2} > {d4}");
     }
 
@@ -505,9 +519,9 @@ mod tests {
     fn dram_bound_floors_small_kernels() {
         let wl = Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4);
         let g = GroupShape::along_k(16);
-        let free = simulate(Architecture::Pacq, wl, &volta(), g);
-        let bound_cfg = SmConfig::volta_like().with_dram_bound(8.0);
-        let bound = simulate(Architecture::Pacq, wl, &bound_cfg, g);
+        let free = simulate(Architecture::Pacq, wl, &volta(), g).unwrap();
+        let bound_cfg = SmConfig::volta_like().with_dram_bound(8.0).unwrap();
+        let bound = simulate(Architecture::Pacq, wl, &bound_cfg, g).unwrap();
         assert!(bound.total_cycles > free.total_cycles);
         // The floor equals the streamed bytes over the bandwidth.
         let bytes = (bound.dram.read_bits + bound.dram.write_bits) / 8;
@@ -515,13 +529,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "16-aligned")]
-    fn misaligned_shape_rejected() {
-        simulate(
+    fn misaligned_shape_is_a_typed_error() {
+        let err = simulate(
             Architecture::Pacq,
             Workload::new(GemmShape::new(3, 16, 16), WeightPrecision::Int4),
             &volta(),
             GroupShape::G128,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PacqError::Misaligned {
+                context: "simt::simulate (GEMM shape)",
+                extent: 3,
+                multiple: 16,
+            }
         );
+    }
+
+    #[test]
+    fn degenerate_config_is_a_typed_error() {
+        let wl = Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4);
+        let g = GroupShape::along_k(16);
+        for mutate in [
+            (|c: &mut SmConfig| c.dp_width = 0) as fn(&mut SmConfig),
+            |c| c.dp_width = 5,
+            |c| c.adder_tree_duplication = 0,
+            |c| c.adder_tree_duplication = 3,
+            |c| c.tensor_cores = 0,
+            |c| c.dp_units_per_tc = 0,
+            |c| c.dequant_weights_per_cycle = 0.0,
+            |c| c.dequant_weights_per_cycle = f64::NAN,
+        ] {
+            let mut cfg = volta();
+            mutate(&mut cfg);
+            let err = simulate(Architecture::StandardDequant, wl, &cfg, g).unwrap_err();
+            assert!(
+                matches!(err, PacqError::InvalidInput { .. }),
+                "expected InvalidInput, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_dram_bound_is_a_typed_error() {
+        for bad in [0.0, -1.0, f64::NAN] {
+            let err = SmConfig::volta_like().with_dram_bound(bad).unwrap_err();
+            assert!(matches!(err, PacqError::InvalidInput { .. }), "{bad}");
+        }
     }
 }

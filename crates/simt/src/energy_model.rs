@@ -133,7 +133,8 @@ mod tests {
             Workload::new(shape, precision),
             &cfg,
             GroupShape::G128,
-        );
+        )
+        .unwrap();
         let model = EnergyModel::new(&cfg);
         let report = model.energy(arch, &cfg, &stats);
         model.edp(&report, &stats)
@@ -147,7 +148,8 @@ mod tests {
             Workload::new(GemmShape::new(16, 256, 256), WeightPrecision::Int4),
             &cfg,
             GroupShape::G128,
-        );
+        )
+        .unwrap();
         let r = EnergyModel::new(&cfg).energy(Architecture::Pacq, &cfg, &stats);
         assert!(r.tc_pj > 0.0);
         assert!(r.rf_pj > 0.0);

@@ -19,6 +19,7 @@
 //! the equivalence suite in `tests/parallel_equivalence.rs`).
 
 use crate::config::Architecture;
+use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::{BaselineDpUnit, Fp16, NumericsMode, PackedWord, ParallelDpUnit, MAX_LANES};
 use pacq_quant::{MatrixF16, MatrixF32, PackDim, PackedMatrix};
 use rayon::prelude::*;
@@ -34,33 +35,43 @@ use rayon::prelude::*;
 ///
 /// Returns `C = A × dequant(B)` in f32.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on dimension mismatch, a pack direction that contradicts the
-/// architecture, or a group k-extent not aligned to the DP width.
+/// Returns [`PacqError::ShapeMismatch`] on a dimension mismatch,
+/// [`PacqError::InvalidInput`] for a pack direction that contradicts the
+/// architecture, and [`PacqError::Misaligned`] for a k-extent or group
+/// k-extent not aligned to the DP width.
 pub fn execute(
     arch: Architecture,
     a: &MatrixF16,
     packed: &PackedMatrix,
     numerics: NumericsMode,
-) -> MatrixF32 {
-    assert_eq!(a.cols(), packed.k(), "A columns must equal B rows (k)");
+) -> PacqResult<MatrixF32> {
+    if a.cols() != packed.k() {
+        return Err(PacqError::ShapeMismatch {
+            context: "simt::execute (A columns vs B rows)",
+            left: a.cols(),
+            right: packed.k(),
+        });
+    }
     match arch {
         Architecture::StandardDequant => run_standard(a, packed),
         Architecture::PackedK => {
-            assert_eq!(
-                packed.pack_dim(),
-                PackDim::K,
-                "PackedK flow requires P(B_x)_k packing"
-            );
+            if packed.pack_dim() != PackDim::K {
+                return Err(PacqError::invalid_input(
+                    "simt::execute",
+                    "PackedK flow requires P(B_x)_k packing",
+                ));
+            }
             run_packed_k(a, packed)
         }
         Architecture::Pacq => {
-            assert_eq!(
-                packed.pack_dim(),
-                PackDim::N,
-                "PacQ flow requires P(B_x)_n packing"
-            );
+            if packed.pack_dim() != PackDim::N {
+                return Err(PacqError::invalid_input(
+                    "simt::execute",
+                    "PacQ flow requires P(B_x)_n packing",
+                ));
+            }
             run_pacq(a, packed, numerics)
         }
     }
@@ -89,15 +100,21 @@ fn band_rows(m: usize) -> usize {
 
 /// StandardDequant: weights dequantized to FP16 storage, then a plain
 /// FP16 GEMM on the baseline DP units with f32 accumulation.
-fn run_standard(a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
+fn run_standard(a: &MatrixF16, packed: &PackedMatrix) -> PacqResult<MatrixF32> {
     let deq = packed.unpack().dequantize().to_f16();
-    let dp = BaselineDpUnit::new(DP_WIDTH);
+    let dp = BaselineDpUnit::new(DP_WIDTH)?;
     let (m, n, k) = (a.rows(), packed.n(), packed.k());
-    assert_eq!(k % DP_WIDTH, 0, "k must be a multiple of the DP width");
+    if k % DP_WIDTH != 0 {
+        return Err(PacqError::Misaligned {
+            context: "simt::execute (k vs DP width)",
+            extent: k,
+            multiple: DP_WIDTH,
+        });
+    }
 
     let mut out = MatrixF32::zeros(m, n);
     if m == 0 || n == 0 {
-        return out;
+        return Ok(out);
     }
     let band = band_rows(m);
     out.as_mut_slice()
@@ -126,27 +143,35 @@ fn run_standard(a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
                 }
             }
         });
-    out
+    Ok(out)
 }
 
 /// PackedK: packed words enter the tensor core; each weight is converted
 /// inline to FP16 (exact for 4-bit signed integers) and processed
 /// sequentially; group scales are applied per k-segment in the epilogue.
-fn run_packed_k(a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
-    let dp = BaselineDpUnit::new(DP_WIDTH);
+fn run_packed_k(a: &MatrixF16, packed: &PackedMatrix) -> PacqResult<MatrixF32> {
+    let dp = BaselineDpUnit::new(DP_WIDTH)?;
     let (m, n, k) = (a.rows(), packed.n(), packed.k());
     let seg = packed.group().k_size.min(k);
-    assert_eq!(
-        seg % DP_WIDTH,
-        0,
-        "group k-extent must align to the DP width"
-    );
-    assert_eq!(k % seg, 0, "k must be a multiple of the group k-extent");
+    if seg % DP_WIDTH != 0 {
+        return Err(PacqError::Misaligned {
+            context: "simt::execute (group k-extent vs DP width)",
+            extent: seg,
+            multiple: DP_WIDTH,
+        });
+    }
+    if k % seg != 0 {
+        return Err(PacqError::Misaligned {
+            context: "simt::execute (k vs group k-extent)",
+            extent: k,
+            multiple: seg,
+        });
+    }
     let bias = packed.precision().bias();
 
     let mut out = MatrixF32::zeros(m, n);
     if m == 0 || n == 0 {
-        return out;
+        return Ok(out);
     }
     let band = band_rows(m);
     out.as_mut_slice()
@@ -191,31 +216,39 @@ fn run_packed_k(a: &MatrixF16, packed: &PackedMatrix) -> MatrixF32 {
                 }
             }
         });
-    out
+    Ok(out)
 }
 
 /// PacQ: activations stream through the parallel FP-INT multipliers
 /// against n-packed words; the Σ A accumulators and the general core
 /// remove the `+offset` bias per k-segment (Eq. (1), Figure 6) and apply
 /// the group scales.
-fn run_pacq(a: &MatrixF16, packed: &PackedMatrix, numerics: NumericsMode) -> MatrixF32 {
+fn run_pacq(a: &MatrixF16, packed: &PackedMatrix, numerics: NumericsMode) -> PacqResult<MatrixF32> {
     let precision = packed.precision();
     let lanes = precision.lanes();
-    let dp = ParallelDpUnit::new(DP_WIDTH, 2, precision).with_numerics(numerics);
+    let dp = ParallelDpUnit::new(DP_WIDTH, 2, precision)?.with_numerics(numerics);
     let (m, n, k) = (a.rows(), packed.n(), packed.k());
     let seg = packed.group().k_size.min(k);
-    assert_eq!(
-        seg % DP_WIDTH,
-        0,
-        "group k-extent must align to the DP width"
-    );
-    assert_eq!(k % seg, 0, "k must be a multiple of the group k-extent");
+    if seg % DP_WIDTH != 0 {
+        return Err(PacqError::Misaligned {
+            context: "simt::execute (group k-extent vs DP width)",
+            extent: seg,
+            multiple: DP_WIDTH,
+        });
+    }
+    if k % seg != 0 {
+        return Err(PacqError::Misaligned {
+            context: "simt::execute (k vs group k-extent)",
+            extent: k,
+            multiple: seg,
+        });
+    }
     let bias = precision.bias();
     let offset = precision.fp_offset();
 
     let mut out = MatrixF32::zeros(m, n);
     if m == 0 || n == 0 {
-        return out;
+        return Ok(out);
     }
     let band = band_rows(m);
     out.as_mut_slice()
@@ -260,7 +293,7 @@ fn run_pacq(a: &MatrixF16, packed: &PackedMatrix, numerics: NumericsMode) -> Mat
                 }
             }
         });
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -280,7 +313,7 @@ mod tests {
         let mut g = SynthGenerator::new(9);
         let a = g.llm_activations(m, k).to_f16();
         let w = g.llm_weights(k, n);
-        let q = RtnQuantizer::new(precision, group).quantize(&w);
+        let q = RtnQuantizer::new(precision, group).quantize(&w).unwrap();
         (a, PackedMatrix::pack(&q, dim).expect("packs"))
     }
 
@@ -306,7 +339,8 @@ mod tests {
             &a,
             &p,
             NumericsMode::PaperRounded,
-        );
+        )
+        .unwrap();
         let want = reference(&a, &p);
         assert!(rel_err(&got, &want) < 2e-3);
     }
@@ -321,7 +355,7 @@ mod tests {
             GroupShape::along_k(32),
             PackDim::K,
         );
-        let got = execute(Architecture::PackedK, &a, &p, NumericsMode::PaperRounded);
+        let got = execute(Architecture::PackedK, &a, &p, NumericsMode::PaperRounded).unwrap();
         let want = reference(&a, &p);
         assert!(rel_err(&got, &want) < 2e-3);
     }
@@ -330,7 +364,7 @@ mod tests {
     fn pacq_wide_matches_reference_tightly() {
         for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
             let (a, p) = setup(4, 16, 64, precision, GroupShape::along_k(32), PackDim::N);
-            let got = execute(Architecture::Pacq, &a, &p, NumericsMode::Wide);
+            let got = execute(Architecture::Pacq, &a, &p, NumericsMode::Wide).unwrap();
             let want = reference(&a, &p);
             let e = rel_err(&got, &want);
             assert!(e < 2e-3, "{precision}: rel err {e}");
@@ -349,7 +383,7 @@ mod tests {
             GroupShape::along_k(32),
             PackDim::N,
         );
-        let rounded = execute(Architecture::Pacq, &a, &p, NumericsMode::PaperRounded);
+        let rounded = execute(Architecture::Pacq, &a, &p, NumericsMode::PaperRounded).unwrap();
         let want = reference(&a, &p);
         let e = rel_err(&rounded, &want);
         assert!(e > 1e-3, "expected visible biased-rounding error, got {e}");
@@ -366,16 +400,17 @@ mod tests {
         let w = pacq_quant::MatrixF32::from_fn(64, 16, |k, n| {
             0.2 + ((k * 5 + n * 3) % 17) as f32 / 40.0
         });
-        let q =
-            RtnQuantizer::asymmetric(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w);
+        let q = RtnQuantizer::asymmetric(WeightPrecision::Int4, GroupShape::along_k(32))
+            .quantize(&w)
+            .unwrap();
         let p = PackedMatrix::pack(&q, PackDim::N).expect("packs");
-        let got = execute(Architecture::Pacq, &a, &p, NumericsMode::Wide);
+        let got = execute(Architecture::Pacq, &a, &p, NumericsMode::Wide).unwrap();
         let want = reference(&a, &p);
         let e = rel_err(&got, &want);
         assert!(e < 2e-3, "asymmetric PacQ rel err {e}");
         // And the PackedK flow handles zero points too.
         let pk = PackedMatrix::pack(&q, PackDim::K).expect("packs");
-        let got = execute(Architecture::PackedK, &a, &pk, NumericsMode::Wide);
+        let got = execute(Architecture::PackedK, &a, &pk, NumericsMode::Wide).unwrap();
         let e = rel_err(&got, &want);
         assert!(e < 2e-3, "asymmetric PackedK rel err {e}");
     }
@@ -390,13 +425,12 @@ mod tests {
             GroupShape::new(32, 4),
             PackDim::N,
         );
-        let got = execute(Architecture::Pacq, &a, &p, NumericsMode::Wide);
+        let got = execute(Architecture::Pacq, &a, &p, NumericsMode::Wide).unwrap();
         let want = reference(&a, &p);
         assert!(rel_err(&got, &want) < 2e-3);
     }
 
     #[test]
-    #[should_panic(expected = "requires P(B_x)_n")]
     fn pacq_rejects_k_packing() {
         let (a, p) = setup(
             4,
@@ -406,11 +440,11 @@ mod tests {
             GroupShape::along_k(32),
             PackDim::K,
         );
-        execute(Architecture::Pacq, &a, &p, NumericsMode::Wide);
+        let err = execute(Architecture::Pacq, &a, &p, NumericsMode::Wide).unwrap_err();
+        assert!(err.to_string().contains("requires P(B_x)_n"));
     }
 
     #[test]
-    #[should_panic(expected = "requires P(B_x)_k")]
     fn packed_k_rejects_n_packing() {
         let (a, p) = setup(
             4,
@@ -420,6 +454,22 @@ mod tests {
             GroupShape::along_k(32),
             PackDim::N,
         );
-        execute(Architecture::PackedK, &a, &p, NumericsMode::Wide);
+        let err = execute(Architecture::PackedK, &a, &p, NumericsMode::Wide).unwrap_err();
+        assert!(err.to_string().contains("requires P(B_x)_k"));
+    }
+
+    #[test]
+    fn mismatched_activation_width_is_a_typed_error() {
+        let (_, p) = setup(
+            4,
+            16,
+            64,
+            WeightPrecision::Int4,
+            GroupShape::along_k(32),
+            PackDim::N,
+        );
+        let narrow = SynthGenerator::new(10).llm_activations(4, 32).to_f16();
+        let err = execute(Architecture::Pacq, &narrow, &p, NumericsMode::Wide).unwrap_err();
+        assert!(matches!(err, PacqError::ShapeMismatch { .. }));
     }
 }

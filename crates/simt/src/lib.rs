@@ -23,17 +23,24 @@
 //! use pacq_quant::GroupShape;
 //! use pacq_fp16::WeightPrecision;
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cfg = SmConfig::volta_like();
 //! let wl = Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4);
-//! let pacq = simulate(Architecture::Pacq, wl, &cfg, GroupShape::along_k(16));
-//! let packed_k = simulate(Architecture::PackedK, wl, &cfg, GroupShape::along_k(16));
+//! let pacq = simulate(Architecture::Pacq, wl, &cfg, GroupShape::along_k(16))?;
+//! let packed_k = simulate(Architecture::PackedK, wl, &cfg, GroupShape::along_k(16))?;
 //! // Figure 7: PacQ needs ~2× fewer cycles and far fewer RF accesses.
 //! assert!(packed_k.total_cycles > pacq.total_cycles);
 //! assert!(packed_k.rf.total_accesses() > pacq.rf.total_accesses());
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod config;
 pub mod dataflow;

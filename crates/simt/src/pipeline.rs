@@ -324,6 +324,7 @@ mod tests {
             &cfg,
             GroupShape::along_k(16),
         )
+        .unwrap()
     }
 
     /// The event-driven replay reproduces the analytic per-octet RF
@@ -430,7 +431,8 @@ mod tests {
                     Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4),
                     &cfg,
                     GroupShape::along_k(16),
-                );
+                )
+                .unwrap();
                 assert_eq!(t.rf.a_reads * 4, a.rf.a_reads, "{arch:?} DP-{width}: A");
                 assert_eq!(t.rf.b_reads * 4, a.rf.b_reads, "{arch:?} DP-{width}: B");
                 let diff = t.cycles.abs_diff(a.tc_cycles);

@@ -110,9 +110,12 @@ fn execute_is_bit_identical_across_job_counts() {
                 let mut g = SynthGenerator::new(77);
                 let a = g.llm_activations(M, K).to_f16();
                 let w = g.llm_weights(K, N);
-                let q = RtnQuantizer::new(precision, GroupShape::along_k(32)).quantize(&w);
+                let q = RtnQuantizer::new(precision, GroupShape::along_k(32))
+                    .quantize(&w)
+                    .expect("quantizes");
                 let p = PackedMatrix::pack(&q, pack_for(arch)).expect("packs");
-                let (serial, parallel) = at_1_and_4(|| execute(arch, &a, &p, numerics));
+                let (serial, parallel) =
+                    at_1_and_4(|| execute(arch, &a, &p, numerics).expect("executes"));
                 assert_bits_eq(
                     &serial,
                     &parallel,
@@ -128,7 +131,9 @@ fn reference_oracle_is_bit_identical_across_job_counts() {
     let mut g = SynthGenerator::new(78);
     let a = g.llm_activations(M, K).to_f16();
     let w = g.llm_weights(K, N);
-    let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).quantize(&w);
+    let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+        .quantize(&w)
+        .expect("quantizes");
     let p = PackedMatrix::pack(&q, PackDim::N).expect("packs");
     let (serial, parallel) = at_1_and_4(|| reference(&a, &p));
     assert_bits_eq(&serial, &parallel, "reference");
@@ -158,7 +163,7 @@ fn rtn_artifacts_are_bit_identical_across_job_counts() {
                 RtnQuantizer::asymmetric(precision, GroupShape::along_k(32)),
             ),
         ] {
-            let (serial, parallel) = at_1_and_4(|| quantizer.quantize(&w));
+            let (serial, parallel) = at_1_and_4(|| quantizer.quantize(&w).expect("quantizes"));
             assert_artifacts_eq(&serial, &parallel, &format!("rtn/{name}/{precision}"));
         }
     }
@@ -169,7 +174,8 @@ fn gptq_artifacts_are_bit_identical_across_job_counts() {
     let mut g = SynthGenerator::new(81);
     let w = g.llm_weights(K, N);
     let calibration = g.llm_activations(8, K);
-    let quantizer = GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32));
+    let quantizer =
+        GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32)).expect("k-only group");
     let (serial, parallel) = at_1_and_4(|| {
         quantizer
             .quantize(&w, &calibration)
@@ -185,12 +191,14 @@ fn awq_search_is_bit_identical_across_job_counts() {
     let activations = g.llm_activations(8, K);
     let scaler = AwqScaler::new();
     let (serial, parallel) = at_1_and_4(|| {
-        scaler.search(
-            &w,
-            &activations,
-            WeightPrecision::Int4,
-            GroupShape::along_k(32),
-        )
+        scaler
+            .search(
+                &w,
+                &activations,
+                WeightPrecision::Int4,
+                GroupShape::along_k(32),
+            )
+            .expect("searches")
     });
     assert_eq!(
         serial.alpha.to_bits(),

@@ -76,8 +76,8 @@ proptest! {
             let mut b = SmConfig::volta_like();
             b.adder_tree_duplication = 2;
             let wl = Workload::new(shape, WeightPrecision::Int4);
-            let ra = simulate(arch, wl, &a, group);
-            let rb = simulate(arch, wl, &b, group);
+            let ra = simulate(arch, wl, &a, group).expect("valid config");
+            let rb = simulate(arch, wl, &b, group).expect("valid config");
             prop_assert_eq!(ra.rf, rb.rf, "{:?}", arch);
             prop_assert_eq!(ra.fetch_instructions, rb.fetch_instructions);
         }
@@ -102,7 +102,8 @@ proptest! {
                 Workload::new(GemmShape::M16N16K16, precision),
                 &cfg,
                 GroupShape::along_k(16),
-            );
+            )
+            .expect("valid config");
             prop_assert_eq!(t.rf.a_reads * 4, a.rf.a_reads, "{:?} A", arch);
             prop_assert_eq!(t.rf.b_reads * 4, a.rf.b_reads, "{:?} B", arch);
             prop_assert_eq!(t.rf.c_writes * 4, a.rf.c_writes, "{:?} C", arch);

@@ -7,7 +7,7 @@
 use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, SmConfig, Workload};
 use pacq_fp16::WeightPrecision;
 
-fn main() {
+fn main() -> pacq::PacqResult<()> {
     let shape = GemmShape::new(16, 1024, 1024);
 
     println!("== packing direction × precision ({shape}) ==");
@@ -22,7 +22,7 @@ fn main() {
             Architecture::PackedK,
             Architecture::Pacq,
         ] {
-            let r = runner.analyze(arch, Workload::new(shape, precision));
+            let r = runner.analyze(arch, Workload::new(shape, precision))?;
             println!(
                 "{:<30} {:>12} {:>12} {:>14} {:>12}",
                 format!("{arch} / {precision}"),
@@ -47,7 +47,7 @@ fn main() {
         let r = runner.analyze(
             Architecture::Pacq,
             Workload::new(shape, WeightPrecision::Int4),
-        );
+        )?;
         let unit = pacq_energy::GemmUnit::ParallelDp {
             width: 4,
             duplication: dup,
@@ -73,8 +73,8 @@ fn main() {
         cfg.dp_width = width;
         let runner = GemmRunner::new().with_config(cfg);
         let wl = Workload::new(shape, WeightPrecision::Int4);
-        let base = runner.analyze(Architecture::PackedK, wl);
-        let pacq = runner.analyze(Architecture::Pacq, wl);
+        let base = runner.analyze(Architecture::PackedK, wl)?;
+        let pacq = runner.analyze(Architecture::Pacq, wl)?;
         println!(
             "DP-{:<8} {:>14} {:>14} {:>9.2}x",
             width,
@@ -99,7 +99,7 @@ fn main() {
         let r = runner.analyze(
             Architecture::Pacq,
             Workload::new(shape, WeightPrecision::Int4),
-        );
+        )?;
         println!(
             "{:<12} {:>16} {:>18}",
             group.to_string(),
@@ -107,4 +107,5 @@ fn main() {
             r.stats.ops.offset_fixups
         );
     }
+    Ok(())
 }

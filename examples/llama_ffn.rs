@@ -10,7 +10,7 @@ use pacq::llama::llama2_7b_layers;
 use pacq::{Architecture, GemmRunner, Workload};
 use pacq_fp16::WeightPrecision;
 
-fn main() {
+fn main() -> pacq::PacqResult<()> {
     let runner = GemmRunner::new();
     let precision = WeightPrecision::Int4;
 
@@ -25,9 +25,9 @@ fn main() {
         let mut total_edp = [0f64; 3];
         for layer in llama2_7b_layers(batch) {
             let wl = Workload::new(layer.shape, precision);
-            let std = runner.analyze(Architecture::StandardDequant, wl);
-            let pk = runner.analyze(Architecture::PackedK, wl);
-            let pq = runner.analyze(Architecture::Pacq, wl);
+            let std = runner.analyze(Architecture::StandardDequant, wl)?;
+            let pk = runner.analyze(Architecture::PackedK, wl)?;
+            let pq = runner.analyze(Architecture::Pacq, wl)?;
             println!(
                 "{:<16} {:<18} {:>9} {:>9} {:>9} {:>10.1}%",
                 layer.name,
@@ -59,6 +59,7 @@ fn main() {
             totals[1] as f64 / totals[2] as f64,
         );
     }
+    Ok(())
 }
 
 fn kcycles(c: u64) -> String {

@@ -13,7 +13,7 @@ use pacq_quant::gptq::GptqQuantizer;
 use pacq_quant::lm::TinyLm;
 use pacq_quant::synth::SynthGenerator;
 
-fn main() {
+fn main() -> pacq::PacqResult<()> {
     let mut generator = SynthGenerator::new(7);
     let weights = generator.llm_weights(512, 128);
     let activations = generator.llm_activations(16, 512);
@@ -32,7 +32,7 @@ fn main() {
         GroupShape::G256,
         GroupShape::G64X4,
     ] {
-        let e = evaluate_rtn(&weights, &activations, WeightPrecision::Int4, group);
+        let e = evaluate_rtn(&weights, &activations, WeightPrecision::Int4, group)?;
         println!(
             "{:<10} {:>12.3e} {:>12.2} {:>16.4}",
             group.to_string(),
@@ -63,24 +63,22 @@ fn main() {
             d.frobenius_norm() / r.frobenius_norm().max(1e-30)
         };
         let group = GroupShape::along_k(128);
-        let rtn = RtnQuantizer::new(WeightPrecision::Int4, group).quantize(&w);
+        let rtn = RtnQuantizer::new(WeightPrecision::Int4, group).quantize(&w)?;
         println!(
             "  RTN (symmetric):        {:.5}",
             out_err(&rtn.dequantize())
         );
-        let asym = RtnQuantizer::asymmetric(WeightPrecision::Int4, group).quantize(&w);
+        let asym = RtnQuantizer::asymmetric(WeightPrecision::Int4, group).quantize(&w)?;
         println!(
             "  RTN (asymmetric):       {:.5}",
             out_err(&asym.dequantize())
         );
-        let gptq = GptqQuantizer::new(WeightPrecision::Int4, group)
-            .quantize(&w, &acts)
-            .expect("factorizes");
+        let gptq = GptqQuantizer::new(WeightPrecision::Int4, group)?.quantize(&w, &acts)?;
         println!(
             "  GPTQ (Hessian-aware):   {:.5}",
             out_err(&gptq.dequantize())
         );
-        let awq = AwqScaler::new().search(&w, &acts, WeightPrecision::Int4, group);
+        let awq = AwqScaler::new().search(&w, &acts, WeightPrecision::Int4, group)?;
         println!(
             "  AWQ (activation-aware): {:.5} (alpha = {})",
             awq.output_rel_err, awq.alpha
@@ -101,7 +99,7 @@ fn main() {
         GroupShape::G256,
         GroupShape::G64X4,
     ] {
-        let q = lm.quantize_ffn(WeightPrecision::Int4, group);
+        let q = lm.quantize_ffn(WeightPrecision::Int4, group)?;
         println!(
             "{:<22} {:>10.3}",
             format!("W4A16 {group}"),
@@ -113,8 +111,8 @@ fn main() {
     // The packed artifact, bit by bit.
     // ------------------------------------------------------------------
     println!("\n== packed P(B_4)_n artifact ==");
-    let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4).quantize(&weights);
-    let packed = PackedMatrix::pack(&q, PackDim::N).expect("lane aligned");
+    let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4).quantize(&weights)?;
+    let packed = PackedMatrix::pack(&q, PackDim::N)?;
     println!("{packed}");
     println!("first word (k=0, lanes n=0..3):");
     let word = packed.word(0, 0);
@@ -140,11 +138,12 @@ fn main() {
     // The deployable artifact round-trips through the binary container.
     // ------------------------------------------------------------------
     let bytes = pacq_quant::to_bytes(&packed);
-    let restored = pacq_quant::from_bytes(&bytes).expect("valid artifact");
+    let restored = pacq_quant::from_bytes(&bytes)?;
     assert_eq!(restored, packed);
     println!(
         "\nserialized artifact: {} bytes ({:.2} bits/weight incl. scales & container)",
         bytes.len(),
         bytes.len() as f64 * 8.0 / (packed.k() * packed.n()) as f64
     );
+    Ok(())
 }

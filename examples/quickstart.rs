@@ -8,7 +8,7 @@ use pacq::{Architecture, Comparison, GemmRunner, GemmShape, GroupShape, Numerics
 use pacq_fp16::WeightPrecision;
 use pacq_quant::synth::SynthGenerator;
 
-fn main() {
+fn main() -> pacq::PacqResult<()> {
     // ------------------------------------------------------------------
     // 1. Make an LLM-like weight matrix and some activations.
     // ------------------------------------------------------------------
@@ -22,9 +22,7 @@ fn main() {
     let runner = GemmRunner::new()
         .with_group(GroupShape::G128)
         .with_numerics(NumericsMode::Wide);
-    let packed = runner
-        .quantize_and_pack(&weights, WeightPrecision::Int4, Architecture::Pacq)
-        .expect("shape is lane-aligned");
+    let packed = runner.quantize_and_pack(&weights, WeightPrecision::Int4, Architecture::Pacq)?;
     println!(
         "packed {} weights into {} INT16 words ({} bits incl. scales)",
         packed.k() * packed.n(),
@@ -35,7 +33,7 @@ fn main() {
     // ------------------------------------------------------------------
     // 3. Execute the GEMM through the modeled PacQ datapath.
     // ------------------------------------------------------------------
-    let c = runner.execute(Architecture::Pacq, &activations, &packed);
+    let c = runner.execute(Architecture::Pacq, &activations, &packed)?;
     let reference = pacq_simt::reference(&activations, &packed);
     let mut max_err = 0f32;
     for i in 0..c.rows() {
@@ -50,9 +48,9 @@ fn main() {
     // ------------------------------------------------------------------
     let wl = Workload::new(GemmShape::new(16, 4096, 4096), WeightPrecision::Int4);
     let cmp = Comparison::new(vec![
-        runner.analyze(Architecture::StandardDequant, wl),
-        runner.analyze(Architecture::PackedK, wl),
-        runner.analyze(Architecture::Pacq, wl),
+        runner.analyze(Architecture::StandardDequant, wl)?,
+        runner.analyze(Architecture::PackedK, wl)?,
+        runner.analyze(Architecture::Pacq, wl)?,
     ]);
     println!("\nworkload {wl}:");
     println!(
@@ -71,4 +69,5 @@ fn main() {
             speed[i]
         );
     }
+    Ok(())
 }

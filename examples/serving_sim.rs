@@ -16,7 +16,7 @@ struct Phase {
     passes: usize,
 }
 
-fn main() {
+fn main() -> pacq::PacqResult<()> {
     const LAYERS: usize = 32; // Llama2-7B decoder blocks
 
     // A serving mix: one 512-token prefill, then batched decode steps
@@ -59,7 +59,7 @@ fn main() {
             let mut secs = 0f64;
             let mut joules = 0f64;
             for layer in llama2_7b_layers(phase.tokens_in_flight) {
-                let r = runner.analyze(arch, Workload::new(layer.shape, precision));
+                let r = runner.analyze(arch, Workload::new(layer.shape, precision))?;
                 secs += r.latency_s * (phase.passes * LAYERS) as f64;
                 joules += r.total_energy_pj() * 1e-12 * (phase.passes * LAYERS) as f64;
             }
@@ -96,4 +96,5 @@ fn main() {
         "\n(relative numbers are the meaningful ones: one simulated SM serves the\n\
          whole model here, so absolute times are not wall-clock predictions.)"
     );
+    Ok(())
 }

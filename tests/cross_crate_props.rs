@@ -25,7 +25,7 @@ proptest! {
         w in small_weights(),
         precision in any_precision(),
     ) {
-        let q = RtnQuantizer::new(precision, GroupShape::along_k(16)).quantize(&w);
+        let q = RtnQuantizer::new(precision, GroupShape::along_k(16)).quantize(&w).unwrap();
         for dim in [PackDim::K, PackDim::N] {
             let p = PackedMatrix::pack(&q, dim).expect("aligned");
             let unpacked = p.unpack();
@@ -37,7 +37,7 @@ proptest! {
     /// RTN error is bounded by half a scale step everywhere.
     #[test]
     fn rtn_error_bound(w in small_weights(), precision in any_precision()) {
-        let q = RtnQuantizer::new(precision, GroupShape::along_k(16)).quantize(&w);
+        let q = RtnQuantizer::new(precision, GroupShape::along_k(16)).quantize(&w).unwrap();
         let deq = q.dequantize();
         for k in 0..w.rows() {
             for n in 0..w.cols() {
@@ -57,7 +57,7 @@ proptest! {
         let runner = GemmRunner::new()
             .with_group(GroupShape::along_k(16))
             .with_numerics(NumericsMode::Wide);
-        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(16)).quantize(&w);
+        let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(16)).quantize(&w).unwrap();
         let p_k = PackedMatrix::pack(&q, PackDim::K).expect("aligned");
         let p_n = PackedMatrix::pack(&q, PackDim::N).expect("aligned");
         let oracle = pacq_simt::reference(&a, &p_n);
@@ -68,7 +68,7 @@ proptest! {
             (Architecture::PackedK, &p_k),
             (Architecture::Pacq, &p_n),
         ] {
-            let got = runner.execute(arch, &a, p);
+            let got = runner.execute(arch, &a, p).unwrap();
             let d = MatrixF32::from_fn(got.rows(), got.cols(), |r, c| {
                 got.get(r, c) - oracle.get(r, c)
             });
@@ -83,14 +83,18 @@ proptest! {
     #[test]
     fn stats_scale_linearly_in_n(scale in 1usize..6, precision in any_precision()) {
         let runner = GemmRunner::new();
-        let base = runner.analyze(
-            Architecture::Pacq,
-            Workload::new(GemmShape::new(16, 64, 128), precision),
-        );
-        let big = runner.analyze(
-            Architecture::Pacq,
-            Workload::new(GemmShape::new(16, 64 * scale, 128), precision),
-        );
+        let base = runner
+            .analyze(
+                Architecture::Pacq,
+                Workload::new(GemmShape::new(16, 64, 128), precision),
+            )
+            .unwrap();
+        let big = runner
+            .analyze(
+                Architecture::Pacq,
+                Workload::new(GemmShape::new(16, 64 * scale, 128), precision),
+            )
+            .unwrap();
         let s = scale as u64;
         prop_assert_eq!(big.stats.rf.a_reads, base.stats.rf.a_reads * s);
         prop_assert_eq!(big.stats.rf.b_reads, base.stats.rf.b_reads * s);
@@ -109,8 +113,8 @@ proptest! {
         let shape = GemmShape::new(mi * 16, ni * 16, ki * 16);
         let runner = GemmRunner::new().with_group(GroupShape::along_k(16 * ki));
         let wl = Workload::new(shape, precision);
-        let base = runner.analyze(Architecture::PackedK, wl);
-        let pacq = runner.analyze(Architecture::Pacq, wl);
+        let base = runner.analyze(Architecture::PackedK, wl).unwrap();
+        let pacq = runner.analyze(Architecture::Pacq, wl).unwrap();
         prop_assert!(pacq.stats.total_cycles <= base.stats.total_cycles);
         prop_assert!(pacq.stats.rf.total_accesses() < base.stats.rf.total_accesses());
         prop_assert!(pacq.edp_pj_s < base.edp_pj_s);
@@ -121,14 +125,18 @@ proptest! {
     #[test]
     fn energy_monotone_in_k(ki in 1usize..8, precision in any_precision()) {
         let runner = GemmRunner::new();
-        let small = runner.analyze(
-            Architecture::Pacq,
-            Workload::new(GemmShape::new(16, 64, 16 * ki), precision),
-        );
-        let big = runner.analyze(
-            Architecture::Pacq,
-            Workload::new(GemmShape::new(16, 64, 16 * (ki + 1)), precision),
-        );
+        let small = runner
+            .analyze(
+                Architecture::Pacq,
+                Workload::new(GemmShape::new(16, 64, 16 * ki), precision),
+            )
+            .unwrap();
+        let big = runner
+            .analyze(
+                Architecture::Pacq,
+                Workload::new(GemmShape::new(16, 64, 16 * (ki + 1)), precision),
+            )
+            .unwrap();
         prop_assert!(big.total_energy_pj() > small.total_energy_pj());
         prop_assert!(big.stats.total_cycles >= small.stats.total_cycles);
     }

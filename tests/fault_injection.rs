@@ -1,0 +1,200 @@
+//! Fault-injection harness: the dynamic half of the no-panic contract
+//! (DESIGN.md §10).
+//!
+//! The library promises that no hostile input — corrupt artifact bytes,
+//! degenerate quantizer matrices, malformed CLI argument vectors — ever
+//! panics a public API: everything surfaces as a typed [`PacqError`].
+//! The clippy lint gate (`unwrap_used`/`expect_used`/`panic` denied in
+//! non-test code) enforces this statically; this suite enforces it
+//! dynamically by firing randomized corruption at the decoding, the
+//! quantizers and the CLI and asserting `Err`, never an unwind.
+
+use pacq::cli;
+use pacq::{PacqError, PacqResult};
+use pacq_fp16::WeightPrecision;
+use pacq_quant::{
+    awq::AwqScaler, from_bytes, gptq::GptqQuantizer, to_bytes, GroupShape, MatrixF32, PackDim,
+    PackedMatrix, RtnQuantizer,
+};
+use proptest::prelude::*;
+
+/// A small deterministic packed artifact to corrupt.
+fn sample_artifact(seed: u64) -> Vec<u8> {
+    let w = MatrixF32::from_fn(32, 16, |k, n| {
+        let x = (seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((k * 16 + n) as u64)
+            >> 33) as u32;
+        (x % 1024) as f32 / 512.0 - 1.0
+    });
+    let q = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+        .quantize(&w)
+        .expect("finite sample weights quantize");
+    let p = PackedMatrix::pack(&q, PackDim::N).expect("aligned sample packs");
+    to_bytes(&p)
+}
+
+/// Asserts that a fallible call neither panics nor unwinds; the `Err`
+/// payload must render a one-line diagnostic.
+fn assert_no_panic<T>(what: &str, f: impl FnOnce() -> PacqResult<T> + std::panic::UnwindSafe) {
+    match std::panic::catch_unwind(f) {
+        Ok(Ok(_)) => {}
+        Ok(Err(e)) => {
+            let msg = e.to_string();
+            assert!(!msg.is_empty(), "{what}: empty diagnostic");
+            assert!(!msg.contains('\n'), "{what}: multi-line diagnostic: {msg}");
+        }
+        Err(_) => panic!("{what}: panicked instead of returning Err"),
+    }
+}
+
+proptest! {
+    /// Round-trip: encode → decode is the identity on valid artifacts.
+    #[test]
+    fn artifact_roundtrip_is_identity(
+        seed in any::<u64>(),
+        k_words in 1usize..6,
+        n_words in 1usize..5,
+        dim in prop::sample::select(vec![PackDim::K, PackDim::N]),
+        precision in prop::sample::select(vec![WeightPrecision::Int4, WeightPrecision::Int2]),
+    ) {
+        let (k, n) = (k_words * 8, n_words * 8);
+        let w = MatrixF32::from_fn(k, n, |r, c| {
+            let x = (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((r * n + c) as u64)
+                >> 33) as u32;
+            (x % 2048) as f32 / 1024.0 - 1.0
+        });
+        let q = RtnQuantizer::new(precision, GroupShape::along_k(k)).quantize(&w).unwrap();
+        let p = PackedMatrix::pack(&q, dim).unwrap();
+        let decoded = from_bytes(&to_bytes(&p)).unwrap();
+        prop_assert_eq!(decoded, p);
+    }
+
+    /// Every truncation of a valid artifact is an `Err`, never a panic.
+    #[test]
+    fn truncated_artifacts_never_panic(seed in any::<u64>(), cut in 0usize..900) {
+        let bytes = sample_artifact(seed);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        assert_no_panic("from_bytes(truncated)", || from_bytes(&bytes[..cut]).map(|_| ()));
+        // A strict prefix can never decode successfully: the header
+        // announces more payload than remains.
+        prop_assert!(from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Single-bit flips anywhere in the artifact either decode to some
+    /// matrix or fail with a typed error — no panic, no abort.
+    #[test]
+    fn bit_flipped_artifacts_never_panic(
+        seed in any::<u64>(),
+        byte in 0usize..900,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = sample_artifact(seed);
+        let byte = byte % bytes.len();
+        bytes[byte] ^= 1 << bit;
+        assert_no_panic("from_bytes(bit flip)", || from_bytes(&bytes).map(|_| ()));
+    }
+
+    /// Fully random byte soup fed to the decoder never panics.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        assert_no_panic("from_bytes(random)", || from_bytes(&bytes).map(|_| ()));
+    }
+
+    /// Degenerate matrices (zero-ish extents, NaN/Inf poisoning) give the
+    /// RTN quantizer typed errors, never panics.
+    #[test]
+    fn degenerate_rtn_inputs_never_panic(
+        rows in 0usize..40,
+        cols in 0usize..20,
+        poison in prop::sample::select(vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY]),
+        poisoned in any::<bool>(),
+    ) {
+        let w = MatrixF32::from_fn(rows, cols, |r, c| {
+            if poisoned && r == rows / 2 && c == cols / 2 {
+                poison
+            } else {
+                (r as f32 - c as f32) / 8.0
+            }
+        });
+        let quantizer = RtnQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32));
+        assert_no_panic("rtn.quantize(degenerate)", || quantizer.quantize(&w).map(|_| ()));
+        if rows == 0 || cols == 0 || poisoned {
+            prop_assert!(quantizer.quantize(&w).is_err());
+        }
+    }
+
+    /// Hostile CLI argument vectors return `Err` (or help/report text) —
+    /// the binary never backtraces at a user.
+    #[test]
+    fn hostile_cli_argv_never_panics(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "analyze", "compare", "sweep", "help", "frobnicate",
+                "--shape", "m16n16k16", "m0n0k0", "m-1n16k16", "mXnYkZ", "m15n16k16",
+                "--precision", "int4", "int2", "int5", "",
+                "--arch", "pacq", "warp9",
+                "--group", "g128", "g0", "h128",
+                "--dup", "3", "--width", "0", "--param", "batch", "chaos",
+                "--json", "--jobs", "1000000", "-1",
+            ]),
+            0..6,
+        ),
+    ) {
+        // `--jobs <huge>` would genuinely build a million-thread pool;
+        // keep the fuzz on the parser, not the OS.
+        let argv: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        if argv.iter().any(|t| t == "--jobs" || t == "1000000") {
+            let has_valid_jobs = argv
+                .windows(2)
+                .any(|w| w[0] == "--jobs" && w[1].parse::<usize>().map(|n| n > 64) == Ok(true));
+            prop_assume!(!has_valid_jobs);
+        }
+        assert_no_panic("cli::run(hostile argv)", || cli::run(&argv).map(|_| ()));
+    }
+}
+
+#[test]
+fn awq_empty_grid_is_err_not_panic() {
+    assert_no_panic("AwqScaler::with_grid([])", || {
+        AwqScaler::with_grid(vec![]).map(|_| ())
+    });
+    assert!(matches!(
+        AwqScaler::with_grid(vec![]),
+        Err(PacqError::EmptySearchSpace { .. })
+    ));
+    assert!(matches!(
+        AwqScaler::with_grid(vec![0.5, f64::NAN]),
+        Err(PacqError::NonFinite { .. })
+    ));
+}
+
+#[test]
+fn gptq_degenerate_configs_are_err_not_panic() {
+    for damping in [0.0, -4.0, f64::NAN, f64::INFINITY] {
+        assert_no_panic("GptqQuantizer::with_damping", || {
+            GptqQuantizer::new(WeightPrecision::Int4, GroupShape::along_k(32))
+                .and_then(|q| q.with_damping(damping))
+                .map(|_| ())
+        });
+    }
+    assert!(GptqQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4).is_err());
+}
+
+#[test]
+fn cli_malformed_shape_has_usage_exit_code() {
+    let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+    for cmd in [
+        "analyze --shape m0n16k16",
+        "analyze --shape m15n16k16",
+        "analyze --shape garbage",
+        "sweep --param chaos --shape m16n16k16",
+    ] {
+        let err = cli::run(&argv(cmd)).unwrap_err();
+        assert!(err.is_usage(), "{cmd}: {err}");
+        assert_eq!(err.exit_code(), 2, "{cmd}");
+        assert_ne!(err.exit_code(), 0, "{cmd}");
+    }
+}

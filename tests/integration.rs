@@ -33,9 +33,11 @@ fn full_pipeline_int4() {
 
     // Functional execution agrees with the oracle on every flow.
     let oracle = pacq_simt::reference(&a, &p_n);
-    let std = runner.execute(Architecture::StandardDequant, &a, &p_k);
-    let pk = runner.execute(Architecture::PackedK, &a, &p_k);
-    let pq = runner.execute(Architecture::Pacq, &a, &p_n);
+    let std = runner
+        .execute(Architecture::StandardDequant, &a, &p_k)
+        .unwrap();
+    let pk = runner.execute(Architecture::PackedK, &a, &p_k).unwrap();
+    let pq = runner.execute(Architecture::Pacq, &a, &p_n).unwrap();
     assert!(
         rel_err(&std, &oracle) < 5e-3,
         "std: {}",
@@ -66,7 +68,7 @@ fn pipeline_int2() {
         .quantize_and_pack(&weights, WeightPrecision::Int2, Architecture::Pacq)
         .expect("packs along n");
     let oracle = pacq_simt::reference(&a, &p_n);
-    let pq = runner.execute(Architecture::Pacq, &a, &p_n);
+    let pq = runner.execute(Architecture::Pacq, &a, &p_n).unwrap();
     assert!(
         rel_err(&pq, &oracle) < 5e-3,
         "int2 pacq: {}",
@@ -90,7 +92,7 @@ fn analysis_pipeline_all_architectures_all_precisions() {
                 Architecture::Pacq,
             ]
             .iter()
-            .map(|&arch| runner.analyze(arch, wl))
+            .map(|&arch| runner.analyze(arch, wl).unwrap())
             .collect();
             for r in &reports {
                 assert!(r.stats.total_cycles > 0, "{wl} {:?}: zero cycles", r.arch);
@@ -119,10 +121,12 @@ fn two_dimensional_groups_reduce_scale_fetches_end_to_end() {
     let wl = Workload::new(GemmShape::new(16, 4096, 4096), WeightPrecision::Int4);
     let g1 = GemmRunner::new()
         .with_group(GroupShape::G128)
-        .analyze(Architecture::Pacq, wl);
+        .analyze(Architecture::Pacq, wl)
+        .unwrap();
     let g2 = GemmRunner::new()
         .with_group(GroupShape::G32X4)
-        .analyze(Architecture::Pacq, wl);
+        .analyze(Architecture::Pacq, wl)
+        .unwrap();
     assert_eq!(
         g1.stats.ops.scale_fetches,
         4 * g2.stats.ops.scale_fetches,

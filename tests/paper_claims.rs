@@ -21,13 +21,17 @@ fn fig8_multiplier_throughput_per_watt() {
 /// Figure 8's cycle anchors for the DP-4 units on m2n4k4.
 #[test]
 fn fig8_dp4_cycle_anchors() {
-    assert_eq!(BaselineDpUnit::new(4).cycles_for_outputs(8), 11);
+    assert_eq!(BaselineDpUnit::new(4).unwrap().cycles_for_outputs(8), 11);
     assert_eq!(
-        ParallelDpUnit::new(4, 2, WeightPrecision::Int4).cycles_for_batches(8),
+        ParallelDpUnit::new(4, 2, WeightPrecision::Int4)
+            .unwrap()
+            .cycles_for_batches(8),
         19
     );
     assert_eq!(
-        ParallelDpUnit::new(4, 2, WeightPrecision::Int2).cycles_for_batches(8),
+        ParallelDpUnit::new(4, 2, WeightPrecision::Int2)
+            .unwrap()
+            .cycles_for_batches(8),
         35
     );
 }
@@ -57,8 +61,8 @@ fn fig7b_speedup() {
     let mut speedups = Vec::new();
     for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
         let wl = Workload::new(GemmShape::M16N16K16, precision);
-        let base = runner.analyze(Architecture::PackedK, wl);
-        let pacq = runner.analyze(Architecture::Pacq, wl);
+        let base = runner.analyze(Architecture::PackedK, wl).unwrap();
+        let pacq = runner.analyze(Architecture::Pacq, wl).unwrap();
         speedups.push(base.stats.total_cycles as f64 / pacq.stats.total_cycles as f64);
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
@@ -79,8 +83,8 @@ fn fig7a_rf_access_reduction() {
     let mut last = 0.0;
     for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
         let wl = Workload::new(GemmShape::M16N16K16, precision);
-        let base = runner.analyze(Architecture::PackedK, wl);
-        let pacq = runner.analyze(Architecture::Pacq, wl);
+        let base = runner.analyze(Architecture::PackedK, wl).unwrap();
+        let pacq = runner.analyze(Architecture::Pacq, wl).unwrap();
         let reduction =
             1.0 - pacq.stats.rf.total_accesses() as f64 / base.stats.rf.total_accesses() as f64;
         assert!(
@@ -101,8 +105,8 @@ fn fig10_edp_reduction() {
         .iter()
         .map(|&p| {
             let wl = Workload::new(shape, p);
-            let std = runner.analyze(Architecture::StandardDequant, wl);
-            let pacq = runner.analyze(Architecture::Pacq, wl);
+            let std = runner.analyze(Architecture::StandardDequant, wl).unwrap();
+            let pacq = runner.analyze(Architecture::Pacq, wl).unwrap();
             1.0 - pacq.edp_pj_s / std.edp_pj_s
         })
         .fold(0.0f64, f64::max);
@@ -122,10 +126,12 @@ fn fig11_duplication_knee() {
             let runner = GemmRunner::new()
                 .with_config(cfg)
                 .with_group(GroupShape::along_k(16));
-            let r = runner.analyze(
-                Architecture::Pacq,
-                Workload::new(GemmShape::M16N16K16, precision),
-            );
+            let r = runner
+                .analyze(
+                    Architecture::Pacq,
+                    Workload::new(GemmShape::M16N16K16, precision),
+                )
+                .unwrap();
             let power = GemmUnit::ParallelDp {
                 width: 4,
                 duplication: dup,
@@ -159,8 +165,8 @@ fn fig12a_dp_width_orthogonality() {
             .with_config(cfg)
             .with_group(GroupShape::along_k(16));
         let wl = Workload::new(GemmShape::M16N16K16, WeightPrecision::Int4);
-        let base = runner.analyze(Architecture::PackedK, wl);
-        let pacq = runner.analyze(Architecture::Pacq, wl);
+        let base = runner.analyze(Architecture::PackedK, wl).unwrap();
+        let pacq = runner.analyze(Architecture::Pacq, wl).unwrap();
         let speedup = base.stats.total_cycles as f64 / pacq.stats.total_cycles as f64;
         assert!(speedup > 1.5, "DP-{width}: speedup = {speedup}");
     }
@@ -201,9 +207,11 @@ fn table2_iso_perplexity() {
             let base = lm.perplexity(&tokens);
             let p1 = lm
                 .quantize_ffn(WeightPrecision::Int4, g1)
+                .unwrap()
                 .perplexity(&tokens);
             let p2 = lm
                 .quantize_ffn(WeightPrecision::Int4, g2)
+                .unwrap()
                 .perplexity(&tokens);
             assert!(p1 >= base * 0.99, "{g1} seed {seed}: {p1} vs base {base}");
             assert!(p2 >= base * 0.99, "{g2} seed {seed}: {p2} vs base {base}");
