@@ -7,7 +7,7 @@
 //! remaining advantage is the 2× compute throughput + traffic savings.
 
 use pacq::{Architecture, GemmRunner, GemmShape, Workload};
-use pacq_bench::{banner, init_jobs, pct, times};
+use pacq_bench::{banner, pct, times};
 use pacq_fp16::WeightPrecision;
 
 fn main() -> std::process::ExitCode {
@@ -15,7 +15,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
-    init_jobs()?;
+    let metrics = pacq_bench::init("batch_sweep")?;
     banner(
         "Batch sweep (extension)",
         "EDP reduction and speedup vs batch size (n4096 k4096, INT4)",
@@ -57,5 +57,6 @@ fn run() -> pacq::PacqResult<()> {
          P(B)k baseline stays at ~2x (pure dataflow + parallel-multiplier gain),\n\
          so the total EDP advantage narrows but persists at scale."
     );
+    metrics.finish()?;
     Ok(())
 }

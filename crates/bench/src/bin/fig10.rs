@@ -3,7 +3,7 @@
 //! on Llama2-7B layer shapes at batch 16.
 
 use pacq::{Architecture, Comparison, GemmRunner, GemmShape, Workload};
-use pacq_bench::{banner, init_jobs, pct};
+use pacq_bench::{banner, pct};
 use pacq_fp16::WeightPrecision;
 
 fn main() -> std::process::ExitCode {
@@ -11,7 +11,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
-    init_jobs()?;
+    let metrics = pacq_bench::init("fig10")?;
     banner(
         "Figure 10",
         "normalized EDP: Standard vs P(B_x)_k vs PacQ (Llama2-7B shapes, batch 16)",
@@ -80,5 +80,6 @@ fn run() -> pacq::PacqResult<()> {
         pct(best),
         best_name
     );
+    metrics.finish()?;
     Ok(())
 }

@@ -11,6 +11,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
+    let metrics = pacq_bench::init("fig11")?;
     banner(
         "Figure 11",
         "adder-tree duplication ablation (PacQ DP-4, m16n16k16)",
@@ -56,5 +57,6 @@ fn run() -> pacq::PacqResult<()> {
         "\nshape check: duplication 2 is the knee — the dup-4 step gain is \
          much smaller than the dup-2 step gain (paper: 1.33/1.38 then 1.11/1.18)."
     );
+    metrics.finish()?;
     Ok(())
 }

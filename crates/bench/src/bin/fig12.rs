@@ -13,6 +13,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
+    let metrics = pacq_bench::init("fig12")?;
     banner(
         "Figure 12",
         "(a) DP unit size study; (b) PacQ vs Mix-GEMM (m16n16k16, thr/watt)",
@@ -74,5 +75,6 @@ fn run() -> pacq::PacqResult<()> {
     }
     println!("paper: 4.12x (INT4), 3.75x (INT2); binary segmentation pays a fixed");
     println!("FP16-side cost per element, so fewer weight bits barely help it.");
+    metrics.finish()?;
     Ok(())
 }

@@ -3,7 +3,7 @@
 //! along k, on the `m16n16k16` workload.
 
 use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, Workload};
-use pacq_bench::{banner, init_jobs, pct, times};
+use pacq_bench::{banner, pct, times};
 use pacq_fp16::WeightPrecision;
 
 fn main() -> std::process::ExitCode {
@@ -11,7 +11,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
-    init_jobs()?;
+    let metrics = pacq_bench::init("fig7")?;
     banner(
         "Figure 7",
         "register-file accesses and speedup, PacQ vs P(B_x)_k (m16n16k16)",
@@ -78,5 +78,6 @@ fn run() -> pacq::PacqResult<()> {
         times(speedups[1]),
         times(speedups.iter().sum::<f64>() / speedups.len() as f64)
     );
+    metrics.finish()?;
     Ok(())
 }

@@ -11,6 +11,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
+    let metrics = pacq_bench::init("fig8")?;
     banner(
         "Figure 8",
         "throughput/watt of the parallel FP-INT units vs FP16 baselines",
@@ -80,5 +81,6 @@ fn run() -> pacq::PacqResult<()> {
     println!(
         "paper cycle anchors: baseline 8 outputs in 11 cycles; parallel 32 in 19 (INT4), 64 in 35 (INT2)"
     );
+    metrics.finish()?;
     Ok(())
 }

@@ -9,6 +9,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
+    let metrics = pacq_bench::init("fig9")?;
     banner(
         "Figure 9",
         "power breakdown of the parallel units (reused vs new)",
@@ -27,6 +28,7 @@ fn run() -> pacq::PacqResult<()> {
         "\naverage reuse ratio: {}   (paper: 69%)",
         pct(fig.average_reuse())
     );
+    metrics.finish()?;
     Ok(())
 }
 

@@ -4,7 +4,7 @@
 
 use pacq::llama::{analyze_block, Model};
 use pacq::{Architecture, GemmRunner};
-use pacq_bench::{banner, init_jobs, pct, times};
+use pacq_bench::{banner, pct, times};
 use pacq_fp16::WeightPrecision;
 
 fn main() -> std::process::ExitCode {
@@ -12,7 +12,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
-    init_jobs()?;
+    let metrics = pacq_bench::init("model_zoo")?;
     banner(
         "Model zoo (extension)",
         "per-block totals across models (batch 16)",
@@ -64,5 +64,6 @@ fn run() -> pacq::PacqResult<()> {
         );
     }
     println!("(paper quotes Llama2-70B: 131.6 GB fp16 vs 35.8 GB int4 incl. embeddings)");
+    metrics.finish()?;
     Ok(())
 }

@@ -25,6 +25,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
+    let metrics = pacq_bench::init("numerics")?;
     banner(
         "Numerics study (extension)",
         "GEMM error of the PacQ datapath: rounded biased products vs wide products",
@@ -82,6 +83,7 @@ fn run() -> pacq::PacqResult<()> {
          the true Σ A·B lives. Exactness requires the 22-bit products to reach\n\
          the accumulator unrounded (NumericsMode::Wide)."
     );
+    metrics.finish()?;
     Ok(())
 }
 

@@ -13,6 +13,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
+    let metrics = pacq_bench::init("rtl_report")?;
     banner(
         "RTL report (extension)",
         "gate-level netlists of the Table I multipliers",
@@ -76,5 +77,6 @@ fn run() -> pacq::PacqResult<()> {
     println!("lanes, shared sign/exponent), which is the physical root of Figure 8's");
     println!("throughput-per-watt advantage — reproduced here from gate-level toggles");
     println!("rather than the calibrated constants.");
+    metrics.finish()?;
     Ok(())
 }

@@ -11,6 +11,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
+    let metrics = pacq_bench::init("table1")?;
     banner(
         "Table I",
         "configuration of PacQ and the baselines",
@@ -91,5 +92,6 @@ fn run() -> pacq::PacqResult<()> {
             unit.area_um2()
         );
     }
+    metrics.finish()?;
     Ok(())
 }

@@ -7,7 +7,7 @@
 //! property of the RTN group quantizer itself, exercised identically.
 
 use pacq::GroupShape;
-use pacq_bench::{banner, init_jobs};
+use pacq_bench::banner;
 use pacq_fp16::WeightPrecision;
 use pacq_quant::evaluate_rtn;
 use pacq_quant::lm::TinyLm;
@@ -18,7 +18,7 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> pacq::PacqResult<()> {
-    init_jobs()?;
+    let metrics = pacq_bench::init("table2")?;
     banner(
         "Table II",
         "RTN PTQ quality: k-only vs [n,k] quantization groups (W4A16)",
@@ -76,5 +76,6 @@ fn run() -> pacq::PacqResult<()> {
          and each [n,k] column is statistically indistinguishable from its\n\
          equal-volume k-only column (g128 ≈ g[32,4], g256 ≈ g[64,4])."
     );
+    metrics.finish()?;
     Ok(())
 }

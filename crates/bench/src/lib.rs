@@ -23,6 +23,64 @@ pub fn init_jobs() -> pacq::PacqResult<usize> {
     Ok(pacq::par::configure_jobs(jobs.or(env_jobs)))
 }
 
+/// Run-manifest handle for a figure/table binary: [`init`] arms the
+/// process-wide observability collector when `--metrics PATH` is on the
+/// command line, and [`Metrics::finish`] drains it into a schema-valid
+/// `pacq-metrics/v1` manifest at that path (DESIGN.md §11). Without the
+/// flag both are no-ops, so instrumentation stays zero-cost.
+#[must_use = "call .finish() at the end of the figure body to write the manifest"]
+pub struct Metrics {
+    binary: &'static str,
+    args: Vec<String>,
+    jobs: usize,
+    path: Option<String>,
+}
+
+/// Applies the shared `--jobs` / `--metrics` flags for a figure/table
+/// binary (superset of [`init_jobs`]) and returns the manifest handle.
+///
+/// # Errors
+///
+/// Returns a usage error ([`pacq::PacqError`], exit code 2) for a
+/// malformed or zero worker count or a `--metrics` flag without a path.
+pub fn init(binary: &'static str) -> pacq::PacqResult<Metrics> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (args, path) = pacq::cli::take_metrics_flag(&argv)?;
+    let (args, jobs) = pacq::par::take_jobs_flag(&args)?;
+    let env_jobs = pacq::par::validated_env_jobs()?;
+    let jobs = pacq::par::configure_jobs(jobs.or(env_jobs));
+    if path.is_some() {
+        pacq_trace::enable();
+    }
+    Ok(Metrics {
+        binary,
+        args,
+        jobs,
+        path,
+    })
+}
+
+impl Metrics {
+    /// Writes the run manifest if `--metrics` was requested, draining
+    /// the collector either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pacq::PacqError::Io`] (exit code 6) when the manifest
+    /// cannot be written.
+    pub fn finish(self) -> pacq::PacqResult<()> {
+        if let Some(path) = &self.path {
+            let mut manifest = pacq_trace::RunManifest::new(self.binary, &self.args);
+            manifest = manifest.with_jobs(self.jobs);
+            manifest.gather();
+            pacq_trace::disable();
+            manifest.write_to(path)?;
+            println!("\nwrote metrics manifest -> {path}");
+        }
+        Ok(())
+    }
+}
+
 /// Maps a figure/table body onto the process exit status: `Ok` exits 0,
 /// `Err` prints the one-line diagnostic to stderr and exits with the
 /// error-class code (DESIGN.md §10) — never a backtrace.

@@ -5,12 +5,16 @@
 
 use crate::par;
 use crate::report::{Comparison, GemmReport};
+use crate::roofline;
 use crate::runner::GemmRunner;
 use core::fmt::Write as _;
 use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::WeightPrecision;
 use pacq_quant::GroupShape;
-use pacq_simt::{Architecture, GemmShape, SmConfig, Workload};
+use pacq_simt::{
+    octet_schedule, simulate, Architecture, GemmShape, OctetPipeline, SmConfig, Workload,
+};
+use pacq_trace::{ChromeTrace, Json, RunManifest};
 use rayon::prelude::*;
 
 /// Usage text shown by `pacq help` and on errors.
@@ -23,19 +27,63 @@ USAGE:
                [--json]
   pacq compare --shape mMnNkK [--precision int4|int2] [--group ...]
   pacq sweep --param batch|dup|width --shape mMnNkK [--precision int4|int2]
+  pacq audit
+  pacq trace --out trace.json [--arch ...] [--precision ...] [--dup ...] [--width ...]
   pacq help
 
 Every command also accepts --jobs N (worker threads for sweeps and
 functional execution; defaults to the PACQ_JOBS environment variable,
-then the host parallelism). Results are bit-identical at any job count.
+then the host parallelism; results are bit-identical at any job count)
+and --metrics PATH (write a machine-readable JSON run manifest, schema
+pacq-metrics/v1 — see DESIGN.md §11).
+
+`pacq audit` cross-checks the analytic dataflow engine against the
+event-driven per-octet replay on a grid of shapes (including ragged,
+zero-padded ones), architectures and precisions, plus the energy/EDP
+accounting identities and the roofline crossover search; the first
+diverging counter is reported as a typed error (exit code 7).
+
+`pacq trace` replays one warp-tile octet cycle-by-cycle and writes a
+Chrome trace_event JSON (open in chrome://tracing or Perfetto; 1 trace
+microsecond = 1 SM cycle).
 
 EXAMPLES:
   pacq analyze --shape m16n4096k4096 --arch pacq
   pacq compare --shape m16n11008k4096 --precision int2
-  pacq sweep --param batch --shape m16n4096k4096";
+  pacq sweep --param batch --shape m16n4096k4096 --metrics run.json
+  pacq trace --arch pacq --precision int2 --out octet.trace.json";
 
 fn err(msg: impl Into<String>) -> PacqError {
     PacqError::usage(msg)
+}
+
+/// Splits `--metrics PATH` / `--metrics=PATH` out of an argument list.
+///
+/// Shared by the `pacq` CLI and every figure binary (via `pacq-bench`):
+/// the flag enables the process-wide observability collector for the
+/// duration of the command and names the run-manifest output file.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] when the flag is present without a
+/// value.
+pub fn take_metrics_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<String>)> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut metrics = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--metrics" {
+            let v = it
+                .next()
+                .ok_or_else(|| err("missing value for --metrics"))?;
+            metrics = Some(v.clone());
+        } else if let Some(v) = arg.strip_prefix("--metrics=") {
+            metrics = Some(v.to_string());
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, metrics))
 }
 
 /// Runs the CLI on pre-split arguments, returning the output text.
@@ -45,7 +93,8 @@ fn err(msg: impl Into<String>) -> PacqError {
 /// Returns [`PacqError::Usage`] for any unknown command, missing or
 /// malformed option, and propagates typed simulator errors.
 pub fn run(args: &[String]) -> PacqResult<String> {
-    let (args, jobs) = par::take_jobs_flag(args)?;
+    let (args, metrics) = take_metrics_flag(args)?;
+    let (args, jobs) = par::take_jobs_flag(&args)?;
     let env_jobs = par::validated_env_jobs()?;
     // Only touch the global pool when the user asked for a count — a
     // plain invocation must not clobber a programmatically configured
@@ -53,12 +102,33 @@ pub fn run(args: &[String]) -> PacqResult<String> {
     if jobs.is_some() || env_jobs.is_some() {
         par::configure_jobs(jobs.or(env_jobs));
     }
+    if metrics.is_some() {
+        pacq_trace::enable();
+    }
+    let result = dispatch(&args);
+    if let Some(path) = metrics {
+        let mut manifest = RunManifest::new("pacq", &args);
+        if let Some(j) = jobs.or(env_jobs) {
+            manifest = manifest.with_jobs(j);
+        }
+        manifest.gather();
+        pacq_trace::disable();
+        if result.is_ok() {
+            manifest.write_to(&path)?;
+        }
+    }
+    result
+}
+
+fn dispatch(args: &[String]) -> PacqResult<String> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         None | Some("help") | Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
         Some("analyze") => analyze(&args[1..]),
         Some("compare") => compare(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("audit") => audit(&args[1..]),
+        Some("trace") => trace(&args[1..]),
         Some(other) => Err(err(format!("unknown command `{other}`"))),
     }
 }
@@ -73,6 +143,7 @@ struct Options {
     width: usize,
     json: bool,
     param: Option<String>,
+    out: Option<String>,
 }
 
 fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
@@ -84,6 +155,7 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
     let mut width = 4usize;
     let mut json = false;
     let mut param = None;
+    let mut out = None;
 
     let mut it = args.iter().map(String::as_str).peekable();
     while let Some(flag) = it.next() {
@@ -127,6 +199,7 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
             }
             "--json" => json = true,
             "--param" => param = Some(value("--param")?.to_string()),
+            "--out" => out = Some(value("--out")?.to_string()),
             other => return Err(err(format!("unknown option `{other}`"))),
         }
     }
@@ -145,6 +218,7 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
         width,
         json,
         param,
+        out,
     })
 }
 
@@ -358,6 +432,204 @@ fn sweep(args: &[String]) -> PacqResult<String> {
     Ok(out)
 }
 
+/// `pacq audit`: cross-checks the two independent simulators (analytic
+/// closed forms vs event-driven per-octet replay) counter by counter on
+/// a grid of shapes — including ragged ones that exercise the
+/// zero-padding path — then verifies the energy/EDP accounting
+/// identities and the roofline crossover search against a dense
+/// reference scan.
+fn audit(args: &[String]) -> PacqResult<String> {
+    if let Some(extra) = args.first() {
+        return Err(err(format!("audit takes no options (got `{extra}`)")));
+    }
+    // along_k(16) matches the per-octet schedule's scale granularity, so
+    // the replay×octets == analytic identity is exact (see pipeline.rs).
+    let group = GroupShape::along_k(16);
+    let shapes = [
+        GemmShape::new(16, 16, 16),
+        GemmShape::new(3, 40, 17),  // ragged: zero-pads to m16n48k32
+        GemmShape::new(24, 48, 48), // ragged m only
+        GemmShape::new(16, 256, 256),
+    ];
+    let archs = [
+        Architecture::StandardDequant,
+        Architecture::PackedK,
+        Architecture::Pacq,
+    ];
+    let precisions = [WeightPrecision::Int4, WeightPrecision::Int2];
+    let mut cases = 0u64;
+    let mut checks = 0u64;
+    for width in [4usize, 8] {
+        let mut cfg = SmConfig::volta_like();
+        cfg.dp_width = width;
+        for shape in shapes {
+            for arch in archs {
+                for precision in precisions {
+                    checks += audit_point(shape, arch, precision, &cfg, group)?;
+                    cases += 1;
+                }
+            }
+        }
+    }
+    let mut roofline_checks = 0u64;
+    for (n, k) in [(4096usize, 4096usize), (11008, 4096), (500, 700), (64, 64)] {
+        for bits in [16u32, 4, 2] {
+            roofline_checks += audit_roofline(n, k, bits)?;
+        }
+    }
+    pacq_trace::add_counter("cli.audit.checks", checks + roofline_checks);
+    Ok(format!(
+        "audit OK: {checks} counter/energy checks across {cases} replay cases \
+(shapes incl. ragged, INT4/INT2, DP-4/DP-8) and {roofline_checks} roofline \
+crossover checks (FP16/INT4/INT2 weights)\n"
+    ))
+}
+
+/// Audits one (shape, architecture, precision, machine) point: every
+/// traffic counter of the analytic engine must equal the per-octet
+/// replay scaled by the warp-tile octet count, and the priced report
+/// must satisfy its own accounting identities.
+fn audit_point(
+    shape: GemmShape,
+    arch: Architecture,
+    precision: WeightPrecision,
+    cfg: &SmConfig,
+    group: GroupShape,
+) -> PacqResult<u64> {
+    let wl = Workload::new(shape, precision);
+    let case = format!("{wl} on {arch} (DP-{})", cfg.dp_width);
+    let analytic = simulate(arch, wl, cfg, group)?;
+    let octets = shape.padded_to_tiles().warp_tiles() * 4;
+    let replay = OctetPipeline::new().run(&octet_schedule(arch, precision, cfg));
+
+    let pairs = [
+        ("rf.a_reads", replay.rf.a_reads, analytic.rf.a_reads),
+        ("rf.b_reads", replay.rf.b_reads, analytic.rf.b_reads),
+        ("rf.c_reads", replay.rf.c_reads, analytic.rf.c_reads),
+        ("rf.c_writes", replay.rf.c_writes, analytic.rf.c_writes),
+        ("rf.a_bits", replay.rf.a_bits, analytic.rf.a_bits),
+        ("rf.b_bits", replay.rf.b_bits, analytic.rf.b_bits),
+        ("rf.c_bits", replay.rf.c_bits, analytic.rf.c_bits),
+        ("buffer_fills", replay.buffer_fills, analytic.buffer_fills),
+        (
+            "buffer_evictions",
+            replay.buffer_evictions,
+            analytic.buffer_evictions,
+        ),
+        (
+            "fetch_instructions",
+            replay.fetch_instructions,
+            analytic.fetch_instructions,
+        ),
+    ];
+    for (counter, per_octet, total) in pairs {
+        let observed = per_octet * octets;
+        if observed != total {
+            return Err(PacqError::AuditMismatch {
+                counter: counter.to_string(),
+                case,
+                observed: format!("{observed} (replay {per_octet} x {octets} octets)"),
+                expected: format!("{total} (analytic)"),
+            });
+        }
+    }
+
+    // The priced report's EDP / energy-BOM / Figure-7 identities.
+    let report = GemmRunner::new()
+        .with_config(*cfg)
+        .with_group(group)
+        .analyze(arch, wl)?;
+    report.check_invariants()?;
+    Ok(pairs.len() as u64 + 3)
+}
+
+/// Audits the roofline crossover search for one layer: the
+/// galloping-plus-binary search must agree exactly with a dense 16-step
+/// reference scan, and a layer whose intensity saturates below the
+/// ridge must be a typed error, not a sentinel batch.
+fn audit_roofline(n: usize, k: usize, bits: u32) -> PacqResult<u64> {
+    let cfg = SmConfig::volta_like();
+    let case = format!("roofline n{n} k{k} w{bits}");
+    let fast = roofline::crossover_batch_with_weight_bits(n, k, bits, &cfg);
+
+    let mut reference = None;
+    let mut m = 16usize;
+    while m <= (1 << 20) {
+        let a = roofline::analyze_with_weight_bits(GemmShape::new(m, n, k), bits, &cfg);
+        if a.bound == roofline::Bound::ComputeBound {
+            reference = Some(m);
+            break;
+        }
+        m += 16;
+    }
+
+    match (&fast, reference) {
+        (Ok(f), Some(r)) if *f == r => Ok(1),
+        (Err(e), None) if !e.is_usage() => Ok(1),
+        _ => Err(PacqError::AuditMismatch {
+            counter: "roofline.crossover_batch".to_string(),
+            case,
+            observed: match &fast {
+                Ok(f) => format!("m={f}"),
+                Err(e) => format!("error ({e})"),
+            },
+            expected: match reference {
+                Some(r) => format!("m={r} (reference linear scan)"),
+                None => "saturating-layer error (reference scan never crosses)".to_string(),
+            },
+        }),
+    }
+}
+
+/// `pacq trace`: replays one warp-tile octet through the event-driven
+/// pipeline and writes the cycle-resolved activity as Chrome trace_event
+/// JSON (1 trace microsecond = 1 SM cycle).
+fn trace(args: &[String]) -> PacqResult<String> {
+    let opts = parse_options(args, false)?;
+    let out = opts
+        .out
+        .clone()
+        .ok_or_else(|| err("--out PATH is required for trace"))?;
+    let mut cfg = SmConfig::volta_like();
+    cfg.adder_tree_duplication = opts.dup;
+    cfg.dp_width = opts.width;
+    let schedule = octet_schedule(opts.arch, opts.precision, &cfg);
+    let (replay, events) = OctetPipeline::new().run_traced(&schedule);
+
+    let mut chrome = ChromeTrace::new();
+    let mut lanes: Vec<(u64, String)> = Vec::new();
+    for e in &events {
+        let lane_name = match e.kind {
+            "compute" => "DP compute".to_string(),
+            "evict A" => "A-buffer evictions".to_string(),
+            _ => format!("RF port {}", e.lane),
+        };
+        if !lanes.iter().any(|(l, _)| *l == e.lane) {
+            lanes.push((e.lane, lane_name));
+        }
+        if e.dur == 0 {
+            chrome.instant_event(e.kind, "octet", 1, e.lane, e.start);
+        } else {
+            chrome.complete_event(e.kind, "octet", 1, e.lane, e.start, e.dur, &[]);
+        }
+    }
+    lanes.sort_by_key(|(l, _)| *l);
+    for (lane, name) in &lanes {
+        chrome.name_lane(1, *lane, name);
+    }
+    chrome.set_metadata("architecture", Json::from(opts.arch.to_string()));
+    chrome.set_metadata("precision", Json::from(opts.precision.to_string()));
+    chrome.set_metadata("cycles", Json::from(replay.cycles));
+    chrome.set_metadata("time_units", Json::from("1 trace microsecond = 1 SM cycle"));
+    chrome.write_to(&out)?;
+    Ok(format!(
+        "wrote Chrome trace: {} events over {} cycles ({} stall) -> {out}\n",
+        events.len(),
+        replay.cycles,
+        replay.fetch_stall_cycles,
+    ))
+}
+
 fn opts_clone(o: &Options) -> Options {
     Options {
         shape: o.shape,
@@ -368,6 +640,7 @@ fn opts_clone(o: &Options) -> Options {
         width: o.width,
         json: o.json,
         param: o.param.clone(),
+        out: o.out.clone(),
     }
 }
 
@@ -548,6 +821,75 @@ mod tests {
         assert!(run(&argv("frobnicate")).is_err());
         assert!(run(&argv("sweep --shape m16n16k16")).is_err()); // missing param
         assert!(run(&argv("analyze --shape m16n16k16 --dup 3")).is_err());
+    }
+
+    fn tmp_path(tag: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pacq-cli-test-{}-{tag}.json", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn audit_cross_checks_the_two_simulators() {
+        let out = run(&argv("audit")).expect("audit passes");
+        assert!(out.contains("audit OK"), "{out}");
+        assert!(out.contains("ragged"), "{out}");
+        assert!(run(&argv("audit --shape m16n16k16")).is_err());
+    }
+
+    #[test]
+    fn trace_writes_chrome_trace_json() {
+        let path = tmp_path("trace");
+        let out = run(&[
+            "trace".to_string(),
+            "--arch".to_string(),
+            "pacq".to_string(),
+            "--precision".to_string(),
+            "int2".to_string(),
+            "--out".to_string(),
+            path.clone(),
+        ])
+        .expect("trace runs");
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        let text = std::fs::read_to_string(&path).expect("trace file exists");
+        let doc = pacq_trace::Json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert!(!events.is_empty(), "trace has events");
+        // Every event carries a phase; timed phases also carry a
+        // timestamp (metadata `"M"` events are timeless per the spec).
+        for e in events {
+            let ph = e.get("ph").and_then(|p| p.as_str()).unwrap();
+            assert!(ph == "M" || e.get("ts").is_some(), "{text}");
+        }
+        std::fs::remove_file(&path).ok();
+        assert!(run(&argv("trace")).is_err(), "--out is required");
+    }
+
+    #[test]
+    fn metrics_flag_writes_a_schema_valid_manifest() {
+        let _guard = crate::par::test_lock();
+        let path = tmp_path("metrics");
+        let out = run(&[
+            "analyze".to_string(),
+            "--shape".to_string(),
+            "m16n256k256".to_string(),
+            format!("--metrics={path}"),
+        ])
+        .expect("analyze runs");
+        assert!(out.contains("total cycles"));
+        let text = std::fs::read_to_string(&path).expect("manifest exists");
+        let doc = pacq_trace::Json::parse(&text).expect("valid JSON");
+        pacq_trace::validate_manifest(&doc).expect("schema-valid manifest");
+        // The analyzed report landed in the results section.
+        let results = doc.get("results").and_then(|r| r.as_arr()).unwrap();
+        assert!(
+            results
+                .iter()
+                .any(|r| r.get("total_cycles").is_some() && r.get("edp_pj_s").is_some()),
+            "{text}"
+        );
+        std::fs::remove_file(&path).ok();
+        assert!(run(&argv("analyze --shape m16n16k16 --metrics")).is_err());
     }
 
     #[test]

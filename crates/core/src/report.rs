@@ -1,6 +1,8 @@
 //! Reports produced by the GEMM runner.
 
+use pacq_error::{PacqError, PacqResult};
 use pacq_simt::{Architecture, EnergyReport, GemmStats, Workload};
+use pacq_trace::Json;
 
 /// Full analysis of one GEMM on one architecture: traffic, timing,
 /// energy, EDP.
@@ -39,6 +41,108 @@ impl GemmReport {
     /// Register-file accesses normalized to another report.
     pub fn rf_accesses_normalized_to(&self, other: &GemmReport) -> f64 {
         self.stats.rf.total_accesses() as f64 / other.stats.rf.total_accesses() as f64
+    }
+
+    /// Internal-consistency audit of this report (DESIGN.md §11).
+    ///
+    /// Promotes the invariants historically pinned only in unit tests to
+    /// first-class checks used by `pacq audit` and (in debug builds) by
+    /// every [`crate::GemmRunner::analyze`] call:
+    ///
+    /// 1. `edp_pj_s == total_energy_pj * latency_s` (within 1e-9
+    ///    relative) — the EDP is a *derived* quantity, never priced
+    ///    independently.
+    /// 2. The energy bill-of-materials sums: the report total equals the
+    ///    sum of the six priced components.
+    /// 3. The Figure-7 identity: `rf.total_accesses()` is exactly the
+    ///    sum of the four access counters it claims to aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::AuditMismatch`] naming the first diverging
+    /// quantity.
+    pub fn check_invariants(&self) -> PacqResult<()> {
+        let case = format!("{} on {}", self.workload, self.arch);
+        let mismatch = |counter: &str, observed: String, expected: String| {
+            Err(PacqError::AuditMismatch {
+                counter: counter.to_string(),
+                case: case.clone(),
+                observed,
+                expected,
+            })
+        };
+
+        let edp_expected = self.total_energy_pj() * self.latency_s;
+        if (self.edp_pj_s - edp_expected).abs() > 1e-9 * edp_expected.abs() {
+            return mismatch(
+                "edp_pj_s",
+                format!("{:e}", self.edp_pj_s),
+                format!("{edp_expected:e} (total_energy_pj * latency_s)"),
+            );
+        }
+
+        let e = &self.energy;
+        let bom = e.tc_pj + e.rf_pj + e.l1_pj + e.dram_pj + e.buffer_pj + e.general_pj;
+        if (e.total_pj() - bom).abs() > 1e-9 * bom.abs() {
+            return mismatch(
+                "energy.total_pj",
+                format!("{:.6}", e.total_pj()),
+                format!("{bom:.6} (component BOM sum)"),
+            );
+        }
+
+        let rf = &self.stats.rf;
+        let accesses = rf.a_reads + rf.b_reads + rf.c_reads + rf.c_writes;
+        if rf.total_accesses() != accesses {
+            return mismatch(
+                "rf.total_accesses",
+                rf.total_accesses().to_string(),
+                format!("{accesses} (a+b+c reads + c writes)"),
+            );
+        }
+        Ok(())
+    }
+
+    /// The report as a [`Json`] object for the run manifest
+    /// (`pacq --metrics`, DESIGN.md §11). Field names mirror
+    /// `pacq analyze --json`.
+    pub fn metrics_json(&self) -> Json {
+        let mut shape = Json::object();
+        shape.set("m", self.workload.shape.m as u64);
+        shape.set("n", self.workload.shape.n as u64);
+        shape.set("k", self.workload.shape.k as u64);
+
+        let mut rf = Json::object();
+        rf.set("a_reads", self.stats.rf.a_reads);
+        rf.set("b_reads", self.stats.rf.b_reads);
+        rf.set("c_reads", self.stats.rf.c_reads);
+        rf.set("c_writes", self.stats.rf.c_writes);
+        rf.set("total_accesses", self.stats.rf.total_accesses());
+
+        let mut energy = Json::object();
+        energy.set("tensor_core", self.energy.tc_pj);
+        energy.set("register_file", self.energy.rf_pj);
+        energy.set("l1", self.energy.l1_pj);
+        energy.set("dram", self.energy.dram_pj);
+        energy.set("buffers", self.energy.buffer_pj);
+        energy.set("general_core", self.energy.general_pj);
+
+        let mut doc = Json::object();
+        doc.set("workload", self.workload.to_string());
+        doc.set("architecture", self.arch.to_string());
+        doc.set("shape", shape);
+        doc.set("total_cycles", self.stats.total_cycles);
+        doc.set("tc_cycles", self.stats.tc_cycles);
+        doc.set("general_cycles", self.stats.general_cycles);
+        doc.set("latency_s", self.latency_s);
+        doc.set("energy_pj", self.total_energy_pj());
+        doc.set("energy_breakdown_pj", energy);
+        doc.set("edp_pj_s", self.edp_pj_s);
+        doc.set("rf", rf);
+        doc.set("fetch_instructions", self.stats.fetch_instructions);
+        doc.set("buffer_fills", self.stats.buffer_fills);
+        doc.set("buffer_evictions", self.stats.buffer_evictions);
+        doc
     }
 }
 

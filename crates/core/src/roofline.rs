@@ -8,6 +8,7 @@
 //! savings (§I challenges (2)–(3)). This module makes the argument
 //! quantitative for any [`Workload`] on the modeled machine.
 
+use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::WeightPrecision;
 use pacq_simt::{SmConfig, Workload};
 
@@ -105,19 +106,79 @@ pub fn analyze(workload: Workload, config: &SmConfig) -> BoundAnalysis {
     analyze_with_weight_bits(workload.shape, workload.precision.bits(), config)
 }
 
+/// Largest batch probed by [`crossover_batch`] before concluding a layer
+/// never goes compute-bound.
+const CROSSOVER_CAP: usize = 1 << 20;
+
 /// The batch size at which a square `n×k` layer crosses from memory- to
 /// compute-bound for the given weight precision (the paper's
 /// single-batch vs multi-batch distinction, as a number).
-pub fn crossover_batch(n: usize, k: usize, precision: WeightPrecision, config: &SmConfig) -> usize {
-    let mut m = 16usize;
-    while m < 1 << 20 {
-        let wl = Workload::new(pacq_simt::GemmShape::new(m, n, k), precision);
-        if analyze(wl, config).bound == Bound::ComputeBound {
-            return m;
-        }
-        m += 16;
+///
+/// # Errors
+///
+/// Returns [`PacqError::EmptySearchSpace`] when no batch up to 2²⁰ rows
+/// is compute-bound. This is not a corner case: arithmetic intensity is
+/// increasing in `m` but *saturates* at `n·k / 2(n+k)` MACs/byte as the
+/// activation and output traffic come to dominate, so a small layer
+/// whose saturation intensity sits below the machine's ridge point stays
+/// memory-bound at **every** batch size. (The previous implementation
+/// silently returned the `1 << 20` scan sentinel here, which callers
+/// then treated as a real batch size.)
+pub fn crossover_batch(
+    n: usize,
+    k: usize,
+    precision: WeightPrecision,
+    config: &SmConfig,
+) -> PacqResult<usize> {
+    crossover_batch_with_weight_bits(n, k, precision.bits(), config)
+}
+
+/// [`crossover_batch`] with an explicit weight storage width (16 for
+/// unquantized FP16 weights — see [`analyze_with_weight_bits`]).
+///
+/// # Errors
+///
+/// Returns [`PacqError::EmptySearchSpace`] when no batch up to 2²⁰ rows
+/// is compute-bound (the layer's intensity saturates below the ridge).
+pub fn crossover_batch_with_weight_bits(
+    n: usize,
+    k: usize,
+    weight_bits: u32,
+    config: &SmConfig,
+) -> PacqResult<usize> {
+    let compute_bound = |m: usize| {
+        let shape = pacq_simt::GemmShape::new(m, n, k);
+        analyze_with_weight_bits(shape, weight_bits, config).bound == Bound::ComputeBound
+    };
+    // The bound predicate is monotone in m (intensity m·nk / (2m(n+k) +
+    // nk·wbits/8) is increasing), so gallop to a compute-bound upper
+    // bracket in O(log m*) probes, then binary-search the exact
+    // crossover on the 16-row warp-tile granule — no off-by-16, no
+    // linear scan.
+    if compute_bound(16) {
+        return Ok(16);
     }
-    m
+    let mut lo = 16usize; // invariant: memory-bound
+    let mut hi = 32usize;
+    while !compute_bound(hi) {
+        if hi >= CROSSOVER_CAP {
+            return Err(PacqError::EmptySearchSpace {
+                context: "roofline::crossover_batch (layer saturates memory-bound)",
+            });
+        }
+        lo = hi;
+        hi = (hi * 2).min(CROSSOVER_CAP);
+    }
+    // lo is memory-bound, hi compute-bound; both multiples of 16.
+    while hi - lo > 16 {
+        let mid = lo + (hi - lo) / 32 * 16;
+        if compute_bound(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
 }
 
 #[cfg(test)]
@@ -175,10 +236,69 @@ mod tests {
         // multi-batch serving of quantized models is compute-bound, the
         // paper's motivating regime. At INT4/INT2 even batch 16 is
         // already past the ridge.
-        let c4 = crossover_batch(4096, 4096, WeightPrecision::Int4, &cfg());
-        let c2 = crossover_batch(4096, 4096, WeightPrecision::Int2, &cfg());
+        let c4 = crossover_batch(4096, 4096, WeightPrecision::Int4, &cfg()).unwrap();
+        let c2 = crossover_batch(4096, 4096, WeightPrecision::Int2, &cfg()).unwrap();
         assert!(c2 <= c4, "INT2 crossover {c2} should be <= INT4 {c4}");
         assert_eq!(c4, 16);
+    }
+
+    #[test]
+    fn crossover_boundary_is_exact() {
+        // FP16 weights on the Llama2-7B attention shape: solving
+        // intensity(m) = ridge gives m* = 32.5, so the crossover on the
+        // 16-row granule is exactly 48 — m = 32 must still classify
+        // memory-bound and m = 48 compute-bound. Pins the galloping +
+        // binary search against any off-by-16.
+        let c = crossover_batch_with_weight_bits(4096, 4096, 16, &cfg()).unwrap();
+        assert_eq!(c, 48);
+        assert_eq!(
+            analyze_with_weight_bits(GemmShape::new(32, 4096, 4096), 16, &cfg()).bound,
+            Bound::MemoryBound
+        );
+        assert_eq!(
+            analyze_with_weight_bits(GemmShape::new(48, 4096, 4096), 16, &cfg()).bound,
+            Bound::ComputeBound
+        );
+    }
+
+    #[test]
+    fn crossover_agrees_with_reference_linear_scan() {
+        // The galloping + binary search must land exactly where the
+        // straightforward 16-step scan does, wherever a crossover exists.
+        let linear = |n: usize, k: usize, bits: u32| -> Option<usize> {
+            (1..=1024).map(|i| i * 16).find(|&m| {
+                analyze_with_weight_bits(GemmShape::new(m, n, k), bits, &cfg()).bound
+                    == Bound::ComputeBound
+            })
+        };
+        for (n, k, bits) in [
+            (4096, 4096, 16),
+            (4096, 4096, 4),
+            (4096, 4096, 2),
+            (11008, 4096, 16),
+            (4096, 11008, 16),
+            (1024, 1024, 16),
+            (500, 700, 16),
+        ] {
+            let expected = linear(n, k, bits).expect("reference scan finds a crossover");
+            let got = crossover_batch_with_weight_bits(n, k, bits, &cfg()).unwrap();
+            assert_eq!(got, expected, "n={n} k={k} bits={bits}");
+        }
+    }
+
+    #[test]
+    fn saturating_layer_is_a_typed_error_not_a_sentinel() {
+        // n = k = 64 saturates at intensity n·k/2(n+k) = 16 = ridge,
+        // approached strictly from below: NO batch is compute-bound. The
+        // old linear scan silently returned 1 << 20 here.
+        for (n, k) in [(64, 64), (16, 16), (64, 32)] {
+            let err = crossover_batch_with_weight_bits(n, k, 16, &cfg()).unwrap_err();
+            assert!(
+                matches!(err, PacqError::EmptySearchSpace { .. }),
+                "n={n} k={k}: {err}"
+            );
+            assert_eq!(err.exit_code(), 4);
+        }
     }
 
     #[test]

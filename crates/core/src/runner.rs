@@ -75,22 +75,39 @@ impl GemmRunner {
 
     /// Analytically simulates `workload` on `arch` and prices it.
     ///
+    /// In debug builds every report is additionally audited against the
+    /// EDP/energy-BOM/Figure-7 invariants
+    /// ([`GemmReport::check_invariants`]); release builds defer that
+    /// check to `pacq audit`.
+    ///
     /// # Errors
     ///
-    /// Propagates [`pacq_simt::simulate`]'s shape/config errors.
+    /// Propagates [`pacq_simt::simulate`]'s shape/config errors, and (in
+    /// debug builds) [`pacq_error::PacqError::AuditMismatch`] if the
+    /// priced report violates its own accounting identities.
     pub fn analyze(&self, arch: Architecture, workload: Workload) -> PacqResult<GemmReport> {
+        let _span = pacq_trace::span("core.analyze");
         let stats = simulate(arch, workload, &self.config, self.group)?;
         let model = EnergyModel::new(&self.config);
         let energy = model.energy(arch, &self.config, &stats);
         let edp_pj_s = model.edp(&energy, &stats);
-        Ok(GemmReport {
+        let report = GemmReport {
             arch,
             workload,
             stats,
             energy,
             latency_s: stats.latency_s(self.config.clock_hz),
             edp_pj_s,
-        })
+        };
+        #[cfg(debug_assertions)]
+        report.check_invariants()?;
+        if pacq_trace::is_enabled() {
+            pacq_trace::record_result(
+                format!("{}|{}", report.workload, report.arch),
+                report.metrics_json(),
+            );
+        }
+        Ok(report)
     }
 
     /// Analyzes every `(architecture, workload)` sweep point on the

@@ -14,6 +14,8 @@
 //! | 3 | shape contract | [`PacqError::ZeroDim`], [`PacqError::ShapeMismatch`], [`PacqError::Misaligned`] |
 //! | 4 | numeric domain | [`PacqError::InvalidInput`], [`PacqError::NonFinite`], [`PacqError::EmptySearchSpace`], [`PacqError::NotPositiveDefinite`] |
 //! | 5 | artifact decode | [`PacqError::Artifact`] |
+//! | 6 | filesystem / OS | [`PacqError::Io`] |
+//! | 7 | audit divergence | [`PacqError::AuditMismatch`] |
 //!
 //! The no-panic contract is enforced statically — the library crates
 //! deny `clippy::unwrap_used` / `expect_used` / `panic` outside tests —
@@ -128,6 +130,28 @@ pub enum PacqError {
         /// The decoder-level cause.
         ArtifactError,
     ),
+    /// A filesystem or OS operation failed (writing a metrics manifest,
+    /// a Chrome trace, a VCD dump, ...).
+    Io {
+        /// The API that attempted the operation.
+        context: &'static str,
+        /// The OS-level cause, flattened to one line.
+        message: String,
+    },
+    /// The self-audit found two models of the same run disagreeing:
+    /// an event-replay counter diverged from its analytic closed form,
+    /// or an energy total from its component BOM sum.
+    AuditMismatch {
+        /// The audited quantity (first diverging counter), dotted by
+        /// subsystem — e.g. `rf.b_reads`, `energy.total_pj`.
+        counter: String,
+        /// The case being audited (shape, dataflow, precision).
+        case: String,
+        /// Value from the event-driven replay / measured side.
+        observed: String,
+        /// Value from the analytic closed form / expected side.
+        expected: String,
+    },
 }
 
 impl PacqError {
@@ -162,6 +186,8 @@ impl PacqError {
             | PacqError::EmptySearchSpace { .. }
             | PacqError::NotPositiveDefinite { .. } => 4,
             PacqError::Artifact(_) => 5,
+            PacqError::Io { .. } => 6,
+            PacqError::AuditMismatch { .. } => 7,
         }
     }
 
@@ -204,6 +230,16 @@ impl fmt::Display for PacqError {
                  increase damping or provide more calibration rows"
             ),
             PacqError::Artifact(e) => write!(f, "artifact decode failed: {e}"),
+            PacqError::Io { context, message } => write!(f, "{context}: {message}"),
+            PacqError::AuditMismatch {
+                counter,
+                case,
+                observed,
+                expected,
+            } => write!(
+                f,
+                "audit mismatch in `{counter}` for {case}: observed {observed}, expected {expected}"
+            ),
         }
     }
 }
@@ -243,14 +279,42 @@ mod tests {
         };
         let domain = PacqError::invalid_input("t", "bad");
         let artifact = PacqError::from(ArtifactError::BadMagic);
+        let io = PacqError::Io {
+            context: "t",
+            message: "disk full".to_string(),
+        };
+        let audit = PacqError::AuditMismatch {
+            counter: "rf.b_reads".to_string(),
+            case: "m=16 n=16 k=16 int4 pacq".to_string(),
+            observed: "1".to_string(),
+            expected: "2".to_string(),
+        };
         assert_eq!(usage.exit_code(), 2);
         assert_eq!(zero.exit_code(), 3);
         assert_eq!(mismatch.exit_code(), 3);
         assert_eq!(misaligned.exit_code(), 3);
         assert_eq!(domain.exit_code(), 4);
         assert_eq!(artifact.exit_code(), 5);
+        assert_eq!(io.exit_code(), 6);
+        assert_eq!(audit.exit_code(), 7);
         assert!(usage.is_usage());
         assert!(!artifact.is_usage());
+        assert!(!audit.is_usage());
+    }
+
+    #[test]
+    fn audit_mismatch_names_the_diverging_counter() {
+        let e = PacqError::AuditMismatch {
+            counter: "buffer_fills".to_string(),
+            case: "m=24 n=40 k=48 int2 packed_k".to_string(),
+            observed: "264".to_string(),
+            expected: "96".to_string(),
+        };
+        let line = e.to_string();
+        assert!(line.contains("buffer_fills"), "{line}");
+        assert!(line.contains("264"), "{line}");
+        assert!(line.contains("96"), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

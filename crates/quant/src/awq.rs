@@ -120,6 +120,8 @@ impl AwqScaler {
         precision: WeightPrecision,
         group: GroupShape,
     ) -> PacqResult<AwqResult> {
+        let _span = pacq_trace::span("quant.awq_search");
+        pacq_trace::add_counter("quant.awq.searches", 1);
         if activations.cols() != weights.rows() {
             return Err(PacqError::ShapeMismatch {
                 context: "AwqScaler::search (activation width vs weight k-extent)",

@@ -99,6 +99,8 @@ impl GptqQuantizer {
         weights: &MatrixF32,
         calibration: &MatrixF32,
     ) -> PacqResult<QuantizedMatrix> {
+        let _span = pacq_trace::span("quant.gptq");
+        pacq_trace::add_counter("quant.gptq.calls", 1);
         let (k, n) = (weights.rows(), weights.cols());
         if k == 0 || n == 0 {
             return Err(PacqError::ZeroDim {

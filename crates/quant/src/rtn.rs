@@ -100,6 +100,8 @@ impl RtnQuantizer {
     /// [`PacqError::NonFinite`] when any weight is NaN or infinite (a
     /// NaN weight would otherwise poison the group range silently).
     pub fn quantize(&self, weights: &MatrixF32) -> PacqResult<QuantizedMatrix> {
+        let _span = pacq_trace::span("quant.rtn");
+        pacq_trace::add_counter("quant.rtn.calls", 1);
         let (k_total, n_total) = (weights.rows(), weights.cols());
         if k_total == 0 || n_total == 0 {
             return Err(PacqError::ZeroDim {

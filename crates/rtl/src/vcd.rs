@@ -50,16 +50,23 @@ pub struct VcdRecorder {
 }
 
 impl VcdRecorder {
-    /// Creates a recorder for a module scope name.
+    /// Creates a recorder for a module scope name (sanitized like
+    /// signal names, see [`VcdRecorder::watch`]).
     pub fn new(module: impl Into<String>) -> Self {
         VcdRecorder {
-            module: module.into(),
+            module: sanitize_name(&module.into()),
             signals: Vec::new(),
             steps: 0,
         }
     }
 
     /// Registers a bus to watch.
+    ///
+    /// VCD names are whitespace-delimited tokens, so the name is
+    /// sanitized: whitespace, `$` and non-printable characters become
+    /// `_`, an empty name becomes `unnamed`, and a name already watched
+    /// gets a `_N` suffix — a hostile name must corrupt itself, not the
+    /// document.
     ///
     /// # Panics
     ///
@@ -68,8 +75,18 @@ impl VcdRecorder {
         assert_eq!(self.steps, 0, "watch() must precede sampling");
         assert!(!nodes.is_empty(), "cannot watch an empty bus");
         let index = self.signals.len();
+        let mut name = sanitize_name(&name.into());
+        if self.signals.iter().any(|s| s.name == name) {
+            name = format!("{name}_{index}");
+            // The suffixed form can itself collide with a watched name
+            // (e.g. `a_2` watched before the third `a`); extend until
+            // free so every `$var` declaration stays unique.
+            while self.signals.iter().any(|s| s.name == name) {
+                name.push('_');
+            }
+        }
         self.signals.push(Signal {
-            name: name.into(),
+            name,
             nodes: nodes.to_vec(),
             code: id_code(index),
             history: Vec::new(),
@@ -131,6 +148,27 @@ impl VcdRecorder {
         }
         let _ = writeln!(out, "#{}", self.steps);
         out
+    }
+}
+
+/// Collapses a raw name onto the single whitespace-delimited token VCD
+/// grammar allows: anything non-printable, whitespace or `$` (the
+/// keyword sigil) becomes `_`; an empty result becomes `unnamed`.
+fn sanitize_name(raw: &str) -> String {
+    let name: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_graphic() && c != '$' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if name.is_empty() {
+        "unnamed".to_string()
+    } else {
+        name
     }
 }
 

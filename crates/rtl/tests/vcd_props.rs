@@ -1,0 +1,170 @@
+//! Property tests for the VCD writer: whatever names, bus widths and
+//! stimulus the recorder is fed, the rendered document must stay
+//! parseable — declarations before use, strictly monotone timestamps,
+//! change records only for declared identifiers, values within the
+//! declared bus width. These are the invariants GTKWave-class viewers
+//! rely on; a hostile signal name must corrupt itself, not the file.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::{HashMap, HashSet};
+
+use pacq_rtl::{Netlist, VcdRecorder};
+
+/// Names spanning the space a caller might plausibly produce: plain
+/// identifiers, empty strings, embedded whitespace, VCD keywords and
+/// arbitrary unicode — with enough duplicates in the pool to exercise
+/// the collision-suffix path.
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "clk".to_string(),
+        "bus_a".to_string(),
+        String::new(),
+        "two words".to_string(),
+        "$end".to_string(),
+        "a\tb\nc".to_string(),
+        "éclair∅".to_string(),
+        "a".to_string(),
+        "a_2".to_string(),
+    ])
+}
+
+/// Structural check of a rendered VCD document.
+fn check_wellformed(text: &str, expected_signals: usize) -> Result<(), TestCaseError> {
+    let mut declared_codes: HashSet<String> = HashSet::new();
+    let mut declared_names: HashSet<String> = HashSet::new();
+    let mut widths: HashMap<String, usize> = HashMap::new();
+    let mut last_ts: Option<u64> = None;
+    let mut past_definitions = false;
+
+    for line in text.lines() {
+        if line.starts_with("$var") {
+            prop_assert!(!past_definitions, "declaration after $enddefinitions");
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            // `$var wire <width> <code> <name> $end` — exactly six
+            // tokens; an unsanitized name with spaces would add more.
+            prop_assert_eq!(toks.len(), 6, "malformed $var: {}", line);
+            prop_assert_eq!(toks[1], "wire");
+            prop_assert_eq!(toks[5], "$end");
+            let width: usize = toks[2]
+                .parse()
+                .map_err(|_| TestCaseError::Fail(format!("bad width in {line}")))?;
+            prop_assert!(width >= 1);
+            prop_assert!(
+                declared_codes.insert(toks[3].to_string()),
+                "duplicate id code: {}",
+                line
+            );
+            prop_assert!(
+                declared_names.insert(toks[4].to_string()),
+                "duplicate signal name: {}",
+                line
+            );
+            prop_assert!(
+                toks[4].chars().all(|c| c.is_ascii_graphic() && c != '$'),
+                "unsanitized name: {}",
+                line
+            );
+            widths.insert(toks[3].to_string(), width);
+        } else if line.starts_with("$enddefinitions") {
+            past_definitions = true;
+        } else if let Some(ts) = line.strip_prefix('#') {
+            prop_assert!(past_definitions, "timestamp inside the header");
+            let ts: u64 = ts
+                .parse()
+                .map_err(|_| TestCaseError::Fail(format!("bad timestamp {line}")))?;
+            prop_assert!(
+                last_ts.is_none_or(|prev| ts > prev),
+                "timestamps must be strictly monotone: #{ts} after #{:?}",
+                last_ts
+            );
+            last_ts = Some(ts);
+        } else if let Some(rest) = line.strip_prefix('b') {
+            prop_assert!(last_ts.is_some(), "vector change before any timestamp");
+            let (value, code) = rest
+                .split_once(' ')
+                .ok_or_else(|| TestCaseError::Fail(format!("malformed change {line}")))?;
+            prop_assert!(
+                declared_codes.contains(code),
+                "change for undeclared id `{code}`"
+            );
+            prop_assert!(value.chars().all(|c| c == '0' || c == '1'), "{}", line);
+            prop_assert!(
+                value.len() <= widths[code],
+                "value wider than declared bus: {}",
+                line
+            );
+        } else if !line.starts_with('$') && !line.is_empty() {
+            // Scalar change: `<0|1><code>`.
+            prop_assert!(last_ts.is_some(), "scalar change before any timestamp");
+            prop_assert!(line.starts_with('0') || line.starts_with('1'), "{}", line);
+            let code = &line[1..];
+            prop_assert!(
+                declared_codes.contains(code),
+                "change for undeclared id `{code}`"
+            );
+            prop_assert_eq!(widths[code], 1, "scalar change on a vector bus: {}", line);
+        }
+    }
+    prop_assert_eq!(declared_codes.len(), expected_signals);
+    prop_assert!(last_ts.is_some(), "document must end with a timestamp");
+    Ok(())
+}
+
+proptest! {
+    /// Any mix of names (hostile included), widths and stimulus renders
+    /// a well-formed document.
+    #[test]
+    fn rendered_vcd_is_wellformed(
+        names in prop::collection::vec(arb_name(), 1..6),
+        widths in prop::collection::vec(1usize..17, 1..6),
+        stimulus in prop::collection::vec(prop::collection::vec(any::<u64>(), 1..6), 1..8),
+    ) {
+        let mut net = Netlist::new();
+        let buses: Vec<Vec<_>> = names
+            .iter()
+            .enumerate()
+            .map(|(i, _)| net.input_bus(widths[i % widths.len()]))
+            .collect();
+        let mut vcd = VcdRecorder::new("dut");
+        for (name, bus) in names.iter().zip(&buses) {
+            vcd.watch(name.clone(), bus);
+        }
+        for step in &stimulus {
+            let mut bits = Vec::new();
+            for (i, bus) in buses.iter().enumerate() {
+                let v = step[i % step.len()];
+                bits.extend((0..bus.len()).map(|bit| (v >> bit) & 1 == 1));
+            }
+            net.simulate(&bits);
+            vcd.sample(&net);
+        }
+        let text = vcd.render();
+        check_wellformed(&text, names.len())?;
+    }
+
+    /// A constant stimulus never records a change after #0 — the dump is
+    /// change-based, not sample-based.
+    #[test]
+    fn constant_stimulus_records_once(
+        width in 1usize..17,
+        value in any::<u64>(),
+        steps in 2usize..8,
+    ) {
+        let mut net = Netlist::new();
+        let bus = net.input_bus(width);
+        let mut vcd = VcdRecorder::new("dut");
+        vcd.watch("x", &bus);
+        let bits: Vec<bool> = (0..width).map(|b| (value >> b) & 1 == 1).collect();
+        for _ in 0..steps {
+            net.simulate(&bits);
+            vcd.sample(&net);
+        }
+        let text = vcd.render();
+        check_wellformed(&text, 1)?;
+        // Exactly two timestamps survive: the initial value and the
+        // closing marker.
+        let stamps = text.lines().filter(|l| l.starts_with('#')).count();
+        prop_assert_eq!(stamps, 2, "{}", text);
+    }
+}

@@ -241,6 +241,19 @@ impl GemmShape {
     pub fn is_tile_aligned(&self) -> bool {
         self.m.is_multiple_of(16) && self.n.is_multiple_of(16) && self.k.is_multiple_of(16)
     }
+
+    /// The shape rounded up to the warp-tile grid: every extent padded to
+    /// the next multiple of 16. Ragged GEMMs execute as if zero-padded
+    /// onto full `mma.m16n16k16` tiles — the hardware has no partial-tile
+    /// path, so a ragged edge costs a full tile of movement and compute.
+    /// Identity for tile-aligned shapes.
+    pub fn padded_to_tiles(&self) -> GemmShape {
+        GemmShape {
+            m: self.m.next_multiple_of(16),
+            n: self.n.next_multiple_of(16),
+            k: self.k.next_multiple_of(16),
+        }
+    }
 }
 
 impl core::fmt::Display for GemmShape {
@@ -297,6 +310,19 @@ mod tests {
         assert!(s.is_tile_aligned());
         assert_eq!(s.to_string(), "m16n4096k4096");
         assert!(!GemmShape::new(8, 16, 16).is_tile_aligned());
+    }
+
+    #[test]
+    fn padding_rounds_each_extent_up_to_the_tile_grid() {
+        let ragged = GemmShape::new(3, 40, 17);
+        let padded = ragged.padded_to_tiles();
+        assert_eq!(padded, GemmShape::new(16, 48, 32));
+        assert!(padded.is_tile_aligned());
+        // Padding is idempotent and warp-tile counts agree before/after.
+        assert_eq!(padded.padded_to_tiles(), padded);
+        assert_eq!(ragged.warp_tiles(), padded.warp_tiles());
+        let aligned = GemmShape::new(16, 4096, 4096);
+        assert_eq!(aligned.padded_to_tiles(), aligned);
     }
 
     #[test]

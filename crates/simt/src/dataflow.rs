@@ -16,7 +16,7 @@
 
 use crate::config::{Architecture, GemmShape, SmConfig, Workload};
 use crate::stats::{GemmStats, GeneralCoreOps, RfTraffic};
-use pacq_error::{PacqError, PacqResult};
+use pacq_error::PacqResult;
 use pacq_fp16::WeightPrecision;
 use pacq_quant::GroupShape;
 
@@ -34,30 +34,27 @@ const TILE_N: u64 = 4;
 /// scale fetches and Eq. (1) fixup segments the general core performs;
 /// irrelevant counts are zero for the flows that do not use it).
 ///
+/// Ragged shapes (extents not multiples of 16) execute zero-padded onto
+/// the warp-tile grid via [`GemmShape::padded_to_tiles`]: the hardware
+/// has no partial-tile path, so a ragged edge costs a full tile of
+/// movement and compute. Every counter returned reflects the padded
+/// extents — `simulate(m3n40k17) == simulate(m16n48k32)` exactly, an
+/// invariant `pacq audit` checks.
+///
 /// # Errors
 ///
-/// Returns [`PacqError::Misaligned`] if the shape is not 16-aligned (the
-/// paper's workloads all are), and [`PacqError::InvalidInput`] if the
-/// [`SmConfig`] fails [`SmConfig::validate`].
+/// Returns [`PacqError::InvalidInput`] if the [`SmConfig`] fails
+/// [`SmConfig::validate`].
 pub fn simulate(
     arch: Architecture,
     workload: Workload,
     config: &SmConfig,
     group: GroupShape,
 ) -> PacqResult<GemmStats> {
-    let shape = workload.shape;
-    if !shape.is_tile_aligned() {
-        let extent = [shape.m, shape.n, shape.k]
-            .into_iter()
-            .find(|e| !e.is_multiple_of(16))
-            .unwrap_or(shape.m);
-        return Err(PacqError::Misaligned {
-            context: "simt::simulate (GEMM shape)",
-            extent,
-            multiple: 16,
-        });
-    }
+    let _span = pacq_trace::span("simt.simulate");
+    let shape = workload.shape.padded_to_tiles();
     config.validate()?;
+    pacq_trace::add_counter("simt.simulate.calls", 1);
     let precision = workload.precision;
 
     let per_octet = match arch {
@@ -89,13 +86,15 @@ pub fn simulate(
     // --- memory hierarchy traffic --------------------------------------
     let (m, n, k) = (shape.m as u64, shape.n as u64, shape.k as u64);
     let wbits = precision.bits() as u64;
-    let n_tiles = n / 16;
-    let m_tiles = m / 16;
+    let n_tiles = n.div_ceil(16);
+    let m_tiles = m.div_ceil(16);
 
     // DRAM: every operand streamed once; weights are stored packed in
     // DRAM for ALL flows (Figure 1(a) keeps DRAM packed even for the
-    // dequantization baseline).
-    stats.dram.reads = m * k + n * k / precision.lanes() as u64;
+    // dequantization baseline). Post-padding n·k is a multiple of 256 and
+    // lanes divides 16, so the packed-word division is exact; div_ceil
+    // keeps it honest if the padding invariant ever moves.
+    stats.dram.reads = m * k + (n * k).div_ceil(precision.lanes() as u64);
     stats.dram.read_bits = m * k * 16 + n * k * wbits;
     stats.dram.writes = m * n;
     stats.dram.write_bits = m * n * 16;
@@ -112,7 +111,7 @@ pub fn simulate(
         Architecture::StandardDequant => {
             // The general core reads packed words once, writes dequantized
             // FP16 weights back to L1, and the RF then loads FP16.
-            let packed_reads = n * k / precision.lanes() as u64;
+            let packed_reads = (n * k).div_ceil(precision.lanes() as u64);
             let fp16_reads = n * k * m_tiles;
             (
                 packed_reads + fp16_reads,
@@ -122,7 +121,7 @@ pub fn simulate(
             )
         }
         Architecture::PackedK | Architecture::Pacq => {
-            let words = n * k / precision.lanes() as u64 * m_tiles;
+            let words = (n * k).div_ceil(precision.lanes() as u64) * m_tiles;
             (words, words * 16, 0, 0)
         }
     };
@@ -220,10 +219,17 @@ fn octet_standard(config: &SmConfig) -> OctetCounts {
     let c_writes = steps * TILE_M * TILE_N;
     let c_reads = c_writes - mt * nt * TILE_M * TILE_N; // first slice free
 
-    // Per step: 2 A fetch instructions (two thread-group buffers,
-    // Figure 3(d)), 1 B fetch, 2 C move instructions.
-    let fetch_instructions = steps * 5;
-    let buffer_fills = steps * 3;
+    // Fetch instructions fold the explicit schedule of
+    // `pipeline::octet_schedule`: 2 A fetches every step (two
+    // thread-group buffers, Figure 3(d)), one B fetch per (nt, kt) held
+    // across the m loop, a C read on every step past each output tile's
+    // first k-slice, and a C write every step. A and B fetches fill an
+    // operand buffer; C moves go straight to the accumulators.
+    let a_fetches = steps * 2;
+    let b_fetches = nt * kt;
+    let c_read_fetches = steps - mt * nt;
+    let fetch_instructions = a_fetches + b_fetches + c_read_fetches + steps;
+    let buffer_fills = a_fetches + b_fetches;
 
     // Per step: 4×4 outputs, each one w-element dot product; 2 DP units
     // per octet at issue interval 1 → 8 cycles.
@@ -274,11 +280,17 @@ fn octet_packed_k(config: &SmConfig, precision: WeightPrecision) -> OctetCounts 
     let c_writes = steps * TILE_M * TILE_N;
     let c_reads = c_writes - mt * nt * TILE_M * TILE_N;
 
-    // Figure 4(a): `lanes` distinct A fetch instructions per packed word
-    // consumed, plus B and C movement.
-    let words_per_step = TILE_N * w.div_ceil(lanes).max(1);
-    let fetch_instructions = steps * (words_per_step * lanes.min(w) + 1 + 2);
-    let buffer_fills = steps * (TILE_N + 1 + 1);
+    // Figure 4(a): `lanes` distinct aligned A fetch instructions per
+    // output column on every step (the previous column's processing
+    // evicted the sub-tile, so none are elided). B words are fetched
+    // once per (nt, kt) and held across the m loop; C movement mirrors
+    // the standard flow. Each A and B fetch fills an operand buffer —
+    // the refilled A buffer is the Figure 4(b) pathology itself.
+    let a_fetches = steps * TILE_N * lanes.min(w);
+    let b_fetches = nt * kt;
+    let c_read_fetches = steps - mt * nt;
+    let fetch_instructions = a_fetches + b_fetches + c_read_fetches + steps;
+    let buffer_fills = a_fetches + b_fetches;
     let buffer_evictions = steps * TILE_N; // A evicted per column
 
     // Sequential weight processing: same dot count as the baseline.
@@ -370,10 +382,11 @@ fn general_core_ops(
         },
         Architecture::PackedK => GeneralCoreOps {
             // Inline INT→FP16 conversion on every buffer fill: the packed
-            // region is re-converted once per warp-tile row.
-            inline_converts: weights * (m / 16).max(1),
+            // region is re-converted once per warp-tile row. div_ceil, not
+            // truncation — a ragged m still walks a full tile row.
+            inline_converts: weights * m.div_ceil(16),
             scale_applies: m * n * (k as usize).div_ceil(group.k_size) as u64,
-            scale_fetches: (m / 16).max(1)
+            scale_fetches: m.div_ceil(16)
                 * group.scale_fetches_for_tiled_walk(shape.k, shape.n, 1, 4) as u64,
             ..Default::default()
         },
@@ -384,7 +397,7 @@ fn general_core_ops(
                 // element per k-group segment (Figure 6 ①–③).
                 offset_fixups: m * n * k_segments,
                 scale_applies: m * n * k_segments,
-                scale_fetches: (m / 16).max(1)
+                scale_fetches: m.div_ceil(16)
                     * group.scale_fetches_for_tiled_walk(shape.k, shape.n, precision.lanes(), 4)
                         as u64,
                 ..Default::default()
@@ -396,6 +409,7 @@ fn general_core_ops(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pacq_error::PacqError;
 
     fn volta() -> SmConfig {
         SmConfig::volta_like()
@@ -529,22 +543,54 @@ mod tests {
     }
 
     #[test]
-    fn misaligned_shape_is_a_typed_error() {
-        let err = simulate(
+    fn ragged_shape_executes_as_its_padded_counterpart() {
+        // A ragged GEMM is zero-padded onto the warp-tile grid: every
+        // counter equals the padded shape's, exactly — no truncated
+        // traffic, no phantom partial tiles.
+        let g = GroupShape::along_k(16);
+        for arch in [
+            Architecture::StandardDequant,
+            Architecture::PackedK,
             Architecture::Pacq,
-            Workload::new(GemmShape::new(3, 16, 16), WeightPrecision::Int4),
-            &volta(),
-            GroupShape::G128,
-        )
-        .unwrap_err();
-        assert_eq!(
-            err,
-            PacqError::Misaligned {
-                context: "simt::simulate (GEMM shape)",
-                extent: 3,
-                multiple: 16,
+        ] {
+            for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+                let ragged = simulate(
+                    arch,
+                    Workload::new(GemmShape::new(3, 40, 17), precision),
+                    &volta(),
+                    g,
+                )
+                .unwrap();
+                let padded = simulate(
+                    arch,
+                    Workload::new(GemmShape::new(16, 48, 32), precision),
+                    &volta(),
+                    g,
+                )
+                .unwrap();
+                assert_eq!(ragged, padded, "{arch:?}/{precision}");
             }
-        );
+        }
+    }
+
+    #[test]
+    fn ragged_m_pays_a_full_tile_row() {
+        // Regression pin for the former `(m / 16).max(1)` truncation: at
+        // m = 17 the general core walks TWO tile rows, not one.
+        let run_m = |m| {
+            simulate(
+                Architecture::PackedK,
+                Workload::new(GemmShape::new(m, 64, 64), WeightPrecision::Int4),
+                &volta(),
+                GroupShape::along_k(64),
+            )
+            .unwrap()
+        };
+        let m16 = run_m(16);
+        let m17 = run_m(17);
+        assert_eq!(m17.ops.inline_converts, 2 * m16.ops.inline_converts);
+        assert_eq!(m17.ops.scale_fetches, 2 * m16.ops.scale_fetches);
+        assert_eq!(m17.rf.a_reads, 2 * m16.rf.a_reads);
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub use config::{Architecture, GemmShape, SmConfig, Workload};
 pub use dataflow::simulate;
 pub use energy_model::{EnergyModel, EnergyReport};
 pub use exec::{execute, reference};
-pub use pipeline::{octet_schedule, OctetPipeline, PipelineTrace};
+pub use pipeline::{octet_schedule, OctetPipeline, PipelineEvent, PipelineTrace};
 pub use stats::{GemmStats, GeneralCoreOps, LevelTraffic, RfTraffic};

@@ -49,9 +49,11 @@ pub struct ScheduleStep {
     pub issues: u64,
     /// Issue interval of each issue (cycles the DP is occupied).
     pub issue_interval: u64,
-    /// Whether this step force-evicts the A buffer afterwards (the
-    /// Figure 4(b) pathology of k-packed processing).
-    pub evicts_a: bool,
+    /// A-buffer evictions this step forces (the Figure 4(b) pathology of
+    /// k-packed processing): one per output column whose processing
+    /// displaces the aligned A sub-tile — 4 per step for `P(B_x)_k`,
+    /// 0 for the other flows.
+    pub a_evictions: u64,
 }
 
 /// Cycle-resolved result of replaying a schedule.
@@ -69,6 +71,25 @@ pub struct PipelineTrace {
     pub buffer_evictions: u64,
     /// Fetch instructions issued.
     pub fetch_instructions: u64,
+}
+
+/// One cycle-resolved event from a traced replay — the raw material of
+/// the Chrome-trace export (`pacq trace`): a fetch occupying a
+/// register-file port, a compute issue occupying the octet's DP units,
+/// or a forced A-buffer eviction (zero-width marker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineEvent {
+    /// What happened: `"A fetch"`, `"B fetch"`, `"C read"`, `"C write"`,
+    /// `"compute"`, or `"evict A"`.
+    pub kind: &'static str,
+    /// Lane the event occupies: fetch-port index for fetches, one lane
+    /// past the ports for compute, another for eviction markers.
+    pub lane: u64,
+    /// Start cycle.
+    pub start: u64,
+    /// Duration in cycles (fetches take 1; compute `issues ×
+    /// issue_interval`; evictions 0).
+    pub dur: u64,
 }
 
 /// The event-driven octet pipeline.
@@ -103,6 +124,23 @@ impl OctetPipeline {
 
     /// Replays a schedule and returns the trace.
     pub fn run(&self, schedule: &[ScheduleStep]) -> PipelineTrace {
+        self.replay(schedule, None)
+    }
+
+    /// Replays a schedule and additionally returns the cycle-resolved
+    /// event list — same arbitration, bit-identical [`PipelineTrace`].
+    pub fn run_traced(&self, schedule: &[ScheduleStep]) -> (PipelineTrace, Vec<PipelineEvent>) {
+        let mut events = Vec::new();
+        let trace = self.replay(schedule, Some(&mut events));
+        (trace, events)
+    }
+
+    fn replay(
+        &self,
+        schedule: &[ScheduleStep],
+        mut events: Option<&mut Vec<PipelineEvent>>,
+    ) -> PipelineTrace {
+        let _span = pacq_trace::span("simt.pipeline.replay");
         let mut trace = PipelineTrace::default();
         // Cycle from which the current step may begin (its fetches can
         // overlap earlier compute thanks to the double buffers).
@@ -130,6 +168,14 @@ impl OctetPipeline {
                 step_ready = step_ready.max(done);
                 trace.fetch_instructions += 1;
                 self.account(fetch, &mut trace);
+                if let Some(out) = events.as_deref_mut() {
+                    out.push(PipelineEvent {
+                        kind: fetch_kind_name(fetch),
+                        lane: used - 1,
+                        start: fetch_cycle,
+                        dur: 1,
+                    });
+                }
             }
 
             // DP issues wait for operands and the previous issue, but a
@@ -139,15 +185,33 @@ impl OctetPipeline {
                 if issue_start > dp_free {
                     trace.fetch_stall_cycles += issue_start - dp_free;
                 }
+                if let Some(out) = events.as_deref_mut() {
+                    out.push(PipelineEvent {
+                        kind: "compute",
+                        lane: self.fetch_ports,
+                        start: issue_start,
+                        dur: step.issues * step.issue_interval,
+                    });
+                }
                 dp_free = issue_start + step.issues * step.issue_interval;
                 cycle = issue_start;
             }
 
-            if step.evicts_a {
-                trace.buffer_evictions += 1;
+            if step.a_evictions > 0 {
+                trace.buffer_evictions += step.a_evictions;
+                if let Some(out) = events.as_deref_mut() {
+                    out.push(PipelineEvent {
+                        kind: "evict A",
+                        lane: self.fetch_ports + 1,
+                        start: cycle,
+                        dur: 0,
+                    });
+                }
             }
         }
         trace.cycles = dp_free + self.pipeline_tail;
+        pacq_trace::add_counter("simt.pipeline.replays", 1);
+        pacq_trace::add_counter("simt.pipeline.cycles", trace.cycles);
         trace
     }
 
@@ -178,6 +242,16 @@ impl OctetPipeline {
 impl Default for OctetPipeline {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Display name of a fetch kind for traces.
+fn fetch_kind_name(fetch: &FetchKind) -> &'static str {
+    match fetch {
+        FetchKind::ATile { .. } => "A fetch",
+        FetchKind::BTile { .. } => "B fetch",
+        FetchKind::CRead { .. } => "C read",
+        FetchKind::CWrite { .. } => "C write",
     }
 }
 
@@ -226,7 +300,7 @@ pub fn octet_schedule(
                             fetches,
                             issues: 16 / config.dp_units_per_octet() as u64,
                             issue_interval: 1,
-                            evicts_a: false,
+                            a_evictions: 0,
                         });
                     }
                 }
@@ -261,7 +335,9 @@ pub fn octet_schedule(
                             fetches,
                             issues: 16 / config.dp_units_per_octet() as u64,
                             issue_interval: 1,
-                            evicts_a: true,
+                            // Figure 4(b): each of the 4 output columns
+                            // displaces the aligned A sub-tile.
+                            a_evictions: 4,
                         });
                     }
                 }
@@ -284,7 +360,7 @@ pub fn octet_schedule(
                             fetches,
                             issues: 4 / config.dp_units_per_octet() as u64,
                             issue_interval: lanes.div_ceil(dup).max(1),
-                            evicts_a: false,
+                            a_evictions: 0,
                         });
                     }
                     // Tile retires: single C writeback from accumulators.
@@ -294,7 +370,7 @@ pub fn octet_schedule(
                         }],
                         issues: 0,
                         issue_interval: 0,
-                        evicts_a: false,
+                        a_evictions: 0,
                     });
                 }
             }
@@ -327,8 +403,13 @@ mod tests {
         .unwrap()
     }
 
-    /// The event-driven replay reproduces the analytic per-octet RF
-    /// traffic exactly (scaled by 4 octets × 1 warp tile).
+    /// The event-driven replay reproduces the analytic per-octet counts
+    /// exactly (scaled by 4 octets × 1 warp tile) — not just RF traffic
+    /// but every audited counter. The buffer-fill and fetch-instruction
+    /// closed forms historically over/under-counted against the replayed
+    /// schedule (Standard: B counted per step instead of per (nt, kt);
+    /// PackedK: A refills not counted as fills); this test pins the
+    /// reconciled forms.
     #[test]
     fn event_matches_analytic_rf_traffic() {
         for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
@@ -359,6 +440,100 @@ mod tests {
                     a.rf.c_writes,
                     "{arch:?}/{precision}: C writes"
                 );
+                assert_eq!(t.rf.a_bits * 4, a.rf.a_bits, "{arch:?}/{precision}: A bits");
+                assert_eq!(t.rf.b_bits * 4, a.rf.b_bits, "{arch:?}/{precision}: B bits");
+                assert_eq!(t.rf.c_bits * 4, a.rf.c_bits, "{arch:?}/{precision}: C bits");
+                assert_eq!(
+                    t.buffer_fills * 4,
+                    a.buffer_fills,
+                    "{arch:?}/{precision}: buffer fills"
+                );
+                assert_eq!(
+                    t.buffer_evictions * 4,
+                    a.buffer_evictions,
+                    "{arch:?}/{precision}: buffer evictions"
+                );
+                assert_eq!(
+                    t.fetch_instructions * 4,
+                    a.fetch_instructions,
+                    "{arch:?}/{precision}: fetch instructions"
+                );
+            }
+        }
+    }
+
+    /// The replayed counters stay in lockstep with the analytic model on
+    /// ragged shapes too: the analytic engine pads onto the tile grid,
+    /// so per-octet replay × octets(padded) covers the ragged GEMM.
+    #[test]
+    fn event_matches_analytic_on_ragged_shapes() {
+        let cfg = SmConfig::volta_like();
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            for arch in [
+                Architecture::StandardDequant,
+                Architecture::PackedK,
+                Architecture::Pacq,
+            ] {
+                for shape in [GemmShape::new(3, 40, 17), GemmShape::new(24, 48, 48)] {
+                    let t = OctetPipeline::new().run(&octet_schedule(arch, precision, &cfg));
+                    let a = simulate(
+                        arch,
+                        Workload::new(shape, precision),
+                        &cfg,
+                        GroupShape::along_k(16),
+                    )
+                    .unwrap();
+                    let octets = shape.padded_to_tiles().warp_tiles() * 4;
+                    assert_eq!(t.rf.a_reads * octets, a.rf.a_reads, "{arch:?}/{shape}: A");
+                    assert_eq!(t.rf.b_reads * octets, a.rf.b_reads, "{arch:?}/{shape}: B");
+                    assert_eq!(
+                        t.buffer_fills * octets,
+                        a.buffer_fills,
+                        "{arch:?}/{shape}: fills"
+                    );
+                    assert_eq!(
+                        t.buffer_evictions * octets,
+                        a.buffer_evictions,
+                        "{arch:?}/{shape}: evictions"
+                    );
+                    assert_eq!(
+                        t.fetch_instructions * octets,
+                        a.fetch_instructions,
+                        "{arch:?}/{shape}: fetches"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `run_traced` returns the bit-identical trace plus a consistent
+    /// event list: one event per fetch/compute/eviction, none extending
+    /// past the measured cycle count.
+    #[test]
+    fn traced_replay_is_bit_identical() {
+        let cfg = SmConfig::volta_like();
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            for arch in [
+                Architecture::StandardDequant,
+                Architecture::PackedK,
+                Architecture::Pacq,
+            ] {
+                let schedule = octet_schedule(arch, precision, &cfg);
+                let plain = OctetPipeline::new().run(&schedule);
+                let (traced, events) = OctetPipeline::new().run_traced(&schedule);
+                assert_eq!(plain, traced, "{arch:?}/{precision}");
+                let fetches = events.iter().filter(|e| e.kind.contains("fetch")).count()
+                    + events.iter().filter(|e| e.kind.starts_with('C')).count();
+                assert_eq!(fetches as u64, traced.fetch_instructions);
+                let computes = events.iter().filter(|e| e.kind == "compute").count();
+                assert_eq!(computes, schedule.iter().filter(|s| s.issues > 0).count());
+                for e in &events {
+                    assert!(
+                        e.start + e.dur <= traced.cycles,
+                        "{arch:?}: event {e:?} past end {}",
+                        traced.cycles
+                    );
+                }
             }
         }
     }

@@ -24,14 +24,16 @@ fn arb_step() -> impl Strategy<Value = ScheduleStep> {
         ),
         0u64..4,
         1u64..5,
-        any::<bool>(),
+        0u64..5,
     )
-        .prop_map(|(fetches, issues, issue_interval, evicts_a)| ScheduleStep {
-            fetches,
-            issues,
-            issue_interval,
-            evicts_a,
-        })
+        .prop_map(
+            |(fetches, issues, issue_interval, a_evictions)| ScheduleStep {
+                fetches,
+                issues,
+                issue_interval,
+                a_evictions,
+            },
+        )
 }
 
 proptest! {

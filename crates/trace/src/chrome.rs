@@ -1,0 +1,185 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Produces the JSON Object Format consumed by `chrome://tracing` and
+//! Perfetto: `{"traceEvents": [...], "displayTimeUnit": "ms", ...}`
+//! with complete (`"ph": "X"`) events. The cycle-resolved pipeline maps
+//! one simulated cycle to one microsecond of trace time, so a 100-cycle
+//! octet renders as a 100 µs lane — the `metadata.time_unit` field
+//! records that convention for tooling.
+
+use crate::json::Json;
+use pacq_error::{PacqError, PacqResult};
+
+/// A Chrome trace under construction.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+    metadata: Vec<(String, Json)>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a complete (`ph: "X"`) event: a named interval on lane
+    /// `tid` of process `pid`, starting at `ts_us` and lasting
+    /// `dur_us` (both in trace microseconds). `args` rows become the
+    /// event's `args` object shown in the viewer's detail pane.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_event(
+        &mut self,
+        name: &str,
+        category: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, Json)],
+    ) {
+        let mut event = Json::object();
+        event.set("name", Json::from(name));
+        event.set("cat", Json::from(category));
+        event.set("ph", Json::from("X"));
+        event.set("ts", Json::from(ts_us));
+        event.set("dur", Json::from(dur_us));
+        event.set("pid", Json::from(pid));
+        event.set("tid", Json::from(tid));
+        if !args.is_empty() {
+            let mut obj = Json::object();
+            for (key, value) in args {
+                obj.set(key, value.clone());
+            }
+            event.set("args", obj);
+        }
+        self.events.push(event);
+    }
+
+    /// Adds an instant (`ph: "i"`) event — a zero-width marker at
+    /// `ts_us` on lane `tid`, thread-scoped.
+    pub fn instant_event(&mut self, name: &str, category: &str, pid: u64, tid: u64, ts_us: u64) {
+        let mut event = Json::object();
+        event.set("name", Json::from(name));
+        event.set("cat", Json::from(category));
+        event.set("ph", Json::from("i"));
+        event.set("s", Json::from("t"));
+        event.set("ts", Json::from(ts_us));
+        event.set("pid", Json::from(pid));
+        event.set("tid", Json::from(tid));
+        self.events.push(event);
+    }
+
+    /// Names a lane: emits the `thread_name` metadata event the viewer
+    /// uses to label `tid` under process `pid`.
+    pub fn name_lane(&mut self, pid: u64, tid: u64, name: &str) {
+        let mut event = Json::object();
+        event.set("name", Json::from("thread_name"));
+        event.set("ph", Json::from("M"));
+        event.set("pid", Json::from(pid));
+        event.set("tid", Json::from(tid));
+        let mut args = Json::object();
+        args.set("name", Json::from(name));
+        event.set("args", args);
+        self.events.push(event);
+    }
+
+    /// Attaches a top-level metadata field (e.g. `time_unit`, the
+    /// simulated shape, the dataflow name).
+    pub fn set_metadata(&mut self, key: &str, value: Json) {
+        self.metadata.push((key.to_string(), value));
+    }
+
+    /// Number of events recorded so far (metadata lane-name events
+    /// included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace in the JSON Object Format.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.set("traceEvents", Json::Arr(self.events.clone()));
+        root.set("displayTimeUnit", Json::from("ms"));
+        if !self.metadata.is_empty() {
+            let mut meta = Json::object();
+            for (key, value) in &self.metadata {
+                meta.set(key, value.clone());
+            }
+            root.set("metadata", meta);
+        }
+        root
+    }
+
+    /// Renders and writes the trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Io`] when the file cannot be written.
+    pub fn write_to(&self, path: &str) -> PacqResult<()> {
+        std::fs::write(path, self.to_json().render()).map_err(|e| PacqError::Io {
+            context: "trace::ChromeTrace::write_to",
+            message: format!("cannot write `{path}`: {e}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_events_carry_the_trace_event_contract() {
+        let mut trace = ChromeTrace::new();
+        trace.name_lane(0, 1, "fetch");
+        trace.complete_event(
+            "BTile",
+            "fetch",
+            0,
+            1,
+            10,
+            4,
+            &[("bits", Json::from(128u64))],
+        );
+        trace.instant_event("evict", "buffer", 0, 1, 14);
+        trace.set_metadata("time_unit", Json::from("1 trace µs = 1 SM cycle"));
+        let doc = trace.to_json();
+
+        let events = match doc.get("traceEvents") {
+            Some(Json::Arr(items)) => items.clone(),
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+        let x = &events[1];
+        assert_eq!(x.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(x.get("ts").and_then(Json::as_num), Some(10.0));
+        assert_eq!(x.get("dur").and_then(Json::as_num), Some(4.0));
+        assert_eq!(
+            x.get("args")
+                .and_then(|a| a.get("bits"))
+                .and_then(Json::as_num),
+            Some(128.0)
+        );
+        assert_eq!(events[2].get("ph").and_then(Json::as_str), Some("i"));
+
+        // The rendered document must re-parse to itself.
+        let back = Json::parse(&doc.render()).expect("chrome trace parses");
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        let trace = ChromeTrace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+        let doc = trace.to_json();
+        assert!(matches!(doc.get("traceEvents"), Some(Json::Arr(v)) if v.is_empty()));
+        assert!(Json::parse(&doc.render()).is_ok());
+    }
+}

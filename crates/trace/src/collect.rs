@@ -1,0 +1,221 @@
+//! The process-wide metrics collector: named counters, per-phase
+//! wall-clock spans, and structured result records.
+//!
+//! Instrumentation sites across the workspace call [`span`] and
+//! [`add_counter`] unconditionally; when collection is disabled (the
+//! default) both are a single relaxed atomic load — no clock reads, no
+//! locking, no allocation — so the hot paths of DESIGN.md §9 keep their
+//! measured throughput. The `pacq` CLI and every figure binary enable
+//! collection only when `--metrics <path>` is given.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+struct State {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    counters: Vec<(&'static str, u64)>,
+    results: Vec<(String, Json)>,
+}
+
+impl State {
+    fn new() -> State {
+        State {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            counters: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+}
+
+/// One completed wall-clock span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Phase name, dotted by subsystem (`simt.simulate`, `quant.rtn`).
+    pub name: &'static str,
+    /// Start offset from collection start, in microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Enables collection and clears any previously recorded data.
+pub fn enable() {
+    let mut state = lock();
+    *state = Some(State::new());
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disables collection (recorded data stays until the next [`enable`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// `true` while collection is active.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Option<State>> {
+    // A poisoned collector must never take the simulation down with it;
+    // metrics are best-effort by design.
+    STATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Starts a wall-clock span for a phase; the span is recorded when the
+/// returned guard drops. When collection is disabled this is one atomic
+/// load and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { name, start: None };
+    }
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+/// Guard returned by [`span`]; records the span on drop.
+#[must_use = "a span is recorded when its guard drops"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let mut state = lock();
+        let Some(state) = state.as_mut() else { return };
+        let start_us = start
+            .saturating_duration_since(state.epoch)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let dur_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        state.spans.push(SpanRecord {
+            name: self.name,
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+/// Adds `delta` to a named counter. One relaxed atomic load when
+/// collection is disabled.
+#[inline]
+pub fn add_counter(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut state = lock();
+    let Some(state) = state.as_mut() else { return };
+    if let Some(slot) = state.counters.iter_mut().find(|(n, _)| *n == name) {
+        slot.1 += delta;
+    } else {
+        state.counters.push((name, delta));
+    }
+}
+
+/// Records one structured result (a simulated GEMM report, an audit
+/// point, ...) under a sort key. Results are emitted into the manifest
+/// sorted by key, so parallel sweeps produce deterministic manifests.
+pub fn record_result(sort_key: impl Into<String>, value: Json) {
+    if !is_enabled() {
+        return;
+    }
+    let mut state = lock();
+    if let Some(state) = state.as_mut() {
+        state.results.push((sort_key.into(), value));
+    }
+}
+
+/// Drains everything recorded since [`enable`]: `(spans, counters,
+/// results)` with results stable-sorted by key. Collection stays enabled
+/// with a fresh epoch.
+pub fn drain() -> (Vec<SpanRecord>, Vec<(&'static str, u64)>, Vec<Json>) {
+    let mut state = lock();
+    let Some(state) = state.as_mut() else {
+        return (Vec::new(), Vec::new(), Vec::new());
+    };
+    let spans = std::mem::take(&mut state.spans);
+    let counters = std::mem::take(&mut state.counters);
+    let mut results = std::mem::take(&mut state.results);
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    (
+        spans,
+        counters,
+        results.into_iter().map(|(_, v)| v).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collector tests share process-wide state; serialize them.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let _guard = test_lock();
+        enable();
+        disable();
+        {
+            let _s = span("test.phase");
+        }
+        add_counter("test.counter", 3);
+        record_result("k", Json::Null);
+        enable();
+        let (spans, counters, results) = drain();
+        assert!(spans.is_empty());
+        assert!(counters.is_empty());
+        assert!(results.is_empty());
+        disable();
+    }
+
+    #[test]
+    fn spans_and_counters_accumulate() {
+        let _guard = test_lock();
+        enable();
+        {
+            let _s = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        add_counter("test.calls", 1);
+        add_counter("test.calls", 2);
+        let (spans, counters, _) = drain();
+        // Inner drops before outer, so it is recorded first.
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "test.inner");
+        assert_eq!(spans[1].name, "test.outer");
+        assert!(spans[1].start_us <= spans[0].start_us + spans[0].dur_us + 1_000_000);
+        assert_eq!(counters, vec![("test.calls", 3)]);
+        disable();
+    }
+
+    #[test]
+    fn results_are_sorted_by_key() {
+        let _guard = test_lock();
+        enable();
+        record_result("b", Json::from("second"));
+        record_result("a", Json::from("first"));
+        let (_, _, results) = drain();
+        assert_eq!(results[0].as_str(), Some("first"));
+        assert_eq!(results[1].as_str(), Some("second"));
+        disable();
+    }
+}

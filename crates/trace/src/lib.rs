@@ -1,0 +1,41 @@
+//! # pacq-trace — the observability layer of the pacq workspace
+//!
+//! Every headline number in the PacQ reproduction (Figures 7–12,
+//! Tables I–II) is derived from counters. This crate makes those
+//! counters observable and machine-checkable:
+//!
+//! - [`collect`] — a process-wide collector of named counters,
+//!   per-phase wall-clock spans, and structured result records.
+//!   Zero-cost when disabled: every instrumentation site is a single
+//!   relaxed atomic load until `--metrics` turns collection on.
+//! - [`json`] — a dependency-free JSON model (the workspace is
+//!   hermetic; there is no serde). Strict parser, deterministic
+//!   pretty-printer, lossless round trip.
+//! - [`manifest`] — the `pacq-metrics/v1` run manifest: shape,
+//!   architecture, jobs, counters, timings, git/toolchain provenance.
+//!   Written by the `pacq` CLI and all twelve figure binaries;
+//!   validated by [`manifest::validate_manifest`].
+//! - [`chrome`] — a Chrome `trace_event` exporter so the
+//!   cycle-resolved octet pipeline (Figure 3) can be inspected in
+//!   `chrome://tracing` / Perfetto.
+//!
+//! DESIGN.md §11 documents the schema and conventions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod chrome;
+pub mod collect;
+pub mod json;
+pub mod manifest;
+
+pub use chrome::ChromeTrace;
+pub use collect::{
+    add_counter, disable, drain, enable, is_enabled, record_result, span, SpanRecord,
+};
+pub use json::Json;
+pub use manifest::{validate_manifest, RunManifest, SCHEMA};
