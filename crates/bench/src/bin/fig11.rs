@@ -32,7 +32,8 @@ fn run() -> pacq::PacqResult<()> {
             cfg.adder_tree_duplication = dup;
             let runner = GemmRunner::new()
                 .with_config(cfg)
-                .with_group(GroupShape::along_k(16));
+                .with_group(GroupShape::along_k(16))
+                .with_cache_opt(metrics.cache());
             let r = runner.analyze(Architecture::Pacq, Workload::new(shape, precision))?;
             let power = GemmUnit::ParallelDp {
                 width: 4,

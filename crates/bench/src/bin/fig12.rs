@@ -35,7 +35,8 @@ fn run() -> pacq::PacqResult<()> {
         cfg.dp_width = width;
         let runner = GemmRunner::new()
             .with_config(cfg)
-            .with_group(GroupShape::G128);
+            .with_group(GroupShape::G128)
+            .with_cache_opt(metrics.cache());
         let wl = Workload::new(shape, WeightPrecision::Int4);
         let base = runner.analyze(Architecture::PackedK, wl)?;
         let pacq = runner.analyze(Architecture::Pacq, wl)?;

@@ -19,7 +19,9 @@ fn run() -> pacq::PacqResult<()> {
     );
 
     // k=16 here, so the (k-grouped) scales span the whole reduction.
-    let runner = GemmRunner::new().with_group(GroupShape::along_k(16));
+    let runner = GemmRunner::new()
+        .with_group(GroupShape::along_k(16))
+        .with_cache_opt(metrics.cache());
     let shape = GemmShape::M16N16K16;
 
     println!(

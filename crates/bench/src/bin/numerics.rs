@@ -45,7 +45,12 @@ fn run() -> pacq::PacqResult<()> {
                 let a = MatrixF32::from_fn(8, k, |m, kk| base_a.get(m, kk) * act_scale).to_f16();
 
                 let group = GroupShape::along_k(64.min(k));
-                let mk = |mode| GemmRunner::new().with_group(group).with_numerics(mode);
+                let mk = |mode| {
+                    GemmRunner::new()
+                        .with_group(group)
+                        .with_numerics(mode)
+                        .with_cache_opt(metrics.cache())
+                };
 
                 let p_n =
                     mk(NumericsMode::Wide).quantize_and_pack(&w, precision, Architecture::Pacq)?;

@@ -34,44 +34,65 @@ pub struct Metrics {
     args: Vec<String>,
     jobs: usize,
     path: Option<String>,
+    cache: Option<std::sync::Arc<pacq::ReportCache>>,
 }
 
-/// Applies the shared `--jobs` / `--metrics` flags for a figure/table
-/// binary (superset of [`init_jobs`]) and returns the manifest handle.
+/// Applies the shared `--jobs` / `--metrics` / `--cache` flags for a
+/// figure/table binary (superset of [`init_jobs`]) and returns the
+/// manifest handle.
 ///
 /// # Errors
 ///
 /// Returns a usage error ([`pacq::PacqError`], exit code 2) for a
-/// malformed or zero worker count or a `--metrics` flag without a path.
+/// malformed or zero worker count or a `--metrics`/`--cache` flag
+/// without a value, and an I/O error (exit code 6) when the cache
+/// directory cannot be created.
 pub fn init(binary: &'static str) -> pacq::PacqResult<Metrics> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (args, path) = pacq::cli::take_metrics_flag(&argv)?;
+    let (args, cache_dir) = pacq::cli::take_cache_flag(&args)?;
     let (args, jobs) = pacq::par::take_jobs_flag(&args)?;
     let env_jobs = pacq::par::validated_env_jobs()?;
     let jobs = pacq::par::configure_jobs(jobs.or(env_jobs));
     if path.is_some() {
         pacq_trace::enable();
     }
+    let cache = match cache_dir {
+        Some(dir) => Some(std::sync::Arc::new(pacq::ReportCache::open(dir)?)),
+        None => None,
+    };
     Ok(Metrics {
         binary,
         args,
         jobs,
         path,
+        cache,
     })
 }
 
 impl Metrics {
+    /// The report cache to attach to runners (`--cache DIR`), if any.
+    pub fn cache(&self) -> Option<std::sync::Arc<pacq::ReportCache>> {
+        self.cache.clone()
+    }
+
     /// Writes the run manifest if `--metrics` was requested, draining
-    /// the collector either way.
+    /// the collector either way, and prints the cache session tallies
+    /// when a store was attached.
     ///
     /// # Errors
     ///
     /// Returns [`pacq::PacqError::Io`] (exit code 6) when the manifest
     /// cannot be written.
     pub fn finish(self) -> pacq::PacqResult<()> {
+        if let Some(cache) = &self.cache {
+            println!("\ncache: {} hits, {} misses", cache.hits(), cache.misses());
+        }
         if let Some(path) = &self.path {
             let mut manifest = pacq_trace::RunManifest::new(self.binary, &self.args);
-            manifest = manifest.with_jobs(self.jobs);
+            manifest = manifest
+                .with_jobs(self.jobs)
+                .with_effective_jobs(rayon::current_num_threads());
             manifest.gather();
             pacq_trace::disable();
             manifest.write_to(path)?;

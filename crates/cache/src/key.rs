@@ -1,0 +1,149 @@
+//! The content address of one cached report.
+//!
+//! A cache key must cover **every** input that can change the report:
+//! the full machine configuration (all eleven `SmConfig` fields — the
+//! energy model prices RF/L1 capacities, the timing model reads the
+//! clock and the DRAM floor), the GEMM shape, the weight storage width,
+//! the dataflow description (architecture × quantization group ×
+//! numerics mode), and the crate version so a rebuilt simulator never
+//! serves entries priced by an older model. Two keys are equal exactly
+//! when their canonical strings are equal; the digest is only the
+//! filename, and the stored key string is re-checked on every read, so
+//! a hash collision degrades to a miss rather than a wrong answer.
+
+use pacq_simt::{GemmShape, SmConfig};
+
+/// A fully-resolved cache key: the canonical string plus its digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    canonical: String,
+}
+
+impl CacheKey {
+    /// Builds the key for one `(machine, shape, weight width, dataflow)`
+    /// point. `dataflow` is the caller's stable description of
+    /// everything else that shapes the report (architecture token,
+    /// group geometry, numerics mode).
+    pub fn new(config: &SmConfig, shape: GemmShape, weight_bits: u32, dataflow: &str) -> CacheKey {
+        // f64 fields are keyed by their exact bit patterns: two configs
+        // that differ in the 17th decimal digit are different machines.
+        let canonical = format!(
+            "pacq-cache/v1;ver={ver};cfg=tc{tc},dpu{dpu},dpw{dpw},dup{dup},ob{ob}x{obufs},\
+             rf{rf},l1{l1},dq{dq:016x},clk{clk:016x},dram{dram:016x};\
+             shape={shape};wbits={weight_bits};flow={dataflow}",
+            ver = env!("CARGO_PKG_VERSION"),
+            tc = config.tensor_cores,
+            dpu = config.dp_units_per_tc,
+            dpw = config.dp_width,
+            dup = config.adder_tree_duplication,
+            ob = config.operand_buffer_bits,
+            obufs = config.operand_buffers,
+            rf = config.register_file_bytes,
+            l1 = config.l1_bytes,
+            dq = config.dequant_weights_per_cycle.to_bits(),
+            clk = config.clock_hz.to_bits(),
+            dram = config.dram_bytes_per_cycle.to_bits(),
+        );
+        CacheKey { canonical }
+    }
+
+    /// The canonical key string (stored inside the entry and compared on
+    /// every read).
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 32-hex-character content digest used as the entry filename.
+    pub fn digest(&self) -> String {
+        digest_of(&self.canonical)
+    }
+}
+
+/// Digests an arbitrary string to the 32-hex-character form used for
+/// entry filenames and checkpoint grid identities: two independent
+/// FNV-1a passes over the bytes (different offset bases), concatenated.
+pub(crate) fn digest_of(text: &str) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a(text.as_bytes(), 0xcbf2_9ce4_8422_2325),
+        fnv1a(text.as_bytes(), 0x6c62_272e_07bb_0142)
+    )
+}
+
+fn fnv1a(bytes: &[u8], offset_basis: u64) -> u64 {
+    let mut h = offset_basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(mutate: impl FnOnce(&mut SmConfig)) -> CacheKey {
+        let mut cfg = SmConfig::volta_like();
+        mutate(&mut cfg);
+        CacheKey::new(&cfg, GemmShape::new(16, 256, 256), 4, "pacq:g128:rounded")
+    }
+
+    #[test]
+    fn digest_is_stable_and_hex() {
+        let a = key(|_| {});
+        let b = key(|_| {});
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest().len(), 32);
+        assert!(a.digest().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn every_config_field_is_keyed() {
+        let base = key(|_| {});
+        let variants = [
+            key(|c| c.tensor_cores = 7),
+            key(|c| c.dp_units_per_tc = 2),
+            key(|c| c.dp_width = 8),
+            key(|c| c.adder_tree_duplication = 4),
+            key(|c| c.operand_buffer_bits = 4096),
+            key(|c| c.operand_buffers = 3),
+            key(|c| c.register_file_bytes = 1),
+            key(|c| c.l1_bytes = 1),
+            key(|c| c.dequant_weights_per_cycle = 9.0),
+            key(|c| c.clock_hz = 1.0e9),
+            key(|c| c.dram_bytes_per_cycle = 8.0),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, *v, "config field {i} missing from the key");
+            assert_ne!(base.digest(), v.digest(), "field {i}");
+        }
+    }
+
+    #[test]
+    fn shape_bits_and_flow_are_keyed() {
+        let cfg = SmConfig::volta_like();
+        let base = CacheKey::new(&cfg, GemmShape::new(16, 256, 256), 4, "pacq:g128:rounded");
+        let shape = CacheKey::new(&cfg, GemmShape::new(32, 256, 256), 4, "pacq:g128:rounded");
+        let bits = CacheKey::new(&cfg, GemmShape::new(16, 256, 256), 2, "pacq:g128:rounded");
+        let flow = CacheKey::new(
+            &cfg,
+            GemmShape::new(16, 256, 256),
+            4,
+            "packedk:g128:rounded",
+        );
+        assert_ne!(base, shape);
+        assert_ne!(base, bits);
+        assert_ne!(base, flow);
+    }
+
+    #[test]
+    fn nan_and_infinity_configs_key_distinctly() {
+        // INFINITY is the documented dram_bytes_per_cycle default; the
+        // bit-pattern encoding must not collapse it with a finite bound.
+        let inf = key(|_| {});
+        let finite = key(|c| c.dram_bytes_per_cycle = 8.0);
+        assert_ne!(inf.canonical(), finite.canonical());
+    }
+}

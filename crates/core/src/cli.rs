@@ -7,7 +7,9 @@ use crate::par;
 use crate::report::{Comparison, GemmReport};
 use crate::roofline;
 use crate::runner::GemmRunner;
+use crate::sweep::{run_sweep, SweepPlan};
 use core::fmt::Write as _;
+use pacq_cache::{ReportCache, Shard, SweepCheckpoint};
 use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::WeightPrecision;
 use pacq_quant::GroupShape;
@@ -16,6 +18,7 @@ use pacq_simt::{
 };
 use pacq_trace::{ChromeTrace, Json, RunManifest};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Usage text shown by `pacq help` and on errors.
 pub const USAGE: &str = "\
@@ -26,16 +29,25 @@ USAGE:
                [--group g128|g256|g32x4|g64x4|gK] [--dup 1|2|4] [--width 4|8|16]
                [--json]
   pacq compare --shape mMnNkK [--precision int4|int2] [--group ...]
-  pacq sweep --param batch|dup|width --shape mMnNkK [--precision int4|int2]
+  pacq sweep --param batch|dup|width|grid --shape mMnNkK [--precision int4|int2]
+             [--shard i/N] [--checkpoint FILE]
+  pacq cache stats|clear|verify --dir DIR
   pacq audit
   pacq trace --out trace.json [--arch ...] [--precision ...] [--dup ...] [--width ...]
   pacq help
 
 Every command also accepts --jobs N (worker threads for sweeps and
 functional execution; defaults to the PACQ_JOBS environment variable,
-then the host parallelism; results are bit-identical at any job count)
-and --metrics PATH (write a machine-readable JSON run manifest, schema
-pacq-metrics/v1 — see DESIGN.md §11).
+then the host parallelism; results are bit-identical at any job count),
+--metrics PATH (write a machine-readable JSON run manifest, schema
+pacq-metrics/v1 — see DESIGN.md §11), and --cache DIR (a
+content-addressed on-disk report cache: repeated analyses of the same
+point become lookups, bit-identical to fresh runs — see DESIGN.md §12).
+
+`pacq sweep --param grid` runs the full batch × architecture ×
+precision grid for the layer; --shard i/N slices it into N disjoint
+index classes (for split runs), and --checkpoint FILE records completed
+jobs so an interrupted sweep resumes where it stopped.
 
 `pacq audit` cross-checks the analytic dataflow engine against the
 event-driven per-octet replay on a grid of shapes (including ragged,
@@ -86,6 +98,32 @@ pub fn take_metrics_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<Str
     Ok((rest, metrics))
 }
 
+/// Splits `--cache DIR` / `--cache=DIR` out of an argument list.
+///
+/// Like [`take_metrics_flag`], shared by the `pacq` CLI and the figure
+/// binaries so every entry point spells the report cache the same way.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] when the flag is present without a
+/// value.
+pub fn take_cache_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<String>)> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut cache = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--cache" {
+            let v = it.next().ok_or_else(|| err("missing value for --cache"))?;
+            cache = Some(v.clone());
+        } else if let Some(v) = arg.strip_prefix("--cache=") {
+            cache = Some(v.to_string());
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, cache))
+}
+
 /// Runs the CLI on pre-split arguments, returning the output text.
 ///
 /// # Errors
@@ -94,6 +132,7 @@ pub fn take_metrics_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<Str
 /// malformed option, and propagates typed simulator errors.
 pub fn run(args: &[String]) -> PacqResult<String> {
     let (args, metrics) = take_metrics_flag(args)?;
+    let (args, cache_dir) = take_cache_flag(&args)?;
     let (args, jobs) = par::take_jobs_flag(&args)?;
     let env_jobs = par::validated_env_jobs()?;
     // Only touch the global pool when the user asked for a count — a
@@ -105,12 +144,17 @@ pub fn run(args: &[String]) -> PacqResult<String> {
     if metrics.is_some() {
         pacq_trace::enable();
     }
-    let result = dispatch(&args);
+    let cache = match &cache_dir {
+        Some(dir) => Some(Arc::new(ReportCache::open(dir)?)),
+        None => None,
+    };
+    let result = dispatch(&args, cache.as_ref());
     if let Some(path) = metrics {
         let mut manifest = RunManifest::new("pacq", &args);
         if let Some(j) = jobs.or(env_jobs) {
             manifest = manifest.with_jobs(j);
         }
+        manifest = manifest.with_effective_jobs(rayon::current_num_threads());
         manifest.gather();
         pacq_trace::disable();
         if result.is_ok() {
@@ -120,14 +164,15 @@ pub fn run(args: &[String]) -> PacqResult<String> {
     result
 }
 
-fn dispatch(args: &[String]) -> PacqResult<String> {
+fn dispatch(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         None | Some("help") | Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
-        Some("analyze") => analyze(&args[1..]),
-        Some("compare") => compare(&args[1..]),
-        Some("sweep") => sweep(&args[1..]),
-        Some("audit") => audit(&args[1..]),
+        Some("analyze") => analyze(&args[1..], cache),
+        Some("compare") => compare(&args[1..], cache),
+        Some("sweep") => sweep(&args[1..], cache),
+        Some("cache") => cache_cmd(&args[1..], cache),
+        Some("audit") => audit(&args[1..], cache),
         Some("trace") => trace(&args[1..]),
         Some(other) => Err(err(format!("unknown command `{other}`"))),
     }
@@ -144,6 +189,8 @@ struct Options {
     json: bool,
     param: Option<String>,
     out: Option<String>,
+    shard: Shard,
+    checkpoint: Option<String>,
 }
 
 fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
@@ -156,6 +203,8 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
     let mut json = false;
     let mut param = None;
     let mut out = None;
+    let mut shard = Shard::FULL;
+    let mut checkpoint = None;
 
     let mut it = args.iter().map(String::as_str).peekable();
     while let Some(flag) = it.next() {
@@ -200,6 +249,8 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
             "--json" => json = true,
             "--param" => param = Some(value("--param")?.to_string()),
             "--out" => out = Some(value("--out")?.to_string()),
+            "--shard" => shard = Shard::parse(value("--shard")?)?,
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?.to_string()),
             other => return Err(err(format!("unknown option `{other}`"))),
         }
     }
@@ -219,6 +270,8 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
         json,
         param,
         out,
+        shard,
+        checkpoint,
     })
 }
 
@@ -273,16 +326,19 @@ fn parse_group(text: &str) -> PacqResult<GroupShape> {
     }
 }
 
-fn runner_for(opts: &Options) -> GemmRunner {
+fn runner_for(opts: &Options, cache: Option<&Arc<ReportCache>>) -> GemmRunner {
     let mut cfg = SmConfig::volta_like();
     cfg.adder_tree_duplication = opts.dup;
     cfg.dp_width = opts.width;
-    GemmRunner::new().with_config(cfg).with_group(opts.group)
+    GemmRunner::new()
+        .with_config(cfg)
+        .with_group(opts.group)
+        .with_cache_opt(cache.map(Arc::clone))
 }
 
-fn analyze(args: &[String]) -> PacqResult<String> {
+fn analyze(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
-    let runner = runner_for(&opts);
+    let runner = runner_for(&opts, cache);
     let report = runner.analyze(opts.arch, Workload::new(opts.shape, opts.precision))?;
     if opts.json {
         Ok(report_json(&report))
@@ -291,9 +347,9 @@ fn analyze(args: &[String]) -> PacqResult<String> {
     }
 }
 
-fn compare(args: &[String]) -> PacqResult<String> {
+fn compare(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
-    let runner = runner_for(&opts);
+    let runner = runner_for(&opts, cache);
     let wl = Workload::new(opts.shape, opts.precision);
     let cmp = Comparison::new(vec![
         runner.analyze(Architecture::StandardDequant, wl)?,
@@ -324,14 +380,62 @@ fn compare(args: &[String]) -> PacqResult<String> {
     Ok(out)
 }
 
-fn sweep(args: &[String]) -> PacqResult<String> {
+fn sweep(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
     let param = opts
         .param
         .as_deref()
         .ok_or_else(|| err("--param is required for sweep"))?;
+    if param != "grid" && (opts.shard != Shard::FULL || opts.checkpoint.is_some()) {
+        return Err(err(
+            "--shard and --checkpoint apply to `sweep --param grid` only",
+        ));
+    }
     let mut out = String::new();
     match param {
+        // The sharded, resumable batch×architecture×precision grid
+        // (DESIGN.md §12). Rows print in grid order; jobs other shards
+        // own are omitted, checkpointed jobs print as `done (resumed)`.
+        "grid" => {
+            let runner = runner_for(&opts, cache);
+            let plan = SweepPlan::batch_grid(opts.shape.n, opts.shape.k);
+            let checkpoint = match &opts.checkpoint {
+                Some(path) => Some(SweepCheckpoint::open(path, &plan.digest())?),
+                None => None,
+            };
+            let outcome = run_sweep(&runner, &plan, opts.shard, checkpoint.as_ref())?;
+            let _ = writeln!(
+                out,
+                "{:<24} {:>14} {:>14} {:>14}",
+                "job", "cycles", "energy (uJ)", "EDP (pJ*s)"
+            );
+            for row in &outcome.rows {
+                match &row.report {
+                    Some(r) => {
+                        let _ = writeln!(
+                            out,
+                            "{:<24} {:>14} {:>14.2} {:>14.6}",
+                            row.job.id(),
+                            r.stats.total_cycles,
+                            r.total_energy_pj() / 1e6,
+                            r.edp_pj_s,
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{:<24} {:>14}", row.job.id(), "done (resumed)");
+                    }
+                }
+            }
+            let t = outcome.tally;
+            let _ = writeln!(
+                out,
+                "grid: {} jobs, shard {} selected {}, resumed {}, executed {}",
+                t.total, opts.shard, t.selected, t.skipped, t.executed
+            );
+            if let Some(c) = cache {
+                let _ = writeln!(out, "cache: {} hits, {} misses", c.hits(), c.misses());
+            }
+        }
         // Each arm renders its sweep points into rows on the worker pool
         // (ordered collect), so the printed table is identical at any
         // `--jobs` setting.
@@ -341,7 +445,7 @@ fn sweep(args: &[String]) -> PacqResult<String> {
                 "{:<8} {:>14} {:>14} {:>14}",
                 "batch", "PacQ cycles", "speedup v std", "EDP reduction"
             );
-            let runner = runner_for(&opts);
+            let runner = runner_for(&opts, cache);
             let points: Vec<(Architecture, Workload)> = [16usize, 32, 64, 128, 256, 512]
                 .iter()
                 .flat_map(|&m| {
@@ -381,7 +485,7 @@ fn sweep(args: &[String]) -> PacqResult<String> {
                 .map(|dup| {
                     let mut o = opts_clone(&opts);
                     o.dup = dup;
-                    let runner = runner_for(&o);
+                    let runner = runner_for(&o, cache);
                     let r = runner.analyze(
                         Architecture::Pacq,
                         Workload::new(opts.shape, opts.precision),
@@ -413,7 +517,7 @@ fn sweep(args: &[String]) -> PacqResult<String> {
                 .map(|width| {
                     let mut o = opts_clone(&opts);
                     o.width = width;
-                    let runner = runner_for(&o);
+                    let runner = runner_for(&o, cache);
                     let wl = Workload::new(opts.shape, opts.precision);
                     let pq = runner.analyze(Architecture::Pacq, wl)?;
                     let pk = runner.analyze(Architecture::PackedK, wl)?;
@@ -432,13 +536,85 @@ fn sweep(args: &[String]) -> PacqResult<String> {
     Ok(out)
 }
 
+/// `pacq cache stats|clear|verify --dir DIR`: maintenance operations on
+/// a content-addressed report cache directory. `verify` exits nonzero
+/// (typed, exit code 4) when any entry fails its integrity walk, so CI
+/// can gate on store health.
+fn cache_cmd(args: &[String], ambient: Option<&Arc<ReportCache>>) -> PacqResult<String> {
+    let mut action = None;
+    let mut dir = None;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "stats" | "clear" | "verify" if action.is_none() => action = Some(arg.to_string()),
+            "--dir" => {
+                dir = Some(
+                    it.next()
+                        .ok_or_else(|| err("missing value for --dir"))?
+                        .to_string(),
+                )
+            }
+            other => return Err(err(format!("unknown cache argument `{other}`"))),
+        }
+    }
+    let action = action.ok_or_else(|| err("cache wants an action: stats, clear or verify"))?;
+    // `--dir DIR` names the store; the global `--cache DIR` flag works
+    // too, so `pacq cache stats --cache DIR` reads naturally.
+    let store = match (dir, ambient) {
+        (Some(d), _) => ReportCache::open(d)?,
+        (None, Some(c)) => ReportCache::open(c.dir())?,
+        (None, None) => return Err(err("cache wants --dir DIR (or the global --cache DIR)")),
+    };
+    match action.as_str() {
+        "stats" => {
+            let s = store.stats()?;
+            Ok(format!(
+                "cache {}: {} entries, {} bytes, {} corrupt\n",
+                store.dir().display(),
+                s.entries,
+                s.bytes,
+                s.corrupt
+            ))
+        }
+        "clear" => {
+            let removed = store.clear()?;
+            Ok(format!(
+                "cache {}: removed {removed} entries\n",
+                store.dir().display()
+            ))
+        }
+        _ => {
+            let v = store.verify()?;
+            if v.corrupt.is_empty() {
+                Ok(format!(
+                    "cache {}: {} entries verified OK\n",
+                    store.dir().display(),
+                    v.valid
+                ))
+            } else {
+                Err(PacqError::invalid_input(
+                    "cli::cache verify",
+                    format!(
+                        "{} of {} entries corrupt: {}",
+                        v.corrupt.len(),
+                        v.valid + v.corrupt.len(),
+                        v.corrupt.join(", ")
+                    ),
+                ))
+            }
+        }
+    }
+}
+
 /// `pacq audit`: cross-checks the two independent simulators (analytic
 /// closed forms vs event-driven per-octet replay) counter by counter on
 /// a grid of shapes — including ragged ones that exercise the
 /// zero-padding path — then verifies the energy/EDP accounting
 /// identities and the roofline crossover search against a dense
-/// reference scan.
-fn audit(args: &[String]) -> PacqResult<String> {
+/// reference scan. With `--cache DIR`, priced reports go through (and
+/// into) the store, so the audit doubles as a check that cached reports
+/// satisfy the same invariants as fresh ones.
+fn audit(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
     if let Some(extra) = args.first() {
         return Err(err(format!("audit takes no options (got `{extra}`)")));
     }
@@ -465,7 +641,7 @@ fn audit(args: &[String]) -> PacqResult<String> {
         for shape in shapes {
             for arch in archs {
                 for precision in precisions {
-                    checks += audit_point(shape, arch, precision, &cfg, group)?;
+                    checks += audit_point(shape, arch, precision, &cfg, group, cache)?;
                     cases += 1;
                 }
             }
@@ -495,6 +671,7 @@ fn audit_point(
     precision: WeightPrecision,
     cfg: &SmConfig,
     group: GroupShape,
+    cache: Option<&Arc<ReportCache>>,
 ) -> PacqResult<u64> {
     let wl = Workload::new(shape, precision);
     let case = format!("{wl} on {arch} (DP-{})", cfg.dp_width);
@@ -534,10 +711,13 @@ fn audit_point(
         }
     }
 
-    // The priced report's EDP / energy-BOM / Figure-7 identities.
+    // The priced report's EDP / energy-BOM / Figure-7 identities —
+    // through the cache when one is attached, so cached entries face the
+    // same checks as fresh ones.
     let report = GemmRunner::new()
         .with_config(*cfg)
         .with_group(group)
+        .with_cache_opt(cache.map(Arc::clone))
         .analyze(arch, wl)?;
     report.check_invariants()?;
     Ok(pairs.len() as u64 + 3)
@@ -641,6 +821,8 @@ fn opts_clone(o: &Options) -> Options {
         json: o.json,
         param: o.param.clone(),
         out: o.out.clone(),
+        shard: o.shard,
+        checkpoint: o.checkpoint.clone(),
     }
 }
 
@@ -890,6 +1072,141 @@ mod tests {
         );
         std::fs::remove_file(&path).ok();
         assert!(run(&argv("analyze --shape m16n16k16 --metrics")).is_err());
+    }
+
+    fn tmp_dir(tag: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pacq-cli-test-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn sweep_grid_prints_rows_and_tally() {
+        let out = run(&argv("sweep --param grid --shape m16n256k256")).expect("runs");
+        assert!(out.contains("pacq:int2:m512n256k256"), "{out}");
+        assert!(
+            out.contains("grid: 36 jobs, shard 1/1 selected 36, resumed 0, executed 36"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn sweep_grid_shards_split_the_rows() {
+        let full = run(&argv("sweep --param grid --shape m16n256k256")).unwrap();
+        let a = run(&argv("sweep --param grid --shape m16n256k256 --shard 1/2")).unwrap();
+        let b = run(&argv("sweep --param grid --shape m16n256k256 --shard 2/2")).unwrap();
+        assert!(a.contains("selected 18"), "{a}");
+        assert!(b.contains("selected 18"), "{b}");
+        // Every full-grid row lands in exactly one shard's output.
+        for line in full.lines().filter(|l| l.contains(":m")) {
+            assert!(
+                a.contains(line) ^ b.contains(line),
+                "row `{line}` must be in exactly one shard"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_grid_resumes_from_checkpoint() {
+        let path = tmp_path("ckpt");
+        std::fs::remove_file(&path).ok();
+        let first = run(&[
+            "sweep".to_string(),
+            "--param".to_string(),
+            "grid".to_string(),
+            "--shape".to_string(),
+            "m16n256k256".to_string(),
+            "--checkpoint".to_string(),
+            path.clone(),
+        ])
+        .expect("first pass runs");
+        assert!(first.contains("executed 36"), "{first}");
+        let second = run(&[
+            "sweep".to_string(),
+            "--param".to_string(),
+            "grid".to_string(),
+            "--shape".to_string(),
+            "m16n256k256".to_string(),
+            "--checkpoint".to_string(),
+            path.clone(),
+        ])
+        .expect("resume runs");
+        assert!(second.contains("done (resumed)"), "{second}");
+        assert!(second.contains("resumed 36, executed 0"), "{second}");
+        // A checkpoint written for a different grid must be a typed
+        // error, not a silent fresh start.
+        let err = run(&[
+            "sweep".to_string(),
+            "--param".to_string(),
+            "grid".to_string(),
+            "--shape".to_string(),
+            "m16n512k512".to_string(),
+            "--checkpoint".to_string(),
+            path.clone(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_and_checkpoint_are_grid_only() {
+        let err = run(&argv("sweep --param batch --shape m16n256k256 --shard 1/2")).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("grid"), "{err}");
+        for bad in ["0/4", "5/4", "+1/4", "1of4", "1/0"] {
+            let mut args = argv("sweep --param grid --shape m16n256k256 --shard");
+            args.push(bad.to_string());
+            let err = run(&args).unwrap_err();
+            assert!(err.is_usage(), "--shard {bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn cache_flag_memoizes_and_subcommands_manage_the_store() {
+        let dir = tmp_dir("cache");
+        let cached = |cmd: &str| {
+            let mut args = argv(cmd);
+            args.push("--cache".to_string());
+            args.push(dir.clone());
+            run(&args)
+        };
+        let cold = cached("analyze --shape m16n256k256 --arch pacq").expect("cold run");
+        let warm = cached("analyze --shape m16n256k256 --arch pacq").expect("warm run");
+        assert_eq!(cold, warm, "cached report must render identically");
+
+        let stats = cached("cache stats").expect("stats");
+        assert!(stats.contains("1 entries"), "{stats}");
+        let verify = cached("cache verify").expect("verify");
+        assert!(verify.contains("verified OK"), "{verify}");
+
+        // Corrupt the single entry: verify now fails with the typed
+        // invalid-input exit code, while analyze still succeeds (a bad
+        // entry is a miss, never an error).
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .expect("one cache entry")
+            .path();
+        std::fs::write(&entry, "{\"schema\": \"pacq-cache/v1\", \"tru").unwrap();
+        let err = cached("cache verify").unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        let healed = cached("analyze --shape m16n256k256 --arch pacq").expect("recomputes");
+        assert_eq!(healed, cold);
+
+        let cleared = run(&[
+            "cache".to_string(),
+            "clear".to_string(),
+            "--dir".to_string(),
+            dir.clone(),
+        ])
+        .expect("clear");
+        assert!(cleared.contains("removed"), "{cleared}");
+        assert!(run(&argv("cache stats")).is_err(), "--dir is required");
+        assert!(cached("cache frobnicate").is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -60,9 +60,17 @@ pub mod par;
 pub mod report;
 pub mod roofline;
 pub mod runner;
+pub mod sweep;
 
 pub use report::{Comparison, GemmReport};
 pub use runner::GemmRunner;
+pub use sweep::{run_sweep, SweepJob, SweepOutcome, SweepPlan, SweepRow, SweepTally};
+
+// The result-cache and sharding layer (`--cache`, `--shard`,
+// `--checkpoint`; DESIGN.md §12).
+pub use pacq_cache::{
+    CacheKey, CacheStats, CachedReport, ReportCache, Shard, SweepCheckpoint, VerifyOutcome,
+};
 
 // The workspace-wide typed error layer (DESIGN.md §10).
 pub use pacq_error::{ArtifactError, PacqError, PacqResult};

@@ -13,6 +13,40 @@ use rayon::ThreadPoolBuilder;
 /// Environment variable consulted when no explicit job count is given.
 pub const JOBS_ENV: &str = "PACQ_JOBS";
 
+/// Upper bound on a user-supplied worker count. Far above any host this
+/// simulator runs on; it exists so a typo (`--jobs 40000`) fails loudly
+/// instead of asking the thread-pool for forty thousand stacks.
+pub const MAX_JOBS: usize = 512;
+
+/// The one validator behind both spellings of the knob (`--jobs N` and
+/// `PACQ_JOBS=N`): surrounding whitespace is tolerated, the digits must
+/// be plain (no sign — `+4` is a typo, not a count), zero is rejected,
+/// and the count is capped at [`MAX_JOBS`]. `source` names the spelling
+/// in the error message.
+fn validate_jobs(raw: &str, source: &str) -> PacqResult<usize> {
+    let v = raw.trim();
+    let plain_digits = !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit());
+    let n: usize = if plain_digits {
+        v.parse()
+            .map_err(|_| PacqError::usage(format!("invalid {source} value `{raw}`")))?
+    } else {
+        return Err(PacqError::usage(format!(
+            "invalid {source} value `{raw}` (want a plain positive integer)"
+        )));
+    };
+    if n == 0 {
+        return Err(PacqError::usage(format!(
+            "{source} must be at least 1 (omit it for the host default)"
+        )));
+    }
+    if n > MAX_JOBS {
+        return Err(PacqError::usage(format!(
+            "{source} must be at most {MAX_JOBS}, got {n}"
+        )));
+    }
+    Ok(n)
+}
+
 /// Installs the global worker count and returns the effective value.
 ///
 /// Precedence: an explicit `jobs` argument (from `--jobs N`), then the
@@ -28,28 +62,20 @@ pub fn configure_jobs(jobs: Option<usize>) -> usize {
     rayon::current_num_threads()
 }
 
-/// Reads and validates the [`JOBS_ENV`] environment variable.
+/// Reads and validates the [`JOBS_ENV`] environment variable with the
+/// same rules as `--jobs` (one validator, two spellings).
 ///
 /// # Errors
 ///
 /// Returns [`PacqError::Usage`] when the variable is set but is not a
-/// positive integer (zero included — a zero worker count is meaningless
-/// as user input; omit the variable for the host default).
+/// plain positive integer at most [`MAX_JOBS`] (zero included — a zero
+/// worker count is meaningless as user input; omit the variable for the
+/// host default).
 pub fn validated_env_jobs() -> PacqResult<Option<usize>> {
     let Ok(raw) = std::env::var(JOBS_ENV) else {
         return Ok(None);
     };
-    let n: usize = raw.trim().parse().map_err(|_| {
-        PacqError::usage(format!(
-            "{JOBS_ENV} must be a positive integer, got `{raw}`"
-        ))
-    })?;
-    if n == 0 {
-        return Err(PacqError::usage(format!(
-            "{JOBS_ENV} must be at least 1 (unset it for the host default)"
-        )));
-    }
-    Ok(Some(n))
+    validate_jobs(&raw, JOBS_ENV).map(Some)
 }
 
 /// Splits `--jobs N` / `--jobs=N` out of an argument list, returning the
@@ -81,15 +107,7 @@ pub fn take_jobs_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<usize>
 }
 
 fn parse_jobs(v: &str) -> PacqResult<usize> {
-    let n: usize = v
-        .parse()
-        .map_err(|_| PacqError::usage(format!("invalid --jobs value `{v}`")))?;
-    if n == 0 {
-        return Err(PacqError::usage(
-            "--jobs must be at least 1 (omit the flag for the host default)",
-        ));
-    }
-    Ok(n)
+    validate_jobs(v, "--jobs")
 }
 
 /// Serializes tests that mutate the process-wide worker count.
@@ -139,5 +157,49 @@ mod tests {
             assert!(err.is_usage(), "{err}");
             assert!(err.to_string().contains("at least 1"), "{err}");
         }
+    }
+
+    #[test]
+    fn flag_and_env_agree_on_every_boundary_input() {
+        // One validator behind both spellings: any input the flag
+        // accepts, the env var accepts with the same value, and any
+        // input the flag rejects, the env var rejects.
+        let cases: &[(&str, Option<usize>)] = &[
+            ("4", Some(4)),
+            (" 4 ", Some(4)),   // surrounding whitespace tolerated
+            ("\t8\n", Some(8)), // ...in any form
+            ("512", Some(MAX_JOBS)),
+            ("+4", None), // a sign is a typo, not a count
+            ("-4", None),
+            ("4.0", None),
+            ("0", None),
+            ("513", None), // beyond the worker cap
+            ("99999999999999999999", None),
+            ("", None),
+            ("  ", None),
+        ];
+        for &(input, expect) in cases {
+            let flag =
+                take_jobs_flag(&["--jobs".to_string(), input.to_string()]).map(|(_, jobs)| jobs);
+            let env = validate_jobs(input, JOBS_ENV).map(Some);
+            match expect {
+                Some(n) => {
+                    assert_eq!(flag.as_ref().ok(), Some(&Some(n)), "--jobs `{input}`");
+                    assert_eq!(env.as_ref().ok(), Some(&Some(n)), "{JOBS_ENV}=`{input}`");
+                }
+                None => {
+                    assert!(flag.is_err(), "--jobs `{input}` must be rejected");
+                    let err = env.unwrap_err();
+                    assert!(err.is_usage(), "{err}");
+                    assert!(err.to_string().contains(JOBS_ENV), "{err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_jobs_name_the_cap() {
+        let err = take_jobs_flag(&argv("--jobs 1000")).unwrap_err();
+        assert!(err.to_string().contains("512"), "{err}");
     }
 }

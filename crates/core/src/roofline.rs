@@ -302,6 +302,88 @@ mod tests {
     }
 
     #[test]
+    fn crossover_search_space_boundaries_are_exact() {
+        // Pin the gallop + binary search at the four extreme answers of
+        // its search space: the floor (16), the first galloped bracket
+        // (32), the cap (2^20) and one granule below it (2^20 - 16).
+        // The cap cases need configs whose ridge lands INSIDE the
+        // sliver of intensity a 16-row step spans near m = 2^20, which
+        // forces dp_units_per_tc = 1, dp_width = 4 (ridge granularity
+        // 0.5 MACs/byte) and an n = k = 2^20 FP16 layer (intensity
+        // window ≈ 2 MACs/byte per granule at the cap). These configs
+        // fail `SmConfig::validate`, but the roofline is pure closed-form
+        // arithmetic over the config fields and never simulates.
+
+        // m* = 16: volta-like INT4 is compute-bound from the floor.
+        assert_eq!(
+            crossover_batch_with_weight_bits(4096, 4096, 4, &cfg()).unwrap(),
+            16
+        );
+
+        // m* = 32: 7 tensor cores drop the ridge to 14 MACs/byte; FP16
+        // at m = 16 sits just below (I = 13.47), m = 32 just above
+        // (I = 24.38). First bracket of the gallop, no binary search.
+        let seven_tc = SmConfig {
+            tensor_cores: 7,
+            ..cfg()
+        };
+        assert_eq!(
+            crossover_batch_with_weight_bits(4096, 4096, 16, &seven_tc).unwrap(),
+            32
+        );
+
+        // m* = 2^20 (the cap is a real answer, not only a failure
+        // marker): ridge = 349525·4/8 = 174762.5 sits between
+        // I(2^20 - 16) = 174761.78 and I(2^20) = 174762.67.
+        let cap = 1usize << 20;
+        let at_cap = SmConfig {
+            tensor_cores: 349_525,
+            dp_units_per_tc: 1,
+            dp_width: 4,
+            ..cfg()
+        };
+        assert_eq!(
+            crossover_batch_with_weight_bits(cap, cap, 16, &at_cap).unwrap(),
+            cap
+        );
+        assert_eq!(
+            analyze_with_weight_bits(GemmShape::new(cap - 16, cap, cap), 16, &at_cap).bound,
+            Bound::MemoryBound
+        );
+
+        // m* = 2^20 - 16 (one granule inside the cap): two fewer tensor
+        // cores put the ridge one half-step lower, at 174761.5.
+        let near_cap = SmConfig {
+            tensor_cores: 349_523,
+            dp_units_per_tc: 1,
+            dp_width: 4,
+            ..cfg()
+        };
+        assert_eq!(
+            crossover_batch_with_weight_bits(cap, cap, 16, &near_cap).unwrap(),
+            cap - 16
+        );
+        assert_eq!(
+            analyze_with_weight_bits(GemmShape::new(cap - 32, cap, cap), 16, &near_cap).bound,
+            Bound::MemoryBound
+        );
+
+        // One more tensor core and the ridge clears even I(2^20): the
+        // whole search space is memory-bound, which must be the typed
+        // EmptySearchSpace error, not the cap.
+        let beyond_cap = SmConfig {
+            tensor_cores: 349_526,
+            dp_units_per_tc: 1,
+            dp_width: 4,
+            ..cfg()
+        };
+        assert!(matches!(
+            crossover_batch_with_weight_bits(cap, cap, 16, &beyond_cap),
+            Err(PacqError::EmptySearchSpace { .. })
+        ));
+    }
+
+    #[test]
     fn analysis_fields_are_consistent() {
         let wl = Workload::new(GemmShape::new(64, 1024, 1024), WeightPrecision::Int4);
         let a = analyze(wl, &cfg());

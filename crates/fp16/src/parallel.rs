@@ -588,6 +588,67 @@ mod tests {
         }
     }
 
+    /// The RNE overflow frontier. With weights biased into
+    /// `[1024, 2048)` the product exponent is `exp(A) + 10` (+1 when
+    /// normalization fires), so products cross `Fp16::MAX` exactly in
+    /// the `exp(A) ∈ {4, 5}` binades — above them every product
+    /// saturates outright. Exhaustive over both signs × every mantissa
+    /// of the frontier-and-above binades × every weight code, for both
+    /// precisions: each lane product must match the softfloat reference
+    /// bit for bit, the frontier must produce BOTH outcomes (a finite
+    /// `MAX` and an infinity), and the subtlest path — an all-ones
+    /// mantissa whose round-up carries INTO infinity (`round_pack`'s
+    /// post-increment overflow, e.g. `sig_a=2046 × 1025`) — must fire.
+    #[test]
+    fn rne_carry_to_infinity_frontier_is_bit_exact() {
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            let unit = ParallelFpIntMultiplier::new(precision);
+            let codes = 1u8 << precision.bits();
+            let (mut finite_max, mut infinite, mut carried) = (0usize, 0usize, 0usize);
+            for code in 0..codes {
+                let packed = match precision {
+                    WeightPrecision::Int4 => {
+                        PackedWord::pack_int4([Int4::new(code as i8 - 8).unwrap(); 4])
+                    }
+                    WeightPrecision::Int2 => {
+                        PackedWord::pack_int2([Int2::new(code as i8 - 2).unwrap(); 8])
+                    }
+                };
+                let want_b = unit.biased_weight_value(code);
+                for exp_field in 19u16..=30 {
+                    for sign in [0u16, 1 << 15] {
+                        for mant in 0u16..1024 {
+                            let a = Fp16::from_bits(sign | (exp_field << 10) | mant);
+                            let lt = unit.multiply(a, packed).lane_traces()[0];
+                            let want = softfloat::mul(a, want_b);
+                            assert!(
+                                same(lt.product, want),
+                                "A={:04x} code={code} {precision}: got {:04x}, want {:04x}",
+                                a.to_bits(),
+                                lt.product.to_bits(),
+                                want.to_bits()
+                            );
+                            if lt.product.is_infinite() {
+                                infinite += 1;
+                                if lt.round_up {
+                                    carried += 1;
+                                }
+                            } else if lt.product.to_bits() & 0x7FFF == Fp16::MAX.to_bits() {
+                                finite_max += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(finite_max > 0, "{precision}: frontier never lands on MAX");
+            assert!(infinite > 0, "{precision}: frontier never overflows");
+            assert!(
+                carried > 0,
+                "{precision}: the round-up-carries-to-infinity path never fired"
+            );
+        }
+    }
+
     #[test]
     fn biased_weight_value_is_exact() {
         let unit = ParallelFpIntMultiplier::new(WeightPrecision::Int4);

@@ -36,6 +36,7 @@ pub struct RunManifest {
     binary: String,
     args: Vec<String>,
     jobs: Option<usize>,
+    effective_jobs: Option<usize>,
     results: Vec<Json>,
     counters: Vec<(String, u64)>,
     spans: Vec<collect::SpanRecord>,
@@ -48,15 +49,24 @@ impl RunManifest {
             binary: binary.into(),
             args: args.to_vec(),
             jobs: None,
+            effective_jobs: None,
             results: Vec::new(),
             counters: Vec::new(),
             spans: Vec::new(),
         }
     }
 
-    /// Records the effective worker count.
+    /// Records the user-requested worker count (`--jobs` / `PACQ_JOBS`).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = Some(jobs);
+        self
+    }
+
+    /// Records the worker count the pool actually ran with — provenance
+    /// for "how parallel was this run" even when no count was requested
+    /// and the host default applied.
+    pub fn with_effective_jobs(mut self, jobs: usize) -> Self {
+        self.effective_jobs = Some(jobs);
         self
     }
 
@@ -98,6 +108,9 @@ impl RunManifest {
             Some(jobs) => invocation.set("jobs", Json::from(jobs)),
             None => invocation.set("jobs", Json::Null),
         };
+        if let Some(jobs) = self.effective_jobs {
+            invocation.set("effective_jobs", Json::from(jobs));
+        }
         root.set("invocation", invocation);
 
         root.set("results", Json::Arr(self.results.clone()));
@@ -193,6 +206,13 @@ pub fn validate_manifest(doc: &Json) -> PacqResult<()> {
         Some(Json::Arr(items)) if items.iter().all(|i| i.as_str().is_some()) => {}
         _ => return fail("`invocation.args` must be an array of strings"),
     }
+    // Optional (added after v1 shipped; extra fields are tolerated, but
+    // when present the type is part of the contract).
+    if let Some(v) = invocation.get("effective_jobs") {
+        if v.as_num().is_none() {
+            return fail("`invocation.effective_jobs` must be numeric when present");
+        }
+    }
     match doc.get("results") {
         Some(Json::Arr(items)) if items.iter().all(Json::is_obj) => {}
         _ => return fail("`results` must be an array of objects"),
@@ -271,6 +291,28 @@ mod tests {
         let back = Json::parse(&doc.render()).expect("parses");
         validate_manifest(&back).expect("round-tripped manifest is schema-valid");
         assert_eq!(doc, back, "render/parse round trip is lossless");
+    }
+
+    #[test]
+    fn effective_jobs_is_optional_but_typed() {
+        // Absent: valid (pre-existing manifests).
+        validate_manifest(&sample().to_json()).unwrap();
+        // Present and numeric: valid, and rendered under `invocation`.
+        let doc = sample().with_effective_jobs(8).to_json();
+        validate_manifest(&doc).unwrap();
+        let v = doc
+            .get("invocation")
+            .and_then(|i| i.get("effective_jobs"))
+            .and_then(Json::as_num);
+        assert_eq!(v, Some(8.0));
+        // Present but non-numeric: rejected.
+        let mut bad = sample().to_json();
+        if let Some(invocation) = bad.get("invocation").cloned() {
+            let mut invocation = invocation;
+            invocation.set("effective_jobs", Json::from("eight"));
+            bad.set("invocation", invocation);
+        }
+        assert!(validate_manifest(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property tests for the content-addressed report cache and the
+//! sharded sweep engine (DESIGN.md §12): a cache hit must be
+//! bit-identical to a fresh computation, a damaged entry must be a miss
+//! (never an error), and shard slices must partition the grid exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pacq::{
+    run_sweep, Architecture, GemmRunner, GemmShape, ReportCache, Shard, SweepJob, SweepPlan,
+    Workload,
+};
+use pacq_fp16::WeightPrecision;
+use proptest::prelude::*;
+
+/// A unique scratch directory per proptest case (cases run concurrently
+/// across test binaries, so the process id alone is not enough).
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "pacq-cache-props-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn any_precision() -> impl Strategy<Value = WeightPrecision> {
+    prop_oneof![Just(WeightPrecision::Int4), Just(WeightPrecision::Int2)]
+}
+
+fn any_arch() -> impl Strategy<Value = Architecture> {
+    prop_oneof![
+        Just(Architecture::StandardDequant),
+        Just(Architecture::PackedK),
+        Just(Architecture::Pacq),
+    ]
+}
+
+/// Ragged shapes included: the zero-padding path must cache exactly
+/// like the aligned one.
+fn any_shape() -> impl Strategy<Value = GemmShape> {
+    (1usize..48, 1usize..96, 1usize..96).prop_map(|(m, n, k)| GemmShape::new(m, n, k))
+}
+
+/// The single cache entry file in `dir`.
+fn entry_file(dir: &std::path::Path) -> std::path::PathBuf {
+    std::fs::read_dir(dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "json"))
+        .expect("exactly one cache entry")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A cache hit returns the same report as a fresh computation, down
+    /// to the bit patterns of the derived floats.
+    #[test]
+    fn cached_reports_are_bit_identical_to_fresh(
+        shape in any_shape(),
+        arch in any_arch(),
+        precision in any_precision(),
+    ) {
+        let dir = scratch_dir("roundtrip");
+        let wl = Workload::new(shape, precision);
+        let fresh = GemmRunner::new().analyze(arch, wl).unwrap();
+
+        let cache = Arc::new(ReportCache::open(&dir).unwrap());
+        let runner = GemmRunner::new().with_cache(Arc::clone(&cache));
+        let miss = runner.analyze(arch, wl).unwrap();
+        let hit = runner.analyze(arch, wl).unwrap();
+
+        prop_assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        prop_assert_eq!(&miss, &fresh);
+        prop_assert_eq!(&hit, &fresh);
+        prop_assert_eq!(hit.latency_s.to_bits(), fresh.latency_s.to_bits());
+        prop_assert_eq!(hit.edp_pj_s.to_bits(), fresh.edp_pj_s.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A truncated or garbage entry is a miss that recomputes and heals
+    /// — never an error, never a wrong answer.
+    #[test]
+    fn damaged_entries_are_misses_that_recompute(
+        cut in 0usize..2048,
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let dir = scratch_dir("damage");
+        let wl = Workload::new(GemmShape::new(16, 64, 64), WeightPrecision::Int4);
+        let cache = Arc::new(ReportCache::open(&dir).unwrap());
+        let runner = GemmRunner::new().with_cache(Arc::clone(&cache));
+        let fresh = runner.analyze(Architecture::Pacq, wl).unwrap();
+
+        let entry = entry_file(&dir);
+        let intact = std::fs::read(&entry).unwrap();
+        // Truncation at an arbitrary byte, then arbitrary garbage: both
+        // classes of damage must degrade to a miss.
+        for damage in [&intact[..cut.min(intact.len())], &garbage[..]] {
+            std::fs::write(&entry, damage).unwrap();
+            let recomputed = runner.analyze(Architecture::Pacq, wl).unwrap();
+            prop_assert_eq!(&recomputed, &fresh);
+        }
+        // The recompute healed the store: the next lookup hits again.
+        let before = cache.hits();
+        let again = runner.analyze(Architecture::Pacq, wl).unwrap();
+        prop_assert_eq!(&again, &fresh);
+        prop_assert_eq!(cache.hits(), before + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `--shard i/N` slices are pairwise disjoint and their union is the
+    /// full grid, for any job count and shard count.
+    #[test]
+    fn shard_slices_partition_any_grid(
+        total in 0usize..500,
+        count in 1usize..16,
+    ) {
+        let mut seen = vec![0u32; total];
+        for index in 1..=count {
+            let shard = Shard { index, count };
+            for (job, hits) in seen.iter_mut().enumerate() {
+                if shard.selects(job) {
+                    *hits += 1;
+                }
+            }
+        }
+        prop_assert!(
+            seen.iter().all(|&h| h == 1),
+            "every job must belong to exactly one shard"
+        );
+    }
+}
+
+/// The partition property holds end-to-end through `run_sweep`: three
+/// shards of the real batch grid execute disjoint job sets whose union
+/// is the full plan.
+#[test]
+fn sweep_shards_reunite_to_the_full_grid() {
+    let plan = SweepPlan::batch_grid(64, 64);
+    let runner = GemmRunner::new();
+    let mut union: Vec<String> = Vec::new();
+    for index in 1..=3 {
+        let out = run_sweep(&runner, &plan, Shard { index, count: 3 }, None).unwrap();
+        assert_eq!(out.tally.selected, out.tally.executed);
+        union.extend(out.rows.iter().map(|r| r.job.id()));
+    }
+    let mut expected: Vec<String> = plan.jobs().iter().map(SweepJob::id).collect();
+    union.sort();
+    expected.sort();
+    assert_eq!(union, expected);
+}
