@@ -1,0 +1,70 @@
+//! Golden-file tests for the figure binaries (ISSUE 5).
+//!
+//! Each fig7–fig12 binary is a pure function of the committed model
+//! constants: no wall-clock lines, no RNG without a fixed seed, no
+//! host-dependent paths. That makes full-stdout pinning viable — any
+//! drift in the simulator, energy model, or formatting shows up as a
+//! readable diff against `tests/golden/figN.txt` instead of a silently
+//! shifted paper claim.
+//!
+//! To regenerate after an *intentional* model change:
+//!
+//! ```text
+//! cargo build -p pacq-bench --bins
+//! for f in fig7 fig8 fig9 fig10 fig11 fig12; do
+//!     ./target/debug/$f > crates/bench/tests/golden/$f.txt
+//! done
+//! ```
+
+use std::process::Command;
+
+/// Runs a figure binary hermetically and compares stdout byte-for-byte
+/// against the committed golden file.
+fn assert_matches_golden(bin: &str, golden: &str) {
+    let output = Command::new(bin)
+        // The worker-count knob must not change output (the parallel
+        // layer is bit-identical at any setting), but a malformed
+        // inherited value would abort the run with a usage error.
+        .env_remove("PACQ_JOBS")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        output.status.success(),
+        "{bin} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("figure stdout is UTF-8");
+    if stdout != golden {
+        // Locate the first diverging line so the failure reads like a
+        // diff hunk, not two 1 KiB blobs.
+        let line = stdout
+            .lines()
+            .zip(golden.lines())
+            .take_while(|(a, b)| a == b)
+            .count();
+        panic!(
+            "{bin}: stdout drifted from golden file at line {}\n  golden: {:?}\n  actual: {:?}\n\
+             (regenerate per the header of crates/bench/tests/golden.rs if intentional)",
+            line + 1,
+            golden.lines().nth(line).unwrap_or("<eof>"),
+            stdout.lines().nth(line).unwrap_or("<eof>"),
+        );
+    }
+}
+
+macro_rules! golden_test {
+    ($name:ident, $bin:literal, $file:literal) => {
+        #[test]
+        fn $name() {
+            assert_matches_golden(env!($bin), include_str!($file));
+        }
+    };
+}
+
+golden_test!(fig7_stdout_is_pinned, "CARGO_BIN_EXE_fig7", "golden/fig7.txt");
+golden_test!(fig8_stdout_is_pinned, "CARGO_BIN_EXE_fig8", "golden/fig8.txt");
+golden_test!(fig9_stdout_is_pinned, "CARGO_BIN_EXE_fig9", "golden/fig9.txt");
+golden_test!(fig10_stdout_is_pinned, "CARGO_BIN_EXE_fig10", "golden/fig10.txt");
+golden_test!(fig11_stdout_is_pinned, "CARGO_BIN_EXE_fig11", "golden/fig11.txt");
+golden_test!(fig12_stdout_is_pinned, "CARGO_BIN_EXE_fig12", "golden/fig12.txt");

@@ -32,7 +32,10 @@ pub const fn arch_token(arch: Architecture) -> &'static str {
     }
 }
 
-fn parse_arch_token(token: &str) -> Option<Architecture> {
+/// Parses an [`arch_token`] back; `None` for anything else (callers
+/// turn that into their own typed error — a corrupt cache entry decodes
+/// as a miss, a malformed serve request as a protocol error).
+pub fn parse_arch_token(token: &str) -> Option<Architecture> {
     match token {
         "std" => Some(Architecture::StandardDequant),
         "packedk" => Some(Architecture::PackedK),
@@ -49,7 +52,8 @@ pub const fn precision_token(precision: WeightPrecision) -> &'static str {
     }
 }
 
-fn parse_precision_token(token: &str) -> Option<WeightPrecision> {
+/// Parses a [`precision_token`] back; `None` for anything else.
+pub fn parse_precision_token(token: &str) -> Option<WeightPrecision> {
     match token {
         "int4" => Some(WeightPrecision::Int4),
         "int2" => Some(WeightPrecision::Int2),

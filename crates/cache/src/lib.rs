@@ -35,7 +35,10 @@ pub mod key;
 pub mod shard;
 pub mod store;
 
-pub use entry::{arch_token, precision_token, CachedReport, ENTRY_SCHEMA};
+pub use entry::{
+    arch_token, parse_arch_token, parse_precision_token, precision_token, CachedReport,
+    ENTRY_SCHEMA,
+};
 pub use key::CacheKey;
 pub use shard::{grid_digest, Shard, SweepCheckpoint, CHECKPOINT_SCHEMA};
 pub use store::{CacheStats, ReportCache, VerifyOutcome};

@@ -34,6 +34,7 @@ USAGE:
   pacq cache stats|clear|verify --dir DIR
   pacq audit
   pacq trace --out trace.json [--arch ...] [--precision ...] [--dup ...] [--width ...]
+  pacq serve (--port N | --stdio) [--queue N]
   pacq help
 
 Every command also accepts --jobs N (worker threads for sweeps and
@@ -58,6 +59,14 @@ diverging counter is reported as a typed error (exit code 7).
 `pacq trace` replays one warp-tile octet cycle-by-cycle and writes a
 Chrome trace_event JSON (open in chrome://tracing or Perfetto; 1 trace
 microsecond = 1 SM cycle).
+
+`pacq serve` runs a long-lived evaluation server speaking the
+newline-delimited JSON protocol pacq-serve/v1 over TCP (--port N;
+--port 0 picks an ephemeral port, announced in the ready frame) or
+over stdin/stdout (--stdio). The worker pool is sized by --jobs /
+PACQ_JOBS; --queue N bounds the pending-request queue (overflow is a
+typed queue_full error frame, exit-code class 8). A `shutdown` frame
+or stdio EOF drains gracefully. See DESIGN.md §13.
 
 EXAMPLES:
   pacq analyze --shape m16n4096k4096 --arch pacq
@@ -174,6 +183,7 @@ fn dispatch(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<Str
         Some("cache") => cache_cmd(&args[1..], cache),
         Some("audit") => audit(&args[1..], cache),
         Some("trace") => trace(&args[1..]),
+        Some("serve") => crate::serve::run_cli(&args[1..], cache.map(Arc::clone)),
         Some(other) => Err(err(format!("unknown command `{other}`"))),
     }
 }
@@ -214,21 +224,8 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
         };
         match flag {
             "--shape" => shape = Some(parse_shape(value("--shape")?)?),
-            "--precision" => {
-                precision = match value("--precision")? {
-                    "int4" | "INT4" => WeightPrecision::Int4,
-                    "int2" | "INT2" => WeightPrecision::Int2,
-                    other => return Err(err(format!("unknown precision `{other}`"))),
-                }
-            }
-            "--arch" => {
-                arch = match value("--arch")? {
-                    "std" | "standard" | "dequant" => Architecture::StandardDequant,
-                    "packedk" | "packed-k" | "pbk" => Architecture::PackedK,
-                    "pacq" => Architecture::Pacq,
-                    other => return Err(err(format!("unknown architecture `{other}`"))),
-                }
-            }
+            "--precision" => precision = parse_precision(value("--precision")?)?,
+            "--arch" => arch = parse_arch(value("--arch")?)?,
             "--group" => group = parse_group(value("--group")?)?,
             "--dup" => {
                 dup = value("--dup")?
@@ -307,7 +304,42 @@ pub fn parse_shape(text: &str) -> PacqResult<GemmShape> {
     GemmShape::try_new(m, n, k)
 }
 
-fn parse_group(text: &str) -> PacqResult<GroupShape> {
+/// Parses an architecture name the way `--arch` does (accepting the
+/// same aliases); shared with `pacq serve` request decoding.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] for an unknown name.
+pub fn parse_arch(text: &str) -> PacqResult<Architecture> {
+    match text {
+        "std" | "standard" | "dequant" => Ok(Architecture::StandardDequant),
+        "packedk" | "packed-k" | "pbk" => Ok(Architecture::PackedK),
+        "pacq" => Ok(Architecture::Pacq),
+        other => Err(err(format!("unknown architecture `{other}`"))),
+    }
+}
+
+/// Parses a weight precision the way `--precision` does; shared with
+/// `pacq serve` request decoding.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] for an unknown name.
+pub fn parse_precision(text: &str) -> PacqResult<WeightPrecision> {
+    match text {
+        "int4" | "INT4" => Ok(WeightPrecision::Int4),
+        "int2" | "INT2" => Ok(WeightPrecision::Int2),
+        other => Err(err(format!("unknown precision `{other}`"))),
+    }
+}
+
+/// Parses a quantization-group name the way `--group` does; shared with
+/// `pacq serve` request decoding.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] for an unknown or zero-sized group.
+pub fn parse_group(text: &str) -> PacqResult<GroupShape> {
     match text {
         "g128" => Ok(GroupShape::G128),
         "g256" => Ok(GroupShape::G256),
@@ -847,7 +879,11 @@ fn report_text(r: &GemmReport) -> String {
     out
 }
 
-fn report_json(r: &GemmReport) -> String {
+/// The `--json` rendering of one report (human-oriented: floats are
+/// rounded for reading; the lossless wire form is the cache entry /
+/// serve reply codec, `CachedReport::to_json`). Public so the serve
+/// conformance suite can pin the one-shot CLI path against it.
+pub fn report_json(r: &GemmReport) -> String {
     // Hand-rolled JSON keeps the dependency set minimal; all values are
     // numbers or simple strings, so no escaping is needed.
     format!(

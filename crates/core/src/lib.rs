@@ -60,10 +60,12 @@ pub mod par;
 pub mod report;
 pub mod roofline;
 pub mod runner;
+pub mod serve;
 pub mod sweep;
 
 pub use report::{Comparison, GemmReport};
 pub use runner::GemmRunner;
+pub use serve::{ServeOptions, ServeSummary, Server};
 pub use sweep::{run_sweep, SweepJob, SweepOutcome, SweepPlan, SweepRow, SweepTally};
 
 // The result-cache and sharding layer (`--cache`, `--shard`,

@@ -43,6 +43,32 @@ impl GemmReport {
         self.stats.rf.total_accesses() as f64 / other.stats.rf.total_accesses() as f64
     }
 
+    /// Converts to the cache/serve vocabulary type ([`CachedReport`] is
+    /// the same data one crate down, so both the on-disk `pacq-cache/v1`
+    /// entry and the `pacq-serve/v1` reply share one lossless codec).
+    pub fn to_cached(&self) -> pacq_cache::CachedReport {
+        pacq_cache::CachedReport {
+            arch: self.arch,
+            workload: self.workload,
+            stats: self.stats,
+            energy: self.energy,
+            latency_s: self.latency_s,
+            edp_pj_s: self.edp_pj_s,
+        }
+    }
+
+    /// The inverse of [`GemmReport::to_cached`].
+    pub fn from_cached(cached: pacq_cache::CachedReport) -> GemmReport {
+        GemmReport {
+            arch: cached.arch,
+            workload: cached.workload,
+            stats: cached.stats,
+            energy: cached.energy,
+            latency_s: cached.latency_s,
+            edp_pj_s: cached.edp_pj_s,
+        }
+    }
+
     /// Internal-consistency audit of this report (DESIGN.md §11).
     ///
     /// Promotes the invariants historically pinned only in unit tests to

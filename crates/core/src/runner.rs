@@ -118,7 +118,7 @@ impl GemmRunner {
                     Some(report) => report,
                     None => {
                         let fresh = self.price(arch, workload)?;
-                        cache.put_degraded(&key, &Self::to_cached(&fresh));
+                        cache.put_degraded(&key, &fresh.to_cached());
                         fresh
                     }
                 }
@@ -180,30 +180,12 @@ impl GemmRunner {
     /// invariants in debug builds — a tampered entry must degrade to a
     /// recompute, never an error exit.
     fn accept_hit(hit: CachedReport) -> Option<GemmReport> {
-        let report = GemmReport {
-            arch: hit.arch,
-            workload: hit.workload,
-            stats: hit.stats,
-            energy: hit.energy,
-            latency_s: hit.latency_s,
-            edp_pj_s: hit.edp_pj_s,
-        };
+        let report = GemmReport::from_cached(hit);
         #[cfg(debug_assertions)]
         if report.check_invariants().is_err() {
             return None;
         }
         Some(report)
-    }
-
-    fn to_cached(report: &GemmReport) -> CachedReport {
-        CachedReport {
-            arch: report.arch,
-            workload: report.workload,
-            stats: report.stats,
-            energy: report.energy,
-            latency_s: report.latency_s,
-            edp_pj_s: report.edp_pj_s,
-        }
     }
 
     /// Analyzes every `(architecture, workload)` sweep point on the

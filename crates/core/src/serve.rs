@@ -1,0 +1,1210 @@
+//! `pacq serve` — the long-lived concurrent evaluation server
+//! (DESIGN.md §13).
+//!
+//! The server speaks **`pacq-serve/v1`**: newline-delimited JSON frames
+//! over TCP (`--port N`; `--port 0` binds an ephemeral port announced
+//! in the ready frame) or over stdin/stdout (`--stdio`). Every frame is
+//! one line; every reply echoes the request's `id` so clients may
+//! pipeline (replies are **not** ordered across requests — a batch may
+//! finish after a later ping).
+//!
+//! Design rules, in the order they bite:
+//!
+//! - **Never a panic, never a dropped bystander.** A malformed frame
+//!   (bad JSON, unknown `op`, wrong field type, oversized line) is
+//!   answered with a typed [`PacqError`] frame on the same connection;
+//!   other connections never notice.
+//! - **Bounded queue, explicit backpressure.** Work requests pass
+//!   through a `sync_channel` of capacity `--queue`; when it is full
+//!   the client gets a `queue_full` error frame (exit-code class 8)
+//!   instead of the server growing without bound.
+//! - **One lossless codec.** Replies embed reports in the
+//!   `pacq-cache/v1` entry encoding (u64 counters as decimal strings,
+//!   floats as shortest-round-trip numbers), so a served report is
+//!   bit-identical to an in-process [`GemmRunner::analyze`] — the
+//!   property `tests/serve_conformance.rs` pins.
+//! - **Graceful drain, no signals.** The workspace forbids `unsafe`,
+//!   so a SIGTERM handler is out of reach; instead a `shutdown` frame
+//!   (or stdin EOF in `--stdio` mode) drains: queued requests finish,
+//!   replies flush, then the server exits. Supervisors should send the
+//!   frame (or close stdin) rather than SIGKILL.
+
+use crate::cli;
+use crate::runner::GemmRunner;
+use pacq_cache::ReportCache;
+use pacq_error::{PacqError, PacqResult};
+use pacq_fp16::WeightPrecision;
+use pacq_quant::GroupShape;
+use pacq_simt::{Architecture, SmConfig, Workload};
+use pacq_trace::Json;
+use rayon::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+
+/// The protocol identifier stamped into every frame the server emits.
+pub const PROTOCOL: &str = "pacq-serve/v1";
+
+/// Hard cap on one frame line, newline included. Longer lines are
+/// answered with a typed protocol error and skipped (the connection
+/// survives); the reader never buffers more than this per line.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Hard cap on the number of points in one `batch` frame.
+pub const MAX_BATCH_POINTS: usize = 4096;
+
+/// Default `--queue` capacity (pending work requests).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Serve-layer tuning knobs (queue capacity and worker count).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Bounded request-queue capacity; overflow is a `queue_full` frame.
+    pub queue_capacity: usize,
+    /// Worker threads computing replies. The CLI sizes this from the
+    /// shared `--jobs` validator (`par.rs`), so `--jobs`/`PACQ_JOBS`
+    /// govern the server exactly like every batch command.
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            workers: rayon::current_num_threads().max(1),
+        }
+    }
+}
+
+/// What a server run did, for the CLI summary line and the manifest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Frames answered `ok: true` (analyze, batch, stats, ping,
+    /// shutdown acks).
+    pub served: u64,
+    /// Typed error frames sent (malformed frames, queue overflow,
+    /// simulator errors).
+    pub errors: u64,
+}
+
+/// One fully-validated evaluation point (the serve-side mirror of the
+/// CLI's per-command options).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Point {
+    arch: Architecture,
+    workload: Workload,
+    group: GroupShape,
+    dup: usize,
+    width: usize,
+}
+
+/// A partially-specified point: `batch` frames carry frame-level
+/// defaults that entries override; `shape` has no default.
+#[derive(Debug, Clone, Copy)]
+struct PointSpec {
+    shape: Option<pacq_simt::GemmShape>,
+    arch: Architecture,
+    precision: WeightPrecision,
+    group: GroupShape,
+    dup: usize,
+    width: usize,
+}
+
+impl PointSpec {
+    /// The CLI's defaults: PacQ architecture, INT4, `g128`, `--dup 2`,
+    /// `--width 4`.
+    fn base() -> PointSpec {
+        PointSpec {
+            shape: None,
+            arch: Architecture::Pacq,
+            precision: WeightPrecision::Int4,
+            group: GroupShape::G128,
+            dup: 2,
+            width: 4,
+        }
+    }
+
+    fn into_point(self) -> PacqResult<Point> {
+        let shape = self
+            .shape
+            .ok_or_else(|| PacqError::usage("`shape` is required (e.g. \"m16n4096k4096\")"))?;
+        Ok(Point {
+            arch: self.arch,
+            workload: Workload::new(shape, self.precision),
+            group: self.group,
+            dup: self.dup,
+            width: self.width,
+        })
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+enum Request {
+    Analyze(Point),
+    Batch(Vec<Point>),
+    Stats,
+    Ping,
+    Shutdown,
+}
+
+/// One unit of queued work: the request, the id to echo, and the
+/// originating connection's reply channel.
+struct Job {
+    request: Request,
+    id: Json,
+    reply: mpsc::Sender<String>,
+}
+
+/// Shared server state: the bounded queue, the counters the `stats`
+/// endpoint reports, and the handles drain needs.
+struct ServerState {
+    /// `Some` while accepting work; drain takes it so workers finish
+    /// the backlog and exit.
+    queue: Mutex<Option<SyncSender<Job>>>,
+    draining: AtomicBool,
+    served: AtomicU64,
+    errors: AtomicU64,
+    depth: AtomicUsize,
+    options: ServeOptions,
+    cache: Option<Arc<ReportCache>>,
+    /// Read-half clones of live TCP connections, so drain can unblock
+    /// idle readers. Empty in `--stdio` mode.
+    conns: Mutex<Vec<TcpStream>>,
+    /// The bound address (TCP mode), for the drain wake-up connection.
+    addr: Option<SocketAddr>,
+}
+
+/// Locks ignoring poisoning: every structure behind these mutexes is
+/// valid at all times (a queue handle, a socket list), so a panicking
+/// writer cannot leave a broken invariant behind.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl ServerState {
+    fn new(
+        options: ServeOptions,
+        cache: Option<Arc<ReportCache>>,
+        addr: Option<SocketAddr>,
+    ) -> (Arc<ServerState>, Receiver<Job>) {
+        let (tx, rx) = mpsc::sync_channel(options.queue_capacity);
+        let state = ServerState {
+            queue: Mutex::new(Some(tx)),
+            draining: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+            options,
+            cache,
+            conns: Mutex::new(Vec::new()),
+            addr,
+        };
+        (Arc::new(state), rx)
+    }
+
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            served: self.served.load(Ordering::SeqCst),
+            errors: self.errors.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Initiates the graceful drain (idempotent): stop accepting work,
+    /// let queued jobs finish, unblock idle readers and the acceptor.
+    fn drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Dropping the only sender lets workers finish the buffered
+        // backlog, then exit on the disconnect.
+        *lock(&self.queue) = None;
+        // Unblock the accept loop (it re-checks the flag per accept).
+        if let Some(addr) = self.addr {
+            drop(TcpStream::connect(addr));
+        }
+        // EOF every connection's reader; pending replies still flush
+        // through the write halves.
+        for conn in lock(&self.conns).iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+fn base_frame(id: &Json) -> Json {
+    let mut frame = Json::object();
+    frame.set("schema", PROTOCOL);
+    frame.set("id", id.clone());
+    frame
+}
+
+fn ok_frame(id: &Json) -> Json {
+    let mut frame = base_frame(id);
+    frame.set("ok", true);
+    frame
+}
+
+fn error_frame(id: &Json, error: &PacqError) -> Json {
+    let mut detail = Json::object();
+    detail.set("class", error.class());
+    detail.set("exit_code", u64::from(error.exit_code()));
+    detail.set("message", error.to_string());
+    let mut frame = base_frame(id);
+    frame.set("ok", false);
+    frame.set("error", detail);
+    frame
+}
+
+fn stats_frame(id: &Json, state: &ServerState) -> Json {
+    let mut stats = Json::object();
+    // u64 counters travel as decimal strings, like every other pacq
+    // wire format (see crates/cache/src/entry.rs).
+    stats.set("served", state.served.load(Ordering::SeqCst).to_string());
+    stats.set("errors", state.errors.load(Ordering::SeqCst).to_string());
+    stats.set(
+        "queue_depth",
+        state.depth.load(Ordering::SeqCst).to_string(),
+    );
+    stats.set(
+        "queue_capacity",
+        state.options.queue_capacity.to_string(),
+    );
+    stats.set("workers", state.options.workers.to_string());
+    match &state.cache {
+        Some(cache) => {
+            stats.set("cache_attached", true);
+            stats.set("cache_hits", cache.hits().to_string());
+            stats.set("cache_misses", cache.misses().to_string());
+        }
+        None => {
+            stats.set("cache_attached", false);
+            stats.set("cache_hits", "0");
+            stats.set("cache_misses", "0");
+        }
+    }
+    let mut frame = ok_frame(id);
+    frame.set("stats", stats);
+    frame
+}
+
+/// Sends one reply frame, bumping the served/error counter.
+fn send(state: &ServerState, tx: &mpsc::Sender<String>, frame: Json, is_error: bool) {
+    if is_error {
+        state.errors.fetch_add(1, Ordering::SeqCst);
+    } else {
+        state.served.fetch_add(1, Ordering::SeqCst);
+    }
+    // A closed connection just drops the reply; the counters still
+    // reflect that the request was answered.
+    let _ = tx.send(frame.render_line());
+}
+
+// ---------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------
+
+fn proto(message: impl Into<String>) -> PacqError {
+    PacqError::protocol("serve::frame", message)
+}
+
+/// Rejects unknown fields so typos surface as typed errors instead of
+/// silently applying defaults.
+fn check_keys(doc: &Json, allowed: &[&str]) -> PacqResult<()> {
+    if let Json::Obj(entries) = doc {
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(proto(format!("unknown field `{key}`")));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn field_str<'a>(doc: &'a Json, field: &str) -> PacqResult<Option<&'a str>> {
+    match doc.get(field) {
+        None => Ok(None),
+        Some(value) => value
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| proto(format!("field `{field}` must be a string"))),
+    }
+}
+
+fn field_usize(doc: &Json, field: &str) -> PacqResult<Option<usize>> {
+    match doc.get(field) {
+        None => Ok(None),
+        Some(value) => {
+            let n = value
+                .as_num()
+                .ok_or_else(|| proto(format!("field `{field}` must be a number")))?;
+            if n.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&n) {
+                return Err(proto(format!("field `{field}` must be a small integer")));
+            }
+            Ok(Some(n as usize))
+        }
+    }
+}
+
+/// Applies the point-shaping fields of `doc` on top of `base`
+/// (analyze frames, batch frame-level defaults, and batch entries all
+/// share this).
+fn parse_spec(doc: &Json, base: PointSpec) -> PacqResult<PointSpec> {
+    let mut spec = base;
+    if let Some(text) = field_str(doc, "shape")? {
+        spec.shape = Some(cli::parse_shape(text)?);
+    }
+    if let Some(text) = field_str(doc, "arch")? {
+        spec.arch = cli::parse_arch(text)?;
+    }
+    if let Some(text) = field_str(doc, "precision")? {
+        spec.precision = cli::parse_precision(text)?;
+    }
+    if let Some(text) = field_str(doc, "group")? {
+        spec.group = cli::parse_group(text)?;
+    }
+    if let Some(dup) = field_usize(doc, "dup")? {
+        if !matches!(dup, 1 | 2 | 4) {
+            return Err(PacqError::usage("`dup` expects 1, 2 or 4"));
+        }
+        spec.dup = dup;
+    }
+    if let Some(width) = field_usize(doc, "width")? {
+        if !matches!(width, 4 | 8 | 16) {
+            return Err(PacqError::usage("`width` expects 4, 8 or 16"));
+        }
+        spec.width = width;
+    }
+    Ok(spec)
+}
+
+const POINT_KEYS: [&str; 6] = ["shape", "arch", "precision", "group", "dup", "width"];
+
+fn parse_request(doc: &Json) -> PacqResult<Request> {
+    let op = doc
+        .get("op")
+        .ok_or_else(|| proto("missing field `op`"))?
+        .as_str()
+        .ok_or_else(|| proto("field `op` must be a string"))?;
+    match op {
+        "analyze" => {
+            check_keys(
+                doc,
+                &["op", "id", "shape", "arch", "precision", "group", "dup", "width"],
+            )?;
+            let spec = parse_spec(doc, PointSpec::base())?;
+            Ok(Request::Analyze(spec.into_point()?))
+        }
+        "batch" => {
+            check_keys(
+                doc,
+                &[
+                    "op",
+                    "id",
+                    "requests",
+                    "arch",
+                    "precision",
+                    "group",
+                    "dup",
+                    "width",
+                ],
+            )?;
+            let defaults = parse_spec(doc, PointSpec::base())?;
+            let entries = doc
+                .get("requests")
+                .ok_or_else(|| proto("batch wants an array field `requests`"))?
+                .as_arr()
+                .ok_or_else(|| proto("field `requests` must be an array"))?;
+            if entries.len() > MAX_BATCH_POINTS {
+                return Err(proto(format!(
+                    "batch of {} points exceeds the {MAX_BATCH_POINTS}-point cap",
+                    entries.len()
+                )));
+            }
+            let mut points = Vec::with_capacity(entries.len());
+            for entry in entries {
+                if !entry.is_obj() {
+                    return Err(proto("every `requests` entry must be a JSON object"));
+                }
+                check_keys(entry, &POINT_KEYS)?;
+                points.push(parse_spec(entry, defaults)?.into_point()?);
+            }
+            Ok(Request::Batch(points))
+        }
+        "stats" => {
+            check_keys(doc, &["op", "id"])?;
+            Ok(Request::Stats)
+        }
+        "ping" => {
+            check_keys(doc, &["op", "id"])?;
+            Ok(Request::Ping)
+        }
+        "shutdown" => {
+            check_keys(doc, &["op", "id"])?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(proto(format!("unknown op `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request execution (worker side)
+// ---------------------------------------------------------------------
+
+fn point_runner(point: &Point, cache: Option<Arc<ReportCache>>) -> GemmRunner {
+    let mut cfg = SmConfig::volta_like();
+    cfg.adder_tree_duplication = point.dup;
+    cfg.dp_width = point.width;
+    GemmRunner::new()
+        .with_config(cfg)
+        .with_group(point.group)
+        .with_cache_opt(cache)
+}
+
+/// Analyzes one point and renders its report in the lossless
+/// `pacq-cache/v1` encoding (the conformance contract).
+fn point_report_json(point: &Point, cache: Option<Arc<ReportCache>>) -> PacqResult<Json> {
+    let runner = point_runner(point, cache);
+    let report = runner.analyze(point.arch, point.workload)?;
+    let key = runner.cache_key(point.arch, point.workload);
+    Ok(report.to_cached().to_json(&key))
+}
+
+fn execute_request(request: &Request, state: &ServerState, id: &Json) -> PacqResult<Json> {
+    match request {
+        Request::Analyze(point) => {
+            let mut frame = ok_frame(id);
+            frame.set("report", point_report_json(point, state.cache.clone())?);
+            Ok(frame)
+        }
+        Request::Batch(points) => {
+            // Dedup identical points so one batch never computes (or
+            // even cache-probes) the same point twice, then fan the
+            // unique points out on the shared worker pool (par.rs).
+            let mut unique: Vec<Point> = Vec::new();
+            let mut slot = Vec::with_capacity(points.len());
+            for point in points {
+                match unique.iter().position(|u| u == point) {
+                    Some(i) => slot.push(i),
+                    None => {
+                        slot.push(unique.len());
+                        unique.push(*point);
+                    }
+                }
+            }
+            let computed = unique
+                .clone()
+                .into_par_iter()
+                .map(|p| point_report_json(&p, state.cache.clone()))
+                .collect::<Vec<PacqResult<Json>>>()
+                .into_iter()
+                .collect::<PacqResult<Vec<Json>>>()?;
+            let mut reports = Vec::with_capacity(slot.len());
+            for i in slot {
+                let doc = computed
+                    .get(i)
+                    .ok_or_else(|| proto("internal: batch slot out of range"))?;
+                reports.push(doc.clone());
+            }
+            let mut frame = ok_frame(id);
+            frame.set("reports", Json::Arr(reports));
+            frame.set("unique_points", unique.len().to_string());
+            Ok(frame)
+        }
+        // Stats/ping/shutdown are answered by the reader; they never
+        // reach the queue.
+        Request::Stats | Request::Ping | Request::Shutdown => {
+            Err(proto("internal: control op routed to a worker"))
+        }
+    }
+}
+
+fn worker_loop(jobs: &Arc<Mutex<Receiver<Job>>>, state: &Arc<ServerState>) {
+    loop {
+        // Holding the lock while blocked in recv serializes job
+        // *pickup* only; execution runs after the guard drops.
+        let job = match lock(jobs).recv() {
+            Ok(job) => job,
+            Err(_) => break, // queue closed and drained
+        };
+        state.depth.fetch_sub(1, Ordering::SeqCst);
+        match execute_request(&job.request, state, &job.id) {
+            Ok(frame) => send(state, &job.reply, frame, false),
+            Err(e) => send(state, &job.reply, error_frame(&job.id, &e), true),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling (reader/writer side)
+// ---------------------------------------------------------------------
+
+fn writer_loop<W: Write>(rx: Receiver<String>, mut out: W) {
+    for line in rx {
+        let ok = out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .and_then(|()| out.flush());
+        if ok.is_err() {
+            break; // client gone; senders see a closed channel
+        }
+    }
+}
+
+enum FrameRead {
+    Eof,
+    Line,
+    Oversized,
+}
+
+/// Reads one frame line with a hard byte cap; an over-cap line is
+/// consumed to its newline so the connection can continue.
+fn read_frame<R: BufRead>(reader: &mut R, line: &mut String) -> std::io::Result<FrameRead> {
+    line.clear();
+    let n = reader
+        .by_ref()
+        .take(MAX_FRAME_BYTES as u64 + 1)
+        .read_line(line)?;
+    if n == 0 {
+        return Ok(FrameRead::Eof);
+    }
+    if n > MAX_FRAME_BYTES {
+        if !line.ends_with('\n') {
+            skip_to_newline(reader)?;
+        }
+        return Ok(FrameRead::Oversized);
+    }
+    Ok(FrameRead::Line)
+}
+
+fn skip_to_newline<R: BufRead>(reader: &mut R) -> std::io::Result<()> {
+    loop {
+        let (done, used) = {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                return Ok(()); // EOF mid-line
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => (true, pos + 1),
+                None => (false, buf.len()),
+            }
+        };
+        reader.consume(used);
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+/// Handles one parsed-or-not frame line. Returns `false` when the
+/// connection should stop reading (shutdown frame).
+fn handle_line(text: &str, state: &Arc<ServerState>, tx: &mpsc::Sender<String>) -> bool {
+    let text = text.trim();
+    if text.is_empty() {
+        return true; // blank keep-alive lines are fine
+    }
+    let doc = match Json::parse(text) {
+        Ok(doc) if doc.is_obj() => doc,
+        Ok(_) => {
+            let e = proto("frame must be a JSON object");
+            send(state, tx, error_frame(&Json::Null, &e), true);
+            return true;
+        }
+        Err(e) => {
+            let e = proto(format!("frame is not valid JSON: {e}"));
+            send(state, tx, error_frame(&Json::Null, &e), true);
+            return true;
+        }
+    };
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    match parse_request(&doc) {
+        Ok(Request::Stats) => send(state, tx, stats_frame(&id, state), false),
+        Ok(Request::Ping) => {
+            let mut frame = ok_frame(&id);
+            frame.set("pong", true);
+            send(state, tx, frame, false);
+        }
+        Ok(Request::Shutdown) => {
+            let mut frame = ok_frame(&id);
+            frame.set("draining", true);
+            send(state, tx, frame, false);
+            state.drain();
+            return false;
+        }
+        Ok(request) => enqueue(state, tx, request, id),
+        Err(e) => send(state, tx, error_frame(&id, &e), true),
+    }
+    true
+}
+
+fn enqueue(state: &Arc<ServerState>, tx: &mpsc::Sender<String>, request: Request, id: Json) {
+    let guard = lock(&state.queue);
+    let Some(queue) = guard.as_ref() else {
+        let e = proto("server is draining; no new work accepted");
+        send(state, tx, error_frame(&id, &e), true);
+        return;
+    };
+    let job = Job {
+        request,
+        id,
+        reply: tx.clone(),
+    };
+    match queue.try_send(job) {
+        Ok(()) => {
+            state.depth.fetch_add(1, Ordering::SeqCst);
+        }
+        Err(TrySendError::Full(job)) => {
+            let e = PacqError::QueueFull {
+                capacity: state.options.queue_capacity,
+            };
+            send(state, tx, error_frame(&job.id, &e), true);
+        }
+        Err(TrySendError::Disconnected(job)) => {
+            let e = proto("server is draining; no new work accepted");
+            send(state, tx, error_frame(&job.id, &e), true);
+        }
+    }
+}
+
+fn reader_loop<R: BufRead>(mut reader: R, state: &Arc<ServerState>, tx: &mpsc::Sender<String>) {
+    let mut line = String::new();
+    loop {
+        match read_frame(&mut reader, &mut line) {
+            Ok(FrameRead::Eof) => break,
+            Ok(FrameRead::Oversized) => {
+                let e = proto(format!(
+                    "frame exceeds the {MAX_FRAME_BYTES}-byte line cap"
+                ));
+                send(state, tx, error_frame(&Json::Null, &e), true);
+            }
+            Ok(FrameRead::Line) => {
+                if !handle_line(&line, state, tx) {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Undecodable bytes (e.g. non-UTF-8): answer once and
+                // close this connection; everyone else is unaffected.
+                let e = proto(format!("unreadable frame: {e}"));
+                send(state, tx, error_frame(&Json::Null, &e), true);
+                break;
+            }
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, state: Arc<ServerState>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    if let Ok(drain_handle) = stream.try_clone() {
+        lock(&state.conns).push(drain_handle);
+    }
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = thread::spawn(move || writer_loop(rx, stream));
+    reader_loop(BufReader::new(read_half), &state, &tx);
+    // Reader done: drop our sender; the writer exits once every queued
+    // job's reply clone is dropped too, then the socket closes.
+    drop(tx);
+    let _ = writer.join();
+}
+
+// ---------------------------------------------------------------------
+// Server lifecycles
+// ---------------------------------------------------------------------
+
+/// A running TCP server. Bind with [`Server::bind`], drive clients at
+/// [`Server::addr`], stop with a `shutdown` frame or
+/// [`Server::shutdown`], then [`Server::wait`].
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    thread: thread::JoinHandle<ServeSummary>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port) and starts the
+    /// accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Io`] when the address cannot be bound.
+    pub fn bind(
+        addr: &str,
+        options: ServeOptions,
+        cache: Option<Arc<ReportCache>>,
+    ) -> PacqResult<Server> {
+        let io_err = |e: std::io::Error| PacqError::Io {
+            context: "serve::bind",
+            message: e.to_string(),
+        };
+        let listener = TcpListener::bind(addr).map_err(io_err)?;
+        let local = listener.local_addr().map_err(io_err)?;
+        let (state, jobs) = ServerState::new(options, cache, Some(local));
+        let jobs = Arc::new(Mutex::new(jobs));
+        let mut workers = Vec::with_capacity(options.workers);
+        for _ in 0..options.workers {
+            let jobs = Arc::clone(&jobs);
+            let state = Arc::clone(&state);
+            workers.push(thread::spawn(move || worker_loop(&jobs, &state)));
+        }
+        let accept_state = Arc::clone(&state);
+        let thread = thread::spawn(move || {
+            let mut conns = Vec::new();
+            for stream in listener.incoming() {
+                if accept_state.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else {
+                    continue; // transient accept error
+                };
+                let conn_state = Arc::clone(&accept_state);
+                conns.push(thread::spawn(move || handle_conn(stream, conn_state)));
+            }
+            drop(listener);
+            // Belt and braces for externally-triggered shutdowns: drain
+            // is idempotent, and every reader must see EOF before join.
+            accept_state.drain();
+            for conn in conns {
+                let _ = conn.join();
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+            accept_state.summary()
+        });
+        Ok(Server {
+            state,
+            addr: local,
+            thread,
+        })
+    }
+
+    /// The bound address (useful after `--port 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers the graceful drain from outside the protocol (the
+    /// in-process equivalent of a `shutdown` frame).
+    pub fn shutdown(&self) {
+        self.state.drain();
+    }
+
+    /// Waits for the drain to complete and returns the run's counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol-class error if the server thread died — which
+    /// the never-panic design rules out, but the join result must go
+    /// somewhere honest.
+    pub fn wait(self) -> PacqResult<ServeSummary> {
+        self.thread
+            .join()
+            .map_err(|_| PacqError::protocol("serve::wait", "server thread panicked"))
+    }
+
+    /// The frame announced on stdout when the server is ready.
+    fn ready_frame(&self) -> Json {
+        let mut frame = Json::object();
+        frame.set("schema", PROTOCOL);
+        frame.set("event", "ready");
+        frame.set("addr", self.addr.to_string());
+        frame.set("workers", self.state.options.workers.to_string());
+        frame.set(
+            "queue_capacity",
+            self.state.options.queue_capacity.to_string(),
+        );
+        frame
+    }
+}
+
+/// Serves `pacq-serve/v1` over stdin/stdout until EOF or a `shutdown`
+/// frame, then drains and returns the counters.
+///
+/// # Errors
+///
+/// Infallible today (the signature leaves room for future I/O setup
+/// errors); client-visible failures travel as error frames instead.
+pub fn serve_stdio(
+    options: ServeOptions,
+    cache: Option<Arc<ReportCache>>,
+) -> PacqResult<ServeSummary> {
+    let (state, jobs) = ServerState::new(options, cache, None);
+    let jobs = Arc::new(Mutex::new(jobs));
+    let mut workers = Vec::with_capacity(options.workers);
+    for _ in 0..options.workers {
+        let jobs = Arc::clone(&jobs);
+        let state = Arc::clone(&state);
+        workers.push(thread::spawn(move || worker_loop(&jobs, &state)));
+    }
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = thread::spawn(move || writer_loop(rx, std::io::stdout().lock()));
+
+    let mut ready = Json::object();
+    ready.set("schema", PROTOCOL);
+    ready.set("event", "ready");
+    ready.set("workers", options.workers.to_string());
+    ready.set("queue_capacity", options.queue_capacity.to_string());
+    let _ = tx.send(ready.render_line());
+
+    reader_loop(std::io::stdin().lock(), &state, &tx);
+    state.drain();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let summary = state.summary();
+    let mut drained = Json::object();
+    drained.set("schema", PROTOCOL);
+    drained.set("event", "drained");
+    drained.set("served", summary.served.to_string());
+    drained.set("errors", summary.errors.to_string());
+    let _ = tx.send(drained.render_line());
+    drop(tx);
+    let _ = writer.join();
+    Ok(summary)
+}
+
+// ---------------------------------------------------------------------
+// CLI entry point
+// ---------------------------------------------------------------------
+
+/// `pacq serve (--port N | --stdio) [--queue N]` — parses the serve
+/// flags and runs the matching lifecycle until drained.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] for flag errors and [`PacqError::Io`]
+/// when the TCP port cannot be bound.
+pub fn run_cli(args: &[String], cache: Option<Arc<ReportCache>>) -> PacqResult<String> {
+    let usage = |msg: &str| PacqError::usage(msg.to_string());
+    let mut port: Option<u16> = None;
+    let mut stdio = false;
+    let mut queue_capacity = DEFAULT_QUEUE_CAPACITY;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> PacqResult<&str> {
+            it.next()
+                .ok_or_else(|| PacqError::usage(format!("missing value for {name}")))
+        };
+        match flag {
+            "--port" => {
+                port = Some(
+                    value("--port")?
+                        .parse()
+                        .map_err(|_| usage("--port expects 0..65535"))?,
+                )
+            }
+            "--stdio" => stdio = true,
+            "--queue" => {
+                queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| usage("--queue expects a positive request count"))?;
+                if queue_capacity == 0 {
+                    return Err(usage("--queue expects a positive request count"));
+                }
+            }
+            other => return Err(PacqError::usage(format!("unknown serve option `{other}`"))),
+        }
+    }
+    let options = ServeOptions {
+        queue_capacity,
+        ..ServeOptions::default()
+    };
+    let summary = match (port, stdio) {
+        (Some(_), true) => return Err(usage("--port and --stdio are mutually exclusive")),
+        (None, false) => return Err(usage("serve wants --port N or --stdio")),
+        (None, true) => serve_stdio(options, cache.clone())?,
+        (Some(port), false) => {
+            let server = Server::bind(&format!("127.0.0.1:{port}"), options, cache.clone())?;
+            // Announce readiness immediately — with --port 0 the client
+            // cannot know the port any other way.
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "{}", server.ready_frame().render_line());
+            let _ = stdout.flush();
+            server.wait()?
+        }
+    };
+    pacq_trace::add_counter("serve.served", summary.served);
+    pacq_trace::add_counter("serve.errors", summary.errors);
+    if let Some(cache) = &cache {
+        pacq_trace::add_counter("serve.cache_hits", cache.hits());
+        pacq_trace::add_counter("serve.cache_misses", cache.misses());
+    }
+    if stdio {
+        // Stdout is the protocol channel; the summary already went out
+        // as the `drained` event frame.
+        Ok(String::new())
+    } else {
+        Ok(format!(
+            "serve: {} replies ({} errors)\n",
+            summary.served, summary.errors
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> PacqResult<Request> {
+        parse_request(&Json::parse(text).expect("test frame parses"))
+    }
+
+    #[test]
+    fn analyze_frames_parse_with_cli_defaults() {
+        let req = parse(r#"{"op":"analyze","id":1,"shape":"m16n256k256"}"#).unwrap();
+        let Request::Analyze(p) = req else {
+            panic!("not analyze")
+        };
+        assert_eq!(p.arch, Architecture::Pacq);
+        assert_eq!(p.workload.precision, WeightPrecision::Int4);
+        assert_eq!((p.dup, p.width), (2, 4));
+        assert_eq!(p.group, GroupShape::G128);
+    }
+
+    #[test]
+    fn field_overrides_match_the_cli_vocabulary() {
+        let req = parse(
+            r#"{"op":"analyze","shape":"m32n256k256","arch":"std","precision":"int2","group":"g64","dup":4,"width":8}"#,
+        )
+        .unwrap();
+        let Request::Analyze(p) = req else {
+            panic!("not analyze")
+        };
+        assert_eq!(p.arch, Architecture::StandardDequant);
+        assert_eq!(p.workload.precision, WeightPrecision::Int2);
+        assert_eq!((p.dup, p.width), (4, 8));
+        assert_eq!(p.group, GroupShape::along_k(64));
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_protocol_or_usage_errors() {
+        for (frame, class) in [
+            (r#"{"id":1}"#, "protocol"),                        // missing op
+            (r#"{"op":7}"#, "protocol"),                        // non-string op
+            (r#"{"op":"frobnicate"}"#, "protocol"),             // unknown op
+            (r#"{"op":"analyze"}"#, "usage"),                   // missing shape
+            (r#"{"op":"analyze","shape":5}"#, "protocol"),      // wrong type
+            (r#"{"op":"analyze","shape":"m1n1k1"}"#, "usage"),  // misaligned
+            (r#"{"op":"analyze","shape":"m16n16k16","dup":3}"#, "usage"),
+            (r#"{"op":"analyze","shape":"m16n16k16","bogus":1}"#, "protocol"),
+            (r#"{"op":"stats","shape":"m16n16k16"}"#, "protocol"), // stray field
+            (r#"{"op":"batch"}"#, "protocol"),                  // missing requests
+            (r#"{"op":"batch","requests":[3]}"#, "protocol"),   // non-object entry
+        ] {
+            let err = parse(frame).unwrap_err();
+            assert_eq!(err.class(), class, "{frame}: {err}");
+        }
+    }
+
+    #[test]
+    fn batch_defaults_flow_into_entries() {
+        let req = parse(
+            r#"{"op":"batch","precision":"int2","dup":4,
+                "requests":[{"shape":"m16n256k256"},{"shape":"m32n256k256","precision":"int4"}]}"#,
+        )
+        .unwrap();
+        let Request::Batch(points) = req else {
+            panic!("not batch")
+        };
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].workload.precision, WeightPrecision::Int2);
+        assert_eq!(points[0].dup, 4);
+        assert_eq!(points[1].workload.precision, WeightPrecision::Int4);
+        assert_eq!(points[1].dup, 4);
+    }
+
+    /// Drives a full server lifecycle through the generic reader/writer
+    /// plumbing without a socket: requests in a cursor, replies from
+    /// the channel.
+    fn drive(input: &str, options: ServeOptions) -> (Vec<Json>, ServeSummary) {
+        let (state, jobs) = ServerState::new(options, None, None);
+        let jobs = Arc::new(Mutex::new(jobs));
+        let mut workers = Vec::new();
+        for _ in 0..options.workers {
+            let jobs = Arc::clone(&jobs);
+            let state = Arc::clone(&state);
+            workers.push(thread::spawn(move || worker_loop(&jobs, &state)));
+        }
+        let (tx, rx) = mpsc::channel::<String>();
+        reader_loop(BufReader::new(Cursor::new(input.to_string())), &state, &tx);
+        state.drain();
+        for w in workers {
+            w.join().unwrap();
+        }
+        drop(tx);
+        let replies = rx
+            .into_iter()
+            .map(|line| Json::parse(&line).expect("reply frames are valid JSON"))
+            .collect();
+        (replies, state.summary())
+    }
+
+    fn by_id(replies: &[Json], id: f64) -> Json {
+        replies
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_num) == Some(id))
+            .cloned()
+            .unwrap_or_else(|| panic!("no reply with id {id}"))
+    }
+
+    #[test]
+    fn lifecycle_serves_and_drains_in_process() {
+        let input = concat!(
+            r#"{"op":"ping","id":1}"#,
+            "\n",
+            r#"{"op":"analyze","id":2,"shape":"m16n256k256"}"#,
+            "\n",
+            "not json\n",
+            r#"{"op":"stats","id":3}"#,
+            "\n",
+            r#"{"op":"shutdown","id":4}"#,
+            "\n",
+            r#"{"op":"ping","id":5}"#, // after shutdown: never read
+            "\n",
+        );
+        let (replies, summary) = drive(input, ServeOptions::default());
+        assert_eq!(replies.len(), 5, "ping, analyze, parse error, stats, ack");
+        assert_eq!(summary, ServeSummary { served: 4, errors: 1 });
+
+        assert_eq!(by_id(&replies, 1.0).get("pong"), Some(&Json::Bool(true)));
+        let report = by_id(&replies, 2.0);
+        assert_eq!(report.get("ok"), Some(&Json::Bool(true)));
+        let report = report.get("report").expect("report payload");
+        assert_eq!(
+            report.get("schema").and_then(Json::as_str),
+            Some("pacq-cache/v1")
+        );
+        let stats = by_id(&replies, 3.0);
+        let stats = stats.get("stats").expect("stats payload");
+        assert_eq!(stats.get("cache_attached"), Some(&Json::Bool(false)));
+        assert_eq!(by_id(&replies, 4.0).get("draining"), Some(&Json::Bool(true)));
+        // The malformed line's error frame is typed and null-id.
+        let err = replies
+            .iter()
+            .find(|r| r.get("ok") == Some(&Json::Bool(false)))
+            .expect("error frame");
+        assert_eq!(err.get("id"), Some(&Json::Null));
+        assert_eq!(
+            err.get("error").and_then(|e| e.get("class")).and_then(Json::as_str),
+            Some("protocol")
+        );
+    }
+
+    #[test]
+    fn batch_replies_dedup_and_keep_request_order() {
+        let input = concat!(
+            r#"{"op":"batch","id":9,"requests":[
+                {"shape":"m16n256k256"},
+                {"shape":"m32n256k256"},
+                {"shape":"m16n256k256"}]}"#,
+            "\n"
+        )
+        .replace('\n', " ")
+            + "\n";
+        let (replies, summary) = drive(&input, ServeOptions::default());
+        assert_eq!(summary.errors, 0, "{replies:?}");
+        let frame = by_id(&replies, 9.0);
+        assert_eq!(
+            frame.get("unique_points").and_then(Json::as_str),
+            Some("2")
+        );
+        let reports = frame.get("reports").and_then(Json::as_arr).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0], reports[2], "duplicate point, identical report");
+        assert_ne!(reports[0], reports[1]);
+        // Entry 0 and 1 differ only in m; check echo order.
+        let m = |r: &Json| {
+            r.get("shape")
+                .and_then(|s| s.get("m"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(m(&reports[0]).as_deref(), Some("16"));
+        assert_eq!(m(&reports[1]).as_deref(), Some("32"));
+    }
+
+    #[test]
+    fn full_queue_is_a_typed_queue_full_frame() {
+        // One worker, capacity 1: stuff the pipeline faster than a
+        // single worker can drain it. With 64 work frames in flight at
+        // capacity 1 at least one must bounce; every bounce must be the
+        // typed queue_full class and every accepted request must get
+        // exactly one ok reply.
+        let mut input = String::new();
+        for i in 0..64 {
+            input.push_str(&format!(
+                "{{\"op\":\"analyze\",\"id\":{i},\"shape\":\"m16n4096k4096\"}}\n"
+            ));
+        }
+        let options = ServeOptions {
+            queue_capacity: 1,
+            workers: 1,
+        };
+        let (replies, summary) = drive(&input, options);
+        assert_eq!(replies.len(), 64, "one reply per frame, none lost");
+        let bounced = replies
+            .iter()
+            .filter(|r| r.get("ok") == Some(&Json::Bool(false)))
+            .collect::<Vec<_>>();
+        assert!(!bounced.is_empty(), "capacity-1 queue must overflow");
+        for frame in &bounced {
+            let class = frame
+                .get("error")
+                .and_then(|e| e.get("class"))
+                .and_then(Json::as_str);
+            assert_eq!(class, Some("queue_full"), "{frame:?}");
+            let code = frame
+                .get("error")
+                .and_then(|e| e.get("exit_code"))
+                .and_then(Json::as_num);
+            assert_eq!(code, Some(8.0));
+        }
+        assert_eq!(summary.served + summary.errors, 64);
+    }
+
+    #[test]
+    fn oversized_frames_bounce_but_the_connection_survives() {
+        let huge = format!(
+            "{{\"op\":\"analyze\",\"pad\":\"{}\"}}\n",
+            "x".repeat(MAX_FRAME_BYTES)
+        );
+        let input = format!("{huge}{{\"op\":\"ping\",\"id\":1}}\n");
+        let (replies, _) = drive(&input, ServeOptions::default());
+        assert_eq!(replies.len(), 2);
+        let err = &replies[0];
+        assert_eq!(
+            err.get("error").and_then(|e| e.get("class")).and_then(Json::as_str),
+            Some("protocol"),
+            "{err:?}"
+        );
+        assert_eq!(by_id(&replies, 1.0).get("pong"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn serve_cli_flags_are_validated() {
+        let argv = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        for bad in [
+            "",
+            "--port 1 --stdio",
+            "--port notaport",
+            "--queue 0",
+            "--queue",
+            "--frobnicate",
+        ] {
+            let err = run_cli(&argv(bad), None).unwrap_err();
+            assert!(err.is_usage(), "`{bad}`: {err}");
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! | 5 | artifact decode | [`PacqError::Artifact`] |
 //! | 6 | filesystem / OS | [`PacqError::Io`] |
 //! | 7 | audit divergence | [`PacqError::AuditMismatch`] |
+//! | 8 | serve protocol | [`PacqError::Protocol`], [`PacqError::QueueFull`] |
 //!
 //! The no-panic contract is enforced statically — the library crates
 //! deny `clippy::unwrap_used` / `expect_used` / `panic` outside tests —
@@ -138,6 +139,23 @@ pub enum PacqError {
         /// The OS-level cause, flattened to one line.
         message: String,
     },
+    /// A malformed `pacq-serve/v1` frame: not a JSON object, missing the
+    /// `op` field, an unknown operation, or a frame exceeding the size
+    /// cap. The server answers these with a typed error frame and keeps
+    /// the connection alive; the CLI maps them to exit code 8.
+    Protocol {
+        /// The protocol layer that rejected the frame.
+        context: &'static str,
+        /// What was wrong with the frame.
+        message: String,
+    },
+    /// The server's bounded request queue was full: explicit
+    /// backpressure instead of unbounded memory growth. Clients should
+    /// retry after draining in-flight replies.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
     /// The self-audit found two models of the same run disagreeing:
     /// an event-replay counter diverged from its analytic closed form,
     /// or an energy total from its component BOM sum.
@@ -170,6 +188,14 @@ impl PacqError {
         }
     }
 
+    /// Convenience constructor for [`PacqError::Protocol`].
+    pub fn protocol(context: &'static str, message: impl Into<String>) -> Self {
+        PacqError::Protocol {
+            context,
+            message: message.into(),
+        }
+    }
+
     /// The process exit code the CLI uses for this error class.
     ///
     /// Distinct nonzero codes per class so scripted callers can tell a
@@ -188,6 +214,28 @@ impl PacqError {
             PacqError::Artifact(_) => 5,
             PacqError::Io { .. } => 6,
             PacqError::AuditMismatch { .. } => 7,
+            PacqError::Protocol { .. } | PacqError::QueueFull { .. } => 8,
+        }
+    }
+
+    /// The stable wire token for this error's class, used by the
+    /// `pacq-serve/v1` error frame so scripted clients can dispatch on
+    /// the class without parsing the human-readable message.
+    pub fn class(&self) -> &'static str {
+        match self {
+            PacqError::Usage { .. } => "usage",
+            PacqError::ZeroDim { .. }
+            | PacqError::ShapeMismatch { .. }
+            | PacqError::Misaligned { .. } => "shape",
+            PacqError::InvalidInput { .. }
+            | PacqError::NonFinite { .. }
+            | PacqError::EmptySearchSpace { .. }
+            | PacqError::NotPositiveDefinite { .. } => "domain",
+            PacqError::Artifact(_) => "artifact",
+            PacqError::Io { .. } => "io",
+            PacqError::AuditMismatch { .. } => "audit",
+            PacqError::Protocol { .. } => "protocol",
+            PacqError::QueueFull { .. } => "queue_full",
         }
     }
 
@@ -231,6 +279,11 @@ impl fmt::Display for PacqError {
             ),
             PacqError::Artifact(e) => write!(f, "artifact decode failed: {e}"),
             PacqError::Io { context, message } => write!(f, "{context}: {message}"),
+            PacqError::Protocol { context, message } => write!(f, "{context}: {message}"),
+            PacqError::QueueFull { capacity } => write!(
+                f,
+                "request queue is full ({capacity} pending); retry after draining replies"
+            ),
             PacqError::AuditMismatch {
                 counter,
                 case,
@@ -297,9 +350,58 @@ mod tests {
         assert_eq!(artifact.exit_code(), 5);
         assert_eq!(io.exit_code(), 6);
         assert_eq!(audit.exit_code(), 7);
+        let protocol = PacqError::protocol("serve", "missing `op`");
+        let full = PacqError::QueueFull { capacity: 64 };
+        assert_eq!(protocol.exit_code(), 8);
+        assert_eq!(full.exit_code(), 8);
         assert!(usage.is_usage());
         assert!(!artifact.is_usage());
         assert!(!audit.is_usage());
+        assert!(!protocol.is_usage());
+    }
+
+    #[test]
+    fn class_tokens_are_stable_and_distinct_per_class() {
+        let cases = [
+            (PacqError::usage("x"), "usage"),
+            (PacqError::ZeroDim { context: "t" }, "shape"),
+            (PacqError::invalid_input("t", "bad"), "domain"),
+            (PacqError::from(ArtifactError::Truncated), "artifact"),
+            (
+                PacqError::Io {
+                    context: "t",
+                    message: "gone".to_string(),
+                },
+                "io",
+            ),
+            (
+                PacqError::AuditMismatch {
+                    counter: "c".to_string(),
+                    case: "x".to_string(),
+                    observed: "1".to_string(),
+                    expected: "2".to_string(),
+                },
+                "audit",
+            ),
+            (PacqError::protocol("serve", "bad frame"), "protocol"),
+            (PacqError::QueueFull { capacity: 4 }, "queue_full"),
+        ];
+        for (error, token) in &cases {
+            assert_eq!(error.class(), *token, "{error}");
+        }
+        // Tokens within one exit-code class may differ (protocol vs
+        // queue_full both exit 8 but clients must tell them apart).
+        assert_ne!(
+            PacqError::protocol("serve", "x").class(),
+            PacqError::QueueFull { capacity: 1 }.class()
+        );
+    }
+
+    #[test]
+    fn queue_full_names_the_capacity() {
+        let line = PacqError::QueueFull { capacity: 128 }.to_string();
+        assert!(line.contains("128"), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -48,17 +48,62 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        Box::new(self)
+        BoxedStrategy::new(self)
+    }
+
+    /// Recursive strategies: `self` is the leaf case, and `recurse`
+    /// builds one level of branching from a strategy for the level
+    /// below. `depth` bounds the nesting; at every level the generator
+    /// picks uniformly between bottoming out at a leaf and descending,
+    /// so trees of every depth up to the bound occur. The
+    /// `desired_size` / `expected_branch_size` hints from the real
+    /// proptest API are accepted for signature compatibility but
+    /// ignored (no shrinking here — see the crate docs).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
     }
 }
 
-/// A type-erased strategy (what [`prop_oneof!`] unions over).
-pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+/// A type-erased, cheaply clonable strategy (what [`prop_oneof!`]
+/// unions over and [`Strategy::prop_recursive`] threads through its
+/// branching closure). Reference-counted, like the real crate's
+/// `BoxedStrategy`, so it is `Clone` even though `Strategy` isn't.
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> BoxedStrategy<T> {
+    fn new<S: Strategy<Value = T> + 'static>(strategy: S) -> Self {
+        BoxedStrategy(std::rc::Rc::new(strategy))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
 
 impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
-        (**self).generate(rng)
+        self.0.generate(rng)
     }
 }
 

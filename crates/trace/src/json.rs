@@ -92,11 +92,53 @@ impl Json {
         out
     }
 
-    /// Renders without the trailing newline (for embedding).
+    /// Renders without the trailing newline (for embedding). Nested
+    /// arrays and objects still span lines; for newline-delimited
+    /// protocols use [`Json::render_line`].
     pub fn render_compact(&self) -> String {
         let mut out = String::new();
         self.write(&mut out, 0);
         out
+    }
+
+    /// Renders the document as exactly one line, with no interior
+    /// newlines or indentation — the frame form of the `pacq-serve/v1`
+    /// protocol, where one JSON value per `\n`-terminated line is the
+    /// framing contract. String contents are escaped (`\n` → `\\n`), so
+    /// the output never contains a raw newline byte. Parses back to an
+    /// equal document ([`Json::parse`] is whitespace-agnostic).
+    pub fn render_line(&self) -> String {
+        let mut out = String::new();
+        self.write_line(&mut out);
+        out
+    }
+
+    fn write_line(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_line(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_line(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -505,6 +547,20 @@ mod tests {
         let arr = v.get("π").and_then(Json::as_arr).unwrap();
         assert_eq!(arr[1].as_num(), Some(25.0));
         assert_eq!(arr[2].as_str(), Some("é"));
+    }
+
+    #[test]
+    fn render_line_is_single_line_and_round_trips() {
+        let doc = sample();
+        let line = doc.render_line();
+        assert!(
+            !line.contains('\n') && !line.contains('\r'),
+            "NDJSON frame must be one line: {line:?}"
+        );
+        let back = Json::parse(&line).expect("parses");
+        assert_eq!(doc, back);
+        // The multi-line and single-line forms parse to the same tree.
+        assert_eq!(Json::parse(&doc.render()).unwrap(), back);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Property tests for the dependency-free JSON model (DESIGN.md §11):
+//! every rendering form — pretty (`render`), embedded
+//! (`render_compact`), and single-line NDJSON frame (`render_line`) —
+//! must parse back to an equal document, and the lossless
+//! u64-as-string counter encoding used by `pacq-cache` entries and the
+//! `pacq-serve/v1` protocol must survive the trip bit-exactly.
+
+use pacq_trace::Json;
+use proptest::prelude::*;
+
+/// A leaf value drawn from the vocabulary every pacq artifact uses:
+/// nulls, booleans, integers in and beyond f64's exact range (as the
+/// u64-as-string encoding), shortest-form floats, and strings with the
+/// characters that stress the escaper (quotes, backslashes, newlines,
+/// control bytes, non-ASCII).
+fn any_leaf() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Integers that must survive as JSON numbers (within 2^53).
+        (0u64..(1 << 53)).prop_map(|n| Json::Num(n as f64)),
+        // Counters beyond f64's exact-integer range travel as decimal
+        // strings — the pacq-cache / pacq-serve lossless encoding.
+        any::<u64>().prop_map(|n| Json::Str(n.to_string())),
+        // Finite floats of any shape (subnormals included via division).
+        (any::<u32>(), 1u32..1000).prop_map(|(a, b)| Json::Num(f64::from(a) / f64::from(b))),
+        any_string().prop_map(Json::Str),
+    ]
+}
+
+fn any_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop::sample::select(vec![
+            "a", "B", "7", " ", "\"", "\\", "\n", "\r", "\t", "\u{1}", "π", "é", "€", "𝄞", "/",
+            "{", "}", "[", "]", ":", ",",
+        ]),
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+/// A document tree up to three levels deep with object keys drawn from
+/// the same hostile alphabet as values.
+fn any_doc() -> impl Strategy<Value = Json> {
+    let leaf = any_leaf();
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            proptest::collection::vec((any_string(), inner), 0..6).prop_map(|entries| {
+                // Duplicate keys would make `set`-based comparison
+                // ambiguous; keep first occurrence like Json::set does.
+                let mut obj = Json::object();
+                for (k, v) in entries {
+                    if obj.get(&k).is_none() {
+                        obj.set(&k, v);
+                    }
+                }
+                obj
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse ∘ render is the identity for all three rendering forms, and
+    /// rendering is deterministic (render twice, same bytes).
+    #[test]
+    fn every_rendering_form_round_trips(doc in any_doc()) {
+        for (form, text) in [
+            ("render", doc.render()),
+            ("render_compact", doc.render_compact()),
+            ("render_line", doc.render_line()),
+        ] {
+            let back = Json::parse(&text)
+                .unwrap_or_else(|e| panic!("{form} output must parse: {e}\n{text}"));
+            prop_assert_eq!(&back, &doc, "{} drifted", form);
+        }
+        prop_assert_eq!(doc.render(), doc.render(), "render is deterministic");
+    }
+
+    /// The single-line form never contains a raw newline — the framing
+    /// invariant of every NDJSON consumer of this writer.
+    #[test]
+    fn render_line_never_embeds_a_newline(doc in any_doc()) {
+        let line = doc.render_line();
+        prop_assert!(!line.contains('\n'), "embedded newline in {line:?}");
+        prop_assert!(!line.contains('\r'), "embedded CR in {line:?}");
+    }
+
+    /// The u64-as-string counter encoding is lossless for every u64,
+    /// including values beyond f64's 2^53 exact-integer ceiling, through
+    /// both the pretty and the single-line writer.
+    #[test]
+    fn u64_as_string_counters_round_trip_bit_exactly(value in any::<u64>()) {
+        let mut doc = Json::object();
+        doc.set("counter", Json::Str(value.to_string()));
+        for text in [doc.render(), doc.render_line()] {
+            let back = Json::parse(&text).unwrap();
+            let decoded: u64 = back
+                .get("counter")
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse().ok())
+                .expect("counter decodes");
+            prop_assert_eq!(decoded, value);
+        }
+    }
+
+    /// Finite f64 payloads round-trip bit-exactly: the writer emits the
+    /// shortest form that parses back to the identical bits (the
+    /// property the cache's "hit ≡ fresh" guarantee rests on).
+    #[test]
+    fn finite_floats_round_trip_bit_exactly(bits in any::<u64>()) {
+        let value = f64::from_bits(bits);
+        prop_assume!(value.is_finite());
+        let mut doc = Json::object();
+        doc.set("x", Json::Num(value));
+        for text in [doc.render(), doc.render_line()] {
+            let back = Json::parse(&text).unwrap();
+            let decoded = back.get("x").and_then(Json::as_num).expect("numeric");
+            prop_assert_eq!(
+                decoded.to_bits(),
+                value.to_bits(),
+                "{} decoded as {}",
+                value,
+                decoded
+            );
+        }
+    }
+}

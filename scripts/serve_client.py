@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""NDJSON client for `pacq serve` (protocol pacq-serve/v1).
+
+Drives a running server through a deterministic batch of `analyze`
+requests, checks every reply, and writes the reply frames — sorted by
+request id, exactly as received off the wire — to an output file. Two
+passes against the same server configuration must produce byte-identical
+output files (the CI serve-smoke job pins this).
+
+The server's ephemeral port is discovered from its stdout log: pass
+`--ready-log FILE` and the client polls for the `"event":"ready"` frame.
+
+Usage:
+    pacq serve --port 0 --cache store > server.log &
+    python3 scripts/serve_client.py --ready-log server.log \
+        --requests 200 --out responses.ndjson --shutdown
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+SCHEMA = "pacq-serve/v1"
+
+# Deterministic request mix: 16-aligned shapes crossed with every
+# architecture and precision the CLI accepts.
+SHAPES = [
+    (16, 256, 256),
+    (16, 1024, 1024),
+    (32, 512, 512),
+    (16, 4096, 4096),
+    (48, 768, 768),
+]
+ARCHS = ["pacq", "packedk", "std"]
+PRECISIONS = ["int4", "int2"]
+
+
+def request(i: int) -> dict:
+    m, n, k = SHAPES[i % len(SHAPES)]
+    return {
+        "op": "analyze",
+        "id": i,
+        "shape": f"m{m}n{n}k{k}",
+        "arch": ARCHS[i % len(ARCHS)],
+        "precision": PRECISIONS[i % len(PRECISIONS)],
+    }
+
+
+def wait_for_ready(log_path: str, timeout_s: float) -> str:
+    """Polls the server's stdout log for the ready frame; returns addr."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with open(log_path, encoding="utf-8") as log:
+                for line in log:
+                    line = line.strip()
+                    if not line.startswith("{"):
+                        continue
+                    frame = json.loads(line)
+                    if frame.get("event") == "ready":
+                        assert frame.get("schema") == SCHEMA, frame
+                        return frame["addr"]
+        except FileNotFoundError:
+            pass
+        time.sleep(0.05)
+    sys.exit(f"error: no ready frame in {log_path} after {timeout_s}s")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    addr = ap.add_mutually_exclusive_group(required=True)
+    addr.add_argument("--addr", help="server address, host:port")
+    addr.add_argument("--ready-log", help="server stdout log to poll for the ready frame")
+    ap.add_argument("--requests", type=int, default=200)
+    ap.add_argument("--out", required=True, help="reply frames, sorted by id")
+    ap.add_argument("--shutdown", action="store_true", help="drain the server afterwards")
+    ap.add_argument("--timeout", type=float, default=30.0)
+    ap.add_argument(
+        "--window",
+        type=int,
+        default=32,
+        help="max in-flight requests; keep below the server's --queue "
+        "capacity so backpressure (queue_full) never triggers",
+    )
+    args = ap.parse_args()
+
+    where = args.addr or wait_for_ready(args.ready_log, args.timeout)
+    host, _, port = where.rpartition(":")
+    conn = socket.create_connection((host, int(port)), timeout=args.timeout)
+    # Separate buffered handles: a single "rw" makefile is a
+    # BufferedRWPair, which shares state between directions and
+    # corrupts interleaved pipelined traffic.
+    rd = conn.makefile("r", encoding="utf-8", newline="\n")
+    wr = conn.makefile("w", encoding="utf-8", newline="\n")
+
+    # Pipeline with a bounded in-flight window so the server's bounded
+    # queue never answers queue_full; replies are unordered across
+    # requests and matched by echoed id.
+    replies = {}
+
+    def collect_one() -> None:
+        line = rd.readline()
+        if not line:
+            sys.exit("error: connection closed mid-batch")
+        frame = json.loads(line)
+        rid = frame.get("id")
+        assert frame.get("schema") == SCHEMA, f"schema drift: {frame}"
+        assert frame.get("ok") is True, f"request {rid} failed: {frame}"
+        assert "report" in frame, f"request {rid} reply has no report"
+        assert rid not in replies, f"duplicate reply for id {rid}"
+        replies[rid] = line
+
+    for i in range(args.requests):
+        if i - len(replies) >= args.window:
+            collect_one()
+        wr.write(json.dumps(request(i)) + "\n")
+        wr.flush()
+    while len(replies) < args.requests:
+        collect_one()
+    assert sorted(replies) == list(range(args.requests)), "lost replies"
+
+    with open(args.out, "w", encoding="utf-8", newline="\n") as out:
+        for rid in sorted(replies):
+            out.write(replies[rid])
+
+    # Stats frame: print the live tallies for the CI log.
+    wr.write(json.dumps({"op": "stats", "id": args.requests}) + "\n")
+    wr.flush()
+    stats = json.loads(rd.readline())
+    assert stats.get("ok") is True, f"stats failed: {stats}"
+    print(f"stats: {json.dumps(stats, sort_keys=True)}")
+
+    if args.shutdown:
+        wr.write(json.dumps({"op": "shutdown", "id": args.requests + 1}) + "\n")
+        wr.flush()
+        ack = json.loads(rd.readline())
+        assert ack.get("draining") is True, f"shutdown not acknowledged: {ack}"
+    conn.close()
+    print(f"ok: {args.requests} replies -> {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -183,6 +183,141 @@ fn gptq_degenerate_configs_are_err_not_panic() {
     assert!(GptqQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4).is_err());
 }
 
+/// The serve surface under concurrent hostile fire (ISSUE 5): 32
+/// client threads share one server, each interleaving valid requests
+/// with malformed JSON, unknown ops, wrong-typed fields and an
+/// oversized frame. The no-panic contract extends per connection:
+/// every valid request gets exactly one ok reply, every malformed
+/// frame gets exactly one typed error frame, and no client ever loses
+/// a reply because of another client's garbage.
+#[test]
+fn serve_survives_32_hostile_clients() {
+    use pacq::{ReportCache, ServeOptions, Server};
+    use pacq_trace::Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+
+    const CLIENTS: usize = 32;
+    const VALID_PER_CLIENT: usize = 5; // analyze ×4 + ping
+    const MALFORMED_PER_CLIENT: usize = 4;
+
+    let dir = std::env::temp_dir().join(format!("pacq-serve-stress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Arc::new(ReportCache::open(&dir).expect("open cache"));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            // Large enough that valid requests never bounce as
+            // queue_full (overflow has its own dedicated test).
+            queue_capacity: CLIENTS * VALID_PER_CLIENT,
+            workers: 4,
+        },
+        Some(Arc::clone(&cache)),
+    )
+    .expect("bind server");
+    let addr = server.addr();
+
+    let clients: Vec<std::thread::JoinHandle<()>> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let oversized = "x".repeat(pacq::serve::MAX_FRAME_BYTES + 16);
+                // Valid ids are globally unique: client*100 + slot.
+                let frames = [
+                    format!(
+                        "{{\"op\":\"analyze\",\"id\":{},\"shape\":\"m16n{}k64\"}}",
+                        c * 100,
+                        64 + 16 * (c % 4)
+                    ),
+                    "{\"op\":\"frobnicate\"}".to_string(),
+                    format!(
+                        "{{\"op\":\"analyze\",\"id\":{},\"shape\":\"m16n64k64\",\"precision\":\"int2\"}}",
+                        c * 100 + 1
+                    ),
+                    "this is not json".to_string(),
+                    format!("{{\"op\":\"analyze\",\"id\":{},\"shape\":\"m32n64k64\"}}", c * 100 + 2),
+                    "{\"op\":\"analyze\",\"shape\":42}".to_string(),
+                    format!("{{\"op\":\"ping\",\"id\":{}}}", c * 100 + 3),
+                    oversized,
+                    format!(
+                        "{{\"op\":\"analyze\",\"id\":{},\"shape\":\"m16n128k64\",\"dup\":4}}",
+                        c * 100 + 4
+                    ),
+                ];
+                for frame in &frames {
+                    writer
+                        .write_all(frame.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .expect("send");
+                }
+                // Exactly one reply per frame, matched by id (replies
+                // are unordered across in-flight requests).
+                let mut ok_ids = Vec::new();
+                let mut error_classes = Vec::new();
+                for _ in 0..frames.len() {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read reply");
+                    let doc = Json::parse(line.trim_end()).expect("reply parses");
+                    match doc.get("ok") {
+                        Some(&Json::Bool(true)) => {
+                            ok_ids.push(doc.get("id").and_then(Json::as_num).expect("id"));
+                        }
+                        Some(&Json::Bool(false)) => {
+                            let class = doc
+                                .get("error")
+                                .and_then(|e| e.get("class"))
+                                .and_then(Json::as_str)
+                                .expect("typed class")
+                                .to_string();
+                            let code = doc
+                                .get("error")
+                                .and_then(|e| e.get("exit_code"))
+                                .and_then(Json::as_num)
+                                .expect("exit code");
+                            assert!(code >= 2.0, "error frames carry a real exit code");
+                            error_classes.push(class);
+                        }
+                        other => panic!("frame without ok field: {other:?} in {line}"),
+                    }
+                }
+                ok_ids.sort_by(|a, b| a.partial_cmp(b).expect("finite ids"));
+                let expected: Vec<f64> =
+                    (0..VALID_PER_CLIENT).map(|s| (c * 100 + s) as f64).collect();
+                assert_eq!(ok_ids, expected, "client {c}: exactly one ok reply per valid id");
+                assert_eq!(
+                    error_classes.len(),
+                    MALFORMED_PER_CLIENT,
+                    "client {c}: exactly one typed error per bad frame"
+                );
+                for class in &error_classes {
+                    assert!(
+                        class == "protocol" || class == "usage",
+                        "client {c}: unexpected class {class}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread clean");
+    }
+
+    // Drain; a panicked worker or reader would hang the drain or skew
+    // the counters, so a clean summary is the no-panic proof.
+    server.shutdown();
+    let summary = server.wait().expect("server thread never panics");
+    assert_eq!(
+        summary.served,
+        (CLIENTS * VALID_PER_CLIENT) as u64,
+        "no lost replies"
+    );
+    assert_eq!(summary.errors, (CLIENTS * MALFORMED_PER_CLIENT) as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cli_malformed_shape_has_usage_exit_code() {
     let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
