@@ -33,6 +33,7 @@ pub struct Metrics {
     binary: &'static str,
     args: Vec<String>,
     jobs: usize,
+    backend: pacq::Backend,
     path: Option<String>,
     cache: Option<std::sync::Arc<pacq::ReportCache>>,
 }
@@ -49,9 +50,22 @@ pub struct Metrics {
 /// directory cannot be created.
 pub fn init(binary: &'static str) -> pacq::PacqResult<Metrics> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (args, path) = pacq::cli::take_metrics_flag(&argv)?;
+    init_filtered(binary, &argv)
+}
+
+/// [`init`] for binaries that strip their own flags first: applies the
+/// shared `--jobs` / `--metrics` / `--cache` / `--backend` flags from
+/// the given argument list instead of re-reading the process arguments.
+///
+/// # Errors
+///
+/// Same conditions as [`init`].
+pub fn init_filtered(binary: &'static str, argv: &[String]) -> pacq::PacqResult<Metrics> {
+    let (args, path) = pacq::cli::take_metrics_flag(argv)?;
     let (args, cache_dir) = pacq::cli::take_cache_flag(&args)?;
     let (args, jobs) = pacq::par::take_jobs_flag(&args)?;
+    let (args, backend_flag) = pacq::backend::take_backend_flag(&args)?;
+    let backend = pacq::backend::resolve_backend(backend_flag)?;
     let env_jobs = pacq::par::validated_env_jobs()?;
     let jobs = pacq::par::configure_jobs(jobs.or(env_jobs));
     if path.is_some() {
@@ -65,6 +79,7 @@ pub fn init(binary: &'static str) -> pacq::PacqResult<Metrics> {
         binary,
         args,
         jobs,
+        backend,
         path,
         cache,
     })
@@ -74,6 +89,13 @@ impl Metrics {
     /// The report cache to attach to runners (`--cache DIR`), if any.
     pub fn cache(&self) -> Option<std::sync::Arc<pacq::ReportCache>> {
         self.cache.clone()
+    }
+
+    /// The functional compute backend this run selected
+    /// (`--backend` / `PACQ_BACKEND`, default scalar). Attach it to
+    /// runners with [`pacq::GemmRunner::with_backend`].
+    pub fn backend(&self) -> pacq::Backend {
+        self.backend
     }
 
     /// Writes the run manifest if `--metrics` was requested, draining
@@ -92,7 +114,8 @@ impl Metrics {
             let mut manifest = pacq_trace::RunManifest::new(self.binary, &self.args);
             manifest = manifest
                 .with_jobs(self.jobs)
-                .with_effective_jobs(rayon::current_num_threads());
+                .with_effective_jobs(rayon::current_num_threads())
+                .with_backend(self.backend.token());
             manifest.gather();
             pacq_trace::disable();
             manifest.write_to(path)?;

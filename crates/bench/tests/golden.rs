@@ -62,9 +62,33 @@ macro_rules! golden_test {
     };
 }
 
-golden_test!(fig7_stdout_is_pinned, "CARGO_BIN_EXE_fig7", "golden/fig7.txt");
-golden_test!(fig8_stdout_is_pinned, "CARGO_BIN_EXE_fig8", "golden/fig8.txt");
-golden_test!(fig9_stdout_is_pinned, "CARGO_BIN_EXE_fig9", "golden/fig9.txt");
-golden_test!(fig10_stdout_is_pinned, "CARGO_BIN_EXE_fig10", "golden/fig10.txt");
-golden_test!(fig11_stdout_is_pinned, "CARGO_BIN_EXE_fig11", "golden/fig11.txt");
-golden_test!(fig12_stdout_is_pinned, "CARGO_BIN_EXE_fig12", "golden/fig12.txt");
+golden_test!(
+    fig7_stdout_is_pinned,
+    "CARGO_BIN_EXE_fig7",
+    "golden/fig7.txt"
+);
+golden_test!(
+    fig8_stdout_is_pinned,
+    "CARGO_BIN_EXE_fig8",
+    "golden/fig8.txt"
+);
+golden_test!(
+    fig9_stdout_is_pinned,
+    "CARGO_BIN_EXE_fig9",
+    "golden/fig9.txt"
+);
+golden_test!(
+    fig10_stdout_is_pinned,
+    "CARGO_BIN_EXE_fig10",
+    "golden/fig10.txt"
+);
+golden_test!(
+    fig11_stdout_is_pinned,
+    "CARGO_BIN_EXE_fig11",
+    "golden/fig11.txt"
+);
+golden_test!(
+    fig12_stdout_is_pinned,
+    "CARGO_BIN_EXE_fig12",
+    "golden/fig12.txt"
+);

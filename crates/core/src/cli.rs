@@ -3,6 +3,7 @@
 //! Hand-rolled argument parsing — the workspace deliberately keeps its
 //! dependency set to the numeric essentials (see DESIGN.md §8).
 
+use crate::backend::take_backend_flag;
 use crate::par;
 use crate::report::{Comparison, GemmReport};
 use crate::roofline;
@@ -11,7 +12,8 @@ use crate::sweep::{run_sweep, SweepPlan};
 use core::fmt::Write as _;
 use pacq_cache::{ReportCache, Shard, SweepCheckpoint};
 use pacq_error::{PacqError, PacqResult};
-use pacq_fp16::WeightPrecision;
+use pacq_fp16::{Backend, WeightPrecision};
+use pacq_quant::synth::SynthGenerator;
 use pacq_quant::GroupShape;
 use pacq_simt::{
     octet_schedule, simulate, Architecture, GemmShape, OctetPipeline, SmConfig, Workload,
@@ -31,6 +33,8 @@ USAGE:
   pacq compare --shape mMnNkK [--precision int4|int2] [--group ...]
   pacq sweep --param batch|dup|width|grid --shape mMnNkK [--precision int4|int2]
              [--shard i/N] [--checkpoint FILE]
+  pacq exec --shape mMnNkK [--arch std|packedk|pacq] [--precision int4|int2]
+            [--group ...] [--check] [--json]
   pacq cache stats|clear|verify --dir DIR
   pacq audit
   pacq trace --out trace.json [--arch ...] [--precision ...] [--dup ...] [--width ...]
@@ -40,6 +44,9 @@ USAGE:
 Every command also accepts --jobs N (worker threads for sweeps and
 functional execution; defaults to the PACQ_JOBS environment variable,
 then the host parallelism; results are bit-identical at any job count),
+--backend scalar|batched (functional compute backend; defaults to the
+PACQ_BACKEND environment variable, then `scalar`; the batched SoA
+kernels are bit-identical to the scalar reference — see DESIGN.md),
 --metrics PATH (write a machine-readable JSON run manifest, schema
 pacq-metrics/v1 — see DESIGN.md §11), and --cache DIR (a
 content-addressed on-disk report cache: repeated analyses of the same
@@ -49,6 +56,12 @@ point become lookups, bit-identical to fresh runs — see DESIGN.md §12).
 precision grid for the layer; --shard i/N slices it into N disjoint
 index classes (for split runs), and --checkpoint FILE records completed
 jobs so an interrupted sweep resumes where it stopped.
+
+`pacq exec` functionally executes one GEMM through the bit-accurate
+datapath on deterministic synthetic data, printing a result digest and
+throughput. With --check it runs *both* backends, asserts the results
+are bit-identical, and reports the batched-over-scalar speedup (also
+recorded in the --metrics manifest).
 
 `pacq audit` cross-checks the analytic dataflow engine against the
 event-driven per-octet replay on a grid of shapes (including ragged,
@@ -143,6 +156,11 @@ pub fn run(args: &[String]) -> PacqResult<String> {
     let (args, metrics) = take_metrics_flag(args)?;
     let (args, cache_dir) = take_cache_flag(&args)?;
     let (args, jobs) = par::take_jobs_flag(&args)?;
+    let (args, backend_flag) = take_backend_flag(&args)?;
+    // Like --jobs, the env spelling is validated even when the flag
+    // wins — a typo'd PACQ_BACKEND must never pass silently.
+    let env_backend = crate::backend::validated_env_backend()?;
+    let backend = backend_flag.or(env_backend).unwrap_or_default();
     let env_jobs = par::validated_env_jobs()?;
     // Only touch the global pool when the user asked for a count — a
     // plain invocation must not clobber a programmatically configured
@@ -157,13 +175,15 @@ pub fn run(args: &[String]) -> PacqResult<String> {
         Some(dir) => Some(Arc::new(ReportCache::open(dir)?)),
         None => None,
     };
-    let result = dispatch(&args, cache.as_ref());
+    let result = dispatch(&args, cache.as_ref(), backend);
     if let Some(path) = metrics {
         let mut manifest = RunManifest::new("pacq", &args);
         if let Some(j) = jobs.or(env_jobs) {
             manifest = manifest.with_jobs(j);
         }
-        manifest = manifest.with_effective_jobs(rayon::current_num_threads());
+        manifest = manifest
+            .with_effective_jobs(rayon::current_num_threads())
+            .with_backend(backend.token());
         manifest.gather();
         pacq_trace::disable();
         if result.is_ok() {
@@ -173,17 +193,22 @@ pub fn run(args: &[String]) -> PacqResult<String> {
     result
 }
 
-fn dispatch(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
+fn dispatch(
+    args: &[String],
+    cache: Option<&Arc<ReportCache>>,
+    backend: Backend,
+) -> PacqResult<String> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         None | Some("help") | Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
         Some("analyze") => analyze(&args[1..], cache),
         Some("compare") => compare(&args[1..], cache),
-        Some("sweep") => sweep(&args[1..], cache),
+        Some("sweep") => sweep(&args[1..], cache, backend),
+        Some("exec") => exec(&args[1..], cache, backend),
         Some("cache") => cache_cmd(&args[1..], cache),
         Some("audit") => audit(&args[1..], cache),
         Some("trace") => trace(&args[1..]),
-        Some("serve") => crate::serve::run_cli(&args[1..], cache.map(Arc::clone)),
+        Some("serve") => crate::serve::run_cli(&args[1..], cache.map(Arc::clone), backend),
         Some(other) => Err(err(format!("unknown command `{other}`"))),
     }
 }
@@ -197,6 +222,7 @@ struct Options {
     dup: usize,
     width: usize,
     json: bool,
+    check: bool,
     param: Option<String>,
     out: Option<String>,
     shard: Shard,
@@ -211,6 +237,7 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
     let mut dup = 2usize;
     let mut width = 4usize;
     let mut json = false;
+    let mut check = false;
     let mut param = None;
     let mut out = None;
     let mut shard = Shard::FULL;
@@ -244,6 +271,7 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
                 }
             }
             "--json" => json = true,
+            "--check" => check = true,
             "--param" => param = Some(value("--param")?.to_string()),
             "--out" => out = Some(value("--out")?.to_string()),
             "--shard" => shard = Shard::parse(value("--shard")?)?,
@@ -265,6 +293,7 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
         dup,
         width,
         json,
+        check,
         param,
         out,
         shard,
@@ -368,6 +397,106 @@ fn runner_for(opts: &Options, cache: Option<&Arc<ReportCache>>) -> GemmRunner {
         .with_cache_opt(cache.map(Arc::clone))
 }
 
+/// FNV-1a over the row-major result bits: a stable fingerprint that two
+/// backends (or two runs) can be compared by at a glance.
+fn result_digest(c: &pacq_quant::MatrixF32) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for r in 0..c.rows() {
+        for col in 0..c.cols() {
+            for byte in c.get(r, col).to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    h
+}
+
+/// `pacq exec`: functionally executes one GEMM through the bit-accurate
+/// datapath on deterministic synthetic data (seeded from the shape, so
+/// reruns and backends see identical inputs). `--check` runs the scalar
+/// *and* batched backends, asserts bit-identity, and reports the
+/// speedup.
+fn exec(args: &[String], cache: Option<&Arc<ReportCache>>, backend: Backend) -> PacqResult<String> {
+    let opts = parse_options(args, true)?;
+    let _span = pacq_trace::span("cli.exec");
+    let (m, n, k) = (opts.shape.m, opts.shape.n, opts.shape.k);
+    let runner = runner_for(&opts, cache).with_backend(backend);
+    let mut g = SynthGenerator::new((m ^ (n << 8) ^ (k << 16)) as u64 | 1);
+    let a = g.llm_activations(m, k).to_f16();
+    let w = g.llm_weights(k, n);
+    let packed = runner.quantize_and_pack(&w, opts.precision, opts.arch)?;
+
+    let timed = |r: &GemmRunner| -> PacqResult<(pacq_quant::MatrixF32, f64)> {
+        let t0 = std::time::Instant::now();
+        let c = r.execute(opts.arch, &a, &packed)?;
+        Ok((c, t0.elapsed().as_secs_f64()))
+    };
+    let (c, seconds) = timed(&runner)?;
+    let digest = result_digest(&c);
+    let flops = 2.0 * (m * n * k) as f64;
+    let gflops = flops / seconds.max(1e-12) / 1e9;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exec {} on {} ({}, {} backend): digest {digest:016x}, {seconds:.6} s, {gflops:.3} GFLOP/s",
+        Workload::new(opts.shape, opts.precision),
+        opts.arch,
+        opts.group,
+        runner.backend(),
+    );
+    let mut record = Json::object();
+    record.set("backend", runner.backend().token());
+    record.set("digest", format!("{digest:016x}"));
+
+    if opts.check {
+        // Run the *other* backend on the same inputs: results must agree
+        // to the bit (the tentpole contract), and the ratio of wall
+        // times is the measured speedup.
+        let other = runner.clone().with_backend(match runner.backend() {
+            Backend::Scalar => Backend::Batched,
+            Backend::Batched => Backend::Scalar,
+        });
+        let (c2, seconds2) = timed(&other)?;
+        let d2 = result_digest(&c2);
+        for r in 0..c.rows() {
+            for col in 0..c.cols() {
+                let (x, y) = (c.get(r, col), c2.get(r, col));
+                if x.to_bits() != y.to_bits() {
+                    return Err(PacqError::AuditMismatch {
+                        counter: "exec.backend_bits".to_string(),
+                        case: format!(
+                            "({r},{col}) under {} vs {}",
+                            runner.backend(),
+                            other.backend()
+                        ),
+                        observed: format!("{:#010x}", y.to_bits()),
+                        expected: format!("{:#010x}", x.to_bits()),
+                    });
+                }
+            }
+        }
+        let (batched_s, scalar_s) = match runner.backend() {
+            Backend::Batched => (seconds, seconds2),
+            Backend::Scalar => (seconds2, seconds),
+        };
+        let speedup = scalar_s / batched_s.max(1e-12);
+        let _ = writeln!(
+            out,
+            "check OK: {} backend bit-identical (digest {d2:016x}); batched speedup {speedup:.2}x \
+(scalar {scalar_s:.6} s, batched {batched_s:.6} s)",
+            other.backend(),
+        );
+        record.set("check", "bit-identical");
+        record.set("batched_speedup", speedup);
+    }
+    if pacq_trace::is_enabled() {
+        pacq_trace::record_result(format!("exec|{}|{}", opts.shape, opts.arch), record);
+    }
+    Ok(out)
+}
+
 fn analyze(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
     let runner = runner_for(&opts, cache);
@@ -412,7 +541,11 @@ fn compare(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<Stri
     Ok(out)
 }
 
-fn sweep(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
+fn sweep(
+    args: &[String],
+    cache: Option<&Arc<ReportCache>>,
+    backend: Backend,
+) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
     let param = opts
         .param
@@ -429,7 +562,7 @@ fn sweep(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String
         // (DESIGN.md §12). Rows print in grid order; jobs other shards
         // own are omitted, checkpointed jobs print as `done (resumed)`.
         "grid" => {
-            let runner = runner_for(&opts, cache);
+            let runner = runner_for(&opts, cache).with_backend(backend);
             let plan = SweepPlan::batch_grid(opts.shape.n, opts.shape.k);
             let checkpoint = match &opts.checkpoint {
                 Some(path) => Some(SweepCheckpoint::open(path, &plan.digest())?),
@@ -477,7 +610,7 @@ fn sweep(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String
                 "{:<8} {:>14} {:>14} {:>14}",
                 "batch", "PacQ cycles", "speedup v std", "EDP reduction"
             );
-            let runner = runner_for(&opts, cache);
+            let runner = runner_for(&opts, cache).with_backend(backend);
             let points: Vec<(Architecture, Workload)> = [16usize, 32, 64, 128, 256, 512]
                 .iter()
                 .flat_map(|&m| {
@@ -517,7 +650,7 @@ fn sweep(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String
                 .map(|dup| {
                     let mut o = opts_clone(&opts);
                     o.dup = dup;
-                    let runner = runner_for(&o, cache);
+                    let runner = runner_for(&o, cache).with_backend(backend);
                     let r = runner.analyze(
                         Architecture::Pacq,
                         Workload::new(opts.shape, opts.precision),
@@ -549,7 +682,7 @@ fn sweep(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String
                 .map(|width| {
                     let mut o = opts_clone(&opts);
                     o.width = width;
-                    let runner = runner_for(&o, cache);
+                    let runner = runner_for(&o, cache).with_backend(backend);
                     let wl = Workload::new(opts.shape, opts.precision);
                     let pq = runner.analyze(Architecture::Pacq, wl)?;
                     let pk = runner.analyze(Architecture::PackedK, wl)?;
@@ -851,6 +984,7 @@ fn opts_clone(o: &Options) -> Options {
         dup: o.dup,
         width: o.width,
         json: o.json,
+        check: o.check,
         param: o.param.clone(),
         out: o.out.clone(),
         shard: o.shard,
@@ -1033,6 +1167,54 @@ mod tests {
     }
 
     #[test]
+    fn exec_runs_and_check_pins_backend_identity() {
+        let _guard = crate::par::test_lock();
+        let digest = |s: &str| {
+            s.split("digest ")
+                .nth(1)
+                .and_then(|t| t.split([',', ')']).next())
+                .map(str::to_string)
+        };
+        let scalar = run(&argv(
+            "exec --shape m16n32k128 --group g32 --backend scalar",
+        ))
+        .expect("runs");
+        assert!(scalar.contains("scalar backend"), "{scalar}");
+        let batched = run(&argv(
+            "exec --shape m16n32k128 --group g32 --backend=batched",
+        ))
+        .expect("runs");
+        assert!(batched.contains("batched backend"), "{batched}");
+        // Same inputs, same bits: the digest is backend-invariant.
+        assert_eq!(digest(&scalar), digest(&batched), "{scalar}\n{batched}");
+        let checked = run(&argv(
+            "exec --shape m16n32k128 --arch packedk --precision int2 --group g32 --check",
+        ))
+        .expect("runs");
+        assert!(checked.contains("check OK"), "{checked}");
+        assert!(checked.contains("speedup"), "{checked}");
+    }
+
+    #[test]
+    fn backend_flag_and_env_are_validated() {
+        let _guard = crate::par::test_lock();
+        let err = run(&argv("analyze --shape m16n16k16 --backend turbo")).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        std::env::set_var(crate::backend::BACKEND_ENV, "turbo");
+        let err = run(&argv("analyze --shape m16n16k16")).unwrap_err();
+        // ...and a typo'd env var fails even when the flag would win.
+        let flagged = run(&argv("analyze --shape m16n16k16 --backend scalar"));
+        std::env::remove_var(crate::backend::BACKEND_ENV);
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("PACQ_BACKEND"), "{err}");
+        assert!(flagged.is_err(), "env typos are never masked by the flag");
+        // A valid selection is accepted by every command.
+        let out = run(&argv("analyze --shape m16n256k256 --backend batched")).expect("runs");
+        assert!(out.contains("total cycles"), "{out}");
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert!(run(&argv("analyze")).is_err()); // missing shape
         assert!(run(&argv("analyze --shape m16n16k16 --precision int5")).is_err());
@@ -1106,6 +1288,13 @@ mod tests {
                 .any(|r| r.get("total_cycles").is_some() && r.get("edp_pj_s").is_some()),
             "{text}"
         );
+        // The chosen backend is part of the invocation record.
+        let backend = doc
+            .get("invocation")
+            .and_then(|i| i.get("backend"))
+            .and_then(pacq_trace::Json::as_str)
+            .map(str::to_string);
+        assert_eq!(backend.as_deref(), Some("scalar"), "{text}");
         std::fs::remove_file(&path).ok();
         assert!(run(&argv("analyze --shape m16n16k16 --metrics")).is_err());
     }

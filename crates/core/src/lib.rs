@@ -54,6 +54,7 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+pub mod backend;
 pub mod cli;
 pub mod llama;
 pub mod par;
@@ -78,7 +79,9 @@ pub use pacq_cache::{
 pub use pacq_error::{ArtifactError, PacqError, PacqResult};
 
 // Re-export the vocabulary types so `pacq` alone is enough for most uses.
-pub use pacq_fp16::{AccPrecision, Fp16, Int2, Int4, NumericsMode, PackedWord, WeightPrecision};
+pub use pacq_fp16::{
+    AccPrecision, Backend, Fp16, Int2, Int4, NumericsMode, PackedWord, WeightPrecision,
+};
 pub use pacq_quant::{
     GroupShape, MatrixF16, MatrixF32, PackDim, PackedMatrix, QuantScheme, QuantizedMatrix,
     RtnQuantizer,

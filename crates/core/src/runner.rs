@@ -7,9 +7,9 @@ use std::sync::Arc;
 use crate::report::GemmReport;
 use pacq_cache::{arch_token, CacheKey, CachedReport, ReportCache};
 use pacq_error::PacqResult;
-use pacq_fp16::{NumericsMode, WeightPrecision};
+use pacq_fp16::{Backend, NumericsMode, WeightPrecision};
 use pacq_quant::{GroupShape, MatrixF16, MatrixF32, PackDim, PackedMatrix, RtnQuantizer};
-use pacq_simt::{execute, simulate, Architecture, EnergyModel, SmConfig, Workload};
+use pacq_simt::{execute_with_backend, simulate, Architecture, EnergyModel, SmConfig, Workload};
 use rayon::prelude::*;
 
 /// End-to-end runner with a fixed machine configuration, quantization
@@ -35,6 +35,7 @@ pub struct GemmRunner {
     config: SmConfig,
     group: GroupShape,
     numerics: NumericsMode,
+    backend: Backend,
     cache: Option<Arc<ReportCache>>,
 }
 
@@ -46,6 +47,7 @@ impl GemmRunner {
             config: SmConfig::volta_like(),
             group: GroupShape::G128,
             numerics: NumericsMode::PaperRounded,
+            backend: Backend::Scalar,
             cache: None,
         }
     }
@@ -65,6 +67,15 @@ impl GemmRunner {
     /// Replaces the PacQ datapath numerics mode.
     pub fn with_numerics(mut self, numerics: NumericsMode) -> Self {
         self.numerics = numerics;
+        self
+    }
+
+    /// Replaces the functional compute backend. Both backends produce
+    /// bit-identical results — the choice only affects [`GemmRunner::execute`]
+    /// throughput, so it is deliberately *not* part of
+    /// [`GemmRunner::cache_key`].
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -95,6 +106,11 @@ impl GemmRunner {
     /// The quantization group geometry.
     pub fn group(&self) -> GroupShape {
         self.group
+    }
+
+    /// The functional compute backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Analytically simulates `workload` on `arch` and prices it.
@@ -243,7 +259,7 @@ impl GemmRunner {
         a: &MatrixF16,
         packed: &PackedMatrix,
     ) -> PacqResult<MatrixF32> {
-        execute(arch, a, packed, self.numerics)
+        execute_with_backend(arch, a, packed, self.numerics, self.backend)
     }
 }
 
@@ -308,6 +324,38 @@ mod tests {
             .cache_key(Architecture::Pacq, wl);
         assert_ne!(base, group);
         assert_ne!(base, numerics);
+    }
+
+    #[test]
+    fn execute_is_backend_invariant() {
+        // The backend is a throughput knob, not a numerics knob: the
+        // batched runner must reproduce the scalar runner to the bit.
+        let mut g = SynthGenerator::new(23);
+        let a = g.llm_activations(4, 64).to_f16();
+        let w = g.llm_weights(64, 16);
+        for arch in [
+            Architecture::StandardDequant,
+            Architecture::PackedK,
+            Architecture::Pacq,
+        ] {
+            let scalar = GemmRunner::new().with_group(GroupShape::along_k(32));
+            let batched = scalar.clone().with_backend(Backend::Batched);
+            assert_eq!(batched.backend(), Backend::Batched);
+            let p = scalar
+                .quantize_and_pack(&w, WeightPrecision::Int4, arch)
+                .expect("packs");
+            let rs = scalar.execute(arch, &a, &p).unwrap();
+            let rb = batched.execute(arch, &a, &p).unwrap();
+            for r in 0..rs.rows() {
+                for c in 0..rs.cols() {
+                    assert_eq!(
+                        rs.get(r, c).to_bits(),
+                        rb.get(r, c).to_bits(),
+                        "{arch:?} ({r},{c})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::cli;
 use crate::runner::GemmRunner;
 use pacq_cache::ReportCache;
 use pacq_error::{PacqError, PacqResult};
-use pacq_fp16::WeightPrecision;
+use pacq_fp16::{Backend, WeightPrecision};
 use pacq_quant::GroupShape;
 use pacq_simt::{Architecture, SmConfig, Workload};
 use pacq_trace::Json;
@@ -68,6 +68,10 @@ pub struct ServeOptions {
     /// shared `--jobs` validator (`par.rs`), so `--jobs`/`PACQ_JOBS`
     /// govern the server exactly like every batch command.
     pub workers: usize,
+    /// Functional compute backend for served evaluations. Both backends
+    /// answer with bit-identical reports (the conformance suite pins
+    /// this), so the knob only affects throughput.
+    pub backend: Backend,
 }
 
 impl Default for ServeOptions {
@@ -75,6 +79,7 @@ impl Default for ServeOptions {
         ServeOptions {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             workers: rayon::current_num_threads().max(1),
+            backend: Backend::Scalar,
         }
     }
 }
@@ -275,11 +280,9 @@ fn stats_frame(id: &Json, state: &ServerState) -> Json {
         "queue_depth",
         state.depth.load(Ordering::SeqCst).to_string(),
     );
-    stats.set(
-        "queue_capacity",
-        state.options.queue_capacity.to_string(),
-    );
+    stats.set("queue_capacity", state.options.queue_capacity.to_string());
     stats.set("workers", state.options.workers.to_string());
+    stats.set("backend", state.options.backend.token());
     match &state.cache {
         Some(cache) => {
             stats.set("cache_attached", true);
@@ -399,7 +402,16 @@ fn parse_request(doc: &Json) -> PacqResult<Request> {
         "analyze" => {
             check_keys(
                 doc,
-                &["op", "id", "shape", "arch", "precision", "group", "dup", "width"],
+                &[
+                    "op",
+                    "id",
+                    "shape",
+                    "arch",
+                    "precision",
+                    "group",
+                    "dup",
+                    "width",
+                ],
             )?;
             let spec = parse_spec(doc, PointSpec::base())?;
             Ok(Request::Analyze(spec.into_point()?))
@@ -460,7 +472,7 @@ fn parse_request(doc: &Json) -> PacqResult<Request> {
 // Request execution (worker side)
 // ---------------------------------------------------------------------
 
-fn point_runner(point: &Point, cache: Option<Arc<ReportCache>>) -> GemmRunner {
+fn point_runner(point: &Point, cache: Option<Arc<ReportCache>>, backend: Backend) -> GemmRunner {
     let mut cfg = SmConfig::volta_like();
     cfg.adder_tree_duplication = point.dup;
     cfg.dp_width = point.width;
@@ -468,12 +480,17 @@ fn point_runner(point: &Point, cache: Option<Arc<ReportCache>>) -> GemmRunner {
         .with_config(cfg)
         .with_group(point.group)
         .with_cache_opt(cache)
+        .with_backend(backend)
 }
 
 /// Analyzes one point and renders its report in the lossless
 /// `pacq-cache/v1` encoding (the conformance contract).
-fn point_report_json(point: &Point, cache: Option<Arc<ReportCache>>) -> PacqResult<Json> {
-    let runner = point_runner(point, cache);
+fn point_report_json(
+    point: &Point,
+    cache: Option<Arc<ReportCache>>,
+    backend: Backend,
+) -> PacqResult<Json> {
+    let runner = point_runner(point, cache, backend);
     let report = runner.analyze(point.arch, point.workload)?;
     let key = runner.cache_key(point.arch, point.workload);
     Ok(report.to_cached().to_json(&key))
@@ -483,7 +500,10 @@ fn execute_request(request: &Request, state: &ServerState, id: &Json) -> PacqRes
     match request {
         Request::Analyze(point) => {
             let mut frame = ok_frame(id);
-            frame.set("report", point_report_json(point, state.cache.clone())?);
+            frame.set(
+                "report",
+                point_report_json(point, state.cache.clone(), state.options.backend)?,
+            );
             Ok(frame)
         }
         Request::Batch(points) => {
@@ -504,7 +524,7 @@ fn execute_request(request: &Request, state: &ServerState, id: &Json) -> PacqRes
             let computed = unique
                 .clone()
                 .into_par_iter()
-                .map(|p| point_report_json(&p, state.cache.clone()))
+                .map(|p| point_report_json(&p, state.cache.clone(), state.options.backend))
                 .collect::<Vec<PacqResult<Json>>>()
                 .into_iter()
                 .collect::<PacqResult<Vec<Json>>>()?;
@@ -681,9 +701,7 @@ fn reader_loop<R: BufRead>(mut reader: R, state: &Arc<ServerState>, tx: &mpsc::S
         match read_frame(&mut reader, &mut line) {
             Ok(FrameRead::Eof) => break,
             Ok(FrameRead::Oversized) => {
-                let e = proto(format!(
-                    "frame exceeds the {MAX_FRAME_BYTES}-byte line cap"
-                ));
+                let e = proto(format!("frame exceeds the {MAX_FRAME_BYTES}-byte line cap"));
                 send(state, tx, error_frame(&Json::Null, &e), true);
             }
             Ok(FrameRead::Line) => {
@@ -824,6 +842,7 @@ impl Server {
             "queue_capacity",
             self.state.options.queue_capacity.to_string(),
         );
+        frame.set("backend", self.state.options.backend.token());
         frame
     }
 }
@@ -855,6 +874,7 @@ pub fn serve_stdio(
     ready.set("event", "ready");
     ready.set("workers", options.workers.to_string());
     ready.set("queue_capacity", options.queue_capacity.to_string());
+    ready.set("backend", options.backend.token());
     let _ = tx.send(ready.render_line());
 
     reader_loop(std::io::stdin().lock(), &state, &tx);
@@ -879,13 +899,19 @@ pub fn serve_stdio(
 // ---------------------------------------------------------------------
 
 /// `pacq serve (--port N | --stdio) [--queue N]` — parses the serve
-/// flags and runs the matching lifecycle until drained.
+/// flags and runs the matching lifecycle until drained. The `backend`
+/// comes from the global `--backend` / `PACQ_BACKEND` knob the CLI
+/// front end already resolved.
 ///
 /// # Errors
 ///
 /// Returns [`PacqError::Usage`] for flag errors and [`PacqError::Io`]
 /// when the TCP port cannot be bound.
-pub fn run_cli(args: &[String], cache: Option<Arc<ReportCache>>) -> PacqResult<String> {
+pub fn run_cli(
+    args: &[String],
+    cache: Option<Arc<ReportCache>>,
+    backend: Backend,
+) -> PacqResult<String> {
     let usage = |msg: &str| PacqError::usage(msg.to_string());
     let mut port: Option<u16> = None;
     let mut stdio = false;
@@ -918,6 +944,7 @@ pub fn run_cli(args: &[String], cache: Option<Arc<ReportCache>>) -> PacqResult<S
     }
     let options = ServeOptions {
         queue_capacity,
+        backend,
         ..ServeOptions::default()
     };
     let summary = match (port, stdio) {
@@ -991,17 +1018,20 @@ mod tests {
     #[test]
     fn malformed_frames_are_typed_protocol_or_usage_errors() {
         for (frame, class) in [
-            (r#"{"id":1}"#, "protocol"),                        // missing op
-            (r#"{"op":7}"#, "protocol"),                        // non-string op
-            (r#"{"op":"frobnicate"}"#, "protocol"),             // unknown op
-            (r#"{"op":"analyze"}"#, "usage"),                   // missing shape
-            (r#"{"op":"analyze","shape":5}"#, "protocol"),      // wrong type
-            (r#"{"op":"analyze","shape":"m1n1k1"}"#, "usage"),  // misaligned
+            (r#"{"id":1}"#, "protocol"),                       // missing op
+            (r#"{"op":7}"#, "protocol"),                       // non-string op
+            (r#"{"op":"frobnicate"}"#, "protocol"),            // unknown op
+            (r#"{"op":"analyze"}"#, "usage"),                  // missing shape
+            (r#"{"op":"analyze","shape":5}"#, "protocol"),     // wrong type
+            (r#"{"op":"analyze","shape":"m1n1k1"}"#, "usage"), // misaligned
             (r#"{"op":"analyze","shape":"m16n16k16","dup":3}"#, "usage"),
-            (r#"{"op":"analyze","shape":"m16n16k16","bogus":1}"#, "protocol"),
+            (
+                r#"{"op":"analyze","shape":"m16n16k16","bogus":1}"#,
+                "protocol",
+            ),
             (r#"{"op":"stats","shape":"m16n16k16"}"#, "protocol"), // stray field
-            (r#"{"op":"batch"}"#, "protocol"),                  // missing requests
-            (r#"{"op":"batch","requests":[3]}"#, "protocol"),   // non-object entry
+            (r#"{"op":"batch"}"#, "protocol"),                     // missing requests
+            (r#"{"op":"batch","requests":[3]}"#, "protocol"),      // non-object entry
         ] {
             let err = parse(frame).unwrap_err();
             assert_eq!(err.class(), class, "{frame}: {err}");
@@ -1076,7 +1106,13 @@ mod tests {
         );
         let (replies, summary) = drive(input, ServeOptions::default());
         assert_eq!(replies.len(), 5, "ping, analyze, parse error, stats, ack");
-        assert_eq!(summary, ServeSummary { served: 4, errors: 1 });
+        assert_eq!(
+            summary,
+            ServeSummary {
+                served: 4,
+                errors: 1
+            }
+        );
 
         assert_eq!(by_id(&replies, 1.0).get("pong"), Some(&Json::Bool(true)));
         let report = by_id(&replies, 2.0);
@@ -1089,7 +1125,10 @@ mod tests {
         let stats = by_id(&replies, 3.0);
         let stats = stats.get("stats").expect("stats payload");
         assert_eq!(stats.get("cache_attached"), Some(&Json::Bool(false)));
-        assert_eq!(by_id(&replies, 4.0).get("draining"), Some(&Json::Bool(true)));
+        assert_eq!(
+            by_id(&replies, 4.0).get("draining"),
+            Some(&Json::Bool(true))
+        );
         // The malformed line's error frame is typed and null-id.
         let err = replies
             .iter()
@@ -1097,7 +1136,9 @@ mod tests {
             .expect("error frame");
         assert_eq!(err.get("id"), Some(&Json::Null));
         assert_eq!(
-            err.get("error").and_then(|e| e.get("class")).and_then(Json::as_str),
+            err.get("error")
+                .and_then(|e| e.get("class"))
+                .and_then(Json::as_str),
             Some("protocol")
         );
     }
@@ -1116,10 +1157,7 @@ mod tests {
         let (replies, summary) = drive(&input, ServeOptions::default());
         assert_eq!(summary.errors, 0, "{replies:?}");
         let frame = by_id(&replies, 9.0);
-        assert_eq!(
-            frame.get("unique_points").and_then(Json::as_str),
-            Some("2")
-        );
+        assert_eq!(frame.get("unique_points").and_then(Json::as_str), Some("2"));
         let reports = frame.get("reports").and_then(Json::as_arr).unwrap();
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[0], reports[2], "duplicate point, identical report");
@@ -1151,6 +1189,7 @@ mod tests {
         let options = ServeOptions {
             queue_capacity: 1,
             workers: 1,
+            ..ServeOptions::default()
         };
         let (replies, summary) = drive(&input, options);
         assert_eq!(replies.len(), 64, "one reply per frame, none lost");
@@ -1185,7 +1224,9 @@ mod tests {
         assert_eq!(replies.len(), 2);
         let err = &replies[0];
         assert_eq!(
-            err.get("error").and_then(|e| e.get("class")).and_then(Json::as_str),
+            err.get("error")
+                .and_then(|e| e.get("class"))
+                .and_then(Json::as_str),
             Some("protocol"),
             "{err:?}"
         );
@@ -1203,7 +1244,7 @@ mod tests {
             "--queue",
             "--frobnicate",
         ] {
-            let err = run_cli(&argv(bad), None).unwrap_err();
+            let err = run_cli(&argv(bad), None, Backend::Scalar).unwrap_err();
             assert!(err.is_usage(), "`{bad}`: {err}");
         }
     }

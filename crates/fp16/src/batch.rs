@@ -1,0 +1,785 @@
+//! Batched structure-of-arrays kernels: the [`Backend::Batched`] fast
+//! path of the functional GEMM layer.
+//!
+//! The scalar datapath models ([`crate::Fp16Multiplier`],
+//! [`crate::ParallelFpIntMultiplier`], [`crate::softfloat`]) pay a
+//! per-element price — shift-add significand products, branchy
+//! classify/round, one `match` per special case — that is the right
+//! shape for auditing bits but the wrong shape for sweeping thousands
+//! of GEMM points. This module re-implements the same arithmetic over
+//! contiguous lanes with three batched techniques:
+//!
+//! 1. **Table-driven conversions** — one 64 Ki-entry fp16 → f32 table
+//!    turns every activation load into a single indexed read
+//!    ([`to_f32_table`]).
+//! 2. **Branch-free classify/round** — [`pack_rne`] converts f32 → fp16
+//!    with mask arithmetic (kept/round/sticky bits, carry folded into
+//!    the exponent field) instead of a per-element `match` over the
+//!    float classes, canonicalizing every NaN to the datapaths'
+//!    [`Fp16::NAN`]. Because a binary16 product is exact in binary32
+//!    and binary32 carries ≥ 2·11 + 2 significand bits, rounding
+//!    through f32 is innocuous (Figueroa's double-rounding theorem), so
+//!    `pack_rne(a·b)` and `pack_rne(a+b)` are bit-identical to the
+//!    shift-add datapaths for **all** 2³² input pairs — the in-module
+//!    frontier tests and the three-way equivalence suite pin this.
+//! 3. **LUT-assisted FP-INT products** — the parallel multiplier's lane
+//!    product depends only on the 16 activation bits and the biased
+//!    lane code, so a per-precision `codes × 65536` table built from
+//!    the scalar [`crate::ParallelFpIntMultiplier`] replaces the whole
+//!    lane datapath with one `u16` load ([`product_lut`]). INT4 costs
+//!    2 MiB, INT2 512 KiB; both are built lazily on first batched use.
+//!
+//! [`BatchedBaselineDp`] and [`BatchedParallelDp`] wrap these kernels
+//! in slice-granular entry points ([`BatchedBaselineDp::dot_slice`],
+//! [`BatchedParallelDp::dot_packed_into`]) that replicate the scalar
+//! units' chunking, adder-tree pairing and accumulation order exactly —
+//! FP16 addition is non-associative, so the order IS the contract — and
+//! are therefore bit-identical to [`crate::BaselineDpUnit`] /
+//! [`crate::ParallelDpUnit`] at their default (IEEE, round-to-nearest-
+//! even) configuration in every [`NumericsMode`] × [`AccPrecision`]
+//! combination.
+//!
+//! One caveat scopes that guarantee: when an f32/f64 *accumulator*
+//! itself turns NaN (activations containing NaN or an ∞ − ∞
+//! cancellation), both backends return NaN but the payload bits may
+//! differ — the compiler is free to commute the operands of a float
+//! add, which changes which NaN payload propagates. All fp16-domain
+//! results (products, tree sums) canonicalize to [`Fp16::NAN`] and stay
+//! bit-identical; finite results are bit-identical everywhere.
+
+use crate::bits::Fp16;
+use crate::dp::{AccPrecision, NumericsMode, MAX_WIDTH};
+use crate::packed::{PackedWord, WeightPrecision};
+use crate::parallel::{ParallelFpIntMultiplier, MAX_LANES};
+use pacq_error::PacqResult;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Which compute backend evaluates the functional GEMM flows.
+///
+/// Both backends produce bit-identical results (pinned by the
+/// three-way scalar ≡ rayon ≡ batched equivalence suite); the choice
+/// only trades auditability for throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The scalar reference datapaths — one element at a time through
+    /// the structural multiplier/adder models.
+    #[default]
+    Scalar,
+    /// The batched SoA kernels of this module: table conversions,
+    /// branch-free rounding, LUT products.
+    Batched,
+}
+
+impl Backend {
+    /// Every backend, in CLI-token order.
+    pub const ALL: [Backend; 2] = [Backend::Scalar, Backend::Batched];
+
+    /// The CLI/env token naming this backend (`scalar` / `batched`).
+    pub const fn token(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Batched => "batched",
+        }
+    }
+
+    /// Parses an exact backend token (callers trim and diagnose).
+    pub fn parse(token: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.token() == token)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// The lazily-built fp16 → f32 conversion table (64 Ki entries,
+/// 256 KiB): `table[bits]` is `Fp16::from_bits(bits).to_f32()`.
+pub fn to_f32_table() -> &'static [f32; 1 << 16] {
+    static TABLE: OnceLock<Box<[f32; 1 << 16]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = vec![0f32; 1 << 16].into_boxed_slice();
+        for (bits, slot) in t.iter_mut().enumerate() {
+            *slot = Fp16::from_bits(bits as u16).to_f32();
+        }
+        // The length is exactly 1 << 16 by construction.
+        match t.try_into() {
+            Ok(boxed) => boxed,
+            Err(_) => unreachable!(),
+        }
+    })
+}
+
+#[inline]
+fn lookup(table: &[f32; 1 << 16], x: Fp16) -> f32 {
+    table[x.to_bits() as usize]
+}
+
+/// Converts f32 → fp16 with round-to-nearest-even using mask arithmetic
+/// instead of a per-class `match`, canonicalizing every NaN to
+/// [`Fp16::NAN`] (the constant all scalar datapaths return).
+///
+/// Bit-identical to `Fp16::from_f32` for every non-NaN input; for NaN
+/// inputs the payload is dropped, matching the datapath models rather
+/// than the payload-preserving storage conversion.
+#[inline]
+pub fn pack_rne(x: f32) -> Fp16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let abs = bits & 0x7fff_ffff;
+    if abs >= 0x4780_0000 {
+        // ≥ 2^16 overflows to infinity; NaN canonicalizes (sign dropped).
+        return if abs > 0x7f80_0000 {
+            Fp16::NAN
+        } else {
+            Fp16::from_bits(sign | 0x7c00)
+        };
+    }
+    if abs < 0x3880_0000 {
+        // Below the normal cutoff 2^-14: scale into the integer window
+        // [2^23, 2^23 + 1024) where one f32 ulp is exactly one subnormal
+        // step, letting the hardware's RNE do the tie-to-even rounding.
+        // (Scaling by 2^24 is exact; a carry to 1024 lands on the
+        // hidden bit, i.e. the minimum normal — exactly as required.)
+        let mag = (f32::from_bits(abs) * 16_777_216.0 + 8_388_608.0).to_bits() & 0x7ff;
+        return Fp16::from_bits(sign | mag as u16);
+    }
+    // Normal range [2^-14, 2^16): shift the 23-bit mantissa down to 10
+    // bits with kept/round/sticky mask arithmetic; a round-up carry
+    // propagates into the exponent field (30 → 31 is the correct
+    // round-to-infinity at the fp16 ceiling).
+    let mant = abs & 0x007f_ffff;
+    let exp = (abs >> 23) - 112; // f32 bias 127 → fp16 bias 15
+    let kept = mant >> 13;
+    let round = (mant >> 12) & 1;
+    let sticky = u32::from(mant & 0x0fff != 0);
+    let inc = round & (sticky | (kept & 1));
+    Fp16::from_bits(sign | ((exp << 10) + kept + inc) as u16)
+}
+
+/// Batched fp16 multiply: bit-identical to `softfloat::mul` (and to the
+/// default [`crate::Fp16Multiplier`]) for all inputs — the product of
+/// two 11-bit significands is exact in f32, so one rounding happens.
+#[inline]
+fn mul16(table: &[f32; 1 << 16], a: Fp16, b: Fp16) -> Fp16 {
+    pack_rne(lookup(table, a) * lookup(table, b))
+}
+
+/// Batched fp16 add: bit-identical to `softfloat::add` for all inputs
+/// (f32 carries 24 ≥ 2·11 + 2 significand bits, making the double
+/// rounding innocuous; zero-sign and NaN rules coincide).
+#[inline]
+fn add16(table: &[f32; 1 << 16], a: Fp16, b: Fp16) -> Fp16 {
+    pack_rne(lookup(table, a) + lookup(table, b))
+}
+
+/// Pairwise tree reduction with the batched adder — the same adjacent-
+/// pair order as the scalar units' in-place reduction.
+#[inline]
+fn reduce_tree_batched(table: &[f32; 1 << 16], values: &mut [Fp16]) -> Fp16 {
+    let mut n = values.len();
+    if n == 0 {
+        return Fp16::ZERO;
+    }
+    while n > 1 {
+        let mut write = 0;
+        let mut read = 0;
+        while read + 1 < n {
+            values[write] = add16(table, values[read], values[read + 1]);
+            write += 1;
+            read += 2;
+        }
+        if read < n {
+            values[write] = values[read];
+            write += 1;
+        }
+        n = write;
+    }
+    values[0]
+}
+
+/// The lazily-built biased-product table for a precision: entry
+/// `[code << 16 | a_bits]` holds the fp16 bits of the parallel
+/// multiplier's lane product of activation `a_bits` with biased lane
+/// code `code`. Built directly from the scalar
+/// [`ParallelFpIntMultiplier`] (an all-lanes-same-code word, lane 0
+/// read back), so it is bit-exact by construction.
+pub fn product_lut(precision: WeightPrecision) -> &'static [u16] {
+    static INT4: OnceLock<Vec<u16>> = OnceLock::new();
+    static INT2: OnceLock<Vec<u16>> = OnceLock::new();
+    let cell = match precision {
+        WeightPrecision::Int4 => &INT4,
+        WeightPrecision::Int2 => &INT2,
+    };
+    cell.get_or_init(|| build_product_lut(precision))
+}
+
+fn build_product_lut(precision: WeightPrecision) -> Vec<u16> {
+    let mul = ParallelFpIntMultiplier::new(precision);
+    let codes = 1usize << precision.bits();
+    // Replicating the biased code into every lane field makes lane 0's
+    // product the product for that code.
+    let replicate: u16 = match precision {
+        WeightPrecision::Int4 => 0x1111,
+        WeightPrecision::Int2 => 0x5555,
+    };
+    let mut table = vec![0u16; codes << 16];
+    let mut out = [Fp16::ZERO; MAX_LANES];
+    for code in 0..codes {
+        let word = PackedWord::from_bits(code as u16 * replicate);
+        debug_assert_eq!(word.biased_lane(precision, 0) as usize, code);
+        let row = &mut table[(code << 16)..((code + 1) << 16)];
+        for (a_bits, slot) in row.iter_mut().enumerate() {
+            mul.multiply_into(Fp16::from_bits(a_bits as u16), word, &mut out);
+            *slot = out[0].to_bits();
+        }
+    }
+    table
+}
+
+/// Batched counterpart of [`crate::BaselineDpUnit`]: one call evaluates
+/// a whole k-slice (any multiple of the unit width) instead of one
+/// width-sized chunk, with bit-identical chunking and tree order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchedBaselineDp {
+    width: usize,
+    acc: AccPrecision,
+}
+
+impl BatchedBaselineDp {
+    /// Creates a batched baseline unit (FP32 accumulation, like
+    /// [`crate::BaselineDpUnit::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `width` is not 4, 8 or 16.
+    pub fn new(width: usize) -> PacqResult<Self> {
+        crate::dp::validate_width(width)?;
+        Ok(BatchedBaselineDp {
+            width,
+            acc: AccPrecision::Fp32,
+        })
+    }
+
+    /// Sets the accumulator precision.
+    pub fn with_acc_precision(mut self, acc: AccPrecision) -> Self {
+        self.acc = acc;
+        self
+    }
+
+    /// The unit width (4, 8 or 16).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// A whole-slice dot product: bit-identical to chaining
+    /// `BaselineDpUnit::dot_acc` over consecutive width-sized chunks of
+    /// `a`/`b` starting from accumulator `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` lengths differ or are not a multiple of
+    /// the unit width.
+    pub fn dot_slice(&self, c: f32, a: &[Fp16], b: &[Fp16]) -> f32 {
+        assert_eq!(a.len(), b.len(), "operand k-lengths must match");
+        assert!(
+            a.len().is_multiple_of(self.width),
+            "k-length {} not a multiple of DP width {}",
+            a.len(),
+            self.width
+        );
+        let table = to_f32_table();
+        let mut prod = [Fp16::ZERO; MAX_WIDTH];
+        match self.acc {
+            AccPrecision::Fp32 => {
+                let mut acc = c;
+                for (ca, cb) in a.chunks_exact(self.width).zip(b.chunks_exact(self.width)) {
+                    for (slot, (&x, &y)) in prod.iter_mut().zip(ca.iter().zip(cb)) {
+                        *slot = mul16(table, x, y);
+                    }
+                    let tree = reduce_tree_batched(table, &mut prod[..self.width]);
+                    acc += lookup(table, tree);
+                }
+                acc
+            }
+            AccPrecision::Fp16 => {
+                // The scalar chain's from_f32(to_f32(·)) round trip is the
+                // identity on fp16 values, so the accumulator can stay fp16.
+                let mut acc = Fp16::from_f32(c);
+                for (ca, cb) in a.chunks_exact(self.width).zip(b.chunks_exact(self.width)) {
+                    for (slot, (&x, &y)) in prod.iter_mut().zip(ca.iter().zip(cb)) {
+                        *slot = mul16(table, x, y);
+                    }
+                    let tree = reduce_tree_batched(table, &mut prod[..self.width]);
+                    acc = add16(table, acc, tree);
+                }
+                acc.to_f32()
+            }
+        }
+    }
+}
+
+/// Batched counterpart of [`crate::ParallelDpUnit`] at its default
+/// (IEEE, RNE) multiplier configuration: LUT lane products, table
+/// conversions, branch-free rounding — same chunk/tree/accumulate
+/// order, so bit-identical per-lane sums and Σ A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchedParallelDp {
+    width: usize,
+    precision: WeightPrecision,
+    acc: AccPrecision,
+    numerics: NumericsMode,
+}
+
+impl BatchedParallelDp {
+    /// Creates a batched parallel unit (FP32 accumulation, paper-rounded
+    /// numerics — the defaults of [`crate::ParallelDpUnit::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `width` is not 4, 8 or 16.
+    pub fn new(width: usize, precision: WeightPrecision) -> PacqResult<Self> {
+        crate::dp::validate_width(width)?;
+        Ok(BatchedParallelDp {
+            width,
+            precision,
+            acc: AccPrecision::Fp32,
+            numerics: NumericsMode::PaperRounded,
+        })
+    }
+
+    /// Sets the accumulator precision.
+    pub fn with_acc_precision(mut self, acc: AccPrecision) -> Self {
+        self.acc = acc;
+        self
+    }
+
+    /// Sets the product-rounding behaviour (see [`NumericsMode`]).
+    pub fn with_numerics(mut self, numerics: NumericsMode) -> Self {
+        self.numerics = numerics;
+        self
+    }
+
+    /// The unit width (4, 8 or 16).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The weight precision.
+    pub fn precision(&self) -> WeightPrecision {
+        self.precision
+    }
+
+    /// Batched counterpart of `ParallelDpUnit::dot_packed_into`: same
+    /// signature, same contract, bit-identical lane sums and Σ A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` lengths differ or are not a multiple of
+    /// the unit width.
+    pub fn dot_packed_into(
+        &self,
+        a: &[Fp16],
+        b: &[PackedWord],
+        lane_sums: &mut [f32; MAX_LANES],
+    ) -> f64 {
+        assert_eq!(a.len(), b.len(), "operand k-lengths must match");
+        assert!(
+            a.len().is_multiple_of(self.width),
+            "k-length {} not a multiple of DP width {}",
+            a.len(),
+            self.width
+        );
+        let lanes = self.precision.lanes();
+        let table = to_f32_table();
+        lane_sums[..lanes].fill(0f32);
+        let mut sum_a = 0f64;
+        match self.numerics {
+            NumericsMode::PaperRounded => {
+                let lut = product_lut(self.precision);
+                let mut lane_sums_fp16 = [Fp16::ZERO; MAX_LANES];
+                let mut col = [Fp16::ZERO; MAX_WIDTH];
+                for (ca, cb) in a.chunks_exact(self.width).zip(b.chunks_exact(self.width)) {
+                    for &ak in ca {
+                        sum_a += lookup(table, ak) as f64;
+                    }
+                    for lane in 0..lanes {
+                        for (slot, (&ak, &bk)) in col[..self.width]
+                            .iter_mut()
+                            .zip(ca.iter().zip(cb))
+                            .take(self.width)
+                        {
+                            let code = bk.biased_lane(self.precision, lane) as usize;
+                            *slot = Fp16::from_bits(lut[(code << 16) | ak.to_bits() as usize]);
+                        }
+                        let tree = reduce_tree_batched(table, &mut col[..self.width]);
+                        match self.acc {
+                            AccPrecision::Fp16 => {
+                                lane_sums_fp16[lane] = add16(table, lane_sums_fp16[lane], tree);
+                            }
+                            AccPrecision::Fp32 => {
+                                lane_sums[lane] += lookup(table, tree);
+                            }
+                        }
+                    }
+                }
+                if self.acc == AccPrecision::Fp16 {
+                    for (dst, src) in lane_sums[..lanes].iter_mut().zip(&lane_sums_fp16) {
+                        *dst = src.to_f32();
+                    }
+                }
+            }
+            NumericsMode::Wide => {
+                let mut af = [0f32; MAX_WIDTH];
+                for (ca, cb) in a.chunks_exact(self.width).zip(b.chunks_exact(self.width)) {
+                    for (slot, &ak) in af.iter_mut().zip(ca) {
+                        let v = lookup(table, ak);
+                        sum_a += v as f64;
+                        *slot = v;
+                    }
+                    for (lane, sum) in lane_sums[..lanes].iter_mut().enumerate() {
+                        for (&v, &bk) in af[..self.width].iter().zip(cb) {
+                            // The exact biased product fits f32 (22-bit
+                            // significand): 1024 + code = B + offset.
+                            let code = bk.biased_lane(self.precision, lane);
+                            *sum += v * (1024.0 + code as f32);
+                        }
+                    }
+                }
+            }
+        }
+        sum_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{BaselineDpUnit, ParallelDpUnit};
+    use crate::softfloat;
+
+    /// A small deterministic generator for f32 bit patterns.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 32) as u32
+        }
+    }
+
+    /// fp16 values that sit on every classify/round frontier.
+    fn frontier_values() -> Vec<Fp16> {
+        let mut v: Vec<u16> = vec![
+            0x0000, 0x8000, // ±0
+            0x0001, 0x8001, // min subnormals
+            0x03ff, 0x83ff, // max subnormals
+            0x0400, 0x8400, // min normals
+            0x3bff, 0x3c00, 0x3c01, // around 1.0
+            0x7bff, 0xfbff, // ±max finite
+            0x7c00, 0xfc00, // ±inf
+            0x7e00, 0x7c01, 0xfdff, // NaNs
+            0x4c88, 0x64d2, 0x7801, // assorted normals
+        ];
+        // The RNE carry frontier: all-ones mantissas near the overflow
+        // boundary, both signs.
+        for exp in 19..=30u16 {
+            v.push((exp << 10) | 0x3ff);
+            v.push(0x8000 | (exp << 10) | 0x3ff);
+        }
+        v.into_iter().map(Fp16::from_bits).collect()
+    }
+
+    #[test]
+    fn pack_rne_matches_from_f32_on_non_nan_inputs() {
+        // Crafted boundary payloads in every f32 exponent regime the
+        // fp16 conversion distinguishes, plus a big random sample.
+        let mantissas = [
+            0x000000, 0x000001, 0x000fff, 0x001000, 0x001001, 0x3fffff, 0x400000, 0x7fe000,
+            0x7fefff, 0x7ff000, 0x7ff001, 0x7fffff,
+        ];
+        for exp in 0..=0xfeu32 {
+            for &mant in &mantissas {
+                for sign in [0u32, 0x8000_0000] {
+                    let x = f32::from_bits(sign | (exp << 23) | mant);
+                    assert_eq!(
+                        pack_rne(x).to_bits(),
+                        Fp16::from_f32(x).to_bits(),
+                        "x = {x:e} ({:#010x})",
+                        x.to_bits()
+                    );
+                }
+            }
+        }
+        let mut lcg = Lcg(0x9e3779b97f4a7c15);
+        for _ in 0..1_000_000 {
+            let bits = lcg.next_u32();
+            let x = f32::from_bits(bits);
+            if x.is_nan() {
+                continue;
+            }
+            assert_eq!(
+                pack_rne(x).to_bits(),
+                Fp16::from_f32(x).to_bits(),
+                "bits {bits:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_rne_canonicalizes_every_nan() {
+        for bits in [
+            0x7f80_0001u32,
+            0x7fc0_0000,
+            0x7fff_ffff,
+            0xffc1_2345,
+            0xff80_0001,
+        ] {
+            assert_eq!(
+                pack_rne(f32::from_bits(bits)).to_bits(),
+                Fp16::NAN.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_mul_and_add_match_softfloat_on_frontier_pairs() {
+        let table = to_f32_table();
+        for &a in &frontier_values() {
+            for &b in &frontier_values() {
+                assert_eq!(
+                    mul16(table, a, b).to_bits(),
+                    softfloat::mul(a, b).to_bits(),
+                    "mul {:#06x} × {:#06x}",
+                    a.to_bits(),
+                    b.to_bits()
+                );
+                assert_eq!(
+                    add16(table, a, b).to_bits(),
+                    softfloat::add(a, b).to_bits(),
+                    "add {:#06x} + {:#06x}",
+                    a.to_bits(),
+                    b.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mul_and_add_match_softfloat_on_random_pairs() {
+        let table = to_f32_table();
+        let mut lcg = Lcg(7);
+        for _ in 0..1_000_000 {
+            let r = lcg.next_u32();
+            let a = Fp16::from_bits(r as u16);
+            let b = Fp16::from_bits((r >> 16) as u16);
+            assert_eq!(
+                mul16(table, a, b).to_bits(),
+                softfloat::mul(a, b).to_bits(),
+                "mul {:#06x} × {:#06x}",
+                a.to_bits(),
+                b.to_bits()
+            );
+            assert_eq!(
+                add16(table, a, b).to_bits(),
+                softfloat::add(a, b).to_bits(),
+                "add {:#06x} + {:#06x}",
+                a.to_bits(),
+                b.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn conversion_table_is_exact() {
+        let table = to_f32_table();
+        for x in Fp16::all_values() {
+            let (got, want) = (lookup(table, x), x.to_f32());
+            assert!(
+                got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                "{:#06x}",
+                x.to_bits()
+            );
+        }
+    }
+
+    /// The product LUT agrees with every lane of the scalar multiplier
+    /// for every activation and every packed word worth of codes.
+    #[test]
+    fn product_lut_matches_scalar_multiplier_exhaustively() {
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            let lut = product_lut(precision);
+            let mul = ParallelFpIntMultiplier::new(precision);
+            let mut out = [Fp16::ZERO; MAX_LANES];
+            // A word whose lanes enumerate distinct codes exercises the
+            // per-lane extraction too.
+            let word = PackedWord::from_bits(0xD2B1);
+            for a in Fp16::all_values() {
+                mul.multiply_into(a, word, &mut out);
+                for (lane, got) in out.iter().enumerate().take(precision.lanes()) {
+                    let code = word.biased_lane(precision, lane) as usize;
+                    assert_eq!(
+                        lut[(code << 16) | a.to_bits() as usize],
+                        got.to_bits(),
+                        "{precision} a={:#06x} lane {lane}",
+                        a.to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    fn random_operands(seed: u64, len: usize) -> (Vec<Fp16>, Vec<Fp16>, Vec<PackedWord>) {
+        let mut lcg = Lcg(seed);
+        let a: Vec<Fp16> = (0..len)
+            .map(|_| Fp16::from_bits(lcg.next_u32() as u16))
+            .collect();
+        let b: Vec<Fp16> = (0..len)
+            .map(|_| Fp16::from_bits(lcg.next_u32() as u16))
+            .collect();
+        let w: Vec<PackedWord> = (0..len)
+            .map(|_| PackedWord::from_bits(lcg.next_u32() as u16))
+            .collect();
+        (a, b, w)
+    }
+
+    /// Activation vectors that keep sums finite but cross the subnormal
+    /// and rounding frontiers (arbitrary bit patterns include NaN/inf,
+    /// which the bit-compare above already covers).
+    fn frontier_operands(len: usize) -> (Vec<Fp16>, Vec<Fp16>, Vec<PackedWord>) {
+        let specials = frontier_values();
+        let mut lcg = Lcg(41);
+        let pick = |lcg: &mut Lcg| specials[lcg.next_u32() as usize % specials.len()];
+        let a: Vec<Fp16> = (0..len).map(|_| pick(&mut lcg)).collect();
+        let b: Vec<Fp16> = (0..len).map(|_| pick(&mut lcg)).collect();
+        let w: Vec<PackedWord> = (0..len)
+            .map(|_| PackedWord::from_bits(lcg.next_u32() as u16))
+            .collect();
+        (a, b, w)
+    }
+
+    #[test]
+    fn batched_baseline_matches_scalar_chain() {
+        for width in [4usize, 8, 16] {
+            for acc in [AccPrecision::Fp32, AccPrecision::Fp16] {
+                let scalar = BaselineDpUnit::new(width).unwrap().with_acc_precision(acc);
+                let batched = BatchedBaselineDp::new(width)
+                    .unwrap()
+                    .with_acc_precision(acc);
+                for (seed, len) in [(1u64, 4 * width), (2, 16 * width), (3, width)] {
+                    let (a, b, _) = random_operands(seed, len);
+                    let mut want = 0.5f32;
+                    for (ca, cb) in a.chunks(width).zip(b.chunks(width)) {
+                        want = scalar.dot_acc(want, ca, cb);
+                    }
+                    let got = batched.dot_slice(0.5, &a, &b);
+                    assert!(
+                        got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                        "width {width} {acc:?} len {len}: {got} vs {want}"
+                    );
+                }
+                let (a, b, _) = frontier_operands(8 * width);
+                let mut want = 0f32;
+                for (ca, cb) in a.chunks(width).zip(b.chunks(width)) {
+                    want = scalar.dot_acc(want, ca, cb);
+                }
+                let got = batched.dot_slice(0.0, &a, &b);
+                assert!(
+                    got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                    "frontier width {width} {acc:?}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_parallel_matches_scalar_in_every_mode() {
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            for numerics in [NumericsMode::PaperRounded, NumericsMode::Wide] {
+                for acc in [AccPrecision::Fp32, AccPrecision::Fp16] {
+                    for width in [4usize, 8] {
+                        let scalar = ParallelDpUnit::new(width, 2, precision)
+                            .unwrap()
+                            .with_numerics(numerics)
+                            .with_acc_precision(acc);
+                        let batched = BatchedParallelDp::new(width, precision)
+                            .unwrap()
+                            .with_numerics(numerics)
+                            .with_acc_precision(acc);
+                        for (seed, len) in [(11u64, 4 * width), (12, 16 * width)] {
+                            let (a, _, w) = random_operands(seed, len);
+                            let mut want = [0f32; MAX_LANES];
+                            let want_sum = scalar.dot_packed_into(&a, &w, &mut want);
+                            let mut got = [0f32; MAX_LANES];
+                            let got_sum = batched.dot_packed_into(&a, &w, &mut got);
+                            // NaN payloads are outside the contract (the
+                            // compiler may commute float adds, changing
+                            // which payload propagates).
+                            assert!(
+                                got_sum.to_bits() == want_sum.to_bits()
+                                    || (got_sum.is_nan() && want_sum.is_nan()),
+                                "ΣA {precision}/{numerics:?}/{acc:?}/w{width}: \
+                                 {got_sum} vs {want_sum}"
+                            );
+                            for lane in 0..precision.lanes() {
+                                let (g, s) = (got[lane], want[lane]);
+                                assert!(
+                                    g.to_bits() == s.to_bits() || (g.is_nan() && s.is_nan()),
+                                    "lane {lane} {precision}/{numerics:?}/{acc:?}/w{width}: \
+                                     {g} vs {s}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_parallel_matches_scalar_on_frontier_activations() {
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            for numerics in [NumericsMode::PaperRounded, NumericsMode::Wide] {
+                let scalar = ParallelDpUnit::new(4, 2, precision)
+                    .unwrap()
+                    .with_numerics(numerics);
+                let batched = BatchedParallelDp::new(4, precision)
+                    .unwrap()
+                    .with_numerics(numerics);
+                let (a, _, w) = frontier_operands(32);
+                let mut want = [0f32; MAX_LANES];
+                let want_sum = scalar.dot_packed_into(&a, &w, &mut want);
+                let mut got = [0f32; MAX_LANES];
+                let got_sum = batched.dot_packed_into(&a, &w, &mut got);
+                assert!(
+                    got_sum.to_bits() == want_sum.to_bits()
+                        || (got_sum.is_nan() && want_sum.is_nan()),
+                    "ΣA {precision}/{numerics:?}: {got_sum} vs {want_sum}"
+                );
+                for lane in 0..precision.lanes() {
+                    let (g, s) = (got[lane], want[lane]);
+                    assert!(
+                        g.to_bits() == s.to_bits() || (g.is_nan() && s.is_nan()),
+                        "lane {lane} {precision}/{numerics:?}: {g} vs {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_tokens_round_trip() {
+        for backend in Backend::ALL {
+            assert_eq!(Backend::parse(backend.token()), Some(backend));
+            assert_eq!(backend.to_string(), backend.token());
+        }
+        assert_eq!(Backend::parse("turbo"), None);
+        assert_eq!(Backend::parse("Scalar"), None, "tokens are exact");
+        assert_eq!(Backend::default(), Backend::Scalar);
+    }
+}

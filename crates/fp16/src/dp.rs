@@ -108,10 +108,10 @@ impl SumAccumulator {
 
 /// Largest supported DP width; sizes the stack scratch buffers of the
 /// allocation-free dot-product paths.
-const MAX_WIDTH: usize = 16;
+pub(crate) const MAX_WIDTH: usize = 16;
 
 /// Supported dot-product widths (Figure 12(a) studies DP-8 and DP-16).
-fn validate_width(width: usize) -> PacqResult<()> {
+pub(crate) fn validate_width(width: usize) -> PacqResult<()> {
     if matches!(width, 4 | 8 | 16) {
         Ok(())
     } else {
@@ -243,19 +243,43 @@ pub struct PackedDotResult {
 impl PackedDotResult {
     /// Recovers the true dot products `Σ A·B` per lane via Eq. (1).
     pub fn recover(&self) -> Vec<f32> {
-        self.lane_sums
-            .iter()
-            .map(|&s| (s as f64 - self.offset as f64 * self.sum_a) as f32)
-            .collect()
+        let mut out = vec![0f32; self.lane_sums.len()];
+        self.recover_into(&mut out);
+        out
+    }
+
+    /// Allocation-free core of [`Self::recover`]: writes the recovered
+    /// lanes into the front of `out` (caller-provided scratch for the
+    /// GEMM hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `lane_sums`.
+    pub fn recover_into(&self, out: &mut [f32]) {
+        assert!(
+            out.len() >= self.lane_sums.len(),
+            "recovery scratch holds {} lanes, need {}",
+            out.len(),
+            self.lane_sums.len()
+        );
+        for (dst, &s) in out.iter_mut().zip(&self.lane_sums) {
+            *dst = (s as f64 - self.offset as f64 * self.sum_a) as f32;
+        }
     }
 
     /// Recovers and applies a quantization scale per lane.
     pub fn recover_scaled(&self, scales: &[f32]) -> Vec<f32> {
-        self.recover()
-            .iter()
-            .zip(scales)
-            .map(|(&v, &s)| v * s)
-            .collect()
+        let mut out = vec![0f32; self.lane_sums.len().min(scales.len())];
+        self.recover_scaled_into(scales, &mut out);
+        out
+    }
+
+    /// Allocation-free core of [`Self::recover_scaled`]: recovery and
+    /// per-lane scaling into caller-provided scratch.
+    pub fn recover_scaled_into(&self, scales: &[f32], out: &mut [f32]) {
+        for ((dst, &s), &scale) in out.iter_mut().zip(&self.lane_sums).zip(scales) {
+            *dst = (s as f64 - self.offset as f64 * self.sum_a) as f32 * scale;
+        }
     }
 }
 
@@ -779,6 +803,34 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The allocation-free recovery variants agree bit-for-bit with the
+    /// Vec-returning wrappers.
+    #[test]
+    fn recover_into_matches_recover() {
+        let dp = ParallelDpUnit::new(4, 2, WeightPrecision::Int4).unwrap();
+        let a: Vec<Fp16> = [1.5f32, -0.25, 3.0, 0.125]
+            .iter()
+            .map(|&v| Fp16::from_f32(v))
+            .collect();
+        let words = vec![PackedWord::from_bits(0xA731); 4];
+        let res = dp.dot_packed(&a, &words);
+        let scales = [0.5f32, 2.0, -1.25, 0.75];
+
+        let want = res.recover();
+        let mut got = [0f32; MAX_LANES];
+        res.recover_into(&mut got);
+        for (lane, &w) in want.iter().enumerate() {
+            assert_eq!(got[lane].to_bits(), w.to_bits(), "recover lane {lane}");
+        }
+
+        let want = res.recover_scaled(&scales);
+        let mut got = [0f32; MAX_LANES];
+        res.recover_scaled_into(&scales, &mut got);
+        for (lane, &w) in want.iter().enumerate() {
+            assert_eq!(got[lane].to_bits(), w.to_bits(), "scaled lane {lane}");
         }
     }
 

@@ -20,11 +20,16 @@
 
 use crate::config::Architecture;
 use pacq_error::{PacqError, PacqResult};
-use pacq_fp16::{BaselineDpUnit, Fp16, NumericsMode, PackedWord, ParallelDpUnit, MAX_LANES};
+use pacq_fp16::{
+    Backend, BaselineDpUnit, BatchedBaselineDp, BatchedParallelDp, Fp16, NumericsMode, PackedWord,
+    ParallelDpUnit, MAX_LANES,
+};
 use pacq_quant::{MatrixF16, MatrixF32, PackDim, PackedMatrix};
 use rayon::prelude::*;
 
-/// Executes a GEMM functionally on the given architecture.
+/// Executes a GEMM functionally on the given architecture through the
+/// scalar reference datapaths (shorthand for [`execute_with_backend`]
+/// at [`Backend::Scalar`]).
 ///
 /// * `a` — FP16 activations `[m, k]`;
 /// * `packed` — packed quantized weights `[k, n]`; must be packed along
@@ -47,6 +52,29 @@ pub fn execute(
     packed: &PackedMatrix,
     numerics: NumericsMode,
 ) -> PacqResult<MatrixF32> {
+    execute_with_backend(arch, a, packed, numerics, Backend::Scalar)
+}
+
+/// [`execute`] with an explicit compute backend.
+///
+/// [`Backend::Scalar`] walks every element through the structural
+/// datapath models; [`Backend::Batched`] runs the SoA fast path of
+/// `pacq_fp16::batch` (table conversions, branch-free rounding, LUT
+/// lane products). Both tile the output identically and preserve the
+/// per-element accumulation order, so the backends are bit-identical —
+/// the three-way equivalence suite in `tests/parallel_equivalence.rs`
+/// pins scalar ≡ rayon ≡ batched on every flow.
+///
+/// # Errors
+///
+/// Exactly as [`execute`].
+pub fn execute_with_backend(
+    arch: Architecture,
+    a: &MatrixF16,
+    packed: &PackedMatrix,
+    numerics: NumericsMode,
+    backend: Backend,
+) -> PacqResult<MatrixF32> {
     if a.cols() != packed.k() {
         return Err(PacqError::ShapeMismatch {
             context: "simt::execute (A columns vs B rows)",
@@ -55,7 +83,7 @@ pub fn execute(
         });
     }
     match arch {
-        Architecture::StandardDequant => run_standard(a, packed),
+        Architecture::StandardDequant => run_standard(a, packed, backend),
         Architecture::PackedK => {
             if packed.pack_dim() != PackDim::K {
                 return Err(PacqError::invalid_input(
@@ -63,7 +91,7 @@ pub fn execute(
                     "PackedK flow requires P(B_x)_k packing",
                 ));
             }
-            run_packed_k(a, packed)
+            run_packed_k(a, packed, backend)
         }
         Architecture::Pacq => {
             if packed.pack_dim() != PackDim::N {
@@ -72,7 +100,7 @@ pub fn execute(
                     "PacQ flow requires P(B_x)_n packing",
                 ));
             }
-            run_pacq(a, packed, numerics)
+            run_pacq(a, packed, numerics, backend)
         }
     }
 }
@@ -100,9 +128,10 @@ fn band_rows(m: usize) -> usize {
 
 /// StandardDequant: weights dequantized to FP16 storage, then a plain
 /// FP16 GEMM on the baseline DP units with f32 accumulation.
-fn run_standard(a: &MatrixF16, packed: &PackedMatrix) -> PacqResult<MatrixF32> {
+fn run_standard(a: &MatrixF16, packed: &PackedMatrix, backend: Backend) -> PacqResult<MatrixF32> {
     let deq = packed.unpack().dequantize().to_f16();
     let dp = BaselineDpUnit::new(DP_WIDTH)?;
+    let bdp = BatchedBaselineDp::new(DP_WIDTH)?;
     let (m, n, k) = (a.rows(), packed.n(), packed.k());
     if k % DP_WIDTH != 0 {
         return Err(PacqError::Misaligned {
@@ -133,12 +162,20 @@ fn run_standard(a: &MatrixF16, packed: &PackedMatrix) -> PacqResult<MatrixF32> {
                     }
                     for r in 0..rows {
                         let arow = a.row(i0 + r);
-                        let mut acc = 0f32;
-                        for k0 in (0..k).step_by(DP_WIDTH) {
-                            acc =
-                                dp.dot_acc(acc, &arow[k0..k0 + DP_WIDTH], &bcol[k0..k0 + DP_WIDTH]);
-                        }
-                        chunk[r * n + j] = acc;
+                        chunk[r * n + j] = match backend {
+                            Backend::Scalar => {
+                                let mut acc = 0f32;
+                                for k0 in (0..k).step_by(DP_WIDTH) {
+                                    acc = dp.dot_acc(
+                                        acc,
+                                        &arow[k0..k0 + DP_WIDTH],
+                                        &bcol[k0..k0 + DP_WIDTH],
+                                    );
+                                }
+                                acc
+                            }
+                            Backend::Batched => bdp.dot_slice(0f32, arow, &bcol),
+                        };
                     }
                 }
             }
@@ -149,8 +186,9 @@ fn run_standard(a: &MatrixF16, packed: &PackedMatrix) -> PacqResult<MatrixF32> {
 /// PackedK: packed words enter the tensor core; each weight is converted
 /// inline to FP16 (exact for 4-bit signed integers) and processed
 /// sequentially; group scales are applied per k-segment in the epilogue.
-fn run_packed_k(a: &MatrixF16, packed: &PackedMatrix) -> PacqResult<MatrixF32> {
+fn run_packed_k(a: &MatrixF16, packed: &PackedMatrix, backend: Backend) -> PacqResult<MatrixF32> {
     let dp = BaselineDpUnit::new(DP_WIDTH)?;
+    let bdp = BatchedBaselineDp::new(DP_WIDTH)?;
     let (m, n, k) = (a.rows(), packed.n(), packed.k());
     let seg = packed.group().k_size.min(k);
     if seg % DP_WIDTH != 0 {
@@ -201,14 +239,22 @@ fn run_packed_k(a: &MatrixF16, packed: &PackedMatrix) -> PacqResult<MatrixF32> {
                         let arow = a.row(i0 + r);
                         let mut acc = 0f64;
                         for (s, s0) in (0..k).step_by(seg).enumerate() {
-                            let mut seg_acc = 0f32;
-                            for k0 in (s0..s0 + seg).step_by(DP_WIDTH) {
-                                seg_acc = dp.dot_acc(
-                                    seg_acc,
-                                    &arow[k0..k0 + DP_WIDTH],
-                                    &bcol[k0..k0 + DP_WIDTH],
-                                );
-                            }
+                            let seg_acc = match backend {
+                                Backend::Scalar => {
+                                    let mut seg_acc = 0f32;
+                                    for k0 in (s0..s0 + seg).step_by(DP_WIDTH) {
+                                        seg_acc = dp.dot_acc(
+                                            seg_acc,
+                                            &arow[k0..k0 + DP_WIDTH],
+                                            &bcol[k0..k0 + DP_WIDTH],
+                                        );
+                                    }
+                                    seg_acc
+                                }
+                                Backend::Batched => {
+                                    bdp.dot_slice(0f32, &arow[s0..s0 + seg], &bcol[s0..s0 + seg])
+                                }
+                            };
                             acc += seg_acc as f64 * scales[s] as f64;
                         }
                         chunk[r * n + j] = acc as f32;
@@ -223,10 +269,16 @@ fn run_packed_k(a: &MatrixF16, packed: &PackedMatrix) -> PacqResult<MatrixF32> {
 /// against n-packed words; the Σ A accumulators and the general core
 /// remove the `+offset` bias per k-segment (Eq. (1), Figure 6) and apply
 /// the group scales.
-fn run_pacq(a: &MatrixF16, packed: &PackedMatrix, numerics: NumericsMode) -> PacqResult<MatrixF32> {
+fn run_pacq(
+    a: &MatrixF16,
+    packed: &PackedMatrix,
+    numerics: NumericsMode,
+    backend: Backend,
+) -> PacqResult<MatrixF32> {
     let precision = packed.precision();
     let lanes = precision.lanes();
     let dp = ParallelDpUnit::new(DP_WIDTH, 2, precision)?.with_numerics(numerics);
+    let bdp = BatchedParallelDp::new(DP_WIDTH, precision)?.with_numerics(numerics);
     let (m, n, k) = (a.rows(), packed.n(), packed.k());
     let seg = packed.group().k_size.min(k);
     if seg % DP_WIDTH != 0 {
@@ -277,7 +329,14 @@ fn run_pacq(a: &MatrixF16, packed: &PackedMatrix, numerics: NumericsMode) -> Pac
                     }
                     for r in 0..rows {
                         let arow = a.row(i0 + r);
-                        let sum_a = dp.dot_packed_into(&arow[s0..s0 + seg], &words, &mut lane_sums);
+                        let sum_a = match backend {
+                            Backend::Scalar => {
+                                dp.dot_packed_into(&arow[s0..s0 + seg], &words, &mut lane_sums)
+                            }
+                            Backend::Batched => {
+                                bdp.dot_packed_into(&arow[s0..s0 + seg], &words, &mut lane_sums)
+                            }
+                        };
                         // Eq. (1) recovery gives Σ A·(q − bias); asymmetric
                         // zero points shift by (bias − z)·Σ A — absorbed by
                         // the same Σ A accumulator at zero extra hardware.

@@ -52,6 +52,7 @@ pub mod stats;
 pub use config::{Architecture, GemmShape, SmConfig, Workload};
 pub use dataflow::simulate;
 pub use energy_model::{EnergyModel, EnergyReport};
-pub use exec::{execute, reference};
+pub use exec::{execute, execute_with_backend, reference};
+pub use pacq_fp16::Backend;
 pub use pipeline::{octet_schedule, OctetPipeline, PipelineEvent, PipelineTrace};
 pub use stats::{GemmStats, GeneralCoreOps, LevelTraffic, RfTraffic};

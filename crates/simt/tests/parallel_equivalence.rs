@@ -11,13 +11,20 @@
 //! The job count is process-global, so every test serializes on a
 //! shared lock before touching the pool and restores the host default
 //! afterwards.
+//!
+//! The suite additionally pins the *backend* contract: the batched SoA
+//! kernels (`Backend::Batched`) must agree with the scalar reference to
+//! the last bit, at every job count — a three-way scalar ≡ rayon ≡
+//! batched check over the flows, precisions, numerics modes, randomized
+//! shapes/group sizes, and the fp16 classify/round frontier inputs
+//! (subnormals, ±∞, NaN, carry-to-infinity magnitudes).
 
-use pacq_fp16::{NumericsMode, WeightPrecision};
+use pacq_fp16::{Backend, Fp16, NumericsMode, WeightPrecision};
 use pacq_quant::{
-    awq::AwqScaler, gptq::GptqQuantizer, synth::SynthGenerator, GroupShape, MatrixF32, PackDim,
-    PackedMatrix, QuantizedMatrix, RtnQuantizer,
+    awq::AwqScaler, gptq::GptqQuantizer, synth::SynthGenerator, GroupShape, MatrixF16, MatrixF32,
+    PackDim, PackedMatrix, QuantizedMatrix, RtnQuantizer,
 };
-use pacq_simt::{execute, reference, Architecture};
+use pacq_simt::{execute, execute_with_backend, reference, Architecture};
 use std::sync::{Mutex, MutexGuard};
 
 /// Serializes pool reconfiguration across the test binary's threads.
@@ -218,4 +225,159 @@ fn awq_search_is_bit_identical_across_job_counts() {
         .collect();
     assert_eq!(sb, pb, "awq: channel scale bits diverge");
     assert_artifacts_eq(&serial.quantized, &parallel.quantized, "awq/quantized");
+}
+
+/// Asserts two f32 matrices agree to the last bit, except that a NaN
+/// may face a NaN with a different payload: once an f32/f64 accumulator
+/// goes NaN, the surviving payload depends on float-add operand order
+/// the compiler is free to commute, so payloads are outside the
+/// backend contract (finite values are never exempted).
+fn assert_bits_eq_nan_loose(left: &MatrixF32, right: &MatrixF32, what: &str) {
+    assert_eq!(left.rows(), right.rows(), "{what}: row mismatch");
+    assert_eq!(left.cols(), right.cols(), "{what}: col mismatch");
+    for r in 0..left.rows() {
+        for c in 0..left.cols() {
+            let (l, p) = (left.get(r, c), right.get(r, c));
+            assert!(
+                l.to_bits() == p.to_bits() || (l.is_nan() && p.is_nan()),
+                "{what}: ({r},{c}) diverges: {l} vs {p}"
+            );
+        }
+    }
+}
+
+/// The tentpole contract: scalar ≡ rayon ≡ batched. Every flow ×
+/// precision × numerics mode runs under both backends at `jobs = 1`
+/// and `jobs = 4`; all four results must carry identical bits.
+#[test]
+fn batched_backend_is_bit_identical_to_scalar_across_job_counts() {
+    for arch in [
+        Architecture::StandardDequant,
+        Architecture::PackedK,
+        Architecture::Pacq,
+    ] {
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            for numerics in [NumericsMode::PaperRounded, NumericsMode::Wide] {
+                let mut g = SynthGenerator::new(83);
+                let a = g.llm_activations(M, K).to_f16();
+                let w = g.llm_weights(K, N);
+                let q = RtnQuantizer::new(precision, GroupShape::along_k(32))
+                    .quantize(&w)
+                    .expect("quantizes");
+                let p = PackedMatrix::pack(&q, pack_for(arch)).expect("packs");
+                let what = format!("execute({arch:?}, {precision}, {numerics:?})");
+                let run = |backend| {
+                    at_1_and_4(|| {
+                        execute_with_backend(arch, &a, &p, numerics, backend).expect("executes")
+                    })
+                };
+                let (scalar_1, scalar_4) = run(Backend::Scalar);
+                let (batched_1, batched_4) = run(Backend::Batched);
+                assert_bits_eq(&scalar_1, &scalar_4, &format!("{what} scalar jobs"));
+                assert_bits_eq(&batched_1, &batched_4, &format!("{what} batched jobs"));
+                assert_bits_eq(&scalar_1, &batched_1, &format!("{what} backends"));
+            }
+        }
+    }
+}
+
+/// Three-way equivalence over randomized shapes, precisions, group
+/// sizes and numerics modes — the property the backend selector relies
+/// on for every sweep point.
+#[test]
+fn three_way_equivalence_over_randomized_shapes() {
+    let mut state = 0x2545f4914f6cdd1du64;
+    let mut next = move |bound: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 33) as usize % bound
+    };
+    for trial in 0..8 {
+        let m = 1 + next(8);
+        let k = [32usize, 64, 128][next(3)];
+        let n = [16usize, 32][next(2)];
+        let group = [16usize, 32][next(2)].min(k);
+        let precision = [WeightPrecision::Int4, WeightPrecision::Int2][next(2)];
+        let numerics = [NumericsMode::PaperRounded, NumericsMode::Wide][next(2)];
+        let mut g = SynthGenerator::new(900 + trial);
+        let a = g.llm_activations(m, k).to_f16();
+        let w = g.llm_weights(k, n);
+        let q = RtnQuantizer::new(precision, GroupShape::along_k(group))
+            .quantize(&w)
+            .expect("quantizes");
+        for arch in [
+            Architecture::StandardDequant,
+            Architecture::PackedK,
+            Architecture::Pacq,
+        ] {
+            let p = PackedMatrix::pack(&q, pack_for(arch)).expect("packs");
+            let what =
+                format!("trial {trial}: {arch:?} m{m} n{n} k{k} g{group} {precision} {numerics:?}");
+            let run = |backend| {
+                at_1_and_4(|| {
+                    execute_with_backend(arch, &a, &p, numerics, backend).expect("executes")
+                })
+            };
+            let (scalar_1, scalar_4) = run(Backend::Scalar);
+            let (batched_1, batched_4) = run(Backend::Batched);
+            assert_bits_eq(&scalar_1, &scalar_4, &format!("{what} scalar jobs"));
+            assert_bits_eq(&batched_1, &batched_4, &format!("{what} batched jobs"));
+            assert_bits_eq(&scalar_1, &batched_1, &format!("{what} backends"));
+        }
+    }
+}
+
+/// Three-way equivalence on activations sitting on every fp16
+/// classify/round frontier (the same families as the fp16 RNE frontier
+/// suite): subnormals, ±max-finite carry-to-infinity magnitudes, ±∞
+/// and NaN. Weights stay quantized (their domain is the packed codes),
+/// the activations carry the hostile bits.
+#[test]
+fn three_way_equivalence_survives_frontier_activations() {
+    let frontier: Vec<u16> = vec![
+        0x0001, 0x8001, // min subnormals
+        0x03ff, 0x83ff, // max subnormals
+        0x0400, 0x8400, // min normals
+        0x3c00, 0xbc00, // ±1
+        0x7bff, 0xfbff, // ±max finite (carry-to-infinity inputs)
+        0x7a00, 0xfa00, // large magnitudes that overflow mid-sum
+        0x7c00, 0xfc00, // ±inf
+        0x7e00, 0xfe77, // NaNs
+        0x0000, 0x8000, // ±0
+    ];
+    let (m, n, k) = (3usize, 16, 32);
+    let a = MatrixF16::from_vec(
+        m,
+        k,
+        (0..m * k)
+            .map(|i| Fp16::from_bits(frontier[(i * 7 + i / k) % frontier.len()]))
+            .collect(),
+    );
+    let w = SynthGenerator::new(84).llm_weights(k, n);
+    for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+        for numerics in [NumericsMode::PaperRounded, NumericsMode::Wide] {
+            let q = RtnQuantizer::new(precision, GroupShape::along_k(16))
+                .quantize(&w)
+                .expect("quantizes");
+            for arch in [
+                Architecture::StandardDequant,
+                Architecture::PackedK,
+                Architecture::Pacq,
+            ] {
+                let p = PackedMatrix::pack(&q, pack_for(arch)).expect("packs");
+                let what = format!("frontier {arch:?} {precision} {numerics:?}");
+                let run = |backend| {
+                    at_1_and_4(|| {
+                        execute_with_backend(arch, &a, &p, numerics, backend).expect("executes")
+                    })
+                };
+                let (scalar_1, scalar_4) = run(Backend::Scalar);
+                let (batched_1, batched_4) = run(Backend::Batched);
+                assert_bits_eq_nan_loose(&scalar_1, &scalar_4, &format!("{what} scalar jobs"));
+                assert_bits_eq_nan_loose(&batched_1, &batched_4, &format!("{what} batched jobs"));
+                assert_bits_eq_nan_loose(&scalar_1, &batched_1, &format!("{what} backends"));
+            }
+        }
+    }
 }

@@ -212,6 +212,7 @@ fn serve_survives_32_hostile_clients() {
             // queue_full (overflow has its own dedicated test).
             queue_capacity: CLIENTS * VALID_PER_CLIENT,
             workers: 4,
+            ..ServeOptions::default()
         },
         Some(Arc::clone(&cache)),
     )
