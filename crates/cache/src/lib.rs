@@ -17,6 +17,9 @@
 //!   (temp file + rename), corruption-tolerant reads (a bad entry is a
 //!   miss, never a panic or an error exit), and `stats`/`clear`/`verify`
 //!   maintenance operations for the `pacq cache` subcommands.
+//! - [`hot`] — a bounded in-memory LRU hot tier the serving layer
+//!   mounts in front of the disk store (same key + digest discipline;
+//!   hits are bit-identical to fresh computation).
 //! - [`shard`] —`--shard i/N` grid slicing and the append-only
 //!   resumable sweep checkpoint (`pacq-sweep-checkpoint/v1`).
 //!
@@ -31,6 +34,7 @@
 )]
 
 pub mod entry;
+pub mod hot;
 pub mod key;
 pub mod shard;
 pub mod store;
@@ -39,6 +43,7 @@ pub use entry::{
     arch_token, parse_arch_token, parse_precision_token, precision_token, CachedReport,
     ENTRY_SCHEMA,
 };
+pub use hot::HotTier;
 pub use key::CacheKey;
 pub use shard::{grid_digest, Shard, SweepCheckpoint, CHECKPOINT_SCHEMA};
 pub use store::{CacheStats, ReportCache, VerifyOutcome};

@@ -20,6 +20,7 @@ use pacq_error::{PacqError, PacqResult};
 use pacq_trace::Json;
 
 use crate::entry::CachedReport;
+use crate::hot::HotTier;
 use crate::key::{digest_of, CacheKey};
 
 /// Extension used for committed entries.
@@ -32,6 +33,7 @@ const ENTRY_EXT: &str = "json";
 /// counts without locking.
 pub struct ReportCache {
     dir: PathBuf,
+    hot: Option<HotTier>,
     hits: AtomicU64,
     misses: AtomicU64,
     put_errors: AtomicU64,
@@ -41,6 +43,7 @@ impl fmt::Debug for ReportCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ReportCache")
             .field("dir", &self.dir)
+            .field("hot", &self.hot)
             .field("hits", &self.hits.load(Ordering::Relaxed))
             .field("misses", &self.misses.load(Ordering::Relaxed))
             .field("put_errors", &self.put_errors.load(Ordering::Relaxed))
@@ -85,10 +88,28 @@ impl ReportCache {
         })?;
         Ok(ReportCache {
             dir,
+            hot: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             put_errors: AtomicU64::new(0),
         })
+    }
+
+    /// Adds a bounded in-memory LRU hot tier of `capacity` entries in
+    /// front of the disk store (see [`HotTier`]). A capacity of zero
+    /// disables the tier entirely — every lookup goes to disk, which is
+    /// the default and keeps the on-disk hit/miss tallies authoritative
+    /// for callers that audit them.
+    #[must_use]
+    pub fn with_hot_tier(mut self, capacity: usize) -> Self {
+        self.hot = (capacity > 0).then(|| HotTier::new(capacity));
+        self
+    }
+
+    /// The hot tier, when one was configured via
+    /// [`ReportCache::with_hot_tier`].
+    pub fn hot_tier(&self) -> Option<&HotTier> {
+        self.hot.as_ref()
     }
 
     /// The cache root directory.
@@ -103,15 +124,30 @@ impl ReportCache {
     /// Looks up the report for `key`. Every failure mode — absent,
     /// truncated, corrupted, schema-drifted or collided entry — returns
     /// `None` (a miss); this method cannot error.
+    ///
+    /// With a hot tier configured, memory is consulted first: a hot hit
+    /// skips the disk entirely (tallied as `cache.hot_hits`, not
+    /// `cache.hits`), a hot miss falls through to the disk path, and a
+    /// disk hit is promoted into the tier on the way out. A corrupt
+    /// disk entry behind a hot miss is still just a miss — the caller
+    /// recomputes, and the subsequent `put` heals both tiers.
     pub fn get(&self, key: &CacheKey) -> Option<CachedReport> {
+        if let Some(hot) = &self.hot {
+            if let Some(report) = hot.get(key) {
+                return Some(report);
+            }
+        }
         let found = fs::read_to_string(self.entry_path(&key.digest()))
             .ok()
             .and_then(|text| Json::parse(&text).ok())
             .and_then(|doc| CachedReport::from_json(&doc, Some(key)).ok());
         match &found {
-            Some(_) => {
+            Some(report) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 pacq_trace::add_counter("cache.hits", 1);
+                if let Some(hot) = &self.hot {
+                    hot.insert(key, report);
+                }
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -133,6 +169,12 @@ impl ReportCache {
     /// freshly computed report) rather than an exit — see
     /// [`ReportCache::put_degraded`].
     pub fn put(&self, key: &CacheKey, report: &CachedReport) -> PacqResult<()> {
+        // Write-through into the hot tier first: the freshly computed
+        // report is correct regardless of whether the disk accepts it,
+        // so a read-only store still gets in-memory hits.
+        if let Some(hot) = &self.hot {
+            hot.insert(key, report);
+        }
         let digest = key.digest();
         let final_path = self.entry_path(&digest);
         // Unique temp name per writer so parallel workers computing the
@@ -186,6 +228,22 @@ impl ReportCache {
     /// Session count of swallowed store failures.
     pub fn put_errors(&self) -> u64 {
         self.put_errors.load(Ordering::Relaxed)
+    }
+
+    /// Session count of lookups answered from the hot tier (0 when no
+    /// tier is configured).
+    pub fn hot_hits(&self) -> u64 {
+        self.hot.as_ref().map_or(0, HotTier::hits)
+    }
+
+    /// Session count of hot-tier lookups that fell through to disk.
+    pub fn hot_misses(&self) -> u64 {
+        self.hot.as_ref().map_or(0, HotTier::misses)
+    }
+
+    /// Session count of hot-tier LRU evictions.
+    pub fn hot_evictions(&self) -> u64 {
+        self.hot.as_ref().map_or(0, HotTier::evictions)
     }
 
     fn entry_files(&self) -> PacqResult<Vec<PathBuf>> {
@@ -420,6 +478,57 @@ mod tests {
 
         assert_eq!(cache.clear().unwrap(), 5);
         assert_eq!(cache.stats().unwrap(), CacheStats::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hot_tier_intercepts_repeat_lookups_and_heals_from_memory() {
+        let dir = tmpdir("hot");
+        let cache = ReportCache::open(&dir).unwrap().with_hot_tier(8);
+        let (key, report) = sample(16);
+        assert!(cache.get(&key).is_none());
+        cache.put(&key, &report).unwrap();
+        // put wrote through, so the first lookup is already a hot hit
+        // and the disk tallies stay untouched.
+        assert_eq!(cache.get(&key).unwrap(), report);
+        assert_eq!(cache.get(&key).unwrap(), report);
+        assert_eq!(cache.hot_hits(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Deleting the disk entry doesn't matter while hot: replies
+        // still come back bit-identical from memory.
+        fs::remove_file(cache.entry_path(&key.digest())).unwrap();
+        assert_eq!(cache.get(&key).unwrap(), report);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_hits_are_promoted_into_the_hot_tier() {
+        let dir = tmpdir("promote");
+        let seed = ReportCache::open(&dir).unwrap();
+        let (key, report) = sample(32);
+        seed.put(&key, &report).unwrap();
+        // Fresh handle with an empty hot tier: first lookup goes to
+        // disk, second is served from memory.
+        let cache = ReportCache::open(&dir).unwrap().with_hot_tier(8);
+        assert_eq!(cache.get(&key).unwrap(), report);
+        assert_eq!(
+            (cache.hits(), cache.hot_hits(), cache.hot_misses()),
+            (1, 0, 1)
+        );
+        assert_eq!(cache.get(&key).unwrap(), report);
+        assert_eq!((cache.hits(), cache.hot_hits()), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_hot_capacity_disables_the_tier() {
+        let dir = tmpdir("nohot");
+        let cache = ReportCache::open(&dir).unwrap().with_hot_tier(0);
+        assert!(cache.hot_tier().is_none());
+        let (key, report) = sample(16);
+        cache.put(&key, &report).unwrap();
+        assert_eq!(cache.get(&key).unwrap(), report);
+        assert_eq!((cache.hits(), cache.hot_hits()), (1, 0));
         let _ = fs::remove_dir_all(&dir);
     }
 

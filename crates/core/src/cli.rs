@@ -38,7 +38,11 @@ USAGE:
   pacq cache stats|clear|verify --dir DIR
   pacq audit
   pacq trace --out trace.json [--arch ...] [--precision ...] [--dup ...] [--width ...]
-  pacq serve (--port N | --stdio) [--queue N]
+  pacq serve (--port N | --stdio) [--queue N] [--rate N] [--burst N]
+             [--max-clients N]
+  pacq loadgen (--addr HOST:PORT | --ready-log FILE | --spawn)
+               [--requests N] [--clients N] [--window N] [--unique N]
+               [--sample N]
   pacq help
 
 Every command also accepts --jobs N (worker threads for sweeps and
@@ -48,9 +52,12 @@ then the host parallelism; results are bit-identical at any job count),
 PACQ_BACKEND environment variable, then `scalar`; the batched SoA
 kernels are bit-identical to the scalar reference — see DESIGN.md),
 --metrics PATH (write a machine-readable JSON run manifest, schema
-pacq-metrics/v1 — see DESIGN.md §11), and --cache DIR (a
-content-addressed on-disk report cache: repeated analyses of the same
-point become lookups, bit-identical to fresh runs — see DESIGN.md §12).
+pacq-metrics/v1 — see DESIGN.md §11), --cache DIR (a content-addressed
+on-disk report cache: repeated analyses of the same point become
+lookups, bit-identical to fresh runs — see DESIGN.md §12), and
+--hot N (with --cache: a bounded in-memory LRU hot tier of N entries in
+front of the disk store; hits are bit-identical and tallied separately
+as cache.hot_hits/hot_misses/hot_evictions — see DESIGN.md §15).
 
 `pacq sweep --param grid` runs the full batch × architecture ×
 precision grid for the layer; --shard i/N slices it into N disjoint
@@ -78,8 +85,25 @@ newline-delimited JSON protocol pacq-serve/v1 over TCP (--port N;
 --port 0 picks an ephemeral port, announced in the ready frame) or
 over stdin/stdout (--stdio). The worker pool is sized by --jobs /
 PACQ_JOBS; --queue N bounds the pending-request queue (overflow is a
-typed queue_full error frame, exit-code class 8). A `shutdown` frame
-or stdio EOF drains gracefully. See DESIGN.md §13.
+typed queue_full error frame, exit-code class 8). Admission control:
+--rate N caps each connection at N work requests per second (token
+bucket; denials are typed rate_limited frames, class 8), --burst N sets
+the bucket capacity (defaults to the rate), and --max-clients N turns
+away connections beyond N at the accept gate. A `shutdown` frame or
+stdio EOF drains gracefully. See DESIGN.md §13 and §16.
+
+`pacq loadgen` drives a live pacq serve instance with a deterministic
+mixed-point analyze workload: --requests N total requests across
+--clients C pipelined connections (--window frames in flight each),
+cycling --unique distinct evaluation points (repeats exercise the
+cache tiers). The target is --addr HOST:PORT, --ready-log FILE (polls
+a server log for the pacq-serve/v1 ready frame, as written by
+`pacq serve --port 0`), or --spawn (an in-process server sharing this
+invocation's --cache/--hot/--backend). Every request must be answered
+exactly once (lost replies are a typed error); the first --sample
+unique points are re-evaluated in process and must match the served
+bytes exactly. Latency p50/p95/p99, a log2 histogram, and throughput
+go to stdout and the --metrics manifest. See DESIGN.md §16.
 
 EXAMPLES:
   pacq analyze --shape m16n4096k4096 --arch pacq
@@ -146,6 +170,36 @@ pub fn take_cache_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<Strin
     Ok((rest, cache))
 }
 
+/// Splits `--hot N` / `--hot=N` out of an argument list and validates
+/// the capacity with the serve-layer count validator (trimmed plain
+/// digits, at least 1). The flag mounts a bounded in-memory LRU hot
+/// tier in front of the `--cache` store, so it is rejected later when
+/// no cache directory is given.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] when the flag is present without a
+/// value or with a malformed one.
+pub fn take_hot_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<usize>)> {
+    /// Upper bound on hot-tier entries; a tier bigger than this should
+    /// be the disk store.
+    const MAX_HOT_ENTRIES: u64 = 1 << 20;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut hot = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--hot" {
+            let v = it.next().ok_or_else(|| err("missing value for --hot"))?;
+            hot = Some(crate::serve::validate_serve_count(v, "--hot", MAX_HOT_ENTRIES)? as usize);
+        } else if let Some(v) = arg.strip_prefix("--hot=") {
+            hot = Some(crate::serve::validate_serve_count(v, "--hot", MAX_HOT_ENTRIES)? as usize);
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, hot))
+}
+
 /// Runs the CLI on pre-split arguments, returning the output text.
 ///
 /// # Errors
@@ -155,6 +209,7 @@ pub fn take_cache_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<Strin
 pub fn run(args: &[String]) -> PacqResult<String> {
     let (args, metrics) = take_metrics_flag(args)?;
     let (args, cache_dir) = take_cache_flag(&args)?;
+    let (args, hot) = take_hot_flag(&args)?;
     let (args, jobs) = par::take_jobs_flag(&args)?;
     let (args, backend_flag) = take_backend_flag(&args)?;
     // Like --jobs, the env spelling is validated even when the flag
@@ -171,8 +226,19 @@ pub fn run(args: &[String]) -> PacqResult<String> {
     if metrics.is_some() {
         pacq_trace::enable();
     }
+    if hot.is_some() && cache_dir.is_none() {
+        return Err(err(
+            "--hot mounts a memory tier in front of --cache; pass --cache DIR too",
+        ));
+    }
     let cache = match &cache_dir {
-        Some(dir) => Some(Arc::new(ReportCache::open(dir)?)),
+        Some(dir) => {
+            let store = ReportCache::open(dir)?;
+            Some(Arc::new(match hot {
+                Some(n) => store.with_hot_tier(n),
+                None => store,
+            }))
+        }
         None => None,
     };
     let result = dispatch(&args, cache.as_ref(), backend);
@@ -209,6 +275,7 @@ fn dispatch(
         Some("audit") => audit(&args[1..], cache),
         Some("trace") => trace(&args[1..]),
         Some("serve") => crate::serve::run_cli(&args[1..], cache.map(Arc::clone), backend),
+        Some("loadgen") => crate::loadgen::run_cli(&args[1..], cache.map(Arc::clone), backend),
         Some(other) => Err(err(format!("unknown command `{other}`"))),
     }
 }
@@ -1431,6 +1498,37 @@ mod tests {
         assert!(cleared.contains("removed"), "{cleared}");
         assert!(run(&argv("cache stats")).is_err(), "--dir is required");
         assert!(cached("cache frobnicate").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hot_flag_requires_a_cache_and_validates_its_capacity() {
+        // --hot without --cache is a usage error: there is no store to
+        // front.
+        let err = run(&argv("analyze --shape m16n256k256 --hot 8")).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("--cache"), "{err}");
+
+        let dir = tmp_dir("hotcli");
+        for bad in ["0", "-1", "4.0", "nope", ""] {
+            let mut args = argv("analyze --shape m16n256k256 --cache");
+            args.push(dir.clone());
+            args.push(format!("--hot={bad}"));
+            let err = run(&args).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "--hot {bad}: {err}");
+        }
+
+        // With a store, --hot N is accepted (both spellings) and the
+        // warm run renders identically to the cold one.
+        let hot = |cmd: &str| {
+            let mut args = argv(cmd);
+            args.extend(["--cache".to_string(), dir.clone(), "--hot".to_string()]);
+            args.push("8".to_string());
+            run(&args)
+        };
+        let cold = hot("analyze --shape m16n256k256 --arch pacq").expect("cold run");
+        let warm = hot("analyze --shape m16n256k256 --arch pacq").expect("warm run");
+        assert_eq!(cold, warm);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -57,6 +57,7 @@
 pub mod backend;
 pub mod cli;
 pub mod llama;
+pub mod loadgen;
 pub mod par;
 pub mod report;
 pub mod roofline;

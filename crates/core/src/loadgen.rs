@@ -1,0 +1,648 @@
+//! `pacq loadgen` — the load-generator harness for `pacq serve`
+//! (DESIGN.md §16).
+//!
+//! The serving tier's scale claims (hot-tier hit rates, admission
+//! fairness, tail latency) only mean something under load, so the
+//! harness drives a live `pacq-serve/v1` endpoint with a deterministic
+//! mixed workload and measures what comes back:
+//!
+//! - **Zero-lost accounting.** Every request carries a unique numeric
+//!   `id`; a reply (ok *or* typed error frame) retires exactly one
+//!   pending id. A missing reply is a hard, typed failure — never a
+//!   silently shortened histogram. A 60-second read timeout turns a
+//!   hung server into a loud error instead of a hung harness.
+//! - **Deterministic mix.** `--unique N` distinct evaluation points
+//!   (distinct `m`, cycling architectures and precisions) are replayed
+//!   round-robin across `--requests`, so a run is reproducible and the
+//!   hot-tier working set is exactly N entries.
+//! - **Byte-identity sampling.** For the first `--sample` unique points
+//!   the served `report` rendering is compared against a fresh
+//!   in-process [`GemmRunner::analyze`] — the serve conformance
+//!   contract, re-checked under concurrency (a mismatch is an
+//!   audit-class error, exit 7).
+//! - **Latency provenance.** Per-request latencies are merged across
+//!   client threads and reported as exact nearest-rank p50/p95/p99
+//!   plus a log2 histogram, both on stdout and in the `--metrics`
+//!   manifest (`loadgen.*` counters and a `loadgen` result record).
+//!
+//! The target comes from exactly one of `--addr HOST:PORT` (a running
+//! server), `--ready-log FILE` (poll a server's stdout log for its
+//! ready frame — the CI pattern), or `--spawn` (bind an in-process
+//! [`Server`] on an ephemeral port, sharing this invocation's
+//! `--cache`/`--hot`/`--backend`, and drain it when the run ends).
+
+use crate::cli;
+use crate::runner::GemmRunner;
+use crate::serve::{validate_serve_count, ServeOptions, Server};
+use pacq_cache::ReportCache;
+use pacq_error::{PacqError, PacqResult};
+use pacq_fp16::{Backend, WeightPrecision};
+use pacq_quant::GroupShape;
+use pacq_simt::{Architecture, SmConfig, Workload};
+use pacq_trace::Json;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::ops::Range;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Default `--requests` (one quick local run; CI and acceptance runs
+/// pass their own).
+pub const DEFAULT_REQUESTS: u64 = 10_000;
+
+/// Hard cap on `--requests`.
+pub const MAX_REQUESTS: u64 = 100_000_000;
+
+/// Default / max `--clients` (pipelined connections).
+pub const DEFAULT_CLIENTS: u64 = 4;
+/// Hard cap on `--clients`.
+pub const MAX_CLIENTS: u64 = 256;
+
+/// Default `--window` (in-flight requests per connection). The default
+/// keeps `clients × window` at half the server's default `--queue` so
+/// an out-of-the-box run never trips `queue_full` backpressure.
+pub const DEFAULT_WINDOW: u64 = 8;
+/// Hard cap on `--window`.
+pub const MAX_WINDOW: u64 = 4096;
+
+/// Default `--unique` (distinct evaluation points in the mix).
+pub const DEFAULT_UNIQUE: u64 = 64;
+/// Hard cap on `--unique` (bounds the largest generated `m`).
+pub const MAX_UNIQUE: u64 = 4096;
+
+/// Default `--sample` (points re-checked for byte identity).
+pub const DEFAULT_SAMPLE: u64 = 8;
+/// Hard cap on `--sample`.
+pub const MAX_SAMPLE: u64 = 256;
+
+/// How long each client connection waits for one reply before calling
+/// it lost. Generous: the server prices analytically in well under a
+/// second even cold, so a minute of silence is a wedged server.
+const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long `--ready-log` polls for the server's ready frame.
+const READY_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn io_err(context: &'static str, e: &std::io::Error) -> PacqError {
+    PacqError::Io {
+        context,
+        message: e.to_string(),
+    }
+}
+
+fn proto(message: impl Into<String>) -> PacqError {
+    PacqError::protocol("loadgen", message)
+}
+
+// ---------------------------------------------------------------------
+// The deterministic point mix
+// ---------------------------------------------------------------------
+
+/// One evaluation point in the mix: the wire tokens it is requested
+/// with and the typed values the in-process reference recomputes from.
+#[derive(Debug, Clone)]
+struct MixPoint {
+    shape: String,
+    arch_token: &'static str,
+    precision_token: &'static str,
+    arch: Architecture,
+    precision: WeightPrecision,
+}
+
+/// Builds `unique` distinct points: `m = 16·(i+1)` with `n = k = 256`
+/// (every point is a distinct cache key by shape alone), cycling the
+/// three architectures and both precisions for datapath variety.
+fn point_mix(unique: usize) -> Vec<MixPoint> {
+    const ARCHS: [(&str, Architecture); 3] = [
+        ("pacq", Architecture::Pacq),
+        ("std", Architecture::StandardDequant),
+        ("packedk", Architecture::PackedK),
+    ];
+    const PRECS: [(&str, WeightPrecision); 2] = [
+        ("int4", WeightPrecision::Int4),
+        ("int2", WeightPrecision::Int2),
+    ];
+    (0..unique)
+        .map(|i| {
+            let (arch_token, arch) = ARCHS[i % ARCHS.len()];
+            let (precision_token, precision) = PRECS[i % PRECS.len()];
+            MixPoint {
+                shape: format!("m{}n256k256", 16 * (i + 1)),
+                arch_token,
+                precision_token,
+                arch,
+                precision,
+            }
+        })
+        .collect()
+}
+
+/// Renders the request frame for `point` under `id`.
+fn request_line(id: u64, point: &MixPoint) -> String {
+    let mut frame = Json::object();
+    frame.set("op", "analyze");
+    frame.set("id", id);
+    frame.set("shape", point.shape.as_str());
+    frame.set("arch", point.arch_token);
+    frame.set("precision", point.precision_token);
+    frame.render_line()
+}
+
+/// Recomputes `point` in-process under the serve-side defaults
+/// (`volta_like`, `dup 2`, `width 4`, `g128`) without any cache, and
+/// renders the report in the lossless `pacq-cache/v1` encoding — the
+/// exact string a conforming server must have sent.
+fn reference_line(point: &MixPoint, backend: Backend) -> PacqResult<String> {
+    let mut cfg = SmConfig::volta_like();
+    cfg.adder_tree_duplication = 2;
+    cfg.dp_width = 4;
+    let runner = GemmRunner::new()
+        .with_config(cfg)
+        .with_group(GroupShape::G128)
+        .with_backend(backend);
+    let workload = Workload::new(cli::parse_shape(&point.shape)?, point.precision);
+    let report = runner.analyze(point.arch, workload)?;
+    let key = runner.cache_key(point.arch, workload);
+    Ok(report.to_cached().to_json(&key).render_line())
+}
+
+// ---------------------------------------------------------------------
+// Client connections
+// ---------------------------------------------------------------------
+
+/// What one client connection measured.
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    /// Per-request round-trip latencies, microseconds, send order.
+    latencies_us: Vec<u64>,
+    /// Replies with `ok: true`.
+    ok: u64,
+    /// Typed error frames (still replies — never lost).
+    errors: u64,
+    /// `(point index, served report rendering)` for sampled points.
+    captures: Vec<(usize, String)>,
+}
+
+/// Drives one pipelined connection: keeps up to `window` requests in
+/// flight from the contiguous id range `ids`, retires them by echoed
+/// id, and captures report renderings for point indices below
+/// `sample`.
+///
+/// # Errors
+///
+/// Io for connect/write failures, protocol-class for a lost or
+/// unattributable reply (timeout, early close, unknown id).
+fn run_client(
+    addr: &str,
+    ids: Range<u64>,
+    points: &Arc<Vec<MixPoint>>,
+    window: usize,
+    sample: usize,
+) -> PacqResult<ClientOutcome> {
+    let stream = TcpStream::connect(addr).map_err(|e| io_err("loadgen::connect", &e))?;
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(|e| io_err("loadgen::connect", &e))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| io_err("loadgen::connect", &e))?;
+    let mut reader = BufReader::new(stream);
+    let unique = points.len() as u64;
+    let mut outcome = ClientOutcome::default();
+    let mut captured = vec![false; sample];
+    let mut pending: HashMap<u64, Instant> = HashMap::new();
+    let mut next = ids.start;
+    let mut line = String::new();
+    while next < ids.end || !pending.is_empty() {
+        // Top up the window, then flush the burst in one syscall-ish go.
+        let mut wrote = false;
+        while next < ids.end && pending.len() < window {
+            let point = &points[(next % unique) as usize];
+            let frame = request_line(next, point);
+            writer
+                .write_all(frame.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .map_err(|e| io_err("loadgen::send", &e))?;
+            pending.insert(next, Instant::now());
+            next += 1;
+            wrote = true;
+        }
+        if wrote {
+            writer.flush().map_err(|e| io_err("loadgen::send", &e))?;
+        }
+        // Retire one reply. Replies are unordered across the pipeline,
+        // so attribution goes by the echoed id, never by position.
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| proto(format!("reply timed out or failed: {e}")))?;
+        if n == 0 {
+            return Err(proto(format!(
+                "server closed the connection with {} replies outstanding",
+                pending.len()
+            )));
+        }
+        let doc =
+            Json::parse(line.trim()).map_err(|e| proto(format!("unparseable reply frame: {e}")))?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_num)
+            .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+            .map(|v| v as u64)
+            .ok_or_else(|| proto("reply frame has no numeric id"))?;
+        let started = pending
+            .remove(&id)
+            .ok_or_else(|| proto(format!("reply for unknown or already-retired id {id}")))?;
+        outcome
+            .latencies_us
+            .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        if doc.get("ok") == Some(&Json::Bool(true)) {
+            outcome.ok += 1;
+            let slot = (id % unique) as usize;
+            if slot < sample && !captured[slot] {
+                if let Some(report) = doc.get("report") {
+                    outcome.captures.push((slot, report.render_line()));
+                    captured[slot] = true;
+                }
+            }
+        } else {
+            outcome.errors += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+// ---------------------------------------------------------------------
+// Latency statistics
+// ---------------------------------------------------------------------
+
+/// Exact nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Log2 latency histogram: bucket `i` counts latencies in
+/// `(2^(i-1), 2^i]` microseconds (bucket 0 is `≤ 1 µs`).
+fn log2_histogram(sorted_us: &[u64]) -> Vec<(u64, u64)> {
+    let mut counts: Vec<u64> = Vec::new();
+    for &lat in sorted_us {
+        let bucket = (64 - lat.max(1).leading_zeros() as usize)
+            - usize::from(lat.is_power_of_two() || lat == 0);
+        if counts.len() <= bucket {
+            counts.resize(bucket + 1, 0);
+        }
+        counts[bucket] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (1u64 << i, c))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Target resolution
+// ---------------------------------------------------------------------
+
+/// Polls `path` for the server's `"event":"ready"` frame and returns
+/// its announced `addr`. This is how CI scripts find a `--port 0`
+/// server: start it with stdout redirected to a log, point the harness
+/// at the log.
+fn wait_for_ready(path: &str) -> PacqResult<String> {
+    let deadline = Instant::now() + READY_TIMEOUT;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for line in text.lines() {
+                let Ok(doc) = Json::parse(line.trim()) else {
+                    continue;
+                };
+                if doc.get("event").and_then(Json::as_str) == Some("ready") {
+                    if let Some(addr) = doc.get("addr").and_then(Json::as_str) {
+                        return Ok(addr.to_string());
+                    }
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(proto(format!(
+                "no ready frame with an `addr` appeared in `{path}` within {}s",
+                READY_TIMEOUT.as_secs()
+            )));
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Where the load goes.
+enum Target {
+    /// A server someone else is running.
+    Addr(String),
+    /// A server whose stdout log announces the address.
+    ReadyLog(String),
+    /// Bind an in-process server on an ephemeral port for this run.
+    Spawn,
+}
+
+// ---------------------------------------------------------------------
+// CLI entry point
+// ---------------------------------------------------------------------
+
+/// `pacq loadgen (--addr HOST:PORT | --ready-log FILE | --spawn)
+/// [--requests N] [--clients N] [--window N] [--unique N] [--sample N]`
+/// — drives the workload and returns the human summary.
+///
+/// # Errors
+///
+/// Usage errors for flag problems; io/protocol-class errors for
+/// connection failures and lost replies; audit-class for a sampled
+/// report that differs from in-process computation.
+pub fn run_cli(
+    args: &[String],
+    cache: Option<Arc<ReportCache>>,
+    backend: Backend,
+) -> PacqResult<String> {
+    let usage = |msg: &str| PacqError::usage(msg.to_string());
+    let mut target: Option<Target> = None;
+    let mut set_target = |t: Target| -> PacqResult<()> {
+        if target.is_some() {
+            return Err(PacqError::usage(
+                "pass exactly one of --addr, --ready-log, --spawn".to_string(),
+            ));
+        }
+        target = Some(t);
+        Ok(())
+    };
+    let mut requests = DEFAULT_REQUESTS;
+    let mut clients = DEFAULT_CLIENTS;
+    let mut window = DEFAULT_WINDOW;
+    let mut unique = DEFAULT_UNIQUE;
+    let mut sample = DEFAULT_SAMPLE;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> PacqResult<&str> {
+            it.next()
+                .ok_or_else(|| PacqError::usage(format!("missing value for {name}")))
+        };
+        match flag {
+            "--addr" => set_target(Target::Addr(value("--addr")?.to_string()))?,
+            "--ready-log" => set_target(Target::ReadyLog(value("--ready-log")?.to_string()))?,
+            "--spawn" => set_target(Target::Spawn)?,
+            "--requests" => {
+                requests = validate_serve_count(value("--requests")?, "--requests", MAX_REQUESTS)?;
+            }
+            "--clients" => {
+                clients = validate_serve_count(value("--clients")?, "--clients", MAX_CLIENTS)?;
+            }
+            "--window" => {
+                window = validate_serve_count(value("--window")?, "--window", MAX_WINDOW)?;
+            }
+            "--unique" => {
+                unique = validate_serve_count(value("--unique")?, "--unique", MAX_UNIQUE)?;
+            }
+            "--sample" => {
+                sample = validate_serve_count(value("--sample")?, "--sample", MAX_SAMPLE)?;
+            }
+            other => {
+                return Err(PacqError::usage(format!(
+                    "unknown loadgen option `{other}`"
+                )))
+            }
+        }
+    }
+    let Some(target) = target else {
+        return Err(usage(
+            "loadgen wants a target: --addr HOST:PORT, --ready-log FILE or --spawn",
+        ));
+    };
+    let clients = clients.min(requests).max(1);
+    // Sampling more points than the mix holds would wait forever on
+    // captures that cannot happen; pin instead of erroring.
+    let sample = sample.min(unique) as usize;
+
+    let spawned = match &target {
+        Target::Spawn => Some(Server::bind(
+            "127.0.0.1:0",
+            ServeOptions {
+                backend,
+                ..ServeOptions::default()
+            },
+            cache,
+        )?),
+        Target::Addr(_) | Target::ReadyLog(_) => None,
+    };
+    let addr = match &target {
+        Target::Addr(addr) => addr.clone(),
+        Target::ReadyLog(path) => wait_for_ready(path)?,
+        Target::Spawn => spawned
+            .as_ref()
+            .map(|s| s.addr().to_string())
+            .unwrap_or_default(),
+    };
+
+    let points = Arc::new(point_mix(unique as usize));
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(clients as usize);
+    let per = requests / clients;
+    let extra = requests % clients;
+    let mut cursor = 0u64;
+    for c in 0..clients {
+        let count = per + u64::from(c < extra);
+        let ids = cursor..cursor + count;
+        cursor += count;
+        let addr = addr.clone();
+        let points = Arc::clone(&points);
+        handles.push(thread::spawn(move || {
+            run_client(&addr, ids, &points, window as usize, sample)
+        }));
+    }
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests as usize);
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut served: Vec<Option<String>> = vec![None; sample];
+    for handle in handles {
+        let outcome = handle
+            .join()
+            .map_err(|_| proto("a client thread panicked"))??;
+        latencies.extend(outcome.latencies_us);
+        ok += outcome.ok;
+        errors += outcome.errors;
+        for (slot, rendering) in outcome.captures {
+            if let Some(entry) = served.get_mut(slot) {
+                entry.get_or_insert(rendering);
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    if let Some(server) = spawned {
+        server.shutdown();
+        server.wait()?;
+    }
+
+    // Zero-lost is the whole contract: every id must have come back.
+    let replies = latencies.len() as u64;
+    if replies != requests {
+        return Err(proto(format!(
+            "lost replies: sent {requests}, retired {replies}"
+        )));
+    }
+
+    // Byte-identity spot check against fresh in-process computation.
+    let mut sampled = 0u64;
+    for (slot, rendering) in served.iter().enumerate() {
+        let Some(rendering) = rendering else {
+            // Every sampled slot got at least one ok reply unless the
+            // server answered it with errors only (e.g. rate limiting);
+            // that is visible in the error count, not a silent skip.
+            continue;
+        };
+        let point = &points[slot];
+        let expected = reference_line(point, backend)?;
+        if *rendering != expected {
+            return Err(PacqError::AuditMismatch {
+                counter: "loadgen.report_bytes".to_string(),
+                case: format!(
+                    "{} {} {}",
+                    point.shape, point.arch_token, point.precision_token
+                ),
+                observed: rendering.clone(),
+                expected,
+            });
+        }
+        sampled += 1;
+    }
+
+    latencies.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+    let throughput = requests as f64 / elapsed;
+
+    pacq_trace::add_counter("loadgen.requests", requests);
+    pacq_trace::add_counter("loadgen.replies", replies);
+    pacq_trace::add_counter("loadgen.ok", ok);
+    pacq_trace::add_counter("loadgen.errors", errors);
+    pacq_trace::add_counter("loadgen.lost", 0);
+    pacq_trace::add_counter("loadgen.sampled_identical", sampled);
+    pacq_trace::add_counter("loadgen.p50_us", p50);
+    pacq_trace::add_counter("loadgen.p95_us", p95);
+    pacq_trace::add_counter("loadgen.p99_us", p99);
+    if pacq_trace::is_enabled() {
+        let mut record = Json::object();
+        record.set("kind", "loadgen");
+        record.set("requests", requests.to_string());
+        record.set("clients", clients.to_string());
+        record.set("window", window.to_string());
+        record.set("unique", unique.to_string());
+        record.set("ok", ok.to_string());
+        record.set("errors", errors.to_string());
+        record.set("lost", "0");
+        record.set("sampled_identical", sampled.to_string());
+        record.set("elapsed_s", elapsed);
+        record.set("throughput_rps", throughput);
+        record.set("p50_us", p50.to_string());
+        record.set("p95_us", p95.to_string());
+        record.set("p99_us", p99.to_string());
+        let buckets = log2_histogram(&latencies)
+            .into_iter()
+            .map(|(le, count)| {
+                let mut b = Json::object();
+                b.set("le_us", le.to_string());
+                b.set("count", count.to_string());
+                b
+            })
+            .collect();
+        record.set("latency_histogram_log2", Json::Arr(buckets));
+        pacq_trace::record_result("loadgen", record);
+    }
+
+    Ok(format!(
+        "loadgen: {requests} requests to {addr} over {clients} conns (window {window}, \
+{unique} unique points): {ok} ok, {errors} errors, 0 lost in {elapsed:.3} s \
+({throughput:.0} req/s)\nlatency µs: p50 {p50}, p95 {p95}, p99 {p99}; \
+{sampled} sampled reports byte-identical\n"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(text: &str) -> Vec<String> {
+        text.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn the_mix_is_deterministic_and_all_points_are_distinct() {
+        let a = point_mix(48);
+        let b = point_mix(48);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.arch_token, y.arch_token);
+        }
+        let mut shapes: Vec<&str> = a.iter().map(|p| p.shape.as_str()).collect();
+        shapes.sort_unstable();
+        shapes.dedup();
+        assert_eq!(shapes.len(), 48, "every point must be a distinct key");
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let hist = log2_histogram(&[1, 2, 3, 4, 1000]);
+        let total: u64 = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+        // 1 and 2 land in ≤1 / ≤2; 3 and 4 in ≤4; 1000 in ≤1024.
+        assert_eq!(hist[0], (1, 1));
+        assert_eq!(hist[1], (2, 1));
+        assert_eq!(hist[2], (4, 2));
+        assert_eq!(hist.last(), Some(&(1024, 1)));
+    }
+
+    #[test]
+    fn flags_are_validated() {
+        for bad in [
+            "",                      // no target
+            "--addr a:1 --spawn",    // two targets
+            "--spawn --requests 0",  // zero count
+            "--spawn --requests -5", // sign
+            "--spawn --clients 4.0", // decimal
+            "--spawn --window nope", // word
+            "--spawn --frobnicate",  // unknown flag
+            "--addr",                // missing value
+        ] {
+            let err = run_cli(&argv(bad), None, Backend::Scalar).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn spawned_smoke_run_loses_nothing_and_matches_in_process() {
+        let out = run_cli(
+            &argv("--spawn --requests 96 --clients 3 --window 4 --unique 6 --sample 6"),
+            None,
+            Backend::Scalar,
+        )
+        .expect("smoke run");
+        assert!(out.contains("96 requests"), "{out}");
+        assert!(out.contains("96 ok, 0 errors, 0 lost"), "{out}");
+        assert!(out.contains("6 sampled reports byte-identical"), "{out}");
+    }
+}

@@ -37,6 +37,7 @@ pub struct GemmRunner {
     numerics: NumericsMode,
     backend: Backend,
     cache: Option<Arc<ReportCache>>,
+    record_results: bool,
 }
 
 impl GemmRunner {
@@ -49,6 +50,7 @@ impl GemmRunner {
             numerics: NumericsMode::PaperRounded,
             backend: Backend::Scalar,
             cache: None,
+            record_results: true,
         }
     }
 
@@ -90,6 +92,20 @@ impl GemmRunner {
     /// shape, where `--cache` may or may not be present).
     pub fn with_cache_opt(mut self, cache: Option<Arc<ReportCache>>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Disables per-analysis result records in the metrics collector.
+    ///
+    /// Figure sweeps and `pacq exec` want one result record per point —
+    /// that is what the manifest-determinism CI job diffs. A serving
+    /// process answering an unbounded request stream must not: with
+    /// recording on, a million-request `pacq serve --metrics` run
+    /// accumulates a million `gemm_report` records and renders a ~1 GB
+    /// manifest at drain time. The serve path turns recording off and
+    /// accounts for traffic through its `serve.*` counters instead.
+    pub fn without_result_recording(mut self) -> Self {
+        self.record_results = false;
         self
     }
 
@@ -144,7 +160,7 @@ impl GemmRunner {
         // Cache hits record their result too, so a run served from the
         // store produces a manifest bit-identical (modulo timings) to a
         // fresh one — the property the CI determinism job asserts.
-        if pacq_trace::is_enabled() {
+        if self.record_results && pacq_trace::is_enabled() {
             pacq_trace::record_result(
                 format!("{}|{}", report.workload, report.arch),
                 report.metrics_json(),
@@ -310,6 +326,36 @@ mod tests {
         runner.analyze(Architecture::PackedK, wl).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (1, 2));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_recording_can_be_disabled_for_unbounded_streams() {
+        // Serialize against every other test that arms the process-wide
+        // collector (the CLI --metrics tests share this lock).
+        let _guard = crate::par::test_lock();
+        let wl = Workload::new(GemmShape::new(16, 256, 256), WeightPrecision::Int4);
+
+        pacq_trace::enable();
+        GemmRunner::new()
+            .without_result_recording()
+            .analyze(Architecture::Pacq, wl)
+            .unwrap();
+        let (spans, _, results, _) = pacq_trace::drain();
+        assert!(
+            results.is_empty(),
+            "a serve-path runner must not grow the collector per request"
+        );
+        assert!(
+            spans.iter().any(|s| s.name == "core.analyze"),
+            "spans still record (and are bounded by the collector's cap)"
+        );
+
+        // The default runner keeps the sweep/exec contract: one result
+        // record per analysis.
+        GemmRunner::new().analyze(Architecture::Pacq, wl).unwrap();
+        let (_, _, results, _) = pacq_trace::drain();
+        assert_eq!(results.len(), 1);
+        pacq_trace::disable();
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //!   through a `sync_channel` of capacity `--queue`; when it is full
 //!   the client gets a `queue_full` error frame (exit-code class 8)
 //!   instead of the server growing without bound.
+//! - **Admission control before worker time.** Each connection owns a
+//!   token bucket (`--rate` req/s sustained, `--burst` instantaneous);
+//!   work frames beyond it are answered with a typed `rate_limited`
+//!   frame (class 8, like `queue_full`) without ever touching the
+//!   queue, and `--max-clients` caps concurrent connections at the
+//!   accept gate — so one hostile client cannot monopolize the pool.
+//!   Control ops (`ping`/`stats`/`shutdown`) are always exempt.
 //! - **One lossless codec.** Replies embed reports in the
 //!   `pacq-cache/v1` entry encoding (u64 counters as decimal strings,
 //!   floats as shortest-round-trip numbers), so a served report is
@@ -59,10 +66,20 @@ pub const MAX_BATCH_POINTS: usize = 4096;
 /// Default `--queue` capacity (pending work requests).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
-/// Serve-layer tuning knobs (queue capacity and worker count).
+/// Hard cap on `--queue` (a six-figure backlog is a client bug, not a
+/// tuning choice; bound it like `--jobs` bounds the pool).
+pub const MAX_QUEUE_CAPACITY: usize = 65_536;
+
+/// Serve-layer tuning knobs (queue capacity, worker count, admission).
 #[derive(Debug, Clone, Copy)]
 pub struct ServeOptions {
     /// Bounded request-queue capacity; overflow is a `queue_full` frame.
+    ///
+    /// A value of 0 is pinned up to 1 at channel creation: capacity 0
+    /// would make `mpsc::sync_channel` a *rendezvous* channel, silently
+    /// coupling reader and worker in lockstep. The CLI rejects
+    /// `--queue 0` outright (usage, exit 2); programmatic callers get
+    /// the pin. See DESIGN.md §16.
     pub queue_capacity: usize,
     /// Worker threads computing replies. The CLI sizes this from the
     /// shared `--jobs` validator (`par.rs`), so `--jobs`/`PACQ_JOBS`
@@ -72,6 +89,17 @@ pub struct ServeOptions {
     /// answer with bit-identical reports (the conformance suite pins
     /// this), so the knob only affects throughput.
     pub backend: Backend,
+    /// Sustained per-connection admission rate in work requests per
+    /// second (`--rate`); 0 disables rate limiting (the default).
+    pub rate: u64,
+    /// Instantaneous per-connection burst allowance (`--burst`, the
+    /// token-bucket capacity). Ignored when `rate` is 0; pinned up to 1
+    /// otherwise so a configured limiter can always admit something.
+    pub burst: u64,
+    /// Maximum concurrently-connected clients (`--max-clients`);
+    /// connections beyond it are answered with one typed error frame
+    /// and closed at the accept gate. 0 means unlimited (the default).
+    pub max_clients: usize,
 }
 
 impl Default for ServeOptions {
@@ -80,6 +108,9 @@ impl Default for ServeOptions {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             workers: rayon::current_num_threads().max(1),
             backend: Backend::Scalar,
+            rate: 0,
+            burst: 0,
+            max_clients: 0,
         }
     }
 }
@@ -91,8 +122,13 @@ pub struct ServeSummary {
     /// shutdown acks).
     pub served: u64,
     /// Typed error frames sent (malformed frames, queue overflow,
-    /// simulator errors).
+    /// rate-limit denials, simulator errors).
     pub errors: u64,
+    /// Work frames denied by a connection's token bucket (a subset of
+    /// `errors`).
+    pub rate_limited: u64,
+    /// Connections turned away at the `--max-clients` accept gate.
+    pub rejected_conns: u64,
 }
 
 /// One fully-validated evaluation point (the serve-side mirror of the
@@ -164,6 +200,49 @@ struct Job {
     reply: mpsc::Sender<String>,
 }
 
+/// Per-connection token bucket: `rate` tokens/second refill up to
+/// `burst`; each work frame (analyze/batch) costs one token. Owned by
+/// the connection's reader thread, so the peer identity is the
+/// connection itself and no shared map is needed.
+struct TokenBucket {
+    tokens: f64,
+    last: std::time::Instant,
+    rate: f64,
+    burst: f64,
+}
+
+impl TokenBucket {
+    /// Builds the bucket for `options`, or `None` when rate limiting is
+    /// off. The bucket starts full so a well-behaved client's opening
+    /// burst is admitted.
+    fn from_options(options: &ServeOptions) -> Option<TokenBucket> {
+        if options.rate == 0 {
+            return None;
+        }
+        let burst = options.burst.max(1) as f64;
+        Some(TokenBucket {
+            tokens: burst,
+            last: std::time::Instant::now(),
+            rate: options.rate as f64,
+            burst,
+        })
+    }
+
+    /// Refills for elapsed time, then tries to spend one token.
+    fn admit(&mut self) -> bool {
+        let now = std::time::Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Shared server state: the bounded queue, the counters the `stats`
 /// endpoint reports, and the handles drain needs.
 struct ServerState {
@@ -173,12 +252,21 @@ struct ServerState {
     draining: AtomicBool,
     served: AtomicU64,
     errors: AtomicU64,
+    rate_limited: AtomicU64,
+    rejected_conns: AtomicU64,
     depth: AtomicUsize,
     options: ServeOptions,
     cache: Option<Arc<ReportCache>>,
-    /// Read-half clones of live TCP connections, so drain can unblock
-    /// idle readers. Empty in `--stdio` mode.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Read-half clones of live TCP connections keyed by a per-accept
+    /// id, so drain can unblock idle readers and teardown can remove
+    /// exactly its own entry. Empty in `--stdio` mode; returns to empty
+    /// whenever no client is connected (the PR 7 leak regression).
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Monotonic id source for `conns` entries.
+    conn_seq: AtomicU64,
+    /// Currently-connected clients, maintained by the accept loop and
+    /// connection teardown; gates `--max-clients`.
+    active_conns: AtomicUsize,
     /// The bound address (TCP mode), for the drain wake-up connection.
     addr: Option<SocketAddr>,
 }
@@ -199,16 +287,23 @@ impl ServerState {
         cache: Option<Arc<ReportCache>>,
         addr: Option<SocketAddr>,
     ) -> (Arc<ServerState>, Receiver<Job>) {
-        let (tx, rx) = mpsc::sync_channel(options.queue_capacity);
+        // Capacity 0 would build a rendezvous channel (reader and
+        // worker in lockstep); pin it to the smallest real queue. The
+        // CLI already rejects `--queue 0` as a usage error.
+        let (tx, rx) = mpsc::sync_channel(options.queue_capacity.max(1));
         let state = ServerState {
             queue: Mutex::new(Some(tx)),
             draining: AtomicBool::new(false),
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            rejected_conns: AtomicU64::new(0),
             depth: AtomicUsize::new(0),
             options,
             cache,
             conns: Mutex::new(Vec::new()),
+            conn_seq: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
             addr,
         };
         (Arc::new(state), rx)
@@ -218,6 +313,8 @@ impl ServerState {
         ServeSummary {
             served: self.served.load(Ordering::SeqCst),
             errors: self.errors.load(Ordering::SeqCst),
+            rate_limited: self.rate_limited.load(Ordering::SeqCst),
+            rejected_conns: self.rejected_conns.load(Ordering::SeqCst),
         }
     }
 
@@ -236,7 +333,7 @@ impl ServerState {
         }
         // EOF every connection's reader; pending replies still flush
         // through the write halves.
-        for conn in lock(&self.conns).iter() {
+        for (_, conn) in lock(&self.conns).iter() {
             let _ = conn.shutdown(Shutdown::Read);
         }
     }
@@ -277,6 +374,14 @@ fn stats_frame(id: &Json, state: &ServerState) -> Json {
     stats.set("served", state.served.load(Ordering::SeqCst).to_string());
     stats.set("errors", state.errors.load(Ordering::SeqCst).to_string());
     stats.set(
+        "rate_limited",
+        state.rate_limited.load(Ordering::SeqCst).to_string(),
+    );
+    stats.set(
+        "rejected_conns",
+        state.rejected_conns.load(Ordering::SeqCst).to_string(),
+    );
+    stats.set(
         "queue_depth",
         state.depth.load(Ordering::SeqCst).to_string(),
     );
@@ -288,11 +393,17 @@ fn stats_frame(id: &Json, state: &ServerState) -> Json {
             stats.set("cache_attached", true);
             stats.set("cache_hits", cache.hits().to_string());
             stats.set("cache_misses", cache.misses().to_string());
+            stats.set("hot_hits", cache.hot_hits().to_string());
+            stats.set("hot_misses", cache.hot_misses().to_string());
+            stats.set("hot_evictions", cache.hot_evictions().to_string());
         }
         None => {
             stats.set("cache_attached", false);
             stats.set("cache_hits", "0");
             stats.set("cache_misses", "0");
+            stats.set("hot_hits", "0");
+            stats.set("hot_misses", "0");
+            stats.set("hot_evictions", "0");
         }
     }
     let mut frame = ok_frame(id);
@@ -476,11 +587,16 @@ fn point_runner(point: &Point, cache: Option<Arc<ReportCache>>, backend: Backend
     let mut cfg = SmConfig::volta_like();
     cfg.adder_tree_duplication = point.dup;
     cfg.dp_width = point.width;
+    // No per-request result records: a server answers an unbounded
+    // stream, and recording every analysis would grow the collector
+    // (and the `--metrics` manifest) without bound. Traffic shows up
+    // in the `serve.*` counters instead.
     GemmRunner::new()
         .with_config(cfg)
         .with_group(point.group)
         .with_cache_opt(cache)
         .with_backend(backend)
+        .without_result_recording()
 }
 
 /// Analyzes one point and renders its report in the lossless
@@ -626,8 +742,16 @@ fn skip_to_newline<R: BufRead>(reader: &mut R) -> std::io::Result<()> {
 }
 
 /// Handles one parsed-or-not frame line. Returns `false` when the
-/// connection should stop reading (shutdown frame).
-fn handle_line(text: &str, state: &Arc<ServerState>, tx: &mpsc::Sender<String>) -> bool {
+/// connection should stop reading (shutdown frame). `bucket` is this
+/// connection's admission bucket (`None` = unlimited); only work
+/// requests spend tokens — control ops and malformed frames are
+/// answered by the reader itself and never cost worker time.
+fn handle_line(
+    text: &str,
+    state: &Arc<ServerState>,
+    tx: &mpsc::Sender<String>,
+    bucket: &mut Option<TokenBucket>,
+) -> bool {
     let text = text.trim();
     if text.is_empty() {
         return true; // blank keep-alive lines are fine
@@ -660,7 +784,20 @@ fn handle_line(text: &str, state: &Arc<ServerState>, tx: &mpsc::Sender<String>) 
             state.drain();
             return false;
         }
-        Ok(request) => enqueue(state, tx, request, id),
+        Ok(request) => {
+            if let Some(bucket) = bucket {
+                if !bucket.admit() {
+                    state.rate_limited.fetch_add(1, Ordering::SeqCst);
+                    let e = PacqError::RateLimited {
+                        rate: state.options.rate,
+                        burst: state.options.burst.max(1),
+                    };
+                    send(state, tx, error_frame(&id, &e), true);
+                    return true;
+                }
+            }
+            enqueue(state, tx, request, id);
+        }
         Err(e) => send(state, tx, error_frame(&id, &e), true),
     }
     true
@@ -697,6 +834,7 @@ fn enqueue(state: &Arc<ServerState>, tx: &mpsc::Sender<String>, request: Request
 
 fn reader_loop<R: BufRead>(mut reader: R, state: &Arc<ServerState>, tx: &mpsc::Sender<String>) {
     let mut line = String::new();
+    let mut bucket = TokenBucket::from_options(&state.options);
     loop {
         match read_frame(&mut reader, &mut line) {
             Ok(FrameRead::Eof) => break,
@@ -705,7 +843,7 @@ fn reader_loop<R: BufRead>(mut reader: R, state: &Arc<ServerState>, tx: &mpsc::S
                 send(state, tx, error_frame(&Json::Null, &e), true);
             }
             Ok(FrameRead::Line) => {
-                if !handle_line(&line, state, tx) {
+                if !handle_line(&line, state, tx, &mut bucket) {
                     break;
                 }
             }
@@ -721,19 +859,45 @@ fn reader_loop<R: BufRead>(mut reader: R, state: &Arc<ServerState>, tx: &mpsc::S
 }
 
 fn handle_conn(stream: TcpStream, state: Arc<ServerState>) {
+    handle_conn_inner(stream, &state);
+    // The accept loop counted us in before spawning; count back out so
+    // the `--max-clients` gate frees the slot.
+    state.active_conns.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn handle_conn_inner(stream: TcpStream, state: &Arc<ServerState>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // Register under a fresh id so teardown removes exactly this
+    // connection's drain handle — the registry must return to empty
+    // when every client is gone, not grow for the life of the server.
+    let conn_id = state.conn_seq.fetch_add(1, Ordering::SeqCst);
     if let Ok(drain_handle) = stream.try_clone() {
-        lock(&state.conns).push(drain_handle);
+        lock(&state.conns).push((conn_id, drain_handle));
     }
     let (tx, rx) = mpsc::channel::<String>();
     let writer = thread::spawn(move || writer_loop(rx, stream));
-    reader_loop(BufReader::new(read_half), &state, &tx);
+    reader_loop(BufReader::new(read_half), state, &tx);
     // Reader done: drop our sender; the writer exits once every queued
     // job's reply clone is dropped too, then the socket closes.
     drop(tx);
     let _ = writer.join();
+    lock(&state.conns).retain(|(id, _)| *id != conn_id);
+}
+
+/// Answers a connection turned away at the `--max-clients` gate: one
+/// typed error frame (best effort, with a short write timeout so a
+/// non-reading client cannot stall the acceptor), then the stream
+/// drops and the socket closes.
+fn reject_conn(stream: TcpStream, max_clients: usize) {
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(250)));
+    let e = proto(format!(
+        "server is at its --max-clients capacity ({max_clients}); retry later"
+    ));
+    let mut stream = stream;
+    let _ = stream.write_all(error_frame(&Json::Null, &e).render_line().as_bytes());
+    let _ = stream.write_all(b"\n");
 }
 
 // ---------------------------------------------------------------------
@@ -785,6 +949,14 @@ impl Server {
                 let Ok(stream) = stream else {
                     continue; // transient accept error
                 };
+                let max = accept_state.options.max_clients;
+                if max > 0 && accept_state.active_conns.load(Ordering::SeqCst) >= max {
+                    accept_state.rejected_conns.fetch_add(1, Ordering::SeqCst);
+                    pacq_trace::add_counter("serve.rejected_conns", 1);
+                    reject_conn(stream, max);
+                    continue;
+                }
+                accept_state.active_conns.fetch_add(1, Ordering::SeqCst);
                 let conn_state = Arc::clone(&accept_state);
                 conns.push(thread::spawn(move || handle_conn(stream, conn_state)));
             }
@@ -810,6 +982,13 @@ impl Server {
     /// The bound address (useful after `--port 0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Number of connections currently registered with the drain
+    /// machinery. Returns to 0 once every client has disconnected —
+    /// the regression surface for the PR 7 handle-leak fix.
+    pub fn live_connections(&self) -> usize {
+        lock(&self.state.conns).len()
     }
 
     /// Triggers the graceful drain from outside the protocol (the
@@ -898,10 +1077,33 @@ pub fn serve_stdio(
 // CLI entry point
 // ---------------------------------------------------------------------
 
-/// `pacq serve (--port N | --stdio) [--queue N]` — parses the serve
-/// flags and runs the matching lifecycle until drained. The `backend`
-/// comes from the global `--backend` / `PACQ_BACKEND` knob the CLI
-/// front end already resolved.
+/// Validates a serve counting flag (`--queue`, `--rate`, `--burst`,
+/// `--max-clients`): trimmed, plain ASCII digits only (no sign, no
+/// decimal point), at least 1, at most `max`. Same discipline as the
+/// shared `--jobs` validator in `par.rs` — `source` names the flag so
+/// the one-line diagnostic is self-locating.
+pub fn validate_serve_count(raw: &str, source: &str, max: u64) -> PacqResult<u64> {
+    let text = raw.trim();
+    let plain_number = !text.is_empty() && text.bytes().all(|b| b.is_ascii_digit());
+    if !plain_number {
+        return Err(PacqError::usage(format!(
+            "{source} expects a positive integer, got `{raw}`"
+        )));
+    }
+    match text.parse::<u64>() {
+        Ok(0) => Err(PacqError::usage(format!("{source} must be at least 1"))),
+        Ok(n) if n <= max => Ok(n),
+        _ => Err(PacqError::usage(format!(
+            "{source} accepts at most {max}, got `{raw}`"
+        ))),
+    }
+}
+
+/// `pacq serve (--port N | --stdio) [--queue N] [--rate N] [--burst N]
+/// [--max-clients N]` — parses the serve flags and runs the matching
+/// lifecycle until drained. The `backend` comes from the global
+/// `--backend` / `PACQ_BACKEND` knob the CLI front end already
+/// resolved.
 ///
 /// # Errors
 ///
@@ -916,6 +1118,9 @@ pub fn run_cli(
     let mut port: Option<u16> = None;
     let mut stdio = false;
     let mut queue_capacity = DEFAULT_QUEUE_CAPACITY;
+    let mut rate = 0u64;
+    let mut burst: Option<u64> = None;
+    let mut max_clients = 0usize;
     let mut it = args.iter().map(String::as_str);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> PacqResult<&str> {
@@ -932,19 +1137,34 @@ pub fn run_cli(
             }
             "--stdio" => stdio = true,
             "--queue" => {
-                queue_capacity = value("--queue")?
-                    .parse()
-                    .map_err(|_| usage("--queue expects a positive request count"))?;
-                if queue_capacity == 0 {
-                    return Err(usage("--queue expects a positive request count"));
-                }
+                queue_capacity =
+                    validate_serve_count(value("--queue")?, "--queue", MAX_QUEUE_CAPACITY as u64)?
+                        as usize;
+            }
+            "--rate" => rate = validate_serve_count(value("--rate")?, "--rate", 1_000_000)?,
+            "--burst" => {
+                burst = Some(validate_serve_count(
+                    value("--burst")?,
+                    "--burst",
+                    1_000_000,
+                )?)
+            }
+            "--max-clients" => {
+                max_clients =
+                    validate_serve_count(value("--max-clients")?, "--max-clients", 10_000)? as usize
             }
             other => return Err(PacqError::usage(format!("unknown serve option `{other}`"))),
         }
     }
+    if burst.is_some() && rate == 0 {
+        return Err(usage("--burst only makes sense together with --rate"));
+    }
     let options = ServeOptions {
         queue_capacity,
         backend,
+        rate,
+        burst: burst.unwrap_or(rate),
+        max_clients,
         ..ServeOptions::default()
     };
     let summary = match (port, stdio) {
@@ -963,9 +1183,13 @@ pub fn run_cli(
     };
     pacq_trace::add_counter("serve.served", summary.served);
     pacq_trace::add_counter("serve.errors", summary.errors);
+    pacq_trace::add_counter("serve.rate_limited", summary.rate_limited);
     if let Some(cache) = &cache {
         pacq_trace::add_counter("serve.cache_hits", cache.hits());
         pacq_trace::add_counter("serve.cache_misses", cache.misses());
+        pacq_trace::add_counter("serve.hot_hits", cache.hot_hits());
+        pacq_trace::add_counter("serve.hot_misses", cache.hot_misses());
+        pacq_trace::add_counter("serve.hot_evictions", cache.hot_evictions());
     }
     if stdio {
         // Stdout is the protocol channel; the summary already went out
@@ -1110,7 +1334,8 @@ mod tests {
             summary,
             ServeSummary {
                 served: 4,
-                errors: 1
+                errors: 1,
+                ..ServeSummary::default()
             }
         );
 
@@ -1242,10 +1467,167 @@ mod tests {
             "--port notaport",
             "--queue 0",
             "--queue",
+            "--queue -4",
+            "--queue 4.0",
+            "--rate 0",
+            "--rate nope",
+            "--burst 2",                  // burst without rate
+            "--stdio --burst 0 --rate 5", // burst still validated
+            "--max-clients 0",
             "--frobnicate",
         ] {
             let err = run_cli(&argv(bad), None, Backend::Scalar).unwrap_err();
             assert!(err.is_usage(), "`{bad}`: {err}");
         }
+    }
+
+    /// The `--queue 0` boundary, pinned the same way `par.rs` pins
+    /// `--jobs`: one shared validator, exercised over every boundary
+    /// input. 0 is *rejected* (usage, exit 2) rather than passed to
+    /// `mpsc::sync_channel`, where it would silently become a
+    /// rendezvous channel; `ServerState::new` additionally pins
+    /// programmatic zeros up to 1 (covered below).
+    #[test]
+    fn queue_validator_agrees_on_every_boundary_input() {
+        let max = MAX_QUEUE_CAPACITY as u64;
+        let cases: [(&str, Option<u64>); 12] = [
+            ("1", Some(1)),
+            ("64", Some(64)),
+            (" 64 ", Some(64)),
+            ("65536", Some(max)),
+            ("0", None),
+            (" 0 ", None),
+            ("65537", None),
+            ("+4", None),
+            ("-4", None),
+            ("4.0", None),
+            ("", None),
+            ("queue", None),
+        ];
+        for (raw, want) in cases {
+            let got = validate_serve_count(raw, "--queue", max);
+            match want {
+                Some(n) => assert_eq!(got.unwrap(), n, "`{raw}`"),
+                None => {
+                    let err = got.unwrap_err();
+                    assert!(err.is_usage(), "`{raw}`: {err}");
+                    assert_eq!(err.exit_code(), 2, "`{raw}`");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn programmatic_queue_capacity_zero_is_pinned_to_one() {
+        // A library caller that builds ServeOptions by hand must never
+        // get a rendezvous channel: capacity 0 still buffers one job.
+        let options = ServeOptions {
+            queue_capacity: 0,
+            workers: 1,
+            ..ServeOptions::default()
+        };
+        let (state, _rx) = ServerState::new(options, None, None);
+        let (tx, _reply_rx) = mpsc::channel::<String>();
+        // try_send into a rendezvous channel with no waiting receiver
+        // fails even when idle; a 1-slot queue accepts the job.
+        enqueue(
+            &state,
+            &tx,
+            Request::Analyze(Point {
+                arch: Architecture::Pacq,
+                workload: Workload::new(
+                    pacq_simt::GemmShape::new(16, 256, 256),
+                    WeightPrecision::Int4,
+                ),
+                group: GroupShape::G128,
+                dup: 2,
+                width: 4,
+            }),
+            Json::from(1u64),
+        );
+        assert_eq!(state.depth.load(Ordering::SeqCst), 1, "job was accepted");
+        assert_eq!(state.summary().errors, 0);
+    }
+
+    #[test]
+    fn rate_limited_clients_get_typed_frames_and_lose_nothing() {
+        // rate 1/s, burst 2: ten back-to-back analyze frames can admit
+        // at most a handful (2 + refill during the run); the rest must
+        // bounce as typed rate_limited frames. Every frame gets exactly
+        // one reply either way.
+        let mut input = String::new();
+        for i in 0..10 {
+            input.push_str(&format!(
+                "{{\"op\":\"analyze\",\"id\":{i},\"shape\":\"m16n256k256\"}}\n"
+            ));
+        }
+        // Control ops are exempt from admission.
+        input.push_str("{\"op\":\"ping\",\"id\":100}\n");
+        input.push_str("{\"op\":\"stats\",\"id\":101}\n");
+        let options = ServeOptions {
+            workers: 2,
+            rate: 1,
+            burst: 2,
+            ..ServeOptions::default()
+        };
+        let (replies, summary) = drive(&input, options);
+        assert_eq!(replies.len(), 12, "one reply per frame, none lost");
+        let limited = replies
+            .iter()
+            .filter(|r| {
+                r.get("error")
+                    .and_then(|e| e.get("class"))
+                    .and_then(Json::as_str)
+                    == Some("rate_limited")
+            })
+            .collect::<Vec<_>>();
+        assert!(
+            !limited.is_empty(),
+            "burst-2 bucket must run dry over 10 frames"
+        );
+        for frame in &limited {
+            let code = frame
+                .get("error")
+                .and_then(|e| e.get("exit_code"))
+                .and_then(Json::as_num);
+            assert_eq!(code, Some(8.0), "{frame:?}");
+        }
+        let ok_count = replies
+            .iter()
+            .filter(|r| r.get("ok") == Some(&Json::Bool(true)))
+            .count();
+        assert!(
+            ok_count >= 4,
+            "burst of 2 + ping + stats must be admitted: {replies:?}"
+        );
+        assert_eq!(summary.rate_limited, limited.len() as u64);
+        assert_eq!(summary.served + summary.errors, 12);
+        // The stats frame exposes the tally to remote clients too.
+        let stats = by_id(&replies, 101.0);
+        let reported = stats
+            .get("stats")
+            .and_then(|s| s.get("rate_limited"))
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<u64>().ok());
+        assert_eq!(reported, Some(summary.rate_limited));
+    }
+
+    #[test]
+    fn token_bucket_refills_at_the_configured_rate() {
+        let options = ServeOptions {
+            rate: 1000,
+            burst: 1,
+            ..ServeOptions::default()
+        };
+        let mut bucket = TokenBucket::from_options(&options).unwrap();
+        assert!(bucket.admit(), "bucket starts full");
+        // Drain, then wait ~two token periods; the refill must admit
+        // again but never exceed the burst cap.
+        while bucket.admit() {}
+        thread::sleep(std::time::Duration::from_millis(5));
+        assert!(bucket.admit(), "refill after a waiting period");
+        assert!(bucket.tokens <= 1.0, "burst cap respected");
+        // Unlimited config builds no bucket at all.
+        assert!(TokenBucket::from_options(&ServeOptions::default()).is_none());
     }
 }

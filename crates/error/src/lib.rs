@@ -16,7 +16,7 @@
 //! | 5 | artifact decode | [`PacqError::Artifact`] |
 //! | 6 | filesystem / OS | [`PacqError::Io`] |
 //! | 7 | audit divergence | [`PacqError::AuditMismatch`] |
-//! | 8 | serve protocol | [`PacqError::Protocol`], [`PacqError::QueueFull`] |
+//! | 8 | serve protocol | [`PacqError::Protocol`], [`PacqError::QueueFull`], [`PacqError::RateLimited`] |
 //!
 //! The no-panic contract is enforced statically — the library crates
 //! deny `clippy::unwrap_used` / `expect_used` / `panic` outside tests —
@@ -156,6 +156,18 @@ pub enum PacqError {
         /// The configured queue capacity that was exhausted.
         capacity: usize,
     },
+    /// A client exceeded its per-connection admission rate: the
+    /// server's token bucket for that peer ran dry. Like
+    /// [`PacqError::QueueFull`] this is explicit backpressure, not a
+    /// protocol violation — the connection stays open and the client
+    /// should slow down and retry.
+    RateLimited {
+        /// The sustained per-client rate (requests/second) configured
+        /// on the server.
+        rate: u64,
+        /// The burst allowance (bucket capacity) that was exhausted.
+        burst: u64,
+    },
     /// The self-audit found two models of the same run disagreeing:
     /// an event-replay counter diverged from its analytic closed form,
     /// or an energy total from its component BOM sum.
@@ -214,7 +226,9 @@ impl PacqError {
             PacqError::Artifact(_) => 5,
             PacqError::Io { .. } => 6,
             PacqError::AuditMismatch { .. } => 7,
-            PacqError::Protocol { .. } | PacqError::QueueFull { .. } => 8,
+            PacqError::Protocol { .. }
+            | PacqError::QueueFull { .. }
+            | PacqError::RateLimited { .. } => 8,
         }
     }
 
@@ -236,6 +250,7 @@ impl PacqError {
             PacqError::AuditMismatch { .. } => "audit",
             PacqError::Protocol { .. } => "protocol",
             PacqError::QueueFull { .. } => "queue_full",
+            PacqError::RateLimited { .. } => "rate_limited",
         }
     }
 
@@ -283,6 +298,10 @@ impl fmt::Display for PacqError {
             PacqError::QueueFull { capacity } => write!(
                 f,
                 "request queue is full ({capacity} pending); retry after draining replies"
+            ),
+            PacqError::RateLimited { rate, burst } => write!(
+                f,
+                "client exceeded admission rate ({rate} req/s, burst {burst}); slow down and retry"
             ),
             PacqError::AuditMismatch {
                 counter,
@@ -352,8 +371,10 @@ mod tests {
         assert_eq!(audit.exit_code(), 7);
         let protocol = PacqError::protocol("serve", "missing `op`");
         let full = PacqError::QueueFull { capacity: 64 };
+        let limited = PacqError::RateLimited { rate: 10, burst: 4 };
         assert_eq!(protocol.exit_code(), 8);
         assert_eq!(full.exit_code(), 8);
+        assert_eq!(limited.exit_code(), 8);
         assert!(usage.is_usage());
         assert!(!artifact.is_usage());
         assert!(!audit.is_usage());
@@ -385,15 +406,21 @@ mod tests {
             ),
             (PacqError::protocol("serve", "bad frame"), "protocol"),
             (PacqError::QueueFull { capacity: 4 }, "queue_full"),
+            (PacqError::RateLimited { rate: 5, burst: 2 }, "rate_limited"),
         ];
         for (error, token) in &cases {
             assert_eq!(error.class(), *token, "{error}");
         }
         // Tokens within one exit-code class may differ (protocol vs
-        // queue_full both exit 8 but clients must tell them apart).
+        // queue_full vs rate_limited all exit 8 but clients must tell
+        // them apart).
         assert_ne!(
             PacqError::protocol("serve", "x").class(),
             PacqError::QueueFull { capacity: 1 }.class()
+        );
+        assert_ne!(
+            PacqError::QueueFull { capacity: 1 }.class(),
+            PacqError::RateLimited { rate: 1, burst: 1 }.class()
         );
     }
 
@@ -401,6 +428,14 @@ mod tests {
     fn queue_full_names_the_capacity() {
         let line = PacqError::QueueFull { capacity: 128 }.to_string();
         assert!(line.contains("128"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn rate_limited_names_rate_and_burst() {
+        let line = PacqError::RateLimited { rate: 25, burst: 7 }.to_string();
+        assert!(line.contains("25"), "{line}");
+        assert!(line.contains("7"), "{line}");
         assert!(!line.contains('\n'));
     }
 

@@ -16,9 +16,22 @@ use std::time::Instant;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static STATE: Mutex<Option<State>> = Mutex::new(None);
 
+/// Spans retained verbatim per phase name. Beyond this the collector
+/// folds further same-named spans into one aggregate tally instead of
+/// storing them, so a long-lived process (a `pacq serve` instance
+/// answering millions of requests, each wrapped in a `core.analyze`
+/// span) cannot grow its memory or its `--metrics` manifest without
+/// bound. The folded call count and total duration are preserved and
+/// surfaced as `trace.spans_folded.*` counters by the manifest gather.
+pub const MAX_SPANS_PER_NAME: usize = 1024;
+
 struct State {
     epoch: Instant,
     spans: Vec<SpanRecord>,
+    /// Per-name `(recorded, folded, folded_dur_us)` tallies backing the
+    /// [`MAX_SPANS_PER_NAME`] cap. Linear scan: a run has a handful of
+    /// distinct phase names.
+    span_tallies: Vec<(&'static str, u64, u64, u64)>,
     counters: Vec<(&'static str, u64)>,
     results: Vec<(String, Json)>,
 }
@@ -28,6 +41,7 @@ impl State {
         State {
             epoch: Instant::now(),
             spans: Vec::new(),
+            span_tallies: Vec::new(),
             counters: Vec::new(),
             results: Vec::new(),
         }
@@ -43,6 +57,20 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Duration in microseconds.
     pub dur_us: u64,
+}
+
+/// Aggregate of same-named spans folded once a phase exceeded
+/// [`MAX_SPANS_PER_NAME`] recorded spans. Nothing is lost silently: the
+/// folded call count and their summed wall-clock survive here and land
+/// in the manifest as counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanOverflow {
+    /// Phase name, identical to the retained spans it overflows.
+    pub name: &'static str,
+    /// How many spans were folded instead of recorded.
+    pub folded: u64,
+    /// Summed duration of the folded spans, in microseconds.
+    pub folded_dur_us: u64,
 }
 
 /// Enables collection and clears any previously recorded data.
@@ -102,11 +130,32 @@ impl Drop for SpanGuard {
             .as_micros()
             .min(u128::from(u64::MAX)) as u64;
         let dur_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        state.spans.push(SpanRecord {
-            name: self.name,
-            start_us,
-            dur_us,
-        });
+        let tally = match state
+            .span_tallies
+            .iter_mut()
+            .find(|(n, _, _, _)| *n == self.name)
+        {
+            Some(tally) => tally,
+            None => {
+                state.span_tallies.push((self.name, 0, 0, 0));
+                match state.span_tallies.last_mut() {
+                    Some(tally) => tally,
+                    // Unreachable: the push above guarantees a last element.
+                    None => return,
+                }
+            }
+        };
+        if (tally.1 as usize) < MAX_SPANS_PER_NAME {
+            tally.1 += 1;
+            state.spans.push(SpanRecord {
+                name: self.name,
+                start_us,
+                dur_us,
+            });
+        } else {
+            tally.2 += 1;
+            tally.3 = tally.3.saturating_add(dur_us);
+        }
     }
 }
 
@@ -140,23 +189,42 @@ pub fn record_result(sort_key: impl Into<String>, value: Json) {
 }
 
 /// Drains everything recorded since [`enable`]: `(spans, counters,
-/// results)` with results stable-sorted by key. Collection stays enabled
-/// with a fresh epoch.
-pub fn drain() -> (Vec<SpanRecord>, Vec<(&'static str, u64)>, Vec<Json>) {
+/// results, overflows)` with results stable-sorted by key and one
+/// [`SpanOverflow`] per phase name that blew past
+/// [`MAX_SPANS_PER_NAME`]. Collection stays enabled with a fresh epoch.
+pub fn drain() -> DrainedMetrics {
     let mut state = lock();
     let Some(state) = state.as_mut() else {
-        return (Vec::new(), Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     };
     let spans = std::mem::take(&mut state.spans);
     let counters = std::mem::take(&mut state.counters);
     let mut results = std::mem::take(&mut state.results);
     results.sort_by(|a, b| a.0.cmp(&b.0));
+    let overflows = std::mem::take(&mut state.span_tallies)
+        .into_iter()
+        .filter(|(_, _, folded, _)| *folded > 0)
+        .map(|(name, _, folded, folded_dur_us)| SpanOverflow {
+            name,
+            folded,
+            folded_dur_us,
+        })
+        .collect();
     (
         spans,
         counters,
         results.into_iter().map(|(_, v)| v).collect(),
+        overflows,
     )
 }
+
+/// Everything [`drain`] hands back in one pass.
+pub type DrainedMetrics = (
+    Vec<SpanRecord>,
+    Vec<(&'static str, u64)>,
+    Vec<Json>,
+    Vec<SpanOverflow>,
+);
 
 #[cfg(test)]
 mod tests {
@@ -180,10 +248,11 @@ mod tests {
         add_counter("test.counter", 3);
         record_result("k", Json::Null);
         enable();
-        let (spans, counters, results) = drain();
+        let (spans, counters, results, overflows) = drain();
         assert!(spans.is_empty());
         assert!(counters.is_empty());
         assert!(results.is_empty());
+        assert!(overflows.is_empty());
         disable();
     }
 
@@ -197,13 +266,14 @@ mod tests {
         }
         add_counter("test.calls", 1);
         add_counter("test.calls", 2);
-        let (spans, counters, _) = drain();
+        let (spans, counters, _, overflows) = drain();
         // Inner drops before outer, so it is recorded first.
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].name, "test.inner");
         assert_eq!(spans[1].name, "test.outer");
         assert!(spans[1].start_us <= spans[0].start_us + spans[0].dur_us + 1_000_000);
         assert_eq!(counters, vec![("test.calls", 3)]);
+        assert!(overflows.is_empty(), "nothing folded below the cap");
         disable();
     }
 
@@ -213,9 +283,73 @@ mod tests {
         enable();
         record_result("b", Json::from("second"));
         record_result("a", Json::from("first"));
-        let (_, _, results) = drain();
+        let (_, _, results, _) = drain();
         assert_eq!(results[0].as_str(), Some("first"));
         assert_eq!(results[1].as_str(), Some("second"));
         disable();
+    }
+
+    #[test]
+    fn spans_fold_beyond_the_per_name_cap() {
+        let _guard = test_lock();
+        enable();
+        // A serving process records the same phase millions of times;
+        // the collector must stay bounded while losing no accounting.
+        for _ in 0..MAX_SPANS_PER_NAME + 7 {
+            let _s = span("test.hot_phase");
+        }
+        {
+            let _s = span("test.rare_phase");
+        }
+        let (spans, _, _, overflows) = drain();
+        let hot = spans.iter().filter(|s| s.name == "test.hot_phase").count();
+        let rare = spans.iter().filter(|s| s.name == "test.rare_phase").count();
+        assert_eq!(hot, MAX_SPANS_PER_NAME, "retained spans stop at the cap");
+        assert_eq!(rare, 1, "the cap is per name, not global");
+        assert_eq!(
+            overflows,
+            vec![SpanOverflow {
+                name: "test.hot_phase",
+                folded: 7,
+                folded_dur_us: overflows.first().map_or(0, |o| o.folded_dur_us),
+            }]
+        );
+        // Draining resets the tallies: the same phase records afresh.
+        {
+            let _s = span("test.hot_phase");
+        }
+        let (spans, _, _, overflows) = drain();
+        assert_eq!(spans.len(), 1);
+        assert!(overflows.is_empty());
+        disable();
+    }
+
+    #[test]
+    fn gathered_manifest_stays_bounded_and_accounts_for_folds() {
+        let _guard = test_lock();
+        enable();
+        for _ in 0..MAX_SPANS_PER_NAME + 3 {
+            let _s = span("test.served");
+        }
+        let mut m = crate::manifest::RunManifest::new("serve", &[]);
+        m.gather();
+        disable();
+        let doc = m.to_json();
+        crate::manifest::validate_manifest(&doc).expect("folded manifest is schema-valid");
+        let spans = match doc.get("spans") {
+            Some(Json::Arr(items)) => items.len(),
+            other => panic!("spans must be an array, got {other:?}"),
+        };
+        assert_eq!(spans, MAX_SPANS_PER_NAME);
+        let folded = doc
+            .get("counters")
+            .and_then(|c| c.get("trace.spans_folded.test.served"))
+            .and_then(Json::as_num);
+        assert_eq!(folded, Some(3.0));
+        assert!(doc
+            .get("counters")
+            .and_then(|c| c.get("trace.spans_folded_dur_us.test.served"))
+            .and_then(Json::as_num)
+            .is_some());
     }
 }

@@ -35,7 +35,8 @@ pub mod manifest;
 
 pub use chrome::ChromeTrace;
 pub use collect::{
-    add_counter, disable, drain, enable, is_enabled, record_result, span, SpanRecord,
+    add_counter, disable, drain, enable, is_enabled, record_result, span, SpanOverflow, SpanRecord,
+    MAX_SPANS_PER_NAME,
 };
 pub use json::Json;
 pub use manifest::{validate_manifest, RunManifest, SCHEMA};

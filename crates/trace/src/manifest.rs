@@ -86,12 +86,24 @@ impl RunManifest {
     }
 
     /// Drains the process-wide collector (spans, counters, recorded
-    /// results) into this manifest.
+    /// results) into this manifest. Phases that blew past the
+    /// collector's per-name span cap arrive as aggregate tallies and
+    /// land in `counters` as `trace.spans_folded.<name>` (count) and
+    /// `trace.spans_folded_dur_us.<name>` (summed duration) — the
+    /// `spans` array stays bounded however long the process served.
     pub fn gather(&mut self) {
-        let (spans, counters, results) = collect::drain();
+        let (spans, counters, results, overflows) = collect::drain();
         self.spans.extend(spans);
         for (name, value) in counters {
             self.counters.push((name.to_string(), value));
+        }
+        for o in overflows {
+            self.counters
+                .push((format!("trace.spans_folded.{}", o.name), o.folded));
+            self.counters.push((
+                format!("trace.spans_folded_dur_us.{}", o.name),
+                o.folded_dur_us,
+            ));
         }
         self.results.extend(results);
     }

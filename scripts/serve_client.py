@@ -84,6 +84,13 @@ def main() -> None:
         help="max in-flight requests; keep below the server's --queue "
         "capacity so backpressure (queue_full) never triggers",
     )
+    ap.add_argument(
+        "--expect-rate-limited",
+        action="store_true",
+        help="hammer mode: tolerate (and count) typed rate_limited error "
+        "frames from an admission-controlled server; fail unless at "
+        "least one arrives and every request is still answered",
+    )
     args = ap.parse_args()
 
     where = args.addr or wait_for_ready(args.ready_log, args.timeout)
@@ -99,27 +106,55 @@ def main() -> None:
     # queue never answers queue_full; replies are unordered across
     # requests and matched by echoed id.
     replies = {}
+    sent_at = {}
+    latencies_us = []
+    rate_limited = 0
 
     def collect_one() -> None:
+        nonlocal rate_limited
         line = rd.readline()
         if not line:
             sys.exit("error: connection closed mid-batch")
         frame = json.loads(line)
         rid = frame.get("id")
         assert frame.get("schema") == SCHEMA, f"schema drift: {frame}"
-        assert frame.get("ok") is True, f"request {rid} failed: {frame}"
-        assert "report" in frame, f"request {rid} reply has no report"
+        assert rid in sent_at, f"reply for unknown id {rid}"
         assert rid not in replies, f"duplicate reply for id {rid}"
+        latencies_us.append(int((time.monotonic() - sent_at[rid]) * 1e6))
+        if frame.get("ok") is True:
+            assert "report" in frame, f"request {rid} reply has no report"
+        else:
+            error = frame.get("error") or {}
+            assert args.expect_rate_limited and error.get("class") == "rate_limited", (
+                f"request {rid} failed: {frame}"
+            )
+            rate_limited += 1
         replies[rid] = line
 
     for i in range(args.requests):
         if i - len(replies) >= args.window:
             collect_one()
+        sent_at[i] = time.monotonic()
         wr.write(json.dumps(request(i)) + "\n")
         wr.flush()
     while len(replies) < args.requests:
         collect_one()
     assert sorted(replies) == list(range(args.requests)), "lost replies"
+    if args.expect_rate_limited:
+        assert rate_limited >= 1, "hammer mode saw no rate_limited frame"
+
+    # Exact nearest-rank percentiles over every round trip; in hammer
+    # mode the histogram includes the (cheap) rate-limited denials.
+    latencies_us.sort()
+
+    def pct(p: float) -> int:
+        rank = max(1, min(len(latencies_us), -(-int(p * len(latencies_us)) // 100)))
+        return latencies_us[rank - 1]
+
+    print(
+        f"latency_us: p50 {pct(50)} p95 {pct(95)} p99 {pct(99)} "
+        f"(n {len(latencies_us)}, rate_limited {rate_limited})"
+    )
 
     with open(args.out, "w", encoding="utf-8", newline="\n") as out:
         for rid in sorted(replies):

@@ -113,6 +113,131 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Hot tier ≡ disk ≡ fresh: with the LRU tier mounted, a hot hit, a
+    /// disk hit behind a cold tier, and a fresh computation all return
+    /// the same report down to the float bit patterns.
+    #[test]
+    fn hot_disk_and_fresh_reports_are_bit_identical(
+        shape in any_shape(),
+        arch in any_arch(),
+        precision in any_precision(),
+    ) {
+        let dir = scratch_dir("hot-roundtrip");
+        let wl = Workload::new(shape, precision);
+        let fresh = GemmRunner::new().analyze(arch, wl).unwrap();
+
+        // Store A computes on a miss, write-through fills its hot tier,
+        // and the repeat is answered from memory.
+        let store_a = Arc::new(ReportCache::open(&dir).unwrap().with_hot_tier(4));
+        let runner_a = GemmRunner::new().with_cache(Arc::clone(&store_a));
+        let miss = runner_a.analyze(arch, wl).unwrap();
+        let hot_hit = runner_a.analyze(arch, wl).unwrap();
+        prop_assert_eq!((store_a.misses(), store_a.hits()), (1, 0));
+        prop_assert_eq!(store_a.hot_hits(), 1);
+
+        // Store B shares the directory but starts with a cold tier: the
+        // first lookup is a disk hit (promoted), the second a hot hit.
+        let store_b = Arc::new(ReportCache::open(&dir).unwrap().with_hot_tier(4));
+        let runner_b = GemmRunner::new().with_cache(Arc::clone(&store_b));
+        let disk_hit = runner_b.analyze(arch, wl).unwrap();
+        let promoted = runner_b.analyze(arch, wl).unwrap();
+        prop_assert_eq!((store_b.misses(), store_b.hits()), (0, 1));
+        prop_assert_eq!(store_b.hot_hits(), 1);
+
+        for got in [&miss, &hot_hit, &disk_hit, &promoted] {
+            prop_assert_eq!(got, &fresh);
+            prop_assert_eq!(got.latency_s.to_bits(), fresh.latency_s.to_bits());
+            prop_assert_eq!(got.edp_pj_s.to_bits(), fresh.edp_pj_s.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Eviction respects capacity exactly: pushing `keys` distinct
+    /// points through a tier of capacity `cap` evicts precisely
+    /// `keys - cap` entries (never more, never earlier), the newest
+    /// `cap` points stay memory-resident, and evicted points fall back
+    /// to bit-identical disk hits.
+    #[test]
+    fn hot_eviction_is_exact_and_evictees_fall_back_to_disk(
+        cap in 1usize..6,
+        keys in 1usize..10,
+    ) {
+        let dir = scratch_dir("hot-evict");
+        let cache = Arc::new(ReportCache::open(&dir).unwrap().with_hot_tier(cap));
+        let runner = GemmRunner::new().with_cache(Arc::clone(&cache));
+        let wl = |i: usize| Workload::new(
+            GemmShape::new(16 * (i + 1), 64, 64),
+            WeightPrecision::Int4,
+        );
+        for i in 0..keys {
+            runner.analyze(Architecture::Pacq, wl(i)).unwrap();
+        }
+        prop_assert_eq!(
+            cache.hot_evictions(),
+            keys.saturating_sub(cap) as u64,
+            "strictly capacity-driven eviction"
+        );
+
+        // The most recent `cap` points answer from memory...
+        let hot_before = cache.hot_hits();
+        for i in keys.saturating_sub(cap)..keys {
+            runner.analyze(Architecture::Pacq, wl(i)).unwrap();
+        }
+        prop_assert_eq!(cache.hot_hits(), hot_before + keys.min(cap) as u64);
+        // ...and the oldest evicted point (if any) is a disk hit, not a
+        // recompute.
+        if keys > cap {
+            let (hits, misses) = (cache.hits(), cache.misses());
+            runner.analyze(Architecture::Pacq, wl(0)).unwrap();
+            prop_assert_eq!(cache.hits(), hits + 1);
+            prop_assert_eq!(cache.misses(), misses);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A corrupt disk entry behind a hot miss degrades to a recompute
+    /// that heals both tiers; a hot *hit* shields the damage entirely.
+    #[test]
+    fn corrupt_disk_behind_a_hot_miss_recomputes_and_heals(
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let dir = scratch_dir("hot-damage");
+        let wl = Workload::new(GemmShape::new(16, 64, 64), WeightPrecision::Int4);
+        let store_a = Arc::new(ReportCache::open(&dir).unwrap().with_hot_tier(4));
+        let runner_a = GemmRunner::new().with_cache(Arc::clone(&store_a));
+        let fresh = runner_a.analyze(Architecture::Pacq, wl).unwrap();
+
+        let entry = entry_file(&dir);
+        std::fs::write(&entry, &garbage).unwrap();
+
+        // Hot hit: the resident tier shields the damaged disk entry.
+        let shielded = runner_a.analyze(Architecture::Pacq, wl).unwrap();
+        prop_assert_eq!(&shielded, &fresh);
+        prop_assert_eq!(store_a.misses(), 1, "no recompute behind a hot hit");
+
+        // Cold tier: hot miss, damaged disk read degrades to a miss,
+        // the recompute heals the file and the new tier.
+        let store_b = Arc::new(ReportCache::open(&dir).unwrap().with_hot_tier(4));
+        let runner_b = GemmRunner::new().with_cache(Arc::clone(&store_b));
+        let healed = runner_b.analyze(Architecture::Pacq, wl).unwrap();
+        prop_assert_eq!(&healed, &fresh);
+        prop_assert_eq!((store_b.misses(), store_b.hot_hits()), (1, 0));
+
+        // Both tiers healed: memory answers store B, disk answers a
+        // third, tier-less store.
+        let again = runner_b.analyze(Architecture::Pacq, wl).unwrap();
+        prop_assert_eq!(&again, &fresh);
+        prop_assert_eq!(store_b.hot_hits(), 1);
+        let store_c = Arc::new(ReportCache::open(&dir).unwrap());
+        let from_disk = GemmRunner::new()
+            .with_cache(Arc::clone(&store_c))
+            .analyze(Architecture::Pacq, wl)
+            .unwrap();
+        prop_assert_eq!(&from_disk, &fresh);
+        prop_assert_eq!((store_c.hits(), store_c.misses()), (1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// `--shard i/N` slices are pairwise disjoint and their union is the
     /// full grid, for any job count and shard count.
     #[test]

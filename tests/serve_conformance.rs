@@ -345,6 +345,7 @@ fn batched_backend_serves_bit_identical_replies() {
                 queue_capacity: 16,
                 workers: 2,
                 backend,
+                ..ServeOptions::default()
             },
             None,
         )
