@@ -1,0 +1,908 @@
+//! The `pacq-arch/v1` architecture template: a declarative description
+//! of one machine design point, following FactorFlow's declarative
+//! memory-hierarchy idiom and LLMCompass's
+//! `read_architecture_template → compile_and_simulate` split.
+//!
+//! A template names the memory hierarchy (per-level capacities, optional
+//! explicit access energies, DRAM bandwidth), the datapath (DP width,
+//! adder-tree duplication, tensor-core counts, clock), and the dataflow
+//! triple (weight- or output-stationary movement, packing direction,
+//! dequantization) that selects one of the three simulated
+//! architectures. Everything downstream — `SmConfig`, `EnergyModel`,
+//! `Architecture` — is *derived* from the template, and the template's
+//! content digest travels with every derived result (cache keys,
+//! checkpoint bindings, run manifests), so an edited template can never
+//! satisfy a stale artifact.
+//!
+//! All schema violations are typed [`PacqError::Template`] errors
+//! (exit code 9). See DESIGN.md §18.
+
+use core::fmt;
+
+use crate::toml::parse_toml;
+use pacq_energy::{MemoryKind, SramModel};
+use pacq_error::{PacqError, PacqResult};
+use pacq_simt::{Architecture, EnergyModel, SmConfig};
+use pacq_trace::Json;
+
+/// The schema identifier every template must declare.
+pub const TEMPLATE_SCHEMA: &str = "pacq-arch/v1";
+
+/// Tile-movement dataflow of the design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataflow {
+    /// Weight-stationary (the standard-dequant and packed-k baselines).
+    WeightStationary,
+    /// Output-stationary (the PacQ flow).
+    OutputStationary,
+    /// Input-stationary — recognized by the parser so the error names
+    /// it, but no simulated architecture implements it.
+    InputStationary,
+}
+
+impl Dataflow {
+    fn token(self) -> &'static str {
+        match self {
+            Dataflow::WeightStationary => "ws",
+            Dataflow::OutputStationary => "os",
+            Dataflow::InputStationary => "is",
+        }
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Which matrix extent packed weight words run along (§III of the
+/// paper: `P(B_x)_k` vs `P(B_x)_n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packing {
+    /// Packed along the reduction dimension (baselines).
+    AlongK,
+    /// Packed along the output dimension (PacQ).
+    AlongN,
+}
+
+impl Packing {
+    fn token(self) -> &'static str {
+        match self {
+            Packing::AlongK => "k",
+            Packing::AlongN => "n",
+        }
+    }
+}
+
+impl fmt::Display for Packing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One on-chip memory level: a capacity plus an optional explicit
+/// access energy overriding the capacity-derived analytical formula.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemLevel {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Explicit pJ per 16-bit access; `None` derives from capacity.
+    pub access_energy_pj_per_word16: Option<f64>,
+}
+
+/// A parsed, decodable `pacq-arch/v1` template. Construct via
+/// [`ArchTemplate::parse`] (TOML or JSON) or the committed-equivalent
+/// builders [`ArchTemplate::volta_like`] / [`ArchTemplate::pacq`], then
+/// call [`ArchTemplate::validate`] before deriving simulator objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchTemplate {
+    /// Human-readable design-point name (letters, digits, `-`, `_`).
+    pub name: String,
+    /// Tile-movement dataflow.
+    pub dataflow: Dataflow,
+    /// Weight packing direction.
+    pub packing: Packing,
+    /// Whether weights are dequantized to FP16 before the tensor cores.
+    pub dequant: bool,
+    /// Tensor cores per SM.
+    pub tensor_cores: usize,
+    /// DP units per tensor core.
+    pub dp_units_per_tc: usize,
+    /// Dot-product unit width (4, 8 or 16).
+    pub dp_width: usize,
+    /// Adder-tree duplication (1, 2 or 4).
+    pub adder_tree_duplication: usize,
+    /// General-core unpack+dequant throughput, weights per cycle.
+    pub dequant_weights_per_cycle: f64,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Register-file level.
+    pub register_file: MemLevel,
+    /// Shared-L1 level.
+    pub l1: MemLevel,
+    /// Per-buffer operand-buffer capacity in bits.
+    pub operand_buffer_bits: u64,
+    /// Operand buffers per tensor core.
+    pub operand_buffers: usize,
+    /// Explicit operand-buffer access energy (pJ per 16-bit word).
+    pub operand_buffer_energy_pj_per_word16: Option<f64>,
+    /// DRAM bandwidth in bytes per SM cycle (`inf` = unbounded).
+    pub dram_bytes_per_cycle: f64,
+    /// Explicit DRAM access energy (pJ per 16-bit word).
+    pub dram_energy_pj_per_word16: Option<f64>,
+}
+
+impl ArchTemplate {
+    /// The committed-equivalent of the hardcoded Table I machine under
+    /// the standard dequantization flow ([`SmConfig::volta_like`] plus
+    /// the default per-level energies, bit for bit).
+    pub fn volta_like() -> ArchTemplate {
+        ArchTemplate {
+            name: "volta-like".to_string(),
+            dataflow: Dataflow::WeightStationary,
+            packing: Packing::AlongK,
+            dequant: true,
+            tensor_cores: 8,
+            dp_units_per_tc: 4,
+            dp_width: 4,
+            adder_tree_duplication: 2,
+            dequant_weights_per_cycle: 8.0,
+            clock_hz: 400.0e6,
+            register_file: MemLevel {
+                capacity_bytes: 256 * 1024,
+                access_energy_pj_per_word16: None,
+            },
+            l1: MemLevel {
+                capacity_bytes: 96 * 1024,
+                access_energy_pj_per_word16: None,
+            },
+            operand_buffer_bits: 3072,
+            operand_buffers: 2,
+            operand_buffer_energy_pj_per_word16: None,
+            dram_bytes_per_cycle: f64::INFINITY,
+            dram_energy_pj_per_word16: None,
+        }
+    }
+
+    /// The committed-equivalent PacQ design point: the same Table I
+    /// machine, but output-stationary with weights packed along n and no
+    /// dequantization (the paper evaluates PacQ as a drop-in datapath on
+    /// the Volta-like SM).
+    pub fn pacq() -> ArchTemplate {
+        ArchTemplate {
+            name: "pacq".to_string(),
+            dataflow: Dataflow::OutputStationary,
+            packing: Packing::AlongN,
+            dequant: false,
+            ..ArchTemplate::volta_like()
+        }
+    }
+
+    /// Parses a template from TOML or JSON text (sniffed: a document
+    /// whose first non-space byte is `{` is JSON). `context` names the
+    /// input (typically the file path) in every error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Template`] for syntax errors, unknown or
+    /// duplicate keys, missing required keys, a wrong `schema`, and
+    /// type mismatches. Parsing does *not* validate the design point —
+    /// call [`ArchTemplate::validate`] (or [`ArchTemplate::load`]).
+    pub fn parse(text: &str, context: &str) -> PacqResult<ArchTemplate> {
+        let doc = if text.trim_start().starts_with('{') {
+            Json::parse(text)
+                .map_err(|e| PacqError::template(context, format!("JSON syntax: {e}")))?
+        } else {
+            parse_toml(text, context)?
+        };
+        Self::from_doc(&doc, context)
+    }
+
+    /// [`ArchTemplate::parse`] followed by [`ArchTemplate::validate`] —
+    /// the one call every consumer of user-supplied template text wants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Template`] as for parse and validate.
+    pub fn load(text: &str, context: &str) -> PacqResult<ArchTemplate> {
+        let template = Self::parse(text, context)?;
+        template.validate(context)?;
+        Ok(template)
+    }
+
+    /// Decodes a parsed value tree, rejecting unknown keys everywhere
+    /// (a typo'd key must never be silently ignored — it would change
+    /// the simulated machine without changing the digest... of the
+    /// template the author *thought* they wrote).
+    fn from_doc(doc: &Json, context: &str) -> PacqResult<ArchTemplate> {
+        let fail =
+            |message: String| -> PacqError { PacqError::template(context, message) };
+        expect_keys(
+            doc,
+            "",
+            &["schema", "name", "dataflow", "packing", "dequant", "compute", "memory"],
+            context,
+        )?;
+        let schema = str_of(doc, "", "schema", context)?;
+        if schema != TEMPLATE_SCHEMA {
+            return Err(fail(format!(
+                "schema must be \"{TEMPLATE_SCHEMA}\", got \"{schema}\""
+            )));
+        }
+        let name = str_of(doc, "", "name", context)?.to_string();
+        let dataflow = match str_of(doc, "", "dataflow", context)? {
+            "ws" => Dataflow::WeightStationary,
+            "os" => Dataflow::OutputStationary,
+            "is" => Dataflow::InputStationary,
+            other => return Err(fail(format!("dataflow must be ws, os or is, got `{other}`"))),
+        };
+        let packing = match str_of(doc, "", "packing", context)? {
+            "k" => Packing::AlongK,
+            "n" => Packing::AlongN,
+            other => return Err(fail(format!("packing must be k or n, got `{other}`"))),
+        };
+        let dequant = bool_of(doc, "", "dequant", context)?;
+
+        let compute = section_of(doc, "compute", context)?;
+        expect_keys(
+            compute,
+            "compute.",
+            &[
+                "tensor_cores",
+                "dp_units_per_tc",
+                "dp_width",
+                "adder_tree_duplication",
+                "dequant_weights_per_cycle",
+                "clock_hz",
+            ],
+            context,
+        )?;
+        let memory = section_of(doc, "memory", context)?;
+        expect_keys(
+            memory,
+            "memory.",
+            &["register_file", "l1", "operand_buffer", "dram"],
+            context,
+        )?;
+        let rf = section_of(memory, "register_file", context)?;
+        let l1 = section_of(memory, "l1", context)?;
+        let buffer = section_of(memory, "operand_buffer", context)?;
+        let dram = section_of(memory, "dram", context)?;
+        expect_keys(
+            rf,
+            "memory.register_file.",
+            &["capacity_bytes", "access_energy_pj_per_word16"],
+            context,
+        )?;
+        expect_keys(
+            l1,
+            "memory.l1.",
+            &["capacity_bytes", "access_energy_pj_per_word16"],
+            context,
+        )?;
+        expect_keys(
+            buffer,
+            "memory.operand_buffer.",
+            &["capacity_bits", "count", "access_energy_pj_per_word16"],
+            context,
+        )?;
+        expect_keys(
+            dram,
+            "memory.dram.",
+            &["bandwidth_bytes_per_cycle", "access_energy_pj_per_word16"],
+            context,
+        )?;
+
+        Ok(ArchTemplate {
+            name,
+            dataflow,
+            packing,
+            dequant,
+            tensor_cores: uint_of(compute, "compute.", "tensor_cores", context)? as usize,
+            dp_units_per_tc: uint_of(compute, "compute.", "dp_units_per_tc", context)? as usize,
+            dp_width: uint_of(compute, "compute.", "dp_width", context)? as usize,
+            adder_tree_duplication: uint_of(compute, "compute.", "adder_tree_duplication", context)?
+                as usize,
+            dequant_weights_per_cycle: num_of(
+                compute,
+                "compute.",
+                "dequant_weights_per_cycle",
+                context,
+            )?,
+            clock_hz: num_of(compute, "compute.", "clock_hz", context)?,
+            register_file: MemLevel {
+                capacity_bytes: uint_of(rf, "memory.register_file.", "capacity_bytes", context)?,
+                access_energy_pj_per_word16: opt_num_of(
+                    rf,
+                    "memory.register_file.",
+                    "access_energy_pj_per_word16",
+                    context,
+                )?,
+            },
+            l1: MemLevel {
+                capacity_bytes: uint_of(l1, "memory.l1.", "capacity_bytes", context)?,
+                access_energy_pj_per_word16: opt_num_of(
+                    l1,
+                    "memory.l1.",
+                    "access_energy_pj_per_word16",
+                    context,
+                )?,
+            },
+            operand_buffer_bits: uint_of(buffer, "memory.operand_buffer.", "capacity_bits", context)?,
+            operand_buffers: uint_of(buffer, "memory.operand_buffer.", "count", context)? as usize,
+            operand_buffer_energy_pj_per_word16: opt_num_of(
+                buffer,
+                "memory.operand_buffer.",
+                "access_energy_pj_per_word16",
+                context,
+            )?,
+            dram_bytes_per_cycle: num_of(dram, "memory.dram.", "bandwidth_bytes_per_cycle", context)?,
+            dram_energy_pj_per_word16: opt_num_of(
+                dram,
+                "memory.dram.",
+                "access_energy_pj_per_word16",
+                context,
+            )?,
+        })
+    }
+
+    /// Validates the design point: the dataflow triple must name a
+    /// simulated architecture, the datapath domains must hold
+    /// ([`SmConfig::validate`]), every declared energy must be positive
+    /// and finite, and the resolved per-level energies must respect the
+    /// hierarchy ordering `operand buffer < RF < L1 < DRAM` the
+    /// dataflow analysis relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Template`] naming the first violated rule.
+    pub fn validate(&self, context: &str) -> PacqResult<()> {
+        let fail =
+            |message: String| -> PacqError { PacqError::template(context, message) };
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(fail(format!(
+                "name `{}` must be non-empty [A-Za-z0-9_-]",
+                self.name
+            )));
+        }
+        self.architecture().map_err(|e| match e {
+            PacqError::Template { message, .. } => PacqError::template(context, message),
+            other => other,
+        })?;
+        self.sm_config()
+            .validate()
+            .map_err(|e| fail(format!("datapath: {e}")))?;
+        if !(self.clock_hz > 0.0 && self.clock_hz.is_finite()) {
+            return Err(fail(format!(
+                "compute.clock_hz must be positive and finite, got {}",
+                self.clock_hz
+            )));
+        }
+        if !(self.dram_bytes_per_cycle > 0.0) {
+            return Err(fail(format!(
+                "memory.dram.bandwidth_bytes_per_cycle must be positive (inf = unbounded), got {}",
+                self.dram_bytes_per_cycle
+            )));
+        }
+        if self.operand_buffer_bits < 8 || self.operand_buffer_bits % 8 != 0 {
+            return Err(fail(format!(
+                "memory.operand_buffer.capacity_bits must be a positive multiple of 8, got {}",
+                self.operand_buffer_bits
+            )));
+        }
+        if self.operand_buffers == 0 {
+            return Err(fail("memory.operand_buffer.count must be non-zero".to_string()));
+        }
+        if self.register_file.capacity_bytes == 0 || self.l1.capacity_bytes == 0 {
+            return Err(fail(
+                "memory.register_file and memory.l1 capacities must be non-zero".to_string(),
+            ));
+        }
+        let model = self.energy_model().map_err(|e| match e {
+            PacqError::Template { message, .. } => PacqError::template(context, message),
+            other => other,
+        })?;
+        // Hierarchy ordering of the *resolved* energies — the invariant
+        // the paper's traffic analysis (RF ≪ L1 ≪ DRAM) rests on.
+        let [buffer, rf, l1, dram] = model.levels();
+        let ordered = [
+            ("operand buffer", buffer.energy_per_word16_pj()),
+            ("register file", rf.energy_per_word16_pj()),
+            ("L1", l1.energy_per_word16_pj()),
+            ("DRAM", dram.energy_per_word16_pj()),
+        ];
+        for pair in ordered.windows(2) {
+            let [(inner, e_inner), (outer, e_outer)] = pair else {
+                continue;
+            };
+            if e_inner >= e_outer {
+                return Err(fail(format!(
+                    "inconsistent hierarchy: {inner} access energy ({e_inner} pJ) must be \
+                     below {outer} ({e_outer} pJ)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The simulated architecture this template's dataflow triple
+    /// selects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Template`] when the triple matches none of
+    /// the three implemented design points.
+    pub fn architecture(&self) -> PacqResult<Architecture> {
+        use Dataflow::*;
+        use Packing::*;
+        match (self.dataflow, self.packing, self.dequant) {
+            (WeightStationary, AlongK, true) => Ok(Architecture::StandardDequant),
+            (WeightStationary, AlongK, false) => Ok(Architecture::PackedK),
+            (OutputStationary, AlongN, false) => Ok(Architecture::Pacq),
+            (InputStationary, _, _) => Err(PacqError::template(
+                "ArchTemplate::architecture",
+                "dataflow `is` (input-stationary) is recognized but not implemented by \
+                 any simulated architecture; use ws or os",
+            )),
+            (df, p, dq) => Err(PacqError::template(
+                "ArchTemplate::architecture",
+                format!(
+                    "no simulated architecture has dataflow={df}, packing={p}, dequant={dq}; \
+                     supported triples: (ws,k,true)=standard-dequant, (ws,k,false)=packed-k, \
+                     (os,n,false)=pacq"
+                ),
+            )),
+        }
+    }
+
+    /// The machine configuration this template describes.
+    pub fn sm_config(&self) -> SmConfig {
+        SmConfig {
+            tensor_cores: self.tensor_cores,
+            dp_units_per_tc: self.dp_units_per_tc,
+            dp_width: self.dp_width,
+            adder_tree_duplication: self.adder_tree_duplication,
+            operand_buffer_bits: self.operand_buffer_bits,
+            operand_buffers: self.operand_buffers,
+            register_file_bytes: self.register_file.capacity_bytes,
+            l1_bytes: self.l1.capacity_bytes,
+            dequant_weights_per_cycle: self.dequant_weights_per_cycle,
+            clock_hz: self.clock_hz,
+            dram_bytes_per_cycle: self.dram_bytes_per_cycle,
+        }
+    }
+
+    /// The per-level energy model: declared access energies where the
+    /// template gives them, the capacity-derived analytical defaults
+    /// everywhere else — so a template with no overrides prices
+    /// bit-identically to [`EnergyModel::new`] over its `SmConfig`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Template`] for non-positive or non-finite
+    /// declared energies.
+    pub fn energy_model(&self) -> PacqResult<EnergyModel> {
+        let level = |kind: MemoryKind, capacity: u64, energy: Option<f64>| match energy {
+            Some(e) => SramModel::with_access_energy(kind, capacity, e),
+            None => Ok(SramModel::new(kind, capacity)),
+        };
+        let rf = level(
+            MemoryKind::RegisterFile,
+            self.register_file.capacity_bytes,
+            self.register_file.access_energy_pj_per_word16,
+        )?;
+        let l1 = level(
+            MemoryKind::Cache,
+            self.l1.capacity_bytes,
+            self.l1.access_energy_pj_per_word16,
+        )?;
+        let buffer = level(
+            MemoryKind::OperandBuffer,
+            self.operand_buffer_bits / 8,
+            self.operand_buffer_energy_pj_per_word16,
+        )?;
+        let dram = level(MemoryKind::Dram, 0, self.dram_energy_pj_per_word16)?;
+        Ok(EnergyModel::with_levels(rf, l1, dram, buffer, self.clock_hz))
+    }
+
+    /// The canonical TOML rendering: fixed key order, numbers in Rust's
+    /// shortest round-trip form (`inf` for unbounded DRAM), optional
+    /// keys present only when set. [`ArchTemplate::parse`] of the
+    /// rendering reproduces the template exactly — the digest is taken
+    /// over this text, so reformatting a template file never changes
+    /// its identity but any content edit does.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, line: String| {
+            out.push_str(&line);
+            out.push('\n');
+        };
+        push(&mut out, format!("schema = \"{TEMPLATE_SCHEMA}\""));
+        push(&mut out, format!("name = \"{}\"", self.name));
+        push(&mut out, format!("dataflow = \"{}\"", self.dataflow));
+        push(&mut out, format!("packing = \"{}\"", self.packing));
+        push(&mut out, format!("dequant = {}", self.dequant));
+        push(&mut out, String::new());
+        push(&mut out, "[compute]".to_string());
+        push(&mut out, format!("tensor_cores = {}", self.tensor_cores));
+        push(&mut out, format!("dp_units_per_tc = {}", self.dp_units_per_tc));
+        push(&mut out, format!("dp_width = {}", self.dp_width));
+        push(
+            &mut out,
+            format!("adder_tree_duplication = {}", self.adder_tree_duplication),
+        );
+        push(
+            &mut out,
+            format!(
+                "dequant_weights_per_cycle = {}",
+                render_num(self.dequant_weights_per_cycle)
+            ),
+        );
+        push(&mut out, format!("clock_hz = {}", render_num(self.clock_hz)));
+        push(&mut out, String::new());
+        push(&mut out, "[memory.register_file]".to_string());
+        push(
+            &mut out,
+            format!("capacity_bytes = {}", self.register_file.capacity_bytes),
+        );
+        if let Some(e) = self.register_file.access_energy_pj_per_word16 {
+            push(
+                &mut out,
+                format!("access_energy_pj_per_word16 = {}", render_num(e)),
+            );
+        }
+        push(&mut out, String::new());
+        push(&mut out, "[memory.l1]".to_string());
+        push(&mut out, format!("capacity_bytes = {}", self.l1.capacity_bytes));
+        if let Some(e) = self.l1.access_energy_pj_per_word16 {
+            push(
+                &mut out,
+                format!("access_energy_pj_per_word16 = {}", render_num(e)),
+            );
+        }
+        push(&mut out, String::new());
+        push(&mut out, "[memory.operand_buffer]".to_string());
+        push(&mut out, format!("capacity_bits = {}", self.operand_buffer_bits));
+        push(&mut out, format!("count = {}", self.operand_buffers));
+        if let Some(e) = self.operand_buffer_energy_pj_per_word16 {
+            push(
+                &mut out,
+                format!("access_energy_pj_per_word16 = {}", render_num(e)),
+            );
+        }
+        push(&mut out, String::new());
+        push(&mut out, "[memory.dram]".to_string());
+        push(
+            &mut out,
+            format!(
+                "bandwidth_bytes_per_cycle = {}",
+                render_num(self.dram_bytes_per_cycle)
+            ),
+        );
+        if let Some(e) = self.dram_energy_pj_per_word16 {
+            push(
+                &mut out,
+                format!("access_energy_pj_per_word16 = {}", render_num(e)),
+            );
+        }
+        out
+    }
+
+    /// The JSON rendering of the same content (unbounded values render
+    /// as the string `"inf"`, since JSON has no infinity literal).
+    /// Parses back identically via [`ArchTemplate::parse`].
+    pub fn render_json(&self) -> String {
+        let num = |v: f64| -> Json {
+            if v.is_infinite() && v > 0.0 {
+                Json::Str("inf".to_string())
+            } else {
+                Json::Num(v)
+            }
+        };
+        let level = |capacity_key: &str, capacity: u64, energy: Option<f64>| -> Json {
+            let mut o = Json::object();
+            o.set(capacity_key, capacity as f64);
+            if let Some(e) = energy {
+                o.set("access_energy_pj_per_word16", num(e));
+            }
+            o
+        };
+        let mut compute = Json::object();
+        compute.set("tensor_cores", self.tensor_cores as f64);
+        compute.set("dp_units_per_tc", self.dp_units_per_tc as f64);
+        compute.set("dp_width", self.dp_width as f64);
+        compute.set("adder_tree_duplication", self.adder_tree_duplication as f64);
+        compute.set("dequant_weights_per_cycle", num(self.dequant_weights_per_cycle));
+        compute.set("clock_hz", num(self.clock_hz));
+        let mut buffer = level(
+            "capacity_bits",
+            self.operand_buffer_bits,
+            self.operand_buffer_energy_pj_per_word16,
+        );
+        // `count` sits between capacity and the optional energy key.
+        if let Json::Obj(entries) = &mut buffer {
+            entries.insert(1, ("count".to_string(), Json::Num(self.operand_buffers as f64)));
+        }
+        let mut dram = Json::object();
+        dram.set("bandwidth_bytes_per_cycle", num(self.dram_bytes_per_cycle));
+        if let Some(e) = self.dram_energy_pj_per_word16 {
+            dram.set("access_energy_pj_per_word16", num(e));
+        }
+        let mut memory = Json::object();
+        memory.set(
+            "register_file",
+            level(
+                "capacity_bytes",
+                self.register_file.capacity_bytes,
+                self.register_file.access_energy_pj_per_word16,
+            ),
+        );
+        memory.set(
+            "l1",
+            level(
+                "capacity_bytes",
+                self.l1.capacity_bytes,
+                self.l1.access_energy_pj_per_word16,
+            ),
+        );
+        memory.set("operand_buffer", buffer);
+        memory.set("dram", dram);
+        let mut doc = Json::object();
+        doc.set("schema", TEMPLATE_SCHEMA);
+        doc.set("name", self.name.as_str());
+        doc.set("dataflow", self.dataflow.token());
+        doc.set("packing", self.packing.token());
+        doc.set("dequant", self.dequant);
+        doc.set("compute", compute);
+        doc.set("memory", memory);
+        doc.render()
+    }
+
+    /// The template's content digest: 32 hex characters over the
+    /// canonical rendering. This is the identity folded into cache keys
+    /// (`tpl:<digest>` in the runner's arch id), checkpoint bindings
+    /// and run manifests — any content edit changes it; reformatting,
+    /// comments and TOML-vs-JSON syntax do not.
+    pub fn digest(&self) -> String {
+        let text = self.render();
+        format!(
+            "{:016x}{:016x}",
+            fnv1a(text.as_bytes(), 0xcbf2_9ce4_8422_2325),
+            fnv1a(text.as_bytes(), 0x6c62_272e_07bb_0142)
+        )
+    }
+}
+
+/// Renders a number in Rust's shortest round-trip form, with TOML's
+/// `inf` literal for the unbounded-DRAM sentinel (f64→text→f64 is
+/// bit-exact for finite values under this formatting).
+fn render_num(v: f64) -> String {
+    if v.is_infinite() && v > 0.0 {
+        "inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fnv1a(bytes: &[u8], offset_basis: u64) -> u64 {
+    let mut h = offset_basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Rejects any key of `doc` outside `allowed` (prefix names the
+/// section in errors) and requires `doc` to be a table.
+fn expect_keys(doc: &Json, prefix: &str, allowed: &[&str], context: &str) -> PacqResult<()> {
+    let Json::Obj(entries) = doc else {
+        return Err(PacqError::template(
+            context,
+            format!("`{}` must be a table/object", prefix.trim_end_matches('.')),
+        ));
+    };
+    for (key, _) in entries {
+        if !allowed.contains(&key.as_str()) {
+            return Err(PacqError::template(
+                context,
+                format!(
+                    "unknown key `{prefix}{key}` (allowed: {})",
+                    allowed.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn field<'d>(doc: &'d Json, prefix: &str, key: &str, context: &str) -> PacqResult<&'d Json> {
+    doc.get(key).ok_or_else(|| {
+        PacqError::template(context, format!("missing required key `{prefix}{key}`"))
+    })
+}
+
+fn section_of<'d>(doc: &'d Json, key: &str, context: &str) -> PacqResult<&'d Json> {
+    let v = field(doc, "", key, context)?;
+    if !v.is_obj() {
+        return Err(PacqError::template(
+            context,
+            format!("`{key}` must be a table/object"),
+        ));
+    }
+    Ok(v)
+}
+
+fn str_of<'d>(doc: &'d Json, prefix: &str, key: &str, context: &str) -> PacqResult<&'d str> {
+    field(doc, prefix, key, context)?.as_str().ok_or_else(|| {
+        PacqError::template(context, format!("`{prefix}{key}` must be a string"))
+    })
+}
+
+fn bool_of(doc: &Json, prefix: &str, key: &str, context: &str) -> PacqResult<bool> {
+    match field(doc, prefix, key, context)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(PacqError::template(
+            context,
+            format!("`{prefix}{key}` must be true or false"),
+        )),
+    }
+}
+
+/// A number, with the string `"inf"` accepted as positive infinity (the
+/// JSON spelling of TOML's `inf` literal).
+fn num_of(doc: &Json, prefix: &str, key: &str, context: &str) -> PacqResult<f64> {
+    match field(doc, prefix, key, context)? {
+        Json::Num(n) => Ok(*n),
+        Json::Str(s) if s == "inf" || s == "+inf" => Ok(f64::INFINITY),
+        _ => Err(PacqError::template(
+            context,
+            format!("`{prefix}{key}` must be a number (or \"inf\")"),
+        )),
+    }
+}
+
+fn opt_num_of(doc: &Json, prefix: &str, key: &str, context: &str) -> PacqResult<Option<f64>> {
+    if doc.get(key).is_none() {
+        return Ok(None);
+    }
+    num_of(doc, prefix, key, context).map(Some)
+}
+
+/// A non-negative integer stored as a JSON number (exact below 2^53 —
+/// far above any plausible capacity or unit count).
+fn uint_of(doc: &Json, prefix: &str, key: &str, context: &str) -> PacqResult<u64> {
+    let n = num_of(doc, prefix, key, context)?;
+    if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64) {
+        return Err(PacqError::template(
+            context,
+            format!("`{prefix}{key}` must be a non-negative integer, got {n}"),
+        ));
+    }
+    Ok(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_templates_reproduce_the_hardcoded_configs_bit_for_bit() {
+        for (template, arch) in [
+            (ArchTemplate::volta_like(), Architecture::StandardDequant),
+            (ArchTemplate::pacq(), Architecture::Pacq),
+        ] {
+            template.validate("builtin").unwrap();
+            assert_eq!(template.sm_config(), SmConfig::volta_like());
+            assert_eq!(template.architecture().unwrap(), arch);
+            let derived = EnergyModel::new(&SmConfig::volta_like());
+            assert_eq!(
+                template.energy_model().unwrap().energy_canonical(),
+                derived.energy_canonical(),
+                "no-override template energies must equal the capacity-derived defaults"
+            );
+        }
+    }
+
+    #[test]
+    fn toml_and_json_renderings_round_trip_and_share_a_digest() {
+        let mut t = ArchTemplate::pacq();
+        t.l1.access_energy_pj_per_word16 = Some(2.5);
+        let from_toml = ArchTemplate::parse(&t.render(), "toml").unwrap();
+        let from_json = ArchTemplate::parse(&t.render_json(), "json").unwrap();
+        assert_eq!(from_toml, t);
+        assert_eq!(from_json, t);
+        assert_eq!(from_toml.digest(), t.digest());
+        assert_eq!(from_json.digest(), t.digest());
+    }
+
+    #[test]
+    fn digest_tracks_content_not_formatting() {
+        let t = ArchTemplate::volta_like();
+        let mut commented = String::from("# a reformatted copy\n");
+        commented.push_str(&t.render().replace("\n\n", "\n\n# section\n"));
+        let reparsed = ArchTemplate::parse(&commented, "test").unwrap();
+        assert_eq!(reparsed.digest(), t.digest());
+
+        let mut edited = t.clone();
+        edited.l1.access_energy_pj_per_word16 =
+            Some(EnergyModel::new(&SmConfig::volta_like()).levels()[2].energy_per_word16_pj() + 1.0);
+        assert_ne!(edited.digest(), t.digest());
+    }
+
+    #[test]
+    fn dataflow_triple_maps_onto_the_three_architectures() {
+        let mut t = ArchTemplate::volta_like();
+        assert_eq!(t.architecture().unwrap(), Architecture::StandardDequant);
+        t.dequant = false;
+        assert_eq!(t.architecture().unwrap(), Architecture::PackedK);
+        t.dataflow = Dataflow::OutputStationary;
+        t.packing = Packing::AlongN;
+        assert_eq!(t.architecture().unwrap(), Architecture::Pacq);
+        // Unsupported triples are typed template errors.
+        t.dequant = true; // (os, n, true)
+        assert_eq!(t.architecture().unwrap_err().exit_code(), 9);
+        t.dataflow = Dataflow::InputStationary;
+        let err = t.architecture().unwrap_err();
+        assert_eq!(err.exit_code(), 9);
+        assert!(err.to_string().contains("input-stationary"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_hierarchies() {
+        // An L1 cheaper than the register file breaks the RF < L1 < DRAM
+        // ordering the dataflow analysis rests on.
+        let mut t = ArchTemplate::pacq();
+        t.l1.access_energy_pj_per_word16 = Some(0.001);
+        let err = t.validate("test").unwrap_err();
+        assert_eq!(err.exit_code(), 9, "{err}");
+        assert!(err.to_string().contains("hierarchy"), "{err}");
+
+        let mut t = ArchTemplate::pacq();
+        t.dp_width = 5;
+        let err = t.validate("test").unwrap_err();
+        assert_eq!(err.exit_code(), 9, "{err}");
+        assert!(err.to_string().contains("dp_width"), "{err}");
+
+        let mut t = ArchTemplate::pacq();
+        t.register_file.access_energy_pj_per_word16 = Some(-1.0);
+        assert_eq!(t.validate("test").unwrap_err().exit_code(), 9);
+
+        let mut t = ArchTemplate::pacq();
+        t.clock_hz = f64::NAN;
+        assert_eq!(t.validate("test").unwrap_err().exit_code(), 9);
+
+        let mut t = ArchTemplate::pacq();
+        t.name = "bad name!".to_string();
+        assert_eq!(t.validate("test").unwrap_err().exit_code(), 9);
+    }
+
+    #[test]
+    fn unknown_and_missing_keys_are_rejected_with_the_context() {
+        let mut text = ArchTemplate::volta_like().render();
+        text.push_str("\n[memory.l2]\ncapacity_bytes = 1\n");
+        let err = ArchTemplate::parse(&text, "examples/arch/x.toml").unwrap_err();
+        assert_eq!(err.exit_code(), 9);
+        assert!(err.to_string().contains("memory.l2"), "{err}");
+        assert!(err.to_string().contains("examples/arch/x.toml"), "{err}");
+
+        let missing = "schema = \"pacq-arch/v1\"\nname = \"x\"\n";
+        let err = ArchTemplate::parse(missing, "test").unwrap_err();
+        assert_eq!(err.exit_code(), 9);
+        assert!(err.to_string().contains("dataflow"), "{err}");
+
+        let wrong_schema = ArchTemplate::volta_like()
+            .render()
+            .replace("pacq-arch/v1", "pacq-arch/v2");
+        assert_eq!(
+            ArchTemplate::parse(&wrong_schema, "test").unwrap_err().exit_code(),
+            9
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! A strict parser for the TOML subset `pacq-arch/v1` templates use.
+//!
+//! The workspace builds hermetically with no registry access (DESIGN.md
+//! §8), so instead of a `toml` crate dependency this module parses the
+//! subset the schema needs — `[section]` / `[a.b]` table headers and
+//! `key = value` pairs where a value is a double-quoted string, a
+//! number (including `inf`), or a boolean — into the same ordered
+//! [`Json`] value tree the JSON template path produces. One downstream
+//! decoder then serves both syntaxes.
+//!
+//! The parser is deliberately strict: unknown syntax, duplicate keys
+//! and duplicate table headers are typed [`PacqError::Template`]
+//! errors, never silent last-wins — a template that parses is a
+//! template whose every line took effect.
+
+use pacq_error::{PacqError, PacqResult};
+use pacq_trace::Json;
+
+/// Parses the `pacq-arch/v1` TOML subset into an ordered [`Json`] tree.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Template`] (with `context` naming the input)
+/// for any line that is not a table header, a `key = value` pair, a
+/// comment or blank, and for duplicate keys or table headers.
+pub fn parse_toml(text: &str, context: &str) -> PacqResult<Json> {
+    let mut root = Json::object();
+    // The `.`-separated path of the open table ([] = top level).
+    let mut path: Vec<String> = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        let fail = |message: String| -> PacqError {
+            PacqError::template(context, format!("line {}: {message}", index + 1))
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| fail(format!("unterminated table header `{line}`")))?
+                .trim();
+            let segments: Vec<String> = header.split('.').map(|s| s.trim().to_string()).collect();
+            if segments.iter().any(String::is_empty) {
+                return Err(fail(format!("malformed table name `[{header}]`")));
+            }
+            open_table(&mut root, &segments)
+                .map_err(|m| fail(format!("table `[{header}]` {m}")))?;
+            path = segments;
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| fail(format!("expected `key = value`, got `{line}`")))?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(fail(format!("malformed key `{key}`")));
+        }
+        let value = parse_scalar(value.trim()).map_err(|m| fail(format!("key `{key}`: {m}")))?;
+        insert(&mut root, &path, key, value).map_err(|m| fail(format!("key `{key}` {m}")))?;
+    }
+    Ok(root)
+}
+
+/// Drops a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses one scalar: `"string"`, `true`/`false`, or a number
+/// (`inf` included — TOML's literal for the unbounded-DRAM default).
+fn parse_scalar(text: &str) -> Result<Json, String> {
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string {text}"))?;
+        if body.contains(['"', '\\']) {
+            return Err(format!("escapes are not supported in `{text}`"));
+        }
+        return Ok(Json::Str(body.to_string()));
+    }
+    match text {
+        "true" => return Ok(Json::Bool(true)),
+        "false" => return Ok(Json::Bool(false)),
+        "inf" | "+inf" => return Ok(Json::Num(f64::INFINITY)),
+        _ => {}
+    }
+    // Underscore separators (TOML `400_000_000`) are cosmetic.
+    let cleaned = text.replace('_', "");
+    cleaned
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("unrecognized value `{text}` (string, number, inf, or bool)"))
+}
+
+/// Creates the nested table at `segments`, rejecting a duplicate header
+/// or a path through a non-table value.
+fn open_table(root: &mut Json, segments: &[String]) -> Result<(), String> {
+    let mut node = root;
+    for (depth, seg) in segments.iter().enumerate() {
+        let Json::Obj(entries) = node else {
+            return Err("passes through a non-table key".to_string());
+        };
+        let last = depth + 1 == segments.len();
+        let pos = entries.iter().position(|(k, _)| k == seg);
+        if last && pos.is_some() {
+            return Err("is declared twice".to_string());
+        }
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                entries.push((seg.clone(), Json::object()));
+                entries.len() - 1
+            }
+        };
+        node = &mut entries[pos].1;
+    }
+    Ok(())
+}
+
+/// Inserts `key = value` into the table at `path`, rejecting duplicates.
+fn insert(root: &mut Json, path: &[String], key: &str, value: Json) -> Result<(), String> {
+    let mut node = root;
+    for seg in path {
+        let Json::Obj(entries) = node else {
+            return Err("is in a non-table".to_string());
+        };
+        node = entries
+            .iter_mut()
+            .find(|(k, _)| k == seg)
+            .map(|(_, v)| v)
+            .ok_or_else(|| "is in an undeclared table".to_string())?;
+    }
+    let Json::Obj(entries) = node else {
+        return Err("is in a non-table".to_string());
+    };
+    if entries.iter().any(|(k, _)| k == key) {
+        return Err("is set twice".to_string());
+    }
+    entries.push((key.to_string(), value));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_scalar_kinds() {
+        let doc = parse_toml(
+            "schema = \"pacq-arch/v1\" # trailing comment\n\
+             flag = true\n\n\
+             [compute]\n\
+             cores = 8\n\
+             clock_hz = 400e6\n\
+             grouped = 400_000_000\n\n\
+             [memory.dram]\n\
+             bandwidth = inf\n",
+            "test",
+        )
+        .unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("pacq-arch/v1"));
+        assert_eq!(doc.get("flag"), Some(&Json::Bool(true)));
+        let compute = doc.get("compute").unwrap();
+        assert_eq!(compute.get("cores").unwrap().as_num(), Some(8.0));
+        assert_eq!(compute.get("clock_hz").unwrap().as_num(), Some(400.0e6));
+        assert_eq!(compute.get("grouped").unwrap().as_num(), Some(400.0e6));
+        let dram = doc.get("memory").unwrap().get("dram").unwrap();
+        assert_eq!(dram.get("bandwidth").unwrap().as_num(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn hash_inside_a_string_is_not_a_comment() {
+        let doc = parse_toml("name = \"octo#thorpe\"\n", "test").unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("octo#thorpe"));
+    }
+
+    #[test]
+    fn duplicates_and_malformed_lines_are_typed_template_errors() {
+        let cases = [
+            "a = 1\na = 2\n",                      // duplicate key
+            "[m]\nx = 1\n[m]\ny = 2\n",            // duplicate table
+            "just words\n",                        // not key = value
+            "[unclosed\n",                         // bad header
+            "[]\nx = 1\n",                         // empty table name
+            "k = \"unterminated\n",                // bad string
+            "k = maybe\n",                        // unknown scalar
+            "bad key = 1\n",                       // malformed key
+        ];
+        for text in cases {
+            let err = parse_toml(text, "test").unwrap_err();
+            assert_eq!(err.exit_code(), 9, "{text:?}: {err}");
+            assert_eq!(err.class(), "template", "{text:?}");
+        }
+    }
+}

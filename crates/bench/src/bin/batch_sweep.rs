@@ -6,7 +6,7 @@
 //! dequantization overhead; at large batch that amortizes, and PacQ's
 //! remaining advantage is the 2× compute throughput + traffic savings.
 
-use pacq::{Architecture, GemmRunner, GemmShape, Workload};
+use pacq::{Architecture, GemmShape, Workload};
 use pacq_bench::{banner, pct, times};
 use pacq_fp16::WeightPrecision;
 
@@ -22,7 +22,7 @@ fn run() -> pacq::PacqResult<()> {
         "dequant overhead dominates at small batch and amortizes at large batch",
     );
 
-    let runner = GemmRunner::new().with_cache_opt(metrics.cache());
+    let runner = metrics.runner()?;
     println!(
         "\n{:<8} {:>14} {:>14} {:>16} {:>16}",
         "batch", "std dequant %", "speedup v std", "speedup v P(B)k", "EDP reduction"

@@ -2,7 +2,7 @@
 //! dequantization-based GEMM and the `P(B_x)_k` hyper-asymmetric flow,
 //! on Llama2-7B layer shapes at batch 16.
 
-use pacq::{Architecture, Comparison, GemmRunner, GemmShape, Workload};
+use pacq::{Architecture, Comparison, GemmShape, Workload};
 use pacq_bench::{banner, pct};
 use pacq_fp16::WeightPrecision;
 
@@ -18,7 +18,7 @@ fn run() -> pacq::PacqResult<()> {
         "up to 81.4% EDP reduction at m16n4096k4096",
     );
 
-    let runner = GemmRunner::new().with_cache_opt(metrics.cache());
+    let runner = metrics.runner()?;
     let shapes = [
         GemmShape::new(16, 4096, 4096), // attention projection / paper headline
         GemmShape::new(16, 11008, 4096), // FFN up projection

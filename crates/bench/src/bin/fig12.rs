@@ -2,7 +2,7 @@
 //! (b) comparison with Mix-GEMM (binary segmentation), both on
 //! `m16n16k16` in throughput per watt.
 
-use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, SmConfig, Workload};
+use pacq::{Architecture, GemmShape, GroupShape, SmConfig, Workload};
 use pacq_bench::{banner, times};
 use pacq_energy::GemmUnit;
 use pacq_fp16::WeightPrecision;
@@ -31,12 +31,14 @@ fn run() -> pacq::PacqResult<()> {
     );
     let shape = GemmShape::new(16, 256, 256);
     for width in [4usize, 8, 16] {
-        let mut cfg = SmConfig::volta_like();
+        let mut cfg = metrics
+            .template()
+            .map_or_else(SmConfig::volta_like, pacq::ArchTemplate::sm_config);
         cfg.dp_width = width;
-        let runner = GemmRunner::new()
+        let runner = metrics
+            .runner()?
             .with_config(cfg)
-            .with_group(GroupShape::G128)
-            .with_cache_opt(metrics.cache());
+            .with_group(GroupShape::G128);
         let wl = Workload::new(shape, WeightPrecision::Int4);
         let base = runner.analyze(Architecture::PackedK, wl)?;
         let pacq = runner.analyze(Architecture::Pacq, wl)?;

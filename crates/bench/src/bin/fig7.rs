@@ -2,7 +2,7 @@
 //! speedup — PacQ vs the hyper-asymmetric GEMM with weights packed
 //! along k, on the `m16n16k16` workload.
 
-use pacq::{Architecture, GemmRunner, GemmShape, GroupShape, Workload};
+use pacq::{Architecture, GemmShape, GroupShape, Workload};
 use pacq_bench::{banner, pct, times};
 use pacq_fp16::WeightPrecision;
 
@@ -19,9 +19,7 @@ fn run() -> pacq::PacqResult<()> {
     );
 
     // k=16 here, so the (k-grouped) scales span the whole reduction.
-    let runner = GemmRunner::new()
-        .with_group(GroupShape::along_k(16))
-        .with_cache_opt(metrics.cache());
+    let runner = metrics.runner()?.with_group(GroupShape::along_k(16));
     let shape = GemmShape::M16N16K16;
 
     println!(

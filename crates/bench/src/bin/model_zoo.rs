@@ -3,7 +3,7 @@
 //! (Figure 10 generalized beyond Llama2-7B).
 
 use pacq::llama::{analyze_block, Model};
-use pacq::{Architecture, GemmRunner};
+use pacq::Architecture;
 use pacq_bench::{banner, pct, times};
 use pacq_fp16::WeightPrecision;
 
@@ -19,7 +19,7 @@ fn run() -> pacq::PacqResult<()> {
         "Figure 10 generalized: PacQ's EDP win holds across model scales",
     );
 
-    let runner = GemmRunner::new().with_cache_opt(metrics.cache());
+    let runner = metrics.runner()?;
     println!(
         "\n{:<12} {:<8} {:>14} {:>14} {:>14} {:>12} {:>14}",
         "model", "weights", "std cycles", "P(B)k cycles", "PacQ cycles", "speedup", "EDP reduction"

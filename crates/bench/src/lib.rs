@@ -36,6 +36,7 @@ pub struct Metrics {
     backend: pacq::Backend,
     path: Option<String>,
     cache: Option<std::sync::Arc<pacq::ReportCache>>,
+    template: Option<pacq::ArchTemplate>,
 }
 
 /// Applies the shared `--jobs` / `--metrics` / `--cache` flags for a
@@ -54,17 +55,24 @@ pub fn init(binary: &'static str) -> pacq::PacqResult<Metrics> {
 }
 
 /// [`init`] for binaries that strip their own flags first: applies the
-/// shared `--jobs` / `--metrics` / `--cache` / `--backend` flags from
-/// the given argument list instead of re-reading the process arguments.
+/// shared `--jobs` / `--metrics` / `--cache` / `--backend` /
+/// `--arch-template` flags from the given argument list instead of
+/// re-reading the process arguments.
 ///
 /// # Errors
 ///
-/// Same conditions as [`init`].
+/// Same conditions as [`init`], plus template errors (exit code 9)
+/// when `--arch-template` names a file that does not validate.
 pub fn init_filtered(binary: &'static str, argv: &[String]) -> pacq::PacqResult<Metrics> {
     let (args, path) = pacq::cli::take_metrics_flag(argv)?;
     let (args, cache_dir) = pacq::cli::take_cache_flag(&args)?;
     let (args, jobs) = pacq::par::take_jobs_flag(&args)?;
     let (args, backend_flag) = pacq::backend::take_backend_flag(&args)?;
+    let (args, template_path) = pacq::cli::take_arch_template_flag(&args)?;
+    let template = match &template_path {
+        Some(p) => Some(pacq::cli::load_arch_template(p)?),
+        None => None,
+    };
     let backend = pacq::backend::resolve_backend(backend_flag)?;
     let env_jobs = pacq::par::validated_env_jobs()?;
     let jobs = pacq::par::configure_jobs(jobs.or(env_jobs));
@@ -82,6 +90,7 @@ pub fn init_filtered(binary: &'static str, argv: &[String]) -> pacq::PacqResult<
         backend,
         path,
         cache,
+        template,
     })
 }
 
@@ -96,6 +105,34 @@ impl Metrics {
     /// runners with [`pacq::GemmRunner::with_backend`].
     pub fn backend(&self) -> pacq::Backend {
         self.backend
+    }
+
+    /// The validated `--arch-template` design point, if one was named.
+    pub fn template(&self) -> Option<&pacq::ArchTemplate> {
+        self.template.as_ref()
+    }
+
+    /// A [`pacq::GemmRunner`] carrying every shared knob of this run:
+    /// the `--cache` store, the `--backend` selection, and — when
+    /// `--arch-template` was given — the template's machine, energy
+    /// model, and content digest (so cached results are keyed to the
+    /// template, DESIGN.md §18).
+    ///
+    /// # Errors
+    ///
+    /// Returns a template error (exit code 9) when the template's
+    /// energy model cannot be derived.
+    pub fn runner(&self) -> pacq::PacqResult<pacq::GemmRunner> {
+        let mut runner = pacq::GemmRunner::new()
+            .with_cache_opt(self.cache())
+            .with_backend(self.backend);
+        if let Some(t) = &self.template {
+            runner = runner
+                .with_config(t.sm_config())
+                .with_energy_model(t.energy_model()?)
+                .with_template_digest(t.digest());
+        }
+        Ok(runner)
     }
 
     /// Writes the run manifest if `--metrics` was requested, draining
@@ -116,6 +153,9 @@ impl Metrics {
                 .with_jobs(self.jobs)
                 .with_effective_jobs(rayon::current_num_threads())
                 .with_backend(self.backend.token());
+            if let Some(t) = &self.template {
+                manifest = manifest.with_arch_template(t.digest());
+            }
             manifest.gather();
             pacq_trace::disable();
             manifest.write_to(path)?;

@@ -313,6 +313,7 @@ mod tests {
             GemmShape::new(16, 256, 256),
             4,
             "pacq:g128:rounded",
+            "builtin",
         );
         let report = CachedReport {
             arch: Architecture::Pacq,
@@ -389,6 +390,7 @@ mod tests {
             GemmShape::new(32, 256, 256),
             4,
             "pacq:g128:rounded",
+            "builtin",
         );
         assert!(CachedReport::from_json(&doc, Some(&other)).is_err());
         assert!(CachedReport::from_json(&doc, None).is_ok());

@@ -5,7 +5,10 @@
 //! energy model prices RF/L1 capacities, the timing model reads the
 //! clock and the DRAM floor), the GEMM shape, the weight storage width,
 //! the dataflow description (architecture × quantization group ×
-//! numerics mode), and the crate version so a rebuilt simulator never
+//! numerics mode), the architecture identity (template digest plus
+//! resolved per-level access energies — so two architecture templates
+//! differing only in one access energy never share an entry), and the
+//! crate version so a rebuilt simulator never
 //! serves entries priced by an older model. Two keys are equal exactly
 //! when their canonical strings are equal; the digest is only the
 //! filename, and the stored key string is re-checked on every read, so
@@ -20,29 +23,27 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Builds the key for one `(machine, shape, weight width, dataflow)`
-    /// point. `dataflow` is the caller's stable description of
-    /// everything else that shapes the report (architecture token,
-    /// group geometry, numerics mode).
-    pub fn new(config: &SmConfig, shape: GemmShape, weight_bits: u32, dataflow: &str) -> CacheKey {
-        // f64 fields are keyed by their exact bit patterns: two configs
-        // that differ in the 17th decimal digit are different machines.
+    /// Builds the key for one `(machine, shape, weight width, dataflow,
+    /// architecture identity)` point. `dataflow` is the caller's stable
+    /// description of everything else that shapes the report
+    /// (architecture token, group geometry, numerics mode); `arch_id`
+    /// is the identity of the architecture *definition* that priced it —
+    /// the template digest plus the resolved per-level access energies
+    /// (see `GemmRunner::arch_id`). Before `arch_id` existed, two
+    /// architectures sharing every `SmConfig` field but differing in an
+    /// access energy collided into one entry and served stale reports;
+    /// keying the energies' bit patterns makes that structurally
+    /// impossible.
+    pub fn new(
+        config: &SmConfig,
+        shape: GemmShape,
+        weight_bits: u32,
+        dataflow: &str,
+        arch_id: &str,
+    ) -> CacheKey {
         let canonical = format!(
-            "pacq-cache/v1;ver={ver};cfg=tc{tc},dpu{dpu},dpw{dpw},dup{dup},ob{ob}x{obufs},\
-             rf{rf},l1{l1},dq{dq:016x},clk{clk:016x},dram{dram:016x};\
-             shape={shape};wbits={weight_bits};flow={dataflow}",
-            ver = env!("CARGO_PKG_VERSION"),
-            tc = config.tensor_cores,
-            dpu = config.dp_units_per_tc,
-            dpw = config.dp_width,
-            dup = config.adder_tree_duplication,
-            ob = config.operand_buffer_bits,
-            obufs = config.operand_buffers,
-            rf = config.register_file_bytes,
-            l1 = config.l1_bytes,
-            dq = config.dequant_weights_per_cycle.to_bits(),
-            clk = config.clock_hz.to_bits(),
-            dram = config.dram_bytes_per_cycle.to_bits(),
+            "{cfg};shape={shape};wbits={weight_bits};flow={dataflow};arch={arch_id}",
+            cfg = config_canonical(config),
         );
         CacheKey { canonical }
     }
@@ -57,6 +58,30 @@ impl CacheKey {
     pub fn digest(&self) -> String {
         digest_of(&self.canonical)
     }
+}
+
+/// The canonical string form of one machine configuration — every
+/// `SmConfig` field, with f64 fields keyed by their exact bit patterns:
+/// two configs that differ in the 17th decimal digit are different
+/// machines. Shared between [`CacheKey::new`] and the sweep/dse
+/// checkpoint binding so both layers spell "which machine" identically.
+pub fn config_canonical(config: &SmConfig) -> String {
+    format!(
+        "pacq-cache/v1;ver={ver};cfg=tc{tc},dpu{dpu},dpw{dpw},dup{dup},ob{ob}x{obufs},\
+         rf{rf},l1{l1},dq{dq:016x},clk{clk:016x},dram{dram:016x}",
+        ver = env!("CARGO_PKG_VERSION"),
+        tc = config.tensor_cores,
+        dpu = config.dp_units_per_tc,
+        dpw = config.dp_width,
+        dup = config.adder_tree_duplication,
+        ob = config.operand_buffer_bits,
+        obufs = config.operand_buffers,
+        rf = config.register_file_bytes,
+        l1 = config.l1_bytes,
+        dq = config.dequant_weights_per_cycle.to_bits(),
+        clk = config.clock_hz.to_bits(),
+        dram = config.dram_bytes_per_cycle.to_bits(),
+    )
 }
 
 /// Digests an arbitrary string to the 32-hex-character form used for
@@ -86,7 +111,13 @@ mod tests {
     fn key(mutate: impl FnOnce(&mut SmConfig)) -> CacheKey {
         let mut cfg = SmConfig::volta_like();
         mutate(&mut cfg);
-        CacheKey::new(&cfg, GemmShape::new(16, 256, 256), 4, "pacq:g128:rounded")
+        CacheKey::new(
+            &cfg,
+            GemmShape::new(16, 256, 256),
+            4,
+            "pacq:g128:rounded",
+            "builtin",
+        )
     }
 
     #[test]
@@ -122,20 +153,52 @@ mod tests {
     }
 
     #[test]
-    fn shape_bits_and_flow_are_keyed() {
+    fn shape_bits_flow_and_arch_id_are_keyed() {
         let cfg = SmConfig::volta_like();
-        let base = CacheKey::new(&cfg, GemmShape::new(16, 256, 256), 4, "pacq:g128:rounded");
-        let shape = CacheKey::new(&cfg, GemmShape::new(32, 256, 256), 4, "pacq:g128:rounded");
-        let bits = CacheKey::new(&cfg, GemmShape::new(16, 256, 256), 2, "pacq:g128:rounded");
+        let base = CacheKey::new(
+            &cfg,
+            GemmShape::new(16, 256, 256),
+            4,
+            "pacq:g128:rounded",
+            "builtin",
+        );
+        let shape = CacheKey::new(
+            &cfg,
+            GemmShape::new(32, 256, 256),
+            4,
+            "pacq:g128:rounded",
+            "builtin",
+        );
+        let bits = CacheKey::new(
+            &cfg,
+            GemmShape::new(16, 256, 256),
+            2,
+            "pacq:g128:rounded",
+            "builtin",
+        );
         let flow = CacheKey::new(
             &cfg,
             GemmShape::new(16, 256, 256),
             4,
             "packedk:g128:rounded",
+            "builtin",
+        );
+        // The regression this key component exists for: identical
+        // SmConfig, shape, precision and dataflow, but a different
+        // architecture definition (e.g. a template that edited one
+        // access energy) must be a different entry.
+        let arch = CacheKey::new(
+            &cfg,
+            GemmShape::new(16, 256, 256),
+            4,
+            "pacq:g128:rounded",
+            "tpl:0123456789abcdef;em=rf3fe0000000000000",
         );
         assert_ne!(base, shape);
         assert_ne!(base, bits);
         assert_ne!(base, flow);
+        assert_ne!(base, arch);
+        assert_ne!(base.digest(), arch.digest());
     }
 
     #[test]

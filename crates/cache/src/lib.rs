@@ -44,6 +44,6 @@ pub use entry::{
     ENTRY_SCHEMA,
 };
 pub use hot::HotTier;
-pub use key::CacheKey;
+pub use key::{config_canonical, CacheKey};
 pub use shard::{grid_digest, Shard, SweepCheckpoint, CHECKPOINT_SCHEMA};
 pub use store::{CacheStats, ReportCache, VerifyOutcome};

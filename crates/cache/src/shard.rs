@@ -145,8 +145,9 @@ impl SweepCheckpoint {
                     return Err(PacqError::invalid_input(
                         "SweepCheckpoint::open",
                         format!(
-                            "checkpoint {} belongs to a different sweep grid \
-                             (has {digest}, this grid is {grid_digest}); \
+                            "checkpoint {} belongs to a different run \
+                             (has {digest}, this grid × machine × template × backend \
+                             binding is {grid_digest}); \
                              pass a fresh --checkpoint path or delete it",
                             path.display()
                         ),
@@ -315,7 +316,7 @@ mod tests {
         let ckpt = SweepCheckpoint::open(&path, &grid_digest("grid-a")).unwrap();
         drop(ckpt);
         let err = SweepCheckpoint::open(&path, &grid_digest("grid-b")).unwrap_err();
-        assert!(err.to_string().contains("different sweep grid"));
+        assert!(err.to_string().contains("belongs to a different run"));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -4,12 +4,15 @@
 //! dependency set to the numeric essentials (see DESIGN.md §8).
 
 use crate::backend::take_backend_flag;
+use crate::dse::{run_dse, DseAxes, DsePlan};
 use crate::par;
+use crate::params::parse_params;
 use crate::report::{Comparison, GemmReport};
 use crate::roofline;
 use crate::runner::GemmRunner;
 use crate::sweep::{run_sweep, SweepPlan};
 use core::fmt::Write as _;
+use pacq_arch::ArchTemplate;
 use pacq_cache::{ReportCache, Shard, SweepCheckpoint};
 use pacq_error::{PacqError, PacqResult};
 use pacq_fp16::{Backend, WeightPrecision};
@@ -33,6 +36,8 @@ USAGE:
   pacq compare --shape mMnNkK [--precision int4|int2] [--group ...]
   pacq sweep --param batch|dup|width|grid --shape mMnNkK [--precision int4|int2]
              [--shard i/N] [--checkpoint FILE]
+  pacq dse --shape mMnNkK [--param axis=v1,v2,...]... [--shard i/N]
+           [--checkpoint FILE]
   pacq exec --shape mMnNkK [--arch std|packedk|pacq] [--precision int4|int2]
             [--group ...] [--check] [--json]
   pacq cache stats|clear|verify --dir DIR
@@ -59,10 +64,29 @@ lookups, bit-identical to fresh runs — see DESIGN.md §12), and
 front of the disk store; hits are bit-identical and tallied separately
 as cache.hot_hits/hot_misses/hot_evictions — see DESIGN.md §15).
 
+analyze, compare, sweep, dse, exec and trace also accept
+--arch-template FILE: a declarative pacq-arch/v1 architecture template
+(TOML or JSON, see DESIGN.md §18) replacing the builtin Volta-like
+machine — memory hierarchy capacities and access energies, datapath
+widths, clock and dataflow all come from the file, and the template's
+content digest is folded into every cache key, checkpoint binding and
+run manifest, so editing the template invalidates stale artifacts with
+typed errors. The template pins the dataflow, so --arch conflicts with
+it. Committed examples: examples/arch/volta_like.toml (the hardcoded
+Table I machine, bit for bit) and examples/arch/pacq.toml.
+
 `pacq sweep --param grid` runs the full batch × architecture ×
 precision grid for the layer; --shard i/N slices it into N disjoint
 index classes (for split runs), and --checkpoint FILE records completed
 jobs so an interrupted sweep resumes where it stopped.
+
+`pacq dse` grid-searches design points over the template (or builtin)
+machine: repeated --param flags name the axes — batch=16,32
+arch=std,packedk,pacq precision=int4,int2 width=4,8,16 dup=1,2,4
+group=g128,g64 — and every unnamed axis keeps its default (the
+sweep-grid product over the machine's own width/dup and g128, so a
+flag-less dse reproduces `sweep --param grid` bit for bit). --shard,
+--checkpoint and --cache compose exactly as they do for sweep.
 
 `pacq exec` functionally executes one GEMM through the bit-accurate
 datapath on deterministic synthetic data, printing a result digest and
@@ -200,6 +224,44 @@ pub fn take_hot_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<usize>)
     Ok((rest, hot))
 }
 
+/// Splits `--arch-template FILE` / `--arch-template=FILE` out of an
+/// argument list. The flag names a `pacq-arch/v1` template file
+/// replacing the builtin Volta-like machine for the command.
+///
+/// # Errors
+///
+/// Returns [`PacqError::Usage`] when the flag is present without a
+/// value.
+pub fn take_arch_template_flag(args: &[String]) -> PacqResult<(Vec<String>, Option<String>)> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut template = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--arch-template" {
+            let v = it
+                .next()
+                .ok_or_else(|| err("missing value for --arch-template"))?;
+            template = Some(v.clone());
+        } else if let Some(v) = arg.strip_prefix("--arch-template=") {
+            template = Some(v.to_string());
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, template))
+}
+
+/// Loads, parses and validates the `--arch-template` file. I/O failures
+/// are [`PacqError::Io`] (exit 6); schema and validation failures are
+/// typed template errors (exit 9) naming the file.
+pub fn load_arch_template(path: &str) -> PacqResult<ArchTemplate> {
+    let text = std::fs::read_to_string(path).map_err(|e| PacqError::Io {
+        context: "cli::--arch-template",
+        message: format!("cannot read `{path}`: {e}"),
+    })?;
+    ArchTemplate::load(&text, path)
+}
+
 /// Runs the CLI on pre-split arguments, returning the output text.
 ///
 /// # Errors
@@ -210,6 +272,11 @@ pub fn run(args: &[String]) -> PacqResult<String> {
     let (args, metrics) = take_metrics_flag(args)?;
     let (args, cache_dir) = take_cache_flag(&args)?;
     let (args, hot) = take_hot_flag(&args)?;
+    let (args, template_path) = take_arch_template_flag(&args)?;
+    let template = match &template_path {
+        Some(path) => Some(load_arch_template(path)?),
+        None => None,
+    };
     let (args, jobs) = par::take_jobs_flag(&args)?;
     let (args, backend_flag) = take_backend_flag(&args)?;
     // Like --jobs, the env spelling is validated even when the flag
@@ -241,7 +308,7 @@ pub fn run(args: &[String]) -> PacqResult<String> {
         }
         None => None,
     };
-    let result = dispatch(&args, cache.as_ref(), backend);
+    let result = dispatch(&args, cache.as_ref(), backend, template.as_ref());
     if let Some(path) = metrics {
         let mut manifest = RunManifest::new("pacq", &args);
         if let Some(j) = jobs.or(env_jobs) {
@@ -250,6 +317,9 @@ pub fn run(args: &[String]) -> PacqResult<String> {
         manifest = manifest
             .with_effective_jobs(rayon::current_num_threads())
             .with_backend(backend.token());
+        if let Some(t) = &template {
+            manifest = manifest.with_arch_template(t.digest());
+        }
         manifest.gather();
         pacq_trace::disable();
         if result.is_ok() {
@@ -263,34 +333,55 @@ fn dispatch(
     args: &[String],
     cache: Option<&Arc<ReportCache>>,
     backend: Backend,
+    template: Option<&ArchTemplate>,
 ) -> PacqResult<String> {
     let mut it = args.iter().map(String::as_str);
-    match it.next() {
+    let command = it.next();
+    // Commands that don't simulate a machine have nothing to apply a
+    // template to — silently ignoring the flag would misattribute their
+    // output to the template.
+    if template.is_some()
+        && matches!(
+            command,
+            Some("cache" | "audit" | "serve" | "loadgen")
+        )
+    {
+        return Err(err(format!(
+            "--arch-template does not apply to `{}`",
+            command.unwrap_or_default()
+        )));
+    }
+    match command {
         None | Some("help") | Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
-        Some("analyze") => analyze(&args[1..], cache),
-        Some("compare") => compare(&args[1..], cache),
-        Some("sweep") => sweep(&args[1..], cache, backend),
-        Some("exec") => exec(&args[1..], cache, backend),
+        Some("analyze") => analyze(&args[1..], cache, template),
+        Some("compare") => compare(&args[1..], cache, template),
+        Some("sweep") => sweep(&args[1..], cache, backend, template),
+        Some("dse") => dse(&args[1..], cache, backend, template),
+        Some("exec") => exec(&args[1..], cache, backend, template),
         Some("cache") => cache_cmd(&args[1..], cache),
         Some("audit") => audit(&args[1..], cache),
-        Some("trace") => trace(&args[1..]),
+        Some("trace") => trace(&args[1..], template),
         Some("serve") => crate::serve::run_cli(&args[1..], cache.map(Arc::clone), backend),
         Some("loadgen") => crate::loadgen::run_cli(&args[1..], cache.map(Arc::clone), backend),
         Some(other) => Err(err(format!("unknown command `{other}`"))),
     }
 }
 
-/// Parsed common options.
+/// Parsed common options. `arch`, `dup` and `width` stay `None` until
+/// the user passes the flag — the effective value depends on whether an
+/// architecture template is in play (the template's datapath must not
+/// be silently clobbered by a hardcoded default), so resolution happens
+/// in [`resolve_arch`] / [`runner_for`].
 struct Options {
     shape: GemmShape,
     precision: WeightPrecision,
-    arch: Architecture,
+    arch: Option<Architecture>,
     group: GroupShape,
-    dup: usize,
-    width: usize,
+    dup: Option<usize>,
+    width: Option<usize>,
     json: bool,
     check: bool,
-    param: Option<String>,
+    params: Vec<String>,
     out: Option<String>,
     shard: Shard,
     checkpoint: Option<String>,
@@ -299,13 +390,13 @@ struct Options {
 fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
     let mut shape = None;
     let mut precision = WeightPrecision::Int4;
-    let mut arch = Architecture::Pacq;
+    let mut arch = None;
     let mut group = GroupShape::G128;
-    let mut dup = 2usize;
-    let mut width = 4usize;
+    let mut dup = None;
+    let mut width = None;
     let mut json = false;
     let mut check = false;
-    let mut param = None;
+    let mut params = Vec::new();
     let mut out = None;
     let mut shard = Shard::FULL;
     let mut checkpoint = None;
@@ -319,27 +410,29 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
         match flag {
             "--shape" => shape = Some(parse_shape(value("--shape")?)?),
             "--precision" => precision = parse_precision(value("--precision")?)?,
-            "--arch" => arch = parse_arch(value("--arch")?)?,
+            "--arch" => arch = Some(parse_arch(value("--arch")?)?),
             "--group" => group = parse_group(value("--group")?)?,
             "--dup" => {
-                dup = value("--dup")?
+                let d = value("--dup")?
                     .parse()
                     .map_err(|_| err("--dup expects 1, 2 or 4"))?;
-                if !matches!(dup, 1 | 2 | 4) {
+                if !matches!(d, 1 | 2 | 4) {
                     return Err(err("--dup expects 1, 2 or 4"));
                 }
+                dup = Some(d);
             }
             "--width" => {
-                width = value("--width")?
+                let w = value("--width")?
                     .parse()
                     .map_err(|_| err("--width expects 4, 8 or 16"))?;
-                if !matches!(width, 4 | 8 | 16) {
+                if !matches!(w, 4 | 8 | 16) {
                     return Err(err("--width expects 4, 8 or 16"));
                 }
+                width = Some(w);
             }
             "--json" => json = true,
             "--check" => check = true,
-            "--param" => param = Some(value("--param")?.to_string()),
+            "--param" => params.push(value("--param")?.to_string()),
             "--out" => out = Some(value("--out")?.to_string()),
             "--shard" => shard = Shard::parse(value("--shard")?)?,
             "--checkpoint" => checkpoint = Some(value("--checkpoint")?.to_string()),
@@ -361,11 +454,47 @@ fn parse_options(args: &[String], require_shape: bool) -> PacqResult<Options> {
         width,
         json,
         check,
-        param,
+        params,
         out,
         shard,
         checkpoint,
     })
+}
+
+/// The architecture a single-point command simulates: the `--arch` flag
+/// without a template, the template's dataflow with one (an explicit
+/// `--arch` then conflicts — the template pins the dataflow), PacQ when
+/// neither says.
+fn resolve_arch(
+    arch: Option<Architecture>,
+    template: Option<&ArchTemplate>,
+) -> PacqResult<Architecture> {
+    match (arch, template) {
+        (Some(_), Some(_)) => Err(err(
+            "--arch conflicts with --arch-template: the template's dataflow/packing/dequant \
+             triple pins the architecture",
+        )),
+        (Some(a), None) => Ok(a),
+        (None, Some(t)) => t.architecture(),
+        (None, None) => Ok(Architecture::Pacq),
+    }
+}
+
+/// The effective machine configuration: the template's (when given,
+/// with `--dup`/`--width` still overriding) or the builtin Volta-like
+/// defaults.
+fn resolve_config(opts: &Options, template: Option<&ArchTemplate>) -> SmConfig {
+    let mut cfg = match template {
+        Some(t) => t.sm_config(),
+        None => SmConfig::volta_like(),
+    };
+    if let Some(dup) = opts.dup {
+        cfg.adder_tree_duplication = dup;
+    }
+    if let Some(width) = opts.width {
+        cfg.dp_width = width;
+    }
+    cfg
 }
 
 /// Parses the paper's `mMnNkK` shape notation.
@@ -454,14 +583,24 @@ pub fn parse_group(text: &str) -> PacqResult<GroupShape> {
     }
 }
 
-fn runner_for(opts: &Options, cache: Option<&Arc<ReportCache>>) -> GemmRunner {
-    let mut cfg = SmConfig::volta_like();
-    cfg.adder_tree_duplication = opts.dup;
-    cfg.dp_width = opts.width;
-    GemmRunner::new()
-        .with_config(cfg)
+fn runner_for(
+    opts: &Options,
+    cache: Option<&Arc<ReportCache>>,
+    template: Option<&ArchTemplate>,
+) -> PacqResult<GemmRunner> {
+    let mut runner = GemmRunner::new()
+        .with_config(resolve_config(opts, template))
         .with_group(opts.group)
-        .with_cache_opt(cache.map(Arc::clone))
+        .with_cache_opt(cache.map(Arc::clone));
+    if let Some(t) = template {
+        // Bind the runner to the template: its per-level energies price
+        // every report, and its content digest travels into cache keys,
+        // checkpoint bindings and run provenance.
+        runner = runner
+            .with_energy_model(t.energy_model()?)
+            .with_template_digest(t.digest());
+    }
+    Ok(runner)
 }
 
 /// FNV-1a over the row-major result bits: a stable fingerprint that two
@@ -484,19 +623,25 @@ fn result_digest(c: &pacq_quant::MatrixF32) -> u64 {
 /// reruns and backends see identical inputs). `--check` runs the scalar
 /// *and* batched backends, asserts bit-identity, and reports the
 /// speedup.
-fn exec(args: &[String], cache: Option<&Arc<ReportCache>>, backend: Backend) -> PacqResult<String> {
+fn exec(
+    args: &[String],
+    cache: Option<&Arc<ReportCache>>,
+    backend: Backend,
+    template: Option<&ArchTemplate>,
+) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
+    let arch = resolve_arch(opts.arch, template)?;
     let _span = pacq_trace::span("cli.exec");
     let (m, n, k) = (opts.shape.m, opts.shape.n, opts.shape.k);
-    let runner = runner_for(&opts, cache).with_backend(backend);
+    let runner = runner_for(&opts, cache, template)?.with_backend(backend);
     let mut g = SynthGenerator::new((m ^ (n << 8) ^ (k << 16)) as u64 | 1);
     let a = g.llm_activations(m, k).to_f16();
     let w = g.llm_weights(k, n);
-    let packed = runner.quantize_and_pack(&w, opts.precision, opts.arch)?;
+    let packed = runner.quantize_and_pack(&w, opts.precision, arch)?;
 
     let timed = |r: &GemmRunner| -> PacqResult<(pacq_quant::MatrixF32, f64)> {
         let t0 = std::time::Instant::now();
-        let c = r.execute(opts.arch, &a, &packed)?;
+        let c = r.execute(arch, &a, &packed)?;
         Ok((c, t0.elapsed().as_secs_f64()))
     };
     let (c, seconds) = timed(&runner)?;
@@ -509,7 +654,7 @@ fn exec(args: &[String], cache: Option<&Arc<ReportCache>>, backend: Backend) -> 
         out,
         "exec {} on {} ({}, {} backend): digest {digest:016x}, {seconds:.6} s, {gflops:.3} GFLOP/s",
         Workload::new(opts.shape, opts.precision),
-        opts.arch,
+        arch,
         opts.group,
         runner.backend(),
     );
@@ -559,15 +704,20 @@ fn exec(args: &[String], cache: Option<&Arc<ReportCache>>, backend: Backend) -> 
         record.set("batched_speedup", speedup);
     }
     if pacq_trace::is_enabled() {
-        pacq_trace::record_result(format!("exec|{}|{}", opts.shape, opts.arch), record);
+        pacq_trace::record_result(format!("exec|{}|{arch}", opts.shape), record);
     }
     Ok(out)
 }
 
-fn analyze(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
+fn analyze(
+    args: &[String],
+    cache: Option<&Arc<ReportCache>>,
+    template: Option<&ArchTemplate>,
+) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
-    let runner = runner_for(&opts, cache);
-    let report = runner.analyze(opts.arch, Workload::new(opts.shape, opts.precision))?;
+    let arch = resolve_arch(opts.arch, template)?;
+    let runner = runner_for(&opts, cache, template)?;
+    let report = runner.analyze(arch, Workload::new(opts.shape, opts.precision))?;
     if opts.json {
         Ok(report_json(&report))
     } else {
@@ -575,9 +725,19 @@ fn analyze(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<Stri
     }
 }
 
-fn compare(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
+fn compare(
+    args: &[String],
+    cache: Option<&Arc<ReportCache>>,
+    template: Option<&ArchTemplate>,
+) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
-    let runner = runner_for(&opts, cache);
+    if opts.arch.is_some() {
+        return Err(err("compare always runs all three architectures; drop --arch"));
+    }
+    // With a template, compare runs all three dataflows on the
+    // template's *machine* (capacities, datapath, energies) — the
+    // template's own dataflow triple picks none of them out.
+    let runner = runner_for(&opts, cache, template)?;
     let wl = Workload::new(opts.shape, opts.precision);
     let cmp = Comparison::new(vec![
         runner.analyze(Architecture::StandardDequant, wl)?,
@@ -612,12 +772,24 @@ fn sweep(
     args: &[String],
     cache: Option<&Arc<ReportCache>>,
     backend: Backend,
+    template: Option<&ArchTemplate>,
 ) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
-    let param = opts
-        .param
-        .as_deref()
-        .ok_or_else(|| err("--param is required for sweep"))?;
+    // Shared --param validation (duplicates, empty value lists) before
+    // the sweep-specific shape check.
+    let specs = parse_params(&opts.params)?;
+    let param = match specs.as_slice() {
+        [] => return Err(err("--param is required for sweep")),
+        [spec] if spec.values.is_empty() => spec.name.as_str(),
+        [spec] => {
+            return Err(err(format!(
+                "--param {}=...: sweep takes a bare parameter name (batch, dup, width or \
+                 grid); value lists belong to `pacq dse`",
+                spec.name
+            )))
+        }
+        _ => return Err(err("sweep takes exactly one --param")),
+    };
     if param != "grid" && (opts.shard != Shard::FULL || opts.checkpoint.is_some()) {
         return Err(err(
             "--shard and --checkpoint apply to `sweep --param grid` only",
@@ -629,10 +801,13 @@ fn sweep(
         // (DESIGN.md §12). Rows print in grid order; jobs other shards
         // own are omitted, checkpointed jobs print as `done (resumed)`.
         "grid" => {
-            let runner = runner_for(&opts, cache).with_backend(backend);
+            let runner = runner_for(&opts, cache, template)?.with_backend(backend);
             let plan = SweepPlan::batch_grid(opts.shape.n, opts.shape.k);
+            // The checkpoint is bound to grid × machine × template ×
+            // backend: resuming a half-done sweep under any other runner
+            // is a typed mismatch, never a silent skip.
             let checkpoint = match &opts.checkpoint {
-                Some(path) => Some(SweepCheckpoint::open(path, &plan.digest())?),
+                Some(path) => Some(SweepCheckpoint::open(path, &plan.binding_digest(&runner))?),
                 None => None,
             };
             let outcome = run_sweep(&runner, &plan, opts.shard, checkpoint.as_ref())?;
@@ -677,7 +852,7 @@ fn sweep(
                 "{:<8} {:>14} {:>14} {:>14}",
                 "batch", "PacQ cycles", "speedup v std", "EDP reduction"
             );
-            let runner = runner_for(&opts, cache).with_backend(backend);
+            let runner = runner_for(&opts, cache, template)?.with_backend(backend);
             let points: Vec<(Architecture, Workload)> = [16usize, 32, 64, 128, 256, 512]
                 .iter()
                 .flat_map(|&m| {
@@ -712,18 +887,19 @@ fn sweep(
                 "{:<6} {:>14} {:>16}",
                 "dup", "PacQ cycles", "TC power (units)"
             );
+            let width = resolve_config(&opts, template).dp_width;
             let rows: Vec<PacqResult<String>> = vec![1usize, 2, 4]
                 .into_par_iter()
                 .map(|dup| {
                     let mut o = opts_clone(&opts);
-                    o.dup = dup;
-                    let runner = runner_for(&o, cache).with_backend(backend);
+                    o.dup = Some(dup);
+                    let runner = runner_for(&o, cache, template)?.with_backend(backend);
                     let r = runner.analyze(
                         Architecture::Pacq,
                         Workload::new(opts.shape, opts.precision),
                     )?;
                     let unit = pacq_energy::GemmUnit::ParallelDp {
-                        width: opts.width,
+                        width,
                         duplication: dup,
                     };
                     Ok(format!(
@@ -748,8 +924,8 @@ fn sweep(
                 .into_par_iter()
                 .map(|width| {
                     let mut o = opts_clone(&opts);
-                    o.width = width;
-                    let runner = runner_for(&o, cache).with_backend(backend);
+                    o.width = Some(width);
+                    let runner = runner_for(&o, cache, template)?.with_backend(backend);
                     let wl = Workload::new(opts.shape, opts.precision);
                     let pq = runner.analyze(Architecture::Pacq, wl)?;
                     let pk = runner.analyze(Architecture::PackedK, wl)?;
@@ -764,6 +940,94 @@ fn sweep(
             }
         }
         other => return Err(err(format!("unknown sweep parameter `{other}`"))),
+    }
+    Ok(out)
+}
+
+/// `pacq dse`: grid-searches design points (batch × architecture ×
+/// precision × width × dup × group) over the template (or builtin)
+/// machine, with the sweep machinery — sharding, checkpoint resume
+/// bound to the (grid × machine × template × backend) digest, report
+/// caching — reused wholesale. See [`crate::dse`].
+fn dse(
+    args: &[String],
+    cache: Option<&Arc<ReportCache>>,
+    backend: Backend,
+    template: Option<&ArchTemplate>,
+) -> PacqResult<String> {
+    let opts = parse_options(args, true)?;
+    if opts.arch.is_some() || opts.dup.is_some() || opts.width.is_some() {
+        return Err(err(
+            "dse searches architectures/dup/width via --param (e.g. --param arch=std,pacq); \
+             the single-value flags don't apply",
+        ));
+    }
+    let base = runner_for(&opts, cache, template)?.with_backend(backend);
+    let cfg = *base.config();
+    let mut axes = DseAxes::defaults(cfg.dp_width, cfg.adder_tree_duplication, opts.group);
+    axes.apply(&parse_params(&opts.params)?)?;
+    let plan = DsePlan::enumerate(&axes, opts.shape.n, opts.shape.k);
+    let checkpoint = match &opts.checkpoint {
+        Some(path) => Some(SweepCheckpoint::open(path, &plan.binding_digest(&base))?),
+        None => None,
+    };
+    let outcome = run_dse(&base, &plan, opts.shard, checkpoint.as_ref())?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>14} {:>14} {:>14}",
+        "design point", "cycles", "energy (uJ)", "EDP (pJ*s)"
+    );
+    for row in &outcome.rows {
+        match &row.report {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>14} {:>14.2} {:>14.6}",
+                    row.job.id(),
+                    r.stats.total_cycles,
+                    r.total_energy_pj() / 1e6,
+                    r.edp_pj_s,
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{:<32} {:>14}", row.job.id(), "done (resumed)");
+            }
+        }
+    }
+    // The best completed point by EDP — the headline of a design-space
+    // search (resumed rows carry no report and don't compete; re-run
+    // without the checkpoint, or with --cache, for a full ranking).
+    if let Some((job, best)) = outcome
+        .rows
+        .iter()
+        .filter_map(|r| r.report.as_ref().map(|rep| (&r.job, rep)))
+        .min_by(|a, b| a.1.edp_pj_s.total_cmp(&b.1.edp_pj_s))
+    {
+        let _ = writeln!(
+            out,
+            "best EDP: {} ({:.6} pJ*s)",
+            job.id(),
+            best.edp_pj_s
+        );
+    }
+    let t = outcome.tally;
+    let _ = writeln!(
+        out,
+        "dse: {} points, shard {} selected {}, resumed {}, executed {}{}",
+        t.total,
+        opts.shard,
+        t.selected,
+        t.skipped,
+        t.executed,
+        match template {
+            Some(tpl) => format!("; template {} ({})", tpl.name, tpl.digest()),
+            None => "; builtin machine".to_string(),
+        }
+    );
+    if let Some(c) = cache {
+        let _ = writeln!(out, "cache: {} hits, {} misses", c.hits(), c.misses());
     }
     Ok(out)
 }
@@ -996,16 +1260,15 @@ fn audit_roofline(n: usize, k: usize, bits: u32) -> PacqResult<u64> {
 /// `pacq trace`: replays one warp-tile octet through the event-driven
 /// pipeline and writes the cycle-resolved activity as Chrome trace_event
 /// JSON (1 trace microsecond = 1 SM cycle).
-fn trace(args: &[String]) -> PacqResult<String> {
+fn trace(args: &[String], template: Option<&ArchTemplate>) -> PacqResult<String> {
     let opts = parse_options(args, false)?;
+    let arch = resolve_arch(opts.arch, template)?;
     let out = opts
         .out
         .clone()
         .ok_or_else(|| err("--out PATH is required for trace"))?;
-    let mut cfg = SmConfig::volta_like();
-    cfg.adder_tree_duplication = opts.dup;
-    cfg.dp_width = opts.width;
-    let schedule = octet_schedule(opts.arch, opts.precision, &cfg);
+    let cfg = resolve_config(&opts, template);
+    let schedule = octet_schedule(arch, opts.precision, &cfg);
     let (replay, events) = OctetPipeline::new().run_traced(&schedule);
 
     let mut chrome = ChromeTrace::new();
@@ -1029,7 +1292,7 @@ fn trace(args: &[String]) -> PacqResult<String> {
     for (lane, name) in &lanes {
         chrome.name_lane(1, *lane, name);
     }
-    chrome.set_metadata("architecture", Json::from(opts.arch.to_string()));
+    chrome.set_metadata("architecture", Json::from(arch.to_string()));
     chrome.set_metadata("precision", Json::from(opts.precision.to_string()));
     chrome.set_metadata("cycles", Json::from(replay.cycles));
     chrome.set_metadata("time_units", Json::from("1 trace microsecond = 1 SM cycle"));
@@ -1052,7 +1315,7 @@ fn opts_clone(o: &Options) -> Options {
         width: o.width,
         json: o.json,
         check: o.check,
-        param: o.param.clone(),
+        params: o.params.clone(),
         out: o.out.clone(),
         shard: o.shard,
         checkpoint: o.checkpoint.clone(),
@@ -1529,6 +1792,213 @@ mod tests {
         let cold = hot("analyze --shape m16n256k256 --arch pacq").expect("cold run");
         let warm = hot("analyze --shape m16n256k256 --arch pacq").expect("warm run");
         assert_eq!(cold, warm);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_param_duplicates_and_value_lists_are_usage_errors() {
+        // The --param regression table (alongside the --jobs cases
+        // above): every row used to be accepted silently.
+        for cmd in [
+            "sweep --shape m16n256k256 --param batch --param batch",
+            "sweep --shape m16n256k256 --param grid --param batch",
+            "sweep --shape m16n256k256 --param batch=16,32",
+            "sweep --shape m16n256k256 --param batch=",
+            "sweep --shape m16n256k256 --param =grid",
+            "dse --shape m16n256k256 --param batch=16 --param batch=32",
+            "dse --shape m16n256k256 --param batch=16,,32",
+            "dse --shape m16n256k256 --param batch",
+            "dse --shape m16n256k256 --param tile=4",
+        ] {
+            let err = run(&argv(cmd)).unwrap_err();
+            assert!(err.is_usage(), "{cmd}: {err}");
+            assert_eq!(err.exit_code(), 2, "{cmd}");
+        }
+    }
+
+    #[test]
+    fn dse_defaults_reproduce_the_grid_sweep_rows() {
+        let dse = run(&argv("dse --shape m16n256k256")).expect("runs");
+        let grid = run(&argv("sweep --param grid --shape m16n256k256")).expect("runs");
+        assert!(dse.contains("dse: 36 points"), "{dse}");
+        assert!(dse.contains("best EDP"), "{dse}");
+        // Every dse row's numbers appear in the grid sweep's output:
+        // same jobs, same machine, same bits. Columns are aligned
+        // differently, so compare whitespace-split number tuples.
+        let grid_rows: Vec<Vec<&str>> = grid
+            .lines()
+            .map(|l| l.split_whitespace().skip(1).collect())
+            .collect();
+        let is_row = |l: &&str| {
+            l.strip_prefix('b')
+                .is_some_and(|r| r.starts_with(|c: char| c.is_ascii_digit()))
+        };
+        for line in dse.lines().filter(is_row) {
+            let numbers: Vec<&str> = line
+                .split_whitespace()
+                .skip(1)
+                .take(3)
+                .collect();
+            assert!(
+                grid_rows.iter().any(|r| r.starts_with(&numbers)),
+                "dse row `{line}` not in grid output:\n{grid}"
+            );
+        }
+    }
+
+    #[test]
+    fn dse_params_shape_the_search_and_shards_compose() {
+        let out = run(&argv(
+            "dse --shape m16n256k256 --param batch=16,32 --param arch=pacq --param width=4,8",
+        ))
+        .expect("runs");
+        assert!(out.contains("dse: 8 points"), "{out}");
+        assert!(out.contains("b32:pacq:int2:w8:d2:g128"), "{out}");
+        let a = run(&argv(
+            "dse --shape m16n256k256 --param batch=16,32 --param arch=pacq --shard 1/2",
+        ))
+        .unwrap();
+        assert!(a.contains("selected 2"), "{a}");
+        // Single-value flags are rejected: axes go through --param.
+        let err = run(&argv("dse --shape m16n256k256 --arch pacq")).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        let err = run(&argv("dse --shape m16n256k256 --dup 4")).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+    }
+
+    #[test]
+    fn dse_checkpoint_resumes_and_binds_to_the_run() {
+        let path = tmp_path("dse-ckpt");
+        std::fs::remove_file(&path).ok();
+        let base = "dse --shape m16n256k256 --param batch=16,32 --param arch=pacq";
+        let mut args = argv(base);
+        args.extend(["--checkpoint".to_string(), path.clone()]);
+        let first = run(&args).expect("first pass");
+        assert!(first.contains("executed 4"), "{first}");
+        let second = run(&args).expect("resume");
+        assert!(second.contains("resumed 4, executed 0"), "{second}");
+        // A different search over the same checkpoint is a typed error.
+        let mut other = argv("dse --shape m16n256k256 --param batch=16 --param arch=pacq");
+        other.extend(["--checkpoint".to_string(), path.clone()]);
+        let err = run(&other).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("belongs to a different run"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn write_template(tag: &str, text: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pacq-cli-tpl-{}-{tag}.toml", std::process::id()));
+        std::fs::write(&p, text).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn arch_template_flag_reproduces_the_builtin_machine() {
+        let path = write_template("volta", &crate::ArchTemplate::volta_like().render());
+        let mut args = argv("analyze --shape m16n256k256 --arch std");
+        let builtin = run(&args).expect("builtin runs");
+        args = argv("analyze --shape m16n256k256");
+        args.extend(["--arch-template".to_string(), path.clone()]);
+        let templated = run(&args).expect("template runs");
+        assert_eq!(
+            builtin, templated,
+            "the volta-like template must reproduce the hardcoded report bit for bit"
+        );
+        // The template pins the dataflow: --arch conflicts.
+        let mut conflict = argv("analyze --shape m16n256k256 --arch pacq");
+        conflict.extend(["--arch-template".to_string(), path.clone()]);
+        let err = run(&conflict).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("pins"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn arch_template_errors_are_typed() {
+        // Missing file: I/O error, exit 6.
+        let err = run(&[
+            "analyze".to_string(),
+            "--shape".to_string(),
+            "m16n16k16".to_string(),
+            "--arch-template".to_string(),
+            "/nonexistent/x.toml".to_string(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        // Broken template: typed template error, exit 9, naming the file.
+        let path = write_template("broken", "schema = \"pacq-arch/v1\"\nname = \"x\"\n");
+        let err = run(&[
+            "analyze".to_string(),
+            "--shape".to_string(),
+            "m16n16k16".to_string(),
+            format!("--arch-template={path}"),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 9, "{err}");
+        assert!(err.to_string().contains(&path), "{err}");
+        std::fs::remove_file(&path).ok();
+        // Commands with no machine to describe reject the flag.
+        let path = write_template("volta2", &crate::ArchTemplate::volta_like().render());
+        let err = run(&[
+            "audit".to_string(),
+            "--arch-template".to_string(),
+            path.clone(),
+        ])
+        .unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        std::fs::remove_file(&path).ok();
+        // And a missing value is a usage error.
+        assert!(run(&argv("analyze --shape m16n16k16 --arch-template")).is_err());
+    }
+
+    #[test]
+    fn editing_a_template_invalidates_cache_and_checkpoint() {
+        let dir = tmp_dir("tpl-cache");
+        let ckpt = tmp_path("tpl-ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        let template = crate::ArchTemplate::volta_like();
+        let path = write_template("evolving", &template.render());
+
+        let sweep_args = |tpl: &str| {
+            let mut a = argv("sweep --param grid --shape m16n256k256");
+            a.extend([
+                "--cache".to_string(),
+                dir.clone(),
+                "--checkpoint".to_string(),
+                ckpt.clone(),
+                "--arch-template".to_string(),
+                tpl.to_string(),
+            ]);
+            a
+        };
+        let first = run(&sweep_args(&path)).expect("first pass");
+        assert!(first.contains("executed 36"), "{first}");
+        let warm = run(&sweep_args(&path)).expect("warm pass");
+        assert!(warm.contains("resumed 36, executed 0"), "{warm}");
+
+        // Edit one access energy: same SmConfig, different machine.
+        let mut edited = template.clone();
+        edited.l1.access_energy_pj_per_word16 = Some(3.5);
+        std::fs::write(&path, edited.render()).unwrap();
+        let err = run(&sweep_args(&path)).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("belongs to a different run"), "{err}");
+
+        // Without the stale checkpoint the run proceeds — and gets zero
+        // cache hits, because the template digest is in every key.
+        let mut fresh = argv("sweep --param grid --shape m16n256k256");
+        fresh.extend([
+            "--cache".to_string(),
+            dir.clone(),
+            "--arch-template".to_string(),
+            path.clone(),
+        ]);
+        let out = run(&fresh).expect("edited template runs");
+        assert!(out.contains("cache: 0 hits, 36 misses"), "{out}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&ckpt).ok();
         std::fs::remove_dir_all(&dir).ok();
     }
 

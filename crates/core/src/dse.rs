@@ -1,0 +1,476 @@
+//! The design-space-exploration engine behind `pacq dse`.
+//!
+//! Where `pacq sweep --param grid` walks one fixed batch × architecture
+//! × precision grid over the hardcoded machine, `pacq dse` grid-searches
+//! *design points*: batch sizes, dataflows (architectures), weight
+//! precisions, DP widths, adder-tree duplications and group geometries,
+//! all over a machine described by an architecture template (or the
+//! builtin Volta-like configuration). It reuses the sweep machinery
+//! wholesale — `--shard i/N` residue classes, `--checkpoint FILE`
+//! resume bound to the (grid × machine × template × backend) digest,
+//! the `--cache DIR` report store, the rayon worker pool — so dse runs
+//! are interruptible, splittable and memoized the same way sweeps are.
+//!
+//! Axes are spelled as repeated `--param name=v1,v2,...` flags (see
+//! [`crate::params`]); every axis the user does not name keeps its
+//! default, which is chosen so that a flag-less `pacq dse` over a
+//! committed builtin-equivalent template enumerates exactly the
+//! `sweep --param grid` jobs and reproduces its reports bit for bit.
+
+use rayon::prelude::*;
+
+use crate::params::ParamSpec;
+use crate::report::GemmReport;
+use crate::runner::GemmRunner;
+use crate::sweep::SweepTally;
+use pacq_cache::{grid_digest, Shard, SweepCheckpoint};
+use pacq_error::{PacqError, PacqResult};
+use pacq_fp16::WeightPrecision;
+use pacq_quant::GroupShape;
+use pacq_simt::{Architecture, GemmShape, Workload};
+
+fn err(msg: impl Into<String>) -> PacqError {
+    PacqError::usage(msg)
+}
+
+/// The search axes of one dse invocation. Axis order inside each list
+/// is significant (it defines job enumeration order and therefore row
+/// order, shard classes and the checkpoint binding).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseAxes {
+    /// Batch sizes (`m` extents).
+    pub batch: Vec<usize>,
+    /// Architectures (dataflows) to simulate.
+    pub arch: Vec<Architecture>,
+    /// Weight precisions.
+    pub precision: Vec<WeightPrecision>,
+    /// DP widths.
+    pub width: Vec<usize>,
+    /// Adder-tree duplications.
+    pub dup: Vec<usize>,
+    /// Quantization group geometries.
+    pub group: Vec<GroupShape>,
+}
+
+impl DseAxes {
+    /// The default axes over a base machine: the `sweep --param grid`
+    /// batch × architecture × precision product, with width / dup /
+    /// group pinned to the machine's own values — so a flag-less dse
+    /// over a builtin-equivalent template reproduces the grid sweep's
+    /// reports bit for bit.
+    pub fn defaults(base_width: usize, base_dup: usize, base_group: GroupShape) -> DseAxes {
+        DseAxes {
+            batch: vec![16, 32, 64, 128, 256, 512],
+            arch: vec![
+                Architecture::StandardDequant,
+                Architecture::PackedK,
+                Architecture::Pacq,
+            ],
+            precision: vec![WeightPrecision::Int4, WeightPrecision::Int2],
+            width: vec![base_width],
+            dup: vec![base_dup],
+            group: vec![base_group],
+        }
+    }
+
+    /// Applies validated `--param name=v1,v2` specs onto the defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Usage`] for an unknown axis name, a bare
+    /// spec with no values, or an unparseable value (each axis reuses
+    /// the corresponding single-flag parser, so `--param arch=pacq`
+    /// accepts exactly what `--arch pacq` does).
+    pub fn apply(&mut self, specs: &[ParamSpec]) -> PacqResult<()> {
+        for spec in specs {
+            if spec.values.is_empty() {
+                return Err(err(format!(
+                    "--param {}: dse wants values, e.g. --param {}=...",
+                    spec.name, spec.name
+                )));
+            }
+            let values = &spec.values;
+            match spec.name.as_str() {
+                "batch" => {
+                    self.batch = values
+                        .iter()
+                        .map(|v| {
+                            let m: usize = v
+                                .parse()
+                                .map_err(|_| err(format!("--param batch: bad batch `{v}`")))?;
+                            if m == 0 || !m.is_multiple_of(16) {
+                                return Err(err(format!(
+                                    "--param batch: batch `{v}` must be a non-zero multiple of 16"
+                                )));
+                            }
+                            Ok(m)
+                        })
+                        .collect::<PacqResult<Vec<usize>>>()?;
+                }
+                "arch" => {
+                    self.arch = values
+                        .iter()
+                        .map(|v| crate::cli::parse_arch(v))
+                        .collect::<PacqResult<Vec<Architecture>>>()?;
+                }
+                "precision" => {
+                    self.precision = values
+                        .iter()
+                        .map(|v| crate::cli::parse_precision(v))
+                        .collect::<PacqResult<Vec<WeightPrecision>>>()?;
+                }
+                "width" => {
+                    self.width = values
+                        .iter()
+                        .map(|v| match v.parse() {
+                            Ok(w @ (4 | 8 | 16)) => Ok(w),
+                            _ => Err(err(format!("--param width: `{v}` must be 4, 8 or 16"))),
+                        })
+                        .collect::<PacqResult<Vec<usize>>>()?;
+                }
+                "dup" => {
+                    self.dup = values
+                        .iter()
+                        .map(|v| match v.parse() {
+                            Ok(d @ (1 | 2 | 4)) => Ok(d),
+                            _ => Err(err(format!("--param dup: `{v}` must be 1, 2 or 4"))),
+                        })
+                        .collect::<PacqResult<Vec<usize>>>()?;
+                }
+                "group" => {
+                    self.group = values
+                        .iter()
+                        .map(|v| crate::cli::parse_group(v))
+                        .collect::<PacqResult<Vec<GroupShape>>>()?;
+                }
+                other => {
+                    return Err(err(format!(
+                        "--param {other}: unknown dse axis (batch, arch, precision, width, dup, group)"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One dse design point: a full (workload × architecture × datapath ×
+/// group) coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseJob {
+    /// The architecture (dataflow) to simulate.
+    pub arch: Architecture,
+    /// The workload (batch × layer × precision).
+    pub workload: Workload,
+    /// DP width for this point.
+    pub width: usize,
+    /// Adder-tree duplication for this point.
+    pub dup: usize,
+    /// Quantization group geometry for this point.
+    pub group: GroupShape,
+}
+
+impl DseJob {
+    /// The job's stable id — checkpoint line format, newline-free.
+    pub fn id(&self) -> String {
+        format!(
+            "b{}:{}:{}:w{}:d{}:{}",
+            self.workload.shape.m,
+            pacq_cache::arch_token(self.arch),
+            pacq_cache::precision_token(self.workload.precision),
+            self.width,
+            self.dup,
+            self.group,
+        )
+    }
+}
+
+/// A fully enumerated dse search with a content digest binding
+/// checkpoints to it.
+#[derive(Debug, Clone)]
+pub struct DsePlan {
+    jobs: Vec<DseJob>,
+}
+
+impl DsePlan {
+    /// Enumerates the axis product over an `n×k` layer, nesting (outer
+    /// to inner) batch, arch, precision, width, dup, group.
+    pub fn enumerate(axes: &DseAxes, n: usize, k: usize) -> DsePlan {
+        let mut jobs = Vec::new();
+        for &m in &axes.batch {
+            for &arch in &axes.arch {
+                for &precision in &axes.precision {
+                    for &width in &axes.width {
+                        for &dup in &axes.dup {
+                            for &group in &axes.group {
+                                jobs.push(DseJob {
+                                    arch,
+                                    workload: Workload::new(GemmShape::new(m, n, k), precision),
+                                    width,
+                                    dup,
+                                    group,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        DsePlan { jobs }
+    }
+
+    /// The search's jobs in enumeration order.
+    pub fn jobs(&self) -> &[DseJob] {
+        &self.jobs
+    }
+
+    /// A digest over every job id (order-sensitive).
+    pub fn digest(&self) -> String {
+        let ids: Vec<String> = self.jobs.iter().map(DseJob::id).collect();
+        grid_digest(&ids.join("\n"))
+    }
+
+    /// The checkpoint binding: this search's digest plus the *base*
+    /// runner's full provenance (machine, template identity, backend —
+    /// see [`crate::sweep::SweepPlan::binding_digest`] for why job ids
+    /// alone under-bind). Per-job width/dup/group variations are
+    /// already in the job ids.
+    pub fn binding_digest(&self, base: &GemmRunner) -> String {
+        grid_digest(&format!(
+            "{grid}\n{provenance}",
+            grid = self.digest(),
+            provenance = base.provenance()
+        ))
+    }
+}
+
+/// One completed (or checkpoint-skipped) dse row.
+#[derive(Debug, Clone)]
+pub struct DseRow {
+    /// The design point this row answers.
+    pub job: DseJob,
+    /// The report, or `None` when the checkpoint already records the
+    /// job as done.
+    pub report: Option<GemmReport>,
+}
+
+/// The result of [`run_dse`]: rows in enumeration order (restricted to
+/// this shard) plus the selection/skip/execution tally.
+#[derive(Debug, Clone)]
+pub struct DseOutcome {
+    /// This shard's rows, in enumeration order.
+    pub rows: Vec<DseRow>,
+    /// Selection/skip/execution accounting.
+    pub tally: SweepTally,
+}
+
+/// Runs `plan` against the base runner, deriving each job's runner by
+/// overriding the datapath knobs (width, dup) and group geometry on the
+/// base — the base's machine capacities, energy model, template
+/// identity, cache handle and backend all carry over, so cache keys and
+/// the checkpoint binding see the template behind every point.
+///
+/// # Errors
+///
+/// Returns the first failing job's error in enumeration order, or a
+/// checkpoint I/O error.
+pub fn run_dse(
+    base: &GemmRunner,
+    plan: &DsePlan,
+    shard: Shard,
+    checkpoint: Option<&SweepCheckpoint>,
+) -> PacqResult<DseOutcome> {
+    let _span = pacq_trace::span("core.dse");
+    let mut tally = SweepTally {
+        total: plan.jobs().len(),
+        ..SweepTally::default()
+    };
+
+    let mut skipped_rows = Vec::new();
+    let mut to_run = Vec::new();
+    for (index, job) in plan.jobs().iter().enumerate() {
+        if !shard.selects(index) {
+            continue;
+        }
+        tally.selected += 1;
+        if checkpoint.is_some_and(|c| c.is_done(&job.id())) {
+            tally.skipped += 1;
+            skipped_rows.push((
+                index,
+                DseRow {
+                    job: *job,
+                    report: None,
+                },
+            ));
+        } else {
+            tally.executed += 1;
+            to_run.push((index, *job));
+        }
+    }
+
+    let reports: Vec<PacqResult<(usize, DseRow)>> = to_run
+        .into_par_iter()
+        .map(|(index, job)| {
+            let mut cfg = *base.config();
+            cfg.dp_width = job.width;
+            cfg.adder_tree_duplication = job.dup;
+            let runner = base.clone().with_config(cfg).with_group(job.group);
+            let report = runner.analyze(job.arch, job.workload)?;
+            if let Some(c) = checkpoint {
+                c.mark_done(&job.id())?;
+            }
+            Ok((
+                index,
+                DseRow {
+                    job,
+                    report: Some(report),
+                },
+            ))
+        })
+        .collect();
+
+    let mut rows = reports
+        .into_iter()
+        .collect::<PacqResult<Vec<(usize, DseRow)>>>()?;
+    rows.extend(skipped_rows);
+    rows.sort_by_key(|(index, _)| *index);
+
+    pacq_trace::add_counter("dse.jobs.total", tally.total as u64);
+    pacq_trace::add_counter("dse.jobs.selected", tally.selected as u64);
+    pacq_trace::add_counter("dse.jobs.skipped", tally.skipped as u64);
+    pacq_trace::add_counter("dse.jobs.executed", tally.executed as u64);
+
+    Ok(DseOutcome {
+        rows: rows.into_iter().map(|(_, row)| row).collect(),
+        tally,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::parse_params;
+    use crate::sweep::{run_sweep, SweepPlan};
+
+    fn default_axes() -> DseAxes {
+        DseAxes::defaults(4, 2, GroupShape::G128)
+    }
+
+    #[test]
+    fn default_axes_reproduce_the_grid_sweep_bit_for_bit() {
+        // The reproduction contract: a flag-less dse over the builtin
+        // machine enumerates exactly the sweep --param grid jobs and
+        // prices them identically.
+        let runner = GemmRunner::new();
+        let plan = DsePlan::enumerate(&default_axes(), 256, 256);
+        let grid = SweepPlan::batch_grid(256, 256);
+        assert_eq!(plan.jobs().len(), grid.jobs().len());
+
+        let dse = run_dse(&runner, &plan, Shard::FULL, None).unwrap();
+        let sweep = run_sweep(&runner, &grid, Shard::FULL, None).unwrap();
+        for (d, s) in dse.rows.iter().zip(&sweep.rows) {
+            let (dr, sr) = (d.report.as_ref().unwrap(), s.report.as_ref().unwrap());
+            assert_eq!(d.job.arch, s.job.arch);
+            assert_eq!(d.job.workload, s.job.workload);
+            assert_eq!(dr.stats, sr.stats);
+            assert_eq!(dr.edp_pj_s.to_bits(), sr.edp_pj_s.to_bits());
+            assert_eq!(
+                dr.total_energy_pj().to_bits(),
+                sr.total_energy_pj().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn params_reshape_the_axes() {
+        let mut axes = default_axes();
+        let specs = parse_params(&[
+            "batch=16,32".to_string(),
+            "arch=pacq".to_string(),
+            "width=4,8".to_string(),
+            "dup=1,4".to_string(),
+            "group=g64".to_string(),
+        ])
+        .unwrap();
+        axes.apply(&specs).unwrap();
+        assert_eq!(axes.batch, [16, 32]);
+        assert_eq!(axes.arch, [Architecture::Pacq]);
+        assert_eq!(axes.width, [4, 8]);
+        assert_eq!(axes.dup, [1, 4]);
+        let plan = DsePlan::enumerate(&axes, 256, 256);
+        // 2 batches × 1 arch × 2 precisions × 2 widths × 2 dups × 1 group.
+        assert_eq!(plan.jobs().len(), 16);
+        // Ids are unique and carry every coordinate.
+        let mut ids: Vec<String> = plan.jobs().iter().map(DseJob::id).collect();
+        assert!(ids[0].starts_with("b16:pacq:int4:w4:d1:g64"), "{}", ids[0]);
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn bad_axis_specs_are_usage_errors() {
+        for spec in [
+            "batch",          // bare name: dse wants values
+            "batch=15",       // not 16-aligned
+            "batch=0",        // zero
+            "width=5",        // out of domain
+            "dup=3",          // out of domain
+            "arch=quantum",   // unknown arch
+            "precision=int5", // unknown precision
+            "group=h128",     // unknown group
+            "tile=4",         // unknown axis
+        ] {
+            let mut axes = default_axes();
+            let specs = parse_params(&[spec.to_string()]).unwrap();
+            let e = axes.apply(&specs).unwrap_err();
+            assert!(e.is_usage(), "{spec}: {e}");
+            assert_eq!(e.exit_code(), 2, "{spec}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_binding_covers_the_base_runner() {
+        use pacq_fp16::Backend;
+        let path =
+            std::env::temp_dir().join(format!("pacq-dse-binding-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let plan = DsePlan::enumerate(&default_axes(), 256, 256);
+        let base = GemmRunner::new();
+        drop(SweepCheckpoint::open(&path, &plan.binding_digest(&base)).unwrap());
+
+        for other in [
+            GemmRunner::new().with_backend(Backend::Batched),
+            GemmRunner::new().with_template_digest("deadbeef"),
+        ] {
+            let e = SweepCheckpoint::open(&path, &plan.binding_digest(&other)).unwrap_err();
+            assert_eq!(e.exit_code(), 4, "{e}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_resume_skips_done_jobs() {
+        let path =
+            std::env::temp_dir().join(format!("pacq-dse-resume-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut axes = default_axes();
+        axes.batch = vec![16, 32];
+        let plan = DsePlan::enumerate(&axes, 256, 256);
+        let base = GemmRunner::new();
+
+        {
+            let ckpt = SweepCheckpoint::open(&path, &plan.binding_digest(&base)).unwrap();
+            let first = run_dse(&base, &plan, Shard { index: 1, count: 2 }, Some(&ckpt)).unwrap();
+            assert_eq!(first.tally.executed, first.tally.selected);
+        }
+        let ckpt = SweepCheckpoint::open(&path, &plan.binding_digest(&base)).unwrap();
+        let again = run_dse(&base, &plan, Shard { index: 1, count: 2 }, Some(&ckpt)).unwrap();
+        assert_eq!(again.tally.executed, 0);
+        assert_eq!(again.tally.skipped, again.tally.selected);
+        // The other shard's jobs are untouched by that checkpoint.
+        let other = run_dse(&base, &plan, Shard { index: 2, count: 2 }, Some(&ckpt)).unwrap();
+        assert_eq!(other.tally.skipped, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -56,15 +56,18 @@
 
 pub mod backend;
 pub mod cli;
+pub mod dse;
 pub mod llama;
 pub mod loadgen;
 pub mod par;
+pub mod params;
 pub mod report;
 pub mod roofline;
 pub mod runner;
 pub mod serve;
 pub mod sweep;
 
+pub use dse::{run_dse, DseAxes, DseJob, DseOutcome, DsePlan, DseRow};
 pub use report::{Comparison, GemmReport};
 pub use runner::GemmRunner;
 pub use serve::{ServeOptions, ServeSummary, Server};
@@ -75,6 +78,10 @@ pub use sweep::{run_sweep, SweepJob, SweepOutcome, SweepPlan, SweepRow, SweepTal
 pub use pacq_cache::{
     CacheKey, CacheStats, CachedReport, ReportCache, Shard, SweepCheckpoint, VerifyOutcome,
 };
+
+// The declarative architecture-template layer (`pacq-arch/v1`,
+// `--arch-template`, `pacq dse`; DESIGN.md §18).
+pub use pacq_arch::{ArchTemplate, Dataflow, Packing, TEMPLATE_SCHEMA};
 
 // The workspace-wide typed error layer (DESIGN.md §10).
 pub use pacq_error::{ArtifactError, PacqError, PacqResult};

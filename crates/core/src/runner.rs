@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use crate::report::GemmReport;
-use pacq_cache::{arch_token, CacheKey, CachedReport, ReportCache};
+use pacq_cache::{arch_token, config_canonical, CacheKey, CachedReport, ReportCache};
 use pacq_error::PacqResult;
 use pacq_fp16::{Backend, NumericsMode, WeightPrecision};
 use pacq_quant::{GroupShape, MatrixF16, MatrixF32, PackDim, PackedMatrix, RtnQuantizer};
@@ -38,6 +38,14 @@ pub struct GemmRunner {
     backend: Backend,
     cache: Option<Arc<ReportCache>>,
     record_results: bool,
+    /// Explicit per-level energy model (from an architecture template).
+    /// `None` means the capacity-derived defaults of
+    /// [`EnergyModel::new`].
+    energy: Option<EnergyModel>,
+    /// Content digest of the architecture template this runner was built
+    /// from, if any. Folded into [`GemmRunner::arch_id`] so cache
+    /// entries and checkpoints are bound to the template's content.
+    template_digest: Option<String>,
 }
 
 impl GemmRunner {
@@ -51,12 +59,32 @@ impl GemmRunner {
             backend: Backend::Scalar,
             cache: None,
             record_results: true,
+            energy: None,
+            template_digest: None,
         }
     }
 
     /// Replaces the machine configuration.
     pub fn with_config(mut self, config: SmConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Replaces the energy model with explicit per-level SRAM models (an
+    /// architecture template's energy overrides). Without this, pricing
+    /// uses the capacity-derived [`EnergyModel::new`] defaults.
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = Some(energy);
+        self
+    }
+
+    /// Records the content digest of the architecture template this
+    /// runner was configured from. The digest becomes part of
+    /// [`GemmRunner::arch_id`], so editing the template invalidates
+    /// cache entries and checkpoint bindings even when the edit happens
+    /// to leave every `SmConfig` field unchanged.
+    pub fn with_template_digest(mut self, digest: impl Into<String>) -> Self {
+        self.template_digest = Some(digest.into());
         self
     }
 
@@ -169,11 +197,21 @@ impl GemmRunner {
         Ok(report)
     }
 
+    /// The energy model pricing this runner's reports: the template's
+    /// explicit per-level model when one is attached, otherwise the
+    /// capacity-derived defaults for this configuration.
+    pub fn energy_model(&self) -> EnergyModel {
+        match &self.energy {
+            Some(model) => model.clone(),
+            None => EnergyModel::new(&self.config),
+        }
+    }
+
     /// Simulates and prices one point (the uncached core of
     /// [`GemmRunner::analyze`]).
     fn price(&self, arch: Architecture, workload: Workload) -> PacqResult<GemmReport> {
         let stats = simulate(arch, workload, &self.config, self.group)?;
-        let model = EnergyModel::new(&self.config);
+        let model = self.energy_model();
         let energy = model.energy(arch, &self.config, &stats);
         let edp_pj_s = model.edp(&energy, &stats);
         let report = GemmReport {
@@ -189,21 +227,75 @@ impl GemmRunner {
         Ok(report)
     }
 
-    /// The content address of one analysis point under this runner: the
-    /// machine configuration, the workload, and a dataflow string that
-    /// folds in everything else report-shaping — architecture token,
-    /// group geometry, numerics mode.
-    pub fn cache_key(&self, arch: Architecture, workload: Workload) -> CacheKey {
-        let numerics = match self.numerics {
+    /// The identity of the architecture *definition* behind this runner:
+    /// the template content digest (or `builtin` for the hardcoded
+    /// configurations) plus the resolved per-level access energies of the
+    /// effective energy model, as exact bit patterns.
+    ///
+    /// This is the cache-correctness linchpin for templates: `SmConfig`
+    /// does not carry access energies, so two templates sharing every
+    /// config field but differing in one `access_energy_pj_per_word16`
+    /// produce identical `SmConfig`s — and before this segment existed
+    /// they collided into one cache entry and one checkpoint binding.
+    pub fn arch_id(&self) -> String {
+        let source = match &self.template_digest {
+            Some(digest) => format!("tpl:{digest}"),
+            None => "builtin".to_string(),
+        };
+        format!("{source};em={}", self.energy_model().energy_canonical())
+    }
+
+    /// The full provenance string of this runner for checkpoint binding:
+    /// the canonical machine configuration, group geometry, numerics
+    /// mode, architecture identity ([`GemmRunner::arch_id`]) and compute
+    /// backend. A sweep/dse checkpoint digests this together with the
+    /// job grid, so resuming under a different machine, template or
+    /// backend is a typed mismatch instead of a silent skip.
+    ///
+    /// The backend is deliberately part of provenance but *not* of
+    /// [`GemmRunner::cache_key`]: backends are bit-identical per point
+    /// (cache entries are shareable), but a resumed run's manifest
+    /// records one backend for the whole run, so a checkpoint must not
+    /// splice two backends into one run.
+    pub fn provenance(&self) -> String {
+        format!(
+            "{cfg};group={group};numerics={numerics};arch={arch};backend={backend}",
+            cfg = config_canonical(&self.config),
+            group = self.group,
+            numerics = self.numerics_token(),
+            arch = self.arch_id(),
+            backend = match self.backend {
+                Backend::Scalar => "scalar",
+                Backend::Batched => "batched",
+            },
+        )
+    }
+
+    fn numerics_token(&self) -> &'static str {
+        match self.numerics {
             NumericsMode::PaperRounded => "rounded",
             NumericsMode::Wide => "wide",
-        };
-        let dataflow = format!("{}:{}:{}", arch_token(arch), self.group, numerics);
+        }
+    }
+
+    /// The content address of one analysis point under this runner: the
+    /// machine configuration, the workload, a dataflow string that folds
+    /// in everything else report-shaping — architecture token, group
+    /// geometry, numerics mode — and the architecture identity
+    /// ([`GemmRunner::arch_id`]).
+    pub fn cache_key(&self, arch: Architecture, workload: Workload) -> CacheKey {
+        let dataflow = format!(
+            "{}:{}:{}",
+            arch_token(arch),
+            self.group,
+            self.numerics_token()
+        );
         CacheKey::new(
             &self.config,
             workload.shape,
             workload.precision.bits(),
             &dataflow,
+            &self.arch_id(),
         )
     }
 
@@ -370,6 +462,86 @@ mod tests {
             .cache_key(Architecture::Pacq, wl);
         assert_ne!(base, group);
         assert_ne!(base, numerics);
+    }
+
+    #[test]
+    fn cache_key_covers_energy_overrides_and_template_digest() {
+        // The key-binding regression: two runners with identical
+        // SmConfigs but different per-level access energies (two
+        // templates differing in one energy) must never share an entry.
+        use pacq_energy::{MemoryKind, SramModel};
+        let wl = Workload::new(GemmShape::new(16, 512, 512), WeightPrecision::Int4);
+        let base = GemmRunner::new();
+        let cfg = base.config().clone();
+        let bumped = EnergyModel::with_levels(
+            SramModel::with_access_energy(
+                MemoryKind::RegisterFile,
+                cfg.register_file_bytes,
+                SramModel::volta_register_file().energy_per_word16_pj() * 1.5,
+            )
+            .unwrap(),
+            SramModel::new(MemoryKind::Cache, cfg.l1_bytes),
+            SramModel::dram(),
+            SramModel::volta_operand_buffer(),
+            cfg.clock_hz,
+        );
+        let overridden = GemmRunner::new().with_energy_model(bumped);
+        assert_ne!(
+            base.cache_key(Architecture::Pacq, wl),
+            overridden.cache_key(Architecture::Pacq, wl),
+            "an access-energy edit must change the cache key"
+        );
+
+        // A template digest alone (same resolved config and energies)
+        // still separates entries: template content is authoritative.
+        let tagged = GemmRunner::new().with_template_digest("deadbeef");
+        assert_ne!(
+            base.cache_key(Architecture::Pacq, wl),
+            tagged.cache_key(Architecture::Pacq, wl)
+        );
+        assert!(tagged.arch_id().starts_with("tpl:deadbeef;em="));
+        assert!(base.arch_id().starts_with("builtin;em="));
+    }
+
+    #[test]
+    fn provenance_covers_machine_group_numerics_arch_and_backend() {
+        let base = GemmRunner::new();
+        let variants = [
+            GemmRunner::new().with_group(GroupShape::along_k(32)),
+            GemmRunner::new().with_numerics(NumericsMode::Wide),
+            GemmRunner::new().with_backend(Backend::Batched),
+            GemmRunner::new().with_template_digest("deadbeef"),
+            GemmRunner::new().with_config(SmConfig {
+                adder_tree_duplication: 4,
+                ..SmConfig::volta_like()
+            }),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(
+                base.provenance(),
+                v.provenance(),
+                "provenance variant {i} not bound"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_default_energy_model_prices_bit_identically() {
+        // A template with no energy overrides resolves to the same
+        // levels as EnergyModel::new — reports must match to the bit.
+        let wl = Workload::new(GemmShape::new(16, 512, 512), WeightPrecision::Int4);
+        let base = GemmRunner::new();
+        let explicit = GemmRunner::new().with_energy_model(EnergyModel::new(base.config()));
+        let a = base.analyze(Architecture::Pacq, wl).unwrap();
+        let b = explicit.analyze(Architecture::Pacq, wl).unwrap();
+        assert_eq!(a.edp_pj_s.to_bits(), b.edp_pj_s.to_bits());
+        assert_eq!(a.total_energy_pj().to_bits(), b.total_energy_pj().to_bits());
+        // And they share a cache key, because the resolved energies are
+        // identical (the em= segment matches).
+        assert_eq!(
+            base.cache_key(Architecture::Pacq, wl),
+            explicit.cache_key(Architecture::Pacq, wl)
+        );
     }
 
     #[test]

@@ -106,6 +106,27 @@ impl SweepPlan {
         let ids: Vec<String> = self.jobs.iter().map(SweepJob::id).collect();
         grid_digest(&ids.join("\n"))
     }
+
+    /// The digest a checkpoint file is bound to: the grid digest plus
+    /// the full provenance of the runner executing it
+    /// ([`GemmRunner::provenance`] — machine configuration, group
+    /// geometry, numerics mode, architecture template identity and
+    /// compute backend).
+    ///
+    /// [`SweepPlan::digest`] alone only covers job ids, so a checkpoint
+    /// written under one machine could silently satisfy a resume under
+    /// another (different `--dup`, an edited template, a different
+    /// backend) — the resumed run would skip every job and splice rows
+    /// priced by two different machines into one table. Binding the
+    /// runner makes that a typed [`pacq_error::PacqError::InvalidInput`]
+    /// at open time instead.
+    pub fn binding_digest(&self, runner: &GemmRunner) -> String {
+        grid_digest(&format!(
+            "{grid}\n{provenance}",
+            grid = self.digest(),
+            provenance = runner.provenance()
+        ))
+    }
 }
 
 /// One completed (or skipped) row of a sweep run.
@@ -281,16 +302,52 @@ mod tests {
         let runner = GemmRunner::new();
 
         let first = {
-            let ckpt = SweepCheckpoint::open(&path, &plan.digest()).unwrap();
+            let ckpt = SweepCheckpoint::open(&path, &plan.binding_digest(&runner)).unwrap();
             run_sweep(&runner, &plan, Shard::FULL, Some(&ckpt)).unwrap()
         };
         assert_eq!(first.tally.executed, plan.jobs().len());
 
-        let ckpt = SweepCheckpoint::open(&path, &plan.digest()).unwrap();
+        let ckpt = SweepCheckpoint::open(&path, &plan.binding_digest(&runner)).unwrap();
         let second = run_sweep(&runner, &plan, Shard::FULL, Some(&ckpt)).unwrap();
         assert_eq!(second.tally.executed, 0);
         assert_eq!(second.tally.skipped, plan.jobs().len());
         assert!(second.rows.iter().all(|r| r.report.is_none()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_binding_covers_runner_provenance() {
+        // The checkpoint-binding regression: a checkpoint written under
+        // one (grid × machine × template × backend) must refuse to
+        // resume under any other, with a typed error — not silently
+        // skip jobs priced by a different machine.
+        use pacq_fp16::Backend;
+        let path =
+            std::env::temp_dir().join(format!("pacq-sweep-binding-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let plan = SweepPlan::batch_grid(256, 256);
+        let runner = GemmRunner::new();
+        drop(SweepCheckpoint::open(&path, &plan.binding_digest(&runner)).unwrap());
+
+        let variants = [
+            GemmRunner::new().with_backend(Backend::Batched),
+            GemmRunner::new().with_template_digest("deadbeef"),
+            GemmRunner::new().with_config(pacq_simt::SmConfig {
+                adder_tree_duplication: 4,
+                ..pacq_simt::SmConfig::volta_like()
+            }),
+        ];
+        for (i, other) in variants.iter().enumerate() {
+            let digest = plan.binding_digest(other);
+            assert_ne!(digest, plan.binding_digest(&runner), "variant {i}");
+            let err = SweepCheckpoint::open(&path, &digest).unwrap_err();
+            assert_eq!(err.exit_code(), 4, "variant {i}: {err}");
+            assert!(err.to_string().contains("checkpoint"), "variant {i}: {err}");
+        }
+
+        // And a different grid over the same runner also refuses.
+        let other_grid = SweepPlan::batch_grid(512, 512);
+        assert!(SweepCheckpoint::open(&path, &other_grid.binding_digest(&runner)).is_err());
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -13,6 +13,8 @@
 
 use core::fmt;
 
+use pacq_error::{PacqError, PacqResult};
+
 /// Kind of memory structure, selecting the access-overhead factor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryKind {
@@ -101,6 +103,42 @@ impl SramModel {
         }
     }
 
+    /// Creates a model with an **explicit** per-word16 access energy,
+    /// overriding the capacity-derived analytical formula. This is the
+    /// constructor the `pacq-arch/v1` template layer uses when a level
+    /// declares `access_energy_pj_per_word16`: CACTI-style numbers from
+    /// another technology node can be dropped in without re-deriving
+    /// the base coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Template`] if the energy is not a positive
+    /// finite number, or if an on-chip structure declares a zero
+    /// capacity (DRAM is modeled as unbounded and passes 0).
+    pub fn with_access_energy(
+        kind: MemoryKind,
+        capacity_bytes: u64,
+        pj_per_word16: f64,
+    ) -> PacqResult<Self> {
+        if !(pj_per_word16 > 0.0 && pj_per_word16.is_finite()) {
+            return Err(PacqError::template(
+                "SramModel::with_access_energy",
+                format!("{kind}: access energy must be positive and finite, got {pj_per_word16}"),
+            ));
+        }
+        if capacity_bytes == 0 && kind != MemoryKind::Dram {
+            return Err(PacqError::template(
+                "SramModel::with_access_energy",
+                format!("{kind}: capacity must be non-zero for an on-chip structure"),
+            ));
+        }
+        Ok(SramModel {
+            kind,
+            capacity_bytes,
+            energy_per_word16_pj: pj_per_word16,
+        })
+    }
+
     /// The Volta-like 256 KB per-SM register file of Table I.
     pub fn volta_register_file() -> Self {
         SramModel::new(MemoryKind::RegisterFile, 256 * 1024)
@@ -129,6 +167,14 @@ impl SramModel {
     /// Capacity in bytes (0 for DRAM, which is modeled as unbounded).
     pub fn capacity_bytes(&self) -> u64 {
         self.capacity_bytes
+    }
+
+    /// The resolved access energy of one 16-bit word, in pJ — the
+    /// level's identity in cache keys: two models with equal kinds and
+    /// capacities but different energies price reports differently and
+    /// must never share a content address.
+    pub fn energy_per_word16_pj(&self) -> f64 {
+        self.energy_per_word16_pj
     }
 
     /// Energy of one read of `bits` bits, in pJ.
@@ -191,5 +237,33 @@ mod tests {
     #[should_panic(expected = "capacity must be non-zero")]
     fn zero_capacity_rejected() {
         SramModel::new(MemoryKind::Cache, 0);
+    }
+
+    #[test]
+    fn explicit_access_energy_overrides_the_formula() {
+        let rf = SramModel::with_access_energy(MemoryKind::RegisterFile, 256 * 1024, 1.25)
+            .expect("valid override");
+        assert_eq!(rf.energy_per_word16_pj(), 1.25);
+        assert_eq!(rf.capacity_bytes(), 256 * 1024);
+        assert!((rf.read_energy_pj(32) - 2.5).abs() < 1e-12);
+        // The derived default stays reachable through the getter, so the
+        // template layer can render resolved energies bit-exactly.
+        let derived = SramModel::volta_register_file();
+        assert_eq!(
+            derived.read_energy_pj(16).to_bits(),
+            derived.energy_per_word16_pj().to_bits()
+        );
+    }
+
+    #[test]
+    fn bad_access_energy_is_a_typed_template_error() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = SramModel::with_access_energy(MemoryKind::Cache, 1024, bad).unwrap_err();
+            assert_eq!(err.exit_code(), 9, "{bad}: {err}");
+        }
+        let err = SramModel::with_access_energy(MemoryKind::Cache, 0, 1.0).unwrap_err();
+        assert_eq!(err.exit_code(), 9, "{err}");
+        // DRAM is unbounded: zero capacity is its documented shape.
+        assert!(SramModel::with_access_energy(MemoryKind::Dram, 0, 42.0).is_ok());
     }
 }

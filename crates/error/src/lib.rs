@@ -17,6 +17,7 @@
 //! | 6 | filesystem / OS | [`PacqError::Io`] |
 //! | 7 | audit divergence | [`PacqError::AuditMismatch`] |
 //! | 8 | serve protocol | [`PacqError::Protocol`], [`PacqError::QueueFull`], [`PacqError::RateLimited`] |
+//! | 9 | architecture template | [`PacqError::Template`] |
 //!
 //! The no-panic contract is enforced statically — the library crates
 //! deny `clippy::unwrap_used` / `expect_used` / `panic` outside tests —
@@ -168,6 +169,18 @@ pub enum PacqError {
         /// The burst allowance (bucket capacity) that was exhausted.
         burst: u64,
     },
+    /// A declarative architecture template (`pacq-arch/v1`) failed
+    /// validation: wrong schema tag, a malformed or unknown field, an
+    /// inconsistent memory hierarchy (e.g. an L1 cheaper to read than
+    /// the register file), or a dataflow/packing combination the
+    /// simulator does not model. Produced by `pacq_arch::ArchTemplate`;
+    /// the CLI maps it to exit code 9.
+    Template {
+        /// The template file or API that rejected the input.
+        context: String,
+        /// What the schema contract is and what was received.
+        message: String,
+    },
     /// The self-audit found two models of the same run disagreeing:
     /// an event-replay counter diverged from its analytic closed form,
     /// or an energy total from its component BOM sum.
@@ -208,6 +221,14 @@ impl PacqError {
         }
     }
 
+    /// Convenience constructor for [`PacqError::Template`].
+    pub fn template(context: impl Into<String>, message: impl Into<String>) -> Self {
+        PacqError::Template {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
     /// The process exit code the CLI uses for this error class.
     ///
     /// Distinct nonzero codes per class so scripted callers can tell a
@@ -229,6 +250,7 @@ impl PacqError {
             PacqError::Protocol { .. }
             | PacqError::QueueFull { .. }
             | PacqError::RateLimited { .. } => 8,
+            PacqError::Template { .. } => 9,
         }
     }
 
@@ -251,6 +273,7 @@ impl PacqError {
             PacqError::Protocol { .. } => "protocol",
             PacqError::QueueFull { .. } => "queue_full",
             PacqError::RateLimited { .. } => "rate_limited",
+            PacqError::Template { .. } => "template",
         }
     }
 
@@ -303,6 +326,9 @@ impl fmt::Display for PacqError {
                 f,
                 "client exceeded admission rate ({rate} req/s, burst {burst}); slow down and retry"
             ),
+            PacqError::Template { context, message } => {
+                write!(f, "{context}: {message}")
+            }
             PacqError::AuditMismatch {
                 counter,
                 case,
@@ -375,6 +401,10 @@ mod tests {
         assert_eq!(protocol.exit_code(), 8);
         assert_eq!(full.exit_code(), 8);
         assert_eq!(limited.exit_code(), 8);
+        let template = PacqError::template("arch.toml", "schema must be pacq-arch/v1");
+        assert_eq!(template.exit_code(), 9);
+        assert_eq!(template.class(), "template");
+        assert!(!template.is_usage());
         assert!(usage.is_usage());
         assert!(!artifact.is_usage());
         assert!(!audit.is_usage());

@@ -57,6 +57,49 @@ impl EnergyModel {
         }
     }
 
+    /// Builds the model from **explicit** per-level SRAM models — the
+    /// constructor the `pacq-arch/v1` template layer uses when a
+    /// template overrides per-level access energies. [`EnergyModel::new`]
+    /// is exactly `with_levels` over the capacity-derived defaults, so a
+    /// template that declares no energy overrides prices bit-identically
+    /// to the hardcoded configuration.
+    pub fn with_levels(
+        rf: SramModel,
+        l1: SramModel,
+        dram: SramModel,
+        buffer: SramModel,
+        clock_hz: f64,
+    ) -> Self {
+        EnergyModel {
+            rf,
+            l1,
+            dram,
+            buffer,
+            clock_hz,
+        }
+    }
+
+    /// The memory levels in hierarchy order (operand buffer, register
+    /// file, L1, DRAM).
+    pub fn levels(&self) -> [&SramModel; 4] {
+        [&self.buffer, &self.rf, &self.l1, &self.dram]
+    }
+
+    /// The canonical identity string of this model's resolved per-level
+    /// access energies (exact f64 bit patterns). Folded into cache keys:
+    /// two models that price any level differently — even by one ulp —
+    /// must never share a content address, whatever configuration or
+    /// template produced them.
+    pub fn energy_canonical(&self) -> String {
+        format!(
+            "buf{:016x},rf{:016x},l1{:016x},dram{:016x}",
+            self.buffer.energy_per_word16_pj().to_bits(),
+            self.rf.energy_per_word16_pj().to_bits(),
+            self.l1.energy_per_word16_pj().to_bits(),
+            self.dram.energy_per_word16_pj().to_bits(),
+        )
+    }
+
     /// The tensor-core unit active on this architecture.
     pub fn tensor_core_unit(arch: Architecture, config: &SmConfig) -> GemmUnit {
         match arch {
@@ -138,6 +181,56 @@ mod tests {
         let model = EnergyModel::new(&cfg);
         let report = model.energy(arch, &cfg, &stats);
         model.edp(&report, &stats)
+    }
+
+    #[test]
+    fn with_levels_over_defaults_is_identical_to_new() {
+        let cfg = SmConfig::volta_like();
+        let auto = EnergyModel::new(&cfg);
+        let explicit = EnergyModel::with_levels(
+            SramModel::new(
+                pacq_energy::MemoryKind::RegisterFile,
+                cfg.register_file_bytes,
+            ),
+            SramModel::new(pacq_energy::MemoryKind::Cache, cfg.l1_bytes),
+            SramModel::dram(),
+            SramModel::volta_operand_buffer(),
+            cfg.clock_hz,
+        );
+        assert_eq!(auto.energy_canonical(), explicit.energy_canonical());
+        let stats = simulate(
+            Architecture::Pacq,
+            Workload::new(GemmShape::new(16, 256, 256), WeightPrecision::Int4),
+            &cfg,
+            GroupShape::G128,
+        )
+        .unwrap();
+        let a = auto.energy(Architecture::Pacq, &cfg, &stats);
+        let b = explicit.energy(Architecture::Pacq, &cfg, &stats);
+        assert_eq!(a.total_pj().to_bits(), b.total_pj().to_bits());
+        assert_eq!(
+            auto.edp(&a, &stats).to_bits(),
+            explicit.edp(&b, &stats).to_bits()
+        );
+    }
+
+    #[test]
+    fn energy_canonical_distinguishes_one_level_edits() {
+        let cfg = SmConfig::volta_like();
+        let base = EnergyModel::new(&cfg);
+        let bumped = EnergyModel::with_levels(
+            SramModel::with_access_energy(
+                pacq_energy::MemoryKind::RegisterFile,
+                cfg.register_file_bytes,
+                base.levels()[1].energy_per_word16_pj() * (1.0 + 1e-12),
+            )
+            .unwrap(),
+            *base.levels()[2],
+            *base.levels()[3],
+            *base.levels()[0],
+            cfg.clock_hz,
+        );
+        assert_ne!(base.energy_canonical(), bumped.energy_canonical());
     }
 
     #[test]

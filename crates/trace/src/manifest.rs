@@ -38,6 +38,7 @@ pub struct RunManifest {
     jobs: Option<usize>,
     effective_jobs: Option<usize>,
     backend: Option<String>,
+    arch_template: Option<String>,
     results: Vec<Json>,
     counters: Vec<(String, u64)>,
     spans: Vec<collect::SpanRecord>,
@@ -52,6 +53,7 @@ impl RunManifest {
             jobs: None,
             effective_jobs: None,
             backend: None,
+            arch_template: None,
             results: Vec::new(),
             counters: Vec::new(),
             spans: Vec::new(),
@@ -77,6 +79,14 @@ impl RunManifest {
     /// backends produce bit-identical results.
     pub fn with_backend(mut self, backend: impl Into<String>) -> Self {
         self.backend = Some(backend.into());
+        self
+    }
+
+    /// Records the content digest of the `--arch-template` file the run
+    /// simulated under — the provenance that binds the manifest's
+    /// numbers to the exact template text that produced them.
+    pub fn with_arch_template(mut self, digest: impl Into<String>) -> Self {
+        self.arch_template = Some(digest.into());
         self
     }
 
@@ -135,6 +145,9 @@ impl RunManifest {
         }
         if let Some(backend) = &self.backend {
             invocation.set("backend", Json::from(backend.as_str()));
+        }
+        if let Some(digest) = &self.arch_template {
+            invocation.set("arch_template", Json::from(digest.as_str()));
         }
         root.set("invocation", invocation);
 
@@ -241,6 +254,11 @@ pub fn validate_manifest(doc: &Json) -> PacqResult<()> {
     if let Some(v) = invocation.get("backend") {
         if v.as_str().is_none() {
             return fail("`invocation.backend` must be a string when present");
+        }
+    }
+    if let Some(v) = invocation.get("arch_template") {
+        if v.as_str().is_none() {
+            return fail("`invocation.arch_template` must be a string when present");
         }
     }
     match doc.get("results") {
@@ -363,6 +381,26 @@ mod tests {
         if let Some(invocation) = bad.get("invocation").cloned() {
             let mut invocation = invocation;
             invocation.set("backend", Json::from(2u64));
+            bad.set("invocation", invocation);
+        }
+        assert!(validate_manifest(&bad).is_err());
+    }
+
+    #[test]
+    fn arch_template_is_optional_but_typed() {
+        validate_manifest(&sample().to_json()).unwrap();
+        let doc = sample().with_arch_template("0123abcd").to_json();
+        validate_manifest(&doc).unwrap();
+        let v = doc
+            .get("invocation")
+            .and_then(|i| i.get("arch_template"))
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        assert_eq!(v.as_deref(), Some("0123abcd"));
+        let mut bad = sample().to_json();
+        if let Some(invocation) = bad.get("invocation").cloned() {
+            let mut invocation = invocation;
+            invocation.set("arch_template", Json::from(7u64));
             bad.set("invocation", invocation);
         }
         assert!(validate_manifest(&bad).is_err());
