@@ -35,8 +35,9 @@ pub enum Dataflow {
     WeightStationary,
     /// Output-stationary (the PacQ flow).
     OutputStationary,
-    /// Input-stationary — recognized by the parser so the error names
-    /// it, but no simulated architecture implements it.
+    /// Input-stationary: the activation tile held in the tensor-core
+    /// buffers across the n loop, packed-B words and C partial sums
+    /// streaming.
     InputStationary,
 }
 
@@ -179,6 +180,20 @@ impl ArchTemplate {
         }
     }
 
+    /// The committed-equivalent input-stationary design point: the Table I
+    /// machine with `P(B_x)_k` packing but the activation tile held across
+    /// the n loop — the third stationarity class the `pacq-arch/v1` schema
+    /// names, between `P(B_x)_k` (A-refetch pathology) and PacQ.
+    pub fn input_stationary() -> ArchTemplate {
+        ArchTemplate {
+            name: "input-stationary".to_string(),
+            dataflow: Dataflow::InputStationary,
+            packing: Packing::AlongK,
+            dequant: false,
+            ..ArchTemplate::volta_like()
+        }
+    }
+
     /// Parses a template from TOML or JSON text (sniffed: a document
     /// whose first non-space byte is `{` is JSON). `context` names the
     /// input (typically the file path) in every error.
@@ -216,12 +231,13 @@ impl ArchTemplate {
     /// the simulated machine without changing the digest... of the
     /// template the author *thought* they wrote).
     fn from_doc(doc: &Json, context: &str) -> PacqResult<ArchTemplate> {
-        let fail =
-            |message: String| -> PacqError { PacqError::template(context, message) };
+        let fail = |message: String| -> PacqError { PacqError::template(context, message) };
         expect_keys(
             doc,
             "",
-            &["schema", "name", "dataflow", "packing", "dequant", "compute", "memory"],
+            &[
+                "schema", "name", "dataflow", "packing", "dequant", "compute", "memory",
+            ],
             context,
         )?;
         let schema = str_of(doc, "", "schema", context)?;
@@ -235,7 +251,11 @@ impl ArchTemplate {
             "ws" => Dataflow::WeightStationary,
             "os" => Dataflow::OutputStationary,
             "is" => Dataflow::InputStationary,
-            other => return Err(fail(format!("dataflow must be ws, os or is, got `{other}`"))),
+            other => {
+                return Err(fail(format!(
+                    "dataflow must be ws, os or is, got `{other}`"
+                )))
+            }
         };
         let packing = match str_of(doc, "", "packing", context)? {
             "k" => Packing::AlongK,
@@ -329,7 +349,12 @@ impl ArchTemplate {
                     context,
                 )?,
             },
-            operand_buffer_bits: uint_of(buffer, "memory.operand_buffer.", "capacity_bits", context)?,
+            operand_buffer_bits: uint_of(
+                buffer,
+                "memory.operand_buffer.",
+                "capacity_bits",
+                context,
+            )?,
             operand_buffers: uint_of(buffer, "memory.operand_buffer.", "count", context)? as usize,
             operand_buffer_energy_pj_per_word16: opt_num_of(
                 buffer,
@@ -337,7 +362,12 @@ impl ArchTemplate {
                 "access_energy_pj_per_word16",
                 context,
             )?,
-            dram_bytes_per_cycle: num_of(dram, "memory.dram.", "bandwidth_bytes_per_cycle", context)?,
+            dram_bytes_per_cycle: num_of(
+                dram,
+                "memory.dram.",
+                "bandwidth_bytes_per_cycle",
+                context,
+            )?,
             dram_energy_pj_per_word16: opt_num_of(
                 dram,
                 "memory.dram.",
@@ -358,8 +388,7 @@ impl ArchTemplate {
     ///
     /// Returns [`PacqError::Template`] naming the first violated rule.
     pub fn validate(&self, context: &str) -> PacqResult<()> {
-        let fail =
-            |message: String| -> PacqError { PacqError::template(context, message) };
+        let fail = |message: String| -> PacqError { PacqError::template(context, message) };
         if self.name.is_empty()
             || !self
                 .name
@@ -397,7 +426,9 @@ impl ArchTemplate {
             )));
         }
         if self.operand_buffers == 0 {
-            return Err(fail("memory.operand_buffer.count must be non-zero".to_string()));
+            return Err(fail(
+                "memory.operand_buffer.count must be non-zero".to_string(),
+            ));
         }
         if self.register_file.capacity_bytes == 0 || self.l1.capacity_bytes == 0 {
             return Err(fail(
@@ -445,17 +476,13 @@ impl ArchTemplate {
             (WeightStationary, AlongK, true) => Ok(Architecture::StandardDequant),
             (WeightStationary, AlongK, false) => Ok(Architecture::PackedK),
             (OutputStationary, AlongN, false) => Ok(Architecture::Pacq),
-            (InputStationary, _, _) => Err(PacqError::template(
-                "ArchTemplate::architecture",
-                "dataflow `is` (input-stationary) is recognized but not implemented by \
-                 any simulated architecture; use ws or os",
-            )),
+            (InputStationary, AlongK, false) => Ok(Architecture::InputStationary),
             (df, p, dq) => Err(PacqError::template(
                 "ArchTemplate::architecture",
                 format!(
                     "no simulated architecture has dataflow={df}, packing={p}, dequant={dq}; \
                      supported triples: (ws,k,true)=standard-dequant, (ws,k,false)=packed-k, \
-                     (os,n,false)=pacq"
+                     (os,n,false)=pacq, (is,k,false)=input-stationary"
                 ),
             )),
         }
@@ -508,7 +535,13 @@ impl ArchTemplate {
             self.operand_buffer_energy_pj_per_word16,
         )?;
         let dram = level(MemoryKind::Dram, 0, self.dram_energy_pj_per_word16)?;
-        Ok(EnergyModel::with_levels(rf, l1, dram, buffer, self.clock_hz))
+        Ok(EnergyModel::with_levels(
+            rf,
+            l1,
+            dram,
+            buffer,
+            self.clock_hz,
+        ))
     }
 
     /// The canonical TOML rendering: fixed key order, numbers in Rust's
@@ -531,7 +564,10 @@ impl ArchTemplate {
         push(&mut out, String::new());
         push(&mut out, "[compute]".to_string());
         push(&mut out, format!("tensor_cores = {}", self.tensor_cores));
-        push(&mut out, format!("dp_units_per_tc = {}", self.dp_units_per_tc));
+        push(
+            &mut out,
+            format!("dp_units_per_tc = {}", self.dp_units_per_tc),
+        );
         push(&mut out, format!("dp_width = {}", self.dp_width));
         push(
             &mut out,
@@ -544,7 +580,10 @@ impl ArchTemplate {
                 render_num(self.dequant_weights_per_cycle)
             ),
         );
-        push(&mut out, format!("clock_hz = {}", render_num(self.clock_hz)));
+        push(
+            &mut out,
+            format!("clock_hz = {}", render_num(self.clock_hz)),
+        );
         push(&mut out, String::new());
         push(&mut out, "[memory.register_file]".to_string());
         push(
@@ -559,7 +598,10 @@ impl ArchTemplate {
         }
         push(&mut out, String::new());
         push(&mut out, "[memory.l1]".to_string());
-        push(&mut out, format!("capacity_bytes = {}", self.l1.capacity_bytes));
+        push(
+            &mut out,
+            format!("capacity_bytes = {}", self.l1.capacity_bytes),
+        );
         if let Some(e) = self.l1.access_energy_pj_per_word16 {
             push(
                 &mut out,
@@ -568,7 +610,10 @@ impl ArchTemplate {
         }
         push(&mut out, String::new());
         push(&mut out, "[memory.operand_buffer]".to_string());
-        push(&mut out, format!("capacity_bits = {}", self.operand_buffer_bits));
+        push(
+            &mut out,
+            format!("capacity_bits = {}", self.operand_buffer_bits),
+        );
         push(&mut out, format!("count = {}", self.operand_buffers));
         if let Some(e) = self.operand_buffer_energy_pj_per_word16 {
             push(
@@ -618,7 +663,10 @@ impl ArchTemplate {
         compute.set("dp_units_per_tc", self.dp_units_per_tc as f64);
         compute.set("dp_width", self.dp_width as f64);
         compute.set("adder_tree_duplication", self.adder_tree_duplication as f64);
-        compute.set("dequant_weights_per_cycle", num(self.dequant_weights_per_cycle));
+        compute.set(
+            "dequant_weights_per_cycle",
+            num(self.dequant_weights_per_cycle),
+        );
         compute.set("clock_hz", num(self.clock_hz));
         let mut buffer = level(
             "capacity_bits",
@@ -627,7 +675,10 @@ impl ArchTemplate {
         );
         // `count` sits between capacity and the optional energy key.
         if let Json::Obj(entries) = &mut buffer {
-            entries.insert(1, ("count".to_string(), Json::Num(self.operand_buffers as f64)));
+            entries.insert(
+                1,
+                ("count".to_string(), Json::Num(self.operand_buffers as f64)),
+            );
         }
         let mut dram = Json::object();
         dram.set("bandwidth_bytes_per_cycle", num(self.dram_bytes_per_cycle));
@@ -740,9 +791,9 @@ fn section_of<'d>(doc: &'d Json, key: &str, context: &str) -> PacqResult<&'d Jso
 }
 
 fn str_of<'d>(doc: &'d Json, prefix: &str, key: &str, context: &str) -> PacqResult<&'d str> {
-    field(doc, prefix, key, context)?.as_str().ok_or_else(|| {
-        PacqError::template(context, format!("`{prefix}{key}` must be a string"))
-    })
+    field(doc, prefix, key, context)?
+        .as_str()
+        .ok_or_else(|| PacqError::template(context, format!("`{prefix}{key}` must be a string")))
 }
 
 fn bool_of(doc: &Json, prefix: &str, key: &str, context: &str) -> PacqResult<bool> {
@@ -797,6 +848,10 @@ mod tests {
         for (template, arch) in [
             (ArchTemplate::volta_like(), Architecture::StandardDequant),
             (ArchTemplate::pacq(), Architecture::Pacq),
+            (
+                ArchTemplate::input_stationary(),
+                Architecture::InputStationary,
+            ),
         ] {
             template.validate("builtin").unwrap();
             assert_eq!(template.sm_config(), SmConfig::volta_like());
@@ -806,6 +861,32 @@ mod tests {
                 template.energy_model().unwrap().energy_canonical(),
                 derived.energy_canonical(),
                 "no-override template energies must equal the capacity-derived defaults"
+            );
+        }
+    }
+
+    #[test]
+    fn committed_examples_reproduce_the_builders_digest_stably() {
+        // The committed examples/arch/*.toml files are the user-facing
+        // spelling of the builtin design points: each must parse, equal
+        // its builder bit for bit, and round-trip through the canonical
+        // rendering without moving the digest.
+        for (file, builder) in [
+            ("volta_like.toml", ArchTemplate::volta_like()),
+            ("pacq.toml", ArchTemplate::pacq()),
+            ("input_stationary.toml", ArchTemplate::input_stationary()),
+        ] {
+            let path = format!("{}/../../examples/arch/{file}", env!("CARGO_MANIFEST_DIR"));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let parsed = ArchTemplate::parse(&text, &path).unwrap();
+            parsed.validate(&path).unwrap();
+            assert_eq!(parsed, builder, "{file} drifted from its builder");
+            assert_eq!(parsed.digest(), builder.digest());
+            let reparsed = ArchTemplate::parse(&parsed.render(), &path).unwrap();
+            assert_eq!(reparsed.digest(), parsed.digest(), "{file} digest unstable");
+            assert_eq!(
+                parsed.architecture().unwrap(),
+                builder.architecture().unwrap()
             );
         }
     }
@@ -831,27 +912,37 @@ mod tests {
         assert_eq!(reparsed.digest(), t.digest());
 
         let mut edited = t.clone();
-        edited.l1.access_energy_pj_per_word16 =
-            Some(EnergyModel::new(&SmConfig::volta_like()).levels()[2].energy_per_word16_pj() + 1.0);
+        edited.l1.access_energy_pj_per_word16 = Some(
+            EnergyModel::new(&SmConfig::volta_like()).levels()[2].energy_per_word16_pj() + 1.0,
+        );
         assert_ne!(edited.digest(), t.digest());
     }
 
     #[test]
-    fn dataflow_triple_maps_onto_the_three_architectures() {
+    fn dataflow_triple_maps_onto_the_four_architectures() {
         let mut t = ArchTemplate::volta_like();
         assert_eq!(t.architecture().unwrap(), Architecture::StandardDequant);
         t.dequant = false;
         assert_eq!(t.architecture().unwrap(), Architecture::PackedK);
+        t.dataflow = Dataflow::InputStationary;
+        assert_eq!(t.architecture().unwrap(), Architecture::InputStationary);
         t.dataflow = Dataflow::OutputStationary;
         t.packing = Packing::AlongN;
         assert_eq!(t.architecture().unwrap(), Architecture::Pacq);
-        // Unsupported triples are typed template errors.
+        // Unsupported triples are typed template errors naming the
+        // supported set — (is,k,false) is in it, the exit-9 stub gone.
         t.dequant = true; // (os, n, true)
-        assert_eq!(t.architecture().unwrap_err().exit_code(), 9);
-        t.dataflow = Dataflow::InputStationary;
         let err = t.architecture().unwrap_err();
         assert_eq!(err.exit_code(), 9);
-        assert!(err.to_string().contains("input-stationary"), "{err}");
+        assert!(
+            err.to_string().contains("(is,k,false)=input-stationary"),
+            "{err}"
+        );
+        // (is, n, false) is NOT implemented: input-stationary movement
+        // needs the k-packed words that align with the held A tile.
+        t.dataflow = Dataflow::InputStationary;
+        t.dequant = false;
+        assert_eq!(t.architecture().unwrap_err().exit_code(), 9);
     }
 
     #[test]
@@ -901,7 +992,9 @@ mod tests {
             .render()
             .replace("pacq-arch/v1", "pacq-arch/v2");
         assert_eq!(
-            ArchTemplate::parse(&wrong_schema, "test").unwrap_err().exit_code(),
+            ArchTemplate::parse(&wrong_schema, "test")
+                .unwrap_err()
+                .exit_code(),
             9
         );
     }

@@ -186,14 +186,14 @@ mod tests {
     #[test]
     fn duplicates_and_malformed_lines_are_typed_template_errors() {
         let cases = [
-            "a = 1\na = 2\n",                      // duplicate key
-            "[m]\nx = 1\n[m]\ny = 2\n",            // duplicate table
-            "just words\n",                        // not key = value
-            "[unclosed\n",                         // bad header
-            "[]\nx = 1\n",                         // empty table name
-            "k = \"unterminated\n",                // bad string
-            "k = maybe\n",                        // unknown scalar
-            "bad key = 1\n",                       // malformed key
+            "a = 1\na = 2\n",           // duplicate key
+            "[m]\nx = 1\n[m]\ny = 2\n", // duplicate table
+            "just words\n",             // not key = value
+            "[unclosed\n",              // bad header
+            "[]\nx = 1\n",              // empty table name
+            "k = \"unterminated\n",     // bad string
+            "k = maybe\n",              // unknown scalar
+            "bad key = 1\n",            // malformed key
         ];
         for text in cases {
             let err = parse_toml(text, "test").unwrap_err();

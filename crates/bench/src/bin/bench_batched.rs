@@ -52,6 +52,7 @@ fn arch_token(arch: Architecture) -> &'static str {
         Architecture::Pacq => "pacq",
         Architecture::PackedK => "packedk",
         Architecture::StandardDequant => "std",
+        Architecture::InputStationary => "is",
     }
 }
 

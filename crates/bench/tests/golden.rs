@@ -1,6 +1,7 @@
 //! Golden-file tests for the figure binaries (ISSUE 5).
 //!
-//! Each fig7–fig12 binary is a pure function of the committed model
+//! Each figure binary (fig7–fig12, fig_is) is a pure function of the
+//! committed model
 //! constants: no wall-clock lines, no RNG without a fixed seed, no
 //! host-dependent paths. That makes full-stdout pinning viable — any
 //! drift in the simulator, energy model, or formatting shows up as a
@@ -11,7 +12,7 @@
 //!
 //! ```text
 //! cargo build -p pacq-bench --bins
-//! for f in fig7 fig8 fig9 fig10 fig11 fig12; do
+//! for f in fig7 fig8 fig9 fig10 fig11 fig12 fig_is; do
 //!     ./target/debug/$f > crates/bench/tests/golden/$f.txt
 //! done
 //! ```
@@ -91,4 +92,9 @@ golden_test!(
     fig12_stdout_is_pinned,
     "CARGO_BIN_EXE_fig12",
     "golden/fig12.txt"
+);
+golden_test!(
+    fig_is_stdout_is_pinned,
+    "CARGO_BIN_EXE_fig_is",
+    "golden/fig_is.txt"
 );

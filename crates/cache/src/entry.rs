@@ -29,6 +29,7 @@ pub const fn arch_token(arch: Architecture) -> &'static str {
         Architecture::StandardDequant => "std",
         Architecture::PackedK => "packedk",
         Architecture::Pacq => "pacq",
+        Architecture::InputStationary => "is",
     }
 }
 
@@ -40,6 +41,7 @@ pub fn parse_arch_token(token: &str) -> Option<Architecture> {
         "std" => Some(Architecture::StandardDequant),
         "packedk" => Some(Architecture::PackedK),
         "pacq" => Some(Architecture::Pacq),
+        "is" => Some(Architecture::InputStationary),
         _ => None,
     }
 }
@@ -433,6 +435,7 @@ mod tests {
             Architecture::StandardDequant,
             Architecture::PackedK,
             Architecture::Pacq,
+            Architecture::InputStationary,
         ] {
             assert_eq!(parse_arch_token(arch_token(arch)), Some(arch));
         }

@@ -219,7 +219,13 @@ mod tests {
 
     fn sample(m: usize) -> (CacheKey, CachedReport) {
         let shape = GemmShape::new(m, 256, 256);
-        let key = CacheKey::new(&SmConfig::volta_like(), shape, 4, "pacq:g128:rounded", "builtin");
+        let key = CacheKey::new(
+            &SmConfig::volta_like(),
+            shape,
+            4,
+            "pacq:g128:rounded",
+            "builtin",
+        );
         let report = CachedReport {
             arch: Architecture::Pacq,
             workload: Workload::new(shape, WeightPrecision::Int4),

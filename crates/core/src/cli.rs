@@ -30,15 +30,15 @@ pub const USAGE: &str = "\
 pacq — PacQ hyper-asymmetric GEMM simulator (DAC 2025 reproduction)
 
 USAGE:
-  pacq analyze --shape mMnNkK [--arch std|packedk|pacq] [--precision int4|int2]
+  pacq analyze --shape mMnNkK [--arch std|packedk|is|pacq] [--precision int4|int2]
                [--group g128|g256|g32x4|g64x4|gK] [--dup 1|2|4] [--width 4|8|16]
                [--json]
   pacq compare --shape mMnNkK [--precision int4|int2] [--group ...]
   pacq sweep --param batch|dup|width|grid --shape mMnNkK [--precision int4|int2]
              [--shard i/N] [--checkpoint FILE]
-  pacq dse --shape mMnNkK [--param axis=v1,v2,...]... [--shard i/N]
+  pacq dse --shape mMnNkK [--param axis=v1,v2,...]... [--pareto] [--shard i/N]
            [--checkpoint FILE]
-  pacq exec --shape mMnNkK [--arch std|packedk|pacq] [--precision int4|int2]
+  pacq exec --shape mMnNkK [--arch std|packedk|is|pacq] [--precision int4|int2]
             [--group ...] [--check] [--json]
   pacq cache stats|clear|verify --dir DIR
   pacq audit
@@ -73,7 +73,9 @@ content digest is folded into every cache key, checkpoint binding and
 run manifest, so editing the template invalidates stale artifacts with
 typed errors. The template pins the dataflow, so --arch conflicts with
 it. Committed examples: examples/arch/volta_like.toml (the hardcoded
-Table I machine, bit for bit) and examples/arch/pacq.toml.
+Table I machine, bit for bit), examples/arch/pacq.toml and
+examples/arch/input_stationary.toml (dataflow = \"is\": the activation
+tile held in the tensor-core buffers across the n loop).
 
 `pacq sweep --param grid` runs the full batch × architecture ×
 precision grid for the layer; --shard i/N slices it into N disjoint
@@ -82,11 +84,22 @@ jobs so an interrupted sweep resumes where it stopped.
 
 `pacq dse` grid-searches design points over the template (or builtin)
 machine: repeated --param flags name the axes — batch=16,32
-arch=std,packedk,pacq precision=int4,int2 width=4,8,16 dup=1,2,4
+arch=std,packedk,is,pacq precision=int4,int2 width=4,8,16 dup=1,2,4
 group=g128,g64 — and every unnamed axis keeps its default (the
 sweep-grid product over the machine's own width/dup and g128, so a
-flag-less dse reproduces `sweep --param grid` bit for bit). --shard,
---checkpoint and --cache compose exactly as they do for sweep.
+flag-less dse reproduces `sweep --param grid` bit for bit). The
+mapping axis searches warp-tile loop orders instead of naming
+architectures directly: --param mapping=mnk,nkm,knm (permutations of
+mnk, optionally @16x16 — the only executable warp tile) derives each
+point's dataflow from the innermost loop (inner m = packedk, inner
+n = is, inner k = pacq) and conflicts with --param arch. --pareto
+prints the non-dominated (cycles, energy) front as a stable table
+(ties keep every point, rows ordered by cycles/energy/id) and records
+it in the --metrics manifest (kind \"dse.pareto\"). --shard,
+--checkpoint and --cache compose exactly as they do for sweep; with
+--cache, checkpoint-resumed rows are rehydrated from the store so
+best-EDP/Pareto rankings stay complete (otherwise they are flagged
+partial).
 
 `pacq exec` functionally executes one GEMM through the bit-accurate
 datapath on deterministic synthetic data, printing a result digest and
@@ -340,12 +353,7 @@ fn dispatch(
     // Commands that don't simulate a machine have nothing to apply a
     // template to — silently ignoring the flag would misattribute their
     // output to the template.
-    if template.is_some()
-        && matches!(
-            command,
-            Some("cache" | "audit" | "serve" | "loadgen")
-        )
-    {
+    if template.is_some() && matches!(command, Some("cache" | "audit" | "serve" | "loadgen")) {
         return Err(err(format!(
             "--arch-template does not apply to `{}`",
             command.unwrap_or_default()
@@ -540,6 +548,7 @@ pub fn parse_arch(text: &str) -> PacqResult<Architecture> {
         "std" | "standard" | "dequant" => Ok(Architecture::StandardDequant),
         "packedk" | "packed-k" | "pbk" => Ok(Architecture::PackedK),
         "pacq" => Ok(Architecture::Pacq),
+        "is" | "input-stationary" => Ok(Architecture::InputStationary),
         other => Err(err(format!("unknown architecture `{other}`"))),
     }
 }
@@ -732,7 +741,9 @@ fn compare(
 ) -> PacqResult<String> {
     let opts = parse_options(args, true)?;
     if opts.arch.is_some() {
-        return Err(err("compare always runs all three architectures; drop --arch"));
+        return Err(err(
+            "compare always runs all three architectures; drop --arch",
+        ));
     }
     // With a template, compare runs all three dataflows on the
     // template's *machine* (capacities, datapath, energies) — the
@@ -944,18 +955,32 @@ fn sweep(
     Ok(out)
 }
 
-/// `pacq dse`: grid-searches design points (batch × architecture ×
-/// precision × width × dup × group) over the template (or builtin)
-/// machine, with the sweep machinery — sharding, checkpoint resume
-/// bound to the (grid × machine × template × backend) digest, report
-/// caching — reused wholesale. See [`crate::dse`].
+/// `pacq dse`: grid-searches design points (batch × architecture-or-
+/// mapping × precision × width × dup × group) over the template (or
+/// builtin) machine, with the sweep machinery — sharding, checkpoint
+/// resume bound to the (grid × machine × template × backend) digest,
+/// report caching — reused wholesale. See [`crate::dse`]. With
+/// `--pareto` the non-dominated (cycles, energy) set is printed as a
+/// stable table and recorded in the `--metrics` manifest.
 fn dse(
     args: &[String],
     cache: Option<&Arc<ReportCache>>,
     backend: Backend,
     template: Option<&ArchTemplate>,
 ) -> PacqResult<String> {
-    let opts = parse_options(args, true)?;
+    // `--pareto` is dse-only, so it is split off before the shared
+    // option parser (which would reject it for every other command).
+    let mut pareto = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let hit = *a == "--pareto";
+            pareto |= hit;
+            !hit
+        })
+        .cloned()
+        .collect();
+    let opts = parse_options(&args, true)?;
     if opts.arch.is_some() || opts.dup.is_some() || opts.width.is_some() {
         return Err(err(
             "dse searches architectures/dup/width via --param (e.g. --param arch=std,pacq); \
@@ -996,21 +1021,73 @@ fn dse(
             }
         }
     }
+    // Rankings must never silently drop rows: resumed rows are
+    // rehydrated from --cache inside run_dse; any still left without a
+    // report makes every ranking line explicitly partial.
+    let unranked = outcome.rows.iter().filter(|r| r.report.is_none()).count();
+    let partial = if unranked > 0 {
+        format!(" (partial: {unranked} resumed rows excluded)")
+    } else {
+        String::new()
+    };
     // The best completed point by EDP — the headline of a design-space
-    // search (resumed rows carry no report and don't compete; re-run
-    // without the checkpoint, or with --cache, for a full ranking).
-    if let Some((job, best)) = outcome
-        .rows
-        .iter()
-        .filter_map(|r| r.report.as_ref().map(|rep| (&r.job, rep)))
-        .min_by(|a, b| a.1.edp_pj_s.total_cmp(&b.1.edp_pj_s))
-    {
+    // search; ties break by job id, so the winner is byte-identical
+    // across --jobs counts and shard interleavings.
+    if let Some((job, best)) = crate::dse::best_edp(&outcome.rows) {
         let _ = writeln!(
             out,
-            "best EDP: {} ({:.6} pJ*s)",
+            "best EDP: {} ({:.6} pJ*s){partial}",
             job.id(),
             best.edp_pj_s
         );
+    }
+    if pareto {
+        let points: Vec<crate::pareto::ParetoPoint> = outcome
+            .rows
+            .iter()
+            .filter_map(|r| {
+                r.report.as_ref().map(|rep| crate::pareto::ParetoPoint {
+                    id: r.job.id(),
+                    cycles: rep.stats.total_cycles,
+                    energy_pj: rep.total_energy_pj(),
+                })
+            })
+            .collect();
+        let front = crate::pareto::pareto_front(&points);
+        let _ = writeln!(
+            out,
+            "pareto front ({} of {} points){partial}:",
+            front.len(),
+            points.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<36} {:>14} {:>14}",
+            "design point", "cycles", "energy (uJ)"
+        );
+        let mut records = Vec::new();
+        for p in &front {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>14} {:>14.2}",
+                p.id,
+                p.cycles,
+                p.energy_pj / 1e6
+            );
+            let mut rec = Json::object();
+            rec.set("id", p.id.as_str());
+            rec.set("cycles", p.cycles);
+            rec.set("energy_pj", p.energy_pj);
+            records.push(rec);
+        }
+        // The front also lands in the --metrics manifest as one
+        // structured record (kind "dse.pareto").
+        let mut record = Json::object();
+        record.set("kind", "dse.pareto");
+        record.set("points_ranked", points.len() as u64);
+        record.set("points_excluded", unranked as u64);
+        record.set("front", Json::Arr(records));
+        pacq_trace::record_result("dse.pareto", record);
     }
     let t = outcome.tally;
     let _ = writeln!(
@@ -1126,6 +1203,7 @@ fn audit(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String
     let archs = [
         Architecture::StandardDequant,
         Architecture::PackedK,
+        Architecture::InputStationary,
         Architecture::Pacq,
     ];
     let precisions = [WeightPrecision::Int4, WeightPrecision::Int2];
@@ -1834,11 +1912,7 @@ mod tests {
                 .is_some_and(|r| r.starts_with(|c: char| c.is_ascii_digit()))
         };
         for line in dse.lines().filter(is_row) {
-            let numbers: Vec<&str> = line
-                .split_whitespace()
-                .skip(1)
-                .take(3)
-                .collect();
+            let numbers: Vec<&str> = line.split_whitespace().skip(1).take(3).collect();
             assert!(
                 grid_rows.iter().any(|r| r.starts_with(&numbers)),
                 "dse row `{line}` not in grid output:\n{grid}"
@@ -1882,8 +1956,131 @@ mod tests {
         other.extend(["--checkpoint".to_string(), path.clone()]);
         let err = run(&other).unwrap_err();
         assert_eq!(err.exit_code(), 4, "{err}");
-        assert!(err.to_string().contains("belongs to a different run"), "{err}");
+        assert!(
+            err.to_string().contains("belongs to a different run"),
+            "{err}"
+        );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_and_audit_cover_the_input_stationary_flow() {
+        let out = run(&argv("analyze --shape m16n256k256 --arch is")).expect("runs");
+        assert!(out.contains("Input-stationary"), "{out}");
+        assert!(out.contains("total cycles"), "{out}");
+        let alias =
+            run(&argv("analyze --shape m16n256k256 --arch input-stationary")).expect("runs");
+        assert_eq!(out, alias);
+    }
+
+    #[test]
+    fn dse_mapping_axis_searches_loop_orders() {
+        let out = run(&argv(
+            "dse --shape m16n256k256 --param batch=16 --param mapping=mnk,mkn,nkm",
+        ))
+        .expect("runs");
+        assert!(out.contains("dse: 6 points"), "{out}");
+        assert!(out.contains(":pacq:") && out.contains(":mnk"), "{out}");
+        assert!(out.contains(":is:") && out.contains(":mkn"), "{out}");
+        assert!(out.contains(":packedk:") && out.contains(":nkm"), "{out}");
+        // mapping conflicts with arch; bad loop orders are usage errors.
+        for bad in [
+            "dse --shape m16n256k256 --param mapping=mnk --param arch=pacq",
+            "dse --shape m16n256k256 --param mapping=mnx",
+            "dse --shape m16n256k256 --param mapping=mnk@8x8",
+        ] {
+            let e = run(&argv(bad)).unwrap_err();
+            assert!(e.is_usage(), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn dse_pareto_prints_a_stable_front_and_records_it() {
+        let base = "dse --shape m16n256k256 --param batch=16,32 \
+                    --param arch=std,packedk,is,pacq --pareto";
+        let out = run(&argv(base)).expect("runs");
+        assert!(out.contains("pareto front ("), "{out}");
+        assert!(out.contains("of 16 points"), "{out}");
+        // Determinism: a second run and a different job count render
+        // the identical front bytes.
+        let _guard = crate::par::test_lock();
+        let again = run(&argv(&format!("{base} --jobs 1"))).expect("runs");
+        let front_of = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("pareto front"))
+                .take_while(|l| !l.starts_with("dse:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(front_of(&out), front_of(&again), "{out}\n---\n{again}");
+        // The front lands in the --metrics manifest as a dse.pareto
+        // record.
+        let path = tmp_path("pareto-manifest");
+        let mut args = argv(base);
+        args.push(format!("--metrics={path}"));
+        run(&args).expect("runs with metrics");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = pacq_trace::Json::parse(&text).unwrap();
+        let results = doc.get("results").and_then(|r| r.as_arr()).unwrap();
+        let pareto = results
+            .iter()
+            .find(|r| r.get("kind").and_then(pacq_trace::Json::as_str) == Some("dse.pareto"))
+            .unwrap_or_else(|| panic!("no dse.pareto record in {text}"));
+        let front = pareto.get("front").and_then(|f| f.as_arr()).unwrap();
+        assert!(!front.is_empty(), "{text}");
+        assert!(front.iter().all(|p| p.get("id").is_some()
+            && p.get("cycles").is_some()
+            && p.get("energy_pj").is_some()));
+        std::fs::remove_file(&path).ok();
+        // --pareto belongs to dse alone.
+        assert!(run(&argv("sweep --param grid --shape m16n256k256 --pareto")).is_err());
+    }
+
+    #[test]
+    fn dse_resumed_rankings_rehydrate_or_flag_partial() {
+        // The resume-then-rank regression, end to end: with --cache the
+        // resumed pass rehydrates every row and reprints the complete
+        // ranking; without it the best-EDP line says what's missing
+        // instead of silently excluding the resumed rows.
+        let dir = tmp_dir("dse-rehydrate");
+        let ckpt = tmp_path("dse-rehydrate-ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        let base = "dse --shape m16n256k256 --param batch=16,32 --param arch=pacq,is --pareto";
+        let with = |extra: &[&str]| {
+            let mut a = argv(base);
+            a.extend(extra.iter().map(|s| s.to_string()));
+            a.extend(["--checkpoint".to_string(), ckpt.clone()]);
+            a
+        };
+        let first = run(&with(&["--cache", &dir])).expect("first pass");
+        assert!(first.contains("executed 8"), "{first}");
+        let best_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("best EDP"))
+                .map(str::to_string)
+                .unwrap_or_default()
+        };
+        assert!(!best_line(&first).contains("partial"), "{first}");
+
+        let resumed = run(&with(&["--cache", &dir])).expect("cached resume");
+        assert!(resumed.contains("resumed 8, executed 0"), "{resumed}");
+        assert_eq!(
+            best_line(&first),
+            best_line(&resumed),
+            "rehydrated ranking must equal the fresh one\n{first}\n---\n{resumed}"
+        );
+        assert!(!resumed.contains("done (resumed)"), "{resumed}");
+
+        // Cache-less resume: rows can't rehydrate, so the ranking and
+        // the Pareto header are explicitly partial (and no best-EDP
+        // winner is invented from zero completed rows).
+        let dry = run(&with(&[])).expect("cache-less resume");
+        assert!(dry.contains("resumed 8, executed 0"), "{dry}");
+        assert!(dry.contains("(partial: 8 resumed rows excluded)"), "{dry}");
+        assert!(!dry.contains("best EDP:"), "{dry}");
+
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     fn write_template(tag: &str, text: &str) -> String {
@@ -1983,7 +2180,10 @@ mod tests {
         std::fs::write(&path, edited.render()).unwrap();
         let err = run(&sweep_args(&path)).unwrap_err();
         assert_eq!(err.exit_code(), 4, "{err}");
-        assert!(err.to_string().contains("belongs to a different run"), "{err}");
+        assert!(
+            err.to_string().contains("belongs to a different run"),
+            "{err}"
+        );
 
         // Without the stale checkpoint the run proceeds — and gets zero
         // cache hits, because the template digest is in every key.

@@ -33,6 +33,105 @@ fn err(msg: impl Into<String>) -> PacqError {
     PacqError::usage(msg)
 }
 
+/// A tile-mapping coordinate: one loop-order permutation of the m/n/k
+/// warp-tile walk, optionally qualified by a warp-tile shape.
+///
+/// The innermost loop decides which operand stays resident in the
+/// tensor-core buffers while the other two stream, so each permutation
+/// canonicalizes onto one of the simulated stationarity classes:
+///
+/// - inner `m` — B fixed while m varies: weight-stationary, the
+///   `P(B_x)_k` machine ([`Architecture::PackedK`]);
+/// - inner `n` — A fixed while n varies: input-stationary
+///   ([`Architecture::InputStationary`]);
+/// - inner `k` — C accumulates in place: output-stationary, PacQ
+///   ([`Architecture::Pacq`]).
+///
+/// Two permutations sharing an innermost loop (e.g. `mnk` and `nmk`)
+/// differ only in which *outer* tile loop advances first; the per-tile
+/// traffic and timing counters are identical, so the search prices them
+/// as counter-equivalent duplicates — visible as repeated rows, which
+/// the Pareto front's id tie-break keeps deterministic.
+///
+/// The optional `@MxN` suffix names the warp-tile shape. Only `@16x16`
+/// is legal: the datapath executes `mma.m16n16k16` warp tiles as a 2×2
+/// grid of 8×8 octets, so any other shape has no octet decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// The loop order, outermost first — a permutation of `[m, n, k]`
+    /// stored as the three ASCII letters.
+    perm: [u8; 3],
+}
+
+impl Mapping {
+    /// Parses `perm[@MxN]`, e.g. `mnk`, `knm@16x16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacqError::Usage`] when the permutation is not one of
+    /// the six orderings of `mnk`, or the warp-tile suffix names any
+    /// shape other than `16x16`.
+    pub fn parse(text: &str) -> PacqResult<Mapping> {
+        let (perm_text, tile) = match text.split_once('@') {
+            Some((p, t)) => (p, Some(t)),
+            None => (text, None),
+        };
+        if let Some(tile) = tile {
+            if tile != "16x16" {
+                return Err(err(format!(
+                    "--param mapping: warp tile `@{tile}` is not executable — the datapath \
+                     runs mma.m16n16k16 warp tiles (a 2x2 grid of 8x8 octets), so only \
+                     @16x16 is legal"
+                )));
+            }
+        }
+        let bytes = perm_text.as_bytes();
+        let mut seen = [false; 3];
+        if bytes.len() == 3 {
+            for &b in bytes {
+                match b {
+                    b'm' => seen[0] = true,
+                    b'n' => seen[1] = true,
+                    b'k' => seen[2] = true,
+                    _ => {}
+                }
+            }
+        }
+        if seen != [true; 3] {
+            return Err(err(format!(
+                "--param mapping: `{perm_text}` is not a loop order; expected a permutation \
+                 of `mnk` (e.g. mnk, nkm), optionally with `@16x16`"
+            )));
+        }
+        Ok(Mapping {
+            perm: [bytes[0], bytes[1], bytes[2]],
+        })
+    }
+
+    /// The stationarity class this loop order canonicalizes onto (see
+    /// the type docs for the innermost-loop derivation).
+    pub fn architecture(&self) -> Architecture {
+        match self.perm[2] {
+            b'm' => Architecture::PackedK,
+            b'n' => Architecture::InputStationary,
+            _ => Architecture::Pacq,
+        }
+    }
+}
+
+impl core::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for &b in &self.perm {
+            f.write_str(match b {
+                b'm' => "m",
+                b'n' => "n",
+                _ => "k",
+            })?;
+        }
+        Ok(())
+    }
+}
+
 /// The search axes of one dse invocation. Axis order inside each list
 /// is significant (it defines job enumeration order and therefore row
 /// order, shard classes and the checkpoint binding).
@@ -50,6 +149,11 @@ pub struct DseAxes {
     pub dup: Vec<usize>,
     /// Quantization group geometries.
     pub group: Vec<GroupShape>,
+    /// Tile mappings (loop orders). Empty means the axis is off and the
+    /// `arch` axis drives the architecture loop; non-empty, each mapping
+    /// derives its architecture from its innermost loop and `arch` must
+    /// not also be named (the two would fight over the same coordinate).
+    pub mapping: Vec<Mapping>,
 }
 
 impl DseAxes {
@@ -70,6 +174,7 @@ impl DseAxes {
             width: vec![base_width],
             dup: vec![base_dup],
             group: vec![base_group],
+            mapping: Vec::new(),
         }
     }
 
@@ -82,6 +187,14 @@ impl DseAxes {
     /// the corresponding single-flag parser, so `--param arch=pacq`
     /// accepts exactly what `--arch pacq` does).
     pub fn apply(&mut self, specs: &[ParamSpec]) -> PacqResult<()> {
+        let named = |axis: &str| specs.iter().any(|s| s.name == axis);
+        if named("arch") && named("mapping") {
+            return Err(err(
+                "--param arch conflicts with --param mapping: a mapping's innermost loop \
+                 already determines the architecture (inner m = packedk, inner n = is, \
+                 inner k = pacq); name one axis or the other",
+            ));
+        }
         for spec in specs {
             if spec.values.is_empty() {
                 return Err(err(format!(
@@ -143,9 +256,15 @@ impl DseAxes {
                         .map(|v| crate::cli::parse_group(v))
                         .collect::<PacqResult<Vec<GroupShape>>>()?;
                 }
+                "mapping" => {
+                    self.mapping = values
+                        .iter()
+                        .map(|v| Mapping::parse(v))
+                        .collect::<PacqResult<Vec<Mapping>>>()?;
+                }
                 other => {
                     return Err(err(format!(
-                        "--param {other}: unknown dse axis (batch, arch, precision, width, dup, group)"
+                        "--param {other}: unknown dse axis (batch, arch, precision, width, dup, group, mapping)"
                     )))
                 }
             }
@@ -168,12 +287,17 @@ pub struct DseJob {
     pub dup: usize,
     /// Quantization group geometry for this point.
     pub group: GroupShape,
+    /// The tile mapping this point came from, when the search ran over
+    /// the mapping axis (`arch` is then derived from it).
+    pub mapping: Option<Mapping>,
 }
 
 impl DseJob {
-    /// The job's stable id — checkpoint line format, newline-free.
+    /// The job's stable id — checkpoint line format, newline-free. A
+    /// mapping-axis point appends its loop order (`...:g128:nkm`), so
+    /// two counter-equivalent permutations stay distinct rows.
     pub fn id(&self) -> String {
-        format!(
+        let mut id = format!(
             "b{}:{}:{}:w{}:d{}:{}",
             self.workload.shape.m,
             pacq_cache::arch_token(self.arch),
@@ -181,7 +305,12 @@ impl DseJob {
             self.width,
             self.dup,
             self.group,
-        )
+        );
+        if let Some(mapping) = &self.mapping {
+            id.push(':');
+            let _ = core::fmt::write(&mut id, format_args!("{mapping}"));
+        }
+        id
     }
 }
 
@@ -194,11 +323,22 @@ pub struct DsePlan {
 
 impl DsePlan {
     /// Enumerates the axis product over an `n×k` layer, nesting (outer
-    /// to inner) batch, arch, precision, width, dup, group.
+    /// to inner) batch, arch-or-mapping, precision, width, dup, group.
+    /// With the mapping axis on, each mapping takes the arch loop's
+    /// slot and supplies its derived architecture — the default grid
+    /// (mapping off) is untouched, byte for byte.
     pub fn enumerate(axes: &DseAxes, n: usize, k: usize) -> DsePlan {
+        let arch_points: Vec<(Architecture, Option<Mapping>)> = if axes.mapping.is_empty() {
+            axes.arch.iter().map(|&a| (a, None)).collect()
+        } else {
+            axes.mapping
+                .iter()
+                .map(|&mapping| (mapping.architecture(), Some(mapping)))
+                .collect()
+        };
         let mut jobs = Vec::new();
         for &m in &axes.batch {
-            for &arch in &axes.arch {
+            for &(arch, mapping) in &arch_points {
                 for &precision in &axes.precision {
                     for &width in &axes.width {
                         for &dup in &axes.dup {
@@ -209,6 +349,7 @@ impl DsePlan {
                                     width,
                                     dup,
                                     group,
+                                    mapping,
                                 });
                             }
                         }
@@ -249,9 +390,26 @@ impl DsePlan {
 pub struct DseRow {
     /// The design point this row answers.
     pub job: DseJob,
-    /// The report, or `None` when the checkpoint already records the
-    /// job as done.
+    /// The report. `None` only when the checkpoint records the job as
+    /// done *and* no attached `--cache` store still holds its report —
+    /// resumed rows are rehydrated from the cache whenever possible, so
+    /// rankings over a resumed run stay complete.
     pub report: Option<GemmReport>,
+}
+
+/// The best completed row by EDP, ties broken by lexicographic job id —
+/// so the winner is a pure function of the row *set*, byte-identical
+/// across `--jobs` counts, shard interleavings and resume histories.
+/// Rows without a report (resumed, not rehydratable) don't compete; the
+/// caller is responsible for flagging the ranking as partial then.
+pub fn best_edp(rows: &[DseRow]) -> Option<(&DseJob, &GemmReport)> {
+    rows.iter()
+        .filter_map(|r| r.report.as_ref().map(|rep| (&r.job, rep)))
+        .min_by(|a, b| {
+            a.1.edp_pj_s
+                .total_cmp(&b.1.edp_pj_s)
+                .then_with(|| a.0.id().cmp(&b.0.id()))
+        })
 }
 
 /// The result of [`run_dse`]: rows in enumeration order (restricted to
@@ -286,6 +444,16 @@ pub fn run_dse(
         ..SweepTally::default()
     };
 
+    // The per-job runner: the base with this point's datapath knobs and
+    // group geometry overridden (used both to execute and to probe the
+    // cache for resumed rows, so the key derivation is identical).
+    let job_runner = |job: &DseJob| {
+        let mut cfg = *base.config();
+        cfg.dp_width = job.width;
+        cfg.adder_tree_duplication = job.dup;
+        base.clone().with_config(cfg).with_group(job.group)
+    };
+
     let mut skipped_rows = Vec::new();
     let mut to_run = Vec::new();
     for (index, job) in plan.jobs().iter().enumerate() {
@@ -295,13 +463,12 @@ pub fn run_dse(
         tally.selected += 1;
         if checkpoint.is_some_and(|c| c.is_done(&job.id())) {
             tally.skipped += 1;
-            skipped_rows.push((
-                index,
-                DseRow {
-                    job: *job,
-                    report: None,
-                },
-            ));
+            // A resumed job's report usually still sits in the --cache
+            // store (the first pass wrote it there); rehydrate it so
+            // best-EDP/Pareto rankings over the resumed run see every
+            // row instead of silently excluding the resumed ones.
+            let report = job_runner(job).cached_report(job.arch, job.workload);
+            skipped_rows.push((index, DseRow { job: *job, report }));
         } else {
             tally.executed += 1;
             to_run.push((index, *job));
@@ -311,10 +478,7 @@ pub fn run_dse(
     let reports: Vec<PacqResult<(usize, DseRow)>> = to_run
         .into_par_iter()
         .map(|(index, job)| {
-            let mut cfg = *base.config();
-            cfg.dp_width = job.width;
-            cfg.adder_tree_duplication = job.dup;
-            let runner = base.clone().with_config(cfg).with_group(job.group);
+            let runner = job_runner(&job);
             let report = runner.analyze(job.arch, job.workload)?;
             if let Some(c) = checkpoint {
                 c.mark_done(&job.id())?;
@@ -447,6 +611,164 @@ mod tests {
             assert_eq!(e.exit_code(), 4, "{e}");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapping_axis_parses_loop_orders_and_derives_the_dataflow() {
+        for (text, arch) in [
+            ("mnk", Architecture::Pacq),
+            ("nmk", Architecture::Pacq),
+            ("mkn", Architecture::InputStationary),
+            ("kmn", Architecture::InputStationary),
+            ("nkm", Architecture::PackedK),
+            ("knm", Architecture::PackedK),
+            ("knm@16x16", Architecture::PackedK),
+        ] {
+            let m = Mapping::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(m.architecture(), arch, "{text}");
+        }
+        for bad in [
+            "mn",
+            "mnkk",
+            "mnx",
+            "abc",
+            "",
+            "mnk@8x8",
+            "mnk@16x32",
+            "@16x16",
+        ] {
+            let e = Mapping::parse(bad).unwrap_err();
+            assert!(e.is_usage(), "{bad}: {e}");
+        }
+        // The warp-tile error names the constraint.
+        let e = Mapping::parse("mnk@8x8").unwrap_err();
+        assert!(e.to_string().contains("mma.m16n16k16"), "{e}");
+    }
+
+    #[test]
+    fn mapping_axis_enumerates_and_conflicts_with_arch() {
+        let mut axes = default_axes();
+        axes.batch = vec![16];
+        let specs = parse_params(&["mapping=mnk,mkn,nkm".to_string()]).unwrap();
+        axes.apply(&specs).unwrap();
+        let plan = DsePlan::enumerate(&axes, 256, 256);
+        // 1 batch × 3 mappings × 2 precisions.
+        assert_eq!(plan.jobs().len(), 6);
+        let ids: Vec<String> = plan.jobs().iter().map(DseJob::id).collect();
+        assert!(
+            ids[0].starts_with("b16:pacq:int4:w4:d2:g128:mnk"),
+            "{}",
+            ids[0]
+        );
+        assert!(ids.iter().any(|i| i.ends_with(":mkn")), "{ids:?}");
+        assert!(ids.iter().any(|i| i.contains(":is:")), "{ids:?}");
+        assert!(ids.iter().any(|i| i.contains(":packedk:")), "{ids:?}");
+
+        // mapping + arch fight over the same coordinate: usage error.
+        let mut axes = default_axes();
+        let specs = parse_params(&["mapping=mnk".to_string(), "arch=pacq".to_string()]).unwrap();
+        let e = axes.apply(&specs).unwrap_err();
+        assert!(e.is_usage(), "{e}");
+        assert!(e.to_string().contains("mapping"), "{e}");
+    }
+
+    #[test]
+    fn counter_equivalent_permutations_price_identically() {
+        // `mnk` and `nmk` share the innermost k loop: same stationarity
+        // class, so the search prices them as duplicates of PacQ.
+        let mut axes = default_axes();
+        axes.batch = vec![16];
+        axes.precision = vec![pacq_fp16::WeightPrecision::Int4];
+        axes.apply(&parse_params(&["mapping=mnk,nmk".to_string()]).unwrap())
+            .unwrap();
+        let plan = DsePlan::enumerate(&axes, 256, 256);
+        let out = run_dse(&GemmRunner::new(), &plan, Shard::FULL, None).unwrap();
+        let [a, b] = &out.rows[..] else {
+            panic!("expected 2 rows, got {}", out.rows.len())
+        };
+        assert_ne!(a.job.id(), b.job.id());
+        let (ra, rb) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
+        assert_eq!(ra.stats, rb.stats);
+        assert_eq!(ra.edp_pj_s.to_bits(), rb.edp_pj_s.to_bits());
+    }
+
+    #[test]
+    fn best_edp_breaks_ties_by_job_id() {
+        // Two counter-equivalent permutations produce bit-identical
+        // EDPs; the winner must be the lexicographically first id, not
+        // whichever row a thread finished first.
+        let mut axes = default_axes();
+        axes.batch = vec![16];
+        axes.precision = vec![pacq_fp16::WeightPrecision::Int4];
+        axes.apply(&parse_params(&["mapping=nmk,mnk".to_string()]).unwrap())
+            .unwrap();
+        let plan = DsePlan::enumerate(&axes, 256, 256);
+        let out = run_dse(&GemmRunner::new(), &plan, Shard::FULL, None).unwrap();
+        let (job, _) = best_edp(&out.rows).unwrap();
+        assert!(job.id().ends_with(":mnk"), "{}", job.id());
+
+        // And reversing row order must not move the winner.
+        let mut reversed = out.rows.clone();
+        reversed.reverse();
+        let (again, _) = best_edp(&reversed).unwrap();
+        assert_eq!(again.id(), job.id());
+
+        assert!(best_edp(&[]).is_none());
+    }
+
+    #[test]
+    fn resumed_rows_rehydrate_from_the_cache() {
+        // The resume-then-rank regression: a second pass over a full
+        // checkpoint used to return report-less rows, silently dropping
+        // every resumed point from best-EDP rankings. With a cache
+        // attached, the skipped rows now rehydrate to the first pass's
+        // exact reports.
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("pacq-dse-rehydrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path =
+            std::env::temp_dir().join(format!("pacq-dse-rehydrate-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut axes = default_axes();
+        axes.batch = vec![16, 32];
+        axes.arch = vec![Architecture::Pacq, Architecture::InputStationary];
+        let plan = DsePlan::enumerate(&axes, 256, 256);
+        let cache = Arc::new(pacq_cache::ReportCache::open(&dir).unwrap());
+        let base = GemmRunner::new().with_cache(Arc::clone(&cache));
+
+        let first = {
+            let ckpt = SweepCheckpoint::open(&path, &plan.binding_digest(&base)).unwrap();
+            run_dse(&base, &plan, Shard::FULL, Some(&ckpt)).unwrap()
+        };
+        let ckpt = SweepCheckpoint::open(&path, &plan.binding_digest(&base)).unwrap();
+        let second = run_dse(&base, &plan, Shard::FULL, Some(&ckpt)).unwrap();
+        assert_eq!(second.tally.executed, 0);
+        assert_eq!(second.tally.skipped, second.tally.selected);
+        for (f, s) in first.rows.iter().zip(&second.rows) {
+            let rehydrated = s.report.as_ref().expect("resumed row rehydrates");
+            let fresh = f.report.as_ref().unwrap();
+            assert_eq!(fresh.edp_pj_s.to_bits(), rehydrated.edp_pj_s.to_bits());
+            assert_eq!(fresh.stats, rehydrated.stats);
+        }
+        // And the resumed ranking equals the fresh one.
+        let (fj, fr) = best_edp(&first.rows).unwrap();
+        let (sj, sr) = best_edp(&second.rows).unwrap();
+        assert_eq!(fj.id(), sj.id());
+        assert_eq!(fr.edp_pj_s.to_bits(), sr.edp_pj_s.to_bits());
+
+        // Without the cache the rows stay report-less (the caller then
+        // flags the ranking as partial).
+        let bare = GemmRunner::new();
+        let ckpt = SweepCheckpoint::open(&path, &plan.binding_digest(&bare));
+        // Different provenance (no cache does not change provenance, so
+        // this open succeeds against the same binding).
+        let ckpt = ckpt.unwrap();
+        let dry = run_dse(&bare, &plan, Shard::FULL, Some(&ckpt)).unwrap();
+        assert!(dry.rows.iter().all(|r| r.report.is_none()));
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -61,13 +61,15 @@ pub mod llama;
 pub mod loadgen;
 pub mod par;
 pub mod params;
+pub mod pareto;
 pub mod report;
 pub mod roofline;
 pub mod runner;
 pub mod serve;
 pub mod sweep;
 
-pub use dse::{run_dse, DseAxes, DseJob, DseOutcome, DsePlan, DseRow};
+pub use dse::{best_edp, run_dse, DseAxes, DseJob, DseOutcome, DsePlan, DseRow, Mapping};
+pub use pareto::{pareto_front, ParetoPoint};
 pub use report::{Comparison, GemmReport};
 pub use runner::GemmRunner;
 pub use serve::{ServeOptions, ServeSummary, Server};

@@ -83,11 +83,7 @@ mod tests {
         assert_eq!(specs[0].name, "batch");
         assert!(specs[0].values.is_empty());
 
-        let specs = parse_params(&[
-            "batch=16,32".to_string(),
-            "arch=pacq".to_string(),
-        ])
-        .unwrap();
+        let specs = parse_params(&["batch=16,32".to_string(), "arch=pacq".to_string()]).unwrap();
         assert_eq!(specs[0].values, ["16", "32"]);
         assert_eq!(specs[1].name, "arch");
         assert_eq!(specs[1].values, ["pacq"]);

@@ -1,0 +1,198 @@
+//! Pareto-front extraction for design-space searches.
+//!
+//! A dse run answers "which design point is best" two ways: the scalar
+//! `best EDP` headline, and — since cycles and energy trade off — the
+//! full non-dominated set. A point is **dominated** when some other
+//! point is no worse on both axes and strictly better on at least one;
+//! the Pareto front is everything that survives.
+//!
+//! Determinism contract: the front depends only on the point *set*
+//! (never on input order, `--jobs` or `--shard` interleaving), ties on
+//! both axes keep every tied point, and the returned order is
+//! `(cycles asc, energy asc, id asc)` — so two invocations that cover
+//! the same points render byte-identical tables.
+
+/// One candidate design point: a stable id plus its two objectives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The point's stable identifier (a dse job id).
+    pub id: String,
+    /// Latency objective: total SM cycles.
+    pub cycles: u64,
+    /// Energy objective, in picojoules.
+    pub energy_pj: f64,
+}
+
+impl ParetoPoint {
+    /// `true` when `other` dominates `self`: no worse on both axes and
+    /// strictly better on at least one. Equal points do not dominate
+    /// each other (both stay on the front).
+    pub fn dominated_by(&self, other: &ParetoPoint) -> bool {
+        other.cycles <= self.cycles
+            && other.energy_pj <= self.energy_pj
+            && (other.cycles < self.cycles || other.energy_pj < self.energy_pj)
+    }
+}
+
+/// The canonical ordering of front rows: cycles, then energy (total
+/// order over the f64 bits), then id — a pure function of the point, so
+/// output order never leaks enumeration or thread order.
+fn canonical_cmp(a: &ParetoPoint, b: &ParetoPoint) -> std::cmp::Ordering {
+    a.cycles
+        .cmp(&b.cycles)
+        .then_with(|| a.energy_pj.total_cmp(&b.energy_pj))
+        .then_with(|| a.id.cmp(&b.id))
+}
+
+/// Extracts the non-dominated `(cycles, energy)` set from `points`,
+/// in canonical `(cycles, energy, id)` order.
+///
+/// Single left-to-right sweep over the canonically sorted points: a
+/// group of equal-cycles points is led by its minimal-energy members,
+/// and that group survives exactly when its minimum undercuts the best
+/// energy seen at strictly fewer cycles (an earlier point with `cycles
+/// <` and `energy <=` dominates the whole group otherwise). Duplicated
+/// `(cycles, energy)` pairs all survive together.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut sorted = points.to_vec();
+    sorted.sort_by(canonical_cmp);
+    let mut front = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    let mut i = 0;
+    while i < sorted.len() {
+        let cycles = sorted[i].cycles;
+        let mut j = i;
+        while j < sorted.len() && sorted[j].cycles == cycles {
+            j += 1;
+        }
+        // Within the group, energy ascends; the leaders share index i's.
+        let group_min = sorted[i].energy_pj;
+        if group_min < best_energy {
+            front.extend(
+                sorted[i..j]
+                    .iter()
+                    .take_while(|p| p.energy_pj == group_min)
+                    .cloned(),
+            );
+            best_energy = group_min;
+        }
+        i = j;
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(id: &str, cycles: u64, energy_pj: f64) -> ParetoPoint {
+        ParetoPoint {
+            id: id.to_string(),
+            cycles,
+            energy_pj,
+        }
+    }
+
+    /// The O(n²) definition, used as the oracle: keep exactly the
+    /// points no other point dominates.
+    fn oracle(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+        let mut front: Vec<ParetoPoint> = points
+            .iter()
+            .filter(|a| !points.iter().any(|b| a.dominated_by(b)))
+            .cloned()
+            .collect();
+        front.sort_by(canonical_cmp);
+        front
+    }
+
+    #[test]
+    fn front_keeps_tradeoffs_and_drops_dominated_points() {
+        let points = [
+            p("fast-hungry", 100, 900.0),
+            p("slow-frugal", 900, 100.0),
+            p("balanced", 400, 400.0),
+            p("dominated", 500, 500.0),    // beaten by `balanced` on both
+            p("weakly-worse", 400, 450.0), // same cycles, more energy
+        ];
+        let front = pareto_front(&points);
+        let ids: Vec<&str> = front.iter().map(|q| q.id.as_str()).collect();
+        assert_eq!(ids, ["fast-hungry", "balanced", "slow-frugal"]);
+    }
+
+    #[test]
+    fn equal_points_both_survive_in_id_order() {
+        // Neither strictly dominates the other: a tie is two equally
+        // good designs, and the table must name both, id-ordered.
+        let points = [p("zeta", 100, 100.0), p("alpha", 100, 100.0)];
+        let front = pareto_front(&points);
+        let ids: Vec<&str> = front.iter().map(|q| q.id.as_str()).collect();
+        assert_eq!(ids, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn front_is_input_order_invariant() {
+        // The shard/jobs determinism contract: any permutation of the
+        // same point set yields the identical front, byte for byte.
+        let mut points = vec![
+            p("a", 10, 50.0),
+            p("b", 20, 40.0),
+            p("c", 30, 40.0), // dominated by b
+            p("d", 20, 45.0), // dominated by b (same cycles, more energy)
+            p("e", 40, 10.0),
+        ];
+        let reference = pareto_front(&points);
+        for _ in 0..points.len() {
+            points.rotate_left(1);
+            assert_eq!(pareto_front(&points), reference);
+        }
+        points.reverse();
+        assert_eq!(pareto_front(&points), reference);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(pareto_front(&[]).is_empty());
+        let single = [p("only", 7, 7.0)];
+        assert_eq!(pareto_front(&single), single);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The sweep implementation equals the O(n²) oracle on random
+        /// point sets dense with ties (small value domains force
+        /// equal-cycles groups and duplicated pairs).
+        #[test]
+        fn sweep_matches_quadratic_oracle(
+            raw in prop::collection::vec((0u64..8, 0u32..8), 0..40)
+        ) {
+            let points: Vec<ParetoPoint> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, e))| p(&format!("pt{i:02}"), c, f64::from(e)))
+                .collect();
+            prop_assert_eq!(pareto_front(&points), oracle(&points));
+        }
+
+        /// Every front member comes from the input and no front member
+        /// dominates another.
+        #[test]
+        fn front_is_a_nondominated_subset(
+            raw in prop::collection::vec((0u64..1000, 0u32..1000), 0..30)
+        ) {
+            let points: Vec<ParetoPoint> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, e))| p(&format!("pt{i:02}"), c, f64::from(e)))
+                .collect();
+            let front = pareto_front(&points);
+            for a in &front {
+                prop_assert!(points.contains(a));
+                for b in &front {
+                    prop_assert!(!a.dominated_by(b), "{a:?} dominated by {b:?}");
+                }
+            }
+        }
+    }
+}

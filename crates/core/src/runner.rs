@@ -299,6 +299,18 @@ impl GemmRunner {
         )
     }
 
+    /// Probes the attached cache for an already-priced report without
+    /// computing on a miss — the rehydration path for checkpoint-resumed
+    /// sweep/dse rows, whose reports were priced by an earlier run.
+    /// Returns `None` when no cache is attached or the point is absent
+    /// (the caller then reports the ranking as partial rather than
+    /// silently wrong).
+    pub fn cached_report(&self, arch: Architecture, workload: Workload) -> Option<GemmReport> {
+        let cache = self.cache.as_ref()?;
+        let key = self.cache_key(arch, workload);
+        cache.get(&key).and_then(Self::accept_hit)
+    }
+
     /// Converts a stored entry back into a report, rejecting (as a miss)
     /// any entry that decodes but fails the report's own accounting
     /// invariants in debug builds — a tampered entry must degrade to a
@@ -351,7 +363,9 @@ impl GemmRunner {
         let q = RtnQuantizer::new(precision, self.group).quantize(weights)?;
         let dim = match arch {
             Architecture::Pacq => PackDim::N,
-            Architecture::PackedK | Architecture::StandardDequant => PackDim::K,
+            Architecture::PackedK
+            | Architecture::StandardDequant
+            | Architecture::InputStationary => PackDim::K,
         };
         PackedMatrix::pack(&q, dim)
     }
@@ -555,6 +569,7 @@ mod tests {
             Architecture::StandardDequant,
             Architecture::PackedK,
             Architecture::Pacq,
+            Architecture::InputStationary,
         ] {
             let scalar = GemmRunner::new().with_group(GroupShape::along_k(32));
             let batched = scalar.clone().with_backend(Backend::Batched);
@@ -588,6 +603,10 @@ mod tests {
             .quantize_and_pack(&w, WeightPrecision::Int4, Architecture::PackedK)
             .expect("packs");
         assert_eq!(pk.pack_dim(), PackDim::K);
+        let is = runner
+            .quantize_and_pack(&w, WeightPrecision::Int4, Architecture::InputStationary)
+            .expect("packs");
+        assert_eq!(is.pack_dim(), PackDim::K);
     }
 
     #[test]

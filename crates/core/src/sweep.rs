@@ -135,7 +135,9 @@ pub struct SweepRow {
     /// The job this row answers.
     pub job: SweepJob,
     /// The report, or `None` when the job was already checkpointed as
-    /// done and therefore skipped.
+    /// done and no attached `--cache` store still holds its report
+    /// (skipped jobs are rehydrated from the cache when possible, so
+    /// summaries over a resumed run stay complete).
     pub report: Option<GemmReport>,
 }
 
@@ -196,13 +198,10 @@ pub fn run_sweep(
         let done = checkpoint.is_some_and(|c| c.is_done(&job.id()));
         if done {
             tally.skipped += 1;
-            skipped_rows.push((
-                index,
-                SweepRow {
-                    job: *job,
-                    report: None,
-                },
-            ));
+            // The first pass usually left the report in the --cache
+            // store; rehydrate rather than losing the row's numbers.
+            let report = runner.cached_report(job.arch, job.workload);
+            skipped_rows.push((index, SweepRow { job: *job, report }));
         } else {
             tally.executed += 1;
             to_run.push((index, *job));
@@ -313,6 +312,35 @@ mod tests {
         assert_eq!(second.tally.skipped, plan.jobs().len());
         assert!(second.rows.iter().all(|r| r.report.is_none()));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpointed_rows_rehydrate_from_an_attached_cache() {
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("pacq-sweep-rehydrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path =
+            std::env::temp_dir().join(format!("pacq-sweep-rehydrate-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let plan = SweepPlan::batch_grid(256, 256);
+        let cache = Arc::new(pacq_cache::ReportCache::open(&dir).unwrap());
+        let runner = GemmRunner::new().with_cache(Arc::clone(&cache));
+        let first = {
+            let ckpt = SweepCheckpoint::open(&path, &plan.binding_digest(&runner)).unwrap();
+            run_sweep(&runner, &plan, Shard::FULL, Some(&ckpt)).unwrap()
+        };
+        let ckpt = SweepCheckpoint::open(&path, &plan.binding_digest(&runner)).unwrap();
+        let second = run_sweep(&runner, &plan, Shard::FULL, Some(&ckpt)).unwrap();
+        assert_eq!(second.tally.executed, 0);
+        assert_eq!(second.tally.skipped, plan.jobs().len());
+        for (f, s) in first.rows.iter().zip(&second.rows) {
+            let fresh = f.report.as_ref().unwrap();
+            let rehydrated = s.report.as_ref().expect("skipped row rehydrates");
+            assert_eq!(fresh.edp_pj_s.to_bits(), rehydrated.edp_pj_s.to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

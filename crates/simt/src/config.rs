@@ -21,6 +21,12 @@ pub enum Architecture {
     /// movement and compute, parallel FP-INT multipliers, Σ A accumulators
     /// with the Eq. (1) fixup in the general core.
     Pacq,
+    /// Input-stationary hyper-asymmetric GEMM (`P(B_x)_k` packing with the
+    /// activation tile held): A stays resident in the tensor-core operand
+    /// buffers across the n loop, so each activation element is fetched
+    /// from the RF exactly once — the dual of the `P(B_x)_k` A-refetch
+    /// pathology — while packed-B words and C partial sums stream.
+    InputStationary,
 }
 
 impl core::fmt::Display for Architecture {
@@ -29,6 +35,7 @@ impl core::fmt::Display for Architecture {
             Architecture::StandardDequant => f.write_str("Standard (dequant W16A16)"),
             Architecture::PackedK => f.write_str("P(B_x)_k hyper-asymmetric"),
             Architecture::Pacq => f.write_str("PacQ P(B_x)_n"),
+            Architecture::InputStationary => f.write_str("Input-stationary P(B_x)_k"),
         }
     }
 }

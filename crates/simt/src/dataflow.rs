@@ -61,6 +61,7 @@ pub fn simulate(
         Architecture::StandardDequant => octet_standard(config),
         Architecture::PackedK => octet_packed_k(config, precision),
         Architecture::Pacq => octet_pacq(config, precision),
+        Architecture::InputStationary => octet_is(config, precision),
     };
 
     let warp_tiles = shape.warp_tiles();
@@ -120,7 +121,7 @@ pub fn simulate(
                 n * k * 16,
             )
         }
-        Architecture::PackedK | Architecture::Pacq => {
+        Architecture::PackedK | Architecture::Pacq | Architecture::InputStationary => {
             let words = (n * k).div_ceil(precision.lanes() as u64) * m_tiles;
             (words, words * 16, 0, 0)
         }
@@ -157,7 +158,7 @@ pub fn simulate(
                 (stats.ops.dequant_ops as f64 / config.dequant_weights_per_cycle).ceil() as u64;
             stats.total_cycles = stats.tc_cycles + stats.general_cycles;
         }
-        Architecture::PackedK => {
+        Architecture::PackedK | Architecture::InputStationary => {
             // Inline conversion overlaps the tensor-core pipeline.
             stats.general_cycles = 0;
             stats.total_cycles = stats.tc_cycles;
@@ -365,6 +366,76 @@ fn octet_pacq(config: &SmConfig, precision: WeightPrecision) -> OctetCounts {
     }
 }
 
+/// Input-stationary `P(B_x)_k`: the activation tile is the held operand.
+/// The Figure 3 walk is re-ordered with the m/k loops hoisted outside n —
+/// the mirror image of the standard flow's `nt { kt { mt } }` — so the A
+/// sub-tile loaded for a (mt, kt) coordinate stays resident in the operand
+/// buffers while all n columns consume it, and packed-B words plus C
+/// partial sums stream instead.
+fn octet_is(config: &SmConfig, precision: WeightPrecision) -> OctetCounts {
+    let w = config.dp_width as u64;
+    let lanes = precision.lanes() as u64;
+    let mt = OCTET_M / TILE_M; // 2
+    let nt = OCTET_N / TILE_N; // 2
+    let kt = WARP_K / w; // 4 at DP-4
+    let steps = mt * nt * kt;
+
+    // Movement mt { kt { nt } }: the A tile (4m × w k) is fetched once per
+    // (mt, kt) and held across nt, so each of the octet's 8×16 activation
+    // elements crosses the RF boundary exactly once — the property the
+    // `P(B_x)_k` eviction pathology destroys (Figure 4(b)).
+    let a_reads = mt * kt * TILE_M * w;
+
+    // B streams: each step consumes a w(k)×4(n) weight region as packed
+    // words. One word covers `lanes` k-values of one output column, so a
+    // column needs max(1, w/lanes) word reads per step; nothing is held
+    // across the m loop (the buffers belong to A), so the region is
+    // re-streamed for every mt — the B-traffic price of holding A.
+    let b_reads = steps * TILE_N * w.div_ceil(lanes);
+
+    // C streams exactly as in the weight-stationary flows: with k outside
+    // the innermost loop, an output tile's partial sums cannot stay in the
+    // accumulators between k-slices — written every step, read back on
+    // every step past each tile's first k-slice.
+    let c_writes = steps * TILE_M * TILE_N;
+    let c_reads = c_writes - mt * nt * TILE_M * TILE_N; // first slice free
+
+    // Fetch instructions fold the `pipeline::octet_schedule` walk: 2 A
+    // fetches per (mt, kt) — the two thread-group buffers of Figure 3(d),
+    // filled once and reused across nt — one packed-B fetch every step,
+    // a C read on every step past each tile's first k-slice, and a C
+    // write every step. A and B fetches fill operand buffers; nothing is
+    // ever evicted early because the packed words are k-aligned with the
+    // held A sub-tile.
+    let a_fetches = mt * kt * 2;
+    let b_fetches = steps;
+    let c_read_fetches = steps - mt * nt;
+    let fetch_instructions = a_fetches + b_fetches + c_read_fetches + steps;
+    let buffer_fills = a_fetches + b_fetches;
+
+    // Sequential weight processing on the baseline DP units (packed words
+    // are converted inline, not multiplied in parallel): same dot count
+    // and issue rate as the standard and `P(B_x)_k` flows.
+    let dots_per_step = TILE_M * TILE_N;
+    let compute_cycles = steps * dots_per_step / config.dp_units_per_octet() as u64;
+
+    OctetCounts {
+        rf: RfTraffic {
+            a_reads,
+            b_reads,
+            c_reads,
+            c_writes,
+            a_bits: a_reads * 16,
+            b_bits: b_reads * 16,
+            c_bits: (c_reads + c_writes) * 16,
+        },
+        buffer_fills,
+        buffer_evictions: 0,
+        fetch_instructions,
+        compute_cycles,
+    }
+}
+
 /// General-core operation counts for the whole GEMM.
 fn general_core_ops(
     arch: Architecture,
@@ -387,6 +458,19 @@ fn general_core_ops(
             inline_converts: weights * m.div_ceil(16),
             scale_applies: m * n * (k as usize).div_ceil(group.k_size) as u64,
             scale_fetches: m.div_ceil(16)
+                * group.scale_fetches_for_tiled_walk(shape.k, shape.n, 1, 4) as u64,
+            ..Default::default()
+        },
+        Architecture::InputStationary => GeneralCoreOps {
+            // Inline conversion on every packed-B buffer fill. B is
+            // re-streamed once per mt inside each octet (the buffers hold
+            // A), so the region converts OCTET_M/TILE_M = 2 times per
+            // warp-tile row — twice the `P(B_x)_k` count, and the scale
+            // walk repeats with it.
+            inline_converts: 2 * weights * m.div_ceil(16),
+            scale_applies: m * n * (k as usize).div_ceil(group.k_size) as u64,
+            scale_fetches: 2
+                * m.div_ceil(16)
                 * group.scale_fetches_for_tiled_walk(shape.k, shape.n, 1, 4) as u64,
             ..Default::default()
         },
@@ -552,6 +636,7 @@ mod tests {
             Architecture::StandardDequant,
             Architecture::PackedK,
             Architecture::Pacq,
+            Architecture::InputStationary,
         ] {
             for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
                 let ragged = simulate(
@@ -591,6 +676,58 @@ mod tests {
         assert_eq!(m17.ops.inline_converts, 2 * m16.ops.inline_converts);
         assert_eq!(m17.ops.scale_fetches, 2 * m16.ops.scale_fetches);
         assert_eq!(m17.rf.a_reads, 2 * m16.rf.a_reads);
+    }
+
+    #[test]
+    fn input_stationary_reads_each_activation_once() {
+        // The defining property of the flow: holding A across the n loop
+        // brings RF A-traffic down to one read per activation element per
+        // octet column (the 2×2 octet grid's two n-columns share A rows,
+        // so a warp tile reads each of its 16×16 activations twice) —
+        // where the standard flow re-fetches A every step and P(B_x)_k
+        // multiplies that by the eviction factor.
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            let is = run(Architecture::InputStationary, precision);
+            let std = run(Architecture::StandardDequant, precision);
+            let pk = run(Architecture::PackedK, precision);
+            assert_eq!(is.rf.a_reads, 2 * 16 * 16, "{precision}: once/octet-col");
+            assert_eq!(std.rf.a_reads, 2 * is.rf.a_reads);
+            assert!(pk.rf.a_reads > std.rf.a_reads);
+            assert_eq!(is.buffer_evictions, 0, "held A is never evicted");
+        }
+    }
+
+    #[test]
+    fn input_stationary_coincides_with_ws_and_os_where_the_flows_overlap() {
+        // On degenerate M=1 / N=1 shapes (padded to a single tile row /
+        // column) the walks collapse and the flows' shared structure is
+        // directly comparable:
+        //  - C streams identically to the weight-stationary flows (k sits
+        //    outside the innermost loop in both), so C traffic matches the
+        //    standard flow exactly;
+        //  - weights are processed sequentially, so tensor-core cycles
+        //    match P(B_x)_k exactly;
+        //  - at INT2 one packed word spans the whole octet row, so the
+        //    output-stationary walk also touches each activation exactly
+        //    once and A traffic coincides with PacQ.
+        let g = GroupShape::along_k(16);
+        for shape in [GemmShape::new(1, 16, 16), GemmShape::new(16, 1, 16)] {
+            for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+                let at =
+                    |arch| simulate(arch, Workload::new(shape, precision), &volta(), g).unwrap();
+                let is = at(Architecture::InputStationary);
+                let ws = at(Architecture::StandardDequant);
+                let pk = at(Architecture::PackedK);
+                let os = at(Architecture::Pacq);
+                assert_eq!(is.rf.c_reads, ws.rf.c_reads, "{shape}/{precision}");
+                assert_eq!(is.rf.c_writes, ws.rf.c_writes, "{shape}/{precision}");
+                assert_eq!(is.rf.c_bits, ws.rf.c_bits, "{shape}/{precision}");
+                assert_eq!(is.tc_cycles, pk.tc_cycles, "{shape}/{precision}");
+                if precision == WeightPrecision::Int2 {
+                    assert_eq!(is.rf.a_reads, os.rf.a_reads, "{shape}/{precision}");
+                }
+            }
+        }
     }
 
     #[test]

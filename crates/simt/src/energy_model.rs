@@ -103,7 +103,12 @@ impl EnergyModel {
     /// The tensor-core unit active on this architecture.
     pub fn tensor_core_unit(arch: Architecture, config: &SmConfig) -> GemmUnit {
         match arch {
-            Architecture::StandardDequant | Architecture::PackedK => GemmUnit::BaselineDp {
+            // The input-stationary flow re-orders tile movement but keeps
+            // the baseline sequential-weight datapath — no parallel FP-INT
+            // multipliers, so it prices like the other baseline flows.
+            Architecture::StandardDequant
+            | Architecture::PackedK
+            | Architecture::InputStationary => GemmUnit::BaselineDp {
                 width: config.dp_width,
             },
             Architecture::Pacq => GemmUnit::ParallelDp {

@@ -93,6 +93,20 @@ pub fn execute_with_backend(
             }
             run_packed_k(a, packed, backend)
         }
+        Architecture::InputStationary => {
+            // The input-stationary flow consumes the same k-packed words
+            // through the same sequential datapath as `P(B_x)_k`; only
+            // the operand *movement* differs, and re-ordering which tile
+            // is held never changes the per-element k-accumulation order
+            // — so the functional result is bit-identical to PackedK's.
+            if packed.pack_dim() != PackDim::K {
+                return Err(PacqError::invalid_input(
+                    "simt::execute",
+                    "input-stationary flow requires P(B_x)_k packing",
+                ));
+            }
+            run_packed_k(a, packed, backend)
+        }
         Architecture::Pacq => {
             if packed.pack_dim() != PackDim::N {
                 return Err(PacqError::invalid_input(

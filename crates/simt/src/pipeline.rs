@@ -343,6 +343,43 @@ pub fn octet_schedule(
                 }
             }
         }
+        Architecture::InputStationary => {
+            // Movement mt { kt { nt } }: the two A sub-tile fetches land
+            // on the first n step of each (mt, kt) and the filled buffers
+            // stay resident across the n loop; one packed-B fetch streams
+            // every step; C moves exactly as in the weight-stationary
+            // flows (read past each tile's first k-slice, written every
+            // step).
+            for _m in 0..mt {
+                for k in 0..kt {
+                    for n in 0..nt {
+                        let mut fetches = Vec::new();
+                        if n == 0 {
+                            fetches.push(FetchKind::ATile { elements: 2 * w });
+                            fetches.push(FetchKind::ATile { elements: 2 * w });
+                        }
+                        // One packed word covers `lanes` k-values of one
+                        // output column → 4 × max(1, w/lanes) word reads
+                        // per step.
+                        let words = 4 * w.div_ceil(lanes);
+                        fetches.push(FetchKind::BTile {
+                            reads: words,
+                            bits: words * 16,
+                        });
+                        if k > 0 {
+                            fetches.push(FetchKind::CRead { elements: 16 });
+                        }
+                        fetches.push(FetchKind::CWrite { elements: 16 });
+                        steps.push(ScheduleStep {
+                            fetches,
+                            issues: 16 / config.dp_units_per_octet() as u64,
+                            issue_interval: 1,
+                            a_evictions: 0,
+                        });
+                    }
+                }
+            }
+        }
         Architecture::Pacq => {
             let word_cols = (8 / lanes).max(1);
             for _m in 0..mt {
@@ -417,6 +454,7 @@ mod tests {
                 Architecture::StandardDequant,
                 Architecture::PackedK,
                 Architecture::Pacq,
+                Architecture::InputStationary,
             ] {
                 let t = event_trace(arch, precision);
                 let a = analytic(arch, precision);
@@ -473,6 +511,7 @@ mod tests {
                 Architecture::StandardDequant,
                 Architecture::PackedK,
                 Architecture::Pacq,
+                Architecture::InputStationary,
             ] {
                 for shape in [GemmShape::new(3, 40, 17), GemmShape::new(24, 48, 48)] {
                     let t = OctetPipeline::new().run(&octet_schedule(arch, precision, &cfg));
@@ -517,6 +556,7 @@ mod tests {
                 Architecture::StandardDequant,
                 Architecture::PackedK,
                 Architecture::Pacq,
+                Architecture::InputStationary,
             ] {
                 let schedule = octet_schedule(arch, precision, &cfg);
                 let plain = OctetPipeline::new().run(&schedule);
@@ -547,6 +587,7 @@ mod tests {
                 Architecture::StandardDequant,
                 Architecture::PackedK,
                 Architecture::Pacq,
+                Architecture::InputStationary,
             ] {
                 let t = event_trace(arch, precision);
                 let a = analytic(arch, precision);
@@ -598,6 +639,7 @@ mod tests {
                 Architecture::StandardDequant,
                 Architecture::PackedK,
                 Architecture::Pacq,
+                Architecture::InputStationary,
             ] {
                 let schedule = octet_schedule(arch, WeightPrecision::Int4, &cfg);
                 let t = OctetPipeline::new().run(&schedule);
@@ -632,6 +674,10 @@ mod tests {
             assert!(event_trace(Architecture::PackedK, precision).buffer_evictions > 0);
             assert_eq!(
                 event_trace(Architecture::Pacq, precision).buffer_evictions,
+                0
+            );
+            assert_eq!(
+                event_trace(Architecture::InputStationary, precision).buffer_evictions,
                 0
             );
         }

@@ -100,7 +100,7 @@ const K: usize = 64;
 
 fn pack_for(arch: Architecture) -> PackDim {
     match arch {
-        Architecture::PackedK => PackDim::K,
+        Architecture::PackedK | Architecture::InputStationary => PackDim::K,
         _ => PackDim::N,
     }
 }
@@ -110,6 +110,7 @@ fn execute_is_bit_identical_across_job_counts() {
     for arch in [
         Architecture::StandardDequant,
         Architecture::PackedK,
+        Architecture::InputStationary,
         Architecture::Pacq,
     ] {
         for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
@@ -254,6 +255,7 @@ fn batched_backend_is_bit_identical_to_scalar_across_job_counts() {
     for arch in [
         Architecture::StandardDequant,
         Architecture::PackedK,
+        Architecture::InputStationary,
         Architecture::Pacq,
     ] {
         for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
@@ -309,6 +311,7 @@ fn three_way_equivalence_over_randomized_shapes() {
         for arch in [
             Architecture::StandardDequant,
             Architecture::PackedK,
+            Architecture::InputStationary,
             Architecture::Pacq,
         ] {
             let p = PackedMatrix::pack(&q, pack_for(arch)).expect("packs");
@@ -363,6 +366,7 @@ fn three_way_equivalence_survives_frontier_activations() {
             for arch in [
                 Architecture::StandardDequant,
                 Architecture::PackedK,
+                Architecture::InputStationary,
                 Architecture::Pacq,
             ] {
                 let p = PackedMatrix::pack(&q, pack_for(arch)).expect("packs");

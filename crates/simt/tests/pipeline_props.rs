@@ -72,7 +72,12 @@ proptest! {
     ) {
         let shape = GemmShape::new(16, ni * 16, ki * 16);
         let group = GroupShape::along_k(ki * 16);
-        for arch in [Architecture::StandardDequant, Architecture::PackedK, Architecture::Pacq] {
+        for arch in [
+            Architecture::StandardDequant,
+            Architecture::PackedK,
+            Architecture::InputStationary,
+            Architecture::Pacq,
+        ] {
             let mut a = SmConfig::volta_like();
             a.adder_tree_duplication = dup;
             let mut b = SmConfig::volta_like();
@@ -96,7 +101,12 @@ proptest! {
         let mut cfg = SmConfig::volta_like();
         cfg.dp_width = width;
         cfg.adder_tree_duplication = dup;
-        for arch in [Architecture::StandardDequant, Architecture::PackedK, Architecture::Pacq] {
+        for arch in [
+            Architecture::StandardDequant,
+            Architecture::PackedK,
+            Architecture::InputStationary,
+            Architecture::Pacq,
+        ] {
             let schedule = octet_schedule(arch, precision, &cfg);
             let t = OctetPipeline::new().run(&schedule);
             let a = simulate(

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pacq::{
-    Architecture, ArchTemplate, Dataflow, GemmRunner, GemmShape, Packing, ReportCache, Workload,
+    ArchTemplate, Architecture, Dataflow, GemmRunner, GemmShape, Packing, ReportCache, Workload,
 };
 use pacq_arch::MemLevel;
 use pacq_fp16::WeightPrecision;
@@ -57,11 +57,24 @@ fn committed_examples_validate_and_reproduce_the_builders() {
     assert_eq!(volta.digest(), ArchTemplate::volta_like().digest());
     assert_eq!(volta.architecture().unwrap(), Architecture::StandardDequant);
 
-    let pacq = ArchTemplate::load(&read_example("pacq.toml"), "pacq.toml")
-        .expect("pacq.toml validates");
+    let pacq =
+        ArchTemplate::load(&read_example("pacq.toml"), "pacq.toml").expect("pacq.toml validates");
     assert_eq!(pacq, ArchTemplate::pacq());
     assert_eq!(pacq.architecture().unwrap(), Architecture::Pacq);
     assert_ne!(pacq.digest(), volta.digest());
+
+    let is = ArchTemplate::load(
+        &read_example("input_stationary.toml"),
+        "input_stationary.toml",
+    )
+    .expect("input_stationary.toml validates");
+    assert_eq!(is, ArchTemplate::input_stationary());
+    assert_eq!(is.architecture().unwrap(), Architecture::InputStationary);
+    assert_ne!(is.digest(), volta.digest());
+    assert_ne!(is.digest(), pacq.digest());
+    // Round-trip digest stability through the canonical rendering.
+    let rendered = ArchTemplate::load(&is.render(), "is-rendered").unwrap();
+    assert_eq!(rendered.digest(), is.digest());
 
     // The JSON twin is the *same design point* as the TOML rendering:
     // identical template, identical digest, despite the different
@@ -99,7 +112,11 @@ fn digests(out: &str) -> Vec<&str> {
 
 #[test]
 fn templates_reproduce_hardcoded_reports_through_exec_check() {
-    for (tpl, arch) in [("volta_like.toml", "std"), ("pacq.toml", "pacq")] {
+    for (tpl, arch) in [
+        ("volta_like.toml", "std"),
+        ("pacq.toml", "pacq"),
+        ("input_stationary.toml", "is"),
+    ] {
         for backend in ["scalar", "batched"] {
             let base = [
                 "exec".to_string(),
@@ -179,7 +196,10 @@ fn templates_with_different_energies_never_share_a_cache_entry() {
         .analyze(Architecture::StandardDequant, wl)
         .expect("runs");
     assert_eq!(cache.hits(), 1);
-    assert_eq!(a.energy.total_pj().to_bits(), a2.energy.total_pj().to_bits());
+    assert_eq!(
+        a.energy.total_pj().to_bits(),
+        a2.energy.total_pj().to_bits()
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
