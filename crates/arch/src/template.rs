@@ -132,6 +132,10 @@ pub struct ArchTemplate {
     pub dram_bytes_per_cycle: f64,
     /// Explicit DRAM access energy (pJ per 16-bit word).
     pub dram_energy_pj_per_word16: Option<f64>,
+    /// Declared tolerance for the `pacq audit --activity` cross-check
+    /// (maximum relative error between analytic and activity-derived
+    /// multiplier energy). `None` leaves the audit's default in force.
+    pub activity_tolerance: Option<f64>,
 }
 
 impl ArchTemplate {
@@ -163,6 +167,7 @@ impl ArchTemplate {
             operand_buffer_energy_pj_per_word16: None,
             dram_bytes_per_cycle: f64::INFINITY,
             dram_energy_pj_per_word16: None,
+            activity_tolerance: None,
         }
     }
 
@@ -236,7 +241,7 @@ impl ArchTemplate {
             doc,
             "",
             &[
-                "schema", "name", "dataflow", "packing", "dequant", "compute", "memory",
+                "schema", "name", "dataflow", "packing", "dequant", "compute", "memory", "audit",
             ],
             context,
         )?;
@@ -313,6 +318,14 @@ impl ArchTemplate {
             &["bandwidth_bytes_per_cycle", "access_energy_pj_per_word16"],
             context,
         )?;
+        // `[audit]` is optional: absent means the audit defaults apply.
+        let activity_tolerance = if doc.get("audit").is_some() {
+            let audit = section_of(doc, "audit", context)?;
+            expect_keys(audit, "audit.", &["activity_tolerance"], context)?;
+            opt_num_of(audit, "audit.", "activity_tolerance", context)?
+        } else {
+            None
+        };
 
         Ok(ArchTemplate {
             name,
@@ -374,6 +387,7 @@ impl ArchTemplate {
                 "access_energy_pj_per_word16",
                 context,
             )?,
+            activity_tolerance,
         })
     }
 
@@ -413,13 +427,15 @@ impl ArchTemplate {
                 self.clock_hz
             )));
         }
+        // NaN must fail too, hence the negated comparison.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(self.dram_bytes_per_cycle > 0.0) {
             return Err(fail(format!(
                 "memory.dram.bandwidth_bytes_per_cycle must be positive (inf = unbounded), got {}",
                 self.dram_bytes_per_cycle
             )));
         }
-        if self.operand_buffer_bits < 8 || self.operand_buffer_bits % 8 != 0 {
+        if self.operand_buffer_bits < 8 || !self.operand_buffer_bits.is_multiple_of(8) {
             return Err(fail(format!(
                 "memory.operand_buffer.capacity_bits must be a positive multiple of 8, got {}",
                 self.operand_buffer_bits
@@ -434,6 +450,13 @@ impl ArchTemplate {
             return Err(fail(
                 "memory.register_file and memory.l1 capacities must be non-zero".to_string(),
             ));
+        }
+        if let Some(t) = self.activity_tolerance {
+            if !(t > 0.0 && t.is_finite()) {
+                return Err(fail(format!(
+                    "audit.activity_tolerance must be positive and finite, got {t}"
+                )));
+            }
         }
         let model = self.energy_model().map_err(|e| match e {
             PacqError::Template { message, .. } => PacqError::template(context, message),
@@ -636,6 +659,11 @@ impl ArchTemplate {
                 format!("access_energy_pj_per_word16 = {}", render_num(e)),
             );
         }
+        if let Some(t) = self.activity_tolerance {
+            push(&mut out, String::new());
+            push(&mut out, "[audit]".to_string());
+            push(&mut out, format!("activity_tolerance = {}", render_num(t)));
+        }
         out
     }
 
@@ -712,6 +740,11 @@ impl ArchTemplate {
         doc.set("dequant", self.dequant);
         doc.set("compute", compute);
         doc.set("memory", memory);
+        if let Some(t) = self.activity_tolerance {
+            let mut audit = Json::object();
+            audit.set("activity_tolerance", num(t));
+            doc.set("audit", audit);
+        }
         doc.render()
     }
 
@@ -916,6 +949,44 @@ mod tests {
             EnergyModel::new(&SmConfig::volta_like()).levels()[2].energy_per_word16_pj() + 1.0,
         );
         assert_ne!(edited.digest(), t.digest());
+    }
+
+    #[test]
+    fn audit_tolerance_round_trips_and_moves_the_digest() {
+        let mut t = ArchTemplate::pacq();
+        t.activity_tolerance = Some(0.5);
+        t.validate("test").unwrap();
+        let from_toml = ArchTemplate::parse(&t.render(), "toml").unwrap();
+        let from_json = ArchTemplate::parse(&t.render_json(), "json").unwrap();
+        assert_eq!(from_toml, t);
+        assert_eq!(from_json, t);
+        assert!(t.render().contains("[audit]\nactivity_tolerance = 0.5"));
+        assert_ne!(
+            t.digest(),
+            ArchTemplate::pacq().digest(),
+            "pinning a tolerance is a content edit"
+        );
+        // An empty `[audit]` table is allowed and means "defaults".
+        let text = format!("{}\n[audit]\n", ArchTemplate::pacq().render());
+        let parsed = ArchTemplate::parse(&text, "toml").unwrap();
+        assert_eq!(parsed.activity_tolerance, None);
+        assert_eq!(parsed.digest(), ArchTemplate::pacq().digest());
+    }
+
+    #[test]
+    fn audit_section_rejects_unknown_keys_and_bad_tolerances() {
+        let mut t = ArchTemplate::pacq();
+        t.activity_tolerance = Some(0.5);
+        let typo = t.render().replace("activity_tolerance", "activity_tol");
+        let err = ArchTemplate::parse(&typo, "test").unwrap_err();
+        assert_eq!(err.exit_code(), 9, "{err}");
+        assert!(err.to_string().contains("audit.activity_tol"), "{err}");
+        for bad in [0.0, -0.5, f64::INFINITY, f64::NAN] {
+            t.activity_tolerance = Some(bad);
+            let err = t.validate("test").unwrap_err();
+            assert_eq!(err.exit_code(), 9, "{err}");
+            assert!(err.to_string().contains("activity_tolerance"), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Extended experiment: the activity-calibration table behind
+//! `pacq audit --activity`.
+//!
+//! Simulates both Table I multiplier netlists over the deterministic
+//! precision-representative operand stream, prices the per-gate-class
+//! toggle histograms through the activity BOM, and tabulates the
+//! activity-derived pJ/op against the analytic (paper-calibrated)
+//! constants the simulator prices with — the cross-check the audit
+//! subsystem enforces within its declared tolerance.
+
+use pacq::activity::{calibrate, DEFAULT_OPS, DEFAULT_SEED, DEFAULT_TOLERANCE};
+use pacq_bench::banner;
+use pacq_energy::{ActivityBom, PJ_PER_TOGGLE_GE};
+
+fn main() -> std::process::ExitCode {
+    pacq_bench::exit(run())
+}
+
+fn run() -> pacq::PacqResult<()> {
+    let metrics = pacq_bench::init("fig_activity")?;
+    banner(
+        "Activity calibration (extension)",
+        "toggle-priced multiplier energy vs the calibrated constants",
+        "Table I synthesis energy, cross-checked from gate-level activity",
+    );
+
+    let bom = ActivityBom::calibrated();
+    let points = calibrate(&bom, DEFAULT_OPS, DEFAULT_SEED)?;
+
+    println!(
+        "\nstimulus: {DEFAULT_OPS} ops, seed {DEFAULT_SEED:#x}, \
+{PJ_PER_TOGGLE_GE:.2e} pJ per GE-toggle"
+    );
+    println!(
+        "\n{:<10} {:<5} {:>5} {:>6} {:>12} {:>12} {:>12} {:>8}",
+        "unit", "prec", "lanes", "nodes", "toggles/op", "analytic pJ", "activity pJ", "rel"
+    );
+    for p in &points {
+        println!(
+            "{:<10} {:<5} {:>5} {:>6} {:>12.2} {:>12.4} {:>12.4} {:>+7.1}%",
+            p.unit_token(),
+            p.precision_token(),
+            p.profile.lanes,
+            p.profile.nodes,
+            p.profile.logic_toggles_per_op(),
+            p.analytic_pj_per_op,
+            p.activity_pj_per_op,
+            100.0 * p.rel_error()
+        );
+    }
+
+    println!("\nper-gate-class toggle histograms (whole run):");
+    println!(
+        "{:<10} {:<5} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "unit", "prec", "not", "and", "or", "xor", "mux"
+    );
+    for p in &points {
+        print!("{:<10} {:<5}", p.unit_token(), p.precision_token());
+        for &(_, toggles) in &p.profile.toggles_by_class {
+            print!(" {toggles:>10}");
+        }
+        println!();
+    }
+
+    println!("\nreading: the baseline INT4 point anchors the pJ-per-GE-toggle constant");
+    println!("(sub-percent residual by construction); every other row is a genuine");
+    println!("prediction. The INT2 rows diverge structurally — the gate-level INT2");
+    println!("build duplicates the 4-lane array where the analytic model assumes one");
+    println!("shared unit — which is why `pacq audit --activity` defaults to the wide");
+    println!("±{DEFAULT_TOLERANCE} relative tolerance documented in DESIGN.md.");
+    metrics.finish()?;
+    Ok(())
+}

@@ -98,3 +98,8 @@ golden_test!(
     "CARGO_BIN_EXE_fig_is",
     "golden/fig_is.txt"
 );
+golden_test!(
+    fig_activity_stdout_is_pinned,
+    "CARGO_BIN_EXE_fig_activity",
+    "golden/fig_activity.txt"
+);

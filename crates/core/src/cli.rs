@@ -41,7 +41,7 @@ USAGE:
   pacq exec --shape mMnNkK [--arch std|packedk|is|pacq] [--precision int4|int2]
             [--group ...] [--check] [--json]
   pacq cache stats|clear|verify --dir DIR
-  pacq audit
+  pacq audit [--activity] [--tolerance X] [--activity-scale S]
   pacq trace --out trace.json [--arch ...] [--precision ...] [--dup ...] [--width ...]
   pacq serve (--port N | --stdio) [--queue N] [--rate N] [--burst N]
              [--max-clients N]
@@ -111,7 +111,19 @@ recorded in the --metrics manifest).
 event-driven per-octet replay on a grid of shapes (including ragged,
 zero-padded ones), architectures and precisions, plus the energy/EDP
 accounting identities and the roofline crossover search; the first
-diverging counter is reported as a typed error (exit code 7).
+diverging counter is reported as a typed error (exit code 7). With
+--activity it instead runs the activity calibration: both multiplier
+netlists are simulated gate by gate over deterministic
+precision-representative operand streams, the per-gate-class toggle
+histograms are priced through the energy BOM, and each activity-derived
+pJ/op figure must match its analytic counterpart within the declared
+tolerance (--tolerance, or the template's audit.activity_tolerance, or
+the documented default — see DESIGN.md). --activity-scale S multiplies
+the BOM's per-toggle energies (CI smokes the exit-7 mismatch path with
+a deliberately perturbed BOM). Both numbers and the toggle histogram
+go to the --metrics manifest. `pacq audit --activity` is the only
+audit form that accepts --arch-template (solely for the pinned
+tolerance).
 
 `pacq trace` replays one warp-tile octet cycle-by-cycle and writes a
 Chrome trace_event JSON (open in chrome://tracing or Perfetto; 1 trace
@@ -353,7 +365,7 @@ fn dispatch(
     // Commands that don't simulate a machine have nothing to apply a
     // template to — silently ignoring the flag would misattribute their
     // output to the template.
-    if template.is_some() && matches!(command, Some("cache" | "audit" | "serve" | "loadgen")) {
+    if template.is_some() && matches!(command, Some("cache" | "serve" | "loadgen")) {
         return Err(err(format!(
             "--arch-template does not apply to `{}`",
             command.unwrap_or_default()
@@ -367,7 +379,7 @@ fn dispatch(
         Some("dse") => dse(&args[1..], cache, backend, template),
         Some("exec") => exec(&args[1..], cache, backend, template),
         Some("cache") => cache_cmd(&args[1..], cache),
-        Some("audit") => audit(&args[1..], cache),
+        Some("audit") => audit(&args[1..], cache, template),
         Some("trace") => trace(&args[1..], template),
         Some("serve") => crate::serve::run_cli(&args[1..], cache.map(Arc::clone), backend),
         Some("loadgen") => crate::loadgen::run_cli(&args[1..], cache.map(Arc::clone), backend),
@@ -1187,9 +1199,50 @@ fn cache_cmd(args: &[String], ambient: Option<&Arc<ReportCache>>) -> PacqResult<
 /// reference scan. With `--cache DIR`, priced reports go through (and
 /// into) the store, so the audit doubles as a check that cached reports
 /// satisfy the same invariants as fresh ones.
-fn audit(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String> {
-    if let Some(extra) = args.first() {
-        return Err(err(format!("audit takes no options (got `{extra}`)")));
+fn audit(
+    args: &[String],
+    cache: Option<&Arc<ReportCache>>,
+    template: Option<&ArchTemplate>,
+) -> PacqResult<String> {
+    let mut activity = false;
+    let mut tolerance_flag = None;
+    let mut scale = None;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> PacqResult<&str> {
+            it.next()
+                .ok_or_else(|| err(format!("missing value for {name}")))
+        };
+        match flag {
+            "--activity" => activity = true,
+            "--tolerance" => {
+                let t: f64 = value("--tolerance")?
+                    .parse()
+                    .map_err(|_| err("--tolerance expects a number"))?;
+                if !(t > 0.0 && t.is_finite()) {
+                    return Err(err(format!(
+                        "--tolerance must be positive and finite, got {t}"
+                    )));
+                }
+                tolerance_flag = Some(t);
+            }
+            "--activity-scale" => {
+                let s: f64 = value("--activity-scale")?
+                    .parse()
+                    .map_err(|_| err("--activity-scale expects a number"))?;
+                scale = Some(s);
+            }
+            other => return Err(err(format!("unknown audit option `{other}`"))),
+        }
+    }
+    if activity {
+        return audit_activity(tolerance_flag, scale, template);
+    }
+    if tolerance_flag.is_some() || scale.is_some() || template.is_some() {
+        return Err(err(
+            "--tolerance, --activity-scale and --arch-template configure the activity \
+             cross-check; pass --activity too",
+        ));
     }
     // along_k(16) matches the per-octet schedule's scale granularity, so
     // the replay×octets == analytic identity is exact (see pipeline.rs).
@@ -1232,6 +1285,114 @@ fn audit(args: &[String], cache: Option<&Arc<ReportCache>>) -> PacqResult<String
         "audit OK: {checks} counter/energy checks across {cases} replay cases \
 (shapes incl. ragged, INT4/INT2, DP-4/DP-8) and {roofline_checks} roofline \
 crossover checks (FP16/INT4/INT2 weights)\n"
+    ))
+}
+
+/// `pacq audit --activity`: simulates both multiplier netlists over the
+/// reference operand streams at both precisions, prices the toggle
+/// histograms through the per-gate-class energy BOM, and cross-checks
+/// every activity-derived pJ/op figure against its analytic
+/// counterpart. The first point whose relative error exceeds the
+/// declared tolerance is a typed [`PacqError::AuditMismatch`]
+/// (exit code 7) naming the diverging unit. Every point — numbers,
+/// toggle histogram, tolerance — is recorded in the metrics manifest.
+///
+/// Tolerance resolution: `--tolerance` and a template's
+/// `audit.activity_tolerance` conflict; either alone wins over
+/// [`activity::DEFAULT_TOLERANCE`]. `--activity-scale` multiplies the
+/// BOM's per-toggle energies (CI uses it to smoke the mismatch path).
+fn audit_activity(
+    tolerance_flag: Option<f64>,
+    scale: Option<f64>,
+    template: Option<&ArchTemplate>,
+) -> PacqResult<String> {
+    use crate::activity::{self, UnitCalibration};
+
+    let template_tolerance = template.and_then(|t| t.activity_tolerance);
+    let tolerance = match (tolerance_flag, template_tolerance) {
+        (Some(_), Some(_)) => {
+            return Err(err(
+                "--tolerance conflicts with the template's audit.activity_tolerance",
+            ))
+        }
+        (Some(t), None) | (None, Some(t)) => t,
+        (None, None) => activity::DEFAULT_TOLERANCE,
+    };
+    let bom = match scale {
+        Some(s) => pacq_energy::ActivityBom::calibrated().with_scale(s)?,
+        None => pacq_energy::ActivityBom::calibrated(),
+    };
+    let points = activity::calibrate(&bom, activity::DEFAULT_OPS, activity::DEFAULT_SEED)?;
+
+    let record = |p: &UnitCalibration| {
+        let mut result = Json::object();
+        result.set("kind", "audit.activity");
+        result.set("unit", p.unit_token());
+        result.set("precision", p.precision_token());
+        result.set("analytic_pj_per_op", p.analytic_pj_per_op);
+        result.set("activity_pj_per_op", p.activity_pj_per_op);
+        result.set("activity_pj_per_cycle", p.activity_pj_per_cycle);
+        result.set("rel_error", p.rel_error());
+        result.set("tolerance", tolerance);
+        result.set("ops", p.profile.ops);
+        result.set("seed", p.profile.seed);
+        result.set("lanes", p.profile.lanes);
+        result.set("total_toggles", p.profile.total_toggles);
+        result.set("logic_toggles", p.profile.logic_toggles());
+        let mut hist = Json::object();
+        for &(class, toggles) in &p.profile.toggles_by_class {
+            hist.set(class, toggles);
+        }
+        result.set("toggles_by_class", hist);
+        pacq_trace::record_result(
+            format!("audit.activity.{}.{}", p.precision_token(), p.unit_token()),
+            result,
+        );
+    };
+
+    let mut table = String::new();
+    for p in &points {
+        record(p);
+        let _ = writeln!(
+            table,
+            "  {:<8} {:<4}  analytic {:>8.4} pJ/op  activity {:>8.4} pJ/op  rel {:>+7.1}%",
+            p.unit_token(),
+            p.precision_token(),
+            p.analytic_pj_per_op,
+            p.activity_pj_per_op,
+            100.0 * p.rel_error()
+        );
+        // `!(.. <= ..)` so a NaN relative error also trips the check.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(p.rel_error().abs() <= tolerance) {
+            return Err(PacqError::AuditMismatch {
+                counter: format!(
+                    "activity.{}.{}.pj_per_op",
+                    p.unit_token(),
+                    p.precision_token()
+                ),
+                case: format!(
+                    "{} multiplier at {} (ops {}, seed {:#x}, tolerance {tolerance})",
+                    p.unit_token(),
+                    p.precision_token(),
+                    p.profile.ops,
+                    p.profile.seed
+                ),
+                observed: format!("{:.4} pJ/op (activity-derived)", p.activity_pj_per_op),
+                expected: format!(
+                    "{:.4} pJ/op (analytic, within ±{tolerance} relative)",
+                    p.analytic_pj_per_op
+                ),
+            });
+        }
+    }
+    pacq_trace::add_counter("audit.activity.checks", points.len() as u64);
+    Ok(format!(
+        "audit OK (activity): {} multiplier points within tolerance ±{tolerance} \
+(ops {}, seed {:#x})\n{table}",
+        points.len(),
+        activity::DEFAULT_OPS,
+        activity::DEFAULT_SEED
     ))
 }
 
@@ -1643,6 +1804,94 @@ mod tests {
         assert!(out.contains("audit OK"), "{out}");
         assert!(out.contains("ragged"), "{out}");
         assert!(run(&argv("audit --shape m16n16k16")).is_err());
+    }
+
+    #[test]
+    fn audit_activity_cross_checks_all_four_points() {
+        let out = run(&argv("audit --activity")).expect("activity audit passes");
+        assert!(
+            out.contains("audit OK (activity): 4 multiplier points"),
+            "{out}"
+        );
+        for token in ["baseline", "parallel", "int4", "int2"] {
+            assert!(out.contains(token), "missing {token} in: {out}");
+        }
+        // An explicit (achievable) tolerance also passes; a tight one
+        // (wider than the anchor's sub-percent residual, tighter than
+        // the structural divergence) trips the typed exit-7 mismatch
+        // naming the first diverging unit — parallel INT4, the first
+        // non-anchored point.
+        run(&argv("audit --activity --tolerance 4")).expect("explicit tolerance");
+        let e = run(&argv("audit --activity --tolerance 0.01")).unwrap_err();
+        assert_eq!(e.exit_code(), 7, "{e}");
+        assert!(
+            e.to_string().contains("activity.parallel.int4.pj_per_op"),
+            "{e}"
+        );
+        // A perturbed BOM diverges even at the default tolerance —
+        // 16x pushes the anchored baseline point far off the analytic
+        // figure, so it is named first.
+        let e = run(&argv("audit --activity --activity-scale 16")).unwrap_err();
+        assert_eq!(e.exit_code(), 7, "{e}");
+        assert!(
+            e.to_string().contains("activity.baseline.int4.pj_per_op"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn audit_activity_flag_validation() {
+        // Activity options without --activity are usage errors.
+        for args in [
+            "audit --tolerance 0.5",
+            "audit --activity-scale 2",
+            "audit --activity --tolerance",
+            "audit --activity --tolerance -1",
+            "audit --activity --tolerance nan",
+            "audit --activity --activity-scale 0",
+            "audit --activity --bogus",
+        ] {
+            assert!(run(&argv(args)).is_err(), "`{args}` must fail");
+        }
+    }
+
+    #[test]
+    fn audit_activity_takes_the_template_tolerance() {
+        let mut template = pacq_arch::ArchTemplate::pacq();
+        template.activity_tolerance = Some(0.001);
+        let path = tmp_path("audit-template").replace(".json", ".toml");
+        std::fs::write(&path, template.render()).unwrap();
+        // The pinned (absurdly tight) tolerance governs the check.
+        let e = run(&[
+            "audit".to_string(),
+            "--activity".to_string(),
+            "--arch-template".to_string(),
+            path.clone(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 7, "{e}");
+        // An explicit --tolerance on top of the pinned one conflicts.
+        let e = run(&[
+            "audit".to_string(),
+            "--activity".to_string(),
+            "--tolerance".to_string(),
+            "4".to_string(),
+            "--arch-template".to_string(),
+            path.clone(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        assert!(e.to_string().contains("conflicts"), "{e}");
+        // A template without --activity still does not apply to the
+        // replay audit.
+        let e = run(&[
+            "audit".to_string(),
+            "--arch-template".to_string(),
+            path.clone(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

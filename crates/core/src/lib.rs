@@ -54,6 +54,7 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+pub mod activity;
 pub mod backend;
 pub mod cli;
 pub mod dse;

@@ -486,7 +486,7 @@ mod tests {
         use pacq_energy::{MemoryKind, SramModel};
         let wl = Workload::new(GemmShape::new(16, 512, 512), WeightPrecision::Int4);
         let base = GemmRunner::new();
-        let cfg = base.config().clone();
+        let cfg = *base.config();
         let bumped = EnergyModel::with_levels(
             SramModel::with_access_energy(
                 MemoryKind::RegisterFile,

@@ -29,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 pub mod breakdown;
 pub mod calibration;
 pub mod components;
 pub mod sram;
 pub mod units;
 
+pub use activity::{ActivityBom, GATE_CLASS_AREAS_GE, PJ_PER_TOGGLE_GE};
 pub use breakdown::{BreakdownSlice, Figure9, PowerBreakdown};
 pub use components::{BomEntry, Component, Provenance, ENERGY_UNIT_PJ};
 pub use sram::{MemoryKind, SramModel};

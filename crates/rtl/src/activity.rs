@@ -1,0 +1,262 @@
+//! Switching-activity measurement over the multiplier netlists.
+//!
+//! Drives the baseline FP16 multiplier and the parallel FP-INT
+//! multiplier with deterministic, precision-representative operand
+//! streams and reports the per-gate-class toggle histogram — the raw
+//! material the activity-calibrated energy model in `pacq-energy`
+//! prices into pJ/op figures.
+//!
+//! The stimulus is an LCG-driven stream shaped like inference traffic:
+//! activations are normal-range FP16 values, baseline weights carry
+//! only as many mantissa bits as a dequantized `b`-bit code provides,
+//! and the parallel unit consumes fully random packed words (every
+//! lane a uniform code). Same seed ⇒ same stream ⇒ same histogram, on
+//! any host: the foundation of the determinism guarantees `pacq audit
+//! --activity` makes.
+
+use crate::{Fp16MulCircuit, ParallelFpIntCircuit};
+use pacq_error::{PacqError, PacqResult};
+use pacq_fp16::WeightPrecision;
+
+/// Which multiplier netlist a measurement drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulKind {
+    /// The sequential baseline FP16 multiplier (one product per cycle).
+    Baseline,
+    /// The parallel FP-INT multiplier (one product per lane per cycle).
+    Parallel,
+}
+
+impl MulKind {
+    /// Both kinds, in audit order.
+    pub const ALL: [MulKind; 2] = [MulKind::Baseline, MulKind::Parallel];
+
+    /// Stable lowercase token used in manifests and audit counters.
+    pub const fn token(self) -> &'static str {
+        match self {
+            MulKind::Baseline => "baseline",
+            MulKind::Parallel => "parallel",
+        }
+    }
+}
+
+/// The result of one activity measurement: toggle statistics for a
+/// multiplier netlist over a deterministic operand stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityProfile {
+    /// Which multiplier was driven.
+    pub kind: MulKind,
+    /// Weight precision the stimulus represented.
+    pub precision: WeightPrecision,
+    /// Number of simulated operations (netlist evaluations).
+    pub ops: u64,
+    /// LCG seed the stream was derived from.
+    pub seed: u64,
+    /// Products produced per operation (1 for baseline, lane count for
+    /// the parallel unit).
+    pub lanes: u64,
+    /// Per-gate-class toggle totals over the whole stream, in
+    /// [`crate::netlist::GATE_CLASSES`] order.
+    pub toggles_by_class: Vec<(&'static str, u64)>,
+    /// Total toggles over every node, inputs included.
+    pub total_toggles: u64,
+    /// Number of nodes in the netlist (inputs and constants included).
+    pub nodes: u64,
+    /// Gate-equivalent area of the netlist (NAND2-equivalent units).
+    pub area_ge: f64,
+}
+
+impl ActivityProfile {
+    /// Number of observable transitions in the stream: the first
+    /// operation establishes the baseline state, so `ops` simulations
+    /// expose `ops - 1` transitions.
+    pub fn transitions(&self) -> u64 {
+        self.ops - 1
+    }
+
+    /// Toggles attributed to logic gates (the class histogram sum;
+    /// excludes input nodes, which carry no cell).
+    pub fn logic_toggles(&self) -> u64 {
+        self.toggles_by_class.iter().map(|(_, t)| t).sum()
+    }
+
+    /// Mean logic toggles per operation (per netlist evaluation).
+    pub fn logic_toggles_per_op(&self) -> f64 {
+        self.logic_toggles() as f64 / self.transitions() as f64
+    }
+}
+
+/// Simulates `kind`'s netlist over `ops` operations of the
+/// deterministic precision-representative stream for `precision` and
+/// returns its toggle statistics.
+///
+/// # Errors
+///
+/// Returns a typed [`PacqError`] when `ops < 2`: a zero- or one-entry
+/// stimulus stream exposes no transitions, so there is no activity to
+/// measure.
+pub fn measure(
+    kind: MulKind,
+    precision: WeightPrecision,
+    ops: u64,
+    seed: u64,
+) -> PacqResult<ActivityProfile> {
+    if ops < 2 {
+        return Err(PacqError::invalid_input(
+            "rtl::activity",
+            format!(
+                "activity measurement needs at least 2 operations to \
+                 observe a transition (got {ops})"
+            ),
+        ));
+    }
+    let mut stream = Stream::new(seed);
+    let (netlist, lanes) = match kind {
+        MulKind::Baseline => {
+            let mut c = Fp16MulCircuit::build();
+            for _ in 0..ops {
+                let a = stream.activation();
+                let w = stream.dequantized_weight(precision);
+                c.multiply(a, w);
+            }
+            (c.netlist, 1u64)
+        }
+        MulKind::Parallel => {
+            let mut c = match precision {
+                WeightPrecision::Int4 => ParallelFpIntCircuit::build(),
+                WeightPrecision::Int2 => ParallelFpIntCircuit::build_int2(),
+            };
+            for _ in 0..ops {
+                let a = stream.activation();
+                let packed = stream.packed_word();
+                c.multiply_all(a, packed);
+            }
+            let lanes = c.lanes() as u64;
+            (c.netlist, lanes)
+        }
+    };
+    Ok(ActivityProfile {
+        kind,
+        precision,
+        ops,
+        seed,
+        lanes,
+        toggles_by_class: netlist.toggles_by_class(),
+        total_toggles: netlist.total_toggles(),
+        nodes: netlist.node_count() as u64,
+        area_ge: netlist.area_ge(),
+    })
+}
+
+/// Deterministic operand stream (Knuth MMIX LCG).
+struct Stream {
+    x: u64,
+}
+
+impl Stream {
+    fn new(seed: u64) -> Self {
+        Stream { x: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.x = self
+            .x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.x
+    }
+
+    /// A normal-range FP16 activation: random sign and mantissa, biased
+    /// exponent drawn from 1..=30 (no zeros, subnormals, infinities or
+    /// NaNs — representative of inference-tensor traffic).
+    fn activation(&mut self) -> u16 {
+        let r = self.next();
+        let sign = ((r >> 40) & 1) as u16;
+        let exponent = 1 + ((r >> 32) % 30) as u16;
+        let mantissa = (r & 0x3FF) as u16;
+        (sign << 15) | (exponent << 10) | mantissa
+    }
+
+    /// A normal-range FP16 weight whose mantissa carries only the top
+    /// `bits` bits — the value set a dequantized `bits`-bit integer
+    /// code reaches, which is what the baseline multiplier sees after
+    /// dequantization.
+    fn dequantized_weight(&mut self, precision: WeightPrecision) -> u16 {
+        let bits = precision.bits();
+        let r = self.next();
+        let sign = ((r >> 40) & 1) as u16;
+        let exponent = 1 + ((r >> 32) % 30) as u16;
+        let code = (r & ((1 << bits) - 1)) as u16;
+        let mantissa = code << (10 - bits);
+        (sign << 15) | (exponent << 10) | mantissa
+    }
+
+    /// A fully random packed word (every lane a uniform code).
+    fn packed_word(&mut self) -> u16 {
+        (self.next() & 0xFFFF) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_is_deterministic_for_a_seed() {
+        for kind in MulKind::ALL {
+            let a = measure(kind, WeightPrecision::Int4, 32, 0x5EED).unwrap();
+            let b = measure(kind, WeightPrecision::Int4, 32, 0x5EED).unwrap();
+            assert_eq!(a, b, "{kind:?} must be reproducible");
+            let c = measure(kind, WeightPrecision::Int4, 32, 0x5EEE).unwrap();
+            assert_ne!(
+                a.total_toggles, c.total_toggles,
+                "{kind:?} must respond to the seed"
+            );
+        }
+    }
+
+    #[test]
+    fn short_streams_are_typed_errors() {
+        for ops in [0, 1] {
+            let e = measure(MulKind::Baseline, WeightPrecision::Int4, ops, 1).unwrap_err();
+            let msg = e.to_string();
+            assert!(msg.contains("rtl::activity"), "{msg}");
+            assert!(!msg.contains('\n'), "one-line invariant: {msg}");
+        }
+    }
+
+    #[test]
+    fn lanes_track_the_precision() {
+        let b2 = measure(MulKind::Baseline, WeightPrecision::Int2, 8, 1).unwrap();
+        assert_eq!(b2.lanes, 1);
+        let p4 = measure(MulKind::Parallel, WeightPrecision::Int4, 8, 1).unwrap();
+        assert_eq!(p4.lanes, 4);
+        let p2 = measure(MulKind::Parallel, WeightPrecision::Int2, 8, 1).unwrap();
+        assert_eq!(p2.lanes, 8);
+        assert!(
+            p2.nodes > p4.nodes,
+            "the INT2 build instantiates two 4-lane arrays"
+        );
+    }
+
+    #[test]
+    fn profile_arithmetic_is_consistent() {
+        let p = measure(MulKind::Baseline, WeightPrecision::Int4, 16, 0x5EED).unwrap();
+        assert_eq!(p.transitions(), 15);
+        assert!(p.logic_toggles() <= p.total_toggles);
+        assert!(p.logic_toggles() > 0, "a live stream must switch gates");
+        let per_op = p.logic_toggles_per_op();
+        assert!((per_op - p.logic_toggles() as f64 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dequantized_weights_carry_limited_mantissas() {
+        let mut s = Stream::new(7);
+        for _ in 0..64 {
+            let w = s.dequantized_weight(WeightPrecision::Int2);
+            assert_eq!(w & 0x00FF, 0, "INT2 weights keep only 2 mantissa bits");
+            let exp = (w >> 10) & 0x1F;
+            assert!((1..=30).contains(&exp), "normal range, got exponent {exp}");
+        }
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 pub mod adder;
 pub mod fp16_mul;
 pub mod multiplier;
@@ -42,10 +43,11 @@ pub mod netlist;
 pub mod parallel_mul;
 pub mod vcd;
 
+pub use activity::{measure, ActivityProfile, MulKind};
 pub use fp16_mul::Fp16MulCircuit;
-pub use netlist::{Bus, Gate, GateCounts, Netlist, NodeId};
+pub use netlist::{Bus, Gate, GateCounts, Netlist, NodeId, GATE_CLASSES};
 pub use parallel_mul::ParallelFpIntCircuit;
-pub use vcd::VcdRecorder;
+pub use vcd::{parse_transition_counts, VcdRecorder};
 
 #[cfg(test)]
 mod tests {

@@ -56,7 +56,25 @@ impl Gate {
             Gate::Mux { .. } => 2.0,
         }
     }
+
+    /// The stable gate-class token used by toggle histograms and the
+    /// activity energy BOM (`None` for inputs and constant drivers,
+    /// which carry no cell of their own).
+    pub fn class_name(&self) -> Option<&'static str> {
+        match self {
+            Gate::Input | Gate::Const(_) => None,
+            Gate::Not(_) => Some("not"),
+            Gate::And(..) => Some("and"),
+            Gate::Or(..) => Some("or"),
+            Gate::Xor(..) => Some("xor"),
+            Gate::Mux { .. } => Some("mux"),
+        }
+    }
 }
+
+/// The gate-class tokens of [`Gate::class_name`] in stable histogram
+/// order.
+pub const GATE_CLASSES: [&str; 5] = ["not", "and", "or", "xor", "mux"];
 
 /// Aggregate gate statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -296,6 +314,45 @@ impl Netlist {
         self.toggles.iter().sum()
     }
 
+    /// Number of nodes (gate outputs, inputs and constants included).
+    pub fn node_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gate driving a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate(&self, id: NodeId) -> Gate {
+        self.gates[id as usize]
+    }
+
+    /// Output toggles of one node across all simulations so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn toggles_of(&self, id: NodeId) -> u64 {
+        self.toggles[id as usize]
+    }
+
+    /// Toggle histogram by gate class, in [`GATE_CLASSES`] order (every
+    /// class present, zero included). Input and constant nodes toggle
+    /// too but carry no cell, so they are excluded — this histogram is
+    /// exactly what the activity energy BOM prices.
+    pub fn toggles_by_class(&self) -> Vec<(&'static str, u64)> {
+        let mut hist: Vec<(&'static str, u64)> = GATE_CLASSES.iter().map(|&c| (c, 0u64)).collect();
+        for (gate, &toggles) in self.gates.iter().zip(&self.toggles) {
+            if let Some(class) = gate.class_name() {
+                if let Some(slot) = hist.iter_mut().find(|(c, _)| *c == class) {
+                    slot.1 += toggles;
+                }
+            }
+        }
+        hist
+    }
+
     /// Number of simulations run.
     pub fn simulations(&self) -> u64 {
         self.simulations
@@ -377,6 +434,39 @@ mod tests {
         assert_eq!(n.total_toggles(), 2);
         assert_eq!(n.simulations(), 3);
         let _ = inv;
+    }
+
+    #[test]
+    fn class_histogram_partitions_logic_toggles() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.xor(a, b);
+        let inv = n.not(x);
+        let m = n.mux(a, b, inv);
+        n.simulate(&[false, false]);
+        n.simulate(&[true, false]);
+        n.simulate(&[true, true]);
+        let hist = n.toggles_by_class();
+        assert_eq!(hist.len(), GATE_CLASSES.len());
+        assert_eq!(
+            hist.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            GATE_CLASSES
+        );
+        // The histogram covers logic gates only; inputs toggle but are
+        // excluded, so the class sum plus input toggles is the total.
+        let logic: u64 = hist.iter().map(|(_, t)| t).sum();
+        let inputs = n.toggles_of(a) + n.toggles_of(b);
+        assert_eq!(logic + inputs, n.total_toggles());
+        let class_of = |c: &str| hist.iter().find(|(k, _)| *k == c).map(|(_, t)| *t);
+        assert_eq!(
+            class_of("xor"),
+            Some(n.toggles_of(x)),
+            "xor class holds exactly the xor gate's toggles"
+        );
+        assert_eq!(class_of("not"), Some(n.toggles_of(inv)));
+        assert_eq!(class_of("mux"), Some(n.toggles_of(m)));
+        assert_eq!(class_of("and"), Some(0));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 use crate::netlist::{Netlist, NodeId};
 use core::fmt::Write as _;
+use pacq_error::{PacqError, PacqResult};
 
 /// One watched bus.
 #[derive(Debug, Clone)]
@@ -108,6 +109,23 @@ impl VcdRecorder {
         self.steps += 1;
     }
 
+    /// Watches every node of the netlist as an individual 1-bit signal
+    /// named `g{id}`, so an exported dump carries the complete per-node
+    /// transition record — the stimulus-independent ground truth the
+    /// activity calibration property tests replay against
+    /// [`Netlist::toggles_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after sampling started (see
+    /// [`VcdRecorder::watch`]).
+    pub fn watch_all_nodes(&mut self, netlist: &Netlist) {
+        for id in 0..netlist.node_count() {
+            let node = [id as NodeId];
+            self.watch(format!("g{id}"), &node);
+        }
+    }
+
     /// Number of sampled timesteps.
     pub fn steps(&self) -> u64 {
         self.steps
@@ -186,6 +204,106 @@ fn id_code(mut index: usize) -> String {
     code
 }
 
+/// Recovers per-signal transition counts from a rendered VCD document.
+///
+/// Counts value *changes* after each signal's first dump: the first
+/// record per signal establishes the baseline and is not counted, which
+/// matches [`Netlist`] toggle accounting exactly when the dump covers
+/// the full simulation (the recorder emits every watched signal's
+/// initial value at `#0`).
+///
+/// Returns `(name, transitions)` pairs in declaration order.
+///
+/// # Errors
+///
+/// Returns a typed [`PacqError`] (never panics) when the document is
+/// truncated (no `$enddefinitions`), a `$var` declaration is malformed
+/// or duplicates an identifier code, a value-change record references
+/// an undeclared identifier, or a binary vector value is malformed.
+pub fn parse_transition_counts(text: &str) -> PacqResult<Vec<(String, u64)>> {
+    const CONTEXT: &str = "rtl::vcd::parse";
+    let err = |message: String| PacqError::invalid_input(CONTEXT, message);
+    if text.trim().is_empty() {
+        return Err(err("empty VCD document".to_string()));
+    }
+    // Header: collect $var declarations until $enddefinitions.
+    let mut names: Vec<String> = Vec::new();
+    let mut codes: Vec<String> = Vec::new();
+    let mut lines = text.lines();
+    let mut definitions_done = false;
+    for line in lines.by_ref() {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.first().copied() {
+            Some("$enddefinitions") => {
+                definitions_done = true;
+                break;
+            }
+            Some("$var") => {
+                // $var wire <width> <code> <name> $end
+                if tokens.len() != 6 || tokens[5] != "$end" {
+                    return Err(err(format!("malformed $var declaration `{line}`")));
+                }
+                let width: u64 = tokens[2]
+                    .parse()
+                    .map_err(|_| err(format!("malformed $var width `{}`", tokens[2])))?;
+                if width == 0 || width > 64 {
+                    return Err(err(format!("unsupported $var width {width}")));
+                }
+                let code = tokens[3].to_string();
+                if codes.contains(&code) {
+                    return Err(err(format!("duplicate identifier code `{code}`")));
+                }
+                names.push(tokens[4].to_string());
+                codes.push(code);
+            }
+            _ => {}
+        }
+    }
+    if !definitions_done {
+        return Err(err(
+            "truncated VCD document: missing $enddefinitions".to_string()
+        ));
+    }
+    // Body: scalar (`0!`/`1!`) and vector (`b101 !`) change records.
+    let mut last: Vec<Option<u64>> = vec![None; codes.len()];
+    let mut transitions: Vec<u64> = vec![0; codes.len()];
+    let mut record = |code: &str, value: u64, line: &str| -> PacqResult<()> {
+        let index = codes.iter().position(|c| c == code).ok_or_else(|| {
+            err(format!(
+                "change record `{line}` names undeclared code `{code}`"
+            ))
+        })?;
+        if let Some(prev) = last[index] {
+            if prev != value {
+                transitions[index] += 1;
+            }
+        }
+        last[index] = Some(value);
+        Ok(())
+    };
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('$') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('b') {
+            let (bits, code) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(format!("malformed vector record `{line}`")))?;
+            let value = u64::from_str_radix(bits, 2)
+                .map_err(|_| err(format!("malformed binary value in `{line}`")))?;
+            record(code, value, line)?;
+        } else if let Some(code) = line.strip_prefix('0') {
+            record(code, 0, line)?;
+        } else if let Some(code) = line.strip_prefix('1') {
+            record(code, 1, line)?;
+        } else {
+            return Err(err(format!("unrecognized change record `{line}`")));
+        }
+    }
+    Ok(names.into_iter().zip(transitions).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +363,77 @@ mod tests {
         c.multiply(1, 2);
         vcd.sample(&c.netlist);
         vcd.watch("late", &bus);
+    }
+
+    #[test]
+    fn parser_recovers_transition_counts_from_rendered_dump() {
+        let mut c = Fp16MulCircuit::build();
+        let (a_bus, b_bus) = {
+            let (a, b) = c.inputs();
+            (a.to_vec(), b.to_vec())
+        };
+        let mut vcd = VcdRecorder::new("dut");
+        vcd.watch("a", &a_bus);
+        vcd.watch("b", &b_bus);
+        c.multiply(0x3C00, 0x4000);
+        vcd.sample(&c.netlist);
+        c.multiply(0x3C00, 0x4000); // unchanged
+        vcd.sample(&c.netlist);
+        c.multiply(0x3E00, 0x4000); // a changes, b does not
+        vcd.sample(&c.netlist);
+        c.multiply(0x3C00, 0x3555); // both change
+        vcd.sample(&c.netlist);
+        let counts = parse_transition_counts(&vcd.render()).expect("valid dump parses");
+        assert_eq!(counts, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+    }
+
+    #[test]
+    fn parser_counts_per_node_transitions_like_the_netlist() {
+        let mut c = Fp16MulCircuit::build();
+        let mut vcd = VcdRecorder::new("dut");
+        vcd.watch_all_nodes(&c.netlist);
+        for (a, b) in [(0x3C00, 0x4000), (0x3E00, 0x3E00), (0x0001, 0xBC00)] {
+            c.multiply(a, b);
+            vcd.sample(&c.netlist);
+        }
+        let counts = parse_transition_counts(&vcd.render()).expect("valid dump parses");
+        assert_eq!(counts.len(), c.netlist.node_count());
+        for (id, (name, transitions)) in counts.iter().enumerate() {
+            assert_eq!(name, &format!("g{id}"));
+            assert_eq!(
+                *transitions,
+                c.netlist.toggles_of(id as NodeId),
+                "node {id} VCD transitions must equal netlist toggles"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_rejects_truncated_and_corrupt_documents() {
+        let full = "$var wire 1 ! x $end\n$enddefinitions $end\n#0\n0!\n#1\n1!\n#2\n";
+        assert_eq!(
+            parse_transition_counts(full).expect("well-formed"),
+            vec![("x".to_string(), 1)]
+        );
+        // Truncated before $enddefinitions.
+        let truncated = &full[..full.find("$enddefinitions").unwrap()];
+        let e = parse_transition_counts(truncated).unwrap_err();
+        assert!(e.to_string().contains("truncated"), "{e}");
+        // Corrupt change record.
+        let corrupt = full.replace("1!", "z!");
+        assert!(parse_transition_counts(&corrupt).is_err());
+        // Undeclared identifier code.
+        let undeclared = full.replace("0!", "0?");
+        let e = parse_transition_counts(&undeclared).unwrap_err();
+        assert!(e.to_string().contains("undeclared"), "{e}");
+        // Malformed binary vector value.
+        let bad_vec = "$var wire 2 ! x $end\n$enddefinitions $end\n#0\nb12 !\n";
+        assert!(parse_transition_counts(bad_vec).is_err());
+        // Duplicate identifier code.
+        let dup = "$var wire 1 ! x $end\n$var wire 1 ! y $end\n$enddefinitions $end\n";
+        assert!(parse_transition_counts(dup).is_err());
+        // Empty document.
+        assert!(parse_transition_counts("  \n ").is_err());
     }
 
     #[test]

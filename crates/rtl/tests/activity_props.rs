@@ -1,0 +1,171 @@
+//! Property tests for the toggle counter (ISSUE satellite): the
+//! per-gate toggle counts a netlist simulation accumulates must equal
+//! the transition counts recovered by parsing the exported VCD for the
+//! same stimulus — over random operand streams, for both multipliers
+//! and both weight precisions.
+//!
+//! This pins the equivalence the activity calibration rests on: the
+//! energy mode prices simulation-side toggle histograms, and the VCD
+//! parse is the independent, format-level witness that those counts
+//! describe the waveforms a viewer would see.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use pacq_fp16::WeightPrecision;
+use pacq_rtl::{
+    measure, parse_transition_counts, Fp16MulCircuit, MulKind, Netlist, NodeId,
+    ParallelFpIntCircuit, VcdRecorder,
+};
+
+/// Replays `counts` (per-node VCD transitions, declaration order
+/// `g{id}`) against the netlist's own toggle counters.
+fn assert_counts_match(netlist: &Netlist, counts: &[(String, u64)]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(counts.len(), netlist.node_count());
+    let mut vcd_total = 0u64;
+    for (id, (name, transitions)) in counts.iter().enumerate() {
+        let expected_name = format!("g{id}");
+        prop_assert_eq!(name.as_str(), expected_name.as_str());
+        prop_assert_eq!(
+            *transitions,
+            netlist.toggles_of(id as NodeId),
+            "node {} transitions diverge",
+            id
+        );
+        vcd_total += transitions;
+    }
+    prop_assert_eq!(vcd_total, netlist.total_toggles());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Baseline FP16 multiplier: VCD transitions == netlist toggles for
+    /// any random operand stream.
+    #[test]
+    fn baseline_vcd_transitions_equal_netlist_toggles(
+        ops in prop::collection::vec((any::<u16>(), any::<u16>()), 1..24),
+    ) {
+        let mut c = Fp16MulCircuit::build();
+        let mut vcd = VcdRecorder::new("dut");
+        vcd.watch_all_nodes(&c.netlist);
+        for &(a, w) in &ops {
+            c.multiply(a, w);
+            vcd.sample(&c.netlist);
+        }
+        let counts = parse_transition_counts(&vcd.render())
+            .map_err(|e| TestCaseError::Fail(format!("parse failed: {e}")))?;
+        assert_counts_match(&c.netlist, &counts)?;
+    }
+
+    /// Parallel FP-INT multiplier, both precisions (4-lane INT4 build
+    /// and 8-lane INT2 build): VCD transitions == netlist toggles.
+    #[test]
+    fn parallel_vcd_transitions_equal_netlist_toggles(
+        int2 in any::<bool>(),
+        ops in prop::collection::vec((any::<u16>(), any::<u16>()), 1..16),
+    ) {
+        let mut c = if int2 {
+            ParallelFpIntCircuit::build_int2()
+        } else {
+            ParallelFpIntCircuit::build()
+        };
+        let mut vcd = VcdRecorder::new("dut");
+        vcd.watch_all_nodes(&c.netlist);
+        for &(a, packed) in &ops {
+            c.multiply_all(a, packed);
+            vcd.sample(&c.netlist);
+        }
+        let counts = parse_transition_counts(&vcd.render())
+            .map_err(|e| TestCaseError::Fail(format!("parse failed: {e}")))?;
+        assert_counts_match(&c.netlist, &counts)?;
+    }
+
+    /// The calibration stimulus itself (both multipliers × both
+    /// precisions over the precision-representative stream): the
+    /// measured class histogram totals agree with the VCD replay of the
+    /// identical stream.
+    #[test]
+    fn measured_streams_agree_with_their_vcd_replay(
+        seed in any::<u64>(),
+        ops in 2u64..20,
+    ) {
+        for precision in [WeightPrecision::Int4, WeightPrecision::Int2] {
+            for kind in MulKind::ALL {
+                let profile = measure(kind, precision, ops, seed)
+                    .map_err(|e| TestCaseError::Fail(format!("measure: {e}")))?;
+                // Replay the same stream against a fresh circuit with a
+                // recorder attached; the dump must reproduce the exact
+                // toggle totals the measurement reported.
+                let (netlist, text) = replay_with_vcd(kind, precision, ops, seed);
+                let counts = parse_transition_counts(&text)
+                    .map_err(|e| TestCaseError::Fail(format!("parse: {e}")))?;
+                assert_counts_match(&netlist, &counts)?;
+                prop_assert_eq!(netlist.total_toggles(), profile.total_toggles);
+                prop_assert_eq!(netlist.toggles_by_class(), profile.toggles_by_class);
+            }
+        }
+    }
+}
+
+/// Drives the same deterministic stream [`measure`] uses, with every
+/// node watched, returning the simulated netlist and the rendered dump.
+fn replay_with_vcd(
+    kind: MulKind,
+    precision: WeightPrecision,
+    ops: u64,
+    seed: u64,
+) -> (Netlist, String) {
+    // The stream construction mirrors `pacq_rtl::activity`: same LCG,
+    // same operand shaping — byte-identical operands by construction
+    // (asserted via the toggle totals in the property above).
+    let mut x = seed;
+    let mut step = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    let normal = |r: u64, mantissa_bits: u32| -> u16 {
+        let sign = ((r >> 40) & 1) as u16;
+        let exponent = 1 + ((r >> 32) % 30) as u16;
+        let mantissa = if mantissa_bits >= 10 {
+            (r & 0x3FF) as u16
+        } else {
+            ((r & ((1 << mantissa_bits) - 1)) as u16) << (10 - mantissa_bits)
+        };
+        (sign << 15) | (exponent << 10) | mantissa
+    };
+    match kind {
+        MulKind::Baseline => {
+            let mut c = Fp16MulCircuit::build();
+            let mut vcd = VcdRecorder::new("dut");
+            vcd.watch_all_nodes(&c.netlist);
+            for _ in 0..ops {
+                let a = normal(step(), 10);
+                let w = normal(step(), precision.bits());
+                c.multiply(a, w);
+                vcd.sample(&c.netlist);
+            }
+            let text = vcd.render();
+            (c.netlist, text)
+        }
+        MulKind::Parallel => {
+            let mut c = match precision {
+                WeightPrecision::Int4 => ParallelFpIntCircuit::build(),
+                WeightPrecision::Int2 => ParallelFpIntCircuit::build_int2(),
+            };
+            let mut vcd = VcdRecorder::new("dut");
+            vcd.watch_all_nodes(&c.netlist);
+            for _ in 0..ops {
+                let a = normal(step(), 10);
+                let packed = (step() & 0xFFFF) as u16;
+                c.multiply_all(a, packed);
+                vcd.sample(&c.netlist);
+            }
+            let text = vcd.render();
+            (c.netlist, text)
+        }
+    }
+}

@@ -8,6 +8,22 @@ use crate::config::{Architecture, SmConfig};
 use crate::stats::GemmStats;
 use pacq_energy::{Component, GemmUnit, SramModel, ENERGY_UNIT_PJ};
 
+/// Activity-calibrated multiplier energies, in pJ per fully-active
+/// cycle, measured by gate-level netlist simulation (`pacq-rtl`) and
+/// priced through the per-gate-class BOM of `pacq_energy::activity`.
+///
+/// When installed on an [`EnergyModel`], these replace the analytic
+/// multiplier constants inside every DP-unit price while the rest of
+/// each unit's bill of materials (adder trees, accumulator) stays
+/// analytic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulEnergyOverride {
+    /// Baseline FP16 multiplier energy per cycle, in pJ.
+    pub baseline_pj_per_cycle: f64,
+    /// Parallel FP-INT multiplier energy per cycle, in pJ.
+    pub parallel_pj_per_cycle: f64,
+}
+
 /// Energy model for one simulated machine.
 #[derive(Debug, Clone)]
 pub struct EnergyModel {
@@ -16,6 +32,9 @@ pub struct EnergyModel {
     dram: SramModel,
     buffer: SramModel,
     clock_hz: f64,
+    /// Activity-calibrated multiplier energies; `None` prices the
+    /// multipliers analytically.
+    mul_override: Option<MulEnergyOverride>,
 }
 
 /// Energy split of one GEMM run, in picojoules.
@@ -54,6 +73,7 @@ impl EnergyModel {
             dram: SramModel::dram(),
             buffer: SramModel::volta_operand_buffer(),
             clock_hz: config.clock_hz,
+            mul_override: None,
         }
     }
 
@@ -76,6 +96,30 @@ impl EnergyModel {
             dram,
             buffer,
             clock_hz,
+            mul_override: None,
+        }
+    }
+
+    /// Returns the model with activity-calibrated multiplier energies
+    /// installed: DP-unit tensor-core prices substitute the measured
+    /// per-cycle multiplier figures for the analytic constants.
+    pub fn with_activity_calibrated(mut self, mul: MulEnergyOverride) -> Self {
+        self.mul_override = Some(mul);
+        self
+    }
+
+    /// The installed activity-calibrated multiplier energies, if any.
+    pub fn activity_calibrated(&self) -> Option<MulEnergyOverride> {
+        self.mul_override
+    }
+
+    /// The provenance token of the multiplier energy source, as it
+    /// appears in manifests: `"analytic"` or `"activity_calibrated"`.
+    pub fn mul_energy_source(&self) -> &'static str {
+        if self.mul_override.is_some() {
+            "activity_calibrated"
+        } else {
+            "analytic"
         }
     }
 
@@ -91,13 +135,53 @@ impl EnergyModel {
     /// must never share a content address, whatever configuration or
     /// template produced them.
     pub fn energy_canonical(&self) -> String {
-        format!(
+        let mut canonical = format!(
             "buf{:016x},rf{:016x},l1{:016x},dram{:016x}",
             self.buffer.energy_per_word16_pj().to_bits(),
             self.rf.energy_per_word16_pj().to_bits(),
             self.l1.energy_per_word16_pj().to_bits(),
             self.dram.energy_per_word16_pj().to_bits(),
-        )
+        );
+        if let Some(mul) = self.mul_override {
+            // An activity-calibrated model must never share a content
+            // address with the analytic one (or with a calibration run
+            // that measured different figures).
+            let _ = core::fmt::Write::write_fmt(
+                &mut canonical,
+                format_args!(
+                    ",mulb{:016x},mulp{:016x}",
+                    mul.baseline_pj_per_cycle.to_bits(),
+                    mul.parallel_pj_per_cycle.to_bits(),
+                ),
+            );
+        }
+        canonical
+    }
+
+    /// Energy of one fully-active cycle of a tensor-core DP unit, in
+    /// pJ: the analytic price, with the multiplier share substituted by
+    /// the activity-calibrated figures when installed. Non-DP units
+    /// price analytically either way.
+    fn dp_unit_cycle_pj(&self, unit: GemmUnit) -> f64 {
+        let analytic = unit.energy_per_cycle_pj();
+        let Some(mul) = self.mul_override else {
+            return analytic;
+        };
+        match unit {
+            GemmUnit::BaselineDp { width } => {
+                analytic
+                    + width as f64
+                        * (mul.baseline_pj_per_cycle
+                            - GemmUnit::BaselineFp16Mul.energy_per_cycle_pj())
+            }
+            GemmUnit::ParallelDp { width, .. } => {
+                analytic
+                    + width as f64
+                        * (mul.parallel_pj_per_cycle
+                            - GemmUnit::ParallelFpIntMul.energy_per_cycle_pj())
+            }
+            _ => analytic,
+        }
     }
 
     /// The tensor-core unit active on this architecture.
@@ -127,7 +211,7 @@ impl EnergyModel {
         let dp_units_active = (config.concurrent_warps()
             * config.octets_per_warp()
             * config.dp_units_per_octet()) as f64;
-        let tc_pj = dp_unit.energy_per_cycle_pj() * stats.tc_cycles as f64 * dp_units_active;
+        let tc_pj = self.dp_unit_cycle_pj(dp_unit) * stats.tc_cycles as f64 * dp_units_active;
 
         // Memories: element accesses are 16-bit; level traffic is counted
         // in bits.
@@ -236,6 +320,72 @@ mod tests {
             cfg.clock_hz,
         );
         assert_ne!(base.energy_canonical(), bumped.energy_canonical());
+    }
+
+    #[test]
+    fn activity_override_substitutes_only_the_multiplier_share() {
+        let cfg = SmConfig::volta_like();
+        let stats = simulate(
+            Architecture::Pacq,
+            Workload::new(GemmShape::new(16, 256, 256), WeightPrecision::Int4),
+            &cfg,
+            GroupShape::G128,
+        )
+        .unwrap();
+        let analytic = EnergyModel::new(&cfg);
+        // Installing the analytic figures themselves must be a no-op:
+        // the substitution touches exactly the multiplier share.
+        let identity = EnergyModel::new(&cfg).with_activity_calibrated(MulEnergyOverride {
+            baseline_pj_per_cycle: GemmUnit::BaselineFp16Mul.energy_per_cycle_pj(),
+            parallel_pj_per_cycle: GemmUnit::ParallelFpIntMul.energy_per_cycle_pj(),
+        });
+        let a = analytic.energy(Architecture::Pacq, &cfg, &stats);
+        let b = identity.energy(Architecture::Pacq, &cfg, &stats);
+        assert!((a.tc_pj - b.tc_pj).abs() / a.tc_pj < 1e-12);
+        assert_eq!(a.rf_pj.to_bits(), b.rf_pj.to_bits());
+
+        // A doubled parallel multiplier must raise Pacq tensor-core
+        // energy but leave baseline flows untouched.
+        let doubled = EnergyModel::new(&cfg).with_activity_calibrated(MulEnergyOverride {
+            baseline_pj_per_cycle: GemmUnit::BaselineFp16Mul.energy_per_cycle_pj(),
+            parallel_pj_per_cycle: 2.0 * GemmUnit::ParallelFpIntMul.energy_per_cycle_pj(),
+        });
+        let c = doubled.energy(Architecture::Pacq, &cfg, &stats);
+        assert!(c.tc_pj > a.tc_pj * 1.2, "{} !> {}", c.tc_pj, a.tc_pj);
+        let std_stats = simulate(
+            Architecture::StandardDequant,
+            Workload::new(GemmShape::new(16, 256, 256), WeightPrecision::Int4),
+            &cfg,
+            GroupShape::G128,
+        )
+        .unwrap();
+        let d = analytic.energy(Architecture::StandardDequant, &cfg, &std_stats);
+        let e = doubled.energy(Architecture::StandardDequant, &cfg, &std_stats);
+        assert_eq!(d.tc_pj.to_bits(), e.tc_pj.to_bits());
+    }
+
+    #[test]
+    fn activity_override_changes_the_canonical_identity() {
+        let cfg = SmConfig::volta_like();
+        let base = EnergyModel::new(&cfg);
+        assert_eq!(base.mul_energy_source(), "analytic");
+        assert!(base.activity_calibrated().is_none());
+        let ov = MulEnergyOverride {
+            baseline_pj_per_cycle: 0.9,
+            parallel_pj_per_cycle: 1.06,
+        };
+        let calibrated = EnergyModel::new(&cfg).with_activity_calibrated(ov);
+        assert_eq!(calibrated.mul_energy_source(), "activity_calibrated");
+        assert_eq!(calibrated.activity_calibrated(), Some(ov));
+        assert_ne!(base.energy_canonical(), calibrated.energy_canonical());
+        assert!(calibrated
+            .energy_canonical()
+            .starts_with(&base.energy_canonical()));
+        let ulp = EnergyModel::new(&cfg).with_activity_calibrated(MulEnergyOverride {
+            baseline_pj_per_cycle: f64::from_bits(0.9f64.to_bits() + 1),
+            parallel_pj_per_cycle: 1.06,
+        });
+        assert_ne!(calibrated.energy_canonical(), ulp.energy_canonical());
     }
 
     #[test]

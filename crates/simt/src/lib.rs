@@ -51,7 +51,7 @@ pub mod stats;
 
 pub use config::{Architecture, GemmShape, SmConfig, Workload};
 pub use dataflow::simulate;
-pub use energy_model::{EnergyModel, EnergyReport};
+pub use energy_model::{EnergyModel, EnergyReport, MulEnergyOverride};
 pub use exec::{execute, execute_with_backend, reference};
 pub use pacq_fp16::Backend;
 pub use pipeline::{octet_schedule, OctetPipeline, PipelineEvent, PipelineTrace};

@@ -269,14 +269,21 @@ fn any_template() -> impl Strategy<Value = ArchTemplate> {
             any_energy(),
             any_energy(),
             any_energy(),
-            any_energy(),
+            // Nested pair: the tuple-strategy impls cap at six slots.
+            (
+                any_energy(),
+                prop_oneof![
+                    Just(None),
+                    (1u32..100).prop_map(|x| Some(f64::from(x) / 10.0))
+                ],
+            ),
         ),
     )
         .prop_map(
             |(
                 (name, dataflow, packing, dequant, tc, dp),
                 (width, dup, dwpc, rf, l1, buf_bits),
-                (bufs, dram_bw, rf_e, l1_e, buf_e, dram_e),
+                (bufs, dram_bw, rf_e, l1_e, buf_e, (dram_e, activity_tolerance)),
             )| ArchTemplate {
                 name,
                 dataflow,
@@ -301,6 +308,7 @@ fn any_template() -> impl Strategy<Value = ArchTemplate> {
                 operand_buffer_energy_pj_per_word16: buf_e,
                 dram_bytes_per_cycle: dram_bw,
                 dram_energy_pj_per_word16: dram_e,
+                activity_tolerance,
             },
         )
 }

@@ -183,6 +183,107 @@ fn gptq_degenerate_configs_are_err_not_panic() {
     assert!(GptqQuantizer::new(WeightPrecision::Int4, GroupShape::G32X4).is_err());
 }
 
+/// A small valid VCD document to corrupt: the baseline multiplier with
+/// every node watched, a few deterministic operations.
+fn sample_vcd() -> String {
+    use pacq_rtl::{Fp16MulCircuit, VcdRecorder};
+    let mut c = Fp16MulCircuit::build();
+    let mut vcd = VcdRecorder::new("dut");
+    vcd.watch_all_nodes(&c.netlist);
+    for i in 0u16..4 {
+        c.multiply(0x3C00 + i, 0x4200 ^ (i << 8));
+        vcd.sample(&c.netlist);
+    }
+    vcd.render()
+}
+
+proptest! {
+    /// Truncated VCD documents (cut anywhere, including mid-header
+    /// before `$enddefinitions`) are typed errors, never panics.
+    #[test]
+    fn truncated_vcd_never_panics(cut_permille in 0u32..1000) {
+        let text = sample_vcd();
+        let cut = (text.len() * cut_permille as usize) / 1000;
+        // Cut on a char boundary (the dump is ASCII, but stay honest).
+        let mut cut = cut.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &text[..cut];
+        assert_no_panic("parse_transition_counts(truncated)", || {
+            pacq_rtl::parse_transition_counts(truncated).map(|_| ())
+        });
+        // A cut before the header terminator is always an error — a
+        // parse cannot succeed without `$enddefinitions`.
+        if !truncated.contains("$enddefinitions") {
+            prop_assert!(pacq_rtl::parse_transition_counts(truncated).is_err());
+        }
+    }
+
+    /// Byte-corrupted VCD documents (one byte overwritten with random
+    /// garbage) are typed errors or clean parses, never panics.
+    #[test]
+    fn corrupt_vcd_never_panics(pos_permille in 0u32..1000, byte in any::<u8>()) {
+        let mut bytes = sample_vcd().into_bytes();
+        let pos = ((bytes.len() * pos_permille as usize) / 1000).min(bytes.len() - 1);
+        bytes[pos] = byte;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        assert_no_panic("parse_transition_counts(corrupt)", || {
+            pacq_rtl::parse_transition_counts(&text).map(|_| ())
+        });
+    }
+}
+
+#[test]
+fn degenerate_activity_streams_are_err_not_panic() {
+    use pacq_fp16::WeightPrecision as P;
+    use pacq_rtl::MulKind;
+    // A zero-length (and single-op) stimulus stream cannot expose a
+    // transition; both are typed errors for every netlist × precision.
+    for kind in MulKind::ALL {
+        for precision in [P::Int4, P::Int2] {
+            for ops in [0u64, 1] {
+                assert_no_panic("measure(degenerate stream)", || {
+                    pacq_rtl::measure(kind, precision, ops, 7).map(|_| ())
+                });
+                assert!(matches!(
+                    pacq_rtl::measure(kind, precision, ops, 7),
+                    Err(PacqError::InvalidInput { .. })
+                ));
+            }
+        }
+    }
+    assert_no_panic("parse_transition_counts(empty)", || {
+        pacq_rtl::parse_transition_counts("").map(|_| ())
+    });
+    assert!(pacq_rtl::parse_transition_counts("  \n ").is_err());
+}
+
+#[test]
+fn gutted_activity_bom_is_err_not_panic() {
+    use pacq_energy::ActivityBom;
+    // Pricing a histogram whose gate class was removed from the BOM is
+    // a typed error naming the class — for every class in the netlists.
+    for class in ["not", "and", "or", "xor", "mux"] {
+        let bom = ActivityBom::calibrated().without_class(class);
+        assert_no_panic("ActivityBom::price_pj(gutted)", || {
+            bom.price_pj(&[(class, 100)]).map(|_| ())
+        });
+        let e = bom.price_pj(&[(class, 100)]).unwrap_err();
+        assert!(
+            e.to_string().contains(class) && e.to_string().contains("missing"),
+            "{e}"
+        );
+    }
+    // Degenerate scale factors are rejected up front, not at pricing.
+    for scale in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        assert_no_panic("ActivityBom::with_scale(degenerate)", || {
+            ActivityBom::calibrated().with_scale(scale).map(|_| ())
+        });
+        assert!(ActivityBom::calibrated().with_scale(scale).is_err());
+    }
+}
+
 /// The serve surface under concurrent hostile fire (ISSUE 5): 32
 /// client threads share one server, each interleaving valid requests
 /// with malformed JSON, unknown ops, wrong-typed fields and an
